@@ -1,0 +1,113 @@
+#ifndef VIEWREWRITE_BENCH_BENCH_UTIL_H_
+#define VIEWREWRITE_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "datagen/census.h"
+#include "datagen/tpch.h"
+#include "engine/private_sql_engine.h"
+#include "engine/viewrewrite_engine.h"
+#include "workload/workload.h"
+
+namespace viewrewrite {
+namespace bench {
+
+/// Paper-to-repro mapping: TPC-H "10M" corresponds to scale 1.
+inline const char* SizeLabel(int scale) {
+  switch (scale) {
+    case 1: return "10M";
+    case 2: return "20M";
+    case 4: return "40M";
+    case 8: return "80M";
+    default: return "?";
+  }
+}
+
+/// `VR_FULL=1` unlocks the full (slow) sweeps; the default keeps every
+/// bench binary to a couple of minutes.
+inline bool FullMode() {
+  const char* env = std::getenv("VR_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+inline double Median(std::vector<double> values) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+inline double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double s = 0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+/// One engine run over one workload: errors + timings + view count.
+struct RunResult {
+  size_t queries = 0;
+  size_t views = 0;
+  double median_error = 0;
+  double mean_error = 0;
+  double synopsis_seconds = 0;   // rewrite + view generation + publication
+  double response_seconds = 0;   // answering all queries
+  double total_seconds = 0;
+  size_t failed = 0;
+};
+
+template <typename Engine>
+RunResult RunWorkload(Engine& engine, const std::vector<std::string>& sql) {
+  RunResult out;
+  Status st = engine.Prepare(sql);
+  if (!st.ok()) {
+    std::fprintf(stderr, "Prepare failed: %s\n", st.ToString().c_str());
+    out.failed = sql.size();
+    return out;
+  }
+  out.queries = engine.NumQueries();
+  out.views = engine.NumViews();
+  std::vector<double> errors;
+  errors.reserve(sql.size());
+  for (size_t i = 0; i < sql.size(); ++i) {
+    auto err = engine.RelativeError(i);
+    if (!err.ok()) {
+      ++out.failed;
+      continue;
+    }
+    errors.push_back(*err);
+  }
+  out.median_error = Median(errors);
+  out.mean_error = Mean(errors);
+  out.synopsis_seconds = engine.stats().SynopsisSeconds();
+  out.response_seconds = engine.stats().answer_seconds;
+  out.total_seconds = out.synopsis_seconds + out.response_seconds;
+  return out;
+}
+
+inline std::vector<std::string> WorkloadSql(int w, int scale, uint64_t seed,
+                                            size_t cap = 0) {
+  WorkloadGenerator gen(scale, seed);
+  auto queries = gen.Generate(w);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "workload W%d failed: %s\n", w,
+                 queries.status().ToString().c_str());
+    return {};
+  }
+  std::vector<std::string> out;
+  size_t n = queries->size();
+  if (cap > 0) n = std::min(n, cap);
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back((*queries)[i].sql);
+  return out;
+}
+
+}  // namespace bench
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,80 @@
+// Reproduces Fig. 5(a)-(c): ViewRewrite's overall median relative error on
+// TPC-H under varying database size, privacy policy, and privacy budget.
+// Paper defaults: workload W7 (1500 sum-type queries), eps = 8, policy =
+// orders, size 10M (scale 1).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace viewrewrite {
+namespace bench {
+namespace {
+
+constexpr uint64_t kSeed = 7041992;
+
+RunResult RunAt(int scale, const std::string& policy, double epsilon,
+                size_t query_cap) {
+  TpchConfig config;
+  config.scale = scale;
+  auto db = GenerateTpch(config);
+  EngineOptions opts;
+  opts.epsilon = epsilon;
+  opts.seed = kSeed;
+  ViewRewriteEngine engine(*db, PrivacyPolicy{policy}, opts);
+  auto sql = WorkloadSql(/*w=*/7, scale, kSeed, query_cap);
+  return RunWorkload(engine, sql);
+}
+
+void FigureA(size_t cap) {
+  std::printf(
+      "=== Figure 5(a): error vs database size (W7, eps=8, "
+      "policy=orders) ===\n");
+  std::printf("%-8s %-8s %-8s %-6s %-14s %-14s\n", "size", "scale", "queries",
+              "views", "median_relerr", "mean_relerr");
+  for (int scale : {1, 2, 4, 8}) {
+    if (!FullMode() && scale > 4) break;
+    RunResult r = RunAt(scale, "orders", 8.0, cap);
+    std::printf("%-8s %-8d %-8zu %-6zu %-14.6f %-14.6f\n", SizeLabel(scale),
+                scale, r.queries, r.views, r.median_error, r.mean_error);
+  }
+}
+
+void FigureB(size_t cap) {
+  std::printf(
+      "\n=== Figure 5(b): error vs privacy policy (W7, eps=8, size=10M) "
+      "===\n");
+  std::printf("%-10s %-8s %-6s %-14s %-14s\n", "policy", "queries", "views",
+              "median_relerr", "mean_relerr");
+  for (const char* policy : {"customer", "orders", "lineitem"}) {
+    RunResult r = RunAt(1, policy, 8.0, cap);
+    std::printf("%-10s %-8zu %-6zu %-14.6f %-14.6f\n", policy, r.queries,
+                r.views, r.median_error, r.mean_error);
+  }
+}
+
+void FigureC(size_t cap) {
+  std::printf(
+      "\n=== Figure 5(c): error vs privacy budget (W7, size=10M, "
+      "policy=orders) ===\n");
+  std::printf("%-8s %-8s %-6s %-14s %-14s\n", "eps", "queries", "views",
+              "median_relerr", "mean_relerr");
+  for (double eps : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    RunResult r = RunAt(1, "orders", eps, cap);
+    std::printf("%-8.1f %-8zu %-6zu %-14.6f %-14.6f\n", eps, r.queries,
+                r.views, r.median_error, r.mean_error);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace viewrewrite
+
+int main() {
+  using namespace viewrewrite::bench;
+  const size_t cap = FullMode() ? 0 : 500;
+  FigureA(cap);
+  FigureB(cap);
+  FigureC(cap);
+  return 0;
+}

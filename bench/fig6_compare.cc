@@ -1,0 +1,91 @@
+// Reproduces Fig. 6(a)-(c): ViewRewrite vs PrivateSQL median relative
+// error under varying database size, privacy policy, and privacy budget.
+// Paper defaults: workload W12 (1500 count-type queries from the
+// PrivateSQL-supported classes), eps = 8, policy = orders, size 10M.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace viewrewrite {
+namespace bench {
+namespace {
+
+constexpr uint64_t kSeed = 61234;
+
+struct Pair {
+  RunResult vr;
+  RunResult ps;
+};
+
+Pair RunBoth(int scale, const std::string& policy, double epsilon,
+             size_t cap) {
+  TpchConfig config;
+  config.scale = scale;
+  auto db = GenerateTpch(config);
+  auto sql = WorkloadSql(/*w=*/12, scale, kSeed, cap);
+  EngineOptions opts;
+  opts.epsilon = epsilon;
+  opts.seed = kSeed;
+  Pair out;
+  {
+    ViewRewriteEngine engine(*db, PrivacyPolicy{policy}, opts);
+    out.vr = RunWorkload(engine, sql);
+  }
+  {
+    PrivateSqlEngine engine(*db, PrivacyPolicy{policy}, opts);
+    out.ps = RunWorkload(engine, sql);
+  }
+  return out;
+}
+
+void Row(const char* label, const Pair& p) {
+  std::printf("%-10s %-8zu | %-6zu %-14.6f | %-6zu %-14.6f | %-7.2fx\n",
+              label, p.vr.queries, p.vr.views, p.vr.median_error, p.ps.views,
+              p.ps.median_error,
+              p.vr.median_error > 0 ? p.ps.median_error / p.vr.median_error
+                                    : 0.0);
+}
+
+void Header() {
+  std::printf("%-10s %-8s | %-6s %-14s | %-6s %-14s | %-8s\n", "setting",
+              "queries", "views", "VR_median_err", "views", "PSQL_median_err",
+              "ratio");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace viewrewrite
+
+int main() {
+  using namespace viewrewrite::bench;
+  const size_t cap = FullMode() ? 0 : 400;
+
+  std::printf(
+      "=== Figure 6(a): ViewRewrite vs PrivateSQL, error vs database size "
+      "(W12, eps=8, policy=orders) ===\n");
+  Header();
+  for (int scale : {1, 2, 4, 8}) {
+    if (!FullMode() && scale > 4) break;
+    Row(SizeLabel(scale), RunBoth(scale, "orders", 8.0, cap));
+  }
+
+  std::printf(
+      "\n=== Figure 6(b): error vs privacy policy (W12, eps=8, size=10M) "
+      "===\n");
+  Header();
+  for (const char* policy : {"customer", "orders", "lineitem"}) {
+    Row(policy, RunBoth(1, policy, 8.0, cap));
+  }
+
+  std::printf(
+      "\n=== Figure 6(c): error vs privacy budget (W12, size=10M, "
+      "policy=orders) ===\n");
+  Header();
+  for (double eps : {1.0, 4.0, 8.0, 16.0}) {
+    char label[16];
+    std::snprintf(label, sizeof(label), "eps=%g", eps);
+    Row(label, RunBoth(1, "orders", eps, cap));
+  }
+  return 0;
+}

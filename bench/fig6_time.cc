@@ -1,0 +1,48 @@
+// Reproduces Fig. 6(f): synopsis-generation time and query-response time
+// for ViewRewrite vs PrivateSQL as the workload grows. The paper's shape:
+// ViewRewrite's synopsis time is far lower (few views) while its response
+// time is slightly higher (bigger views); totals favour ViewRewrite and
+// the gap widens with workload size.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace viewrewrite;
+  using namespace viewrewrite::bench;
+
+  constexpr uint64_t kSeed = 61236;
+  TpchConfig config;
+  auto db = GenerateTpch(config);
+
+  std::printf(
+      "=== Figure 6(f): synopsis + response time vs workload size (W11-W15 "
+      "ladder, eps=8, size=10M, policy=orders) ===\n");
+  std::printf("%-8s | %-10s %-10s %-10s | %-10s %-10s %-10s\n", "queries",
+              "VR_syn_s", "VR_resp_s", "VR_total", "PS_syn_s", "PS_resp_s",
+              "PS_total");
+
+  std::vector<size_t> sizes = {200, 400, 800, 1600};
+  if (FullMode()) sizes.push_back(3200);
+  for (size_t n : sizes) {
+    // Use W12's generator with a cap to emulate the workload-size ladder.
+    auto sql = WorkloadSql(/*w=*/15, config.scale, kSeed, n);
+    EngineOptions opts;
+    opts.epsilon = 8.0;
+    opts.seed = kSeed;
+    RunResult vr, ps;
+    {
+      ViewRewriteEngine engine(*db, PrivacyPolicy{"orders"}, opts);
+      vr = RunWorkload(engine, sql);
+    }
+    {
+      PrivateSqlEngine engine(*db, PrivacyPolicy{"orders"}, opts);
+      ps = RunWorkload(engine, sql);
+    }
+    std::printf("%-8zu | %-10.3f %-10.3f %-10.3f | %-10.3f %-10.3f %-10.3f\n",
+                n, vr.synopsis_seconds, vr.response_seconds, vr.total_seconds,
+                ps.synopsis_seconds, ps.response_seconds, ps.total_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Google-benchmark microbenchmarks for the per-component costs behind the
+// end-to-end numbers: parsing, rewriting, execution, synopsis publication,
+// cell answering, and the DP primitives.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/tpch.h"
+#include "dp/matrix_mechanism.h"
+#include "dp/truncation.h"
+#include "engine/viewrewrite_engine.h"
+#include "exec/executor.h"
+#include "rewrite/rewriter.h"
+#include "sql/parser.h"
+#include "view/view_manager.h"
+#include "workload/workload.h"
+
+namespace viewrewrite {
+namespace {
+
+const char* kNestedQuery =
+    "SELECT COUNT(*) FROM customer c, orders o WHERE c.c_custkey = "
+    "o.o_custkey AND o.o_orderyear = 1995 AND o.o_totalprice > (SELECT "
+    "AVG(o2.o_totalprice) FROM orders o2 WHERE o2.o_custkey = c.c_custkey)";
+
+const Database& SharedDb() {
+  static const Database* db = [] {
+    TpchConfig config;
+    config.customers = 300;
+    config.parts = 200;
+    return GenerateTpch(config).release();
+  }();
+  return *db;
+}
+
+void BM_ParseNestedQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = ParseSelect(kNestedQuery);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseNestedQuery);
+
+void BM_RewriteNestedQuery(benchmark::State& state) {
+  Schema schema = MakeTpchSchema();
+  Rewriter rewriter(schema);
+  auto stmt = ParseSelect(kNestedQuery);
+  for (auto _ : state) {
+    auto rq = rewriter.Rewrite(**stmt);
+    benchmark::DoNotOptimize(rq);
+  }
+}
+BENCHMARK(BM_RewriteNestedQuery);
+
+void BM_ExecuteJoinQuery(benchmark::State& state) {
+  const Database& db = SharedDb();
+  Executor executor(db);
+  auto stmt = ParseSelect(
+      "SELECT COUNT(*) FROM customer c, orders o WHERE c.c_custkey = "
+      "o.o_custkey AND o.o_totalprice > 32768");
+  for (auto _ : state) {
+    auto r = executor.ExecuteScalar(**stmt);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ExecuteJoinQuery);
+
+void BM_ExecuteRewrittenNested(benchmark::State& state) {
+  const Database& db = SharedDb();
+  Executor executor(db);
+  Rewriter rewriter(db.schema());
+  auto stmt = ParseSelect(kNestedQuery);
+  auto rq = rewriter.Rewrite(**stmt);
+  for (auto _ : state) {
+    auto r = executor.ExecuteRewritten(*rq);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ExecuteRewrittenNested);
+
+void BM_SynopsisPublish(benchmark::State& state) {
+  const Database& db = SharedDb();
+  Rewriter rewriter(db.schema());
+  auto stmt = ParseSelect(kNestedQuery);
+  auto rq = rewriter.Rewrite(**stmt);
+  for (auto _ : state) {
+    ViewManager manager(db.schema(), PrivacyPolicy{"orders"});
+    auto bound = manager.RegisterRewritten(*rq, nullptr);
+    Random rng(static_cast<uint64_t>(state.iterations()));
+    Status st = manager.Publish(db, 8.0, &rng);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_SynopsisPublish)->Unit(benchmark::kMillisecond);
+
+void BM_CellAnswer(benchmark::State& state) {
+  const Database& db = SharedDb();
+  Rewriter rewriter(db.schema());
+  auto stmt = ParseSelect(kNestedQuery);
+  auto rq = rewriter.Rewrite(**stmt);
+  ViewManager manager(db.schema(), PrivacyPolicy{"orders"});
+  auto bound = manager.RegisterRewritten(*rq, nullptr);
+  Random rng(9);
+  (void)manager.Publish(db, 8.0, &rng);
+  for (auto _ : state) {
+    auto r = manager.Answer(*bound);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CellAnswer);
+
+void BM_LaplaceSample(benchmark::State& state) {
+  Random rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Laplace(2.0));
+  }
+}
+BENCHMARK(BM_LaplaceSample);
+
+void BM_TruncationSelect(benchmark::State& state) {
+  Random data(2);
+  std::vector<double> contribs;
+  for (int i = 0; i < 10000; ++i) {
+    contribs.push_back(static_cast<double>(data.Zipf(64, 1.2)));
+  }
+  Random rng(3);
+  for (auto _ : state) {
+    auto tau = SelectTruncationThreshold(contribs, 0.4, 0.4, &rng);
+    benchmark::DoNotOptimize(tau);
+  }
+}
+BENCHMARK(BM_TruncationSelect);
+
+void BM_IdentityPublish(benchmark::State& state) {
+  std::vector<double> cells(static_cast<size_t>(state.range(0)), 5.0);
+  Random rng(4);
+  for (auto _ : state) {
+    auto noisy = PublishIdentity(cells, 4.0, 1.0, &rng);
+    benchmark::DoNotOptimize(noisy);
+  }
+}
+BENCHMARK(BM_IdentityPublish)->Arg(1024)->Arg(16384);
+
+void BM_HierarchicalPublish(benchmark::State& state) {
+  std::vector<double> cells(static_cast<size_t>(state.range(0)), 5.0);
+  Random rng(5);
+  for (auto _ : state) {
+    auto h = HierarchicalHistogram::Publish(cells, 4.0, 1.0, &rng);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_HierarchicalPublish)->Arg(1024)->Arg(16384);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  WorkloadGenerator gen(1, 77);
+  for (auto _ : state) {
+    auto q = gen.Generate(16);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace viewrewrite
+
+BENCHMARK_MAIN();

@@ -1,0 +1,165 @@
+// Reproduces Table 2: the impact of query rewriting per nested-query
+// class. For correlated (W16-W20), non-correlated (W21-W25), and derived
+// table (W26-W30) workloads, compares ViewRewrite vs PrivateSQL on median
+// relative error, number of views, synopsis time, response time, and
+// total time, across the paper's four sweeps (database size, privacy
+// policy, privacy budget, workload size).
+//
+// Paper defaults: size 10M (scale 1), policy orders, eps 8, workload 400
+// queries (W17 / W22 / W27).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace viewrewrite {
+namespace bench {
+namespace {
+
+constexpr uint64_t kSeed = 22017;
+
+struct ClassSpec {
+  const char* name;
+  int base_w;  // W16 / W21 / W26 (200-query rung)
+};
+
+const ClassSpec kClasses[] = {
+    {"correlated", 16}, {"non-correlated", 21}, {"derived", 26}};
+
+struct Pair {
+  RunResult vr;
+  RunResult ps;
+};
+
+Pair RunBoth(const Database& db, const std::vector<std::string>& sql,
+             const std::string& policy, double epsilon) {
+  EngineOptions opts;
+  opts.epsilon = epsilon;
+  opts.seed = kSeed;
+  Pair out;
+  {
+    ViewRewriteEngine engine(db, PrivacyPolicy{policy}, opts);
+    out.vr = RunWorkload(engine, sql);
+  }
+  {
+    PrivateSqlEngine engine(db, PrivacyPolicy{policy}, opts);
+    out.ps = RunWorkload(engine, sql);
+  }
+  return out;
+}
+
+void ErrorRow(const char* setting, const char* value, const Pair pairs[3]) {
+  std::printf("%-10s %-10s |", setting, value);
+  for (int c = 0; c < 3; ++c) {
+    std::printf(" %11.6f %11.6f |", pairs[c].vr.median_error,
+                pairs[c].ps.median_error);
+  }
+  std::printf("\n");
+}
+
+void Banner() {
+  std::printf("%-10s %-10s |", "", "");
+  for (const ClassSpec& cls : kClasses) {
+    std::printf(" %23s |", cls.name);
+  }
+  std::printf("\n%-10s %-10s |", "metric", "setting");
+  for (int c = 0; c < 3; ++c) {
+    (void)c;
+    std::printf(" %11s %11s |", "ViewRewrite", "PrivateSQL");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace viewrewrite
+
+int main() {
+  using namespace viewrewrite;
+  using namespace viewrewrite::bench;
+
+  std::printf(
+      "=== Table 2: impact of query rewriting on nested and derived table "
+      "queries ===\n(defaults: size=10M, policy=orders, eps=8, 400-query "
+      "workloads W17/W22/W27)\n\n");
+  Banner();
+
+  // ---- Median relative error vs database size. ----------------------------
+  for (int scale : {1, 2}) {
+    if (!FullMode() && scale > 1) break;
+    TpchConfig config;
+    config.scale = scale;
+    auto db = GenerateTpch(config);
+    Pair pairs[3];
+    for (int c = 0; c < 3; ++c) {
+      auto sql = WorkloadSql(kClasses[c].base_w + 1, scale, kSeed, 0);
+      pairs[c] = RunBoth(*db, sql, "orders", 8.0);
+    }
+    ErrorRow("size", SizeLabel(scale), pairs);
+  }
+
+  TpchConfig config;
+  auto db = GenerateTpch(config);
+
+  // ---- Median relative error vs privacy policy. ----------------------------
+  for (const char* policy : {"customer", "orders", "lineitem"}) {
+    Pair pairs[3];
+    for (int c = 0; c < 3; ++c) {
+      auto sql = WorkloadSql(kClasses[c].base_w + 1, 1, kSeed, 0);
+      pairs[c] = RunBoth(*db, sql, policy, 8.0);
+    }
+    ErrorRow("policy", policy, pairs);
+  }
+
+  // ---- Median relative error vs privacy budget. -----------------------------
+  for (double eps : {1.0, 4.0, 8.0, 16.0}) {
+    Pair pairs[3];
+    for (int c = 0; c < 3; ++c) {
+      auto sql = WorkloadSql(kClasses[c].base_w + 1, 1, kSeed, 0);
+      pairs[c] = RunBoth(*db, sql, "orders", eps);
+    }
+    char label[16];
+    std::snprintf(label, sizeof(label), "%g", eps);
+    ErrorRow("eps", label, pairs);
+  }
+
+  // ---- Per-workload-size block: error, views, timings. ----------------------
+  std::printf(
+      "\n-- workload-size sweep (rows: error / views / synopsis s / "
+      "response s / total s) --\n");
+  const int max_rung = FullMode() ? 4 : 2;  // up to W20/W25/W30
+  for (int rung = 1; rung <= max_rung; ++rung) {
+    Pair pairs[3];
+    int n_queries = 0;
+    for (int c = 0; c < 3; ++c) {
+      int w = kClasses[c].base_w + rung;
+      n_queries = WorkloadGenerator::QueryCount(w);
+      auto sql = WorkloadSql(w, 1, kSeed, 0);
+      pairs[c] = RunBoth(*db, sql, "orders", 8.0);
+    }
+    char label[16];
+    std::snprintf(label, sizeof(label), "%d", n_queries);
+    ErrorRow("wsize", label, pairs);
+    std::printf("%-10s %-10s |", "views", label);
+    for (int c = 0; c < 3; ++c) {
+      std::printf(" %11zu %11zu |", pairs[c].vr.views, pairs[c].ps.views);
+    }
+    std::printf("\n%-10s %-10s |", "syn_s", label);
+    for (int c = 0; c < 3; ++c) {
+      std::printf(" %11.3f %11.3f |", pairs[c].vr.synopsis_seconds,
+                  pairs[c].ps.synopsis_seconds);
+    }
+    std::printf("\n%-10s %-10s |", "resp_s", label);
+    for (int c = 0; c < 3; ++c) {
+      std::printf(" %11.3f %11.3f |", pairs[c].vr.response_seconds,
+                  pairs[c].ps.response_seconds);
+    }
+    std::printf("\n%-10s %-10s |", "total_s", label);
+    for (int c = 0; c < 3; ++c) {
+      std::printf(" %11.3f %11.3f |", pairs[c].vr.total_seconds,
+                  pairs[c].ps.total_seconds);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,151 @@
+#include "catalog/schema.h"
+
+#include <algorithm>
+#include <set>
+
+namespace viewrewrite {
+
+ColumnDomain ColumnDomain::Categorical(std::vector<Value> values) {
+  ColumnDomain d;
+  d.kind = Kind::kCategorical;
+  d.categories = std::move(values);
+  return d;
+}
+
+ColumnDomain ColumnDomain::IntBuckets(int64_t lo, int64_t hi,
+                                      int64_t buckets) {
+  ColumnDomain d;
+  d.kind = Kind::kIntBuckets;
+  d.lo = lo;
+  d.hi = hi;
+  d.buckets = std::max<int64_t>(1, std::min(buckets, hi - lo + 1));
+  return d;
+}
+
+int64_t ColumnDomain::CellCount() const {
+  switch (kind) {
+    case Kind::kNone:
+      return 0;
+    case Kind::kCategorical:
+      return static_cast<int64_t>(categories.size());
+    case Kind::kIntBuckets:
+      return buckets;
+  }
+  return 0;
+}
+
+int64_t ColumnDomain::CellIndex(const Value& v) const {
+  switch (kind) {
+    case Kind::kNone:
+      return -1;
+    case Kind::kCategorical: {
+      for (size_t i = 0; i < categories.size(); ++i) {
+        if (categories[i] == v) return static_cast<int64_t>(i);
+      }
+      return -1;
+    }
+    case Kind::kIntBuckets: {
+      if (!v.is_numeric()) return -1;
+      double d = v.ToDouble();
+      if (d < static_cast<double>(lo)) return 0;
+      if (d > static_cast<double>(hi)) return buckets - 1;
+      double span = static_cast<double>(hi - lo + 1);
+      int64_t cell = static_cast<int64_t>((d - static_cast<double>(lo)) /
+                                          span * static_cast<double>(buckets));
+      if (cell >= buckets) cell = buckets - 1;
+      if (cell < 0) cell = 0;
+      return cell;
+    }
+  }
+  return -1;
+}
+
+std::pair<int64_t, int64_t> ColumnDomain::BucketBounds(int64_t cell) const {
+  double span = static_cast<double>(hi - lo + 1);
+  int64_t b_lo =
+      lo + static_cast<int64_t>(span * static_cast<double>(cell) /
+                                static_cast<double>(buckets));
+  int64_t b_hi =
+      lo + static_cast<int64_t>(span * static_cast<double>(cell + 1) /
+                                static_cast<double>(buckets)) - 1;
+  if (cell == buckets - 1) b_hi = hi;
+  return {b_lo, b_hi};
+}
+
+TableSchema::TableSchema(std::string name, std::vector<ColumnDef> columns,
+                         std::string primary_key, std::vector<ForeignKey> fks)
+    : name_(std::move(name)),
+      columns_(std::move(columns)),
+      primary_key_(std::move(primary_key)),
+      fks_(std::move(fks)) {}
+
+std::optional<size_t> TableSchema::ColumnIndex(
+    const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column) return i;
+  }
+  return std::nullopt;
+}
+
+const ColumnDef* TableSchema::FindColumn(const std::string& column) const {
+  auto idx = ColumnIndex(column);
+  if (!idx) return nullptr;
+  return &columns_[*idx];
+}
+
+Status Schema::AddTable(TableSchema table) {
+  const std::string& name = table.name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already in schema");
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+const TableSchema* Schema::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Result<const TableSchema*> Schema::GetTable(const std::string& name) const {
+  const TableSchema* t = FindTable(name);
+  if (t == nullptr) return Status::NotFound("no table named '" + name + "'");
+  return t;
+}
+
+std::vector<std::string> Schema::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+bool Schema::References(const std::string& from, const std::string& to) const {
+  std::set<std::string> visited;
+  std::vector<std::string> stack = {from};
+  while (!stack.empty()) {
+    std::string cur = stack.back();
+    stack.pop_back();
+    if (!visited.insert(cur).second) continue;
+    const TableSchema* t = FindTable(cur);
+    if (t == nullptr) continue;
+    for (const ForeignKey& fk : t->foreign_keys()) {
+      if (fk.ref_table == to) return true;
+      stack.push_back(fk.ref_table);
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> Schema::PrivacyRelations(
+    const std::string& primary_relation) const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : tables_) {
+    if (name == primary_relation || References(name, primary_relation)) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+}  // namespace viewrewrite

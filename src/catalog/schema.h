@@ -1,0 +1,109 @@
+#ifndef VIEWREWRITE_CATALOG_SCHEMA_H_
+#define VIEWREWRITE_CATALOG_SCHEMA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/value.h"
+
+namespace viewrewrite {
+
+/// Bounded attribute domain, required for an attribute to serve as a
+/// synopsis (histogram) dimension. Unregistered columns can still be
+/// queried directly but cannot be a view dimension.
+struct ColumnDomain {
+  enum class Kind { kNone, kCategorical, kIntBuckets };
+
+  Kind kind = Kind::kNone;
+  /// kCategorical: the exhaustive value set.
+  std::vector<Value> categories;
+  /// kIntBuckets: integer range [lo, hi] divided into `buckets` equal cells.
+  int64_t lo = 0;
+  int64_t hi = 0;
+  int64_t buckets = 0;
+
+  static ColumnDomain None() { return ColumnDomain{}; }
+  static ColumnDomain Categorical(std::vector<Value> values);
+  static ColumnDomain IntBuckets(int64_t lo, int64_t hi, int64_t buckets);
+
+  bool IsBounded() const { return kind != Kind::kNone; }
+  /// Number of synopsis cells along this dimension.
+  int64_t CellCount() const;
+  /// Maps a value to its cell index in [0, CellCount()). Values outside the
+  /// registered domain clamp to the nearest cell (categorical: -1 = absent).
+  int64_t CellIndex(const Value& v) const;
+  /// Inclusive value bounds of integer bucket `cell` (kIntBuckets only).
+  std::pair<int64_t, int64_t> BucketBounds(int64_t cell) const;
+};
+
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInt;
+  ColumnDomain domain;
+};
+
+struct ForeignKey {
+  std::string column;       // referencing column in this table
+  std::string ref_table;    // referenced table
+  std::string ref_column;   // referenced column (its primary key)
+};
+
+/// Schema of one relation: columns, primary key, outgoing foreign keys.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns,
+              std::string primary_key, std::vector<ForeignKey> fks = {});
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  const std::string& primary_key() const { return primary_key_; }
+  const std::vector<ForeignKey>& foreign_keys() const { return fks_; }
+
+  /// Index of `column` or nullopt.
+  std::optional<size_t> ColumnIndex(const std::string& column) const;
+  const ColumnDef* FindColumn(const std::string& column) const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::string primary_key_;
+  std::vector<ForeignKey> fks_;
+};
+
+/// The database schema: a set of relations plus the foreign-key graph used
+/// to derive privacy-relevant reachability (§3.7 of the paper).
+class Schema {
+ public:
+  Status AddTable(TableSchema table);
+  const TableSchema* FindTable(const std::string& name) const;
+  Result<const TableSchema*> GetTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// True if `from` references `to` directly or transitively through
+  /// foreign keys. A table reaching the primary privacy relation makes it
+  /// a secondary privacy relation.
+  bool References(const std::string& from, const std::string& to) const;
+
+  /// All tables that are the privacy relation itself or reference it
+  /// (the tables whose tuples can be linked to a protected individual).
+  std::vector<std::string> PrivacyRelations(
+      const std::string& primary_relation) const;
+
+ private:
+  std::map<std::string, TableSchema> tables_;
+};
+
+/// The data owner's privacy policy: which relation holds the protected
+/// individuals. Neighboring databases differ in the set of tuples that
+/// reference one tuple of this relation (§3.7).
+struct PrivacyPolicy {
+  std::string primary_relation;
+};
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_CATALOG_SCHEMA_H_

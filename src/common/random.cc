@@ -1,0 +1,34 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace viewrewrite {
+
+double Random::Laplace(double scale) {
+  // Inverse CDF: X = -b * sgn(u) * ln(1 - 2|u|), u ~ U(-1/2, 1/2).
+  double u = UniformDouble() - 0.5;
+  double sign = (u < 0) ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+int64_t Random::Zipf(int64_t n, double s) {
+  // Rejection-inversion would be faster; for our data sizes a simple
+  // inverse-transform over the normalized harmonic weights is sufficient
+  // and exact. Cache-free implementation: O(n) per draw is too slow for
+  // large n, so we use the clamped power-law approximation instead.
+  double u = UniformDouble();
+  // Approximate inverse CDF of a power-law with exponent s on [1, n].
+  if (s == 1.0) {
+    double h = std::log(static_cast<double>(n) + 1.0);
+    return static_cast<int64_t>(std::exp(u * h));
+  }
+  double one_minus_s = 1.0 - s;
+  double top = std::pow(static_cast<double>(n) + 1.0, one_minus_s);
+  double x = std::pow(u * (top - 1.0) + 1.0, 1.0 / one_minus_s);
+  int64_t k = static_cast<int64_t>(x);
+  if (k < 1) k = 1;
+  if (k > n) k = n;
+  return k;
+}
+
+}  // namespace viewrewrite

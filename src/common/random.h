@@ -1,0 +1,56 @@
+#ifndef VIEWREWRITE_COMMON_RANDOM_H_
+#define VIEWREWRITE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace viewrewrite {
+
+/// Deterministic pseudo-random source used by every randomized component
+/// (data generation, workload generation, noise sampling). All behaviour is
+/// reproducible from the 64-bit seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Laplace(0, scale) sample via inverse-CDF. Requires scale > 0.
+  double Laplace(double scale);
+
+  /// Zipf-distributed integer in [1, n] with exponent `s` (s > 0). Used to
+  /// create skewed join fan-outs in synthetic data.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Derives an independent child generator; useful for giving each
+  /// subsystem its own stream from one master seed.
+  Random Fork() { return Random(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_COMMON_RANDOM_H_

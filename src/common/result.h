@@ -1,0 +1,76 @@
+#ifndef VIEWREWRITE_COMMON_RESULT_H_
+#define VIEWREWRITE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace viewrewrite {
+
+/// A value-or-error outcome (Arrow's `Result<T>` idiom).
+///
+/// Holds either a `T` or a non-OK `Status`. Construction from an OK status
+/// is a programming error. Access to the value when an error is held
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok());
+  }
+  /// Constructs a success result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the contained status (OK if a value is held).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating an error Status; otherwise
+/// move-assigns the value into `lhs` (which must be a declaration or an
+/// existing variable).
+#define VR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value();
+
+#define VR_ASSIGN_OR_RETURN_CONCAT_INNER(x, y) x##y
+#define VR_ASSIGN_OR_RETURN_CONCAT(x, y) VR_ASSIGN_OR_RETURN_CONCAT_INNER(x, y)
+
+#define VR_ASSIGN_OR_RETURN(lhs, rexpr) \
+  VR_ASSIGN_OR_RETURN_IMPL(             \
+      VR_ASSIGN_OR_RETURN_CONCAT(_vr_result_, __LINE__), lhs, rexpr)
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_COMMON_RESULT_H_

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace viewrewrite {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kTypeMismatch:
+      return "TypeMismatch";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+    case StatusCode::kRewriteError:
+      return "RewriteError";
+    case StatusCode::kPrivacyError:
+      return "PrivacyError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace viewrewrite

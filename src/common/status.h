@@ -1,0 +1,96 @@
+#ifndef VIEWREWRITE_COMMON_STATUS_H_
+#define VIEWREWRITE_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace viewrewrite {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB
+/// convention of a lightweight status object instead of exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kAlreadyExists,
+  kTypeMismatch,
+  kUnsupported,
+  kExecutionError,
+  kRewriteError,
+  kPrivacyError,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("OK", "ParseError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome for operations that return no value.
+///
+/// All fallible APIs in this library return `Status` or `Result<T>`;
+/// exceptions are not used. A default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status RewriteError(std::string msg) {
+    return Status(StatusCode::kRewriteError, std::move(msg));
+  }
+  static Status PrivacyError(std::string msg) {
+    return Status(StatusCode::kPrivacyError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller.
+#define VR_RETURN_NOT_OK(expr)                  \
+  do {                                          \
+    ::viewrewrite::Status _st = (expr);         \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef VIEWREWRITE_COMMON_STRINGS_H_
+#define VIEWREWRITE_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace viewrewrite {
+
+/// ASCII lower-casing (SQL identifiers/keywords are case-insensitive).
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_COMMON_STRINGS_H_

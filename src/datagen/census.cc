@@ -1,0 +1,70 @@
+#include "datagen/census.h"
+
+namespace viewrewrite {
+
+namespace {
+
+ColumnDomain IntCats(int64_t n) {
+  std::vector<Value> cats;
+  cats.reserve(n);
+  for (int64_t i = 0; i < n; ++i) cats.push_back(Value::Int(i));
+  return ColumnDomain::Categorical(std::move(cats));
+}
+
+}  // namespace
+
+Schema MakeCensusSchema(const CensusConfig& config) {
+  Schema schema;
+  const int64_t hkey_hi = 2048 * config.scale - 1;
+  {
+    std::vector<ColumnDef> cols;
+    cols.push_back({"h_id", DataType::kInt,
+                    ColumnDomain::IntBuckets(0, hkey_hi, 8)});
+    cols.push_back({"h_state", DataType::kInt, IntCats(10)});
+    cols.push_back(
+        {"h_income", DataType::kInt, ColumnDomain::IntBuckets(0, 8191, 16)});
+    cols.push_back(
+        {"h_size", DataType::kInt, ColumnDomain::IntBuckets(0, 7, 8)});
+    (void)schema.AddTable(TableSchema("household", std::move(cols), "h_id"));
+  }
+  {
+    std::vector<ColumnDef> cols;
+    cols.push_back({"p_id", DataType::kInt, ColumnDomain::None()});
+    cols.push_back({"p_hid", DataType::kInt,
+                    ColumnDomain::IntBuckets(0, hkey_hi, 8)});
+    cols.push_back(
+        {"p_age", DataType::kInt, ColumnDomain::IntBuckets(0, 95, 16)});
+    cols.push_back({"p_sex", DataType::kInt, IntCats(2)});
+    cols.push_back(
+        {"p_income", DataType::kInt, ColumnDomain::IntBuckets(0, 8191, 16)});
+    (void)schema.AddTable(TableSchema("person", std::move(cols), "p_id",
+                                      {{"p_hid", "household", "h_id"}}));
+  }
+  return schema;
+}
+
+std::unique_ptr<Database> GenerateCensus(const CensusConfig& config) {
+  auto db = std::make_unique<Database>(MakeCensusSchema(config));
+  Random rng(config.seed);
+  Table* household = db->MutableTable("household");
+  Table* person = db->MutableTable("person");
+  const int64_t n_households = config.households * config.scale;
+  household->Reserve(n_households);
+  int64_t next_person = 1;
+  for (int64_t h = 1; h <= n_households; ++h) {
+    int64_t size = rng.UniformInt(1, config.max_persons_per_household);
+    household->InsertUnchecked({Value::Int(h),
+                                Value::Int(rng.UniformInt(0, 9)),
+                                Value::Int(rng.UniformInt(0, 8191)),
+                                Value::Int(size)});
+    for (int64_t p = 0; p < size; ++p) {
+      person->InsertUnchecked({Value::Int(next_person++), Value::Int(h),
+                               Value::Int(rng.UniformInt(0, 95)),
+                               Value::Int(rng.UniformInt(0, 1)),
+                               Value::Int(rng.UniformInt(0, 8191))});
+    }
+  }
+  return db;
+}
+
+}  // namespace viewrewrite

@@ -1,0 +1,28 @@
+#ifndef VIEWREWRITE_DATAGEN_CENSUS_H_
+#define VIEWREWRITE_DATAGEN_CENSUS_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "storage/table.h"
+
+namespace viewrewrite {
+
+/// Synthetic U.S. Census-style data (the paper's second dataset):
+///   household(h_id, h_state, h_income, h_size)
+///   person(p_id, p_hid -> household, p_age, p_sex, p_income)
+/// Households are the primary privacy relation in the paper's policy.
+struct CensusConfig {
+  int scale = 1;
+  uint64_t seed = 19370101;
+  int64_t households = 2000;  // at scale 1
+  int64_t max_persons_per_household = 8;
+};
+
+Schema MakeCensusSchema(const CensusConfig& config = {});
+
+std::unique_ptr<Database> GenerateCensus(const CensusConfig& config);
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_DATAGEN_CENSUS_H_

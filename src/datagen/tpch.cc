@@ -1,0 +1,226 @@
+#include "datagen/tpch.h"
+
+#include <algorithm>
+
+namespace viewrewrite {
+
+namespace {
+
+ColumnDomain IntCats(int64_t n) {
+  std::vector<Value> cats;
+  cats.reserve(n);
+  for (int64_t i = 0; i < n; ++i) cats.push_back(Value::Int(i));
+  return ColumnDomain::Categorical(std::move(cats));
+}
+
+ColumnDomain StrCats(std::vector<const char*> values) {
+  std::vector<Value> cats;
+  cats.reserve(values.size());
+  for (const char* v : values) cats.push_back(Value::String(v));
+  return ColumnDomain::Categorical(std::move(cats));
+}
+
+}  // namespace
+
+Schema MakeTpchSchema(const TpchConfig& config) {
+  Schema schema;
+  // Key domains are sized to the generated instance (rounded up to a
+  // power-of-two multiple so bucket boundaries stay integral); they are
+  // needed when promoted key filters become view dimensions.
+  const int64_t cust_hi = 1024 * config.scale - 1;
+  {
+    std::vector<ColumnDef> cols;
+    cols.push_back({"r_regionkey", DataType::kInt, IntCats(5)});
+    (void)schema.AddTable(TableSchema("region", std::move(cols),
+                                      "r_regionkey"));
+  }
+  {
+    std::vector<ColumnDef> cols;
+    cols.push_back({"n_nationkey", DataType::kInt, IntCats(25)});
+    cols.push_back({"n_regionkey", DataType::kInt, IntCats(5)});
+    (void)schema.AddTable(
+        TableSchema("nation", std::move(cols), "n_nationkey",
+                    {{"n_regionkey", "region", "r_regionkey"}}));
+  }
+  {
+    std::vector<ColumnDef> cols;
+    cols.push_back({"s_suppkey", DataType::kInt, ColumnDomain::None()});
+    cols.push_back({"s_nationkey", DataType::kInt, IntCats(25)});
+    cols.push_back(
+        {"s_acctbal", DataType::kInt, ColumnDomain::IntBuckets(0, 8191, 16)});
+    (void)schema.AddTable(
+        TableSchema("supplier", std::move(cols), "s_suppkey",
+                    {{"s_nationkey", "nation", "n_nationkey"}}));
+  }
+  {
+    std::vector<ColumnDef> cols;
+    cols.push_back({"p_partkey", DataType::kInt, ColumnDomain::None()});
+    cols.push_back({"p_brand", DataType::kInt, IntCats(10)});
+    cols.push_back(
+        {"p_size", DataType::kInt, ColumnDomain::IntBuckets(0, 63, 16)});
+    cols.push_back({"p_retailprice", DataType::kInt,
+                    ColumnDomain::IntBuckets(0, 2047, 16)});
+    (void)schema.AddTable(TableSchema("part", std::move(cols), "p_partkey"));
+  }
+  {
+    std::vector<ColumnDef> cols;
+    cols.push_back({"ps_id", DataType::kInt, ColumnDomain::None()});
+    cols.push_back({"ps_partkey", DataType::kInt, ColumnDomain::None()});
+    cols.push_back({"ps_suppkey", DataType::kInt, ColumnDomain::None()});
+    cols.push_back(
+        {"ps_availqty", DataType::kInt, ColumnDomain::IntBuckets(0, 1023, 16)});
+    cols.push_back({"ps_supplycost", DataType::kInt,
+                    ColumnDomain::IntBuckets(0, 1023, 16)});
+    (void)schema.AddTable(
+        TableSchema("partsupp", std::move(cols), "ps_id",
+                    {{"ps_partkey", "part", "p_partkey"},
+                     {"ps_suppkey", "supplier", "s_suppkey"}}));
+  }
+  {
+    std::vector<ColumnDef> cols;
+    cols.push_back({"c_custkey", DataType::kInt,
+                    ColumnDomain::IntBuckets(0, cust_hi, 8)});
+    cols.push_back({"c_nationkey", DataType::kInt, IntCats(25)});
+    cols.push_back({"c_mktsegment", DataType::kInt, IntCats(5)});
+    cols.push_back(
+        {"c_acctbal", DataType::kInt, ColumnDomain::IntBuckets(0, 8191, 16)});
+    (void)schema.AddTable(
+        TableSchema("customer", std::move(cols), "c_custkey",
+                    {{"c_nationkey", "nation", "n_nationkey"}}));
+  }
+  {
+    std::vector<ColumnDef> cols;
+    cols.push_back({"o_orderkey", DataType::kInt, ColumnDomain::None()});
+    cols.push_back({"o_custkey", DataType::kInt,
+                    ColumnDomain::IntBuckets(0, cust_hi, 8)});
+    cols.push_back(
+        {"o_orderstatus", DataType::kString, StrCats({"f", "o", "p"})});
+    cols.push_back({"o_orderpriority", DataType::kInt, IntCats(5)});
+    cols.push_back({"o_orderyear", DataType::kInt,
+                    ColumnDomain::Categorical(
+                        {Value::Int(1992), Value::Int(1993), Value::Int(1994),
+                         Value::Int(1995), Value::Int(1996), Value::Int(1997),
+                         Value::Int(1998)})});
+    cols.push_back({"o_totalprice", DataType::kInt,
+                    ColumnDomain::IntBuckets(0, 65535, 16)});
+    (void)schema.AddTable(
+        TableSchema("orders", std::move(cols), "o_orderkey",
+                    {{"o_custkey", "customer", "c_custkey"}}));
+  }
+  {
+    std::vector<ColumnDef> cols;
+    cols.push_back({"l_linenumber", DataType::kInt, ColumnDomain::None()});
+    cols.push_back({"l_orderkey", DataType::kInt, ColumnDomain::None()});
+    cols.push_back({"l_partkey", DataType::kInt, ColumnDomain::None()});
+    cols.push_back({"l_suppkey", DataType::kInt, ColumnDomain::None()});
+    cols.push_back(
+        {"l_quantity", DataType::kInt, ColumnDomain::IntBuckets(0, 63, 16)});
+    cols.push_back({"l_extendedprice", DataType::kInt,
+                    ColumnDomain::IntBuckets(0, 16383, 16)});
+    cols.push_back(
+        {"l_discount", DataType::kInt, ColumnDomain::IntBuckets(0, 7, 8)});
+    cols.push_back(
+        {"l_returnflag", DataType::kString, StrCats({"a", "n", "r"})});
+    cols.push_back({"l_shipyear", DataType::kInt,
+                    ColumnDomain::Categorical(
+                        {Value::Int(1992), Value::Int(1993), Value::Int(1994),
+                         Value::Int(1995), Value::Int(1996), Value::Int(1997),
+                         Value::Int(1998)})});
+    (void)schema.AddTable(
+        TableSchema("lineitem", std::move(cols), "l_linenumber",
+                    {{"l_orderkey", "orders", "o_orderkey"},
+                     {"l_partkey", "part", "p_partkey"},
+                     {"l_suppkey", "supplier", "s_suppkey"}}));
+  }
+  return schema;
+}
+
+std::unique_ptr<Database> GenerateTpch(const TpchConfig& config) {
+  auto db = std::make_unique<Database>(MakeTpchSchema(config));
+  Random rng(config.seed);
+
+  Table* region = db->MutableTable("region");
+  for (int64_t r = 0; r < 5; ++r) {
+    region->InsertUnchecked({Value::Int(r)});
+  }
+  Table* nation = db->MutableTable("nation");
+  for (int64_t n = 0; n < 25; ++n) {
+    nation->InsertUnchecked({Value::Int(n), Value::Int(n % 5)});
+  }
+
+  const int64_t n_suppliers = config.suppliers * config.scale;
+  Table* supplier = db->MutableTable("supplier");
+  supplier->Reserve(n_suppliers);
+  for (int64_t sk = 1; sk <= n_suppliers; ++sk) {
+    supplier->InsertUnchecked({Value::Int(sk),
+                               Value::Int(rng.UniformInt(0, 24)),
+                               Value::Int(rng.UniformInt(0, 8191))});
+  }
+
+  const int64_t n_parts = config.parts * config.scale;
+  Table* part = db->MutableTable("part");
+  part->Reserve(n_parts);
+  for (int64_t pk = 1; pk <= n_parts; ++pk) {
+    part->InsertUnchecked({Value::Int(pk), Value::Int(rng.UniformInt(0, 9)),
+                           Value::Int(rng.UniformInt(0, 63)),
+                           Value::Int(rng.UniformInt(0, 2047))});
+  }
+
+  // partsupp: 4 suppliers per part (TPC-H convention).
+  Table* partsupp = db->MutableTable("partsupp");
+  partsupp->Reserve(n_parts * 4);
+  int64_t ps_id = 1;
+  for (int64_t pk = 1; pk <= n_parts; ++pk) {
+    for (int64_t i = 0; i < 4; ++i) {
+      partsupp->InsertUnchecked({Value::Int(ps_id++), Value::Int(pk),
+                                 Value::Int(rng.UniformInt(1, n_suppliers)),
+                                 Value::Int(rng.UniformInt(0, 1023)),
+                                 Value::Int(rng.UniformInt(0, 1023))});
+    }
+  }
+
+  const int64_t n_customers = config.customers * config.scale;
+  Table* customer = db->MutableTable("customer");
+  Table* orders = db->MutableTable("orders");
+  Table* lineitem = db->MutableTable("lineitem");
+  customer->Reserve(n_customers);
+  int64_t next_order = 1;
+  int64_t next_line = 1;
+  for (int64_t ck = 1; ck <= n_customers; ++ck) {
+    customer->InsertUnchecked({Value::Int(ck),
+                               Value::Int(rng.UniformInt(0, 24)),
+                               Value::Int(rng.UniformInt(0, 4)),
+                               Value::Int(rng.UniformInt(0, 8191))});
+    // Skewed order fan-out: most customers have a few orders, some many.
+    int64_t n_orders =
+        std::min(config.max_orders_per_customer,
+                 rng.Zipf(config.max_orders_per_customer, 1.2) + 2);
+    if (rng.Bernoulli(0.1)) n_orders = 0;  // customers with no orders
+    const char* statuses[] = {"f", "o", "p"};
+    for (int64_t o = 0; o < n_orders; ++o) {
+      int64_t okey = next_order++;
+      orders->InsertUnchecked(
+          {Value::Int(okey), Value::Int(ck),
+           Value::String(statuses[rng.UniformInt(0, 2)]),
+           Value::Int(rng.UniformInt(0, 4)),
+           Value::Int(rng.UniformInt(1992, 1998)),
+           Value::Int(rng.UniformInt(0, 65535))});
+      int64_t n_lines = rng.UniformInt(1, config.max_lines_per_order);
+      const char* flags[] = {"a", "n", "r"};
+      for (int64_t l = 0; l < n_lines; ++l) {
+        lineitem->InsertUnchecked(
+            {Value::Int(next_line++), Value::Int(okey),
+             Value::Int(rng.Zipf(n_parts, 1.1)),
+             Value::Int(rng.UniformInt(1, n_suppliers)),
+             Value::Int(rng.UniformInt(0, 63)),
+             Value::Int(rng.UniformInt(0, 16383)),
+             Value::Int(rng.UniformInt(0, 7)),
+             Value::String(flags[rng.UniformInt(0, 2)]),
+             Value::Int(rng.UniformInt(1992, 1998))});
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace viewrewrite

@@ -1,0 +1,55 @@
+#ifndef VIEWREWRITE_DATAGEN_TPCH_H_
+#define VIEWREWRITE_DATAGEN_TPCH_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "storage/table.h"
+
+namespace viewrewrite {
+
+/// Configuration for the deterministic TPC-H-schema generator.
+///
+/// `scale` plays the role of the paper's 10M/20M/40M/80M database sizes:
+/// scale 1 corresponds to the 10M setting, with row counts reduced ~1000x
+/// relative to real TPC-H while keeping the 8-relation schema, key
+/// structure, cardinality ratios, and skewed join fan-outs.
+struct TpchConfig {
+  int scale = 1;
+  uint64_t seed = 20250704;
+
+  // Base cardinalities at scale 1.
+  int64_t customers = 750;
+  int64_t parts = 500;
+  int64_t suppliers = 50;
+
+  /// Per-customer order fan-out is Zipf-skewed, capped below the synopsis
+  /// count bound (64) so derived COUNT attributes stay in-domain.
+  int64_t max_orders_per_customer = 40;
+  /// TPC-H lineitems per order: 1..7.
+  int64_t max_lines_per_order = 7;
+};
+
+/// The 8-relation TPC-H schema with bounded domains on every filterable
+/// attribute (domains are sized so that their spans divide evenly into
+/// the registered bucket counts; workload predicates then align exactly
+/// with synopsis cells):
+///
+///   region(r_regionkey)                                  5 rows
+///   nation(n_nationkey, n_regionkey)                    25 rows
+///   supplier(s_suppkey, s_nationkey, s_acctbal)
+///   part(p_partkey, p_brand, p_size, p_retailprice)
+///   partsupp(ps_id, ps_partkey, ps_suppkey, ps_availqty, ps_supplycost)
+///   customer(c_custkey, c_nationkey, c_mktsegment, c_acctbal)
+///   orders(o_orderkey, o_custkey, o_orderstatus, o_orderpriority,
+///          o_orderyear, o_totalprice)
+///   lineitem(l_linenumber, l_orderkey, l_partkey, l_suppkey, l_quantity,
+///            l_extendedprice, l_discount, l_returnflag, l_shipyear)
+Schema MakeTpchSchema(const TpchConfig& config = {});
+
+/// Generates a database instance. Deterministic in `config.seed`.
+std::unique_ptr<Database> GenerateTpch(const TpchConfig& config);
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_DATAGEN_TPCH_H_

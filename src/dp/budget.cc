@@ -1,0 +1,22 @@
+#include "dp/budget.h"
+
+namespace viewrewrite {
+
+Status BudgetAccountant::Spend(double epsilon, const std::string& label) {
+  if (epsilon <= 0) {
+    return Status::PrivacyError("spend must be positive: " + label);
+  }
+  // Tolerate floating-point accumulation at the very end of the budget.
+  constexpr double kSlack = 1e-9;
+  if (spent_ + epsilon > total_ * (1.0 + kSlack) + kSlack) {
+    return Status::PrivacyError("privacy budget exhausted: spending " +
+                                std::to_string(epsilon) + " on '" + label +
+                                "' with only " + std::to_string(remaining()) +
+                                " remaining");
+  }
+  spent_ += epsilon;
+  ledger_.push_back(Entry{epsilon, label});
+  return Status::OK();
+}
+
+}  // namespace viewrewrite

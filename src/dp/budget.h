@@ -1,0 +1,42 @@
+#ifndef VIEWREWRITE_DP_BUDGET_H_
+#define VIEWREWRITE_DP_BUDGET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace viewrewrite {
+
+/// Privacy-budget accountant implementing sequential composition (§3.6):
+/// spends are summed and may never exceed the total. Parallel composition
+/// is expressed by spending once for a group of mechanisms that operate on
+/// disjoint data (e.g. the cells of one histogram).
+class BudgetAccountant {
+ public:
+  explicit BudgetAccountant(double total_epsilon)
+      : total_(total_epsilon), spent_(0) {}
+
+  double total() const { return total_; }
+  double spent() const { return spent_; }
+  double remaining() const { return total_ - spent_; }
+
+  /// Records a sequential-composition spend labeled for the audit trail.
+  /// Fails (without spending) if the budget would be exceeded.
+  Status Spend(double epsilon, const std::string& label);
+
+  struct Entry {
+    double epsilon;
+    std::string label;
+  };
+  const std::vector<Entry>& ledger() const { return ledger_; }
+
+ private:
+  double total_;
+  double spent_;
+  std::vector<Entry> ledger_;
+};
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_DP_BUDGET_H_

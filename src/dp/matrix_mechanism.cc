@@ -1,0 +1,89 @@
+#include "dp/matrix_mechanism.h"
+
+#include <cmath>
+
+#include "dp/mechanism.h"
+
+namespace viewrewrite {
+
+Result<std::vector<double>> PublishIdentity(const std::vector<double>& cells,
+                                            double l1_sensitivity,
+                                            double epsilon, Random* rng) {
+  VR_ASSIGN_OR_RETURN(double scale,
+                      LaplaceMechanism::Scale(l1_sensitivity, epsilon));
+  std::vector<double> out;
+  out.reserve(cells.size());
+  for (double c : cells) {
+    out.push_back(scale == 0 ? c : c + rng->Laplace(scale));
+  }
+  return out;
+}
+
+Result<HierarchicalHistogram> HierarchicalHistogram::Publish(
+    const std::vector<double>& cells, double l1_sensitivity, double epsilon,
+    Random* rng) {
+  if (epsilon <= 0) {
+    return Status::PrivacyError("epsilon must be positive");
+  }
+  HierarchicalHistogram h;
+  h.n_ = static_cast<int64_t>(cells.size());
+  if (h.n_ == 0) return h;
+
+  // Pad to a power of two.
+  int64_t padded = 1;
+  int64_t height = 1;
+  while (padded < h.n_) {
+    padded <<= 1;
+    ++height;
+  }
+  h.height_ = height;
+
+  const double eps_per_level = epsilon / static_cast<double>(height);
+  VR_ASSIGN_OR_RETURN(double scale,
+                      LaplaceMechanism::Scale(l1_sensitivity, eps_per_level));
+
+  // Level `height-1` are the leaves; level 0 is the root.
+  std::vector<std::vector<double>> exact(height);
+  exact[height - 1].assign(padded, 0.0);
+  for (int64_t i = 0; i < h.n_; ++i) exact[height - 1][i] = cells[i];
+  for (int64_t level = height - 2; level >= 0; --level) {
+    int64_t width = int64_t{1} << level;
+    exact[level].assign(width, 0.0);
+    for (int64_t i = 0; i < width; ++i) {
+      exact[level][i] =
+          exact[level + 1][2 * i] + exact[level + 1][2 * i + 1];
+    }
+  }
+
+  h.tree_.resize(height);
+  for (int64_t level = 0; level < height; ++level) {
+    h.tree_[level].reserve(exact[level].size());
+    for (double v : exact[level]) {
+      h.tree_[level].push_back(scale == 0 ? v : v + rng->Laplace(scale));
+    }
+  }
+  h.leaves_.assign(h.tree_[height - 1].begin(),
+                   h.tree_[height - 1].begin() + h.n_);
+  return h;
+}
+
+double HierarchicalHistogram::Decompose(int64_t lo, int64_t hi,
+                                        int64_t node_lo, int64_t node_hi,
+                                        int64_t level, int64_t index) const {
+  if (hi < node_lo || lo > node_hi) return 0.0;
+  if (lo <= node_lo && node_hi <= hi) return tree_[level][index];
+  int64_t mid = (node_lo + node_hi) / 2;
+  return Decompose(lo, hi, node_lo, mid, level + 1, 2 * index) +
+         Decompose(lo, hi, mid + 1, node_hi, level + 1, 2 * index + 1);
+}
+
+Result<double> HierarchicalHistogram::RangeSum(int64_t lo, int64_t hi) const {
+  if (n_ == 0) return 0.0;
+  if (lo < 0) lo = 0;
+  if (hi >= n_) hi = n_ - 1;
+  if (lo > hi) return 0.0;
+  int64_t padded = int64_t{1} << (height_ - 1);
+  return Decompose(lo, hi, 0, padded - 1, 0, 0);
+}
+
+}  // namespace viewrewrite

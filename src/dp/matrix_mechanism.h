@@ -1,0 +1,71 @@
+#ifndef VIEWREWRITE_DP_MATRIX_MECHANISM_H_
+#define VIEWREWRITE_DP_MATRIX_MECHANISM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace viewrewrite {
+
+/// Matrix-mechanism strategies for publishing a histogram (a vector of
+/// disjoint cell totals) under ε-differential privacy (Li et al., the
+/// synopsis-generation mechanism §9 adopts).
+///
+/// The identity strategy answers point queries optimally; the hierarchical
+/// strategy trades point accuracy for O(log n)-noise range queries over a
+/// one-dimensional ordered domain.
+enum class MatrixStrategy {
+  kIdentity,
+  kHierarchical,
+};
+
+/// Publishes noisy cell totals with the identity strategy. One protected
+/// individual changes the cells by at most `l1_sensitivity` in L1, so each
+/// cell receives Lap(l1_sensitivity/ε) noise and the release is
+/// ε-differentially private by parallel composition over... (cells are not
+/// disjoint w.r.t. an individual that owns several rows; the L1 bound is
+/// what makes the vector release ε-DP).
+Result<std::vector<double>> PublishIdentity(const std::vector<double>& cells,
+                                            double l1_sensitivity,
+                                            double epsilon, Random* rng);
+
+/// A binary-tree (hierarchical) release over an ordered 1-D domain.
+/// Supports range-sum queries whose noise grows with log(n) rather than
+/// with the range length.
+class HierarchicalHistogram {
+ public:
+  /// Builds the noisy tree. The per-level budget is ε / height since an
+  /// individual touches at most `l1_sensitivity` leaves and each leaf
+  /// appears once per level.
+  static Result<HierarchicalHistogram> Publish(
+      const std::vector<double>& cells, double l1_sensitivity, double epsilon,
+      Random* rng);
+
+  /// Noisy sum of cells [lo, hi] (inclusive), decomposed over O(log n)
+  /// tree nodes.
+  Result<double> RangeSum(int64_t lo, int64_t hi) const;
+
+  /// Per-cell estimates (leaf level).
+  const std::vector<double>& leaves() const { return leaves_; }
+
+  int64_t num_cells() const { return n_; }
+
+ private:
+  HierarchicalHistogram() = default;
+
+  double NodeSum(int64_t node_lo, int64_t node_hi, int64_t level,
+                 int64_t index) const;
+  double Decompose(int64_t lo, int64_t hi, int64_t node_lo, int64_t node_hi,
+                   int64_t level, int64_t index) const;
+
+  int64_t n_ = 0;
+  int64_t height_ = 0;                      // number of levels
+  std::vector<std::vector<double>> tree_;   // tree_[level][index]
+  std::vector<double> leaves_;
+};
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_DP_MATRIX_MECHANISM_H_

@@ -1,0 +1,22 @@
+#include "dp/mechanism.h"
+
+namespace viewrewrite {
+
+Result<double> LaplaceMechanism::Scale(double sensitivity, double epsilon) {
+  if (sensitivity < 0) {
+    return Status::PrivacyError("sensitivity must be non-negative");
+  }
+  if (epsilon <= 0) {
+    return Status::PrivacyError("epsilon must be positive");
+  }
+  return sensitivity / epsilon;
+}
+
+Result<double> LaplaceMechanism::Release(double true_value, double sensitivity,
+                                         double epsilon, Random* rng) {
+  VR_ASSIGN_OR_RETURN(double scale, Scale(sensitivity, epsilon));
+  if (scale == 0) return true_value;
+  return true_value + rng->Laplace(scale);
+}
+
+}  // namespace viewrewrite

@@ -1,0 +1,26 @@
+#ifndef VIEWREWRITE_DP_MECHANISM_H_
+#define VIEWREWRITE_DP_MECHANISM_H_
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace viewrewrite {
+
+/// The Laplace mechanism (§3.5): F̃(D) = F(D) + Lap(S(F)/ε).
+///
+/// Stateless; the caller supplies the deterministic random source so every
+/// experiment is reproducible from a seed.
+class LaplaceMechanism {
+ public:
+  /// Adds Laplace noise calibrated to `sensitivity` and `epsilon`.
+  /// Requires sensitivity >= 0 and epsilon > 0.
+  static Result<double> Release(double true_value, double sensitivity,
+                                double epsilon, Random* rng);
+
+  /// Noise scale b = S/ε.
+  static Result<double> Scale(double sensitivity, double epsilon);
+};
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_DP_MECHANISM_H_

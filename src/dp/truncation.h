@@ -1,0 +1,39 @@
+#ifndef VIEWREWRITE_DP_TRUNCATION_H_
+#define VIEWREWRITE_DP_TRUNCATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace viewrewrite {
+
+/// Selects a truncation threshold τ for a view using downward local
+/// sensitivity and the sparse vector technique, following §9 of the paper
+/// (which adopts the R2T idea of Dong et al.):
+///
+///   1. DLS_Q = max over protected tuples t_P of that tuple's total
+///      contribution S_Q(D, t_P) to the view.
+///   2. Q̂(D) = Q(D) + Lap(DLS_Q / ε₁).
+///   3. For candidate thresholds τ = 1, 2, 4, ... compute
+///      q_τ = (Q_τ(D) − Q̂(D)) / τ, where Q_τ clamps every tuple's
+///      contribution to τ.
+///   4. AboveThreshold (SVT) with budget ε₂ returns the first τ with a
+///      (noisily) non-negative q_τ.
+///
+/// `contributions` holds S_Q(D, t_P) for every protected tuple that joins
+/// into the view. Returns the selected τ (at least 1).
+Result<int64_t> SelectTruncationThreshold(
+    const std::vector<double>& contributions, double epsilon1,
+    double epsilon2, Random* rng);
+
+/// Downward local sensitivity: the largest single-tuple contribution.
+double DownwardLocalSensitivity(const std::vector<double>& contributions);
+
+/// Truncated total Q_τ(D): per-tuple contributions clamped to tau.
+double TruncatedTotal(const std::vector<double>& contributions, double tau);
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_DP_TRUNCATION_H_

@@ -1,0 +1,150 @@
+#include "engine/private_sql_engine.h"
+
+#include <chrono>
+#include <set>
+
+#include "rewrite/analysis.h"
+#include "sql/parser.h"
+
+namespace viewrewrite {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+RewriteOptions BaselineRewriteOptions(RewriteOptions base) {
+  // Materialization-only rewriting: keep subquery constants inside the
+  // view body so they end up in the view signature.
+  base.enable_hoist = false;
+  base.enable_merge = false;
+  base.enable_key_filter_promotion = false;
+  return base;
+}
+
+void CollectDerivedAliases(const TableRef& ref, std::set<std::string>* out) {
+  switch (ref.kind) {
+    case TableRefKind::kBase:
+      return;
+    case TableRefKind::kDerived:
+      out->insert(static_cast<const DerivedTableRef&>(ref).alias);
+      return;
+    case TableRefKind::kJoin: {
+      const auto& j = static_cast<const JoinTableRef&>(ref);
+      CollectDerivedAliases(*j.left, out);
+      CollectDerivedAliases(*j.right, out);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+PrivateSqlEngine::PrivateSqlEngine(const Database& db, PrivacyPolicy policy,
+                                   EngineOptions options)
+    : db_(db),
+      policy_(std::move(policy)),
+      options_(options),
+      rewriter_(db.schema(), BaselineRewriteOptions(options.rewrite)),
+      views_(db.schema(), policy_, options.synopsis),
+      executor_(db),
+      rng_(options.seed) {}
+
+Status PrivateSqlEngine::Prepare(const std::vector<std::string>& workload) {
+  stats_ = EngineStats{};
+  stats_.num_queries = workload.size();
+
+  auto t0 = std::chrono::steady_clock::now();
+  rewritten_.clear();
+  rewritten_.reserve(workload.size());
+  for (const std::string& sql : workload) {
+    VR_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelect(sql));
+    VR_ASSIGN_OR_RETURN(RewrittenQuery rq, rewriter_.Rewrite(*stmt));
+    rewritten_.push_back(std::move(rq));
+  }
+  stats_.rewrite_seconds = SecondsSince(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  bound_.clear();
+  bound_.reserve(rewritten_.size());
+  // Subquery-derived predicates (anything touching a derived table, i.e.
+  // a rewritten subquery) are baked into the view; chain-link queries —
+  // PrivateSQL's per-subquery views — bake all their predicates.
+  ViewManager::BakePredicate bake_all = [](const Expr&) { return true; };
+  for (const RewrittenQuery& rq : rewritten_) {
+    BoundRewrittenQuery bq;
+    for (const ChainLink& link : rq.chain) {
+      VR_ASSIGN_OR_RETURN(BoundQuery b,
+                          views_.RegisterScalar(*link.query, bake_all));
+      BoundRewrittenQuery::Link l;
+      l.var = link.var;
+      l.query = std::move(b);
+      bq.chain.push_back(std::move(l));
+    }
+    for (const auto& term : rq.combination.terms) {
+      std::set<std::string> derived_aliases;
+      for (const auto& f : term.query->from) {
+        CollectDerivedAliases(*f, &derived_aliases);
+      }
+      ViewManager::BakePredicate bake =
+          [&derived_aliases](const Expr& conjunct) {
+            std::vector<const ColumnRefExpr*> refs;
+            CollectColumnRefsShallow(&conjunct, &refs);
+            for (const ColumnRefExpr* r : refs) {
+              if (derived_aliases.count(r->table) > 0) return true;
+            }
+            return false;
+          };
+      VR_ASSIGN_OR_RETURN(BoundQuery b,
+                          views_.RegisterScalar(*term.query, bake));
+      BoundRewrittenQuery::Term t;
+      t.coeff = term.coeff;
+      t.query = std::move(b);
+      bq.terms.push_back(std::move(t));
+    }
+    bound_.push_back(std::move(bq));
+  }
+  stats_.view_generation_seconds = SecondsSince(t0);
+  stats_.num_views = views_.NumViews();
+
+  t0 = std::chrono::steady_clock::now();
+  VR_RETURN_NOT_OK(views_.Publish(db_, options_.epsilon, &rng_,
+                                  options_.budget_allocation));
+  stats_.publish_seconds = SecondsSince(t0);
+  return Status::OK();
+}
+
+Result<double> PrivateSqlEngine::NoisyAnswer(size_t i) {
+  if (i >= bound_.size()) {
+    return Status::InvalidArgument("query index out of range");
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  Result<double> out = views_.Answer(bound_[i]);
+  stats_.answer_seconds += SecondsSince(t0);
+  return out;
+}
+
+Result<double> PrivateSqlEngine::TrueAnswer(size_t i) const {
+  if (i >= rewritten_.size()) {
+    return Status::InvalidArgument("query index out of range");
+  }
+  return executor_.ExecuteRewritten(rewritten_[i]);
+}
+
+Result<double> PrivateSqlEngine::ExactViewAnswer(size_t i) const {
+  if (i >= bound_.size()) {
+    return Status::InvalidArgument("query index out of range");
+  }
+  return views_.Answer(bound_[i], /*exact=*/true);
+}
+
+Result<double> PrivateSqlEngine::RelativeError(size_t i) {
+  VR_ASSIGN_OR_RETURN(double truth, ExactViewAnswer(i));
+  VR_ASSIGN_OR_RETURN(double noisy, NoisyAnswer(i));
+  return RelativeErrorMetric(truth, noisy);
+}
+
+}  // namespace viewrewrite

@@ -1,0 +1,100 @@
+#include "engine/viewrewrite_engine.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "sql/parser.h"
+
+namespace viewrewrite {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+double RelativeErrorMetric(double true_answer, double noisy_answer) {
+  return std::fabs(true_answer - noisy_answer) /
+         std::max(50.0, std::fabs(true_answer));
+}
+
+ViewRewriteEngine::ViewRewriteEngine(const Database& db, PrivacyPolicy policy,
+                                     EngineOptions options)
+    : db_(db),
+      policy_(std::move(policy)),
+      options_(options),
+      rewriter_(db.schema(), options.rewrite),
+      views_(db.schema(), policy_, options.synopsis),
+      executor_(db),
+      rng_(options.seed) {}
+
+Status ViewRewriteEngine::Prepare(const std::vector<std::string>& workload) {
+  stats_ = EngineStats{};
+  stats_.num_queries = workload.size();
+
+  // ---- Query rewriting. ----------------------------------------------------
+  auto t0 = std::chrono::steady_clock::now();
+  rewritten_.clear();
+  rewritten_.reserve(workload.size());
+  for (const std::string& sql : workload) {
+    VR_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelect(sql));
+    VR_ASSIGN_OR_RETURN(RewrittenQuery rq, rewriter_.Rewrite(*stmt));
+    rewritten_.push_back(std::move(rq));
+  }
+  stats_.rewrite_seconds = SecondsSince(t0);
+
+  // ---- View generation (registration + merging by signature). --------------
+  t0 = std::chrono::steady_clock::now();
+  bound_.clear();
+  bound_.reserve(rewritten_.size());
+  for (const RewrittenQuery& rq : rewritten_) {
+    VR_ASSIGN_OR_RETURN(BoundRewrittenQuery bq,
+                        views_.RegisterRewritten(rq, nullptr));
+    bound_.push_back(std::move(bq));
+  }
+  stats_.view_generation_seconds = SecondsSince(t0);
+  stats_.num_views = views_.NumViews();
+
+  // ---- View publication (the only budget-consuming stage). -----------------
+  t0 = std::chrono::steady_clock::now();
+  VR_RETURN_NOT_OK(views_.Publish(db_, options_.epsilon, &rng_,
+                                  options_.budget_allocation));
+  stats_.publish_seconds = SecondsSince(t0);
+  return Status::OK();
+}
+
+Result<double> ViewRewriteEngine::NoisyAnswer(size_t i) {
+  if (i >= bound_.size()) {
+    return Status::InvalidArgument("query index out of range");
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  Result<double> out = views_.Answer(bound_[i]);
+  stats_.answer_seconds += SecondsSince(t0);
+  return out;
+}
+
+Result<double> ViewRewriteEngine::TrueAnswer(size_t i) const {
+  if (i >= rewritten_.size()) {
+    return Status::InvalidArgument("query index out of range");
+  }
+  return executor_.ExecuteRewritten(rewritten_[i]);
+}
+
+Result<double> ViewRewriteEngine::ExactViewAnswer(size_t i) const {
+  if (i >= bound_.size()) {
+    return Status::InvalidArgument("query index out of range");
+  }
+  return views_.Answer(bound_[i], /*exact=*/true);
+}
+
+Result<double> ViewRewriteEngine::RelativeError(size_t i) {
+  VR_ASSIGN_OR_RETURN(double truth, ExactViewAnswer(i));
+  VR_ASSIGN_OR_RETURN(double noisy, NoisyAnswer(i));
+  return RelativeErrorMetric(truth, noisy);
+}
+
+}  // namespace viewrewrite

@@ -1,0 +1,93 @@
+#ifndef VIEWREWRITE_ENGINE_VIEWREWRITE_ENGINE_H_
+#define VIEWREWRITE_ENGINE_VIEWREWRITE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "exec/executor.h"
+#include "rewrite/rewriter.h"
+#include "view/view_manager.h"
+
+namespace viewrewrite {
+
+struct EngineOptions {
+  double epsilon = 8.0;
+  uint64_t seed = 42;
+  RewriteOptions rewrite;
+  SynopsisOptions synopsis;
+  /// Budget split across views (kByUsage is the paper's future-work
+  /// extension: weight views by the number of queries they answer).
+  BudgetAllocation budget_allocation = BudgetAllocation::kUniform;
+};
+
+struct EngineStats {
+  size_t num_queries = 0;
+  size_t num_views = 0;
+  double rewrite_seconds = 0;
+  double view_generation_seconds = 0;
+  double publish_seconds = 0;
+  double answer_seconds = 0;
+
+  /// Synopsis generation time in the paper's sense: rewriting + view
+  /// generation + view publication.
+  double SynopsisSeconds() const {
+    return rewrite_seconds + view_generation_seconds + publish_seconds;
+  }
+};
+
+/// The paper's system: rewrite every workload query (Rules 1-20), derive
+/// and merge views, publish one DP synopsis per view, then answer all
+/// queries from the synopses with no further privacy cost.
+class ViewRewriteEngine {
+ public:
+  ViewRewriteEngine(const Database& db, PrivacyPolicy policy,
+                    EngineOptions options = {});
+
+  /// Rewrites + registers + publishes. Call once.
+  Status Prepare(const std::vector<std::string>& workload_sql);
+
+  size_t NumQueries() const { return bound_.size(); }
+  size_t NumViews() const { return views_.NumViews(); }
+
+  /// Differentially private answer for workload query `i`.
+  Result<double> NoisyAnswer(size_t i);
+
+  /// Exact answer (via the executor, on the rewritten form).
+  Result<double> TrueAnswer(size_t i) const;
+
+  /// Exact answer computed from the noiseless view cells — the paper's
+  /// systems answer workload queries exactly from view tuples, so this is
+  /// the benchmark ground truth (the executor path cross-checks it in the
+  /// tests but is too slow for 12000-query sweeps).
+  Result<double> ExactViewAnswer(size_t i) const;
+
+  /// Relative error per the paper's metric: |y - ŷ| / max(50, y), with
+  /// the exact view answer as y.
+  Result<double> RelativeError(size_t i);
+
+  const EngineStats& stats() const { return stats_; }
+  const RewrittenQuery& rewritten(size_t i) const { return rewritten_[i]; }
+
+ private:
+  const Database& db_;
+  PrivacyPolicy policy_;
+  EngineOptions options_;
+  Rewriter rewriter_;
+  ViewManager views_;
+  Executor executor_;
+  Random rng_;
+  std::vector<RewrittenQuery> rewritten_;
+  std::vector<BoundRewrittenQuery> bound_;
+  EngineStats stats_;
+};
+
+/// The paper's relative-error metric.
+double RelativeErrorMetric(double true_answer, double noisy_answer);
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_ENGINE_VIEWREWRITE_ENGINE_H_

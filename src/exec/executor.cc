@@ -1,0 +1,1292 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "sql/printer.h"
+
+namespace viewrewrite {
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Three-valued logic
+// --------------------------------------------------------------------------
+
+enum class Tri { kFalse, kTrue, kNull };
+
+Tri ValueToTri(const Value& v) {
+  if (v.is_null()) return Tri::kNull;
+  if (v.is_numeric()) return v.ToDouble() != 0.0 ? Tri::kTrue : Tri::kFalse;
+  return v.AsString().empty() ? Tri::kFalse : Tri::kTrue;
+}
+
+Value TriToValue(Tri t) {
+  switch (t) {
+    case Tri::kFalse: return Value::Int(0);
+    case Tri::kTrue: return Value::Int(1);
+    case Tri::kNull: return Value::Null();
+  }
+  return Value::Null();
+}
+
+// --------------------------------------------------------------------------
+// Intermediate relations
+// --------------------------------------------------------------------------
+
+/// A materialized intermediate relation whose columns carry their binding
+/// qualifier (table alias / CTE name / derived-table alias).
+struct Rel {
+  std::vector<std::pair<std::string, std::string>> cols;  // (binding, name)
+  std::vector<Row> rows;
+
+  int FindQualified(const std::string& binding, const std::string& col) const {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i].first == binding && cols[i].second == col) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  /// Returns column index; -1 if absent, -2 if ambiguous.
+  int FindUnqualified(const std::string& col) const {
+    int found = -1;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i].second == col) {
+        if (found >= 0) return -2;
+        found = static_cast<int>(i);
+      }
+    }
+    return found;
+  }
+
+  int Find(const ColumnRefExpr& ref) const {
+    if (!ref.table.empty()) return FindQualified(ref.table, ref.column);
+    return FindUnqualified(ref.column);
+  }
+};
+
+/// Evaluation scope: the current tuple of a Rel plus the enclosing query's
+/// scope for correlated subqueries.
+struct Scope {
+  const Rel* rel = nullptr;
+  const Row* row = nullptr;
+  const Scope* parent = nullptr;
+};
+
+/// CTE visibility frame (WITH clauses are lexically scoped).
+struct CteFrame {
+  std::map<std::string, const ResultSet*> ctes;
+  const CteFrame* parent = nullptr;
+
+  const ResultSet* Find(const std::string& name) const {
+    for (const CteFrame* f = this; f != nullptr; f = f->parent) {
+      auto it = f->ctes.find(name);
+      if (it != f->ctes.end()) return it->second;
+    }
+    return nullptr;
+  }
+};
+
+bool IsAggregateCall(const Expr& e) {
+  return e.kind == ExprKind::kFuncCall &&
+         static_cast<const FuncCallExpr&>(e).IsAggregate();
+}
+
+/// Collects aggregate calls in `e` without descending into subqueries or
+/// into aggregate arguments.
+void CollectAggregates(const Expr* e, std::vector<const FuncCallExpr*>* out) {
+  if (e == nullptr) return;
+  if (IsAggregateCall(*e)) {
+    out->push_back(static_cast<const FuncCallExpr*>(e));
+    return;
+  }
+  switch (e->kind) {
+    case ExprKind::kBinary: {
+      const auto* b = static_cast<const BinaryExpr*>(e);
+      CollectAggregates(b->left.get(), out);
+      CollectAggregates(b->right.get(), out);
+      return;
+    }
+    case ExprKind::kUnary:
+      CollectAggregates(static_cast<const UnaryExpr*>(e)->operand.get(), out);
+      return;
+    case ExprKind::kFuncCall: {
+      const auto* f = static_cast<const FuncCallExpr*>(e);
+      for (const auto& a : f->args) CollectAggregates(a.get(), out);
+      return;
+    }
+    case ExprKind::kIn: {
+      const auto* in = static_cast<const InExpr*>(e);
+      CollectAggregates(in->lhs.get(), out);
+      for (const auto& v : in->value_list) CollectAggregates(v.get(), out);
+      return;
+    }
+    case ExprKind::kQuantifiedCmp:
+      CollectAggregates(
+          static_cast<const QuantifiedCmpExpr*>(e)->lhs.get(), out);
+      return;
+    default:
+      return;
+  }
+}
+
+/// True if evaluating `e` needs no subquery machinery (safe for pushdown).
+bool IsPureScalar(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kColumnRef:
+    case ExprKind::kParam:
+      return true;
+    case ExprKind::kStar:
+      return false;
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      return IsPureScalar(*b.left) && IsPureScalar(*b.right);
+    }
+    case ExprKind::kUnary:
+      return IsPureScalar(*static_cast<const UnaryExpr&>(e).operand);
+    case ExprKind::kFuncCall: {
+      const auto& f = static_cast<const FuncCallExpr&>(e);
+      if (f.IsAggregate()) return false;
+      for (const auto& a : f.args) {
+        if (!IsPureScalar(*a)) return false;
+      }
+      return true;
+    }
+    default:
+      return false;  // subqueries
+  }
+}
+
+/// Collects all column refs in a pure-scalar expression.
+void CollectColumnRefs(const Expr* e, std::vector<const ColumnRefExpr*>* out) {
+  if (e == nullptr) return;
+  switch (e->kind) {
+    case ExprKind::kColumnRef:
+      out->push_back(static_cast<const ColumnRefExpr*>(e));
+      return;
+    case ExprKind::kBinary: {
+      const auto* b = static_cast<const BinaryExpr*>(e);
+      CollectColumnRefs(b->left.get(), out);
+      CollectColumnRefs(b->right.get(), out);
+      return;
+    }
+    case ExprKind::kUnary:
+      CollectColumnRefs(static_cast<const UnaryExpr*>(e)->operand.get(), out);
+      return;
+    case ExprKind::kFuncCall: {
+      const auto* f = static_cast<const FuncCallExpr*>(e);
+      for (const auto& a : f->args) CollectColumnRefs(a.get(), out);
+      return;
+    }
+    case ExprKind::kIn: {
+      const auto* in = static_cast<const InExpr*>(e);
+      CollectColumnRefs(in->lhs.get(), out);
+      for (const auto& v : in->value_list) CollectColumnRefs(v.get(), out);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Engine
+// --------------------------------------------------------------------------
+
+class Engine {
+ public:
+  Engine(const Database& db, const ParamMap& params)
+      : db_(db), params_(params) {}
+
+  Result<ResultSet> ExecuteSelect(const SelectStmt& stmt, const CteFrame* ctes,
+                                  const Scope* outer);
+
+ private:
+  // Table references -------------------------------------------------------
+
+  Result<Rel> EvalTableRef(const TableRef& ref, const CteFrame* ctes,
+                           const Scope* outer);
+
+  Result<Rel> JoinRels(JoinType type, Rel left, Rel right, const Expr* cond,
+                       const CteFrame* ctes, const Scope* outer);
+
+  // Expressions -------------------------------------------------------------
+
+  /// Aggregate overlay consulted during grouped evaluation: serialized
+  /// expression -> per-group value.
+  using ExprEnv = std::map<std::string, Value>;
+
+  Result<Value> Eval(const Expr& e, const Scope& scope, const CteFrame* ctes,
+                     const ExprEnv* env);
+
+  Result<Tri> EvalPredicate(const Expr& e, const Scope& scope,
+                            const CteFrame* ctes, const ExprEnv* env) {
+    VR_ASSIGN_OR_RETURN(Value v, Eval(e, scope, ctes, env));
+    return ValueToTri(v);
+  }
+
+  Result<Value> EvalFuncCall(const FuncCallExpr& f, const Scope& scope,
+                             const CteFrame* ctes, const ExprEnv* env);
+  Result<Value> EvalBinary(const BinaryExpr& b, const Scope& scope,
+                           const CteFrame* ctes, const ExprEnv* env);
+  Result<Value> EvalIn(const InExpr& in, const Scope& scope,
+                       const CteFrame* ctes, const ExprEnv* env);
+  Result<Value> EvalQuantified(const QuantifiedCmpExpr& q, const Scope& scope,
+                               const CteFrame* ctes, const ExprEnv* env);
+
+  /// Runs `sub` as a subquery with `outer` as the correlation scope.
+  Result<ResultSet> RunSubquery(const SelectStmt& sub, const Scope& outer,
+                                const CteFrame* ctes) {
+    return ExecuteSelect(sub, ctes, &outer);
+  }
+
+  // Aggregation -------------------------------------------------------------
+
+  Result<Value> ComputeAggregate(const FuncCallExpr& agg,
+                                 const Rel& rel,
+                                 const std::vector<size_t>& group_rows,
+                                 const CteFrame* ctes, const Scope* outer);
+
+  const Database& db_;
+  const ParamMap& params_;
+};
+
+Result<Rel> Engine::EvalTableRef(const TableRef& ref, const CteFrame* ctes,
+                                 const Scope* outer) {
+  switch (ref.kind) {
+    case TableRefKind::kBase: {
+      const auto& base = static_cast<const BaseTableRef&>(ref);
+      Rel rel;
+      const std::string binding = base.BindingName();
+      // A WITH name shadows a base table of the same name.
+      if (ctes != nullptr) {
+        const ResultSet* cte = ctes->Find(base.name);
+        if (cte != nullptr) {
+          for (const auto& c : cte->columns) rel.cols.emplace_back(binding, c);
+          rel.rows = cte->rows;
+          return rel;
+        }
+      }
+      VR_ASSIGN_OR_RETURN(const Table* table, db_.GetTable(base.name));
+      for (const auto& c : table->schema().columns()) {
+        rel.cols.emplace_back(binding, c.name);
+      }
+      rel.rows = table->rows();
+      return rel;
+    }
+    case TableRefKind::kDerived: {
+      const auto& d = static_cast<const DerivedTableRef&>(ref);
+      VR_ASSIGN_OR_RETURN(ResultSet rs,
+                          ExecuteSelect(*d.subquery, ctes, outer));
+      Rel rel;
+      for (const auto& c : rs.columns) rel.cols.emplace_back(d.alias, c);
+      rel.rows = std::move(rs.rows);
+      return rel;
+    }
+    case TableRefKind::kJoin: {
+      const auto& j = static_cast<const JoinTableRef&>(ref);
+      VR_ASSIGN_OR_RETURN(Rel left, EvalTableRef(*j.left, ctes, outer));
+      VR_ASSIGN_OR_RETURN(Rel right, EvalTableRef(*j.right, ctes, outer));
+      return JoinRels(j.join_type, std::move(left), std::move(right),
+                      j.condition.get(), ctes, outer);
+    }
+  }
+  return Status::Internal("unknown table ref kind");
+}
+
+Result<Rel> Engine::JoinRels(JoinType type, Rel left, Rel right,
+                             const Expr* cond, const CteFrame* ctes,
+                             const Scope* outer) {
+  Rel out;
+  out.cols = left.cols;
+
+  // NATURAL JOIN: derive the equality condition from common column names and
+  // drop the right-hand duplicates from the output.
+  std::vector<int> natural_right_keep;  // right col indices kept in output
+  std::vector<std::pair<int, int>> equi;  // (left idx, right idx)
+  std::vector<const Expr*> residual;
+
+  if (type == JoinType::kNatural) {
+    std::set<int> dropped;
+    for (size_t li = 0; li < left.cols.size(); ++li) {
+      for (size_t ri = 0; ri < right.cols.size(); ++ri) {
+        if (left.cols[li].second == right.cols[ri].second) {
+          equi.emplace_back(static_cast<int>(li), static_cast<int>(ri));
+          dropped.insert(static_cast<int>(ri));
+        }
+      }
+    }
+    for (size_t ri = 0; ri < right.cols.size(); ++ri) {
+      if (dropped.count(static_cast<int>(ri)) == 0) {
+        natural_right_keep.push_back(static_cast<int>(ri));
+        out.cols.push_back(right.cols[ri]);
+      }
+    }
+    if (equi.empty()) {
+      return Status::ExecutionError("NATURAL JOIN with no common columns");
+    }
+  } else {
+    for (const auto& c : right.cols) out.cols.push_back(c);
+    for (size_t ri = 0; ri < right.cols.size(); ++ri) {
+      natural_right_keep.push_back(static_cast<int>(ri));
+    }
+    // Extract equi-join conjuncts `l.col = r.col` from the ON condition.
+    for (const Expr* c : CollectConjuncts(cond)) {
+      bool matched = false;
+      if (c->kind == ExprKind::kBinary) {
+        const auto* b = static_cast<const BinaryExpr*>(c);
+        if (b->op == BinaryOp::kEq &&
+            b->left->kind == ExprKind::kColumnRef &&
+            b->right->kind == ExprKind::kColumnRef) {
+          const auto& lc = static_cast<const ColumnRefExpr&>(*b->left);
+          const auto& rc = static_cast<const ColumnRefExpr&>(*b->right);
+          int li = left.Find(lc);
+          int ri = right.Find(rc);
+          if (li >= 0 && ri >= 0) {
+            equi.emplace_back(li, ri);
+            matched = true;
+          } else {
+            li = left.Find(rc);
+            ri = right.Find(lc);
+            if (li >= 0 && ri >= 0) {
+              equi.emplace_back(li, ri);
+              matched = true;
+            }
+          }
+        }
+      }
+      if (!matched) residual.push_back(c);
+    }
+  }
+
+  const size_t right_width = natural_right_keep.size();
+
+  // Scope for residual evaluation over the combined row.
+  auto eval_residual = [&](const Row& combined) -> Result<bool> {
+    Scope scope{&out, &combined, outer};
+    for (const Expr* r : residual) {
+      VR_ASSIGN_OR_RETURN(Tri t, EvalPredicate(*r, scope, ctes, nullptr));
+      if (t != Tri::kTrue) return false;
+    }
+    return true;
+  };
+
+  auto combine = [&](const Row& l, const Row& r) {
+    Row combined;
+    combined.reserve(l.size() + right_width);
+    combined.insert(combined.end(), l.begin(), l.end());
+    for (int ri : natural_right_keep) combined.push_back(r[ri]);
+    return combined;
+  };
+
+  if (!equi.empty()) {
+    // Hash join: build on right, probe with left.
+    std::unordered_map<std::vector<Value>, std::vector<size_t>,
+                       ValueVectorHash>
+        index;
+    index.reserve(right.rows.size());
+    for (size_t i = 0; i < right.rows.size(); ++i) {
+      std::vector<Value> key;
+      key.reserve(equi.size());
+      bool has_null = false;
+      for (const auto& [li, ri] : equi) {
+        const Value& v = right.rows[i][ri];
+        if (v.is_null()) has_null = true;
+        key.push_back(v);
+      }
+      if (has_null) continue;  // NULL never equi-matches
+      index[std::move(key)].push_back(i);
+    }
+    for (const Row& lrow : left.rows) {
+      std::vector<Value> key;
+      key.reserve(equi.size());
+      bool has_null = false;
+      for (const auto& [li, ri] : equi) {
+        const Value& v = lrow[li];
+        if (v.is_null()) has_null = true;
+        key.push_back(v);
+      }
+      bool matched = false;
+      if (!has_null) {
+        auto it = index.find(key);
+        if (it != index.end()) {
+          for (size_t ri_row : it->second) {
+            Row combined = combine(lrow, right.rows[ri_row]);
+            VR_ASSIGN_OR_RETURN(bool pass, eval_residual(combined));
+            if (pass) {
+              matched = true;
+              out.rows.push_back(std::move(combined));
+            }
+          }
+        }
+      }
+      if (!matched && type == JoinType::kLeft) {
+        Row combined = lrow;
+        combined.resize(lrow.size() + right_width, Value::Null());
+        out.rows.push_back(std::move(combined));
+      }
+    }
+    return out;
+  }
+
+  // Nested-loop join (cross / non-equi conditions).
+  for (const Row& lrow : left.rows) {
+    bool matched = false;
+    for (const Row& rrow : right.rows) {
+      Row combined = combine(lrow, rrow);
+      VR_ASSIGN_OR_RETURN(bool pass, eval_residual(combined));
+      if (pass) {
+        matched = true;
+        out.rows.push_back(std::move(combined));
+      }
+    }
+    if (!matched && type == JoinType::kLeft) {
+      Row combined = lrow;
+      combined.resize(lrow.size() + right_width, Value::Null());
+      out.rows.push_back(std::move(combined));
+    }
+  }
+  return out;
+}
+
+Result<Value> Engine::EvalBinary(const BinaryExpr& b, const Scope& scope,
+                                 const CteFrame* ctes, const ExprEnv* env) {
+  if (b.op == BinaryOp::kAnd || b.op == BinaryOp::kOr) {
+    VR_ASSIGN_OR_RETURN(Tri l, EvalPredicate(*b.left, scope, ctes, env));
+    // Short-circuit where three-valued logic allows it.
+    if (b.op == BinaryOp::kAnd && l == Tri::kFalse) {
+      return TriToValue(Tri::kFalse);
+    }
+    if (b.op == BinaryOp::kOr && l == Tri::kTrue) {
+      return TriToValue(Tri::kTrue);
+    }
+    VR_ASSIGN_OR_RETURN(Tri r, EvalPredicate(*b.right, scope, ctes, env));
+    if (b.op == BinaryOp::kAnd) {
+      if (r == Tri::kFalse) return TriToValue(Tri::kFalse);
+      if (l == Tri::kNull || r == Tri::kNull) return TriToValue(Tri::kNull);
+      return TriToValue(Tri::kTrue);
+    }
+    if (r == Tri::kTrue) return TriToValue(Tri::kTrue);
+    if (l == Tri::kNull || r == Tri::kNull) return TriToValue(Tri::kNull);
+    return TriToValue(Tri::kFalse);
+  }
+
+  VR_ASSIGN_OR_RETURN(Value l, Eval(*b.left, scope, ctes, env));
+  VR_ASSIGN_OR_RETURN(Value r, Eval(*b.right, scope, ctes, env));
+
+  if (IsComparisonOp(b.op)) {
+    VR_ASSIGN_OR_RETURN(Value::TriCompare c, l.CompareSql(r));
+    if (c.is_null) return Value::Null();
+    bool res = false;
+    switch (b.op) {
+      case BinaryOp::kEq: res = (c.cmp == 0); break;
+      case BinaryOp::kNe: res = (c.cmp != 0); break;
+      case BinaryOp::kLt: res = (c.cmp < 0); break;
+      case BinaryOp::kLe: res = (c.cmp <= 0); break;
+      case BinaryOp::kGt: res = (c.cmp > 0); break;
+      case BinaryOp::kGe: res = (c.cmp >= 0); break;
+      default: break;
+    }
+    return Value::Int(res ? 1 : 0);
+  }
+
+  // Arithmetic.
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (!l.is_numeric() || !r.is_numeric()) {
+    return Status::TypeMismatch("arithmetic on non-numeric operands");
+  }
+  if (b.op == BinaryOp::kDiv) {
+    double divisor = r.ToDouble();
+    if (divisor == 0.0) {
+      return Status::ExecutionError("division by zero");
+    }
+    return Value::Double(l.ToDouble() / divisor);
+  }
+  if (l.is_int() && r.is_int()) {
+    int64_t a = l.AsInt();
+    int64_t c = r.AsInt();
+    switch (b.op) {
+      case BinaryOp::kAdd: return Value::Int(a + c);
+      case BinaryOp::kSub: return Value::Int(a - c);
+      case BinaryOp::kMul: return Value::Int(a * c);
+      default: break;
+    }
+  }
+  double a = l.ToDouble();
+  double c = r.ToDouble();
+  switch (b.op) {
+    case BinaryOp::kAdd: return Value::Double(a + c);
+    case BinaryOp::kSub: return Value::Double(a - c);
+    case BinaryOp::kMul: return Value::Double(a * c);
+    default: break;
+  }
+  return Status::Internal("unhandled binary op");
+}
+
+Result<Value> Engine::EvalFuncCall(const FuncCallExpr& f, const Scope& scope,
+                                   const CteFrame* ctes, const ExprEnv* env) {
+  if (f.IsAggregate()) {
+    // Inside a grouped evaluation the value is supplied via the overlay.
+    if (env != nullptr) {
+      auto it = env->find(ToSql(f));
+      if (it != env->end()) return it->second;
+    }
+    return Status::ExecutionError("aggregate '" + f.name +
+                                  "' used outside a grouped context");
+  }
+  if (f.name == "coalesce") {
+    for (const auto& a : f.args) {
+      VR_ASSIGN_OR_RETURN(Value v, Eval(*a, scope, ctes, env));
+      if (!v.is_null()) return v;
+    }
+    return Value::Null();
+  }
+  if (f.name == "isnull" || f.name == "isnotnull") {
+    if (f.args.size() != 1) {
+      return Status::InvalidArgument(f.name + " takes one argument");
+    }
+    VR_ASSIGN_OR_RETURN(Value v, Eval(*f.args[0], scope, ctes, env));
+    bool is_null = v.is_null();
+    return Value::Int((f.name == "isnull") == is_null ? 1 : 0);
+  }
+  if (f.name == "ifpos") {
+    // Internal CASE-WHEN equivalent used by the rewriter: returns the
+    // second argument when the first is TRUE, NULL otherwise.
+    if (f.args.size() != 2) {
+      return Status::InvalidArgument("ifpos takes two arguments");
+    }
+    VR_ASSIGN_OR_RETURN(Tri cond, EvalPredicate(*f.args[0], scope, ctes, env));
+    if (cond != Tri::kTrue) return Value::Null();
+    return Eval(*f.args[1], scope, ctes, env);
+  }
+  if (f.name == "abs") {
+    if (f.args.size() != 1) {
+      return Status::InvalidArgument("abs takes one argument");
+    }
+    VR_ASSIGN_OR_RETURN(Value v, Eval(*f.args[0], scope, ctes, env));
+    if (v.is_null()) return Value::Null();
+    if (v.is_int()) return Value::Int(v.AsInt() < 0 ? -v.AsInt() : v.AsInt());
+    if (v.is_double()) {
+      double d = v.AsDoubleExact();
+      return Value::Double(d < 0 ? -d : d);
+    }
+    return Status::TypeMismatch("abs of non-numeric value");
+  }
+  return Status::Unsupported("unknown function '" + f.name + "'");
+}
+
+Result<Value> Engine::EvalIn(const InExpr& in, const Scope& scope,
+                             const CteFrame* ctes, const ExprEnv* env) {
+  VR_ASSIGN_OR_RETURN(Value lhs, Eval(*in.lhs, scope, ctes, env));
+  if (lhs.is_null()) return Value::Null();
+
+  bool any_match = false;
+  bool any_null = false;
+  auto consider = [&](const Value& v) -> Status {
+    if (v.is_null()) {
+      any_null = true;
+      return Status::OK();
+    }
+    VR_ASSIGN_OR_RETURN(Value::TriCompare c, lhs.CompareSql(v));
+    if (!c.is_null && c.cmp == 0) any_match = true;
+    return Status::OK();
+  };
+
+  if (in.subquery != nullptr) {
+    VR_ASSIGN_OR_RETURN(ResultSet rs, RunSubquery(*in.subquery, scope, ctes));
+    if (rs.NumColumns() != 1) {
+      return Status::ExecutionError("IN subquery must produce one column");
+    }
+    for (const Row& r : rs.rows) {
+      VR_RETURN_NOT_OK(consider(r[0]));
+      if (any_match) break;
+    }
+  } else {
+    for (const auto& item : in.value_list) {
+      VR_ASSIGN_OR_RETURN(Value v, Eval(*item, scope, ctes, env));
+      VR_RETURN_NOT_OK(consider(v));
+      if (any_match) break;
+    }
+  }
+
+  Tri result;
+  if (any_match) {
+    result = Tri::kTrue;
+  } else if (any_null) {
+    result = Tri::kNull;
+  } else {
+    result = Tri::kFalse;
+  }
+  if (in.negated) {
+    if (result == Tri::kTrue) result = Tri::kFalse;
+    else if (result == Tri::kFalse) result = Tri::kTrue;
+  }
+  return TriToValue(result);
+}
+
+Result<Value> Engine::EvalQuantified(const QuantifiedCmpExpr& q,
+                                     const Scope& scope, const CteFrame* ctes,
+                                     const ExprEnv* env) {
+  VR_ASSIGN_OR_RETURN(Value lhs, Eval(*q.lhs, scope, ctes, env));
+  VR_ASSIGN_OR_RETURN(ResultSet rs, RunSubquery(*q.subquery, scope, ctes));
+  if (rs.NumColumns() != 1) {
+    return Status::ExecutionError(
+        "quantified subquery must produce one column");
+  }
+  if (q.quantifier == Quantifier::kAny) {
+    // x op ANY S: TRUE if some comparison is TRUE; NULL if none TRUE but
+    // some NULL; FALSE otherwise (including empty S).
+    bool any_null = false;
+    for (const Row& r : rs.rows) {
+      if (lhs.is_null() || r[0].is_null()) {
+        any_null = true;
+        continue;
+      }
+      VR_ASSIGN_OR_RETURN(Value::TriCompare c, lhs.CompareSql(r[0]));
+      bool res = false;
+      switch (q.op) {
+        case BinaryOp::kEq: res = (c.cmp == 0); break;
+        case BinaryOp::kNe: res = (c.cmp != 0); break;
+        case BinaryOp::kLt: res = (c.cmp < 0); break;
+        case BinaryOp::kLe: res = (c.cmp <= 0); break;
+        case BinaryOp::kGt: res = (c.cmp > 0); break;
+        case BinaryOp::kGe: res = (c.cmp >= 0); break;
+        default: break;
+      }
+      if (res) return TriToValue(Tri::kTrue);
+    }
+    return TriToValue(any_null ? Tri::kNull : Tri::kFalse);
+  }
+  // ALL: TRUE if every comparison is TRUE (empty S -> TRUE); FALSE if some
+  // comparison is FALSE; NULL otherwise.
+  bool any_null = false;
+  for (const Row& r : rs.rows) {
+    if (lhs.is_null() || r[0].is_null()) {
+      any_null = true;
+      continue;
+    }
+    VR_ASSIGN_OR_RETURN(Value::TriCompare c, lhs.CompareSql(r[0]));
+    bool res = false;
+    switch (q.op) {
+      case BinaryOp::kEq: res = (c.cmp == 0); break;
+      case BinaryOp::kNe: res = (c.cmp != 0); break;
+      case BinaryOp::kLt: res = (c.cmp < 0); break;
+      case BinaryOp::kLe: res = (c.cmp <= 0); break;
+      case BinaryOp::kGt: res = (c.cmp > 0); break;
+      case BinaryOp::kGe: res = (c.cmp >= 0); break;
+      default: break;
+    }
+    if (!res) return TriToValue(Tri::kFalse);
+  }
+  return TriToValue(any_null ? Tri::kNull : Tri::kTrue);
+}
+
+Result<Value> Engine::Eval(const Expr& e, const Scope& scope,
+                           const CteFrame* ctes, const ExprEnv* env) {
+  // The grouped-evaluation overlay may pin any subexpression's value
+  // (aggregates and select aliases).
+  if (env != nullptr && e.kind == ExprKind::kColumnRef) {
+    const auto& c = static_cast<const ColumnRefExpr&>(e);
+    auto it = env->find(c.FullName());
+    if (it != env->end()) return it->second;
+  }
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(e).value;
+    case ExprKind::kColumnRef: {
+      const auto& c = static_cast<const ColumnRefExpr&>(e);
+      for (const Scope* s = &scope; s != nullptr; s = s->parent) {
+        if (s->rel == nullptr) continue;
+        int idx = s->rel->Find(c);
+        if (idx == -2) {
+          return Status::ExecutionError("ambiguous column '" + c.FullName() +
+                                        "'");
+        }
+        if (idx >= 0) return (*s->row)[idx];
+      }
+      return Status::NotFound("unresolved column '" + c.FullName() + "'");
+    }
+    case ExprKind::kStar:
+      return Status::ExecutionError("'*' is only valid inside COUNT(*)");
+    case ExprKind::kBinary:
+      return EvalBinary(static_cast<const BinaryExpr&>(e), scope, ctes, env);
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      if (u.op == UnaryOp::kNot) {
+        VR_ASSIGN_OR_RETURN(Tri t, EvalPredicate(*u.operand, scope, ctes, env));
+        if (t == Tri::kNull) return Value::Null();
+        return Value::Int(t == Tri::kTrue ? 0 : 1);
+      }
+      VR_ASSIGN_OR_RETURN(Value v, Eval(*u.operand, scope, ctes, env));
+      if (v.is_null()) return Value::Null();
+      if (v.is_int()) return Value::Int(-v.AsInt());
+      if (v.is_double()) return Value::Double(-v.AsDoubleExact());
+      return Status::TypeMismatch("negation of non-numeric value");
+    }
+    case ExprKind::kFuncCall:
+      return EvalFuncCall(static_cast<const FuncCallExpr&>(e), scope, ctes,
+                          env);
+    case ExprKind::kScalarSubquery: {
+      const auto& sq = static_cast<const ScalarSubqueryExpr&>(e);
+      VR_ASSIGN_OR_RETURN(ResultSet rs, RunSubquery(*sq.subquery, scope, ctes));
+      if (rs.NumColumns() != 1) {
+        return Status::ExecutionError("scalar subquery must yield one column");
+      }
+      if (rs.NumRows() == 0) return Value::Null();
+      if (rs.NumRows() > 1) {
+        return Status::ExecutionError(
+            "scalar subquery produced more than one row");
+      }
+      return rs.rows[0][0];
+    }
+    case ExprKind::kIn:
+      return EvalIn(static_cast<const InExpr&>(e), scope, ctes, env);
+    case ExprKind::kExists: {
+      const auto& ex = static_cast<const ExistsExpr&>(e);
+      VR_ASSIGN_OR_RETURN(ResultSet rs, RunSubquery(*ex.subquery, scope, ctes));
+      bool exists = rs.NumRows() > 0;
+      return Value::Int((exists != ex.negated) ? 1 : 0);
+    }
+    case ExprKind::kQuantifiedCmp:
+      return EvalQuantified(static_cast<const QuantifiedCmpExpr&>(e), scope,
+                            ctes, env);
+    case ExprKind::kParam: {
+      const auto& p = static_cast<const ParamExpr&>(e);
+      auto it = params_.find(p.name);
+      if (it == params_.end()) {
+        return Status::NotFound("unbound parameter '$" + p.name + "'");
+      }
+      return it->second;
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<Value> Engine::ComputeAggregate(const FuncCallExpr& agg, const Rel& rel,
+                                       const std::vector<size_t>& group_rows,
+                                       const CteFrame* ctes,
+                                       const Scope* outer) {
+  const bool is_star =
+      agg.args.size() == 1 && agg.args[0]->kind == ExprKind::kStar;
+  if (agg.name == "count" && is_star) {
+    return Value::Int(static_cast<int64_t>(group_rows.size()));
+  }
+  if (agg.args.size() != 1) {
+    return Status::InvalidArgument("aggregate '" + agg.name +
+                                   "' takes one argument");
+  }
+
+  std::set<Value> distinct_seen;
+  int64_t count = 0;
+  double sum = 0;
+  bool sum_is_int = true;
+  int64_t isum = 0;
+  Value min_v, max_v;
+  for (size_t row_idx : group_rows) {
+    Scope scope{&rel, &rel.rows[row_idx], outer};
+    VR_ASSIGN_OR_RETURN(Value v, Eval(*agg.args[0], scope, ctes, nullptr));
+    if (v.is_null()) continue;
+    if (agg.distinct) {
+      if (!distinct_seen.insert(v).second) continue;
+    }
+    ++count;
+    if (agg.name == "sum" || agg.name == "avg") {
+      if (!v.is_numeric()) {
+        return Status::TypeMismatch("SUM/AVG of non-numeric value");
+      }
+      if (v.is_int()) {
+        isum += v.AsInt();
+      } else {
+        sum_is_int = false;
+      }
+      sum += v.ToDouble();
+    } else if (agg.name == "min") {
+      if (min_v.is_null() || v < min_v) min_v = v;
+    } else if (agg.name == "max") {
+      if (max_v.is_null() || max_v < v) max_v = v;
+    }
+  }
+
+  if (agg.name == "count") return Value::Int(count);
+  if (count == 0) return Value::Null();  // SUM/AVG/MIN/MAX over empty input
+  if (agg.name == "sum") {
+    if (sum_is_int) return Value::Int(isum);
+    return Value::Double(sum);
+  }
+  if (agg.name == "avg") return Value::Double(sum / static_cast<double>(count));
+  if (agg.name == "min") return min_v;
+  if (agg.name == "max") return max_v;
+  return Status::Unsupported("unknown aggregate '" + agg.name + "'");
+}
+
+Result<ResultSet> Engine::ExecuteSelect(const SelectStmt& stmt,
+                                        const CteFrame* parent_ctes,
+                                        const Scope* outer) {
+  // WITH clauses: materialize in order; later clauses can see earlier ones.
+  std::vector<std::unique_ptr<ResultSet>> cte_storage;
+  CteFrame frame;
+  frame.parent = parent_ctes;
+  const CteFrame* ctes = parent_ctes;
+  if (!stmt.with.empty()) {
+    for (const WithItem& w : stmt.with) {
+      VR_ASSIGN_OR_RETURN(ResultSet rs, ExecuteSelect(*w.query, &frame, outer));
+      cte_storage.push_back(std::make_unique<ResultSet>(std::move(rs)));
+      frame.ctes[w.name] = cte_storage.back().get();
+    }
+    ctes = &frame;
+  }
+
+  if (stmt.from.empty()) {
+    // SELECT of constant expressions.
+    ResultSet rs;
+    Row row;
+    Rel empty_rel;
+    Row empty_row;
+    Scope scope{&empty_rel, &empty_row, outer};
+    for (const auto& item : stmt.items) {
+      if (item.is_star) {
+        return Status::ExecutionError("SELECT * requires a FROM clause");
+      }
+      VR_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, scope, ctes, nullptr));
+      row.push_back(std::move(v));
+      rs.columns.push_back(item.alias.empty() ? "expr" : item.alias);
+    }
+    rs.rows.push_back(std::move(row));
+    return rs;
+  }
+
+  // ---- FROM: materialize each item. -------------------------------------
+  std::vector<Rel> rels;
+  rels.reserve(stmt.from.size());
+  for (const auto& f : stmt.from) {
+    VR_ASSIGN_OR_RETURN(Rel r, EvalTableRef(*f, ctes, outer));
+    rels.push_back(std::move(r));
+  }
+
+  // ---- WHERE analysis: split conjuncts into single-rel filters, ----------
+  // equi-join conditions between rels, and residual predicates.
+  std::vector<const Expr*> conjuncts = CollectConjuncts(stmt.where.get());
+  std::vector<const Expr*> residual;
+  struct EquiCond {
+    size_t rel_a, rel_b;
+    const ColumnRefExpr* col_a;
+    const ColumnRefExpr* col_b;
+    bool used = false;
+  };
+  std::vector<EquiCond> equi_conds;
+
+  // Which single rel (if any) resolves every column of a pure conjunct?
+  auto owning_rels = [&](const Expr* c,
+                         std::set<size_t>* rel_set) -> bool {
+    std::vector<const ColumnRefExpr*> refs;
+    CollectColumnRefs(c, &refs);
+    for (const ColumnRefExpr* ref : refs) {
+      int found_rel = -1;
+      for (size_t i = 0; i < rels.size(); ++i) {
+        int idx = rels[i].Find(*ref);
+        if (idx == -2) return false;  // ambiguous within one rel
+        if (idx >= 0) {
+          if (found_rel >= 0) return false;  // ambiguous across rels
+          found_rel = static_cast<int>(i);
+        }
+      }
+      if (found_rel < 0) return false;  // outer-scope or unresolved
+      rel_set->insert(static_cast<size_t>(found_rel));
+    }
+    return true;
+  };
+
+  for (const Expr* c : conjuncts) {
+    if (!IsPureScalar(*c)) {
+      residual.push_back(c);
+      continue;
+    }
+    std::set<size_t> owners;
+    if (!owning_rels(c, &owners)) {
+      residual.push_back(c);
+      continue;
+    }
+    if (owners.size() == 1) {
+      // Apply the filter to that rel immediately.
+      size_t idx = *owners.begin();
+      Rel& rel = rels[idx];
+      std::vector<Row> kept;
+      kept.reserve(rel.rows.size());
+      for (Row& row : rel.rows) {
+        Scope scope{&rel, &row, outer};
+        VR_ASSIGN_OR_RETURN(Tri t, EvalPredicate(*c, scope, ctes, nullptr));
+        if (t == Tri::kTrue) kept.push_back(std::move(row));
+      }
+      rel.rows = std::move(kept);
+      continue;
+    }
+    if (owners.size() == 2 && c->kind == ExprKind::kBinary) {
+      const auto* b = static_cast<const BinaryExpr*>(c);
+      if (b->op == BinaryOp::kEq && b->left->kind == ExprKind::kColumnRef &&
+          b->right->kind == ExprKind::kColumnRef) {
+        const auto* lc = static_cast<const ColumnRefExpr*>(b->left.get());
+        const auto* rc = static_cast<const ColumnRefExpr*>(b->right.get());
+        auto it = owners.begin();
+        size_t a = *it++;
+        size_t bidx = *it;
+        // Determine which ref belongs to which rel.
+        if (rels[a].Find(*lc) >= 0 && rels[bidx].Find(*rc) >= 0) {
+          equi_conds.push_back({a, bidx, lc, rc, false});
+          continue;
+        }
+        if (rels[a].Find(*rc) >= 0 && rels[bidx].Find(*lc) >= 0) {
+          equi_conds.push_back({a, bidx, rc, lc, false});
+          continue;
+        }
+      }
+    }
+    residual.push_back(c);
+  }
+
+  // ---- Fold-join the rels, preferring equi-connected pairs. --------------
+  std::vector<bool> joined(rels.size(), false);
+  std::vector<size_t> rel_of;  // original index -> merged? we track membership
+  // `current` holds the joined relation; `members` the original rel indices
+  // already merged into it.
+  Rel current = std::move(rels[0]);
+  joined[0] = true;
+  std::set<size_t> members = {0};
+  for (size_t step = 1; step < rels.size(); ++step) {
+    // Prefer a rel connected to `members` by an unused equi condition.
+    int next = -1;
+    for (const EquiCond& ec : equi_conds) {
+      if (ec.used) continue;
+      bool a_in = members.count(ec.rel_a) > 0;
+      bool b_in = members.count(ec.rel_b) > 0;
+      if (a_in != b_in) {
+        next = static_cast<int>(a_in ? ec.rel_b : ec.rel_a);
+        break;
+      }
+    }
+    if (next < 0) {
+      for (size_t i = 0; i < rels.size(); ++i) {
+        if (!joined[i]) {
+          next = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    size_t ni = static_cast<size_t>(next);
+    // Build the ON condition from every unused equi cond bridging members
+    // and ni.
+    ExprPtr on;
+    for (EquiCond& ec : equi_conds) {
+      if (ec.used) continue;
+      bool bridges = (members.count(ec.rel_a) > 0 && ec.rel_b == ni) ||
+                     (members.count(ec.rel_b) > 0 && ec.rel_a == ni);
+      if (bridges) {
+        ec.used = true;
+        on = MakeAnd(std::move(on),
+                     MakeBinary(BinaryOp::kEq, ec.col_a->Clone(),
+                                ec.col_b->Clone()));
+      }
+    }
+    VR_ASSIGN_OR_RETURN(
+        current, JoinRels(JoinType::kInner, std::move(current),
+                          std::move(rels[ni]), on.get(), ctes, outer));
+    joined[ni] = true;
+    members.insert(ni);
+  }
+  // Any unused equi conds (both sides already merged) become residual-style
+  // filters on the joined relation.
+  for (const EquiCond& ec : equi_conds) {
+    if (ec.used) continue;
+    std::vector<Row> kept;
+    kept.reserve(current.rows.size());
+    for (Row& row : current.rows) {
+      Scope scope{&current, &row, outer};
+      ExprPtr cond = MakeBinary(BinaryOp::kEq, ec.col_a->Clone(),
+                                ec.col_b->Clone());
+      VR_ASSIGN_OR_RETURN(Tri t, EvalPredicate(*cond, scope, ctes, nullptr));
+      if (t == Tri::kTrue) kept.push_back(std::move(row));
+    }
+    current.rows = std::move(kept);
+  }
+
+  // ---- Residual WHERE (subqueries, OR trees, outer references). ----------
+  if (!residual.empty()) {
+    std::vector<Row> kept;
+    kept.reserve(current.rows.size());
+    for (Row& row : current.rows) {
+      Scope scope{&current, &row, outer};
+      bool pass = true;
+      for (const Expr* c : residual) {
+        VR_ASSIGN_OR_RETURN(Tri t, EvalPredicate(*c, scope, ctes, nullptr));
+        if (t != Tri::kTrue) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) kept.push_back(std::move(row));
+    }
+    current.rows = std::move(kept);
+  }
+
+  // ---- Grouping / aggregation / projection. ------------------------------
+  std::vector<const FuncCallExpr*> agg_calls;
+  for (const auto& item : stmt.items) {
+    CollectAggregates(item.expr.get(), &agg_calls);
+  }
+  CollectAggregates(stmt.having.get(), &agg_calls);
+  const bool grouped = !stmt.group_by.empty() || !agg_calls.empty();
+
+  ResultSet rs;
+  auto column_name = [](const SelectItem& item, size_t idx) -> std::string {
+    if (!item.alias.empty()) return item.alias;
+    if (item.expr->kind == ExprKind::kColumnRef) {
+      return static_cast<const ColumnRefExpr&>(*item.expr).column;
+    }
+    if (item.expr->kind == ExprKind::kFuncCall) {
+      return static_cast<const FuncCallExpr&>(*item.expr).name;
+    }
+    return "expr" + std::to_string(idx);
+  };
+
+  if (!grouped) {
+    // Plain projection.
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const auto& item = stmt.items[i];
+      if (item.is_star) {
+        for (const auto& [binding, col] : current.cols) {
+          (void)binding;
+          rs.columns.push_back(col);
+        }
+      } else {
+        rs.columns.push_back(column_name(item, i));
+      }
+    }
+    for (Row& row : current.rows) {
+      Scope scope{&current, &row, outer};
+      Row out_row;
+      for (const auto& item : stmt.items) {
+        if (item.is_star) {
+          out_row.insert(out_row.end(), row.begin(), row.end());
+        } else {
+          VR_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, scope, ctes, nullptr));
+          out_row.push_back(std::move(v));
+        }
+      }
+      rs.rows.push_back(std::move(out_row));
+    }
+    if (stmt.having) {
+      return Status::ExecutionError("HAVING requires GROUP BY or aggregates");
+    }
+  } else {
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      if (stmt.items[i].is_star) {
+        return Status::ExecutionError("SELECT * in a grouped query");
+      }
+      rs.columns.push_back(column_name(stmt.items[i], i));
+    }
+    // Partition rows into groups by the GROUP BY key.
+    std::unordered_map<std::vector<Value>, std::vector<size_t>,
+                       ValueVectorHash>
+        groups;
+    if (stmt.group_by.empty()) {
+      // Single group over all rows (even if empty, aggregates apply once).
+      std::vector<size_t> all(current.rows.size());
+      for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+      groups[{}] = std::move(all);
+    } else {
+      for (size_t i = 0; i < current.rows.size(); ++i) {
+        Scope scope{&current, &current.rows[i], outer};
+        std::vector<Value> key;
+        key.reserve(stmt.group_by.size());
+        for (const auto& g : stmt.group_by) {
+          VR_ASSIGN_OR_RETURN(Value v, Eval(*g, scope, ctes, nullptr));
+          key.push_back(std::move(v));
+        }
+        groups[std::move(key)].push_back(i);
+      }
+    }
+    // Deterministic group order (sorted by key) for reproducible output.
+    std::vector<const std::vector<Value>*> keys;
+    keys.reserve(groups.size());
+    for (const auto& [k, _] : groups) keys.push_back(&k);
+    std::sort(keys.begin(), keys.end(),
+              [](const std::vector<Value>* a, const std::vector<Value>* b) {
+                return *a < *b;
+              });
+
+    Row dummy_row(current.cols.size(), Value::Null());
+    for (const std::vector<Value>* key : keys) {
+      const std::vector<size_t>& rows_in_group = groups[*key];
+      // Representative row for group-by column references.
+      const Row& rep =
+          rows_in_group.empty() ? dummy_row : current.rows[rows_in_group[0]];
+      Scope scope{&current, &rep, outer};
+      ExprEnv env;
+      for (const FuncCallExpr* agg : agg_calls) {
+        VR_ASSIGN_OR_RETURN(
+            Value v, ComputeAggregate(*agg, current, rows_in_group, ctes,
+                                      outer));
+        env[ToSql(*agg)] = std::move(v);
+      }
+      Row out_row;
+      for (size_t i = 0; i < stmt.items.size(); ++i) {
+        VR_ASSIGN_OR_RETURN(Value v,
+                            Eval(*stmt.items[i].expr, scope, ctes, &env));
+        // Expose select aliases to HAVING via the overlay.
+        if (!stmt.items[i].alias.empty()) {
+          env[stmt.items[i].alias] = v;
+        }
+        out_row.push_back(std::move(v));
+      }
+      if (stmt.having) {
+        VR_ASSIGN_OR_RETURN(Tri t,
+                            EvalPredicate(*stmt.having, scope, ctes, &env));
+        if (t != Tri::kTrue) continue;
+      }
+      rs.rows.push_back(std::move(out_row));
+    }
+  }
+
+  if (stmt.distinct) {
+    std::set<Row> seen;
+    std::vector<Row> unique_rows;
+    for (Row& r : rs.rows) {
+      if (seen.insert(r).second) unique_rows.push_back(std::move(r));
+    }
+    rs.rows = std::move(unique_rows);
+  }
+
+  // ORDER BY: output columns (alias/name or 1-based position), or — for
+  // plain non-DISTINCT projections — arbitrary source expressions.
+  if (!stmt.order_by.empty()) {
+    // keys: (output index, -1 if source expression) per order item.
+    std::vector<std::pair<int, bool>> keys;
+    std::vector<const Expr*> source_exprs(stmt.order_by.size(), nullptr);
+    bool any_source = false;
+    for (size_t oi = 0; oi < stmt.order_by.size(); ++oi) {
+      const OrderItem& o = stmt.order_by[oi];
+      int idx = -1;
+      if (o.expr->kind == ExprKind::kColumnRef) {
+        const auto& ref = static_cast<const ColumnRefExpr&>(*o.expr);
+        if (ref.table.empty()) idx = rs.ColumnIndex(ref.column);
+      } else if (o.expr->kind == ExprKind::kLiteral) {
+        const Value& v = static_cast<const LiteralExpr&>(*o.expr).value;
+        if (v.is_int() && v.AsInt() >= 1 &&
+            v.AsInt() <= static_cast<int64_t>(rs.NumColumns())) {
+          idx = static_cast<int>(v.AsInt()) - 1;
+        }
+      }
+      if (idx < 0) {
+        if (grouped || stmt.distinct || !IsPureScalar(*o.expr)) {
+          return Status::Unsupported(
+              "ORDER BY here supports output columns (by name) or 1-based "
+              "positions");
+        }
+        source_exprs[oi] = o.expr.get();
+        any_source = true;
+      }
+      keys.emplace_back(idx, o.descending);
+    }
+    // Hidden sort keys for source expressions (plain projections keep a
+    // 1:1 row correspondence with `current`).
+    std::vector<std::vector<Value>> hidden(rs.rows.size());
+    if (any_source) {
+      if (current.rows.size() != rs.rows.size()) {
+        return Status::Internal("row correspondence lost before ORDER BY");
+      }
+      for (size_t r = 0; r < current.rows.size(); ++r) {
+        Scope scope{&current, &current.rows[r], outer};
+        for (size_t oi = 0; oi < source_exprs.size(); ++oi) {
+          if (source_exprs[oi] == nullptr) continue;
+          VR_ASSIGN_OR_RETURN(
+              Value v, Eval(*source_exprs[oi], scope, ctes, nullptr));
+          hidden[r].push_back(std::move(v));
+        }
+      }
+    }
+    std::vector<size_t> perm(rs.rows.size());
+    for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    std::stable_sort(
+        perm.begin(), perm.end(), [&](size_t a, size_t b) {
+          size_t ha = 0, hb = 0;
+          for (size_t oi = 0; oi < keys.size(); ++oi) {
+            const auto& [idx, desc] = keys[oi];
+            const Value* va;
+            const Value* vb;
+            if (idx >= 0) {
+              va = &rs.rows[a][static_cast<size_t>(idx)];
+              vb = &rs.rows[b][static_cast<size_t>(idx)];
+            } else {
+              va = &hidden[a][ha++];
+              vb = &hidden[b][hb++];
+            }
+            if (*va < *vb) return !desc;
+            if (*vb < *va) return desc;
+          }
+          return false;
+        });
+    std::vector<Row> sorted;
+    sorted.reserve(rs.rows.size());
+    for (size_t i : perm) sorted.push_back(std::move(rs.rows[i]));
+    rs.rows = std::move(sorted);
+  }
+  if (stmt.limit >= 0 &&
+      rs.rows.size() > static_cast<size_t>(stmt.limit)) {
+    rs.rows.resize(static_cast<size_t>(stmt.limit));
+  }
+  return rs;
+}
+
+}  // namespace
+
+Result<ResultSet> Executor::Execute(const SelectStmt& stmt,
+                                    const ParamMap& params) const {
+  Engine engine(db_, params);
+  return engine.ExecuteSelect(stmt, nullptr, nullptr);
+}
+
+Result<double> Executor::ExecuteScalar(const SelectStmt& stmt,
+                                       const ParamMap& params) const {
+  VR_ASSIGN_OR_RETURN(ResultSet rs, Execute(stmt, params));
+  if (rs.NumColumns() != 1) {
+    return Status::ExecutionError("scalar query must yield one column, got " +
+                                  std::to_string(rs.NumColumns()));
+  }
+  if (rs.NumRows() == 0) return 0.0;
+  if (rs.NumRows() > 1) {
+    return Status::ExecutionError("scalar query yielded " +
+                                  std::to_string(rs.NumRows()) + " rows");
+  }
+  const Value& v = rs.rows[0][0];
+  if (v.is_null()) return 0.0;
+  if (!v.is_numeric()) {
+    return Status::TypeMismatch("scalar query yielded a non-numeric value");
+  }
+  return v.ToDouble();
+}
+
+Result<double> Executor::ExecuteRewritten(const RewrittenQuery& rq) const {
+  ParamMap params;
+  for (const ChainLink& link : rq.chain) {
+    VR_ASSIGN_OR_RETURN(ResultSet rs, Execute(*link.query, params));
+    if (rs.NumColumns() != 1 || rs.NumRows() > 1) {
+      return Status::ExecutionError("chain link '" + link.var +
+                                    "' must yield a single scalar");
+    }
+    Value v = rs.NumRows() == 0 ? Value::Null() : rs.rows[0][0];
+    params[link.var] = std::move(v);
+  }
+  double total = 0;
+  for (const auto& term : rq.combination.terms) {
+    VR_ASSIGN_OR_RETURN(double v, ExecuteScalar(*term.query, params));
+    total += term.coeff * v;
+  }
+  return total;
+}
+
+}  // namespace viewrewrite

@@ -1,0 +1,52 @@
+#ifndef VIEWREWRITE_EXEC_EXECUTOR_H_
+#define VIEWREWRITE_EXEC_EXECUTOR_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "exec/result_set.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace viewrewrite {
+
+/// Scalar bindings for `$name` parameters (chained queries, Rule 15).
+using ParamMap = std::map<std::string, Value>;
+
+/// Executes SELECT statements against an in-memory Database.
+///
+/// Supports the full query surface the paper's workloads use: multi-table
+/// joins (hash joins on equi-predicates, nested loops otherwise), LEFT and
+/// NATURAL joins, WHERE/GROUP BY/HAVING, aggregates (COUNT/SUM/AVG/MIN/MAX,
+/// DISTINCT), derived tables, WITH, correlated and non-correlated
+/// subqueries (scalar, EXISTS, IN, ANY/SOME/ALL), COALESCE, and SQL
+/// three-valued NULL logic.
+///
+/// The executor is an exact evaluator: it computes true answers for
+/// equivalence testing and view materialization; all differential privacy
+/// happens downstream in the dp/view modules.
+class Executor {
+ public:
+  explicit Executor(const Database& db) : db_(db) {}
+
+  /// Runs one SELECT and materializes the result.
+  Result<ResultSet> Execute(const SelectStmt& stmt,
+                            const ParamMap& params = {}) const;
+
+  /// Runs a query expected to yield a single numeric cell (aggregate
+  /// without GROUP BY). NULL (e.g. SUM over zero rows) maps to 0.
+  Result<double> ExecuteScalar(const SelectStmt& stmt,
+                               const ParamMap& params = {}) const;
+
+  /// Evaluates a rewritten query: executes chain links in order, binding
+  /// each `$var`, then returns the signed combination of the final terms.
+  Result<double> ExecuteRewritten(const RewrittenQuery& rq) const;
+
+ private:
+  const Database& db_;
+};
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_EXEC_EXECUTOR_H_

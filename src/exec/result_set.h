@@ -1,0 +1,30 @@
+#ifndef VIEWREWRITE_EXEC_RESULT_SET_H_
+#define VIEWREWRITE_EXEC_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace viewrewrite {
+
+/// Materialized query output: named columns plus rows.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  size_t NumRows() const { return rows.size(); }
+  size_t NumColumns() const { return columns.size(); }
+
+  /// Index of `name` in columns, or -1.
+  int ColumnIndex(const std::string& name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_EXEC_RESULT_SET_H_

@@ -1,0 +1,226 @@
+#include "rewrite/analysis.h"
+
+#include "sql/printer.h"
+
+namespace viewrewrite {
+
+namespace {
+
+Status AppendTableRefColumns(
+    const TableRef& ref, const Schema& schema,
+    std::vector<std::pair<std::string, std::string>>* out);
+
+Status AppendSelectOutputs(
+    const SelectStmt& stmt, const Schema& schema, const std::string& binding,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    const SelectItem& item = stmt.items[i];
+    if (item.is_star) {
+      // Expand to all FROM columns, exposed under the derived binding.
+      for (const auto& f : stmt.from) {
+        std::vector<std::pair<std::string, std::string>> inner;
+        VR_RETURN_NOT_OK(AppendTableRefColumns(*f, schema, &inner));
+        for (auto& [_, col] : inner) out->emplace_back(binding, col);
+      }
+      continue;
+    }
+    std::string name;
+    if (!item.alias.empty()) {
+      name = item.alias;
+    } else if (item.expr->kind == ExprKind::kColumnRef) {
+      name = static_cast<const ColumnRefExpr&>(*item.expr).column;
+    } else if (item.expr->kind == ExprKind::kFuncCall) {
+      name = static_cast<const FuncCallExpr&>(*item.expr).name;
+    } else {
+      name = "expr" + std::to_string(i);
+    }
+    out->emplace_back(binding, std::move(name));
+  }
+  return Status::OK();
+}
+
+Status AppendTableRefColumns(
+    const TableRef& ref, const Schema& schema,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  switch (ref.kind) {
+    case TableRefKind::kBase: {
+      const auto& base = static_cast<const BaseTableRef&>(ref);
+      VR_ASSIGN_OR_RETURN(const TableSchema* t, schema.GetTable(base.name));
+      for (const auto& c : t->columns()) {
+        out->emplace_back(base.BindingName(), c.name);
+      }
+      return Status::OK();
+    }
+    case TableRefKind::kDerived: {
+      const auto& d = static_cast<const DerivedTableRef&>(ref);
+      return AppendSelectOutputs(*d.subquery, schema, d.alias, out);
+    }
+    case TableRefKind::kJoin: {
+      const auto& j = static_cast<const JoinTableRef&>(ref);
+      VR_RETURN_NOT_OK(AppendTableRefColumns(*j.left, schema, out));
+      VR_RETURN_NOT_OK(AppendTableRefColumns(*j.right, schema, out));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown table ref kind");
+}
+
+}  // namespace
+
+Result<std::vector<std::pair<std::string, std::string>>> TableRefColumns(
+    const TableRef& ref, const Schema& schema) {
+  std::vector<std::pair<std::string, std::string>> out;
+  VR_RETURN_NOT_OK(AppendTableRefColumns(ref, schema, &out));
+  return out;
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> VisibleColumns(
+    const SelectStmt& stmt, const Schema& schema) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& f : stmt.from) {
+    VR_RETURN_NOT_OK(AppendTableRefColumns(*f, schema, &out));
+  }
+  return out;
+}
+
+bool ColumnResolver::Resolves(const ColumnRefExpr& ref) const {
+  for (const auto& [binding, col] : cols_) {
+    if (!ref.table.empty()) {
+      if (binding == ref.table && col == ref.column) return true;
+    } else if (col == ref.column) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CollectColumnRefsShallow(const Expr* e,
+                              std::vector<const ColumnRefExpr*>* out) {
+  if (e == nullptr) return;
+  switch (e->kind) {
+    case ExprKind::kColumnRef:
+      out->push_back(static_cast<const ColumnRefExpr*>(e));
+      return;
+    case ExprKind::kBinary: {
+      const auto* b = static_cast<const BinaryExpr*>(e);
+      CollectColumnRefsShallow(b->left.get(), out);
+      CollectColumnRefsShallow(b->right.get(), out);
+      return;
+    }
+    case ExprKind::kUnary:
+      CollectColumnRefsShallow(static_cast<const UnaryExpr*>(e)->operand.get(),
+                               out);
+      return;
+    case ExprKind::kFuncCall: {
+      const auto* f = static_cast<const FuncCallExpr*>(e);
+      for (const auto& a : f->args) CollectColumnRefsShallow(a.get(), out);
+      return;
+    }
+    case ExprKind::kIn: {
+      const auto* in = static_cast<const InExpr*>(e);
+      CollectColumnRefsShallow(in->lhs.get(), out);
+      for (const auto& v : in->value_list) {
+        CollectColumnRefsShallow(v.get(), out);
+      }
+      return;
+    }
+    case ExprKind::kQuantifiedCmp:
+      CollectColumnRefsShallow(
+          static_cast<const QuantifiedCmpExpr*>(e)->lhs.get(), out);
+      return;
+    default:
+      return;  // literals, params, stars, nested subqueries
+  }
+}
+
+bool HasOuterRefs(const Expr& e, const ColumnResolver& resolver) {
+  std::vector<const ColumnRefExpr*> refs;
+  CollectColumnRefsShallow(&e, &refs);
+  for (const ColumnRefExpr* r : refs) {
+    if (!resolver.Resolves(*r)) return true;
+  }
+  return false;
+}
+
+bool ContainsSubquery(const Expr* e) {
+  if (e == nullptr) return false;
+  switch (e->kind) {
+    case ExprKind::kScalarSubquery:
+    case ExprKind::kExists:
+    case ExprKind::kQuantifiedCmp:
+      return true;
+    case ExprKind::kIn:
+      return static_cast<const InExpr*>(e)->subquery != nullptr;
+    case ExprKind::kBinary: {
+      const auto* b = static_cast<const BinaryExpr*>(e);
+      return ContainsSubquery(b->left.get()) ||
+             ContainsSubquery(b->right.get());
+    }
+    case ExprKind::kUnary:
+      return ContainsSubquery(static_cast<const UnaryExpr*>(e)->operand.get());
+    case ExprKind::kFuncCall: {
+      const auto* f = static_cast<const FuncCallExpr*>(e);
+      for (const auto& a : f->args) {
+        if (ContainsSubquery(a.get())) return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+Result<std::vector<CorrelationPair>> ExtractCorrelation(
+    SelectStmt* sub, const Schema& schema, const ColumnResolver& outer) {
+  VR_ASSIGN_OR_RETURN(auto local_cols, VisibleColumns(*sub, schema));
+  ColumnResolver local(std::move(local_cols));
+
+  std::vector<const Expr*> conjuncts = CollectConjuncts(sub->where.get());
+  std::vector<CorrelationPair> pairs;
+  std::vector<const Expr*> local_conjuncts;
+
+  for (const Expr* c : conjuncts) {
+    if (!HasOuterRefs(*c, local)) {
+      local_conjuncts.push_back(c);
+      continue;
+    }
+    // Must be `local = outer` (either side).
+    if (c->kind != ExprKind::kBinary) {
+      return Status::RewriteError(
+          "unsupported correlated predicate (not an equality): " + ToSql(*c));
+    }
+    const auto* b = static_cast<const BinaryExpr*>(c);
+    if (b->op != BinaryOp::kEq ||
+        b->left->kind != ExprKind::kColumnRef ||
+        b->right->kind != ExprKind::kColumnRef) {
+      return Status::RewriteError(
+          "unsupported correlated predicate (not column = column): " +
+          ToSql(*c));
+    }
+    const auto& lc = static_cast<const ColumnRefExpr&>(*b->left);
+    const auto& rc = static_cast<const ColumnRefExpr&>(*b->right);
+    const ColumnRefExpr* local_ref = nullptr;
+    const ColumnRefExpr* outer_ref = nullptr;
+    if (local.Resolves(lc) && !local.Resolves(rc) && outer.Resolves(rc)) {
+      local_ref = &lc;
+      outer_ref = &rc;
+    } else if (local.Resolves(rc) && !local.Resolves(lc) &&
+               outer.Resolves(lc)) {
+      local_ref = &rc;
+      outer_ref = &lc;
+    } else {
+      return Status::RewriteError(
+          "cannot attribute correlated equality sides: " + ToSql(*c));
+    }
+    pairs.push_back(CorrelationPair{local_ref->table, local_ref->column,
+                                    outer_ref->table, outer_ref->column});
+  }
+
+  if (pairs.empty()) {
+    return Status::RewriteError("subquery is not correlated");
+  }
+  sub->where = ConjunctionOf(local_conjuncts);
+  return pairs;
+}
+
+}  // namespace viewrewrite

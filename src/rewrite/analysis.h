@@ -1,0 +1,75 @@
+#ifndef VIEWREWRITE_REWRITE_ANALYSIS_H_
+#define VIEWREWRITE_REWRITE_ANALYSIS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace viewrewrite {
+
+/// The (binding, column) pairs visible from a statement's FROM clause.
+/// Derived tables expose their select-item output names under their alias.
+Result<std::vector<std::pair<std::string, std::string>>> VisibleColumns(
+    const SelectStmt& stmt, const Schema& schema);
+
+/// The (binding, column) pairs exposed by a single table reference.
+Result<std::vector<std::pair<std::string, std::string>>> TableRefColumns(
+    const TableRef& ref, const Schema& schema);
+
+/// Lightweight resolver over a visible-column list.
+class ColumnResolver {
+ public:
+  explicit ColumnResolver(
+      std::vector<std::pair<std::string, std::string>> cols)
+      : cols_(std::move(cols)) {}
+
+  /// True if `ref` resolves against these columns (qualified: binding and
+  /// column match; unqualified: any column of that name).
+  bool Resolves(const ColumnRefExpr& ref) const;
+
+  const std::vector<std::pair<std::string, std::string>>& columns() const {
+    return cols_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> cols_;
+};
+
+/// Collects every ColumnRefExpr in `e`, without descending into nested
+/// subqueries (their columns belong to inner scopes).
+void CollectColumnRefsShallow(const Expr* e,
+                              std::vector<const ColumnRefExpr*>* out);
+
+/// True if `e` (shallow) references any column not resolvable by
+/// `resolver` — i.e. the expression is correlated with an outer query.
+bool HasOuterRefs(const Expr& e, const ColumnResolver& resolver);
+
+/// True if any subquery anywhere under `e` is correlated w.r.t. the scope
+/// whose visible columns are extended by each subquery's own FROM.
+/// Used by the classifier.
+bool ContainsSubquery(const Expr* e);
+
+/// One correlated equi-conjunct `local = outer` extracted from a
+/// subquery's WHERE clause.
+struct CorrelationPair {
+  std::string local_table;   // binding inside the subquery
+  std::string local_column;
+  std::string outer_table;   // binding in the enclosing query ("" if unqualified)
+  std::string outer_column;
+};
+
+/// Splits `sub`'s WHERE into correlated equality pairs and the remaining
+/// local-only conjunction. Mutates `sub->where` to keep only local
+/// conjuncts. Fails if a correlated conjunct is not a simple equality
+/// between one local and one outer column (the form the paper's rules
+/// (9)–(14) cover).
+Result<std::vector<CorrelationPair>> ExtractCorrelation(
+    SelectStmt* sub, const Schema& schema, const ColumnResolver& outer);
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_REWRITE_ANALYSIS_H_

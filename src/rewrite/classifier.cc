@@ -1,0 +1,191 @@
+#include "rewrite/classifier.h"
+
+#include "rewrite/analysis.h"
+#include "rewrite/rewriter.h"
+
+namespace viewrewrite {
+
+namespace {
+
+struct Features {
+  bool cmp_corr = false, in_corr = false, set_corr = false, ex_corr = false;
+  bool cmp_non = false, in_non = false, set_non = false, ex_non = false;
+  bool from_derived = false;
+};
+
+bool SubqueryIsCorrelated(const SelectStmt& sub, const Schema& schema,
+                          const ColumnResolver& outer) {
+  auto local_cols = VisibleColumns(sub, schema);
+  if (!local_cols.ok()) return false;
+  ColumnResolver local(std::move(local_cols).value());
+  for (const Expr* c : CollectConjuncts(sub.where.get())) {
+    if (HasOuterRefs(*c, local)) return true;
+  }
+  (void)outer;
+  return false;
+}
+
+void ScanExpr(const Expr* e, const Schema& schema,
+              const ColumnResolver& outer, Features* f) {
+  if (e == nullptr) return;
+  switch (e->kind) {
+    case ExprKind::kScalarSubquery: {
+      const auto& sq = static_cast<const ScalarSubqueryExpr&>(*e);
+      if (SubqueryIsCorrelated(*sq.subquery, schema, outer)) {
+        f->cmp_corr = true;
+      } else {
+        f->cmp_non = true;
+      }
+      return;
+    }
+    case ExprKind::kIn: {
+      const auto& in = static_cast<const InExpr&>(*e);
+      ScanExpr(in.lhs.get(), schema, outer, f);
+      if (in.subquery) {
+        if (SubqueryIsCorrelated(*in.subquery, schema, outer)) {
+          f->in_corr = true;
+        } else {
+          f->in_non = true;
+        }
+      }
+      return;
+    }
+    case ExprKind::kExists: {
+      const auto& ex = static_cast<const ExistsExpr&>(*e);
+      if (SubqueryIsCorrelated(*ex.subquery, schema, outer)) {
+        f->ex_corr = true;
+      } else {
+        f->ex_non = true;
+      }
+      return;
+    }
+    case ExprKind::kQuantifiedCmp: {
+      const auto& q = static_cast<const QuantifiedCmpExpr&>(*e);
+      ScanExpr(q.lhs.get(), schema, outer, f);
+      if (SubqueryIsCorrelated(*q.subquery, schema, outer)) {
+        f->set_corr = true;
+      } else {
+        f->set_non = true;
+      }
+      return;
+    }
+    case ExprKind::kBinary: {
+      const auto* b = static_cast<const BinaryExpr*>(e);
+      ScanExpr(b->left.get(), schema, outer, f);
+      ScanExpr(b->right.get(), schema, outer, f);
+      return;
+    }
+    case ExprKind::kUnary:
+      ScanExpr(static_cast<const UnaryExpr*>(e)->operand.get(), schema, outer,
+               f);
+      return;
+    case ExprKind::kFuncCall: {
+      const auto* fc = static_cast<const FuncCallExpr*>(e);
+      for (const auto& a : fc->args) ScanExpr(a.get(), schema, outer, f);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+bool HasDerivedLeaf(const TableRef& ref) {
+  switch (ref.kind) {
+    case TableRefKind::kBase:
+      return false;
+    case TableRefKind::kDerived:
+      return true;
+    case TableRefKind::kJoin: {
+      const auto& j = static_cast<const JoinTableRef&>(ref);
+      return HasDerivedLeaf(*j.left) || HasDerivedLeaf(*j.right);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* QueryClassName(QueryClass c) {
+  switch (c) {
+    case QueryClass::kSimple: return "simple";
+    case QueryClass::kFromDerivedTable: return "from-derived";
+    case QueryClass::kWithDerivedTable: return "with-derived";
+    case QueryClass::kComparisonCorrelated: return "comparison-correlated";
+    case QueryClass::kInCorrelated: return "in-correlated";
+    case QueryClass::kSetCorrelated: return "set-correlated";
+    case QueryClass::kExistsCorrelated: return "exists-correlated";
+    case QueryClass::kComparisonNonCorrelated:
+      return "comparison-non-correlated";
+    case QueryClass::kInNonCorrelated: return "in-non-correlated";
+    case QueryClass::kSetNonCorrelated: return "set-non-correlated";
+    case QueryClass::kExistsNonCorrelated: return "exists-non-correlated";
+  }
+  return "unknown";
+}
+
+bool IsNestedClass(QueryClass c) {
+  switch (c) {
+    case QueryClass::kComparisonCorrelated:
+    case QueryClass::kInCorrelated:
+    case QueryClass::kSetCorrelated:
+    case QueryClass::kExistsCorrelated:
+    case QueryClass::kComparisonNonCorrelated:
+    case QueryClass::kInNonCorrelated:
+    case QueryClass::kSetNonCorrelated:
+    case QueryClass::kExistsNonCorrelated:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsCorrelatedClass(QueryClass c) {
+  switch (c) {
+    case QueryClass::kComparisonCorrelated:
+    case QueryClass::kInCorrelated:
+    case QueryClass::kSetCorrelated:
+    case QueryClass::kExistsCorrelated:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<QueryClass> Classify(const SelectStmt& stmt, const Schema& schema) {
+  // WITH names are not in the catalog; resolve them first (Rule 8) and
+  // classify the inlined form. A query that is plain after inlining is
+  // the WITH-derived-table class.
+  if (!stmt.with.empty()) {
+    SelectStmtPtr inlined = stmt.Clone();
+    InlineWithClausesStandalone(inlined.get());
+    VR_ASSIGN_OR_RETURN(QueryClass inner, Classify(*inlined, schema));
+    if (inner == QueryClass::kSimple ||
+        inner == QueryClass::kFromDerivedTable) {
+      return QueryClass::kWithDerivedTable;
+    }
+    return inner;
+  }
+  VR_ASSIGN_OR_RETURN(auto cols, VisibleColumns(stmt, schema));
+  ColumnResolver outer(std::move(cols));
+  Features f;
+  ScanExpr(stmt.where.get(), schema, outer, &f);
+  ScanExpr(stmt.having.get(), schema, outer, &f);
+
+  // Nested predicate classes first (the pipeline handles them first).
+  if (f.ex_corr) return QueryClass::kExistsCorrelated;
+  if (f.set_corr) return QueryClass::kSetCorrelated;
+  if (f.in_corr) return QueryClass::kInCorrelated;
+  if (f.cmp_corr) return QueryClass::kComparisonCorrelated;
+  if (f.ex_non) return QueryClass::kExistsNonCorrelated;
+  if (f.set_non) return QueryClass::kSetNonCorrelated;
+  if (f.in_non) return QueryClass::kInNonCorrelated;
+  if (f.cmp_non) return QueryClass::kComparisonNonCorrelated;
+
+  if (!stmt.with.empty()) return QueryClass::kWithDerivedTable;
+  for (const auto& t : stmt.from) {
+    if (HasDerivedLeaf(*t)) return QueryClass::kFromDerivedTable;
+  }
+  return QueryClass::kSimple;
+}
+
+}  // namespace viewrewrite

@@ -1,0 +1,42 @@
+#ifndef VIEWREWRITE_REWRITE_CLASSIFIER_H_
+#define VIEWREWRITE_REWRITE_CLASSIFIER_H_
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace viewrewrite {
+
+/// The query taxonomy of Fig. 1. A query may exhibit several features; the
+/// classifier reports the dominant one in the order the paper's rewrite
+/// pipeline consumes them (nested predicates first, then derived tables).
+enum class QueryClass {
+  kSimple,                     // single relation or plain join, no subqueries
+  kFromDerivedTable,           // subquery in FROM (§6.1–6.3)
+  kWithDerivedTable,           // subquery in WITH (§6.4)
+  kComparisonCorrelated,       // §7.1 (rules 9, 10)
+  kInCorrelated,               // §7.2 (rule 11)
+  kSetCorrelated,              // §7.3 (rule 12)
+  kExistsCorrelated,           // §7.4 (rules 13, 14)
+  kComparisonNonCorrelated,    // §8.1 (rule 15)
+  kInNonCorrelated,            // §8.2 (rules 16, 17)
+  kSetNonCorrelated,           // §8.3 (rule 18)
+  kExistsNonCorrelated,        // §8.4 (rules 19, 20)
+};
+
+const char* QueryClassName(QueryClass c);
+
+/// True for the nested (WHERE-subquery) classes.
+bool IsNestedClass(QueryClass c);
+/// True for the correlated nested classes.
+bool IsCorrelatedClass(QueryClass c);
+
+/// Classifies `stmt` per Fig. 1. Feature extraction walks the WHERE tree
+/// for subquery predicates (testing each subquery for correlation against
+/// the main query's visible columns), then the FROM list for derived
+/// tables, then WITH clauses.
+Result<QueryClass> Classify(const SelectStmt& stmt, const Schema& schema);
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_REWRITE_CLASSIFIER_H_

@@ -1,0 +1,134 @@
+#include "rewrite/dnf.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "sql/printer.h"
+
+namespace viewrewrite {
+
+ExprPtr PushNotInward(const Expr& e, bool negate) {
+  if (e.kind == ExprKind::kUnary) {
+    const auto& u = static_cast<const UnaryExpr&>(e);
+    if (u.op == UnaryOp::kNot) {
+      return PushNotInward(*u.operand, !negate);
+    }
+  }
+  if (e.kind == ExprKind::kBinary) {
+    const auto& b = static_cast<const BinaryExpr&>(e);
+    if (b.op == BinaryOp::kAnd || b.op == BinaryOp::kOr) {
+      BinaryOp op = b.op;
+      if (negate) {
+        op = (op == BinaryOp::kAnd) ? BinaryOp::kOr : BinaryOp::kAnd;
+      }
+      return MakeBinary(op, PushNotInward(*b.left, negate),
+                        PushNotInward(*b.right, negate));
+    }
+    if (negate && IsComparisonOp(b.op)) {
+      return MakeBinary(NegateComparison(b.op), b.left->Clone(),
+                        b.right->Clone());
+    }
+  }
+  if (negate && e.kind == ExprKind::kFuncCall) {
+    const auto& f = static_cast<const FuncCallExpr&>(e);
+    if (f.name == "isnull" || f.name == "isnotnull") {
+      std::vector<ExprPtr> args;
+      args.push_back(f.args[0]->Clone());
+      return MakeFuncCall(f.name == "isnull" ? "isnotnull" : "isnull",
+                          std::move(args));
+    }
+  }
+  ExprPtr clone = e.Clone();
+  if (negate) return MakeNot(std::move(clone));
+  return clone;
+}
+
+namespace {
+
+Result<std::vector<Disjunct>> ToDnfImpl(const Expr& e, size_t max_disjuncts) {
+  if (e.kind == ExprKind::kBinary) {
+    const auto& b = static_cast<const BinaryExpr&>(e);
+    if (b.op == BinaryOp::kOr) {
+      VR_ASSIGN_OR_RETURN(auto l, ToDnfImpl(*b.left, max_disjuncts));
+      VR_ASSIGN_OR_RETURN(auto r, ToDnfImpl(*b.right, max_disjuncts));
+      if (l.size() + r.size() > max_disjuncts) {
+        return Status::RewriteError("DNF expansion exceeds " +
+                                    std::to_string(max_disjuncts) +
+                                    " disjuncts");
+      }
+      for (auto& d : r) l.push_back(std::move(d));
+      return l;
+    }
+    if (b.op == BinaryOp::kAnd) {
+      // Distributive law: (D1 | ... ) AND (E1 | ...) = cross product.
+      VR_ASSIGN_OR_RETURN(auto l, ToDnfImpl(*b.left, max_disjuncts));
+      VR_ASSIGN_OR_RETURN(auto r, ToDnfImpl(*b.right, max_disjuncts));
+      if (l.size() * r.size() > max_disjuncts) {
+        return Status::RewriteError("DNF expansion exceeds " +
+                                    std::to_string(max_disjuncts) +
+                                    " disjuncts");
+      }
+      std::vector<Disjunct> out;
+      out.reserve(l.size() * r.size());
+      for (const Disjunct& dl : l) {
+        for (const Disjunct& dr : r) {
+          Disjunct d;
+          d.reserve(dl.size() + dr.size());
+          for (const auto& a : dl) d.push_back(a->Clone());
+          for (const auto& a : dr) d.push_back(a->Clone());
+          out.push_back(std::move(d));
+        }
+      }
+      return out;
+    }
+  }
+  Disjunct single;
+  single.push_back(e.Clone());
+  std::vector<Disjunct> out;
+  out.push_back(std::move(single));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Disjunct>> ToDnf(const Expr& e, size_t max_disjuncts) {
+  ExprPtr normalized = PushNotInward(e);
+  return ToDnfImpl(*normalized, max_disjuncts);
+}
+
+Result<QueryCombination> InclusionExclusion(
+    const SelectStmt& base, const std::vector<Disjunct>& disjuncts) {
+  const size_t k = disjuncts.size();
+  if (k == 0) {
+    return Status::InvalidArgument("inclusion-exclusion over zero disjuncts");
+  }
+  if (k > 16) {
+    return Status::RewriteError("too many disjuncts for inclusion-exclusion");
+  }
+  QueryCombination combo;
+  for (uint32_t mask = 1; mask < (1u << k); ++mask) {
+    // Intersection of the selected disjuncts: conjunction of their atoms,
+    // deduplicated by canonical SQL text.
+    std::set<std::string> seen;
+    ExprPtr where;
+    int bits = 0;
+    for (size_t i = 0; i < k; ++i) {
+      if ((mask & (1u << i)) == 0) continue;
+      ++bits;
+      for (const ExprPtr& atom : disjuncts[i]) {
+        std::string key = ToSql(*atom);
+        if (!seen.insert(key).second) continue;
+        where = MakeAnd(std::move(where), atom->Clone());
+      }
+    }
+    QueryCombination::Term term;
+    term.coeff = (bits % 2 == 1) ? 1.0 : -1.0;
+    term.query = base.Clone();
+    term.query->where = std::move(where);
+    combo.terms.push_back(std::move(term));
+  }
+  return combo;
+}
+
+}  // namespace viewrewrite

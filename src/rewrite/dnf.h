@@ -1,0 +1,34 @@
+#ifndef VIEWREWRITE_REWRITE_DNF_H_
+#define VIEWREWRITE_REWRITE_DNF_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace viewrewrite {
+
+/// Rewrites `e` so that NOT applies only to atomic predicates: De Morgan
+/// over AND/OR, comparison negation (Rule 6 groundwork), and
+/// isnull/isnotnull flipping. Double negations cancel.
+ExprPtr PushNotInward(const Expr& e, bool negate = false);
+
+/// A disjunct of a DNF: the conjunction of its atoms.
+using Disjunct = std::vector<ExprPtr>;
+
+/// Converts a (NOT-normalized) predicate into disjunctive normal form via
+/// the distributive law (Rule 6). Fails if the expansion exceeds
+/// `max_disjuncts` (inclusion–exclusion would need 2^k - 1 terms).
+Result<std::vector<Disjunct>> ToDnf(const Expr& e, size_t max_disjuncts);
+
+/// Rule 7: expands `base` (an aggregate query whose WHERE is the
+/// disjunction of `disjuncts`) into a signed combination of AND-only
+/// queries by inclusion–exclusion:
+///   |D1 ∪ ... ∪ Dk| = Σ_S (-1)^{|S|+1} |∩ S|.
+/// Duplicate atoms within an intersection are deduplicated.
+Result<QueryCombination> InclusionExclusion(
+    const SelectStmt& base, const std::vector<Disjunct>& disjuncts);
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_REWRITE_DNF_H_

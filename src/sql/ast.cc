@@ -1,0 +1,292 @@
+#include "sql/ast.h"
+
+#include "common/strings.h"
+
+namespace viewrewrite {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BinaryOp MirrorComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // = and <> are symmetric
+  }
+}
+
+BinaryOp NegateComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return BinaryOp::kNe;
+    case BinaryOp::kNe: return BinaryOp::kEq;
+    case BinaryOp::kLt: return BinaryOp::kGe;
+    case BinaryOp::kLe: return BinaryOp::kGt;
+    case BinaryOp::kGt: return BinaryOp::kLe;
+    case BinaryOp::kGe: return BinaryOp::kLt;
+    default: return op;
+  }
+}
+
+bool FuncCallExpr::IsAggregate() const {
+  return name == "count" || name == "sum" || name == "avg" ||
+         name == "min" || name == "max";
+}
+
+// Clone implementations ------------------------------------------------------
+
+ExprPtr LiteralExpr::Clone() const {
+  return std::make_unique<LiteralExpr>(value);
+}
+
+ExprPtr ColumnRefExpr::Clone() const {
+  return std::make_unique<ColumnRefExpr>(table, column);
+}
+
+ExprPtr StarExpr::Clone() const { return std::make_unique<StarExpr>(); }
+
+ExprPtr BinaryExpr::Clone() const {
+  return std::make_unique<BinaryExpr>(op, left->Clone(), right->Clone());
+}
+
+ExprPtr UnaryExpr::Clone() const {
+  return std::make_unique<UnaryExpr>(op, operand->Clone());
+}
+
+ExprPtr FuncCallExpr::Clone() const {
+  std::vector<ExprPtr> cloned;
+  cloned.reserve(args.size());
+  for (const auto& a : args) cloned.push_back(a->Clone());
+  return std::make_unique<FuncCallExpr>(name, std::move(cloned), distinct);
+}
+
+ScalarSubqueryExpr::ScalarSubqueryExpr(SelectStmtPtr q)
+    : Expr(ExprKind::kScalarSubquery), subquery(std::move(q)) {}
+ScalarSubqueryExpr::~ScalarSubqueryExpr() = default;
+
+ExprPtr ScalarSubqueryExpr::Clone() const {
+  return std::make_unique<ScalarSubqueryExpr>(subquery->Clone());
+}
+
+InExpr::InExpr(ExprPtr l, SelectStmtPtr q, bool neg)
+    : Expr(ExprKind::kIn), lhs(std::move(l)), subquery(std::move(q)),
+      negated(neg) {}
+InExpr::InExpr(ExprPtr l, std::vector<ExprPtr> list, bool neg)
+    : Expr(ExprKind::kIn), lhs(std::move(l)), subquery(nullptr),
+      value_list(std::move(list)), negated(neg) {}
+InExpr::~InExpr() = default;
+
+ExprPtr InExpr::Clone() const {
+  if (subquery) {
+    return std::make_unique<InExpr>(lhs->Clone(), subquery->Clone(), negated);
+  }
+  std::vector<ExprPtr> cloned;
+  cloned.reserve(value_list.size());
+  for (const auto& v : value_list) cloned.push_back(v->Clone());
+  return std::make_unique<InExpr>(lhs->Clone(), std::move(cloned), negated);
+}
+
+ExistsExpr::ExistsExpr(SelectStmtPtr q, bool neg)
+    : Expr(ExprKind::kExists), subquery(std::move(q)), negated(neg) {}
+ExistsExpr::~ExistsExpr() = default;
+
+ExprPtr ExistsExpr::Clone() const {
+  return std::make_unique<ExistsExpr>(subquery->Clone(), negated);
+}
+
+QuantifiedCmpExpr::QuantifiedCmpExpr(ExprPtr l, BinaryOp o, Quantifier q,
+                                     SelectStmtPtr sq)
+    : Expr(ExprKind::kQuantifiedCmp), lhs(std::move(l)), op(o), quantifier(q),
+      subquery(std::move(sq)) {}
+QuantifiedCmpExpr::~QuantifiedCmpExpr() = default;
+
+ExprPtr QuantifiedCmpExpr::Clone() const {
+  return std::make_unique<QuantifiedCmpExpr>(lhs->Clone(), op, quantifier,
+                                             subquery->Clone());
+}
+
+ExprPtr ParamExpr::Clone() const { return std::make_unique<ParamExpr>(name); }
+
+TableRefPtr BaseTableRef::Clone() const {
+  return std::make_unique<BaseTableRef>(name, alias);
+}
+
+DerivedTableRef::DerivedTableRef(SelectStmtPtr q, std::string a)
+    : TableRef(TableRefKind::kDerived), subquery(std::move(q)),
+      alias(std::move(a)) {}
+DerivedTableRef::~DerivedTableRef() = default;
+
+TableRefPtr DerivedTableRef::Clone() const {
+  return std::make_unique<DerivedTableRef>(subquery->Clone(), alias);
+}
+
+TableRefPtr JoinTableRef::Clone() const {
+  return std::make_unique<JoinTableRef>(
+      join_type, left->Clone(), right->Clone(),
+      condition ? condition->Clone() : nullptr);
+}
+
+SelectItem SelectItem::Clone() const {
+  SelectItem out;
+  out.expr = expr ? expr->Clone() : nullptr;
+  out.alias = alias;
+  out.is_star = is_star;
+  return out;
+}
+
+WithItem WithItem::Clone() const {
+  WithItem out;
+  out.name = name;
+  out.query = query->Clone();
+  return out;
+}
+
+OrderItem OrderItem::Clone() const {
+  OrderItem out;
+  out.expr = expr->Clone();
+  out.descending = descending;
+  return out;
+}
+
+SelectStmtPtr SelectStmt::Clone() const {
+  auto out = std::make_unique<SelectStmt>();
+  out->with.reserve(with.size());
+  for (const auto& w : with) out->with.push_back(w.Clone());
+  out->distinct = distinct;
+  out->items.reserve(items.size());
+  for (const auto& it : items) out->items.push_back(it.Clone());
+  out->from.reserve(from.size());
+  for (const auto& f : from) out->from.push_back(f->Clone());
+  out->where = where ? where->Clone() : nullptr;
+  out->group_by.reserve(group_by.size());
+  for (const auto& g : group_by) out->group_by.push_back(g->Clone());
+  out->having = having ? having->Clone() : nullptr;
+  out->order_by.reserve(order_by.size());
+  for (const auto& o : order_by) out->order_by.push_back(o.Clone());
+  out->limit = limit;
+  return out;
+}
+
+ChainLink ChainLink::Clone() const {
+  ChainLink out;
+  out.var = var;
+  out.query = query->Clone();
+  return out;
+}
+
+QueryCombination::Term QueryCombination::Term::Clone() const {
+  Term out;
+  out.coeff = coeff;
+  out.query = query->Clone();
+  return out;
+}
+
+QueryCombination QueryCombination::Clone() const {
+  QueryCombination out;
+  out.terms.reserve(terms.size());
+  for (const auto& t : terms) out.terms.push_back(t.Clone());
+  return out;
+}
+
+RewrittenQuery RewrittenQuery::Clone() const {
+  RewrittenQuery out;
+  out.chain.reserve(chain.size());
+  for (const auto& l : chain) out.chain.push_back(l.Clone());
+  out.combination = combination.Clone();
+  return out;
+}
+
+// Convenience constructors ---------------------------------------------------
+
+ExprPtr MakeLiteral(Value v) {
+  return std::make_unique<LiteralExpr>(std::move(v));
+}
+
+ExprPtr MakeIntLiteral(int64_t v) { return MakeLiteral(Value::Int(v)); }
+
+ExprPtr MakeColumnRef(std::string table, std::string column) {
+  return std::make_unique<ColumnRefExpr>(std::move(table), std::move(column));
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r) {
+  return std::make_unique<BinaryExpr>(op, std::move(l), std::move(r));
+}
+
+ExprPtr MakeAnd(ExprPtr l, ExprPtr r) {
+  if (!l) return r;
+  if (!r) return l;
+  return MakeBinary(BinaryOp::kAnd, std::move(l), std::move(r));
+}
+
+ExprPtr MakeOr(ExprPtr l, ExprPtr r) {
+  if (!l) return r;
+  if (!r) return l;
+  return MakeBinary(BinaryOp::kOr, std::move(l), std::move(r));
+}
+
+ExprPtr MakeNot(ExprPtr e) {
+  return std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(e));
+}
+
+ExprPtr MakeFuncCall(std::string name, std::vector<ExprPtr> args,
+                     bool distinct) {
+  return std::make_unique<FuncCallExpr>(ToLower(name), std::move(args),
+                                        distinct);
+}
+
+std::vector<const Expr*> CollectConjuncts(const Expr* e) {
+  std::vector<const Expr*> out;
+  if (e == nullptr) return out;
+  if (e->kind == ExprKind::kBinary) {
+    const auto* b = static_cast<const BinaryExpr*>(e);
+    if (b->op == BinaryOp::kAnd) {
+      auto l = CollectConjuncts(b->left.get());
+      auto r = CollectConjuncts(b->right.get());
+      out.insert(out.end(), l.begin(), l.end());
+      out.insert(out.end(), r.begin(), r.end());
+      return out;
+    }
+  }
+  out.push_back(e);
+  return out;
+}
+
+ExprPtr ConjunctionOf(const std::vector<const Expr*>& conjuncts) {
+  ExprPtr out;
+  for (const Expr* c : conjuncts) {
+    out = MakeAnd(std::move(out), c->Clone());
+  }
+  return out;
+}
+
+}  // namespace viewrewrite

@@ -1,0 +1,27 @@
+#ifndef VIEWREWRITE_SQL_PARSER_H_
+#define VIEWREWRITE_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace viewrewrite {
+
+/// Parses one SQL SELECT statement (optionally with WITH clauses and a
+/// trailing semicolon) into an AST.
+///
+/// Supported grammar (the subset the paper's query classes need):
+///   [WITH name AS (select) [, ...]]
+///   SELECT [DISTINCT] item [, ...]
+///   FROM table_ref [, ...]
+///   [WHERE expr] [GROUP BY cols] [HAVING expr]
+/// with joins (JOIN/INNER/LEFT [OUTER]/NATURAL ... ON), derived tables,
+/// scalar/EXISTS/IN/ANY/SOME/ALL subqueries, aggregates with DISTINCT,
+/// COALESCE, arithmetic, AND/OR/NOT, IS [NOT] NULL, BETWEEN, and `$param`
+/// placeholders for chained queries.
+Result<SelectStmtPtr> ParseSelect(const std::string& sql);
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_SQL_PARSER_H_

@@ -1,0 +1,157 @@
+#include "sql/token.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace viewrewrite {
+
+namespace {
+
+const std::unordered_set<std::string>& KeywordSet() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",   "WHERE",  "GROUP",    "BY",     "HAVING",
+      "AS",     "AND",    "OR",     "NOT",      "IN",     "EXISTS",
+      "ANY",    "SOME",   "ALL",    "DISTINCT", "JOIN",   "INNER",
+      "LEFT",   "RIGHT",  "OUTER",  "NATURAL",  "ON",     "WITH",
+      "NULL",   "IS",     "BETWEEN", "LIKE",    "CASE",   "WHEN",
+      "THEN",   "ELSE",   "END",    "UNION",    "ORDER",  "LIMIT",
+      "ASC",    "DESC",   "TRUE",   "FALSE",
+  };
+  return *kKeywords;
+}
+
+}  // namespace
+
+bool IsSqlKeyword(const std::string& upper_word) {
+  return KeywordSet().count(upper_word) > 0;
+}
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && text == kw;
+}
+
+bool Token::IsOperator(const char* op) const {
+  return type == TokenType::kOperator && text == op;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment: -- ... \n
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (IsSqlKeyword(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = ToLower(word);
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool saw_dot = false;
+      bool saw_exp = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       (!saw_dot && sql[i] == '.'))) {
+        if (sql[i] == '.') saw_dot = true;
+        ++i;
+      }
+      // Scientific notation: [eE][+-]?digits.
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (sql[j] == '+' || sql[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+          saw_exp = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+            ++i;
+          }
+        }
+      }
+      tok.type =
+          (saw_dot || saw_exp) ? TokenType::kFloat : TokenType::kInteger;
+      tok.text = sql.substr(start, i - start);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string lit;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            lit += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        lit += sql[i++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(lit);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = (i + 1 < n) ? sql.substr(i, 2) : std::string();
+    if (two == "<>" || two == "!=" || two == "<=" || two == ">=" ||
+        two == ":=") {
+      tok.type = TokenType::kOperator;
+      tok.text = (two == "!=") ? "<>" : two;
+      i += 2;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    static const std::string kSingle = "=<>+-*/(),.;$";
+    if (kSingle.find(c) != std::string::npos) {
+      tok.type = TokenType::kOperator;
+      tok.text = std::string(1, c);
+      ++i;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace viewrewrite

@@ -1,0 +1,42 @@
+#ifndef VIEWREWRITE_SQL_TOKEN_H_
+#define VIEWREWRITE_SQL_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace viewrewrite {
+
+enum class TokenType {
+  kIdentifier,   // table/column/function names (case-insensitive)
+  kKeyword,      // recognized SQL keywords, text stored upper-cased
+  kInteger,      // 123
+  kFloat,        // 1.5, .5, 2.
+  kString,       // 'abc' with '' escaping
+  kOperator,     // = <> != < <= > >= + - * / ( ) , . ; $
+  kEnd,          // end of input sentinel
+};
+
+/// One lexical token with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // keywords upper-cased; identifiers lower-cased
+  size_t offset = 0;  // byte offset in the original query string
+
+  bool IsKeyword(const char* kw) const;
+  bool IsOperator(const char* op) const;
+};
+
+/// Tokenizes `sql`. The final element is always a kEnd token. SQL keywords
+/// are recognized case-insensitively from a fixed list; everything else
+/// alphabetic is an identifier (lower-cased, since SQL identifiers are
+/// case-insensitive across database platforms).
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// True if `word` (upper-cased) is a recognized SQL keyword.
+bool IsSqlKeyword(const std::string& upper_word);
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_SQL_TOKEN_H_

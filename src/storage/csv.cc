@@ -1,0 +1,197 @@
+#include "storage/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace viewrewrite {
+
+namespace {
+
+/// Splits one CSV record honouring quotes. Returns false on a dangling
+/// quote.
+bool SplitRecord(const std::string& line, std::vector<std::string>* fields,
+                 std::vector<bool>* quoted) {
+  fields->clear();
+  quoted->clear();
+  std::string cur;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      was_quoted = true;
+      continue;
+    }
+    if (c == ',') {
+      fields->push_back(cur);
+      quoted->push_back(was_quoted);
+      cur.clear();
+      was_quoted = false;
+      continue;
+    }
+    if (c == '\r') continue;
+    cur += c;
+  }
+  if (in_quotes) return false;
+  fields->push_back(cur);
+  quoted->push_back(was_quoted);
+  return true;
+}
+
+Result<Value> ParseField(const std::string& field, bool was_quoted,
+                         DataType type) {
+  if (field.empty() && !was_quoted) return Value::Null();
+  switch (type) {
+    case DataType::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::TypeMismatch("'" + field + "' is not an integer");
+      }
+      return Value::Int(v);
+    }
+    case DataType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::TypeMismatch("'" + field + "' is not a number");
+      }
+      return Value::Double(v);
+    }
+    case DataType::kString:
+    case DataType::kNull:
+      return Value::String(field);
+  }
+  return Status::Internal("unknown column type");
+}
+
+std::string EscapeField(const Value& v) {
+  if (v.is_null()) return "";
+  std::string raw;
+  if (v.is_string()) {
+    raw = v.AsString();
+  } else if (v.is_int()) {
+    raw = std::to_string(v.AsInt());
+  } else {
+    std::ostringstream os;
+    os << v.AsDoubleExact();
+    raw = os.str();
+  }
+  bool needs_quotes = raw.find_first_of(",\"\n") != std::string::npos ||
+                      (v.is_string() && raw.empty());
+  if (!needs_quotes) return raw;
+  std::string out = "\"";
+  for (char c : raw) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Status LoadCsv(Table* table, const std::string& csv_text, bool has_header) {
+  std::istringstream in(csv_text);
+  std::string line;
+  size_t line_no = 0;
+  const auto& cols = table->schema().columns();
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line_no == 1 && has_header) continue;
+    if (line.empty()) continue;
+    if (!SplitRecord(line, &fields, &quoted)) {
+      return Status::ParseError("unterminated quote on line " +
+                                std::to_string(line_no));
+    }
+    if (fields.size() != cols.size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + " has " +
+          std::to_string(fields.size()) + " fields, table '" +
+          table->schema().name() + "' expects " +
+          std::to_string(cols.size()));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      VR_ASSIGN_OR_RETURN(Value v,
+                          ParseField(fields[i], quoted[i], cols[i].type));
+      row.push_back(std::move(v));
+    }
+    VR_RETURN_NOT_OK(table->Insert(std::move(row)));
+  }
+  return Status::OK();
+}
+
+Status LoadCsvFile(Table* table, const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadCsv(table, buffer.str(), has_header);
+}
+
+std::string TableToCsv(const Table& table) {
+  std::string out;
+  const auto& cols = table.schema().columns();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) out += ",";
+    out += cols[i].name;
+  }
+  out += "\n";
+  for (const Row& row : table.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ",";
+      out += EscapeField(row[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ResultSetToCsv(const ResultSet& rs) {
+  std::string out;
+  for (size_t i = 0; i < rs.columns.size(); ++i) {
+    if (i > 0) out += ",";
+    out += rs.columns[i];
+  }
+  out += "\n";
+  for (const Row& row : rs.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ",";
+      out += EscapeField(row[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot write '" + path + "'");
+  }
+  out << TableToCsv(table);
+  return Status::OK();
+}
+
+}  // namespace viewrewrite

@@ -1,0 +1,36 @@
+#ifndef VIEWREWRITE_STORAGE_CSV_H_
+#define VIEWREWRITE_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "exec/result_set.h"
+#include "storage/table.h"
+
+namespace viewrewrite {
+
+/// CSV bridge so users can run the engine over their own data.
+///
+/// Format: RFC-4180-style — comma separator, double-quote quoting with ""
+/// escapes, one record per line. Empty unquoted fields load as NULL;
+/// numeric fields are parsed according to the target column type.
+
+/// Appends rows from `csv_text` into `table` (types checked against the
+/// table schema). `has_header` skips the first record.
+Status LoadCsv(Table* table, const std::string& csv_text, bool has_header);
+
+/// Loads a CSV file from disk into `table`.
+Status LoadCsvFile(Table* table, const std::string& path, bool has_header);
+
+/// Serializes a table (header + rows) as CSV text.
+std::string TableToCsv(const Table& table);
+
+/// Serializes a query result as CSV text.
+std::string ResultSetToCsv(const ResultSet& rs);
+
+/// Writes CSV text for `table` to `path`.
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_STORAGE_CSV_H_

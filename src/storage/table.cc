@@ -1,0 +1,71 @@
+#include "storage/table.h"
+
+namespace viewrewrite {
+
+Status Table::Insert(Row row) {
+  const auto& cols = schema_.columns();
+  if (row.size() != cols.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match table '" +
+        schema_.name() + "' arity " + std::to_string(cols.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    Value& v = row[i];
+    if (v.is_null()) continue;
+    switch (cols[i].type) {
+      case DataType::kInt:
+        if (!v.is_int()) {
+          return Status::TypeMismatch("column '" + cols[i].name +
+                                      "' expects INT, got " +
+                                      DataTypeName(v.type()));
+        }
+        break;
+      case DataType::kDouble:
+        if (v.is_int()) {
+          v = Value::Double(static_cast<double>(v.AsInt()));
+        } else if (!v.is_double()) {
+          return Status::TypeMismatch("column '" + cols[i].name +
+                                      "' expects DOUBLE, got " +
+                                      DataTypeName(v.type()));
+        }
+        break;
+      case DataType::kString:
+        if (!v.is_string()) {
+          return Status::TypeMismatch("column '" + cols[i].name +
+                                      "' expects STRING, got " +
+                                      DataTypeName(v.type()));
+        }
+        break;
+      case DataType::kNull:
+        break;
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Table* Database::MutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  const Table* t = FindTable(name);
+  if (t == nullptr) {
+    return Status::NotFound("no table instance named '" + name + "'");
+  }
+  return t;
+}
+
+size_t Database::TotalRows() const {
+  size_t n = 0;
+  for (const auto& [_, t] : tables_) n += t.NumRows();
+  return n;
+}
+
+}  // namespace viewrewrite

@@ -1,0 +1,66 @@
+#ifndef VIEWREWRITE_STORAGE_TABLE_H_
+#define VIEWREWRITE_STORAGE_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "sql/value.h"
+
+namespace viewrewrite {
+
+using Row = std::vector<Value>;
+
+/// An in-memory row-store relation instance.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Appends a row after arity/type checking (NULLs always allowed;
+  /// ints widen to double columns).
+  Status Insert(Row row);
+
+  /// Appends without checking; used by bulk generators that construct
+  /// rows schema-correct by design.
+  void InsertUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+ private:
+  TableSchema schema_;
+  std::vector<Row> rows_;
+};
+
+/// A database instance: a schema plus one Table per relation.
+class Database {
+ public:
+  explicit Database(Schema schema) : schema_(std::move(schema)) {
+    for (const std::string& name : schema_.TableNames()) {
+      tables_.emplace(name, Table(*schema_.FindTable(name)));
+    }
+  }
+
+  const Schema& schema() const { return schema_; }
+
+  const Table* FindTable(const std::string& name) const;
+  Table* MutableTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  /// Total row count across all relations (used to report "database size").
+  size_t TotalRows() const;
+
+ private:
+  Schema schema_;
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_STORAGE_TABLE_H_

@@ -1,0 +1,874 @@
+#include "view/synopsis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "dp/truncation.h"
+#include "rewrite/analysis.h"
+#include "sql/printer.h"
+#include "view/cell_eval.h"
+
+namespace viewrewrite {
+
+namespace {
+
+constexpr const char* kKeyAlias = "__pk";
+
+void CollectBaseLeaves(const TableRef& ref,
+                       std::vector<const BaseTableRef*>* out) {
+  switch (ref.kind) {
+    case TableRefKind::kBase:
+      out->push_back(static_cast<const BaseTableRef*>(&ref));
+      return;
+    case TableRefKind::kDerived:
+      return;
+    case TableRefKind::kJoin: {
+      const auto& j = static_cast<const JoinTableRef&>(ref);
+      CollectBaseLeaves(*j.left, out);
+      CollectBaseLeaves(*j.right, out);
+      return;
+    }
+  }
+}
+
+void CollectDerivedLeaves(const TableRef& ref,
+                          std::vector<const DerivedTableRef*>* out) {
+  switch (ref.kind) {
+    case TableRefKind::kBase:
+      return;
+    case TableRefKind::kDerived:
+      out->push_back(static_cast<const DerivedTableRef*>(&ref));
+      return;
+    case TableRefKind::kJoin: {
+      const auto& j = static_cast<const JoinTableRef&>(ref);
+      CollectDerivedLeaves(*j.left, out);
+      CollectDerivedLeaves(*j.right, out);
+      return;
+    }
+  }
+}
+
+std::string ItemOutputName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr && item.expr->kind == ExprKind::kColumnRef) {
+    return static_cast<const ColumnRefExpr&>(*item.expr).column;
+  }
+  if (item.expr && item.expr->kind == ExprKind::kFuncCall) {
+    return static_cast<const FuncCallExpr&>(*item.expr).name;
+  }
+  return "expr";
+}
+
+/// True if the reference (recursively, through derived bodies) contains a
+/// base table that is, or references, the primary privacy relation.
+bool TouchesPrivacyRelation(const TableRef& ref, const Schema& schema,
+                            const PrivacyPolicy& policy) {
+  switch (ref.kind) {
+    case TableRefKind::kBase: {
+      const auto& b = static_cast<const BaseTableRef&>(ref);
+      return b.name == policy.primary_relation ||
+             schema.References(b.name, policy.primary_relation);
+    }
+    case TableRefKind::kDerived: {
+      const auto& d = static_cast<const DerivedTableRef&>(ref);
+      for (const auto& f : d.subquery->from) {
+        if (TouchesPrivacyRelation(*f, schema, policy)) return true;
+      }
+      return false;
+    }
+    case TableRefKind::kJoin: {
+      const auto& j = static_cast<const JoinTableRef&>(ref);
+      return TouchesPrivacyRelation(*j.left, schema, policy) ||
+             TouchesPrivacyRelation(*j.right, schema, policy);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ExprPtr> ResolvePrivacyKey(SelectStmt* mat_stmt, const Schema& schema,
+                                  const PrivacyPolicy& policy) {
+  VR_ASSIGN_OR_RETURN(const TableSchema* primary,
+                      schema.GetTable(policy.primary_relation));
+
+  std::vector<const BaseTableRef*> leaves;
+  for (const auto& f : mat_stmt->from) CollectBaseLeaves(*f, &leaves);
+
+  // Case 1: the primary privacy relation participates directly.
+  for (const BaseTableRef* leaf : leaves) {
+    if (leaf->name == policy.primary_relation) {
+      return MakeColumnRef(leaf->BindingName(), primary->primary_key());
+    }
+  }
+
+  // Case 2: a participating relation references R_P through foreign keys;
+  // augment the materialization with the N:1 path joins (row-preserving).
+  for (const BaseTableRef* leaf : leaves) {
+    // BFS over the FK graph from leaf->name to the primary relation.
+    std::map<std::string, std::pair<std::string, const ForeignKey*>> pred;
+    std::deque<std::string> queue = {leaf->name};
+    pred[leaf->name] = {"", nullptr};
+    bool found = false;
+    while (!queue.empty() && !found) {
+      std::string cur = queue.front();
+      queue.pop_front();
+      const TableSchema* t = schema.FindTable(cur);
+      if (t == nullptr) continue;
+      for (const ForeignKey& fk : t->foreign_keys()) {
+        if (pred.count(fk.ref_table) > 0) continue;
+        pred[fk.ref_table] = {cur, &fk};
+        if (fk.ref_table == policy.primary_relation) {
+          found = true;
+          break;
+        }
+        queue.push_back(fk.ref_table);
+      }
+    }
+    if (!found) continue;
+    // Reconstruct the hop sequence leaf -> ... -> primary.
+    std::vector<const ForeignKey*> hops;
+    std::string cur = policy.primary_relation;
+    while (cur != leaf->name) {
+      auto& [prev, fk] = pred[cur];
+      hops.push_back(fk);
+      cur = prev;
+    }
+    std::reverse(hops.begin(), hops.end());
+    std::string binding = leaf->BindingName();
+    int idx = 0;
+    for (const ForeignKey* fk : hops) {
+      VR_ASSIGN_OR_RETURN(const TableSchema* ref_schema,
+                          schema.GetTable(fk->ref_table));
+      (void)ref_schema;
+      std::string alias = "__pp" + std::to_string(idx++);
+      mat_stmt->from.push_back(
+          std::make_unique<BaseTableRef>(fk->ref_table, alias));
+      mat_stmt->where = MakeAnd(
+          std::move(mat_stmt->where),
+          MakeBinary(BinaryOp::kEq, MakeColumnRef(binding, fk->column),
+                     MakeColumnRef(alias, fk->ref_column)));
+      binding = alias;
+    }
+    return MakeColumnRef(binding, primary->primary_key());
+  }
+
+  // Case 3: protected data reaches the view only through an aggregated
+  // derived table. Use that table's grouping key (its first output) as a
+  // surrogate individual id — a documented approximation of lineage
+  // through aggregation.
+  std::vector<const DerivedTableRef*> derived;
+  for (const auto& f : mat_stmt->from) CollectDerivedLeaves(*f, &derived);
+  for (const DerivedTableRef* d : derived) {
+    if (!TouchesPrivacyRelation(*d, schema, policy)) continue;
+    if (!d->subquery->items.empty() && !d->subquery->items[0].is_star) {
+      return MakeColumnRef(d->alias, ItemOutputName(d->subquery->items[0]));
+    }
+  }
+  // No participating relation holds or references R_P: neighboring
+  // databases agree on every row of this view, so it is insensitive.
+  return ExprPtr(nullptr);
+}
+
+Result<Synopsis> Synopsis::Build(const ViewDef& view, const Database& db,
+                                 const PrivacyPolicy& policy, double epsilon,
+                                 const SynopsisOptions& options, Random* rng) {
+  if (epsilon <= 0) {
+    return Status::PrivacyError("synopsis requires a positive budget");
+  }
+  Synopsis s;
+  s.view_ = &view;
+
+  // ---- Dimension grid. ----------------------------------------------------
+  s.total_cells_ = 1;
+  for (const ViewAttribute& a : view.attributes()) {
+    int64_t size = a.domain.CellCount() + 1;  // + NULL/other cell
+    s.dim_sizes_.push_back(size);
+    s.total_cells_ *= static_cast<size_t>(size);
+    if (s.total_cells_ > options.max_cells) {
+      return Status::InvalidArgument("view '" + view.signature() +
+                                     "' exceeds the synopsis cell budget");
+    }
+  }
+
+  // ---- Materialization statement. -----------------------------------------
+  auto mat = std::make_unique<SelectStmt>();
+  for (const auto& f : view.from_template().from) mat->from.push_back(f->Clone());
+  mat->where = view.from_template().where
+                   ? view.from_template().where->Clone()
+                   : nullptr;
+  for (size_t i = 0; i < view.attributes().size(); ++i) {
+    const ViewAttribute& a = view.attributes()[i];
+    SelectItem item;
+    item.expr = MakeColumnRef(a.table, a.column);
+    item.alias = "a" + std::to_string(i);
+    mat->items.push_back(std::move(item));
+  }
+  std::vector<std::string> sum_keys;
+  for (const ViewMeasure& m : view.measures()) {
+    if (m.kind != ViewMeasure::Kind::kSum) continue;
+    SelectItem item;
+    item.expr = m.expr->Clone();
+    item.alias = "m" + std::to_string(sum_keys.size());
+    mat->items.push_back(std::move(item));
+    sum_keys.push_back(m.key);
+  }
+  VR_ASSIGN_OR_RETURN(ExprPtr key_expr,
+                      ResolvePrivacyKey(mat.get(), db.schema(), policy));
+  const bool insensitive = (key_expr == nullptr);
+  if (insensitive) {
+    // The view never touches protected data; a constant key makes the
+    // truncation machinery a no-op and sensitivity-0 noise exact.
+    key_expr = MakeIntLiteral(0);
+  }
+  {
+    SelectItem item;
+    item.expr = std::move(key_expr);
+    item.alias = kKeyAlias;
+    mat->items.push_back(std::move(item));
+  }
+
+  Executor executor(db);
+  VR_ASSIGN_OR_RETURN(ResultSet rs, executor.Execute(*mat));
+  s.stats_.materialized_rows = rs.NumRows();
+
+  const size_t n_attrs = view.attributes().size();
+  const size_t n_sums = sum_keys.size();
+  const size_t key_col = n_attrs + n_sums;
+
+  // ---- Truncation threshold (DLS + SVT, §9). -------------------------------
+  std::unordered_map<Value, int64_t, ValueHash> per_key;
+  for (const Row& row : rs.rows) ++per_key[row[key_col]];
+  std::vector<double> contributions;
+  contributions.reserve(per_key.size());
+  for (const auto& [k, c] : per_key) {
+    (void)k;
+    contributions.push_back(static_cast<double>(c));
+  }
+  const double eps_pivot = epsilon * options.trunc_pivot_frac;
+  const double eps_svt = epsilon * options.trunc_svt_frac;
+  int64_t tau = 1;
+  if (insensitive) {
+    // All rows share the constant key; keep every row.
+    tau = static_cast<int64_t>(rs.NumRows()) + 1;
+  } else {
+    VR_ASSIGN_OR_RETURN(
+        tau, SelectTruncationThreshold(contributions, eps_pivot, eps_svt,
+                                       rng));
+  }
+  s.stats_.tau = tau;
+  s.stats_.dls = DownwardLocalSensitivity(contributions);
+  s.stats_.epsilon = epsilon;
+
+  // ---- Truncate and histogram. ---------------------------------------------
+  std::vector<double> count_cells(s.total_cells_, 0.0);
+  std::vector<std::vector<double>> sum_cells(
+      n_sums, std::vector<double>(s.total_cells_, 0.0));
+
+  std::unordered_map<Value, int64_t, ValueHash> kept;
+  std::vector<int64_t> cell(n_attrs, 0);
+  size_t kept_rows = 0;
+  for (const Row& row : rs.rows) {
+    int64_t& used = kept[row[key_col]];
+    if (used >= tau) continue;
+    ++used;
+    ++kept_rows;
+    for (size_t i = 0; i < n_attrs; ++i) cell[i] = s.CellOf(i, row[i]);
+    size_t flat = s.FlatIndex(cell);
+    count_cells[flat] += 1.0;
+    for (size_t m = 0; m < n_sums; ++m) {
+      const Value& v = row[n_attrs + m];
+      if (!v.is_null() && v.is_numeric()) {
+        sum_cells[m][flat] += v.ToDouble();
+      }
+    }
+  }
+  s.stats_.truncated_rows = kept_rows;
+  s.stats_.cells = s.total_cells_;
+
+  // ---- Publish with the matrix mechanism (identity strategy). --------------
+  const double eps_hist =
+      epsilon * (1.0 - options.trunc_pivot_frac - options.trunc_svt_frac);
+  const double eps_each = eps_hist / static_cast<double>(1 + n_sums);
+
+  const double count_sensitivity = insensitive ? 0.0 : static_cast<double>(tau);
+  if (options.strategy == MatrixStrategy::kHierarchical && n_attrs == 1 &&
+      view.attributes()[0].domain.kind == ColumnDomain::Kind::kIntBuckets) {
+    // One-dimensional ordered domain: a binary-tree release answers the
+    // workload's range predicates with O(log n) noisy nodes.
+    VR_ASSIGN_OR_RETURN(HierarchicalHistogram h,
+                        HierarchicalHistogram::Publish(
+                            count_cells, count_sensitivity, eps_each, rng));
+    s.hier_count_ = std::move(h);
+  }
+  VR_ASSIGN_OR_RETURN(
+      std::vector<double> noisy_count,
+      PublishIdentity(count_cells, count_sensitivity, eps_each, rng));
+  s.count_noise_scale_ = count_sensitivity / eps_each;
+  s.exact_["count"] = std::move(count_cells);
+  s.noisy_["count"] = std::move(noisy_count);
+
+  for (size_t m = 0; m < n_sums; ++m) {
+    double bound = 1.0;
+    int mi = view.MeasureIndex(sum_keys[m]);
+    if (mi >= 0) bound = view.measures()[mi].value_bound;
+    VR_ASSIGN_OR_RETURN(
+        std::vector<double> noisy,
+        PublishIdentity(sum_cells[m], count_sensitivity * bound, eps_each,
+                        rng));
+    s.exact_[sum_keys[m]] = std::move(sum_cells[m]);
+    s.noisy_[sum_keys[m]] = std::move(noisy);
+  }
+  return s;
+}
+
+Value Synopsis::Representative(size_t dim, int64_t idx) const {
+  const ColumnDomain& d = view_->attributes()[dim].domain;
+  if (idx >= d.CellCount()) return Value::Null();
+  if (d.kind == ColumnDomain::Kind::kCategorical) {
+    return d.categories[static_cast<size_t>(idx)];
+  }
+  auto [lo, hi] = d.BucketBounds(idx);
+  // Continuous convention: the bucket covers [lo, hi + 1).
+  return Value::Double((static_cast<double>(lo) + static_cast<double>(hi) +
+                        1.0) /
+                       2.0);
+}
+
+int64_t Synopsis::CellOf(size_t dim, const Value& v) const {
+  const ColumnDomain& d = view_->attributes()[dim].domain;
+  if (v.is_null()) return d.CellCount();
+  int64_t idx = d.CellIndex(v);
+  if (idx < 0) return d.CellCount();  // unseen category -> "other" cell
+  return idx;
+}
+
+size_t Synopsis::FlatIndex(const std::vector<int64_t>& cell) const {
+  size_t flat = 0;
+  for (size_t i = 0; i < cell.size(); ++i) {
+    flat = flat * static_cast<size_t>(dim_sizes_[i]) +
+           static_cast<size_t>(cell[i]);
+  }
+  return flat;
+}
+
+const std::vector<double>& Synopsis::ExactCells(
+    const std::string& measure_key) const {
+  static const std::vector<double>* empty = new std::vector<double>();
+  auto it = exact_.find(measure_key);
+  return it == exact_.end() ? *empty : it->second;
+}
+
+namespace {
+
+/// Dimension references of a conjunct: resolves each column ref against
+/// the view attributes. Returns false if some ref is not an attribute.
+bool ConjunctDims(const Expr& e, const ViewDef& view, std::set<int>* dims) {
+  std::vector<const ColumnRefExpr*> refs;
+  CollectColumnRefsShallow(&e, &refs);
+  for (const ColumnRefExpr* r : refs) {
+    int d = view.AttributeIndex(r->table, r->column);
+    if (d < 0) return false;
+    dims->insert(d);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::optional<double>> Synopsis::TryHierarchicalCount(
+    const Expr* where, const ParamMap& params) const {
+  if (!hier_count_.has_value() || view_->attributes().size() != 1) {
+    return std::optional<double>();
+  }
+  const ViewAttribute& attr = view_->attributes()[0];
+  // Evaluate every conjunct per cell of the single dimension; the tree
+  // helps only when the admitted cells form one contiguous value range
+  // that excludes the NULL padding cell.
+  std::vector<const Expr*> conjuncts = CollectConjuncts(where);
+  const int64_t cells = attr.domain.CellCount();
+  int64_t lo = -1, hi = -1;
+  bool contiguous = true;
+  for (int64_t idx = 0; idx <= cells; ++idx) {
+    CellContext ctx;
+    for (const auto& [k, v] : params) ctx.params[k] = v;
+    Value rep = Representative(0, idx);
+    ctx.attr_values[attr.QualifiedName()] = rep;
+    ctx.attr_values[attr.column] = rep;
+    bool pass = true;
+    for (const Expr* c : conjuncts) {
+      std::set<int> dims;
+      if (!ConjunctDims(*c, *view_, &dims)) {
+        return std::optional<double>();  // non-view attribute: bail out
+      }
+      VR_ASSIGN_OR_RETURN(bool p, EvalCellPredicate(*c, ctx));
+      if (!p) {
+        pass = false;
+        break;
+      }
+    }
+    if (idx == cells) {
+      if (pass) return std::optional<double>();  // NULL cell needed
+      break;
+    }
+    if (pass) {
+      if (lo < 0) {
+        lo = hi = idx;
+      } else if (idx == hi + 1) {
+        hi = idx;
+      } else {
+        contiguous = false;
+      }
+    }
+  }
+  if (!contiguous || lo < 0) return std::optional<double>();
+  VR_ASSIGN_OR_RETURN(double sum, hier_count_->RangeSum(lo, hi));
+  return std::optional<double>(sum);
+}
+
+Result<double> Synopsis::SumMatchingCells(const std::vector<double>& array,
+                                          const Expr* where,
+                                          const ParamMap& params) const {
+  const size_t n = view_->attributes().size();
+
+  // Classify conjuncts: per-dimension filters get precomputed masks; the
+  // rest are evaluated per surviving cell.
+  std::vector<const Expr*> conjuncts = CollectConjuncts(where);
+  std::vector<std::vector<const Expr*>> dim_conjuncts(n);
+  std::vector<const Expr*> general;
+  for (const Expr* c : conjuncts) {
+    std::set<int> dims;
+    if (!ConjunctDims(*c, *view_, &dims)) {
+      return Status::ExecutionError(
+          "query filter references a non-view attribute: " + ToSql(*c));
+    }
+    if (dims.size() == 1) {
+      dim_conjuncts[static_cast<size_t>(*dims.begin())].push_back(c);
+    } else if (dims.empty()) {
+      general.push_back(c);  // constant / param-only predicate
+    } else {
+      general.push_back(c);
+    }
+  }
+
+  CellContext ctx;
+  ctx.params.clear();
+  for (const auto& [k, v] : params) ctx.params[k] = v;
+
+  // Constant predicates can zero the whole query (e.g. `$v >= 1`).
+  for (auto it = general.begin(); it != general.end();) {
+    std::set<int> dims;
+    ConjunctDims(**it, *view_, &dims);
+    if (dims.empty()) {
+      VR_ASSIGN_OR_RETURN(bool pass, EvalCellPredicate(**it, ctx));
+      if (!pass) return 0.0;
+      it = general.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Per-dimension allowed masks.
+  std::vector<std::vector<char>> allowed(n);
+  for (size_t d = 0; d < n; ++d) {
+    allowed[d].assign(static_cast<size_t>(dim_sizes_[d]), 1);
+    if (dim_conjuncts[d].empty()) continue;
+    const ViewAttribute& attr = view_->attributes()[d];
+    for (int64_t idx = 0; idx < dim_sizes_[d]; ++idx) {
+      CellContext dctx;
+      dctx.params = ctx.params;
+      Value rep = Representative(d, idx);
+      dctx.attr_values[attr.QualifiedName()] = rep;
+      dctx.attr_values[attr.column] = rep;
+      bool ok = true;
+      for (const Expr* c : dim_conjuncts[d]) {
+        VR_ASSIGN_OR_RETURN(bool pass, EvalCellPredicate(*c, dctx));
+        if (!pass) {
+          ok = false;
+          break;
+        }
+      }
+      allowed[d][static_cast<size_t>(idx)] = ok ? 1 : 0;
+    }
+  }
+
+  // Enumerate allowed cells. Representatives are precomputed and the
+  // cell context is built once with stable map slots, so the per-cell
+  // work is pointer assignments — this loop dominates query answering.
+  std::vector<std::vector<Value>> reps(n);
+  for (size_t d = 0; d < n; ++d) {
+    reps[d].reserve(static_cast<size_t>(dim_sizes_[d]));
+    for (int64_t idx = 0; idx < dim_sizes_[d]; ++idx) {
+      reps[d].push_back(Representative(d, idx));
+    }
+  }
+  CellContext full;
+  full.params = ctx.params;
+  std::vector<std::pair<Value*, Value*>> slots(n);
+  if (!general.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      const ViewAttribute& attr = view_->attributes()[i];
+      Value* qualified = &full.attr_values[attr.QualifiedName()];
+      Value* bare = &full.attr_values[attr.column];
+      slots[i] = {qualified, bare};
+    }
+  }
+
+  double total = 0;
+  std::vector<int64_t> cell(n, 0);
+  std::function<Status(size_t)> recurse = [&](size_t d) -> Status {
+    if (d == n) {
+      if (!general.empty()) {
+        for (const Expr* c : general) {
+          VR_ASSIGN_OR_RETURN(bool pass, EvalCellPredicate(*c, full));
+          if (!pass) return Status::OK();
+        }
+      }
+      total += array[FlatIndex(cell)];
+      return Status::OK();
+    }
+    for (int64_t idx = 0; idx < dim_sizes_[d]; ++idx) {
+      if (!allowed[d][static_cast<size_t>(idx)]) continue;
+      cell[d] = idx;
+      if (!general.empty()) {
+        const Value& rep = reps[d][static_cast<size_t>(idx)];
+        *slots[d].first = rep;
+        *slots[d].second = rep;
+      }
+      VR_RETURN_NOT_OK(recurse(d + 1));
+    }
+    return Status::OK();
+  };
+  if (n == 0) {
+    total = array.empty() ? 0.0 : array[0];
+    if (!general.empty()) {
+      return Status::ExecutionError("filter on a zero-dimensional view");
+    }
+  } else {
+    VR_RETURN_NOT_OK(recurse(0));
+  }
+  return total;
+}
+
+Result<double> Synopsis::EstimateExtremum(const std::string& column,
+                                          bool is_max, const Expr* where,
+                                          const ParamMap& params,
+                                          bool use_exact) const {
+  const auto& arrays = use_exact ? exact_ : noisy_;
+  int dim = -1;
+  for (size_t i = 0; i < view_->attributes().size(); ++i) {
+    if (view_->attributes()[i].column == column) {
+      dim = static_cast<int>(i);
+      break;
+    }
+  }
+  if (dim < 0) {
+    return Status::NotFound("extremum column '" + column +
+                            "' is not a view dimension");
+  }
+  const ViewAttribute& attr = view_->attributes()[static_cast<size_t>(dim)];
+  const int64_t cells = attr.domain.CellCount();
+
+  // Noisy count of qualifying rows in each slice of the target dimension
+  // (WHERE applied); the noisy extremum is the outermost slice whose
+  // count clears the noise floor.
+  auto slice_count = [&](int64_t idx) -> Result<double> {
+    ExprPtr eq = MakeBinary(
+        BinaryOp::kEq, MakeColumnRef(attr.table, attr.column),
+        MakeLiteral(Representative(static_cast<size_t>(dim), idx)));
+    ExprPtr combined =
+        where ? MakeAnd(where->Clone(), std::move(eq)) : std::move(eq);
+    return SumMatchingCells(arrays.at("count"), combined.get(), params);
+  };
+  std::vector<double> counts;
+  counts.reserve(static_cast<size_t>(cells));
+  for (int64_t idx = 0; idx < cells; ++idx) {
+    VR_ASSIGN_OR_RETURN(double c, slice_count(idx));
+    counts.push_back(c);
+  }
+  const double threshold =
+      use_exact ? 0.5 : std::max(1.0, 2.0 * count_noise_scale_);
+  if (is_max) {
+    for (int64_t idx = cells - 1; idx >= 0; --idx) {
+      if (counts[static_cast<size_t>(idx)] > threshold) {
+        return Representative(static_cast<size_t>(dim), idx).ToDouble();
+      }
+    }
+  } else {
+    for (int64_t idx = 0; idx < cells; ++idx) {
+      if (counts[static_cast<size_t>(idx)] > threshold) {
+        return Representative(static_cast<size_t>(dim), idx).ToDouble();
+      }
+    }
+  }
+  // Nothing cleared the noise floor (tiny budgets or an empty selection):
+  // fall back to the most plausible slice so answering degrades gracefully
+  // instead of failing.
+  int64_t best = 0;
+  for (int64_t idx = 1; idx < cells; ++idx) {
+    if (counts[static_cast<size_t>(idx)] > counts[static_cast<size_t>(best)]) {
+      best = idx;
+    }
+  }
+  return Representative(static_cast<size_t>(dim), best).ToDouble();
+}
+
+namespace {
+
+/// Evaluates an item expression after aggregate calls have been resolved
+/// to numbers (keyed by canonical SQL).
+Result<double> EvalAggregateExpr(
+    const Expr& e, const std::map<std::string, double>& agg_values) {
+  auto it = agg_values.find(ToSql(e));
+  if (it != agg_values.end()) return it->second;
+  switch (e.kind) {
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(e).value;
+      if (!v.is_numeric()) {
+        return Status::TypeMismatch("non-numeric literal in aggregate expr");
+      }
+      return v.ToDouble();
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      VR_ASSIGN_OR_RETURN(double l, EvalAggregateExpr(*b.left, agg_values));
+      VR_ASSIGN_OR_RETURN(double r, EvalAggregateExpr(*b.right, agg_values));
+      switch (b.op) {
+        case BinaryOp::kAdd: return l + r;
+        case BinaryOp::kSub: return l - r;
+        case BinaryOp::kMul: return l * r;
+        case BinaryOp::kDiv:
+          if (r == 0) return Status::ExecutionError("division by zero");
+          return l / r;
+        default:
+          return Status::Unsupported("operator in aggregate expression");
+      }
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      if (u.op == UnaryOp::kNeg) {
+        VR_ASSIGN_OR_RETURN(double v,
+                            EvalAggregateExpr(*u.operand, agg_values));
+        return -v;
+      }
+      return Status::Unsupported("NOT in aggregate expression");
+    }
+    default:
+      return Status::Unsupported("expression around aggregates");
+  }
+}
+
+void CollectAggCallsForAnswer(const Expr* e,
+                              std::vector<const FuncCallExpr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kFuncCall) {
+    const auto* f = static_cast<const FuncCallExpr*>(e);
+    if (f->IsAggregate()) {
+      out->push_back(f);
+      return;
+    }
+    for (const auto& a : f->args) CollectAggCallsForAnswer(a.get(), out);
+    return;
+  }
+  if (e->kind == ExprKind::kBinary) {
+    const auto* b = static_cast<const BinaryExpr*>(e);
+    CollectAggCallsForAnswer(b->left.get(), out);
+    CollectAggCallsForAnswer(b->right.get(), out);
+    return;
+  }
+  if (e->kind == ExprKind::kUnary) {
+    CollectAggCallsForAnswer(static_cast<const UnaryExpr*>(e)->operand.get(),
+                             out);
+  }
+}
+
+}  // namespace
+
+Result<double> Synopsis::AnswerScalar(const SelectStmt& query,
+                                      const ParamMap& params) const {
+  return AnswerScalarImpl(query, params, /*use_exact=*/false);
+}
+
+Result<double> Synopsis::AnswerScalarExact(const SelectStmt& query,
+                                           const ParamMap& params) const {
+  return AnswerScalarImpl(query, params, /*use_exact=*/true);
+}
+
+Result<ResultSet> Synopsis::AnswerGrouped(const SelectStmt& query,
+                                          const ParamMap& params,
+                                          bool use_exact) const {
+  if (query.group_by.empty()) {
+    return Status::InvalidArgument("AnswerGrouped requires GROUP BY");
+  }
+  // Resolve each group-by column to a view dimension.
+  std::vector<size_t> group_dims;
+  for (const ExprPtr& g : query.group_by) {
+    if (g->kind != ExprKind::kColumnRef) {
+      return Status::Unsupported("GROUP BY over non-column expressions");
+    }
+    const auto& ref = static_cast<const ColumnRefExpr&>(*g);
+    int dim = view_->AttributeIndex(ref.table, ref.column);
+    if (dim < 0) {
+      return Status::NotFound("GROUP BY column '" + ref.FullName() +
+                              "' is not a view attribute");
+    }
+    group_dims.push_back(static_cast<size_t>(dim));
+  }
+
+  // Output columns: group keys followed by the aggregate items.
+  ResultSet rs;
+  std::vector<const FuncCallExpr*> aggs;
+  for (const SelectItem& item : query.items) {
+    if (item.is_star || !item.expr) {
+      return Status::Unsupported("SELECT * in a grouped synopsis query");
+    }
+    if (!item.alias.empty()) {
+      rs.columns.push_back(item.alias);
+    } else if (item.expr->kind == ExprKind::kColumnRef) {
+      rs.columns.push_back(
+          static_cast<const ColumnRefExpr&>(*item.expr).column);
+    } else if (item.expr->kind == ExprKind::kFuncCall) {
+      rs.columns.push_back(
+          static_cast<const FuncCallExpr&>(*item.expr).name);
+    } else {
+      rs.columns.push_back("expr");
+    }
+  }
+
+  // Enumerate group cells (value cells only; the NULL/other padding cell
+  // is not a publishable group key) and answer each slice by pinning the
+  // group dimensions with synthetic equality predicates.
+  std::vector<int64_t> combo(group_dims.size(), 0);
+  std::function<Status(size_t)> recurse = [&](size_t d) -> Status {
+    if (d == group_dims.size()) {
+      SelectStmtPtr slice = std::make_unique<SelectStmt>();
+      // Scalar item: reuse the scalar path per aggregate; build the row.
+      ExprPtr where = query.where ? query.where->Clone() : nullptr;
+      CellContext key_ctx;
+      Row row;
+      for (size_t gi = 0; gi < group_dims.size(); ++gi) {
+        const ViewAttribute& attr = view_->attributes()[group_dims[gi]];
+        Value rep = Representative(group_dims[gi], combo[gi]);
+        where = MakeAnd(std::move(where),
+                        MakeBinary(BinaryOp::kEq,
+                                   MakeColumnRef(attr.table, attr.column),
+                                   MakeLiteral(rep)));
+      }
+      bool first_agg = true;
+      for (const SelectItem& item : query.items) {
+        if (item.expr->kind == ExprKind::kColumnRef) {
+          // Group key output.
+          const auto& ref = static_cast<const ColumnRefExpr&>(*item.expr);
+          int dim = view_->AttributeIndex(ref.table, ref.column);
+          bool emitted = false;
+          for (size_t gi = 0; gi < group_dims.size(); ++gi) {
+            if (static_cast<int>(group_dims[gi]) == dim) {
+              row.push_back(Representative(group_dims[gi], combo[gi]));
+              emitted = true;
+              break;
+            }
+          }
+          if (!emitted) {
+            return Status::InvalidArgument(
+                "non-grouped column '" + ref.FullName() +
+                "' in grouped select list");
+          }
+          continue;
+        }
+        (void)first_agg;
+        SelectStmt scalar;
+        scalar.items.push_back(item.Clone());
+        scalar.where = where ? where->Clone() : nullptr;
+        VR_ASSIGN_OR_RETURN(double v,
+                            AnswerScalarImpl(scalar, params, use_exact));
+        row.push_back(Value::Double(v));
+      }
+      rs.rows.push_back(std::move(row));
+      return Status::OK();
+    }
+    const int64_t cells =
+        view_->attributes()[group_dims[d]].domain.CellCount();
+    for (int64_t idx = 0; idx < cells; ++idx) {
+      combo[d] = idx;
+      VR_RETURN_NOT_OK(recurse(d + 1));
+    }
+    return Status::OK();
+  };
+  VR_RETURN_NOT_OK(recurse(0));
+  return rs;
+}
+
+Result<double> Synopsis::AnswerScalarImpl(const SelectStmt& query,
+                                          const ParamMap& params,
+                                          bool use_exact) const {
+  const auto& arrays = use_exact ? exact_ : noisy_;
+  if (query.items.size() != 1 || query.items[0].is_star) {
+    return Status::InvalidArgument(
+        "synopsis answering expects a single aggregate item");
+  }
+  const Expr& item = *query.items[0].expr;
+  std::vector<const FuncCallExpr*> aggs;
+  CollectAggCallsForAnswer(&item, &aggs);
+  if (aggs.empty()) {
+    return Status::InvalidArgument("query item has no aggregate");
+  }
+
+  std::map<std::string, double> agg_values;
+  for (const FuncCallExpr* agg : aggs) {
+    double value = 0;
+    if (agg->name == "count") {
+      if (!use_exact) {
+        VR_ASSIGN_OR_RETURN(std::optional<double> hier,
+                            TryHierarchicalCount(query.where.get(), params));
+        if (hier.has_value()) {
+          agg_values[ToSql(*agg)] = *hier;
+          continue;
+        }
+      }
+      VR_ASSIGN_OR_RETURN(value, SumMatchingCells(arrays.at("count"),
+                                                  query.where.get(), params));
+    } else if (agg->name == "sum") {
+      std::string key = "sum:" + ToSql(*agg->args[0]);
+      auto it = arrays.find(key);
+      if (it == arrays.end()) {
+        return Status::NotFound("view has no measure '" + key + "'");
+      }
+      VR_ASSIGN_OR_RETURN(
+          value, SumMatchingCells(it->second, query.where.get(), params));
+    } else if (agg->name == "avg") {
+      std::string key = "sum:" + ToSql(*agg->args[0]);
+      auto it = arrays.find(key);
+      if (it == arrays.end()) {
+        return Status::NotFound("view has no measure '" + key +
+                                "' (needed for AVG)");
+      }
+      VR_ASSIGN_OR_RETURN(
+          double sum, SumMatchingCells(it->second, query.where.get(), params));
+      VR_ASSIGN_OR_RETURN(double cnt,
+                          SumMatchingCells(arrays.at("count"),
+                                           query.where.get(), params));
+      value = sum / std::max(cnt, 1.0);
+    } else if (agg->name == "min" || agg->name == "max") {
+      if (agg->args.size() != 1 ||
+          agg->args[0]->kind != ExprKind::kColumnRef) {
+        return Status::Unsupported("MIN/MAX over non-column expressions");
+      }
+      const auto& col = static_cast<const ColumnRefExpr&>(*agg->args[0]);
+      VR_ASSIGN_OR_RETURN(value,
+                          EstimateExtremum(col.column, agg->name == "max",
+                                           query.where.get(), params,
+                                           use_exact));
+    } else {
+      return Status::Unsupported("aggregate '" + agg->name +
+                                 "' in synopsis answering");
+    }
+    agg_values[ToSql(*agg)] = value;
+  }
+  return EvalAggregateExpr(item, agg_values);
+}
+
+}  // namespace viewrewrite

@@ -1,0 +1,135 @@
+#ifndef VIEWREWRITE_VIEW_SYNOPSIS_H_
+#define VIEWREWRITE_VIEW_SYNOPSIS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "dp/matrix_mechanism.h"
+#include "exec/executor.h"
+#include "storage/table.h"
+#include "view/view_def.h"
+
+namespace viewrewrite {
+
+struct SynopsisOptions {
+  /// Fractions of the per-view budget spent on the two truncation steps
+  /// (noisy pivot Q̂ and SVT); the rest publishes the histograms.
+  double trunc_pivot_frac = 0.05;
+  double trunc_svt_frac = 0.05;
+  MatrixStrategy strategy = MatrixStrategy::kIdentity;
+  /// Hard cap on histogram cells per view.
+  size_t max_cells = size_t{1} << 21;
+  DomainOptions domain;
+};
+
+/// A differentially private synopsis of one view: noisy contingency tables
+/// (one per measure) over the view's attribute grid, published via the
+/// §9 pipeline — materialize, pick truncation threshold τ (DLS + SVT),
+/// truncate per protected key, add matrix-mechanism noise.
+class Synopsis {
+ public:
+  struct BuildStats {
+    int64_t tau = 1;
+    double dls = 0;
+    size_t materialized_rows = 0;
+    size_t truncated_rows = 0;
+    size_t cells = 0;
+    double epsilon = 0;
+  };
+
+  /// Materializes and publishes the view under `epsilon` (the view's slice
+  /// of the total budget). Deterministic given `rng`.
+  static Result<Synopsis> Build(const ViewDef& view, const Database& db,
+                                const PrivacyPolicy& policy, double epsilon,
+                                const SynopsisOptions& options, Random* rng);
+
+  /// Answers a scalar aggregate `query` whose FROM matches this view:
+  /// evaluates the WHERE against every cell's representative values and
+  /// totals the matching noisy measure cells. Supports COUNT, SUM(expr)
+  /// (for registered measure expressions), MIN/MAX/AVG(col) (estimated
+  /// from the histograms over col's dimension), and arithmetic around
+  /// aggregate calls.
+  Result<double> AnswerScalar(const SelectStmt& query,
+                              const ParamMap& params) const;
+
+  /// Same as AnswerScalar but over the exact (pre-noise, pre-truncation-
+  /// noise) cell totals. Benchmarks use it as ground truth: the paper's
+  /// systems answer workload queries exactly from view tuples, so the
+  /// reported error isolates the DP noise.
+  Result<double> AnswerScalarExact(const SelectStmt& query,
+                                   const ParamMap& params) const;
+
+  /// Answers a grouped aggregate (GROUP BY over view attributes): one
+  /// output row per group cell, keyed by the cell representative, with
+  /// the noisy aggregate per group. This is the private histogram release
+  /// for workloads that want per-group results instead of one scalar.
+  Result<ResultSet> AnswerGrouped(const SelectStmt& query,
+                                  const ParamMap& params,
+                                  bool use_exact = false) const;
+
+  const BuildStats& stats() const { return stats_; }
+  const ViewDef& view() const { return *view_; }
+
+  /// Exact (pre-noise) cell totals, for tests only.
+  const std::vector<double>& ExactCells(const std::string& measure_key) const;
+
+ private:
+  Synopsis() = default;
+
+  /// Representative value of dimension `dim` at cell index `idx`
+  /// (the extra index == CellCount() is the NULL/other cell).
+  Value Representative(size_t dim, int64_t idx) const;
+
+  int64_t CellOf(size_t dim, const Value& v) const;
+
+  /// Mixed-radix flattening over (CellCount()+1) per dimension.
+  size_t FlatIndex(const std::vector<int64_t>& cell) const;
+
+  Result<double> AnswerScalarImpl(const SelectStmt& query,
+                                  const ParamMap& params,
+                                  bool use_exact) const;
+
+  Result<double> SumMatchingCells(const std::vector<double>& array,
+                                  const Expr* where,
+                                  const ParamMap& params) const;
+
+  Result<double> EstimateExtremum(const std::string& column, bool is_max,
+                                  const Expr* where, const ParamMap& params,
+                                  bool use_exact) const;
+
+  /// Attempts to answer a 1-D COUNT via the hierarchical tree: succeeds
+  /// when the per-dimension mask is one contiguous value range (no NULL
+  /// cell), the case range decomposition accelerates.
+  Result<std::optional<double>> TryHierarchicalCount(
+      const Expr* where, const ParamMap& params) const;
+
+  const ViewDef* view_ = nullptr;  // owned by the ViewManager
+  std::vector<int64_t> dim_sizes_;  // CellCount()+1 per attribute
+  /// Hierarchical release of the count histogram (1-D views under
+  /// MatrixStrategy::kHierarchical only).
+  std::optional<HierarchicalHistogram> hier_count_;
+  size_t total_cells_ = 1;
+  // measure key -> noisy / exact cell arrays (count first).
+  std::map<std::string, std::vector<double>> noisy_;
+  std::map<std::string, std::vector<double>> exact_;
+  double count_noise_scale_ = 0;
+  BuildStats stats_;
+};
+
+/// Finds (or synthesizes by FK-path augmentation) an expression that
+/// identifies the protected individual for every row of the view's join.
+/// May append path tables and join predicates to `mat_stmt`. Returns
+/// nullptr when no relation of the view holds or references protected
+/// data — such a view is invariant across neighboring databases
+/// (sensitivity 0) and can be published without noise.
+Result<ExprPtr> ResolvePrivacyKey(SelectStmt* mat_stmt, const Schema& schema,
+                                  const PrivacyPolicy& policy);
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_VIEW_SYNOPSIS_H_

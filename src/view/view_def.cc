@@ -1,0 +1,313 @@
+#include "view/view_def.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sql/printer.h"
+
+namespace viewrewrite {
+
+ViewMeasure ViewMeasure::Clone() const {
+  ViewMeasure out;
+  out.kind = kind;
+  out.expr = expr ? expr->Clone() : nullptr;
+  out.value_bound = value_bound;
+  out.key = key;
+  return out;
+}
+
+void ViewDef::AddAttribute(ViewAttribute attr) {
+  for (const ViewAttribute& a : attrs_) {
+    if (a.table == attr.table && a.column == attr.column) return;
+  }
+  attrs_.push_back(std::move(attr));
+}
+
+void ViewDef::AddMeasure(ViewMeasure measure) {
+  for (const ViewMeasure& m : measures_) {
+    if (m.key == measure.key) return;
+  }
+  measures_.push_back(std::move(measure));
+}
+
+int ViewDef::AttributeIndex(const std::string& table,
+                            const std::string& column) const {
+  // Prefer an exact qualified match, then an unqualified column match.
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].table == table && attrs_[i].column == column) {
+      return static_cast<int>(i);
+    }
+  }
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].column == column && (table.empty() || attrs_[i].table.empty())) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int ViewDef::MeasureIndex(const std::string& key) const {
+  for (size_t i = 0; i < measures_.size(); ++i) {
+    if (measures_[i].key == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+struct Interval {
+  double lo = 0;
+  double hi = 0;
+};
+
+std::string ItemOutputName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr && item.expr->kind == ExprKind::kColumnRef) {
+    return static_cast<const ColumnRefExpr&>(*item.expr).column;
+  }
+  if (item.expr && item.expr->kind == ExprKind::kFuncCall) {
+    return static_cast<const FuncCallExpr&>(*item.expr).name;
+  }
+  return "expr";
+}
+
+Result<Interval> DomainToInterval(const ColumnDomain& d) {
+  switch (d.kind) {
+    case ColumnDomain::Kind::kCategorical: {
+      bool first = true;
+      Interval iv;
+      for (const Value& v : d.categories) {
+        if (!v.is_numeric()) {
+          return Status::TypeMismatch(
+              "non-numeric categorical domain in arithmetic context");
+        }
+        double x = v.ToDouble();
+        if (first) {
+          iv.lo = iv.hi = x;
+          first = false;
+        } else {
+          iv.lo = std::min(iv.lo, x);
+          iv.hi = std::max(iv.hi, x);
+        }
+      }
+      if (first) return Status::InvalidArgument("empty categorical domain");
+      return iv;
+    }
+    case ColumnDomain::Kind::kIntBuckets:
+      // Continuous convention: values live in [lo, hi + 1).
+      return Interval{static_cast<double>(d.lo), static_cast<double>(d.hi + 1)};
+    case ColumnDomain::Kind::kNone:
+      return Status::NotFound("column has no registered domain");
+  }
+  return Status::Internal("unknown domain kind");
+}
+
+Result<Interval> ExprInterval(const std::vector<TableRefPtr>& from,
+                              const Schema& schema, const Expr& e,
+                              const DomainOptions& options);
+
+Result<ColumnDomain> FindInTableRef(const TableRef& ref, const Schema& schema,
+                                    const std::string& table,
+                                    const std::string& column,
+                                    const DomainOptions& options,
+                                    bool* found);
+
+Result<ColumnDomain> DeriveFromItemExpr(const SelectStmt& sub,
+                                        const Schema& schema, const Expr& e,
+                                        const DomainOptions& options) {
+  if (e.kind == ExprKind::kColumnRef) {
+    const auto& c = static_cast<const ColumnRefExpr&>(e);
+    return DeriveAttributeDomain(sub.from, schema, c.table, c.column, options);
+  }
+  if (e.kind == ExprKind::kLiteral) {
+    // Constant projections (e.g. the rewriter's `1 AS matched` indicator)
+    // have a one-value domain.
+    return ColumnDomain::Categorical(
+        {static_cast<const LiteralExpr&>(e).value});
+  }
+  if (e.kind == ExprKind::kFuncCall) {
+    const auto& f = static_cast<const FuncCallExpr&>(e);
+    if (f.name == "count") {
+      int64_t cells = std::min<int64_t>(options.count_bound, 8);
+      return ColumnDomain::IntBuckets(0, options.count_bound - 1, cells);
+    }
+    if ((f.name == "min" || f.name == "max" || f.name == "avg") &&
+        f.args.size() == 1 && f.args[0]->kind == ExprKind::kColumnRef) {
+      // These aggregates stay within the argument's domain; reusing it
+      // keeps workload predicates cell-aligned.
+      const auto& c = static_cast<const ColumnRefExpr&>(*f.args[0]);
+      return DeriveAttributeDomain(sub.from, schema, c.table, c.column,
+                                   options);
+    }
+    if (f.name == "sum" && f.args.size() == 1) {
+      VR_ASSIGN_OR_RETURN(Interval iv,
+                          ExprInterval(sub.from, schema, *f.args[0], options));
+      double cb = static_cast<double>(options.count_bound);
+      double lo = std::min(0.0, iv.lo * cb);
+      double hi = std::max(0.0, iv.hi * cb);
+      return ColumnDomain::IntBuckets(static_cast<int64_t>(std::floor(lo)),
+                                      static_cast<int64_t>(std::ceil(hi)) - 1,
+                                      options.buckets);
+    }
+    if (f.name == "min" || f.name == "max" || f.name == "avg") {
+      VR_ASSIGN_OR_RETURN(Interval iv,
+                          ExprInterval(sub.from, schema, *f.args[0], options));
+      return ColumnDomain::IntBuckets(static_cast<int64_t>(std::floor(iv.lo)),
+                                      static_cast<int64_t>(std::ceil(iv.hi)) - 1,
+                                      options.buckets);
+    }
+  }
+  // Generic scalar expression: interval arithmetic.
+  VR_ASSIGN_OR_RETURN(Interval iv, ExprInterval(sub.from, schema, e, options));
+  return ColumnDomain::IntBuckets(static_cast<int64_t>(std::floor(iv.lo)),
+                                  static_cast<int64_t>(std::ceil(iv.hi)) - 1,
+                                  options.buckets);
+}
+
+Result<ColumnDomain> FindInTableRef(const TableRef& ref, const Schema& schema,
+                                    const std::string& table,
+                                    const std::string& column,
+                                    const DomainOptions& options,
+                                    bool* found) {
+  *found = false;
+  switch (ref.kind) {
+    case TableRefKind::kBase: {
+      const auto& b = static_cast<const BaseTableRef&>(ref);
+      if (!table.empty() && b.BindingName() != table) {
+        return ColumnDomain::None();
+      }
+      VR_ASSIGN_OR_RETURN(const TableSchema* ts, schema.GetTable(b.name));
+      const ColumnDef* col = ts->FindColumn(column);
+      if (col == nullptr) return ColumnDomain::None();
+      *found = true;
+      if (!col->domain.IsBounded()) {
+        return Status::NotFound("column '" + b.name + "." + column +
+                                "' has no registered domain");
+      }
+      return col->domain;
+    }
+    case TableRefKind::kDerived: {
+      const auto& d = static_cast<const DerivedTableRef&>(ref);
+      if (!table.empty() && d.alias != table) return ColumnDomain::None();
+      for (const SelectItem& item : d.subquery->items) {
+        if (item.is_star || !item.expr) continue;
+        if (ItemOutputName(item) == column) {
+          *found = true;
+          return DeriveFromItemExpr(*d.subquery, schema, *item.expr, options);
+        }
+      }
+      return ColumnDomain::None();
+    }
+    case TableRefKind::kJoin: {
+      const auto& j = static_cast<const JoinTableRef&>(ref);
+      VR_ASSIGN_OR_RETURN(
+          ColumnDomain dl,
+          FindInTableRef(*j.left, schema, table, column, options, found));
+      if (*found) return dl;
+      return FindInTableRef(*j.right, schema, table, column, options, found);
+    }
+  }
+  return Status::Internal("unknown table ref kind");
+}
+
+Result<Interval> ExprInterval(const std::vector<TableRefPtr>& from,
+                              const Schema& schema, const Expr& e,
+                              const DomainOptions& options) {
+  switch (e.kind) {
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(e).value;
+      if (!v.is_numeric()) {
+        return Status::TypeMismatch("non-numeric literal in interval");
+      }
+      double x = v.ToDouble();
+      return Interval{x, x};
+    }
+    case ExprKind::kColumnRef: {
+      const auto& c = static_cast<const ColumnRefExpr&>(e);
+      VR_ASSIGN_OR_RETURN(
+          ColumnDomain d,
+          DeriveAttributeDomain(from, schema, c.table, c.column, options));
+      return DomainToInterval(d);
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      VR_ASSIGN_OR_RETURN(Interval l,
+                          ExprInterval(from, schema, *b.left, options));
+      VR_ASSIGN_OR_RETURN(Interval r,
+                          ExprInterval(from, schema, *b.right, options));
+      switch (b.op) {
+        case BinaryOp::kAdd:
+          return Interval{l.lo + r.lo, l.hi + r.hi};
+        case BinaryOp::kSub:
+          return Interval{l.lo - r.hi, l.hi - r.lo};
+        case BinaryOp::kMul: {
+          double a1 = l.lo * r.lo, a2 = l.lo * r.hi, a3 = l.hi * r.lo,
+                 a4 = l.hi * r.hi;
+          return Interval{std::min({a1, a2, a3, a4}),
+                          std::max({a1, a2, a3, a4})};
+        }
+        default:
+          return Status::Unsupported("interval arithmetic for operator " +
+                                     std::string(BinaryOpName(b.op)));
+      }
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      if (u.op == UnaryOp::kNeg) {
+        VR_ASSIGN_OR_RETURN(Interval i,
+                            ExprInterval(from, schema, *u.operand, options));
+        return Interval{-i.hi, -i.lo};
+      }
+      return Status::Unsupported("interval of NOT");
+    }
+    case ExprKind::kFuncCall: {
+      const auto& f = static_cast<const FuncCallExpr&>(e);
+      if (f.name == "coalesce") {
+        Interval acc{0, 0};
+        bool first = true;
+        for (const auto& a : f.args) {
+          VR_ASSIGN_OR_RETURN(Interval i,
+                              ExprInterval(from, schema, *a, options));
+          if (first) {
+            acc = i;
+            first = false;
+          } else {
+            acc.lo = std::min(acc.lo, i.lo);
+            acc.hi = std::max(acc.hi, i.hi);
+          }
+        }
+        return acc;
+      }
+      return Status::Unsupported("interval of function '" + f.name + "'");
+    }
+    default:
+      return Status::Unsupported("interval of expression kind");
+  }
+}
+
+}  // namespace
+
+Result<ColumnDomain> DeriveAttributeDomain(
+    const std::vector<TableRefPtr>& from, const Schema& schema,
+    const std::string& table, const std::string& column,
+    const DomainOptions& options) {
+  for (const auto& f : from) {
+    bool found = false;
+    VR_ASSIGN_OR_RETURN(
+        ColumnDomain d,
+        FindInTableRef(*f, schema, table, column, options, &found));
+    if (found) return d;
+  }
+  std::string name = table.empty() ? column : table + "." + column;
+  return Status::NotFound("attribute '" + name +
+                          "' not found in view structure");
+}
+
+Result<double> ExpressionBound(const std::vector<TableRefPtr>& from,
+                               const Schema& schema, const Expr& expr,
+                               const DomainOptions& options) {
+  VR_ASSIGN_OR_RETURN(Interval iv, ExprInterval(from, schema, expr, options));
+  return std::max(std::fabs(iv.lo), std::fabs(iv.hi));
+}
+
+}  // namespace viewrewrite

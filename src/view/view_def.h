@@ -1,0 +1,103 @@
+#ifndef VIEWREWRITE_VIEW_VIEW_DEF_H_
+#define VIEWREWRITE_VIEW_VIEW_DEF_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace viewrewrite {
+
+/// One histogram dimension of a view: a (qualified) attribute of the
+/// view's join structure together with its bounded domain.
+struct ViewAttribute {
+  std::string table;    // binding within the view's FROM ("" if unqualified)
+  std::string column;
+  ColumnDomain domain;
+
+  std::string QualifiedName() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+/// What the synopsis must be able to total per cell.
+struct ViewMeasure {
+  enum class Kind { kCount, kSum, kMin, kMax, kAvg };
+
+  Kind kind = Kind::kCount;
+  /// For kSum: the summed expression. For kMin/kMax/kAvg: the column
+  /// (those are answered from the count/sum histograms over its domain).
+  ExprPtr expr;
+  /// Per-row magnitude bound of `expr` (sensitivity calibration for sums).
+  double value_bound = 1.0;
+  /// Canonical key for dedup ("count", "sum:(a * b)", ...).
+  std::string key;
+
+  ViewMeasure Clone() const;
+};
+
+/// A view: a join structure (FROM tree with residual derived-table
+/// filters), the attribute dimensions queries filter on, and the measures
+/// they aggregate. Structurally identical queries share one view — the
+/// quantity the paper minimizes.
+class ViewDef {
+ public:
+  ViewDef(std::string signature, SelectStmtPtr from_template)
+      : signature_(std::move(signature)),
+        from_template_(std::move(from_template)) {}
+
+  const std::string& signature() const { return signature_; }
+  /// Statement carrying the canonical FROM tree (items/where unset).
+  const SelectStmt& from_template() const { return *from_template_; }
+
+  const std::vector<ViewAttribute>& attributes() const { return attrs_; }
+  const std::vector<ViewMeasure>& measures() const { return measures_; }
+
+  /// Adds an attribute if not already present (by qualified name).
+  void AddAttribute(ViewAttribute attr);
+  /// Adds a measure if not already present (by key).
+  void AddMeasure(ViewMeasure measure);
+
+  int AttributeIndex(const std::string& table,
+                     const std::string& column) const;
+  int MeasureIndex(const std::string& key) const;
+
+ private:
+  std::string signature_;
+  SelectStmtPtr from_template_;
+  std::vector<ViewAttribute> attrs_;
+  std::vector<ViewMeasure> measures_;
+};
+
+/// Derives the bounded domain of an attribute of a FROM structure:
+/// base-table columns use their catalog domain; derived-table outputs are
+/// resolved through their defining expression (aggregates get synthetic
+/// domains sized by `count_bound`, interval arithmetic handles scalar
+/// expressions).
+struct DomainOptions {
+  /// Upper bound (inclusive-exclusive style: values live in [0, bound))
+  /// on per-group row counts; synthetic data generators respect it.
+  int64_t count_bound = 64;
+  /// Default bucket count for derived numeric attributes. Coarser grids
+  /// mean each workload query touches fewer noisy cells, which is how the
+  /// paper's tuned synopses keep per-query variance low.
+  int64_t buckets = 16;
+};
+
+Result<ColumnDomain> DeriveAttributeDomain(
+    const std::vector<TableRefPtr>& from, const Schema& schema,
+    const std::string& table, const std::string& column,
+    const DomainOptions& options);
+
+/// Interval bound |expr| <= bound for a row-level expression over the
+/// given FROM structure (used to calibrate SUM sensitivities).
+Result<double> ExpressionBound(const std::vector<TableRefPtr>& from,
+                               const Schema& schema, const Expr& expr,
+                               const DomainOptions& options);
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_VIEW_VIEW_DEF_H_

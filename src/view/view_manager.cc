@@ -1,0 +1,292 @@
+#include "view/view_manager.h"
+
+#include <algorithm>
+#include <set>
+
+#include "rewrite/analysis.h"
+#include "sql/printer.h"
+
+namespace viewrewrite {
+
+namespace {
+
+void CollectAggCalls(const Expr* e, std::vector<const FuncCallExpr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kFuncCall) {
+    const auto* f = static_cast<const FuncCallExpr*>(e);
+    if (f->IsAggregate()) {
+      out->push_back(f);
+      return;
+    }
+    for (const auto& a : f->args) CollectAggCalls(a.get(), out);
+    return;
+  }
+  if (e->kind == ExprKind::kBinary) {
+    const auto* b = static_cast<const BinaryExpr*>(e);
+    CollectAggCalls(b->left.get(), out);
+    CollectAggCalls(b->right.get(), out);
+    return;
+  }
+  if (e->kind == ExprKind::kUnary) {
+    CollectAggCalls(static_cast<const UnaryExpr*>(e)->operand.get(), out);
+  }
+}
+
+}  // namespace
+
+Result<BoundQuery> ViewManager::RegisterGrouped(const SelectStmt& query,
+                                                const BakePredicate& bake) {
+  if (query.group_by.empty()) {
+    return Status::InvalidArgument("RegisterGrouped requires GROUP BY");
+  }
+  if (query.having != nullptr) {
+    return Status::Unsupported(
+        "HAVING on grouped synopsis queries is not supported");
+  }
+  // Register via a scalar proxy whose WHERE additionally references the
+  // group columns, so they become view attributes; then rebind the
+  // original grouped statement.
+  SelectStmtPtr proxy = query.Clone();
+  proxy->group_by.clear();
+  proxy->items.clear();
+  SelectItem count_item;
+  std::vector<ExprPtr> star_args;
+  star_args.push_back(std::make_unique<StarExpr>());
+  count_item.expr = MakeFuncCall("count", std::move(star_args));
+  proxy->items.push_back(std::move(count_item));
+  for (const ExprPtr& g : query.group_by) {
+    if (g->kind != ExprKind::kColumnRef) {
+      return Status::Unsupported("GROUP BY over non-column expressions");
+    }
+    // A tautological ISNOTNULL-or-not predicate would change semantics;
+    // instead reference the column through a filter that every row
+    // passes after the NULL cell check is irrelevant for registration.
+    proxy->where =
+        MakeAnd(std::move(proxy->where),
+                MakeFuncCall("isnotnull", [&] {
+                  std::vector<ExprPtr> args;
+                  args.push_back(g->Clone());
+                  return args;
+                }()));
+  }
+  // Register once per aggregate item so every measure the grouped query
+  // needs lands on the (single, shared) view.
+  BoundQuery bound;
+  bool registered = false;
+  for (const SelectItem& item : query.items) {
+    if (item.expr && item.expr->kind == ExprKind::kFuncCall &&
+        static_cast<const FuncCallExpr&>(*item.expr).IsAggregate()) {
+      proxy->items[0] = item.Clone();
+      VR_ASSIGN_OR_RETURN(bound, RegisterScalar(*proxy, bake));
+      registered = true;
+    }
+  }
+  if (!registered) {
+    VR_ASSIGN_OR_RETURN(bound, RegisterScalar(*proxy, bake));
+  }
+  bound.cell_query = query.Clone();
+  return bound;
+}
+
+Result<ResultSet> ViewManager::AnswerGrouped(const BoundQuery& q,
+                                             const ParamMap& params,
+                                             bool exact) const {
+  auto it = synopses_.find(q.view_signature);
+  if (it == synopses_.end()) {
+    return Status::NotFound("no synopsis published for view '" +
+                            q.view_signature + "'");
+  }
+  return it->second.AnswerGrouped(*q.cell_query, params, exact);
+}
+
+Result<BoundQuery> ViewManager::RegisterScalar(const SelectStmt& query,
+                                               const BakePredicate& bake) {
+  if (query.items.size() != 1 || query.items[0].is_star) {
+    return Status::InvalidArgument(
+        "view registration expects a single-aggregate query, got: " +
+        ToSql(query));
+  }
+  if (!query.group_by.empty() || query.having != nullptr) {
+    return Status::Unsupported(
+        "grouped workload queries go through RegisterGrouped");
+  }
+
+  // Split WHERE into baked (view-defining) and cell (dimension) conjuncts.
+  std::vector<const Expr*> baked;
+  std::vector<const Expr*> cell;
+  for (const Expr* c : CollectConjuncts(query.where.get())) {
+    if (bake && bake(*c)) {
+      baked.push_back(c);
+    } else {
+      cell.push_back(c);
+    }
+  }
+  ExprPtr baked_where = ConjunctionOf(baked);
+
+  // View signature: the canonical FROM rendering plus baked predicates.
+  std::string signature;
+  for (const auto& f : query.from) signature += ToSql(*f) + " , ";
+  if (baked_where) signature += "|B:" + ToSql(*baked_where);
+
+  ViewDef* view = nullptr;
+  auto it = view_index_.find(signature);
+  if (it != view_index_.end()) {
+    view = views_[it->second].get();
+  } else {
+    auto tmpl = std::make_unique<SelectStmt>();
+    for (const auto& f : query.from) tmpl->from.push_back(f->Clone());
+    tmpl->where = baked_where ? baked_where->Clone() : nullptr;
+    views_.push_back(std::make_unique<ViewDef>(signature, std::move(tmpl)));
+    view_index_[signature] = views_.size() - 1;
+    view = views_.back().get();
+  }
+
+  // Attributes: every column the cell predicates touch.
+  std::vector<const ColumnRefExpr*> refs;
+  for (const Expr* c : cell) CollectColumnRefsShallow(c, &refs);
+  for (const ColumnRefExpr* r : refs) {
+    if (view->AttributeIndex(r->table, r->column) >= 0) continue;
+    VR_ASSIGN_OR_RETURN(
+        ColumnDomain domain,
+        DeriveAttributeDomain(view->from_template().from, schema_, r->table,
+                              r->column, options_.domain));
+    view->AddAttribute(ViewAttribute{r->table, r->column, std::move(domain)});
+  }
+
+  // Measures from the aggregate item.
+  std::vector<const FuncCallExpr*> aggs;
+  CollectAggCalls(query.items[0].expr.get(), &aggs);
+  if (aggs.empty()) {
+    return Status::InvalidArgument("workload query has no aggregate: " +
+                                   ToSql(query));
+  }
+  for (const FuncCallExpr* agg : aggs) {
+    if (agg->name == "count") continue;  // count histogram always built
+    if (agg->name == "sum" || agg->name == "avg") {
+      const Expr& arg = *agg->args[0];
+      ViewMeasure m;
+      m.kind = ViewMeasure::Kind::kSum;
+      m.expr = arg.Clone();
+      m.key = "sum:" + ToSql(arg);
+      VR_ASSIGN_OR_RETURN(m.value_bound,
+                          ExpressionBound(view->from_template().from, schema_,
+                                          arg, options_.domain));
+      view->AddMeasure(std::move(m));
+      continue;
+    }
+    if (agg->name == "min" || agg->name == "max") {
+      if (agg->args.size() != 1 ||
+          agg->args[0]->kind != ExprKind::kColumnRef) {
+        return Status::Unsupported("MIN/MAX over non-column expressions");
+      }
+      const auto& col = static_cast<const ColumnRefExpr&>(*agg->args[0]);
+      if (view->AttributeIndex(col.table, col.column) < 0) {
+        VR_ASSIGN_OR_RETURN(
+            ColumnDomain domain,
+            DeriveAttributeDomain(view->from_template().from, schema_,
+                                  col.table, col.column, options_.domain));
+        view->AddAttribute(
+            ViewAttribute{col.table, col.column, std::move(domain)});
+      }
+      continue;
+    }
+    return Status::Unsupported("aggregate '" + agg->name +
+                               "' in workload query");
+  }
+
+  ++view_usage_[signature];
+  BoundQuery bound;
+  bound.view_signature = signature;
+  bound.cell_query = std::make_unique<SelectStmt>();
+  bound.cell_query->items.push_back(query.items[0].Clone());
+  bound.cell_query->where = ConjunctionOf(cell);
+  return bound;
+}
+
+Result<BoundRewrittenQuery> ViewManager::RegisterRewritten(
+    const RewrittenQuery& rq, const BakePredicate& bake) {
+  BoundRewrittenQuery out;
+  for (const ChainLink& link : rq.chain) {
+    VR_ASSIGN_OR_RETURN(BoundQuery bq, RegisterScalar(*link.query, bake));
+    BoundRewrittenQuery::Link l;
+    l.var = link.var;
+    l.query = std::move(bq);
+    out.chain.push_back(std::move(l));
+  }
+  for (const auto& term : rq.combination.terms) {
+    VR_ASSIGN_OR_RETURN(BoundQuery bq, RegisterScalar(*term.query, bake));
+    BoundRewrittenQuery::Term t;
+    t.coeff = term.coeff;
+    t.query = std::move(bq);
+    out.terms.push_back(std::move(t));
+  }
+  return out;
+}
+
+size_t ViewManager::ViewUsage(const std::string& signature) const {
+  auto it = view_usage_.find(signature);
+  return it == view_usage_.end() ? 0 : it->second;
+}
+
+Status ViewManager::Publish(const Database& db, double total_epsilon,
+                            Random* rng, BudgetAllocation allocation) {
+  if (views_.empty()) {
+    return Status::InvalidArgument("no views registered");
+  }
+  accountant_ = std::make_unique<BudgetAccountant>(total_epsilon);
+  double total_weight = 0;
+  auto weight_of = [&](const ViewDef& view) -> double {
+    if (allocation == BudgetAllocation::kUniform) return 1.0;
+    return static_cast<double>(std::max<size_t>(1, ViewUsage(view.signature())));
+  };
+  for (const auto& view : views_) total_weight += weight_of(*view);
+  for (const auto& view : views_) {
+    const double eps_view =
+        total_epsilon * weight_of(*view) / total_weight;
+    VR_RETURN_NOT_OK(
+        accountant_->Spend(eps_view, "synopsis:" + view->signature()));
+    VR_ASSIGN_OR_RETURN(
+        Synopsis syn,
+        Synopsis::Build(*view, db, policy_, eps_view, options_, rng));
+    synopses_.emplace(view->signature(), std::move(syn));
+  }
+  return Status::OK();
+}
+
+Result<double> ViewManager::AnswerScalar(const BoundQuery& q,
+                                         const ParamMap& params,
+                                         bool exact) const {
+  auto it = synopses_.find(q.view_signature);
+  if (it == synopses_.end()) {
+    return Status::NotFound("no synopsis published for view '" +
+                            q.view_signature + "'");
+  }
+  if (exact) return it->second.AnswerScalarExact(*q.cell_query, params);
+  return it->second.AnswerScalar(*q.cell_query, params);
+}
+
+Result<double> ViewManager::Answer(const BoundRewrittenQuery& q,
+                                   bool exact) const {
+  ParamMap params;
+  for (const auto& link : q.chain) {
+    VR_ASSIGN_OR_RETURN(double v, AnswerScalar(link.query, params, exact));
+    params[link.var] = Value::Double(v);
+  }
+  double total = 0;
+  for (const auto& term : q.terms) {
+    VR_ASSIGN_OR_RETURN(double v, AnswerScalar(term.query, params, exact));
+    total += term.coeff * v;
+  }
+  return total;
+}
+
+std::vector<Synopsis::BuildStats> ViewManager::BuildStatsList() const {
+  std::vector<Synopsis::BuildStats> out;
+  for (const auto& [sig, syn] : synopses_) {
+    (void)sig;
+    out.push_back(syn.stats());
+  }
+  return out;
+}
+
+}  // namespace viewrewrite

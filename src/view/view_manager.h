@@ -1,0 +1,131 @@
+#ifndef VIEWREWRITE_VIEW_VIEW_MANAGER_H_
+#define VIEWREWRITE_VIEW_VIEW_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "dp/budget.h"
+#include "exec/executor.h"
+#include "view/synopsis.h"
+#include "view/view_def.h"
+
+namespace viewrewrite {
+
+/// A workload query bound to its view: the signature locates the synopsis,
+/// `cell_query` is the (AND-only) scalar aggregate evaluated against the
+/// synopsis cells.
+struct BoundQuery {
+  std::string view_signature;
+  SelectStmtPtr cell_query;
+};
+
+/// A fully bound rewritten query: chain links plus combination terms, each
+/// bound to a view.
+struct BoundRewrittenQuery {
+  struct Link {
+    std::string var;
+    BoundQuery query;
+  };
+  std::vector<Link> chain;
+  struct Term {
+    double coeff;
+    BoundQuery query;
+  };
+  std::vector<Term> terms;
+};
+
+/// How the total budget is split across views at publication time.
+/// kUniform is the paper's scheme; kByUsage is the extension the paper
+/// sketches as future work ("optimizing privacy budget allocation
+/// strategies"): views answering more workload queries receive
+/// proportionally more budget.
+enum class BudgetAllocation {
+  kUniform,
+  kByUsage,
+};
+
+/// View generation + publication + query answering (§9's three modules
+/// behind one interface). Both ViewRewrite and the PrivateSQL baseline
+/// drive this class; they differ in how queries are rewritten and in which
+/// predicates are baked into the view (the baseline bakes subquery-derived
+/// predicates, constants included, which is what makes its view count grow).
+class ViewManager {
+ public:
+  /// `bake` decides, per WHERE conjunct, whether the predicate becomes part
+  /// of the view definition (baked, evaluated at materialization) instead
+  /// of a cell-level filter. Pass nullptr to bake nothing.
+  using BakePredicate = std::function<bool(const Expr&)>;
+
+  ViewManager(const Schema& schema, PrivacyPolicy policy,
+              SynopsisOptions options = {})
+      : schema_(schema), policy_(std::move(policy)), options_(options) {}
+
+  /// Registers one scalar aggregate query (a combination term or a chain
+  /// link): locates/creates its view, contributes attributes and measures.
+  Result<BoundQuery> RegisterScalar(const SelectStmt& query,
+                                    const BakePredicate& bake);
+
+  /// Registers a full rewritten query (chain + combination).
+  Result<BoundRewrittenQuery> RegisterRewritten(const RewrittenQuery& rq,
+                                                const BakePredicate& bake);
+
+  size_t NumViews() const { return views_.size(); }
+  const std::vector<std::unique_ptr<ViewDef>>& views() const { return views_; }
+
+  /// Publishes one synopsis per view (sequential composition across
+  /// views), each view running the §9 pipeline. Must be called after all
+  /// registrations. `allocation` picks the budget split.
+  Status Publish(const Database& db, double total_epsilon, Random* rng,
+                 BudgetAllocation allocation = BudgetAllocation::kUniform);
+
+  /// Number of registered scalar queries (terms + chain links) answered
+  /// by view `signature`.
+  size_t ViewUsage(const std::string& signature) const;
+
+  /// Answers a bound scalar query from its synopsis. With `exact`, the
+  /// pre-noise cell totals are used (benchmark ground truth).
+  Result<double> AnswerScalar(const BoundQuery& q, const ParamMap& params,
+                              bool exact = false) const;
+
+  /// Answers a full bound rewritten query: chain links first (binding
+  /// parameters), then the signed combination.
+  Result<double> Answer(const BoundRewrittenQuery& q,
+                        bool exact = false) const;
+
+  /// Registers and answers a grouped aggregate in one step: `query` must
+  /// be a rewritten (subquery-free) statement whose GROUP BY columns are
+  /// view attributes. Returns one noisy row per group cell. Call after
+  /// Publish.
+  Result<ResultSet> AnswerGrouped(const BoundQuery& q, const ParamMap& params,
+                                  bool exact = false) const;
+
+  /// Registration variant for grouped queries: group-by columns become
+  /// view attributes alongside the filter columns.
+  Result<BoundQuery> RegisterGrouped(const SelectStmt& query,
+                                     const BakePredicate& bake);
+
+  /// Per-view build stats after Publish.
+  std::vector<Synopsis::BuildStats> BuildStatsList() const;
+
+  const BudgetAccountant* accountant() const { return accountant_.get(); }
+
+ private:
+  const Schema& schema_;
+  PrivacyPolicy policy_;
+  SynopsisOptions options_;
+  std::vector<std::unique_ptr<ViewDef>> views_;
+  std::map<std::string, size_t> view_index_;           // signature -> index
+  std::map<std::string, size_t> view_usage_;           // signature -> #queries
+  std::map<std::string, Synopsis> synopses_;           // signature -> synopsis
+  std::unique_ptr<BudgetAccountant> accountant_;
+};
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_VIEW_VIEW_MANAGER_H_

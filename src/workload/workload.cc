@@ -1,0 +1,440 @@
+#include "workload/workload.h"
+
+#include <functional>
+
+#include "common/random.h"
+
+namespace viewrewrite {
+
+namespace {
+
+/// Aligned constant pools. Every numeric pool enumerates the bucket
+/// boundaries of the corresponding registered domain, so predicates align
+/// exactly with synopsis cells.
+struct Pools {
+  explicit Pools(int scale) {
+    auto ladder = [](int64_t lo, int64_t width, int64_t n,
+                     std::vector<int64_t>* out) {
+      for (int64_t k = 1; k < n; ++k) out->push_back(lo + k * width);
+    };
+    ladder(0, 4096, 16, &totalprice);        // o_totalprice [0,65535]/16
+    ladder(0, 512, 16, &acctbal);            // c_acctbal [0,8191]/16
+    ladder(0, 4, 16, &quantity);             // l_quantity [0,63]/16
+    ladder(0, 1024, 16, &extendedprice);     // l_extendedprice [0,16383]/16
+    ladder(0, 8, 8, &groupcount);            // derived COUNT [0,63]/8
+    ladder(0, 262144, 16, &grouptotal);      // SUM(o_totalprice)/cust /16
+    // Key-filter constants: finer than the 8-bucket key dimension on
+    // purpose — the cell midpoint rule keeps answering self-consistent,
+    // and the variety drives the baseline's view proliferation.
+    ladder(0, 32 * scale, 32, &custkey);
+    // Census pools.
+    ladder(0, 6, 16, &age);                  // p_age [0,95]/16
+    ladder(0, 512, 16, &income);             // incomes [0,8191]/16
+    ladder(0, 64 * scale, 32, &hkey);        // h_id in [0, 2048*scale)
+    for (int64_t y = 1992; y <= 1998; ++y) years.push_back(y);
+    for (int64_t m = 0; m <= 4; ++m) segments.push_back(m);
+    for (int64_t p = 0; p <= 4; ++p) priorities.push_back(p);
+    for (int64_t s = 0; s <= 9; ++s) states.push_back(s);
+  }
+
+  std::vector<int64_t> totalprice, acctbal, quantity, extendedprice,
+      groupcount, grouptotal, custkey, age, income, hkey, years, segments,
+      priorities, states;
+};
+
+std::string I(int64_t v) { return std::to_string(v); }
+
+/// Draws for main-query positions (uniform) and subquery positions
+/// (Zipf-skewed: distinct-value count grows sublinearly with draws).
+class Draw {
+ public:
+  explicit Draw(uint64_t seed) : rng_(seed) {}
+
+  int64_t Uniform(const std::vector<int64_t>& pool) {
+    return pool[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+  }
+  int64_t Sub(const std::vector<int64_t>& pool) {
+    int64_t idx = rng_.Zipf(static_cast<int64_t>(pool.size()), 1.3) - 1;
+    return pool[static_cast<size_t>(idx)];
+  }
+  const char* Status() {
+    static const char* kStatuses[] = {"f", "o", "p"};
+    return kStatuses[rng_.UniformInt(0, 2)];
+  }
+  const char* Flag() {
+    static const char* kFlags[] = {"a", "n", "r"};
+    return kFlags[rng_.UniformInt(0, 2)];
+  }
+  Random& rng() { return rng_; }
+
+ private:
+  Random rng_;
+};
+
+using Template = std::function<WorkloadQuery(Draw&, const Pools&)>;
+
+// ---------------------------------------------------------------------------
+// TPC-H templates. `agg` is the SELECT item (COUNT(*) or a SUM).
+// ---------------------------------------------------------------------------
+
+std::vector<Template> TpchTemplates(bool sum_type, bool privatesql_only,
+                                    const std::string& family_filter) {
+  auto agg_orders = [sum_type] {
+    return sum_type ? std::string("SUM(o.o_totalprice)")
+                    : std::string("COUNT(*)");
+  };
+  auto agg_customer = [sum_type] {
+    return sum_type ? std::string("SUM(c.c_acctbal)")
+                    : std::string("COUNT(*)");
+  };
+  auto agg_lineitem = [sum_type] {
+    return sum_type ? std::string("SUM(l.l_extendedprice * l.l_quantity)")
+                    : std::string("COUNT(*)");
+  };
+
+  std::vector<std::pair<std::string, Template>> all;
+
+  // --- single-relation ---
+  all.emplace_back("single", [=](Draw& d, const Pools& p) {
+    return WorkloadQuery{
+        "SELECT " + agg_orders() + " FROM orders o WHERE o.o_totalprice >= " +
+            I(d.Uniform(p.totalprice)) +
+            " AND o.o_orderyear = " + I(d.Uniform(p.years)),
+        "single"};
+  });
+  all.emplace_back("single", [=](Draw& d, const Pools& p) {
+    return WorkloadQuery{
+        "SELECT " + agg_customer() + " FROM customer c WHERE c.c_acctbal < " +
+            I(d.Uniform(p.acctbal)) +
+            " AND c.c_mktsegment = " + I(d.Uniform(p.segments)),
+        "single"};
+  });
+  all.emplace_back("single", [=](Draw& d, const Pools& p) {
+    return WorkloadQuery{
+        "SELECT " + agg_lineitem() +
+            " FROM lineitem l WHERE l.l_quantity >= " +
+            I(d.Uniform(p.quantity)) + " AND l.l_returnflag = '" + d.Flag() +
+            "'",
+        "single"};
+  });
+
+  // --- join ---
+  all.emplace_back("join", [=](Draw& d, const Pools& p) {
+    return WorkloadQuery{
+        "SELECT " + agg_orders() +
+            " FROM customer c, orders o WHERE c.c_custkey = o.o_custkey"
+            " AND c.c_mktsegment = " +
+            I(d.Uniform(p.segments)) +
+            " AND o.o_totalprice >= " + I(d.Uniform(p.totalprice)),
+        "join"};
+  });
+  all.emplace_back("join", [=](Draw& d, const Pools& p) {
+    return WorkloadQuery{
+        "SELECT " + agg_lineitem() +
+            " FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey"
+            " AND o.o_orderyear = " +
+            I(d.Uniform(p.years)) +
+            " AND l.l_quantity < " + I(d.Uniform(p.quantity)),
+        "join"};
+  });
+  all.emplace_back("join", [=](Draw& d, const Pools& p) {
+    return WorkloadQuery{
+        "SELECT " + agg_lineitem() +
+            " FROM customer c, orders o, lineitem l"
+            " WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey"
+            " AND c.c_mktsegment = " +
+            I(d.Uniform(p.segments)) + " AND l.l_returnflag = '" + d.Flag() +
+            "'",
+        "join"};
+  });
+
+  // --- correlated nested ---
+  all.emplace_back("correlated", [=](Draw& d, const Pools& p) {
+    // comparison-correlated (no rewrite trap: AVG).
+    return WorkloadQuery{
+        "SELECT " + agg_orders() +
+            " FROM customer c, orders o WHERE c.c_custkey = o.o_custkey"
+            " AND o.o_orderyear = " +
+            I(d.Uniform(p.years)) +
+            " AND o.o_totalprice > (SELECT AVG(o2.o_totalprice) FROM orders"
+            " o2 WHERE o2.o_custkey = c.c_custkey)",
+        "correlated"};
+  });
+  if (!privatesql_only) {
+    all.emplace_back("correlated", [=](Draw& d, const Pools& p) {
+      // EXISTS with a promotable key filter (subquery constant).
+      return WorkloadQuery{
+          "SELECT " + agg_customer() +
+              " FROM customer c WHERE c.c_mktsegment = " +
+              I(d.Uniform(p.segments)) +
+              " AND EXISTS (SELECT * FROM orders o WHERE o.o_custkey ="
+              " c.c_custkey AND o.o_custkey >= " +
+              I(d.Sub(p.custkey)) + " AND o.o_custkey < " +
+              I(d.Sub(p.custkey) + 512) + ")",
+          "correlated"};
+    });
+    all.emplace_back("correlated", [=](Draw& d, const Pools& p) {
+      // NOT EXISTS (rewrite-trap territory: COUNT + COALESCE).
+      return WorkloadQuery{
+          "SELECT " + agg_customer() +
+              " FROM customer c WHERE c.c_acctbal >= " +
+              I(d.Uniform(p.acctbal)) +
+              " AND NOT EXISTS (SELECT * FROM orders o WHERE o.o_custkey ="
+              " c.c_custkey AND o.o_custkey < " +
+              I(d.Sub(p.custkey)) + ")",
+          "correlated"};
+    });
+    all.emplace_back("correlated", [=](Draw& d, const Pools& p) {
+      // set-correlated: >= ALL over lineitem prices of the order.
+      return WorkloadQuery{
+          "SELECT " + agg_orders() +
+              " FROM customer c, orders o WHERE c.c_custkey = o.o_custkey"
+              " AND c.c_mktsegment = " +
+              I(d.Uniform(p.segments)) +
+              " AND o.o_totalprice >= ALL (SELECT l.l_extendedprice FROM"
+              " lineitem l WHERE l.l_orderkey = o.o_orderkey)",
+          "correlated"};
+    });
+    all.emplace_back("correlated", [=](Draw& d, const Pools& p) {
+      // IN-correlated with a promotable key filter.
+      return WorkloadQuery{
+          "SELECT " + agg_orders() +
+              " FROM customer c, orders o WHERE c.c_custkey = o.o_custkey"
+              " AND o.o_orderpriority IN (SELECT o2.o_orderpriority FROM"
+              " orders o2 WHERE o2.o_custkey = c.c_custkey AND o2.o_custkey"
+              " < " +
+              I(d.Sub(p.custkey)) + ")",
+          "correlated"};
+    });
+  }
+
+  // --- non-correlated nested ---
+  all.emplace_back("non-correlated", [=](Draw& d, const Pools& p) {
+    return WorkloadQuery{
+        "SELECT " + agg_orders() +
+            " FROM customer c, orders o WHERE c.c_custkey = o.o_custkey"
+            " AND o.o_totalprice > (SELECT AVG(o2.o_totalprice) FROM orders"
+            " o2 WHERE o2.o_orderyear = " +
+            I(d.Sub(p.years)) +
+            " AND o2.o_orderpriority = " + I(d.Sub(p.priorities)) + ")",
+        "non-correlated"};
+  });
+  all.emplace_back("non-correlated", [=](Draw& d, const Pools& p) {
+    return WorkloadQuery{
+        "SELECT " + agg_orders() + " FROM orders o WHERE o.o_orderyear = " +
+            I(d.Uniform(p.years)) +
+            " AND o.o_custkey IN (SELECT c.c_custkey FROM customer c WHERE"
+            " c.c_mktsegment = " +
+            I(d.Sub(p.segments)) + " AND c.c_acctbal >= " +
+            I(d.Sub(p.acctbal)) + ")",
+        "non-correlated"};
+  });
+  if (!privatesql_only) {
+    all.emplace_back("non-correlated", [=](Draw& d, const Pools& p) {
+      return WorkloadQuery{
+          "SELECT " + agg_orders() +
+              " FROM orders o WHERE o.o_totalprice > ALL (SELECT"
+              " l.l_extendedprice FROM lineitem l WHERE l.l_shipyear = " +
+              I(d.Sub(p.years)) + ")",
+          "non-correlated"};
+    });
+    all.emplace_back("non-correlated", [=](Draw& d, const Pools& p) {
+      return WorkloadQuery{
+          "SELECT " + agg_customer() +
+              " FROM customer c WHERE c.c_acctbal >= " +
+              I(d.Uniform(p.acctbal)) +
+              " AND EXISTS (SELECT * FROM orders o WHERE o.o_orderyear = " +
+              I(d.Sub(p.years)) +
+              " AND o.o_totalprice >= " + I(d.Sub(p.totalprice)) + ")",
+          "non-correlated"};
+    });
+  }
+
+  // --- derived table ---
+  all.emplace_back("derived", [=](Draw& d, const Pools& p) {
+    // Rule 1: no grouping, filter hoists wholesale.
+    return WorkloadQuery{
+        "SELECT " + agg_customer() +
+            " FROM customer c, (SELECT o_custkey, o_totalprice FROM orders"
+            " WHERE o_totalprice >= " +
+            I(d.Sub(p.totalprice)) +
+            ") dt WHERE c.c_custkey = dt.o_custkey AND c.c_mktsegment = " +
+            I(d.Uniform(p.segments)),
+        "derived"};
+  });
+  all.emplace_back("derived", [=](Draw& d, const Pools& p) {
+    // Rule 3: HAVING hoists to the main WHERE.
+    return WorkloadQuery{
+        "SELECT " + agg_customer() +
+            " FROM customer c, (SELECT o_custkey, COUNT(*) AS cnt FROM"
+            " orders GROUP BY o_custkey HAVING COUNT(*) >= " +
+            I(d.Sub(p.groupcount)) +
+            ") dt WHERE c.c_custkey = dt.o_custkey AND c.c_acctbal < " +
+            I(d.Uniform(p.acctbal)),
+        "derived"};
+  });
+  if (!privatesql_only) {
+    all.emplace_back("derived", [=](Draw& d, const Pools& p) {
+      // Rule 2: WHERE on the grouping column hoists.
+      return WorkloadQuery{
+          "SELECT " + agg_customer() +
+              " FROM customer c, (SELECT o_custkey, AVG(o_totalprice) AS a"
+              " FROM orders WHERE o_custkey >= " +
+              I(d.Sub(p.custkey)) +
+              " GROUP BY o_custkey) dt WHERE c.c_custkey = dt.o_custkey"
+              " AND dt.a >= " +
+              I(d.Uniform(p.totalprice)),
+          "derived"};
+    });
+    all.emplace_back("derived", [=](Draw& d, const Pools& p) {
+      // Rule 8 (WITH) + Rule 3.
+      return WorkloadQuery{
+          "WITH t AS (SELECT o_custkey, SUM(o_totalprice) AS s FROM orders"
+          " GROUP BY o_custkey HAVING SUM(o_totalprice) >= " +
+              I(d.Sub(p.grouptotal)) + ") SELECT " + agg_customer() +
+              " FROM customer c, t WHERE c.c_custkey = t.o_custkey AND"
+              " c.c_mktsegment = " +
+              I(d.Uniform(p.segments)),
+          "derived"};
+    });
+    all.emplace_back("derived", [=](Draw& d, const Pools& p) {
+      // Rules 4/5: two same-structure subqueries merge.
+      return WorkloadQuery{
+          "SELECT " + agg_customer() +
+              " FROM customer c, (SELECT o_custkey, COUNT(*) AS cnt FROM"
+              " orders GROUP BY o_custkey) d1, (SELECT o_custkey,"
+              " AVG(o_totalprice) AS a FROM orders GROUP BY o_custkey) d2"
+              " WHERE c.c_custkey = d1.o_custkey AND c.c_custkey ="
+              " d2.o_custkey AND d1.cnt >= " +
+              I(d.Uniform(p.groupcount)) +
+              " AND d2.a < " + I(d.Uniform(p.totalprice)),
+          "derived"};
+    });
+    // --- OR filters (Rules 6/7) ---
+    all.emplace_back("or", [=](Draw& d, const Pools& p) {
+      return WorkloadQuery{
+          "SELECT " + agg_orders() + " FROM orders o WHERE o.o_orderyear = " +
+              I(d.Uniform(p.years)) +
+              " OR o.o_totalprice >= " + I(d.Uniform(p.totalprice)),
+          "or"};
+    });
+  }
+
+  std::vector<Template> out;
+  for (auto& [family, t] : all) {
+    if (family_filter.empty() || family == family_filter) {
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+std::vector<Template> CensusTemplates() {
+  std::vector<Template> out;
+  out.push_back([](Draw& d, const Pools& p) {
+    return WorkloadQuery{
+        "SELECT COUNT(*) FROM person p WHERE p.p_age >= " +
+            I(d.Uniform(p.age)) + " AND p.p_sex = " +
+            I(d.rng().UniformInt(0, 1)),
+        "single"};
+  });
+  out.push_back([](Draw& d, const Pools& p) {
+    return WorkloadQuery{
+        "SELECT COUNT(*) FROM household h, person p WHERE h.h_id = p.p_hid"
+        " AND h.h_state = " +
+            I(d.Uniform(p.states)) +
+            " AND p.p_income >= " + I(d.Uniform(p.income)),
+        "join"};
+  });
+  out.push_back([](Draw& d, const Pools& p) {
+    return WorkloadQuery{
+        "SELECT COUNT(*) FROM household h, person p WHERE h.h_id = p.p_hid"
+        " AND h.h_state = " +
+            I(d.Uniform(p.states)) +
+            " AND p.p_income > (SELECT AVG(p2.p_income) FROM person p2"
+            " WHERE p2.p_hid = h.h_id)",
+        "correlated"};
+  });
+  out.push_back([](Draw& d, const Pools& p) {
+    return WorkloadQuery{
+        "SELECT COUNT(*) FROM household h WHERE h.h_income >= " +
+            I(d.Uniform(p.income)) +
+            " AND EXISTS (SELECT * FROM person p WHERE p.p_hid = h.h_id"
+            " AND p.p_hid >= " +
+            I(d.Sub(p.hkey)) + ")",
+        "correlated"};
+  });
+  out.push_back([](Draw& d, const Pools& p) {
+    return WorkloadQuery{
+        "SELECT COUNT(*) FROM person p WHERE p.p_income > (SELECT"
+        " AVG(p2.p_income) FROM person p2 WHERE p2.p_sex = " +
+            I(d.rng().UniformInt(0, 1)) + " AND p2.p_age >= " +
+            I(d.Sub(p.age)) + ")",
+        "non-correlated"};
+  });
+  out.push_back([](Draw& d, const Pools& p) {
+    return WorkloadQuery{
+        "SELECT COUNT(*) FROM household h, (SELECT p_hid, COUNT(*) AS cnt"
+        " FROM person GROUP BY p_hid HAVING COUNT(*) >= " +
+            I(d.Sub(p.groupcount)) +
+            ") dt WHERE h.h_id = dt.p_hid AND h.h_state = " +
+            I(d.Uniform(p.states)),
+        "derived"};
+  });
+  return out;
+}
+
+}  // namespace
+
+int WorkloadGenerator::QueryCount(int w) {
+  static const int kLadderBig[] = {750, 1500, 3000, 6000, 12000};
+  static const int kLadderSmall[] = {200, 400, 800, 1600, 3200};
+  if (w >= 1 && w <= 5) return kLadderBig[w - 1];
+  if (w >= 6 && w <= 10) return kLadderBig[w - 6];
+  if (w >= 11 && w <= 15) return kLadderBig[w - 11];
+  if (w >= 16 && w <= 20) return kLadderSmall[w - 16];
+  if (w >= 21 && w <= 25) return kLadderSmall[w - 21];
+  if (w >= 26 && w <= 30) return kLadderSmall[w - 26];
+  if (w == 31) return 3000;
+  return 0;
+}
+
+Result<std::vector<WorkloadQuery>> WorkloadGenerator::Generate(int w) const {
+  if (w < 1 || w > 31) {
+    return Status::InvalidArgument("workload index must be in [1, 31]");
+  }
+  const int n = QueryCount(w);
+  Pools pools(scale_);
+  Draw draw(seed_ + static_cast<uint64_t>(w) * 7919);
+
+  std::vector<Template> templates;
+  if (w <= 5) {
+    templates = TpchTemplates(/*sum=*/false, /*privatesql_only=*/false, "");
+  } else if (w <= 10) {
+    templates = TpchTemplates(/*sum=*/true, /*privatesql_only=*/false, "");
+  } else if (w <= 15) {
+    templates = TpchTemplates(/*sum=*/false, /*privatesql_only=*/true, "");
+  } else if (w <= 20) {
+    templates = TpchTemplates(false, false, "correlated");
+  } else if (w <= 25) {
+    templates = TpchTemplates(false, false, "non-correlated");
+  } else if (w <= 30) {
+    templates = TpchTemplates(false, false, "derived");
+  } else {
+    templates = CensusTemplates();
+  }
+  if (templates.empty()) {
+    return Status::Internal("no templates for workload");
+  }
+
+  std::vector<WorkloadQuery> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Template& t = templates[static_cast<size_t>(i) % templates.size()];
+    out.push_back(t(draw, pools));
+  }
+  return out;
+}
+
+}  // namespace viewrewrite

@@ -1,0 +1,56 @@
+#ifndef VIEWREWRITE_WORKLOAD_WORKLOAD_H_
+#define VIEWREWRITE_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace viewrewrite {
+
+/// One workload query: SQL text plus the template family it came from
+/// (for tests and reporting).
+struct WorkloadQuery {
+  std::string sql;
+  std::string family;  // "single", "join", "correlated", ...
+};
+
+/// Generates the paper's 31 workloads (§10.1):
+///   W1-W5    count type, {750,1500,3000,6000,12000} queries, mixed classes
+///   W6-W10   sum type, same ladder
+///   W11-W15  count type, same ladder, PrivateSQL-supported classes only
+///   W16-W20  correlated nested queries, {200,400,800,1600,3200}
+///   W21-W25  non-correlated nested queries, same ladder
+///   W26-W30  derived table queries, same ladder
+///   W31      U.S. Census, 3000 mixed queries
+///
+/// Queries are template-instantiated with constants drawn from pools that
+/// align with the registered attribute-domain bucket boundaries (so the
+/// synopsis discretization is exact). Constants in *subquery* positions
+/// are drawn Zipf-skewed: the number of distinct values (and hence the
+/// PrivateSQL baseline's view count) grows sublinearly with workload
+/// size, as in the paper's Fig. 6e / Table 2.
+class WorkloadGenerator {
+ public:
+  /// `tpch_scale` sizes the key-domain constant pools to the generated
+  /// database (keys grow with scale); `seed` fixes the instantiation.
+  WorkloadGenerator(int tpch_scale, uint64_t seed)
+      : scale_(tpch_scale), seed_(seed) {}
+
+  /// Number of queries in workload `w` (1-based, per the paper).
+  static int QueryCount(int w);
+
+  /// True if `w` targets the U.S. Census schema (only W31).
+  static bool IsCensus(int w) { return w == 31; }
+
+  Result<std::vector<WorkloadQuery>> Generate(int w) const;
+
+ private:
+  int scale_;
+  uint64_t seed_;
+};
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_WORKLOAD_WORKLOAD_H_

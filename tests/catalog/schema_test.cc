@@ -1,0 +1,96 @@
+#include "catalog/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_db.h"
+
+namespace viewrewrite {
+namespace {
+
+TEST(ColumnDomainTest, CategoricalCells) {
+  auto d = ColumnDomain::Categorical({Value::Int(10), Value::Int(20)});
+  EXPECT_EQ(d.CellCount(), 2);
+  EXPECT_EQ(d.CellIndex(Value::Int(10)), 0);
+  EXPECT_EQ(d.CellIndex(Value::Int(20)), 1);
+  EXPECT_EQ(d.CellIndex(Value::Int(30)), -1);
+}
+
+TEST(ColumnDomainTest, IntBucketsIndexAndBounds) {
+  auto d = ColumnDomain::IntBuckets(0, 63, 16);  // width 4
+  EXPECT_EQ(d.CellCount(), 16);
+  EXPECT_EQ(d.CellIndex(Value::Int(0)), 0);
+  EXPECT_EQ(d.CellIndex(Value::Int(3)), 0);
+  EXPECT_EQ(d.CellIndex(Value::Int(4)), 1);
+  EXPECT_EQ(d.CellIndex(Value::Int(63)), 15);
+  auto [lo, hi] = d.BucketBounds(1);
+  EXPECT_EQ(lo, 4);
+  EXPECT_EQ(hi, 7);
+  auto [llo, lhi] = d.BucketBounds(15);
+  EXPECT_EQ(llo, 60);
+  EXPECT_EQ(lhi, 63);
+}
+
+TEST(ColumnDomainTest, IntBucketsClampsOutOfRange) {
+  auto d = ColumnDomain::IntBuckets(0, 63, 16);
+  EXPECT_EQ(d.CellIndex(Value::Int(-5)), 0);
+  EXPECT_EQ(d.CellIndex(Value::Int(1000)), 15);
+  EXPECT_EQ(d.CellIndex(Value::String("x")), -1);
+}
+
+TEST(ColumnDomainTest, BucketCountClampedToSpan) {
+  auto d = ColumnDomain::IntBuckets(0, 3, 100);  // only 4 integers
+  EXPECT_EQ(d.CellCount(), 4);
+}
+
+TEST(ColumnDomainTest, NoneDomainIsUnbounded) {
+  auto d = ColumnDomain::None();
+  EXPECT_FALSE(d.IsBounded());
+  EXPECT_EQ(d.CellCount(), 0);
+}
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema schema = testing_support::MakeTestSchema();
+  EXPECT_NE(schema.FindTable("customer"), nullptr);
+  EXPECT_EQ(schema.FindTable("nope"), nullptr);
+  EXPECT_FALSE(schema.GetTable("nope").ok());
+  auto names = schema.TableNames();
+  EXPECT_EQ(names.size(), 3u);
+}
+
+TEST(SchemaTest, DuplicateTableRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddTable(TableSchema("t", {}, "id")).ok());
+  EXPECT_EQ(schema.AddTable(TableSchema("t", {}, "id")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, ColumnLookup) {
+  Schema schema = testing_support::MakeTestSchema();
+  const TableSchema* orders = schema.FindTable("orders");
+  ASSERT_NE(orders, nullptr);
+  EXPECT_TRUE(orders->ColumnIndex("o_status").has_value());
+  EXPECT_FALSE(orders->ColumnIndex("nonexistent").has_value());
+  EXPECT_EQ(orders->primary_key(), "o_orderkey");
+}
+
+TEST(SchemaTest, TransitiveForeignKeyReachability) {
+  Schema schema = testing_support::MakeTestSchema();
+  EXPECT_TRUE(schema.References("orders", "customer"));
+  EXPECT_TRUE(schema.References("lineitem", "customer"));  // via orders
+  EXPECT_TRUE(schema.References("lineitem", "orders"));
+  EXPECT_FALSE(schema.References("customer", "orders"));
+  EXPECT_FALSE(schema.References("customer", "lineitem"));
+}
+
+TEST(SchemaTest, PrivacyRelationsIncludeReferencingTables) {
+  Schema schema = testing_support::MakeTestSchema();
+  auto rels = schema.PrivacyRelations("customer");
+  EXPECT_EQ(rels.size(), 3u);  // customer, orders, lineitem
+  rels = schema.PrivacyRelations("orders");
+  EXPECT_EQ(rels.size(), 2u);  // orders, lineitem
+  rels = schema.PrivacyRelations("lineitem");
+  EXPECT_EQ(rels.size(), 1u);
+}
+
+}  // namespace
+}  // namespace viewrewrite

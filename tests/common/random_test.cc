@@ -1,0 +1,88 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace viewrewrite {
+namespace {
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1000000) == b.UniformInt(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, UniformIntRespectsBounds) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, UniformDoubleInUnitInterval) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomTest, LaplaceMeanAndScale) {
+  Random rng(99);
+  const double scale = 3.0;
+  const int n = 200000;
+  double sum = 0;
+  double abs_sum = 0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Laplace(scale);
+    sum += x;
+    abs_sum += std::fabs(x);
+  }
+  // Laplace(0, b): E[X] = 0, E[|X|] = b.
+  EXPECT_NEAR(sum / n, 0.0, 0.1);
+  EXPECT_NEAR(abs_sum / n, scale, 0.1);
+}
+
+TEST(RandomTest, ZipfStaysInRangeAndSkews) {
+  Random rng(5);
+  const int64_t n = 100;
+  int64_t ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.Zipf(n, 1.2);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, n);
+    if (v == 1) ++ones;
+  }
+  // Rank 1 should be far more likely than uniform (1% of draws).
+  EXPECT_GT(ones, 1000);
+}
+
+TEST(RandomTest, ForkProducesIndependentStream) {
+  Random a(42);
+  Random child = a.Fork();
+  // The fork consumed state; parent and child should not mirror each other.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1 << 30) == child.UniformInt(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,60 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace viewrewrite {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto inner = []() -> Result<int> { return Status::ParseError("bad"); };
+  auto outer = [&]() -> Result<std::string> {
+    VR_ASSIGN_OR_RETURN(int v, inner());
+    return std::to_string(v);
+  };
+  Result<std::string> r = outer();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(ResultTest, AssignOrReturnUnwrapsValue) {
+  auto inner = []() -> Result<int> { return 5; };
+  auto outer = [&]() -> Result<std::string> {
+    VR_ASSIGN_OR_RETURN(int v, inner());
+    return std::to_string(v + 1);
+  };
+  Result<std::string> r = outer();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "6");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+}  // namespace
+}  // namespace viewrewrite

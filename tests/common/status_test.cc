@@ -1,0 +1,55 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace viewrewrite {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::TypeMismatch("x").code(), StatusCode::kTypeMismatch);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::ExecutionError("x").code(), StatusCode::kExecutionError);
+  EXPECT_EQ(Status::RewriteError("x").code(), StatusCode::kRewriteError);
+  EXPECT_EQ(Status::PrivacyError("x").code(), StatusCode::kPrivacyError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto inner = []() -> Status { return Status::NotFound("gone"); };
+  auto outer = [&]() -> Status {
+    VR_RETURN_NOT_OK(inner());
+    return Status::Internal("unreachable");
+  };
+  Status s = outer();
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPassesThroughOk) {
+  auto inner = []() -> Status { return Status::OK(); };
+  auto outer = [&]() -> Status {
+    VR_RETURN_NOT_OK(inner());
+    return Status::Internal("reached");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace viewrewrite

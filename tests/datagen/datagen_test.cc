@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/census.h"
+#include "datagen/tpch.h"
+
+namespace viewrewrite {
+namespace {
+
+TEST(TpchTest, SchemaHasEightRelations) {
+  Schema schema = MakeTpchSchema();
+  EXPECT_EQ(schema.TableNames().size(), 8u);
+  for (const char* name :
+       {"region", "nation", "supplier", "part", "partsupp", "customer",
+        "orders", "lineitem"}) {
+    EXPECT_NE(schema.FindTable(name), nullptr) << name;
+  }
+}
+
+TEST(TpchTest, ForeignKeyGraphMatchesTpch) {
+  Schema schema = MakeTpchSchema();
+  EXPECT_TRUE(schema.References("lineitem", "orders"));
+  EXPECT_TRUE(schema.References("lineitem", "customer"));
+  EXPECT_TRUE(schema.References("orders", "customer"));
+  EXPECT_TRUE(schema.References("customer", "nation"));
+  EXPECT_TRUE(schema.References("customer", "region"));
+  EXPECT_TRUE(schema.References("partsupp", "part"));
+  EXPECT_FALSE(schema.References("part", "supplier"));
+}
+
+TEST(TpchTest, CardinalitiesScaleLinearly) {
+  TpchConfig c1;
+  c1.scale = 1;
+  TpchConfig c2;
+  c2.scale = 2;
+  auto db1 = GenerateTpch(c1);
+  auto db2 = GenerateTpch(c2);
+  EXPECT_EQ(db1->FindTable("customer")->NumRows(), 750u);
+  EXPECT_EQ(db2->FindTable("customer")->NumRows(), 1500u);
+  EXPECT_EQ(db1->FindTable("region")->NumRows(), 5u);
+  EXPECT_EQ(db2->FindTable("region")->NumRows(), 5u);
+  EXPECT_GT(db2->FindTable("orders")->NumRows(),
+            db1->FindTable("orders")->NumRows());
+}
+
+TEST(TpchTest, Deterministic) {
+  TpchConfig c;
+  auto a = GenerateTpch(c);
+  auto b = GenerateTpch(c);
+  EXPECT_EQ(a->TotalRows(), b->TotalRows());
+  EXPECT_EQ(a->FindTable("orders")->rows(), b->FindTable("orders")->rows());
+}
+
+TEST(TpchTest, ForeignKeysResolve) {
+  TpchConfig c;
+  auto db = GenerateTpch(c);
+  std::set<Value> custkeys;
+  for (const Row& r : db->FindTable("customer")->rows()) {
+    custkeys.insert(r[0]);
+  }
+  const TableSchema& orders = db->FindTable("orders")->schema();
+  auto ck_idx = orders.ColumnIndex("o_custkey");
+  ASSERT_TRUE(ck_idx.has_value());
+  for (const Row& r : db->FindTable("orders")->rows()) {
+    ASSERT_TRUE(custkeys.count(r[*ck_idx]) > 0);
+  }
+}
+
+TEST(TpchTest, FanOutStaysUnderCountBound) {
+  TpchConfig c;
+  auto db = GenerateTpch(c);
+  std::map<Value, int> per_cust;
+  const TableSchema& orders = db->FindTable("orders")->schema();
+  auto ck = *orders.ColumnIndex("o_custkey");
+  for (const Row& r : db->FindTable("orders")->rows()) {
+    ++per_cust[r[ck]];
+  }
+  for (const auto& [k, n] : per_cust) {
+    (void)k;
+    ASSERT_LT(n, 64);  // synopsis count-domain bound
+  }
+}
+
+TEST(TpchTest, ValuesStayInRegisteredDomains) {
+  TpchConfig c;
+  auto db = GenerateTpch(c);
+  for (const std::string& tname : db->schema().TableNames()) {
+    const Table* t = db->FindTable(tname);
+    const auto& cols = t->schema().columns();
+    for (const Row& r : t->rows()) {
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (!cols[i].domain.IsBounded()) continue;
+        ASSERT_GE(cols[i].domain.CellIndex(r[i]), 0)
+            << tname << "." << cols[i].name << " = " << r[i].ToString();
+      }
+    }
+  }
+}
+
+TEST(CensusTest, SchemaAndScale) {
+  Schema schema = MakeCensusSchema();
+  EXPECT_EQ(schema.TableNames().size(), 2u);
+  EXPECT_TRUE(schema.References("person", "household"));
+
+  CensusConfig c;
+  auto db = GenerateCensus(c);
+  EXPECT_EQ(db->FindTable("household")->NumRows(), 2000u);
+  EXPECT_GT(db->FindTable("person")->NumRows(), 2000u);
+}
+
+TEST(CensusTest, HouseholdSizeMatchesPersons) {
+  CensusConfig c;
+  c.households = 100;
+  auto db = GenerateCensus(c);
+  std::map<Value, int64_t> persons_per_household;
+  for (const Row& r : db->FindTable("person")->rows()) {
+    ++persons_per_household[r[1]];
+  }
+  const Table* hh = db->FindTable("household");
+  auto size_idx = *hh->schema().ColumnIndex("h_size");
+  for (const Row& r : hh->rows()) {
+    EXPECT_EQ(persons_per_household[r[0]], r[size_idx].AsInt());
+  }
+}
+
+TEST(CensusTest, Deterministic) {
+  CensusConfig c;
+  auto a = GenerateCensus(c);
+  auto b = GenerateCensus(c);
+  EXPECT_EQ(a->FindTable("person")->rows(), b->FindTable("person")->rows());
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,49 @@
+#include "dp/budget.h"
+
+#include <gtest/gtest.h>
+
+namespace viewrewrite {
+namespace {
+
+TEST(BudgetTest, SequentialCompositionAccumulates) {
+  BudgetAccountant acc(1.0);
+  EXPECT_TRUE(acc.Spend(0.3, "a").ok());
+  EXPECT_TRUE(acc.Spend(0.3, "b").ok());
+  EXPECT_DOUBLE_EQ(acc.spent(), 0.6);
+  EXPECT_DOUBLE_EQ(acc.remaining(), 0.4);
+}
+
+TEST(BudgetTest, OverspendRejectedWithoutSideEffect) {
+  BudgetAccountant acc(1.0);
+  EXPECT_TRUE(acc.Spend(0.9, "a").ok());
+  Status s = acc.Spend(0.2, "b");
+  EXPECT_EQ(s.code(), StatusCode::kPrivacyError);
+  EXPECT_DOUBLE_EQ(acc.spent(), 0.9);  // failed spend not recorded
+}
+
+TEST(BudgetTest, ExactExhaustionAllowed) {
+  BudgetAccountant acc(1.0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(acc.Spend(0.1, "slice").ok()) << i;
+  }
+  // Floating-point tolerance: the ten 0.1 spends must fill the budget.
+  EXPECT_NEAR(acc.remaining(), 0.0, 1e-9);
+}
+
+TEST(BudgetTest, NonPositiveSpendRejected) {
+  BudgetAccountant acc(1.0);
+  EXPECT_FALSE(acc.Spend(0.0, "zero").ok());
+  EXPECT_FALSE(acc.Spend(-0.5, "negative").ok());
+}
+
+TEST(BudgetTest, LedgerRecordsLabels) {
+  BudgetAccountant acc(2.0);
+  ASSERT_TRUE(acc.Spend(0.5, "view:a").ok());
+  ASSERT_TRUE(acc.Spend(1.0, "view:b").ok());
+  ASSERT_EQ(acc.ledger().size(), 2u);
+  EXPECT_EQ(acc.ledger()[0].label, "view:a");
+  EXPECT_EQ(acc.ledger()[1].epsilon, 1.0);
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,64 @@
+#include "dp/mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace viewrewrite {
+namespace {
+
+TEST(LaplaceMechanismTest, ScaleIsSensitivityOverEpsilon) {
+  auto s = LaplaceMechanism::Scale(2.0, 0.5);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, 4.0);
+}
+
+TEST(LaplaceMechanismTest, RejectsNonPositiveEpsilon) {
+  EXPECT_FALSE(LaplaceMechanism::Scale(1.0, 0.0).ok());
+  EXPECT_FALSE(LaplaceMechanism::Scale(1.0, -1.0).ok());
+  EXPECT_EQ(LaplaceMechanism::Scale(1.0, -1.0).status().code(),
+            StatusCode::kPrivacyError);
+}
+
+TEST(LaplaceMechanismTest, RejectsNegativeSensitivity) {
+  EXPECT_FALSE(LaplaceMechanism::Scale(-1.0, 1.0).ok());
+}
+
+TEST(LaplaceMechanismTest, ZeroSensitivityIsExact) {
+  Random rng(1);
+  auto r = LaplaceMechanism::Release(42.0, 0.0, 1.0, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42.0);
+}
+
+TEST(LaplaceMechanismTest, NoiseConcentratesAroundTruth) {
+  Random rng(7);
+  const double sensitivity = 1.0;
+  const double eps = 1.0;
+  const int n = 100000;
+  double sum = 0;
+  double abs_dev = 0;
+  for (int i = 0; i < n; ++i) {
+    auto r = LaplaceMechanism::Release(100.0, sensitivity, eps, &rng);
+    ASSERT_TRUE(r.ok());
+    sum += *r;
+    abs_dev += std::fabs(*r - 100.0);
+  }
+  EXPECT_NEAR(sum / n, 100.0, 0.05);
+  // E[|Lap(b)|] = b = 1.
+  EXPECT_NEAR(abs_dev / n, 1.0, 0.05);
+}
+
+TEST(LaplaceMechanismTest, NoiseShrinksWithEpsilon) {
+  Random rng(11);
+  double dev_small_eps = 0;
+  double dev_large_eps = 0;
+  for (int i = 0; i < 20000; ++i) {
+    dev_small_eps += std::fabs(*LaplaceMechanism::Release(0, 1, 0.1, &rng));
+    dev_large_eps += std::fabs(*LaplaceMechanism::Release(0, 1, 10, &rng));
+  }
+  EXPECT_GT(dev_small_eps, dev_large_eps * 10);
+}
+
+}  // namespace
+}  // namespace viewrewrite

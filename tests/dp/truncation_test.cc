@@ -1,0 +1,88 @@
+#include "dp/truncation.h"
+
+#include <gtest/gtest.h>
+
+namespace viewrewrite {
+namespace {
+
+TEST(TruncationTest, DownwardLocalSensitivityIsMaxContribution) {
+  EXPECT_EQ(DownwardLocalSensitivity({1, 5, 3}), 5);
+  EXPECT_EQ(DownwardLocalSensitivity({}), 0);
+}
+
+TEST(TruncationTest, TruncatedTotalClampsPerTuple) {
+  EXPECT_EQ(TruncatedTotal({1, 5, 3}, 2), 1 + 2 + 2);
+  EXPECT_EQ(TruncatedTotal({1, 5, 3}, 10), 9);
+}
+
+TEST(TruncationTest, EmptyContributionsPickTauOne) {
+  Random rng(1);
+  auto tau = SelectTruncationThreshold({}, 0.5, 0.5, &rng);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_EQ(*tau, 1);
+}
+
+TEST(TruncationTest, UniformContributionsPickSmallTau) {
+  // All tuples contribute exactly 1: tau = 1 loses nothing.
+  Random rng(2);
+  std::vector<double> contribs(1000, 1.0);
+  auto tau = SelectTruncationThreshold(contribs, 4.0, 4.0, &rng);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_EQ(*tau, 1);
+}
+
+TEST(TruncationTest, SkewedContributionsPickTauCoveringBulk) {
+  // 1000 tuples contribute 8 each, one outlier contributes 512. The SVT
+  // accepts the first tau whose truncation loss drops below the noise
+  // level, so tau must at least cover the bulk and keep most of the mass.
+  Random rng(3);
+  std::vector<double> contribs(1000, 8.0);
+  contribs.push_back(512.0);
+  auto tau = SelectTruncationThreshold(contribs, 2.0, 2.0, &rng);
+  ASSERT_TRUE(tau.ok());
+  EXPECT_GE(*tau, 8);
+  double total = 8.0 * 1000 + 512.0;
+  EXPECT_GT(TruncatedTotal(contribs, static_cast<double>(*tau)),
+            0.9 * total);
+}
+
+TEST(TruncationTest, RejectsNonPositiveBudgets) {
+  Random rng(4);
+  EXPECT_FALSE(SelectTruncationThreshold({1.0}, 0.0, 1.0, &rng).ok());
+  EXPECT_FALSE(SelectTruncationThreshold({1.0}, 1.0, -1.0, &rng).ok());
+}
+
+TEST(TruncationTest, DeterministicGivenSeed) {
+  std::vector<double> contribs;
+  Random data_rng(5);
+  for (int i = 0; i < 500; ++i) {
+    contribs.push_back(static_cast<double>(data_rng.UniformInt(1, 40)));
+  }
+  Random a(77);
+  Random b(77);
+  auto ta = SelectTruncationThreshold(contribs, 1.0, 1.0, &a);
+  auto tb = SelectTruncationThreshold(contribs, 1.0, 1.0, &b);
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  EXPECT_EQ(*ta, *tb);
+}
+
+TEST(TruncationTest, TruncatedTotalApproachesTrueTotalAtSelectedTau) {
+  // Property: at the selected tau, the truncated total should retain most
+  // of the mass on a moderately skewed distribution (high epsilon).
+  Random data_rng(6);
+  std::vector<double> contribs;
+  double total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    double c = static_cast<double>(data_rng.Zipf(64, 1.3));
+    contribs.push_back(c);
+    total += c;
+  }
+  Random rng(8);
+  auto tau = SelectTruncationThreshold(contribs, 8.0, 8.0, &rng);
+  ASSERT_TRUE(tau.ok());
+  double kept = TruncatedTotal(contribs, static_cast<double>(*tau));
+  EXPECT_GT(kept, 0.8 * total);
+}
+
+}  // namespace
+}  // namespace viewrewrite

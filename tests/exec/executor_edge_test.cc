@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "sql/parser.h"
+#include "testing/test_db.h"
+
+namespace viewrewrite {
+namespace {
+
+/// Edge-case coverage beyond executor_test: empty inputs, NULL logic in
+/// every position, CTE scoping, and join-tree shapes.
+class ExecutorEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(testing_support::MakeTestSchema());
+    // customer 1 has NULL acctbal; customer 2 normal; no customer 3.
+    Table* c = db_->MutableTable("customer");
+    c->InsertUnchecked({Value::Int(1), Value::Int(0), Value::Null()});
+    c->InsertUnchecked({Value::Int(2), Value::Int(1), Value::Int(20)});
+    Table* o = db_->MutableTable("orders");
+    o->InsertUnchecked(
+        {Value::Int(101), Value::Int(2), Value::String("f"), Value::Int(50)});
+    o->InsertUnchecked(
+        {Value::Int(102), Value::Int(2), Value::Null(), Value::Int(60)});
+    executor_ = std::make_unique<Executor>(*db_);
+  }
+
+  double Scalar(const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    auto r = executor_->ExecuteScalar(**stmt);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status();
+    return r.ok() ? *r : -9999;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Executor> executor_;
+};
+
+TEST_F(ExecutorEdgeTest, EmptyTableAggregates) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM lineitem"), 0);
+  EXPECT_EQ(Scalar("SELECT SUM(l_price) FROM lineitem"), 0);  // NULL -> 0
+}
+
+TEST_F(ExecutorEdgeTest, JoinAgainstEmptyTable) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders o, lineitem l WHERE "
+                   "o.o_orderkey = l.l_orderkey"),
+            0);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders o LEFT JOIN lineitem l ON "
+                   "o.o_orderkey = l.l_orderkey"),
+            2);
+}
+
+TEST_F(ExecutorEdgeTest, NullsAndComparisons) {
+  // NULL acctbal never satisfies a comparison, in either direction.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE c_acctbal > 0"), 1);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE c_acctbal <= 0"), 0);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE c_acctbal = "
+                   "c_acctbal"),
+            1);  // NULL = NULL is unknown
+}
+
+TEST_F(ExecutorEdgeTest, NullsInAggregates) {
+  // COUNT(col) skips NULLs; COUNT(*) does not.
+  EXPECT_EQ(Scalar("SELECT COUNT(c_acctbal) FROM customer"), 1);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer"), 2);
+  EXPECT_EQ(Scalar("SELECT SUM(c_acctbal) FROM customer"), 20);
+  EXPECT_EQ(Scalar("SELECT AVG(c_acctbal) FROM customer"), 20);
+  EXPECT_EQ(Scalar("SELECT MIN(c_acctbal) FROM customer"), 20);
+}
+
+TEST_F(ExecutorEdgeTest, NullEquiJoinKeysNeverMatch) {
+  // o_status NULL must not join with anything, even another NULL.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders a, orders b WHERE "
+                   "a.o_status = b.o_status"),
+            1);
+}
+
+TEST_F(ExecutorEdgeTest, CoalesceChains) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE "
+                   "COALESCE(c_acctbal, 0) = 0"),
+            1);
+  EXPECT_EQ(Scalar("SELECT SUM(COALESCE(c_acctbal, 5)) FROM customer"), 25);
+}
+
+TEST_F(ExecutorEdgeTest, IsNullInGroupedQuery) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders WHERE o_status IS NULL"), 1);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders WHERE o_status IS NOT "
+                   "NULL"),
+            1);
+}
+
+TEST_F(ExecutorEdgeTest, CteShadowsBaseTable) {
+  // A WITH name equal to a base table takes precedence.
+  EXPECT_EQ(Scalar("WITH orders AS (SELECT * FROM customer) SELECT "
+                   "COUNT(*) FROM orders"),
+            2);
+}
+
+TEST_F(ExecutorEdgeTest, LaterCteSeesEarlierOne) {
+  EXPECT_EQ(Scalar("WITH a AS (SELECT o_totalprice FROM orders), b AS "
+                   "(SELECT * FROM a WHERE o_totalprice > 55) SELECT "
+                   "COUNT(*) FROM b"),
+            1);
+}
+
+TEST_F(ExecutorEdgeTest, CteUsedTwice) {
+  EXPECT_EQ(Scalar("WITH t AS (SELECT o_orderkey FROM orders) SELECT "
+                   "COUNT(*) FROM t a, t b WHERE a.o_orderkey = "
+                   "b.o_orderkey"),
+            2);
+}
+
+TEST_F(ExecutorEdgeTest, MultiColumnGroupBy) {
+  auto stmt = ParseSelect(
+      "SELECT o_custkey, o_status, COUNT(*) FROM orders GROUP BY "
+      "o_custkey, o_status");
+  ASSERT_TRUE(stmt.ok());
+  auto rs = executor_->Execute(**stmt);
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(rs->NumRows(), 2u);  // ('f') and (NULL) groups for custkey 2
+}
+
+TEST_F(ExecutorEdgeTest, NullsFormTheirOwnGroup) {
+  auto stmt = ParseSelect(
+      "SELECT o_status, COUNT(*) FROM orders GROUP BY o_status");
+  ASSERT_TRUE(stmt.ok());
+  auto rs = executor_->Execute(**stmt);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->NumRows(), 2u);
+  // Deterministic ordering puts the NULL group first (total order).
+  EXPECT_TRUE(rs->rows[0][0].is_null());
+}
+
+TEST_F(ExecutorEdgeTest, SumDistinct) {
+  Table* o = db_->MutableTable("orders");
+  o->InsertUnchecked(
+      {Value::Int(103), Value::Int(2), Value::String("f"), Value::Int(50)});
+  EXPECT_EQ(Scalar("SELECT SUM(o_totalprice) FROM orders"), 160);
+  EXPECT_EQ(Scalar("SELECT SUM(DISTINCT o_totalprice) FROM orders"), 110);
+}
+
+TEST_F(ExecutorEdgeTest, MixedOnAndWhereConditions) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c JOIN orders o ON "
+                   "c.c_custkey = o.o_custkey WHERE o.o_totalprice > 55"),
+            1);
+}
+
+TEST_F(ExecutorEdgeTest, ThreeLevelDerivedNesting) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM (SELECT * FROM (SELECT "
+                   "o_orderkey, o_totalprice FROM orders) a WHERE "
+                   "o_totalprice > 55) b"),
+            1);
+}
+
+TEST_F(ExecutorEdgeTest, HavingWithoutMatchingGroups) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM (SELECT o_custkey FROM orders "
+                   "GROUP BY o_custkey HAVING COUNT(*) > 99) d"),
+            0);
+}
+
+TEST_F(ExecutorEdgeTest, AggregateOfArithmetic) {
+  EXPECT_EQ(Scalar("SELECT SUM(o_totalprice * 2 + 1) FROM orders"), 222);
+}
+
+TEST_F(ExecutorEdgeTest, ParamInsideDerivedTable) {
+  auto stmt = ParseSelect(
+      "SELECT COUNT(*) FROM (SELECT o_orderkey FROM orders WHERE "
+      "o_totalprice > $cutoff) d");
+  ASSERT_TRUE(stmt.ok());
+  ParamMap params;
+  params["cutoff"] = Value::Int(55);
+  auto r = executor_->ExecuteScalar(**stmt, params);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, 1);
+}
+
+TEST_F(ExecutorEdgeTest, CorrelatedSubqueryAgainstEmptyInner) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c WHERE EXISTS (SELECT "
+                   "* FROM lineitem l WHERE l.l_orderkey = c.c_custkey)"),
+            0);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c WHERE NOT EXISTS "
+                   "(SELECT * FROM lineitem l WHERE l.l_orderkey = "
+                   "c.c_custkey)"),
+            2);
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "sql/parser.h"
+#include "testing/test_db.h"
+
+namespace viewrewrite {
+namespace {
+
+/// Error-path contract of the executor: malformed queries fail with a
+/// specific status instead of crashing or silently mis-answering.
+class ExecutorErrorsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = testing_support::MakeTestDatabase(2, 10);
+    executor_ = std::make_unique<Executor>(*db_);
+  }
+
+  Status Run(const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    if (!stmt.ok()) return stmt.status();
+    auto r = executor_->Execute(**stmt);
+    return r.status();
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Executor> executor_;
+};
+
+TEST_F(ExecutorErrorsTest, UnknownTable) {
+  EXPECT_EQ(Run("SELECT COUNT(*) FROM nope").code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorErrorsTest, UnknownFunction) {
+  EXPECT_EQ(Run("SELECT FROBNICATE(c_acctbal) FROM customer").code(),
+            StatusCode::kUnsupported);
+}
+
+TEST_F(ExecutorErrorsTest, TypeMismatchInComparison) {
+  EXPECT_EQ(Run("SELECT COUNT(*) FROM orders WHERE o_status > 5").code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST_F(ExecutorErrorsTest, ArithmeticOnStrings) {
+  EXPECT_EQ(Run("SELECT o_status + 1 FROM orders").code(),
+            StatusCode::kTypeMismatch);
+}
+
+TEST_F(ExecutorErrorsTest, MultiColumnInSubquery) {
+  EXPECT_EQ(Run("SELECT COUNT(*) FROM customer WHERE c_custkey IN (SELECT "
+                "o_custkey, o_orderkey FROM orders)")
+                .code(),
+            StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorErrorsTest, MultiColumnScalarSubquery) {
+  EXPECT_EQ(Run("SELECT COUNT(*) FROM customer WHERE c_acctbal > (SELECT "
+                "o_custkey, o_orderkey FROM orders)")
+                .code(),
+            StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorErrorsTest, MultiColumnQuantifiedSubquery) {
+  EXPECT_EQ(Run("SELECT COUNT(*) FROM customer WHERE c_acctbal > ALL "
+                "(SELECT o_custkey, o_orderkey FROM orders)")
+                .code(),
+            StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorErrorsTest, NaturalJoinNeedsCommonColumns) {
+  EXPECT_EQ(Run("SELECT COUNT(*) FROM customer NATURAL JOIN orders").code(),
+            StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorErrorsTest, HavingWithoutGrouping) {
+  EXPECT_EQ(Run("SELECT c_custkey FROM customer HAVING c_custkey > 1")
+                .code(),
+            StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorErrorsTest, StarInGroupedQuery) {
+  EXPECT_EQ(Run("SELECT * FROM orders GROUP BY o_custkey").code(),
+            StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorErrorsTest, AggregateInWhere) {
+  EXPECT_EQ(Run("SELECT COUNT(*) FROM orders WHERE COUNT(*) > 1").code(),
+            StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorErrorsTest, BadAggregateArity) {
+  EXPECT_FALSE(Run("SELECT SUM(o_totalprice, o_custkey) FROM orders").ok());
+}
+
+TEST_F(ExecutorErrorsTest, SelectStarWithoutFrom) {
+  EXPECT_EQ(Run("SELECT *").code(), StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorErrorsTest, OrderByOnDistinctNeedsOutputColumn) {
+  EXPECT_EQ(Run("SELECT DISTINCT o_status FROM orders ORDER BY "
+                "o_totalprice")
+                .code(),
+            StatusCode::kUnsupported);
+}
+
+TEST_F(ExecutorErrorsTest, CoalesceWithNoArgsYieldsNullNotError) {
+  auto stmt = ParseSelect("SELECT COALESCE() FROM orders");
+  ASSERT_TRUE(stmt.ok());
+  auto r = executor_->Execute(**stmt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows[0][0].is_null());
+}
+
+}  // namespace
+}  // namespace viewrewrite

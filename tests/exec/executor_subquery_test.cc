@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "sql/parser.h"
+#include "testing/test_db.h"
+
+namespace viewrewrite {
+namespace {
+
+// Same fixture as executor_test (kept local for independence):
+//   customer: (1,0,10) (2,1,20) (3,0,30)
+//   orders:   (101,1,'f',50) (102,1,'o',60) (103,2,'f',70)
+//   lineitem: (1001,101,5,100) (1002,101,2,200) (1003,103,7,150)
+std::unique_ptr<Database> FixedDb() {
+  auto db = std::make_unique<Database>(testing_support::MakeTestSchema());
+  Table* c = db->MutableTable("customer");
+  c->InsertUnchecked({Value::Int(1), Value::Int(0), Value::Int(10)});
+  c->InsertUnchecked({Value::Int(2), Value::Int(1), Value::Int(20)});
+  c->InsertUnchecked({Value::Int(3), Value::Int(0), Value::Int(30)});
+  Table* o = db->MutableTable("orders");
+  o->InsertUnchecked(
+      {Value::Int(101), Value::Int(1), Value::String("f"), Value::Int(50)});
+  o->InsertUnchecked(
+      {Value::Int(102), Value::Int(1), Value::String("o"), Value::Int(60)});
+  o->InsertUnchecked(
+      {Value::Int(103), Value::Int(2), Value::String("f"), Value::Int(70)});
+  Table* l = db->MutableTable("lineitem");
+  l->InsertUnchecked(
+      {Value::Int(1001), Value::Int(101), Value::Int(5), Value::Int(100)});
+  l->InsertUnchecked(
+      {Value::Int(1002), Value::Int(101), Value::Int(2), Value::Int(200)});
+  l->InsertUnchecked(
+      {Value::Int(1003), Value::Int(103), Value::Int(7), Value::Int(150)});
+  return db;
+}
+
+class SubqueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = FixedDb();
+    executor_ = std::make_unique<Executor>(*db_);
+  }
+
+  double Scalar(const std::string& sql, const ParamMap& params = {}) {
+    auto stmt = ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << sql << ": " << stmt.status();
+    auto r = executor_->ExecuteScalar(**stmt, params);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status();
+    return r.ok() ? *r : -9999;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Executor> executor_;
+};
+
+TEST_F(SubqueryTest, NonCorrelatedScalarSubquery) {
+  // avg(totalprice) = 60; orders above: 70 only.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders WHERE o_totalprice > "
+                   "(SELECT AVG(o2.o_totalprice) FROM orders o2)"),
+            1);
+}
+
+TEST_F(SubqueryTest, ScalarSubqueryInArithmetic) {
+  // 0.5 * avg = 30; all orders above.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders WHERE o_totalprice > 0.5 * "
+                   "(SELECT AVG(o2.o_totalprice) FROM orders o2)"),
+            3);
+}
+
+TEST_F(SubqueryTest, EmptyScalarSubqueryIsNull) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders WHERE o_totalprice > "
+                   "(SELECT MIN(o2.o_totalprice) FROM orders o2 WHERE "
+                   "o2.o_totalprice > 999)"),
+            0);
+}
+
+TEST_F(SubqueryTest, MultiRowScalarSubqueryErrors) {
+  auto stmt = ParseSelect(
+      "SELECT COUNT(*) FROM orders WHERE o_totalprice > (SELECT "
+      "o2.o_totalprice FROM orders o2)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(executor_->ExecuteScalar(**stmt).ok());
+}
+
+TEST_F(SubqueryTest, CorrelatedScalarSubquery) {
+  // Customer 1: avg=55 -> orders 60 qualifies (not 50). Customer 2:
+  // avg=70 -> no order strictly above. Total 1.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c, orders o WHERE "
+                   "c.c_custkey = o.o_custkey AND o.o_totalprice > (SELECT "
+                   "AVG(o2.o_totalprice) FROM orders o2 WHERE o2.o_custkey "
+                   "= c.c_custkey)"),
+            1);
+}
+
+TEST_F(SubqueryTest, CorrelatedCountComparedToZero) {
+  // Customers with 0 orders: customer 3 only.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c WHERE (SELECT COUNT(*) "
+                   "FROM orders o WHERE o.o_custkey = c.c_custkey) = 0"),
+            1);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c WHERE (SELECT COUNT(*) "
+                   "FROM orders o WHERE o.o_custkey = c.c_custkey) >= 2"),
+            1);
+}
+
+TEST_F(SubqueryTest, ExistsCorrelated) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c WHERE EXISTS (SELECT * "
+                   "FROM orders o WHERE o.o_custkey = c.c_custkey)"),
+            2);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c WHERE NOT EXISTS "
+                   "(SELECT * FROM orders o WHERE o.o_custkey = "
+                   "c.c_custkey)"),
+            1);
+}
+
+TEST_F(SubqueryTest, ExistsWithInnerFilter) {
+  // Customers with an order over 65: customer 2 only.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c WHERE EXISTS (SELECT * "
+                   "FROM orders o WHERE o.o_custkey = c.c_custkey AND "
+                   "o.o_totalprice > 65)"),
+            1);
+}
+
+TEST_F(SubqueryTest, ExistsNonCorrelated) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c WHERE EXISTS (SELECT * "
+                   "FROM orders o WHERE o.o_totalprice > 65)"),
+            3);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c WHERE EXISTS (SELECT * "
+                   "FROM orders o WHERE o.o_totalprice > 999)"),
+            0);
+}
+
+TEST_F(SubqueryTest, InSubqueryNonCorrelated) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE c_custkey IN "
+                   "(SELECT o_custkey FROM orders)"),
+            2);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE c_custkey NOT IN "
+                   "(SELECT o_custkey FROM orders)"),
+            1);
+}
+
+TEST_F(SubqueryTest, InSubqueryCorrelated) {
+  // For each order: is its status among the statuses of *that customer's*
+  // orders with price < 60? Customer 1 has {f(50)}; order 101 ('f') yes,
+  // 102 ('o') no. Customer 2 has none under 60 -> 103 no. Total 1.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c, orders o WHERE "
+                   "c.c_custkey = o.o_custkey AND o.o_status IN (SELECT "
+                   "o2.o_status FROM orders o2 WHERE o2.o_custkey = "
+                   "c.c_custkey AND o2.o_totalprice < 60)"),
+            1);
+}
+
+TEST_F(SubqueryTest, QuantifiedAny) {
+  // price > ANY(prices): orders strictly above the minimum (50): 2.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders WHERE o_totalprice > ANY "
+                   "(SELECT o2.o_totalprice FROM orders o2)"),
+            2);
+}
+
+TEST_F(SubqueryTest, QuantifiedAll) {
+  // price >= ALL(prices): only the max (70).
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders WHERE o_totalprice >= ALL "
+                   "(SELECT o2.o_totalprice FROM orders o2)"),
+            1);
+  // ALL over an empty set is TRUE.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders WHERE o_totalprice < ALL "
+                   "(SELECT o2.o_totalprice FROM orders o2 WHERE "
+                   "o2.o_totalprice > 999)"),
+            3);
+}
+
+TEST_F(SubqueryTest, QuantifiedAnyEmptyIsFalse) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders WHERE o_totalprice > ANY "
+                   "(SELECT o2.o_totalprice FROM orders o2 WHERE "
+                   "o2.o_totalprice > 999)"),
+            0);
+}
+
+TEST_F(SubqueryTest, EqAnyActsLikeIn) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE c_custkey = ANY "
+                   "(SELECT o_custkey FROM orders)"),
+            2);
+}
+
+TEST_F(SubqueryTest, CorrelatedQuantified) {
+  // order price >= ALL lineitem prices of that order.
+  // 101: prices {100,200}, 50 >= all? no. 102: no lineitems -> TRUE.
+  // 103: {150}, 70 >= 150? no. Total 1.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders o WHERE o.o_totalprice >= "
+                   "ALL (SELECT l.l_price FROM lineitem l WHERE "
+                   "l.l_orderkey = o.o_orderkey)"),
+            1);
+}
+
+TEST_F(SubqueryTest, ParamsBindScalars) {
+  ParamMap params;
+  params["v0"] = Value::Int(55);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders WHERE o_totalprice > $v0",
+                   params),
+            2);
+}
+
+TEST_F(SubqueryTest, UnboundParamErrors) {
+  auto stmt = ParseSelect("SELECT COUNT(*) FROM orders WHERE o_totalprice "
+                          "> $nope");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(executor_->ExecuteScalar(**stmt).ok());
+}
+
+TEST_F(SubqueryTest, ExecuteRewrittenChainsAndCombines) {
+  RewrittenQuery rq;
+  auto link = ParseSelect("SELECT AVG(o_totalprice) FROM orders");
+  ASSERT_TRUE(link.ok());
+  rq.chain.push_back(ChainLink{"v0", std::move(link).value()});
+  auto t1 = ParseSelect("SELECT COUNT(*) FROM orders WHERE o_totalprice > "
+                        "$v0");
+  auto t2 = ParseSelect("SELECT COUNT(*) FROM orders WHERE o_status = 'f'");
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  QueryCombination::Term term1;
+  term1.coeff = 1.0;
+  term1.query = std::move(t1).value();
+  QueryCombination::Term term2;
+  term2.coeff = -1.0;
+  term2.query = std::move(t2).value();
+  rq.combination.terms.push_back(std::move(term1));
+  rq.combination.terms.push_back(std::move(term2));
+  auto r = executor_->ExecuteRewritten(rq);
+  ASSERT_TRUE(r.ok()) << r.status();
+  // avg=60 -> count(>60)=1; count(status 'f')=2; 1 - 2 = -1.
+  EXPECT_EQ(*r, -1);
+}
+
+TEST_F(SubqueryTest, IfposGatesValue) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE "
+                   "IFPOS(c_acctbal > 15, 1) = 1"),
+            2);
+  // ifpos false -> NULL -> comparison unknown -> filtered.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE "
+                   "IFPOS(c_acctbal > 1000, 1) = 1"),
+            0);
+}
+
+TEST_F(SubqueryTest, NestedNonCorrelatedSubqueries) {
+  // Inner max price = 70; customers with custkey in orders with price=70:
+  // customer 2.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE c_custkey IN "
+                   "(SELECT o_custkey FROM orders WHERE o_totalprice = "
+                   "(SELECT MAX(o2.o_totalprice) FROM orders o2))"),
+            1);
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,307 @@
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "testing/test_db.h"
+
+namespace viewrewrite {
+namespace {
+
+/// Tiny fixed instance for exact-answer assertions:
+///   customer: (1,0,10) (2,1,20) (3,0,30)
+///   orders:   (101,1,'f',50) (102,1,'o',60) (103,2,'f',70)
+///   lineitem: (1001,101,5,100) (1002,101,2,200) (1003,103,7,150)
+std::unique_ptr<Database> FixedDb() {
+  auto db = std::make_unique<Database>(testing_support::MakeTestSchema());
+  Table* c = db->MutableTable("customer");
+  c->InsertUnchecked({Value::Int(1), Value::Int(0), Value::Int(10)});
+  c->InsertUnchecked({Value::Int(2), Value::Int(1), Value::Int(20)});
+  c->InsertUnchecked({Value::Int(3), Value::Int(0), Value::Int(30)});
+  Table* o = db->MutableTable("orders");
+  o->InsertUnchecked(
+      {Value::Int(101), Value::Int(1), Value::String("f"), Value::Int(50)});
+  o->InsertUnchecked(
+      {Value::Int(102), Value::Int(1), Value::String("o"), Value::Int(60)});
+  o->InsertUnchecked(
+      {Value::Int(103), Value::Int(2), Value::String("f"), Value::Int(70)});
+  Table* l = db->MutableTable("lineitem");
+  l->InsertUnchecked(
+      {Value::Int(1001), Value::Int(101), Value::Int(5), Value::Int(100)});
+  l->InsertUnchecked(
+      {Value::Int(1002), Value::Int(101), Value::Int(2), Value::Int(200)});
+  l->InsertUnchecked(
+      {Value::Int(1003), Value::Int(103), Value::Int(7), Value::Int(150)});
+  return db;
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = FixedDb();
+    executor_ = std::make_unique<Executor>(*db_);
+  }
+
+  double Scalar(const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << sql << ": " << stmt.status();
+    auto r = executor_->ExecuteScalar(**stmt);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status();
+    return r.ok() ? *r : -9999;
+  }
+
+  ResultSet Rows(const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << sql << ": " << stmt.status();
+    auto r = executor_->Execute(**stmt);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status();
+    return r.ok() ? std::move(r).value() : ResultSet{};
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Executor> executor_;
+};
+
+TEST_F(ExecutorTest, CountStar) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer"), 3);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders"), 3);
+}
+
+TEST_F(ExecutorTest, FilterComparisons) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE c_acctbal > 10"), 2);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE c_acctbal >= 10"), 3);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE c_acctbal <> 20"), 2);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders WHERE o_status = 'f'"), 2);
+}
+
+TEST_F(ExecutorTest, AndOrNot) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE c_nation = 0 AND "
+                   "c_acctbal > 10"),
+            1);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE c_nation = 1 OR "
+                   "c_acctbal = 30"),
+            2);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE NOT c_nation = 0"),
+            1);
+}
+
+TEST_F(ExecutorTest, SumAvgMinMax) {
+  EXPECT_EQ(Scalar("SELECT SUM(c_acctbal) FROM customer"), 60);
+  EXPECT_EQ(Scalar("SELECT AVG(c_acctbal) FROM customer"), 20);
+  EXPECT_EQ(Scalar("SELECT MIN(o_totalprice) FROM orders"), 50);
+  EXPECT_EQ(Scalar("SELECT MAX(o_totalprice) FROM orders"), 70);
+}
+
+TEST_F(ExecutorTest, SumOfExpression) {
+  // 5*100 + 2*200 + 7*150 = 1950
+  EXPECT_EQ(Scalar("SELECT SUM(l_quantity * l_price) FROM lineitem"), 1950);
+}
+
+TEST_F(ExecutorTest, SumOverEmptyIsZeroViaScalar) {
+  // SUM over no rows is NULL; ExecuteScalar maps it to 0.
+  EXPECT_EQ(Scalar("SELECT SUM(c_acctbal) FROM customer WHERE c_acctbal > "
+                   "1000"),
+            0);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE c_acctbal > 1000"),
+            0);
+}
+
+TEST_F(ExecutorTest, CommaJoinWithWhereEquiCondition) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c, orders o WHERE "
+                   "c.c_custkey = o.o_custkey"),
+            3);
+  // Customer 3 has no orders; only customers 1 (x2) and 2 (x1) join.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c, orders o WHERE "
+                   "c.c_custkey = o.o_custkey AND c.c_nation = 0"),
+            2);
+}
+
+TEST_F(ExecutorTest, ExplicitJoinOn) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c JOIN orders o ON "
+                   "c.c_custkey = o.o_custkey"),
+            3);
+}
+
+TEST_F(ExecutorTest, ThreeWayJoin) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c, orders o, lineitem l "
+                   "WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = "
+                   "l.l_orderkey"),
+            3);
+}
+
+TEST_F(ExecutorTest, LeftJoinPadsWithNulls) {
+  ResultSet rs = Rows(
+      "SELECT c.c_custkey, o.o_orderkey FROM customer c LEFT JOIN orders o "
+      "ON c.c_custkey = o.o_custkey");
+  // 3 matched rows + customer 3 padded.
+  EXPECT_EQ(rs.NumRows(), 4u);
+  int nulls = 0;
+  for (const Row& row : rs.rows) {
+    if (row[1].is_null()) ++nulls;
+  }
+  EXPECT_EQ(nulls, 1);
+}
+
+TEST_F(ExecutorTest, CrossJoinWhenNoCondition) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c, orders o"), 9);
+}
+
+TEST_F(ExecutorTest, NonEquiJoinCondition) {
+  // pairs where customer acctbal < order totalprice: all 9 pairs qualify
+  // except none excluded (10,20,30 all < 50,60,70) -> 9.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c, orders o WHERE "
+                   "c.c_acctbal < o.o_totalprice"),
+            9);
+}
+
+TEST_F(ExecutorTest, GroupByWithAggregates) {
+  ResultSet rs = Rows(
+      "SELECT o_custkey, COUNT(*) AS cnt, SUM(o_totalprice) AS s FROM "
+      "orders GROUP BY o_custkey");
+  ASSERT_EQ(rs.NumRows(), 2u);
+  // Sorted by group key: custkey 1 then 2.
+  EXPECT_EQ(rs.rows[0][0], Value::Int(1));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(2));
+  EXPECT_EQ(rs.rows[0][2], Value::Int(110));
+  EXPECT_EQ(rs.rows[1][0], Value::Int(2));
+  EXPECT_EQ(rs.rows[1][1], Value::Int(1));
+}
+
+TEST_F(ExecutorTest, HavingFiltersGroups) {
+  ResultSet rs = Rows(
+      "SELECT o_custkey FROM orders GROUP BY o_custkey HAVING COUNT(*) >= "
+      "2");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(1));
+}
+
+TEST_F(ExecutorTest, HavingOnAlias) {
+  ResultSet rs = Rows(
+      "SELECT o_custkey, COUNT(*) AS cnt FROM orders GROUP BY o_custkey "
+      "HAVING cnt >= 2");
+  ASSERT_EQ(rs.NumRows(), 1u);
+}
+
+TEST_F(ExecutorTest, AggregateWithoutGroupByOverEmptyInput) {
+  ResultSet rs = Rows("SELECT COUNT(*) FROM orders WHERE o_totalprice > 999");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(0));
+}
+
+TEST_F(ExecutorTest, CountDistinct) {
+  EXPECT_EQ(Scalar("SELECT COUNT(DISTINCT o_status) FROM orders"), 2);
+  EXPECT_EQ(Scalar("SELECT COUNT(o_status) FROM orders"), 3);
+}
+
+TEST_F(ExecutorTest, SelectDistinctRows) {
+  ResultSet rs = Rows("SELECT DISTINCT o_custkey FROM orders");
+  EXPECT_EQ(rs.NumRows(), 2u);
+}
+
+TEST_F(ExecutorTest, DerivedTable) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM (SELECT o_custkey, COUNT(*) AS "
+                   "cnt FROM orders GROUP BY o_custkey) d WHERE d.cnt >= 2"),
+            1);
+}
+
+TEST_F(ExecutorTest, WithClause) {
+  EXPECT_EQ(Scalar("WITH big AS (SELECT * FROM orders WHERE o_totalprice > "
+                   "55) SELECT COUNT(*) FROM big"),
+            2);
+}
+
+TEST_F(ExecutorTest, NaturalJoinSharesColumns) {
+  // NATURAL JOIN on derived tables sharing the o_custkey column name.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM (SELECT o_custkey FROM orders) a "
+                   "NATURAL JOIN (SELECT o_custkey FROM orders) b"),
+            5);  // custkey1: 2x2=4, custkey2: 1x1=1
+}
+
+TEST_F(ExecutorTest, ArithmeticInProjection) {
+  ResultSet rs = Rows("SELECT c_acctbal * 2 + 1 FROM customer WHERE "
+                      "c_custkey = 1");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(21));
+}
+
+TEST_F(ExecutorTest, DivisionIsDouble) {
+  ResultSet rs = Rows("SELECT c_acctbal / 4 FROM customer WHERE c_custkey = "
+                      "1");
+  EXPECT_EQ(rs.rows[0][0], Value::Double(2.5));
+}
+
+TEST_F(ExecutorTest, DivisionByZeroErrors) {
+  auto stmt = ParseSelect("SELECT c_acctbal / 0 FROM customer");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(executor_->Execute(**stmt).ok());
+}
+
+TEST_F(ExecutorTest, CoalesceAndIsNull) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c LEFT JOIN orders o ON "
+                   "c.c_custkey = o.o_custkey WHERE o.o_orderkey IS NULL"),
+            1);
+  EXPECT_EQ(Scalar("SELECT SUM(COALESCE(o.o_totalprice, 0)) FROM customer "
+                   "c LEFT JOIN orders o ON c.c_custkey = o.o_custkey"),
+            180);
+}
+
+TEST_F(ExecutorTest, NullComparisonsFilterRows) {
+  // NULL > 5 is unknown -> row dropped, not kept.
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer c LEFT JOIN orders o ON "
+                   "c.c_custkey = o.o_custkey WHERE o.o_totalprice > 0"),
+            3);
+}
+
+TEST_F(ExecutorTest, InValueList) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE c_custkey IN (1, "
+                   "3, 99)"),
+            2);
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM customer WHERE c_custkey NOT IN "
+                   "(1, 3)"),
+            1);
+}
+
+TEST_F(ExecutorTest, BetweenWorks) {
+  EXPECT_EQ(
+      Scalar("SELECT COUNT(*) FROM orders WHERE o_totalprice BETWEEN 50 AND "
+             "60"),
+      2);
+}
+
+TEST_F(ExecutorTest, UnknownColumnErrors) {
+  auto stmt = ParseSelect("SELECT nonexistent FROM customer");
+  ASSERT_TRUE(stmt.ok());
+  auto r = executor_->Execute(**stmt);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecutorTest, AmbiguousColumnErrors) {
+  // o_custkey appears once; c_custkey once; but a self-join duplicates.
+  auto stmt = ParseSelect(
+      "SELECT o_custkey FROM orders a, orders b WHERE a.o_orderkey = "
+      "b.o_orderkey");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(executor_->Execute(**stmt).ok());
+}
+
+TEST_F(ExecutorTest, SelfJoinWithAliases) {
+  EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders a, orders b WHERE "
+                   "a.o_custkey = b.o_custkey"),
+            5);  // 2x2 + 1
+}
+
+TEST_F(ExecutorTest, ScalarWrongShapeErrors) {
+  auto stmt = ParseSelect("SELECT o_custkey FROM orders");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(executor_->ExecuteScalar(**stmt).ok());
+}
+
+TEST_F(ExecutorTest, ConstantSelectWithoutFrom) {
+  ResultSet rs = Rows("SELECT 1 + 2");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(3));
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "testing/test_db.h"
+
+namespace viewrewrite {
+namespace {
+
+class OrderLimitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(testing_support::MakeTestSchema());
+    Table* o = db_->MutableTable("orders");
+    o->InsertUnchecked(
+        {Value::Int(3), Value::Int(1), Value::String("f"), Value::Int(70)});
+    o->InsertUnchecked(
+        {Value::Int(1), Value::Int(1), Value::String("o"), Value::Int(50)});
+    o->InsertUnchecked(
+        {Value::Int(2), Value::Int(2), Value::String("p"), Value::Int(60)});
+    executor_ = std::make_unique<Executor>(*db_);
+  }
+
+  ResultSet Rows(const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    auto r = executor_->Execute(**stmt);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status();
+    return r.ok() ? std::move(r).value() : ResultSet{};
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Executor> executor_;
+};
+
+TEST_F(OrderLimitTest, OrderAscendingByName) {
+  ResultSet rs = Rows(
+      "SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice");
+  ASSERT_EQ(rs.NumRows(), 3u);
+  EXPECT_EQ(rs.rows[0][1], Value::Int(50));
+  EXPECT_EQ(rs.rows[2][1], Value::Int(70));
+}
+
+TEST_F(OrderLimitTest, OrderDescending) {
+  ResultSet rs = Rows(
+      "SELECT o_orderkey FROM orders ORDER BY o_orderkey DESC");
+  EXPECT_EQ(rs.rows[0][0], Value::Int(3));
+  EXPECT_EQ(rs.rows[2][0], Value::Int(1));
+}
+
+TEST_F(OrderLimitTest, OrderByAlias) {
+  ResultSet rs = Rows(
+      "SELECT o_totalprice AS p FROM orders ORDER BY p DESC");
+  EXPECT_EQ(rs.rows[0][0], Value::Int(70));
+}
+
+TEST_F(OrderLimitTest, OrderByPosition) {
+  ResultSet rs = Rows(
+      "SELECT o_status, o_totalprice FROM orders ORDER BY 2 DESC");
+  EXPECT_EQ(rs.rows[0][1], Value::Int(70));
+}
+
+TEST_F(OrderLimitTest, MultiKeyOrdering) {
+  Table* o = db_->MutableTable("orders");
+  o->InsertUnchecked(
+      {Value::Int(4), Value::Int(2), Value::String("f"), Value::Int(50)});
+  ResultSet rs = Rows(
+      "SELECT o_totalprice, o_orderkey FROM orders ORDER BY o_totalprice, "
+      "o_orderkey DESC");
+  ASSERT_EQ(rs.NumRows(), 4u);
+  // Two rows with price 50: higher orderkey first within the tie.
+  EXPECT_EQ(rs.rows[0][0], Value::Int(50));
+  EXPECT_EQ(rs.rows[0][1], Value::Int(4));
+  EXPECT_EQ(rs.rows[1][1], Value::Int(1));
+}
+
+TEST_F(OrderLimitTest, LimitTruncates) {
+  ResultSet rs = Rows(
+      "SELECT o_orderkey FROM orders ORDER BY o_totalprice DESC LIMIT 2");
+  ASSERT_EQ(rs.NumRows(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(3));
+}
+
+TEST_F(OrderLimitTest, LimitLargerThanResult) {
+  ResultSet rs = Rows("SELECT o_orderkey FROM orders LIMIT 99");
+  EXPECT_EQ(rs.NumRows(), 3u);
+}
+
+TEST_F(OrderLimitTest, LimitZero) {
+  ResultSet rs = Rows("SELECT o_orderkey FROM orders LIMIT 0");
+  EXPECT_EQ(rs.NumRows(), 0u);
+}
+
+TEST_F(OrderLimitTest, OrderByGroupedOutput) {
+  ResultSet rs = Rows(
+      "SELECT o_custkey, COUNT(*) AS cnt FROM orders GROUP BY o_custkey "
+      "ORDER BY cnt DESC LIMIT 1");
+  ASSERT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(1));  // customer 1 has 2 orders
+}
+
+TEST_F(OrderLimitTest, UnknownOrderColumnErrors) {
+  auto stmt = ParseSelect("SELECT o_orderkey FROM orders ORDER BY zzz");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(executor_->Execute(**stmt).ok());
+}
+
+TEST_F(OrderLimitTest, PrinterRoundTripsOrderLimit) {
+  auto stmt = ParseSelect(
+      "SELECT o_orderkey FROM orders ORDER BY o_orderkey DESC, o_status "
+      "LIMIT 5");
+  ASSERT_TRUE(stmt.ok());
+  std::string printed = ToSql(**stmt);
+  EXPECT_NE(printed.find("ORDER BY o_orderkey DESC, o_status"),
+            std::string::npos);
+  EXPECT_NE(printed.find("LIMIT 5"), std::string::npos);
+  auto again = ParseSelect(printed);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(printed, ToSql(**again));
+}
+
+TEST_F(OrderLimitTest, CloneCopiesOrderAndLimit) {
+  auto stmt = ParseSelect(
+      "SELECT o_orderkey FROM orders ORDER BY o_orderkey LIMIT 2");
+  ASSERT_TRUE(stmt.ok());
+  SelectStmtPtr clone = (*stmt)->Clone();
+  EXPECT_EQ(clone->order_by.size(), 1u);
+  EXPECT_EQ(clone->limit, 2);
+}
+
+TEST_F(OrderLimitTest, NullsSortFirstAscending) {
+  Table* o = db_->MutableTable("orders");
+  o->InsertUnchecked(
+      {Value::Int(5), Value::Int(2), Value::Null(), Value::Null()});
+  ResultSet rs = Rows("SELECT o_totalprice FROM orders ORDER BY "
+                      "o_totalprice");
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,184 @@
+#include "rewrite/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "testing/test_db.h"
+
+namespace viewrewrite {
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  SelectStmtPtr Parse(const std::string& sql) {
+    auto r = ParseSelect(sql);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() ? std::move(r).value() : nullptr;
+  }
+
+  Schema schema_ = testing_support::MakeTestSchema();
+};
+
+TEST_F(AnalysisTest, VisibleColumnsFromBaseTables) {
+  auto stmt = Parse("SELECT * FROM customer c, orders");
+  auto cols = VisibleColumns(*stmt, schema_);
+  ASSERT_TRUE(cols.ok());
+  // 3 customer columns under binding "c", 4 orders columns under "orders".
+  EXPECT_EQ(cols->size(), 7u);
+  EXPECT_EQ((*cols)[0].first, "c");
+  EXPECT_EQ((*cols)[3].first, "orders");
+}
+
+TEST_F(AnalysisTest, VisibleColumnsFromDerivedTable) {
+  auto stmt = Parse(
+      "SELECT * FROM (SELECT o_custkey, COUNT(*) AS cnt FROM orders GROUP "
+      "BY o_custkey) d");
+  auto cols = VisibleColumns(*stmt, schema_);
+  ASSERT_TRUE(cols.ok());
+  ASSERT_EQ(cols->size(), 2u);
+  EXPECT_EQ((*cols)[0], (std::pair<std::string, std::string>{"d",
+                                                             "o_custkey"}));
+  EXPECT_EQ((*cols)[1].second, "cnt");
+}
+
+TEST_F(AnalysisTest, VisibleColumnsExpandStar) {
+  auto stmt = Parse("SELECT * FROM (SELECT * FROM orders) d");
+  auto cols = VisibleColumns(*stmt, schema_);
+  ASSERT_TRUE(cols.ok());
+  EXPECT_EQ(cols->size(), 4u);
+  for (const auto& [binding, _] : *cols) EXPECT_EQ(binding, "d");
+}
+
+TEST_F(AnalysisTest, VisibleColumnsThroughJoins) {
+  auto stmt = Parse(
+      "SELECT * FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey");
+  auto cols = VisibleColumns(*stmt, schema_);
+  ASSERT_TRUE(cols.ok());
+  EXPECT_EQ(cols->size(), 7u);
+}
+
+TEST_F(AnalysisTest, UnknownTableErrors) {
+  auto stmt = Parse("SELECT * FROM nonexistent");
+  EXPECT_FALSE(VisibleColumns(*stmt, schema_).ok());
+}
+
+TEST_F(AnalysisTest, ResolverQualifiedAndBare) {
+  ColumnResolver resolver({{"o", "o_custkey"}, {"c", "c_acctbal"}});
+  ColumnRefExpr qualified("o", "o_custkey");
+  ColumnRefExpr wrong_table("c", "o_custkey");
+  ColumnRefExpr bare("", "c_acctbal");
+  ColumnRefExpr missing("", "zzz");
+  EXPECT_TRUE(resolver.Resolves(qualified));
+  EXPECT_FALSE(resolver.Resolves(wrong_table));
+  EXPECT_TRUE(resolver.Resolves(bare));
+  EXPECT_FALSE(resolver.Resolves(missing));
+}
+
+TEST_F(AnalysisTest, HasOuterRefsDetectsCorrelation) {
+  auto stmt = Parse("SELECT * FROM orders o WHERE o.o_custkey = c.c_custkey");
+  auto cols = VisibleColumns(*stmt, schema_);
+  ASSERT_TRUE(cols.ok());
+  ColumnResolver local(std::move(cols).value());
+  EXPECT_TRUE(HasOuterRefs(*stmt->where, local));
+
+  auto plain = Parse("SELECT * FROM orders o WHERE o.o_totalprice > 5");
+  auto cols2 = VisibleColumns(*plain, schema_);
+  ColumnResolver local2(std::move(cols2).value());
+  EXPECT_FALSE(HasOuterRefs(*plain->where, local2));
+}
+
+TEST_F(AnalysisTest, ContainsSubqueryAllForms) {
+  EXPECT_TRUE(ContainsSubquery(
+      Parse("SELECT * FROM t WHERE a > (SELECT MAX(b) FROM u)")
+          ->where.get()));
+  EXPECT_TRUE(ContainsSubquery(
+      Parse("SELECT * FROM t WHERE a IN (SELECT b FROM u)")->where.get()));
+  EXPECT_TRUE(ContainsSubquery(
+      Parse("SELECT * FROM t WHERE EXISTS (SELECT * FROM u)")->where.get()));
+  EXPECT_TRUE(ContainsSubquery(
+      Parse("SELECT * FROM t WHERE a > ALL (SELECT b FROM u)")
+          ->where.get()));
+  EXPECT_FALSE(ContainsSubquery(
+      Parse("SELECT * FROM t WHERE a IN (1, 2)")->where.get()));
+  EXPECT_FALSE(
+      ContainsSubquery(Parse("SELECT * FROM t WHERE a > 1")->where.get()));
+  // Nested inside AND.
+  EXPECT_TRUE(ContainsSubquery(
+      Parse("SELECT * FROM t WHERE a = 1 AND EXISTS (SELECT * FROM u)")
+          ->where.get()));
+}
+
+TEST_F(AnalysisTest, ExtractCorrelationSplitsConjuncts) {
+  auto outer_stmt = Parse("SELECT * FROM customer c");
+  auto outer_cols = VisibleColumns(*outer_stmt, schema_);
+  ASSERT_TRUE(outer_cols.ok());
+  ColumnResolver outer(std::move(outer_cols).value());
+
+  auto sub = Parse(
+      "SELECT * FROM orders o WHERE o.o_custkey = c.c_custkey AND "
+      "o.o_totalprice > 100");
+  auto pairs = ExtractCorrelation(sub.get(), schema_, outer);
+  ASSERT_TRUE(pairs.ok()) << pairs.status();
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ((*pairs)[0].local_table, "o");
+  EXPECT_EQ((*pairs)[0].local_column, "o_custkey");
+  EXPECT_EQ((*pairs)[0].outer_table, "c");
+  EXPECT_EQ((*pairs)[0].outer_column, "c_custkey");
+  // The local conjunct stays behind.
+  ASSERT_NE(sub->where, nullptr);
+  EXPECT_EQ(ToSql(*sub->where), "(o.o_totalprice > 100)");
+}
+
+TEST_F(AnalysisTest, ExtractCorrelationMirroredEquality) {
+  auto outer_stmt = Parse("SELECT * FROM customer c");
+  ColumnResolver outer(
+      std::move(VisibleColumns(*outer_stmt, schema_)).value());
+  auto sub =
+      Parse("SELECT * FROM orders o WHERE c.c_custkey = o.o_custkey");
+  auto pairs = ExtractCorrelation(sub.get(), schema_, outer);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ((*pairs)[0].local_column, "o_custkey");
+  EXPECT_EQ(sub->where, nullptr);
+}
+
+TEST_F(AnalysisTest, ExtractCorrelationRejectsNonEquality) {
+  auto outer_stmt = Parse("SELECT * FROM customer c");
+  ColumnResolver outer(
+      std::move(VisibleColumns(*outer_stmt, schema_)).value());
+  auto sub =
+      Parse("SELECT * FROM orders o WHERE o.o_custkey > c.c_custkey");
+  auto pairs = ExtractCorrelation(sub.get(), schema_, outer);
+  EXPECT_FALSE(pairs.ok());
+  EXPECT_EQ(pairs.status().code(), StatusCode::kRewriteError);
+}
+
+TEST_F(AnalysisTest, ExtractCorrelationRequiresCorrelation) {
+  auto outer_stmt = Parse("SELECT * FROM customer c");
+  ColumnResolver outer(
+      std::move(VisibleColumns(*outer_stmt, schema_)).value());
+  auto sub = Parse("SELECT * FROM orders o WHERE o.o_totalprice > 5");
+  EXPECT_FALSE(ExtractCorrelation(sub.get(), schema_, outer).ok());
+}
+
+TEST_F(AnalysisTest, TableRefColumnsSingleRef) {
+  auto stmt = Parse("SELECT * FROM customer c JOIN orders o ON c.c_custkey "
+                    "= o.o_custkey");
+  auto cols = TableRefColumns(*stmt->from[0], schema_);
+  ASSERT_TRUE(cols.ok());
+  EXPECT_EQ(cols->size(), 7u);
+}
+
+TEST_F(AnalysisTest, CollectColumnRefsShallowSkipsSubqueries) {
+  auto stmt = Parse(
+      "SELECT * FROM t WHERE a = 1 AND EXISTS (SELECT * FROM u WHERE b = "
+      "2) AND c < 3");
+  std::vector<const ColumnRefExpr*> refs;
+  CollectColumnRefsShallow(stmt->where.get(), &refs);
+  ASSERT_EQ(refs.size(), 2u);  // a and c; b is inside the subquery
+  EXPECT_EQ(refs[0]->column, "a");
+  EXPECT_EQ(refs[1]->column, "c");
+}
+
+}  // namespace
+}  // namespace viewrewrite

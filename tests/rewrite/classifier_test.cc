@@ -1,0 +1,112 @@
+#include "rewrite/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "testing/test_db.h"
+
+namespace viewrewrite {
+namespace {
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  QueryClass Classify(const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    auto c = viewrewrite::Classify(**stmt, schema_);
+    EXPECT_TRUE(c.ok()) << c.status();
+    return c.ok() ? *c : QueryClass::kSimple;
+  }
+
+  Schema schema_ = testing_support::MakeTestSchema();
+};
+
+TEST_F(ClassifierTest, SimpleQueries) {
+  EXPECT_EQ(Classify("SELECT COUNT(*) FROM orders WHERE o_totalprice > 5"),
+            QueryClass::kSimple);
+  EXPECT_EQ(Classify("SELECT COUNT(*) FROM customer c, orders o WHERE "
+                     "c.c_custkey = o.o_custkey"),
+            QueryClass::kSimple);
+}
+
+TEST_F(ClassifierTest, FromDerivedTable) {
+  EXPECT_EQ(Classify("SELECT COUNT(*) FROM (SELECT o_custkey FROM orders) "
+                     "d"),
+            QueryClass::kFromDerivedTable);
+}
+
+TEST_F(ClassifierTest, WithDerivedTable) {
+  EXPECT_EQ(Classify("WITH t AS (SELECT o_custkey FROM orders) SELECT "
+                     "COUNT(*) FROM t"),
+            QueryClass::kWithDerivedTable);
+}
+
+TEST_F(ClassifierTest, ComparisonCorrelated) {
+  EXPECT_EQ(Classify("SELECT COUNT(*) FROM customer c, orders o WHERE "
+                     "c.c_custkey = o.o_custkey AND o.o_totalprice > "
+                     "(SELECT AVG(o2.o_totalprice) FROM orders o2 WHERE "
+                     "o2.o_custkey = c.c_custkey)"),
+            QueryClass::kComparisonCorrelated);
+}
+
+TEST_F(ClassifierTest, ComparisonNonCorrelated) {
+  EXPECT_EQ(Classify("SELECT COUNT(*) FROM orders WHERE o_totalprice > "
+                     "(SELECT AVG(o2.o_totalprice) FROM orders o2)"),
+            QueryClass::kComparisonNonCorrelated);
+}
+
+TEST_F(ClassifierTest, InCorrelatedAndNot) {
+  EXPECT_EQ(Classify("SELECT COUNT(*) FROM customer c, orders o WHERE "
+                     "c.c_custkey = o.o_custkey AND o.o_status IN (SELECT "
+                     "o2.o_status FROM orders o2 WHERE o2.o_custkey = "
+                     "c.c_custkey)"),
+            QueryClass::kInCorrelated);
+  EXPECT_EQ(Classify("SELECT COUNT(*) FROM customer WHERE c_custkey IN "
+                     "(SELECT o_custkey FROM orders)"),
+            QueryClass::kInNonCorrelated);
+}
+
+TEST_F(ClassifierTest, SetCorrelatedAndNot) {
+  EXPECT_EQ(Classify("SELECT COUNT(*) FROM orders o WHERE o.o_totalprice "
+                     ">= ALL (SELECT l.l_price FROM lineitem l WHERE "
+                     "l.l_orderkey = o.o_orderkey)"),
+            QueryClass::kSetCorrelated);
+  EXPECT_EQ(Classify("SELECT COUNT(*) FROM orders WHERE o_totalprice > ANY "
+                     "(SELECT l_price FROM lineitem)"),
+            QueryClass::kSetNonCorrelated);
+}
+
+TEST_F(ClassifierTest, ExistsCorrelatedAndNot) {
+  EXPECT_EQ(Classify("SELECT COUNT(*) FROM customer c WHERE EXISTS (SELECT "
+                     "* FROM orders o WHERE o.o_custkey = c.c_custkey)"),
+            QueryClass::kExistsCorrelated);
+  EXPECT_EQ(Classify("SELECT COUNT(*) FROM customer WHERE EXISTS (SELECT * "
+                     "FROM orders WHERE o_totalprice > 5)"),
+            QueryClass::kExistsNonCorrelated);
+}
+
+TEST_F(ClassifierTest, NestedTakesPriorityOverDerived) {
+  // Both a FROM derived table and a nested predicate: nested wins
+  // (pipeline order).
+  EXPECT_EQ(Classify("SELECT COUNT(*) FROM (SELECT o_custkey FROM orders) "
+                     "d WHERE EXISTS (SELECT * FROM customer WHERE "
+                     "c_acctbal > 5)"),
+            QueryClass::kExistsNonCorrelated);
+}
+
+TEST_F(ClassifierTest, ClassPredicates) {
+  EXPECT_TRUE(IsNestedClass(QueryClass::kInCorrelated));
+  EXPECT_TRUE(IsNestedClass(QueryClass::kComparisonNonCorrelated));
+  EXPECT_FALSE(IsNestedClass(QueryClass::kFromDerivedTable));
+  EXPECT_TRUE(IsCorrelatedClass(QueryClass::kExistsCorrelated));
+  EXPECT_FALSE(IsCorrelatedClass(QueryClass::kExistsNonCorrelated));
+}
+
+TEST_F(ClassifierTest, NamesAreStable) {
+  EXPECT_STREQ(QueryClassName(QueryClass::kSimple), "simple");
+  EXPECT_STREQ(QueryClassName(QueryClass::kSetCorrelated),
+               "set-correlated");
+}
+
+}  // namespace
+}  // namespace viewrewrite

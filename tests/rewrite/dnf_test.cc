@@ -1,0 +1,126 @@
+#include "rewrite/dnf.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace viewrewrite {
+namespace {
+
+ExprPtr ParseWhere(const std::string& predicate) {
+  auto stmt = ParseSelect("SELECT * FROM t WHERE " + predicate);
+  EXPECT_TRUE(stmt.ok()) << stmt.status();
+  return std::move((*stmt)->where);
+}
+
+TEST(PushNotInwardTest, NegatesComparisons) {
+  ExprPtr e = ParseWhere("NOT a < 3");
+  EXPECT_EQ(ToSql(*PushNotInward(*e)), "(a >= 3)");
+  e = ParseWhere("NOT a = 3");
+  EXPECT_EQ(ToSql(*PushNotInward(*e)), "(a <> 3)");
+}
+
+TEST(PushNotInwardTest, DeMorgan) {
+  ExprPtr e = ParseWhere("NOT (a = 1 AND b = 2)");
+  EXPECT_EQ(ToSql(*PushNotInward(*e)), "((a <> 1) OR (b <> 2))");
+  e = ParseWhere("NOT (a = 1 OR b = 2)");
+  EXPECT_EQ(ToSql(*PushNotInward(*e)), "((a <> 1) AND (b <> 2))");
+}
+
+TEST(PushNotInwardTest, DoubleNegationCancels) {
+  ExprPtr e = ParseWhere("NOT (NOT a = 1)");
+  EXPECT_EQ(ToSql(*PushNotInward(*e)), "(a = 1)");
+}
+
+TEST(PushNotInwardTest, FlipsNullTests) {
+  ExprPtr e = ParseWhere("NOT a IS NULL");
+  EXPECT_EQ(ToSql(*PushNotInward(*e)), "ISNOTNULL(a)");
+}
+
+TEST(ToDnfTest, PureConjunctionIsOneDisjunct) {
+  ExprPtr e = ParseWhere("a = 1 AND b = 2 AND c = 3");
+  auto dnf = ToDnf(*e, 16);
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ(dnf->size(), 1u);
+  EXPECT_EQ((*dnf)[0].size(), 3u);
+}
+
+TEST(ToDnfTest, DistributesAndOverOr) {
+  // Rule 6: A AND (B OR C) -> (A AND B) OR (A AND C).
+  ExprPtr e = ParseWhere("a = 1 AND (b = 2 OR c = 3)");
+  auto dnf = ToDnf(*e, 16);
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ(dnf->size(), 2u);
+  EXPECT_EQ((*dnf)[0].size(), 2u);
+  EXPECT_EQ((*dnf)[1].size(), 2u);
+}
+
+TEST(ToDnfTest, CrossProductOfDisjunctions) {
+  ExprPtr e = ParseWhere("(a = 1 OR b = 2) AND (c = 3 OR d = 4)");
+  auto dnf = ToDnf(*e, 16);
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_EQ(dnf->size(), 4u);
+}
+
+TEST(ToDnfTest, ExceedingBudgetFails) {
+  ExprPtr e = ParseWhere(
+      "(a = 1 OR a = 2) AND (b = 1 OR b = 2) AND (c = 1 OR c = 2)");
+  auto dnf = ToDnf(*e, 4);
+  EXPECT_FALSE(dnf.ok());
+  EXPECT_EQ(dnf.status().code(), StatusCode::kRewriteError);
+}
+
+TEST(InclusionExclusionTest, TwoDisjunctsGiveThreeTerms) {
+  ExprPtr e = ParseWhere("a = 1 OR b = 2");
+  auto dnf = ToDnf(*e, 16);
+  ASSERT_TRUE(dnf.ok());
+  auto base = ParseSelect("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(base.ok());
+  auto combo = InclusionExclusion(**base, *dnf);
+  ASSERT_TRUE(combo.ok());
+  // |A ∪ B| = |A| + |B| - |A ∩ B|.
+  ASSERT_EQ(combo->terms.size(), 3u);
+  double sum = 0;
+  int negative = 0;
+  for (const auto& t : combo->terms) {
+    sum += t.coeff;
+    if (t.coeff < 0) ++negative;
+  }
+  EXPECT_EQ(negative, 1);
+  EXPECT_EQ(sum, 1.0);
+}
+
+TEST(InclusionExclusionTest, ThreeDisjunctsGiveSevenTerms) {
+  ExprPtr e = ParseWhere("a = 1 OR b = 2 OR c = 3");
+  auto dnf = ToDnf(*e, 16);
+  ASSERT_TRUE(dnf.ok());
+  auto base = ParseSelect("SELECT COUNT(*) FROM t");
+  auto combo = InclusionExclusion(**base, *dnf);
+  ASSERT_TRUE(combo.ok());
+  EXPECT_EQ(combo->terms.size(), 7u);
+}
+
+TEST(InclusionExclusionTest, SharedAtomsDeduplicated) {
+  // (a=1 AND c=3) OR (b=2 AND c=3): the intersection term must not
+  // repeat c=3.
+  ExprPtr e = ParseWhere("(a = 1 AND c = 3) OR (b = 2 AND c = 3)");
+  auto dnf = ToDnf(*e, 16);
+  ASSERT_TRUE(dnf.ok());
+  auto base = ParseSelect("SELECT COUNT(*) FROM t");
+  auto combo = InclusionExclusion(**base, *dnf);
+  ASSERT_TRUE(combo.ok());
+  ASSERT_EQ(combo->terms.size(), 3u);
+  // The last (intersection) term has 3 distinct atoms, not 4.
+  const auto& inter = combo->terms.back();
+  EXPECT_EQ(CollectConjuncts(inter.query->where.get()).size(), 3u);
+}
+
+TEST(InclusionExclusionTest, ZeroDisjunctsRejected) {
+  auto base = ParseSelect("SELECT COUNT(*) FROM t");
+  auto combo = InclusionExclusion(**base, {});
+  EXPECT_FALSE(combo.ok());
+}
+
+}  // namespace
+}  // namespace viewrewrite

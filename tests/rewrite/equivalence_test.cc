@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "rewrite/rewriter.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "testing/test_db.h"
+
+namespace viewrewrite {
+namespace {
+
+/// The paper's correctness property: every rewrite rule is an equivalence.
+/// For each query in the corpus, execute the original (naive subquery
+/// evaluation) and the rewritten form (chain + combination over the
+/// canonicalized join tree) on several random database instances and
+/// require identical answers.
+class EquivalenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EquivalenceTest, OriginalEqualsRewrittenOnRandomInstances) {
+  const std::string sql = GetParam();
+  Schema schema = testing_support::MakeTestSchema();
+  Rewriter rewriter(schema);
+
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok()) << sql << ": " << stmt.status();
+  auto rewritten = rewriter.Rewrite(**stmt);
+  ASSERT_TRUE(rewritten.ok()) << sql << ": " << rewritten.status();
+
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    auto db = testing_support::MakeTestDatabase(seed, 25);
+    Executor executor(*db);
+    auto original = executor.ExecuteScalar(**stmt);
+    ASSERT_TRUE(original.ok()) << sql << " (seed " << seed
+                               << "): " << original.status();
+    auto via_rewrite = executor.ExecuteRewritten(*rewritten);
+    ASSERT_TRUE(via_rewrite.ok())
+        << ToSql(*rewritten) << " (seed " << seed
+        << "): " << via_rewrite.status();
+    EXPECT_DOUBLE_EQ(*original, *via_rewrite)
+        << "seed " << seed << "\noriginal:  " << sql
+        << "\nrewritten: " << ToSql(*rewritten);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DerivedTableRules, EquivalenceTest,
+    ::testing::Values(
+        // Rule 1: ungrouped derived filter.
+        "SELECT COUNT(*) FROM (SELECT o_custkey, o_totalprice FROM orders "
+        "WHERE o_totalprice > 100) d",
+        // Rule 2: filter on the grouping column.
+        "SELECT COUNT(*) FROM (SELECT o_custkey, AVG(o_totalprice) AS a "
+        "FROM orders WHERE o_custkey > 5 GROUP BY o_custkey) d WHERE d.a > "
+        "100",
+        // Rule 2 negative case: non-group filter stays inside.
+        "SELECT COUNT(*) FROM (SELECT o_custkey, AVG(o_totalprice) AS a "
+        "FROM orders WHERE o_status = 'f' GROUP BY o_custkey) d WHERE d.a "
+        "> 50",
+        // Rule 3: HAVING.
+        "SELECT COUNT(*) FROM (SELECT o_custkey, COUNT(*) AS cnt FROM "
+        "orders GROUP BY o_custkey HAVING COUNT(*) >= 2) d",
+        // Rule 3 with WHERE + HAVING combined.
+        "SELECT COUNT(*) FROM (SELECT o_custkey, COUNT(*) AS cnt FROM "
+        "orders WHERE o_custkey > 3 GROUP BY o_custkey HAVING COUNT(*) >= "
+        "2) d WHERE d.cnt < 5",
+        // Rules 4/5: merged subqueries with a join.
+        "SELECT COUNT(*) FROM customer c, (SELECT o_custkey, COUNT(*) AS "
+        "cnt FROM orders GROUP BY o_custkey) d1, (SELECT o_custkey, "
+        "AVG(o_totalprice) AS a FROM orders GROUP BY o_custkey) d2 WHERE "
+        "c.c_custkey = d1.o_custkey AND c.c_custkey = d2.o_custkey AND "
+        "d1.cnt >= 2 AND d2.a < 150",
+        // Rule 8: WITH.
+        "WITH t AS (SELECT o_custkey, SUM(o_totalprice) AS s FROM orders "
+        "GROUP BY o_custkey HAVING SUM(o_totalprice) >= 100) SELECT "
+        "COUNT(*) FROM customer c, t WHERE c.c_custkey = t.o_custkey AND "
+        "c.c_nation = 1"));
+
+INSTANTIATE_TEST_SUITE_P(
+    CorrelatedRules, EquivalenceTest,
+    ::testing::Values(
+        // Rule 10: comparison-correlated (AVG).
+        "SELECT COUNT(*) FROM customer c, orders o WHERE c.c_custkey = "
+        "o.o_custkey AND o.o_totalprice > (SELECT AVG(o2.o_totalprice) "
+        "FROM orders o2 WHERE o2.o_custkey = c.c_custkey)",
+        // Rule 10 rewrite trap: bare COUNT compared against 0 keeps
+        // customers with no orders.
+        "SELECT COUNT(*) FROM customer c WHERE (SELECT COUNT(*) FROM "
+        "orders o WHERE o.o_custkey = c.c_custkey) = 0",
+        "SELECT COUNT(*) FROM customer c WHERE (SELECT COUNT(*) FROM "
+        "orders o WHERE o.o_custkey = c.c_custkey) < 3",
+        // Correlated scalar with an inner non-key filter.
+        "SELECT COUNT(*) FROM customer c, orders o WHERE c.c_custkey = "
+        "o.o_custkey AND o.o_totalprice > (SELECT AVG(o2.o_totalprice) "
+        "FROM orders o2 WHERE o2.o_custkey = c.c_custkey AND o2.o_status = "
+        "'f')",
+        // Key-filter promotion: inner filter on the correlation key.
+        "SELECT COUNT(*) FROM customer c WHERE EXISTS (SELECT * FROM "
+        "orders o WHERE o.o_custkey = c.c_custkey AND o.o_custkey >= 10)",
+        "SELECT COUNT(*) FROM customer c WHERE NOT EXISTS (SELECT * FROM "
+        "orders o WHERE o.o_custkey = c.c_custkey AND o.o_custkey < 15)",
+        // Promoted key filter on a correlated scalar (bare COUNT).
+        "SELECT COUNT(*) FROM customer c WHERE (SELECT COUNT(*) FROM "
+        "orders o WHERE o.o_custkey = c.c_custkey AND o.o_custkey >= 12) "
+        "< 2",
+        // Rules 13/14: EXISTS / NOT EXISTS.
+        "SELECT COUNT(*) FROM customer c WHERE EXISTS (SELECT * FROM "
+        "orders o WHERE o.o_custkey = c.c_custkey)",
+        "SELECT COUNT(*) FROM customer c WHERE NOT EXISTS (SELECT * FROM "
+        "orders o WHERE o.o_custkey = c.c_custkey)",
+        "SELECT COUNT(*) FROM customer c WHERE c.c_nation = 0 AND EXISTS "
+        "(SELECT * FROM orders o WHERE o.o_custkey = c.c_custkey AND "
+        "o.o_status = 'f')",
+        // Rule 11: IN-correlated.
+        "SELECT COUNT(*) FROM customer c, orders o WHERE c.c_custkey = "
+        "o.o_custkey AND o.o_status IN (SELECT o2.o_status FROM orders o2 "
+        "WHERE o2.o_custkey = c.c_custkey AND o2.o_totalprice < 150)",
+        // Rule 12 + Table 1: every supported quantifier/comparison combo.
+        "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice >= ALL (SELECT "
+        "l.l_price FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)",
+        "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice < ANY (SELECT "
+        "l.l_price FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)",
+        "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice <= ANY (SELECT "
+        "l.l_price FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)",
+        "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice > ANY (SELECT "
+        "l.l_price FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)",
+        "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice >= ANY (SELECT "
+        "l.l_price FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)",
+        "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice < ALL (SELECT "
+        "l.l_price FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)",
+        "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice <= ALL (SELECT "
+        "l.l_price FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)",
+        "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice > ALL (SELECT "
+        "l.l_price FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)",
+        "SELECT COUNT(*) FROM orders o WHERE o.o_status = ANY (SELECT "
+        "o2.o_status FROM orders o2 WHERE o2.o_custkey = o.o_custkey)",
+        "SELECT COUNT(*) FROM orders o WHERE o.o_orderkey <> ALL (SELECT "
+        "l.l_orderkey FROM lineitem l WHERE l.l_orderkey = o.o_orderkey AND "
+        "l.l_quantity > 30)"));
+
+INSTANTIATE_TEST_SUITE_P(
+    NonCorrelatedRules, EquivalenceTest,
+    ::testing::Values(
+        // Rule 15: comparison.
+        "SELECT COUNT(*) FROM orders WHERE o_totalprice > (SELECT "
+        "AVG(o2.o_totalprice) FROM orders o2)",
+        // Rule 15 with arithmetic around the subquery.
+        "SELECT COUNT(*) FROM orders WHERE o_totalprice > 0.5 * (SELECT "
+        "AVG(o2.o_totalprice) FROM orders o2 WHERE o2.o_status = 'f')",
+        // Rules 16/17: IN over a unique key with a filter.
+        "SELECT COUNT(*) FROM orders o WHERE o.o_custkey IN (SELECT "
+        "c.c_custkey FROM customer c WHERE c.c_nation = 1)",
+        "SELECT COUNT(*) FROM orders o WHERE o.o_custkey NOT IN (SELECT "
+        "c.c_custkey FROM customer c WHERE c.c_acctbal > 30)",
+        // Rule 17: IN over a non-unique column (grouping dedup).
+        "SELECT COUNT(*) FROM customer WHERE c_custkey IN (SELECT "
+        "o_custkey FROM orders WHERE o_totalprice > 100)",
+        // Rule 18: set non-correlated.
+        "SELECT COUNT(*) FROM orders WHERE o_totalprice > ALL (SELECT "
+        "l_price FROM lineitem WHERE l_quantity > 30)",
+        "SELECT COUNT(*) FROM orders WHERE o_totalprice <= ANY (SELECT "
+        "l_price FROM lineitem)",
+        // Rules 19/20: EXISTS / NOT EXISTS non-correlated.
+        "SELECT COUNT(*) FROM customer WHERE EXISTS (SELECT * FROM orders "
+        "WHERE o_totalprice > 200)",
+        "SELECT COUNT(*) FROM customer WHERE NOT EXISTS (SELECT * FROM "
+        "orders WHERE o_totalprice > 250)",
+        // Nested non-correlated chain (two levels).
+        "SELECT COUNT(*) FROM customer WHERE c_custkey IN (SELECT "
+        "o_custkey FROM orders WHERE o_totalprice = (SELECT "
+        "MAX(o2.o_totalprice) FROM orders o2))"));
+
+INSTANTIATE_TEST_SUITE_P(
+    OrSplitting, EquivalenceTest,
+    ::testing::Values(
+        "SELECT COUNT(*) FROM orders WHERE o_status = 'f' OR o_totalprice "
+        "> 150",
+        "SELECT COUNT(*) FROM orders WHERE (o_status = 'f' OR o_status = "
+        "'o') AND o_totalprice > 100",
+        "SELECT COUNT(*) FROM orders WHERE o_status = 'f' OR o_totalprice "
+        "> 150 OR o_custkey < 5",
+        "SELECT COUNT(*) FROM orders WHERE NOT (o_status = 'f' AND "
+        "o_totalprice > 100)",
+        // OR combined with a subquery predicate.
+        "SELECT COUNT(*) FROM customer c WHERE c.c_nation = 2 OR EXISTS "
+        "(SELECT * FROM orders o WHERE o.o_custkey = c.c_custkey)"));
+
+INSTANTIATE_TEST_SUITE_P(
+    SumAggregates, EquivalenceTest,
+    ::testing::Values(
+        "SELECT SUM(o_totalprice) FROM orders WHERE o_status = 'f' OR "
+        "o_totalprice > 150",
+        "SELECT SUM(l_quantity * l_price) FROM lineitem WHERE l_quantity "
+        "> 10",
+        "SELECT SUM(c_acctbal) FROM customer c WHERE EXISTS (SELECT * "
+        "FROM orders o WHERE o.o_custkey = c.c_custkey AND o.o_custkey >= "
+        "8)",
+        "SELECT SUM(o_totalprice) FROM customer c, orders o WHERE "
+        "c.c_custkey = o.o_custkey AND o.o_totalprice > (SELECT "
+        "AVG(o2.o_totalprice) FROM orders o2 WHERE o2.o_custkey = "
+        "c.c_custkey)"));
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include "rewrite/rewriter.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "testing/test_db.h"
+
+namespace viewrewrite {
+namespace {
+
+/// Structural assertions on the rewriter output: subqueries gone from
+/// WHERE, signatures independent of filter constants, chain links emitted.
+class RewriterRulesTest : public ::testing::Test {
+ protected:
+  RewrittenQuery MustRewrite(const std::string& sql,
+                             RewriteOptions options = {}) {
+    auto stmt = ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << sql << ": " << stmt.status();
+    Rewriter rewriter(schema_, options);
+    auto rq = rewriter.Rewrite(**stmt);
+    EXPECT_TRUE(rq.ok()) << sql << ": " << rq.status();
+    return rq.ok() ? std::move(rq).value() : RewrittenQuery{};
+  }
+
+  /// Canonical text of the first term's FROM clause — the view signature.
+  static std::string FromSignature(const RewrittenQuery& rq) {
+    std::string out;
+    for (const auto& f : rq.combination.terms.at(0).query->from) {
+      out += ToSql(*f) + ";";
+    }
+    return out;
+  }
+
+  static bool WhereHasSubquery(const RewrittenQuery& rq) {
+    for (const auto& term : rq.combination.terms) {
+      std::string s =
+          term.query->where ? ToSql(*term.query->where) : std::string();
+      if (s.find("SELECT") != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  Schema schema_ = testing_support::MakeTestSchema();
+};
+
+TEST_F(RewriterRulesTest, Rule8WithInlined) {
+  RewrittenQuery rq = MustRewrite(
+      "WITH t AS (SELECT o_custkey FROM orders) SELECT COUNT(*) FROM t");
+  const SelectStmt& q = *rq.combination.terms[0].query;
+  EXPECT_TRUE(q.with.empty());
+  ASSERT_EQ(q.from.size(), 1u);
+  EXPECT_EQ(q.from[0]->kind, TableRefKind::kDerived);
+}
+
+TEST_F(RewriterRulesTest, Rule1HoistsUngroupedDerivedFilter) {
+  RewrittenQuery rq = MustRewrite(
+      "SELECT COUNT(*) FROM (SELECT o_custkey, o_totalprice FROM orders "
+      "WHERE o_totalprice > 100) d");
+  const SelectStmt& q = *rq.combination.terms[0].query;
+  // The filter moved to the main WHERE, referencing the derived output.
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_NE(ToSql(*q.where).find("d.o_totalprice > 100"), std::string::npos);
+  // And the derived body is filter-free.
+  EXPECT_EQ(ToSql(*q.from[0]).find("WHERE"), std::string::npos);
+}
+
+TEST_F(RewriterRulesTest, Rule2HoistsGroupColumnFilter) {
+  RewrittenQuery rq = MustRewrite(
+      "SELECT COUNT(*) FROM (SELECT o_custkey, AVG(o_totalprice) AS a FROM "
+      "orders WHERE o_custkey > 5 GROUP BY o_custkey) d WHERE d.a > 10");
+  const SelectStmt& q = *rq.combination.terms[0].query;
+  EXPECT_NE(ToSql(*q.where).find("d.o_custkey > 5"), std::string::npos);
+  EXPECT_EQ(ToSql(*q.from[0]).find("WHERE"), std::string::npos);
+}
+
+TEST_F(RewriterRulesTest, Rule2DoesNotHoistNonGroupColumnFilter) {
+  RewrittenQuery rq = MustRewrite(
+      "SELECT COUNT(*) FROM (SELECT o_custkey, AVG(o_totalprice) AS a FROM "
+      "orders WHERE o_status = 'f' GROUP BY o_custkey) d");
+  const SelectStmt& q = *rq.combination.terms[0].query;
+  // Pre-aggregation filter on a non-group column must stay inside.
+  EXPECT_NE(ToSql(*q.from[0]).find("o_status = 'f'"), std::string::npos);
+}
+
+TEST_F(RewriterRulesTest, Rule3HoistsHaving) {
+  RewrittenQuery rq = MustRewrite(
+      "SELECT COUNT(*) FROM (SELECT o_custkey, COUNT(*) AS cnt FROM orders "
+      "GROUP BY o_custkey HAVING COUNT(*) >= 2) d");
+  const SelectStmt& q = *rq.combination.terms[0].query;
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_NE(ToSql(*q.where).find("d.cnt >= 2"), std::string::npos);
+  EXPECT_EQ(ToSql(*q.from[0]).find("HAVING"), std::string::npos);
+}
+
+TEST_F(RewriterRulesTest, Rule3HoistsUnprojectedAggregate) {
+  RewrittenQuery rq = MustRewrite(
+      "SELECT COUNT(*) FROM (SELECT o_custkey FROM orders GROUP BY "
+      "o_custkey HAVING SUM(o_totalprice) >= 100) d");
+  const SelectStmt& q = *rq.combination.terms[0].query;
+  // The SUM had to be added to the derived projection under a new alias.
+  EXPECT_NE(ToSql(*q.from[0]).find("SUM(o_totalprice)"), std::string::npos);
+  EXPECT_NE(ToSql(*q.where).find(">= 100"), std::string::npos);
+}
+
+TEST_F(RewriterRulesTest, Rules45MergeSameStructureSubqueries) {
+  RewrittenQuery rq = MustRewrite(
+      "SELECT COUNT(*) FROM customer c, (SELECT o_custkey, COUNT(*) AS cnt "
+      "FROM orders GROUP BY o_custkey) d1, (SELECT o_custkey, "
+      "AVG(o_totalprice) AS a FROM orders GROUP BY o_custkey) d2 WHERE "
+      "c.c_custkey = d1.o_custkey AND c.c_custkey = d2.o_custkey AND "
+      "d1.cnt >= 2 AND d2.a < 100");
+  std::string sig = FromSignature(rq);
+  // Exactly one derived table remains after the Rule 4/5 merge.
+  size_t first = sig.find("SELECT");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(sig.find("SELECT", first + 1), std::string::npos);
+  // Both measures live in the merged body.
+  EXPECT_NE(sig.find("COUNT(*)"), std::string::npos);
+  EXPECT_NE(sig.find("AVG(o_totalprice)"), std::string::npos);
+}
+
+TEST_F(RewriterRulesTest, SignatureInvariantToDerivedFilterConstants) {
+  const char* tmpl =
+      "SELECT COUNT(*) FROM (SELECT o_custkey, COUNT(*) AS cnt FROM orders "
+      "GROUP BY o_custkey HAVING COUNT(*) >= %d) d";
+  char q1[256], q2[256];
+  snprintf(q1, sizeof(q1), tmpl, 2);
+  snprintf(q2, sizeof(q2), tmpl, 7);
+  EXPECT_EQ(FromSignature(MustRewrite(q1)), FromSignature(MustRewrite(q2)));
+}
+
+TEST_F(RewriterRulesTest, Rule10ComparisonCorrelated) {
+  RewrittenQuery rq = MustRewrite(
+      "SELECT COUNT(*) FROM customer c, orders o WHERE c.c_custkey = "
+      "o.o_custkey AND o.o_totalprice > (SELECT AVG(o2.o_totalprice) FROM "
+      "orders o2 WHERE o2.o_custkey = c.c_custkey)");
+  EXPECT_FALSE(WhereHasSubquery(rq));
+  std::string sig = FromSignature(rq);
+  // Grouped derived table LEFT-JOINed in.
+  EXPECT_NE(sig.find("LEFT JOIN"), std::string::npos);
+  EXPECT_NE(sig.find("GROUP BY"), std::string::npos);
+  EXPECT_NE(sig.find("AVG"), std::string::npos);
+}
+
+TEST_F(RewriterRulesTest, Rule10BareCountGetsCoalesce) {
+  RewrittenQuery rq = MustRewrite(
+      "SELECT COUNT(*) FROM customer c WHERE (SELECT COUNT(*) FROM orders "
+      "o WHERE o.o_custkey = c.c_custkey) < 2");
+  const SelectStmt& q = *rq.combination.terms[0].query;
+  EXPECT_NE(ToSql(*q.where).find("COALESCE"), std::string::npos);
+}
+
+TEST_F(RewriterRulesTest, Rules1314ExistsBecomesCountComparison) {
+  RewrittenQuery rq = MustRewrite(
+      "SELECT COUNT(*) FROM customer c WHERE EXISTS (SELECT * FROM orders "
+      "o WHERE o.o_custkey = c.c_custkey)");
+  EXPECT_FALSE(WhereHasSubquery(rq));
+  const SelectStmt& q = *rq.combination.terms[0].query;
+  EXPECT_NE(ToSql(*q.where).find(">= 1"), std::string::npos);
+
+  RewrittenQuery rq2 = MustRewrite(
+      "SELECT COUNT(*) FROM customer c WHERE NOT EXISTS (SELECT * FROM "
+      "orders o WHERE o.o_custkey = c.c_custkey)");
+  const SelectStmt& q2 = *rq2.combination.terms[0].query;
+  EXPECT_NE(ToSql(*q2.where).find("< 1"), std::string::npos);
+}
+
+TEST_F(RewriterRulesTest, KeyFilterPromotionMovesSubqueryConstant) {
+  const char* tmpl =
+      "SELECT COUNT(*) FROM customer c WHERE EXISTS (SELECT * FROM orders "
+      "o WHERE o.o_custkey = c.c_custkey AND o.o_custkey >= %d)";
+  char q1[256], q2[256];
+  snprintf(q1, sizeof(q1), tmpl, 5);
+  snprintf(q2, sizeof(q2), tmpl, 25);
+  RewrittenQuery r1 = MustRewrite(q1);
+  RewrittenQuery r2 = MustRewrite(q2);
+  // Same view structure regardless of the subquery constant — the paper's
+  // headline property.
+  EXPECT_EQ(FromSignature(r1), FromSignature(r2));
+  // The constant now sits in the main WHERE, on the outer column.
+  EXPECT_NE(ToSql(*r1.combination.terms[0].query->where)
+                .find("c.c_custkey >= 5"),
+            std::string::npos);
+}
+
+TEST_F(RewriterRulesTest, PromotionDisabledKeepsConstantInView) {
+  RewriteOptions opts;
+  opts.enable_key_filter_promotion = false;
+  const char* tmpl =
+      "SELECT COUNT(*) FROM customer c WHERE EXISTS (SELECT * FROM orders "
+      "o WHERE o.o_custkey = c.c_custkey AND o.o_custkey >= %d)";
+  char q1[256], q2[256];
+  snprintf(q1, sizeof(q1), tmpl, 5);
+  snprintf(q2, sizeof(q2), tmpl, 25);
+  EXPECT_NE(FromSignature(MustRewrite(q1, opts)),
+            FromSignature(MustRewrite(q2, opts)));
+}
+
+TEST_F(RewriterRulesTest, Rule11InCorrelated) {
+  RewrittenQuery rq = MustRewrite(
+      "SELECT COUNT(*) FROM customer c, orders o WHERE c.c_custkey = "
+      "o.o_custkey AND o.o_status IN (SELECT o2.o_status FROM orders o2 "
+      "WHERE o2.o_custkey = c.c_custkey)");
+  EXPECT_FALSE(WhereHasSubquery(rq));
+  EXPECT_NE(FromSignature(rq).find("matched"), std::string::npos);
+}
+
+TEST_F(RewriterRulesTest, Rule15NonCorrelatedComparisonBecomesChain) {
+  RewrittenQuery rq = MustRewrite(
+      "SELECT COUNT(*) FROM orders WHERE o_totalprice > (SELECT "
+      "AVG(o2.o_totalprice) FROM orders o2)");
+  ASSERT_EQ(rq.chain.size(), 1u);
+  EXPECT_EQ(rq.chain[0].var, "v0");
+  const SelectStmt& q = *rq.combination.terms[0].query;
+  EXPECT_NE(ToSql(*q.where).find("$v0"), std::string::npos);
+}
+
+TEST_F(RewriterRulesTest, Rule16UniqueKeyInFlattensAndHoistsFilter) {
+  const char* tmpl =
+      "SELECT COUNT(*) FROM orders o WHERE o.o_custkey IN (SELECT "
+      "c.c_custkey FROM customer c WHERE c.c_nation = %d)";
+  char q1[256], q2[256];
+  snprintf(q1, sizeof(q1), tmpl, 1);
+  snprintf(q2, sizeof(q2), tmpl, 3);
+  RewrittenQuery r1 = MustRewrite(q1);
+  RewrittenQuery r2 = MustRewrite(q2);
+  EXPECT_EQ(FromSignature(r1), FromSignature(r2));
+  EXPECT_NE(ToSql(*r1.combination.terms[0].query->where).find("c_nation"),
+            std::string::npos);
+}
+
+TEST_F(RewriterRulesTest, Rules1920NonCorrelatedExists) {
+  RewrittenQuery rq = MustRewrite(
+      "SELECT COUNT(*) FROM customer WHERE EXISTS (SELECT * FROM orders "
+      "WHERE o_totalprice > 100)");
+  ASSERT_EQ(rq.chain.size(), 1u);
+  const SelectStmt& q = *rq.combination.terms[0].query;
+  EXPECT_NE(ToSql(*q.where).find("$v0 >= 1"), std::string::npos);
+}
+
+TEST_F(RewriterRulesTest, Rule12SetCorrelatedViaTable1) {
+  RewrittenQuery rq = MustRewrite(
+      "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice >= ALL (SELECT "
+      "l.l_price FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)");
+  EXPECT_FALSE(WhereHasSubquery(rq));
+  // >= ALL -> >= MAX with a -infinity COALESCE sentinel.
+  std::string sig = FromSignature(rq);
+  EXPECT_NE(sig.find("MAX"), std::string::npos);
+  EXPECT_NE(ToSql(*rq.combination.terms[0].query->where).find("COALESCE"),
+            std::string::npos);
+}
+
+TEST_F(RewriterRulesTest, Rule18SetNonCorrelatedBecomesChain) {
+  RewrittenQuery rq = MustRewrite(
+      "SELECT COUNT(*) FROM orders WHERE o_totalprice > ALL (SELECT "
+      "l_price FROM lineitem)");
+  ASSERT_EQ(rq.chain.size(), 1u);
+  // The chain link computes MAX (Table 1: > ALL -> > MAX).
+  EXPECT_NE(ToSql(*rq.chain[0].query).find("MAX"), std::string::npos);
+}
+
+TEST_F(RewriterRulesTest, Table1UnsupportedConversionsRejected) {
+  auto stmt = ParseSelect(
+      "SELECT COUNT(*) FROM orders WHERE o_totalprice = ALL (SELECT "
+      "l_price FROM lineitem)");
+  ASSERT_TRUE(stmt.ok());
+  Rewriter rewriter(schema_);
+  EXPECT_FALSE(rewriter.Rewrite(**stmt).ok());
+
+  stmt = ParseSelect(
+      "SELECT COUNT(*) FROM orders WHERE o_totalprice <> ANY (SELECT "
+      "l_price FROM lineitem)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(rewriter.Rewrite(**stmt).ok());
+}
+
+TEST_F(RewriterRulesTest, Rules67SplitOrIntoCombination) {
+  RewrittenQuery rq = MustRewrite(
+      "SELECT COUNT(*) FROM orders WHERE o_status = 'f' OR o_totalprice > "
+      "100");
+  ASSERT_EQ(rq.combination.terms.size(), 3u);
+  double coeff_sum = 0;
+  for (const auto& t : rq.combination.terms) coeff_sum += t.coeff;
+  EXPECT_EQ(coeff_sum, 1.0);
+}
+
+TEST_F(RewriterRulesTest, OrSplitDisabledKeepsSingleTerm) {
+  RewriteOptions opts;
+  opts.enable_or_split = false;
+  RewrittenQuery rq = MustRewrite(
+      "SELECT COUNT(*) FROM orders WHERE o_status = 'f' OR o_totalprice > "
+      "100",
+      opts);
+  EXPECT_EQ(rq.combination.terms.size(), 1u);
+}
+
+TEST_F(RewriterRulesTest, CanonicalizationNormalizesTableOrder) {
+  RewrittenQuery a = MustRewrite(
+      "SELECT COUNT(*) FROM customer c, orders o WHERE c.c_custkey = "
+      "o.o_custkey");
+  RewrittenQuery b = MustRewrite(
+      "SELECT COUNT(*) FROM orders o, customer c WHERE o.o_custkey = "
+      "c.c_custkey");
+  EXPECT_EQ(FromSignature(a), FromSignature(b));
+}
+
+TEST_F(RewriterRulesTest, MainFilterConstantsDoNotChangeSignature) {
+  RewrittenQuery a = MustRewrite(
+      "SELECT COUNT(*) FROM orders WHERE o_totalprice > 10");
+  RewrittenQuery b = MustRewrite(
+      "SELECT COUNT(*) FROM orders WHERE o_totalprice > 200 AND o_status = "
+      "'f'");
+  EXPECT_EQ(FromSignature(a), FromSignature(b));
+}
+
+}  // namespace
+}  // namespace viewrewrite

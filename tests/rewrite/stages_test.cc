@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "rewrite/rewriter.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "testing/test_db.h"
+
+namespace viewrewrite {
+namespace {
+
+/// Stage-level tests for the individual pipeline phases exposed on
+/// Rewriter (the full-pipeline behaviour is covered by
+/// rewriter_rules_test and the equivalence property suites).
+class StagesTest : public ::testing::Test {
+ protected:
+  SelectStmtPtr Parse(const std::string& sql) {
+    auto r = ParseSelect(sql);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() ? std::move(r).value() : nullptr;
+  }
+
+  Schema schema_ = testing_support::MakeTestSchema();
+  Rewriter rewriter_{schema_};
+};
+
+TEST_F(StagesTest, InlineWithSubstitutesEverywhere) {
+  auto stmt = Parse(
+      "WITH t AS (SELECT o_custkey FROM orders) SELECT COUNT(*) FROM t "
+      "WHERE t.o_custkey IN (SELECT o_custkey FROM t)");
+  ASSERT_TRUE(rewriter_.InlineWithClauses(stmt.get()).ok());
+  EXPECT_TRUE(stmt->with.empty());
+  std::string sql = ToSql(*stmt);
+  // Both the FROM reference and the subquery reference became derived
+  // tables; no bare `t` base table remains.
+  EXPECT_EQ(sql.find("FROM t "), std::string::npos);
+  EXPECT_NE(sql.find("(SELECT o_custkey FROM orders) AS t"),
+            std::string::npos);
+}
+
+TEST_F(StagesTest, InlineWithChainedDefinitions) {
+  auto stmt = Parse(
+      "WITH a AS (SELECT o_custkey FROM orders), b AS (SELECT * FROM a) "
+      "SELECT COUNT(*) FROM b");
+  ASSERT_TRUE(rewriter_.InlineWithClauses(stmt.get()).ok());
+  std::string sql = ToSql(*stmt);
+  // b's body must contain a's inlined body.
+  EXPECT_NE(sql.find("FROM (SELECT * FROM (SELECT o_custkey FROM orders)"),
+            std::string::npos);
+}
+
+TEST_F(StagesTest, UnnestLeavesPlainQueriesAlone) {
+  auto stmt = Parse("SELECT COUNT(*) FROM orders WHERE o_totalprice > 5");
+  std::string before = ToSql(*stmt);
+  std::vector<ChainLink> chain;
+  ASSERT_TRUE(rewriter_.UnnestPredicates(stmt.get(), &chain).ok());
+  EXPECT_TRUE(chain.empty());
+  EXPECT_EQ(ToSql(*stmt), before);
+}
+
+TEST_F(StagesTest, UnnestHandlesSubqueryInsideDerivedTable) {
+  auto stmt = Parse(
+      "SELECT COUNT(*) FROM (SELECT o_custkey FROM orders WHERE "
+      "o_totalprice > (SELECT AVG(o2.o_totalprice) FROM orders o2)) d");
+  std::vector<ChainLink> chain;
+  ASSERT_TRUE(rewriter_.UnnestPredicates(stmt.get(), &chain).ok());
+  // The inner non-correlated scalar became a chain link.
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_NE(ToSql(*stmt).find("$v0"), std::string::npos);
+}
+
+TEST_F(StagesTest, ChainLinksNumberedInDependencyOrder) {
+  auto stmt = Parse(
+      "SELECT COUNT(*) FROM orders WHERE o_totalprice > (SELECT "
+      "AVG(o2.o_totalprice) FROM orders o2 WHERE o2.o_totalprice > (SELECT "
+      "MIN(o3.o_totalprice) FROM orders o3)) ");
+  std::vector<ChainLink> chain;
+  ASSERT_TRUE(rewriter_.UnnestPredicates(stmt.get(), &chain).ok());
+  ASSERT_EQ(chain.size(), 2u);
+  // The innermost (MIN) link comes first so its value is bound before the
+  // AVG link executes.
+  EXPECT_EQ(chain[0].var, "v0");
+  EXPECT_NE(ToSql(*chain[0].query).find("MIN"), std::string::npos);
+  EXPECT_EQ(chain[1].var, "v1");
+  EXPECT_NE(ToSql(*chain[1].query).find("$v0"), std::string::npos);
+}
+
+TEST_F(StagesTest, HoistSkipsDistinctDerivedTables) {
+  // DISTINCT changes multiplicity; filters must stay inside.
+  auto stmt = Parse(
+      "SELECT COUNT(*) FROM (SELECT DISTINCT o_custkey, o_totalprice FROM "
+      "orders WHERE o_totalprice > 100) d");
+  ASSERT_TRUE(rewriter_.HoistDerivedFilters(stmt.get()).ok());
+  EXPECT_NE(ToSql(*stmt->from[0]).find("o_totalprice > 100"),
+            std::string::npos);
+  EXPECT_EQ(stmt->where, nullptr);
+}
+
+TEST_F(StagesTest, HoistRecursesIntoNestedDerived) {
+  auto stmt = Parse(
+      "SELECT COUNT(*) FROM (SELECT * FROM (SELECT o_custkey, o_totalprice "
+      "FROM orders WHERE o_totalprice > 100) inner_d) outer_d");
+  ASSERT_TRUE(rewriter_.HoistDerivedFilters(stmt.get()).ok());
+  // The innermost filter bubbles to the top WHERE through both levels.
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_NE(ToSql(*stmt->where).find("o_totalprice > 100"),
+            std::string::npos);
+  EXPECT_EQ(ToSql(*stmt->from[0]).find("WHERE"), std::string::npos);
+}
+
+TEST_F(StagesTest, MergeRemapsReferences) {
+  auto stmt = Parse(
+      "SELECT COUNT(*) FROM (SELECT o_custkey, COUNT(*) AS c1 FROM orders "
+      "GROUP BY o_custkey) d1, (SELECT o_custkey, COUNT(*) AS c2 FROM "
+      "orders GROUP BY o_custkey) d2 WHERE d1.o_custkey = d2.o_custkey AND "
+      "d1.c1 >= 2 AND d2.c2 < 5");
+  ASSERT_TRUE(rewriter_.MergeDerivedTables(stmt.get()).ok());
+  ASSERT_EQ(stmt->from.size(), 1u);
+  std::string where = ToSql(*stmt->where);
+  // All d2 references now point at d1; the shared COUNT(*) deduplicated,
+  // so c2 resolves to c1.
+  EXPECT_EQ(where.find("d2."), std::string::npos);
+  EXPECT_NE(where.find("d1.c1 < 5"), std::string::npos);
+  // The self-equality survives as d1.o_custkey = d1.o_custkey (a no-op
+  // filter) rather than dangling.
+  EXPECT_NE(where.find("(d1.o_custkey = d1.o_custkey)"), std::string::npos);
+}
+
+TEST_F(StagesTest, MergeKeepsDifferentBodiesApart) {
+  auto stmt = Parse(
+      "SELECT COUNT(*) FROM (SELECT o_custkey FROM orders WHERE o_status = "
+      "'f' GROUP BY o_custkey) d1, (SELECT o_custkey FROM orders WHERE "
+      "o_status = 'o' GROUP BY o_custkey) d2 WHERE d1.o_custkey = "
+      "d2.o_custkey");
+  ASSERT_TRUE(rewriter_.MergeDerivedTables(stmt.get()).ok());
+  EXPECT_EQ(stmt->from.size(), 2u);
+}
+
+TEST_F(StagesTest, CanonicalizePullsWhereEquiIntoOn) {
+  auto stmt = Parse(
+      "SELECT COUNT(*) FROM customer c, orders o WHERE c.c_custkey = "
+      "o.o_custkey AND o.o_totalprice > 5");
+  ASSERT_TRUE(rewriter_.CanonicalizeJoins(stmt.get()).ok());
+  ASSERT_EQ(stmt->from.size(), 1u);
+  ASSERT_EQ(stmt->from[0]->kind, TableRefKind::kJoin);
+  const auto& j = static_cast<const JoinTableRef&>(*stmt->from[0]);
+  ASSERT_NE(j.condition, nullptr);
+  EXPECT_NE(ToSql(*j.condition).find("c_custkey"), std::string::npos);
+  // The single-table filter stays in WHERE.
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(ToSql(*stmt->where), "(o.o_totalprice > 5)");
+}
+
+TEST_F(StagesTest, CanonicalizeAvoidsCrossProducts) {
+  // Three tables named so that alphabetical order (c, l, o) differs from
+  // the join chain c-o-l: the builder must follow equi-conditions, not
+  // produce a customer x lineitem cross product.
+  auto stmt = Parse(
+      "SELECT COUNT(*) FROM lineitem l, customer c, orders o WHERE "
+      "c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey");
+  ASSERT_TRUE(rewriter_.CanonicalizeJoins(stmt.get()).ok());
+  std::string sql = ToSql(*stmt->from[0]);
+  // Left-deep: customer joins orders first, then lineitem.
+  EXPECT_NE(sql.find("customer AS c JOIN orders AS o"), std::string::npos);
+  EXPECT_EQ(stmt->where, nullptr);
+}
+
+TEST_F(StagesTest, CanonicalizeKeepsNonEquiInWhere) {
+  auto stmt = Parse(
+      "SELECT COUNT(*) FROM customer c, orders o WHERE c.c_acctbal < "
+      "o.o_totalprice");
+  ASSERT_TRUE(rewriter_.CanonicalizeJoins(stmt.get()).ok());
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_NE(ToSql(*stmt->where).find("<"), std::string::npos);
+}
+
+TEST_F(StagesTest, SplitDisjunctionPassThroughWithoutOr) {
+  auto stmt = Parse("SELECT COUNT(*) FROM orders WHERE o_totalprice > 5");
+  auto combo = rewriter_.SplitDisjunction(std::move(stmt));
+  ASSERT_TRUE(combo.ok());
+  EXPECT_EQ(combo->terms.size(), 1u);
+  EXPECT_EQ(combo->terms[0].coeff, 1.0);
+}
+
+TEST_F(StagesTest, SplitDisjunctionNotOverOrExpands) {
+  // NOT (a OR b) -> (NOT a) AND (NOT b): one conjunctive term.
+  auto stmt = Parse(
+      "SELECT COUNT(*) FROM orders WHERE NOT (o_status = 'f' OR "
+      "o_totalprice > 5)");
+  auto combo = rewriter_.SplitDisjunction(std::move(stmt));
+  ASSERT_TRUE(combo.ok());
+  EXPECT_EQ(combo->terms.size(), 1u);
+  EXPECT_NE(ToSql(*combo->terms[0].query->where).find("<>"),
+            std::string::npos);
+}
+
+TEST_F(StagesTest, SplitDisjunctionRespectsCap) {
+  RewriteOptions opts;
+  opts.max_or_disjuncts = 2;
+  Rewriter tight(schema_, opts);
+  auto stmt = Parse(
+      "SELECT COUNT(*) FROM orders WHERE o_status = 'f' OR o_totalprice > "
+      "5 OR o_custkey < 3");
+  auto combo = tight.SplitDisjunction(std::move(stmt));
+  EXPECT_FALSE(combo.ok());
+  EXPECT_EQ(combo.status().code(), StatusCode::kRewriteError);
+}
+
+TEST_F(StagesTest, GroupedQueriesPassThroughUnsplit) {
+  auto stmt = Parse(
+      "SELECT o_custkey, COUNT(*) FROM orders WHERE o_status = 'f' OR "
+      "o_totalprice > 5 GROUP BY o_custkey");
+  auto combo = rewriter_.SplitDisjunction(std::move(stmt));
+  ASSERT_TRUE(combo.ok());
+  EXPECT_EQ(combo->terms.size(), 1u);
+}
+
+}  // namespace
+}  // namespace viewrewrite

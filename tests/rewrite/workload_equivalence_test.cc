@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "datagen/census.h"
+#include "datagen/tpch.h"
+#include "exec/executor.h"
+#include "rewrite/rewriter.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "workload/workload.h"
+
+namespace viewrewrite {
+namespace {
+
+/// Integration-level equivalence property: for samples of every workload
+/// family, the generated SQL must (a) parse, (b) rewrite, and (c) produce
+/// the same exact answer through the naive executor and through the
+/// rewritten chain/combination form on a small TPC-H instance.
+class WorkloadEquivalenceTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    TpchConfig config;
+    config.customers = 120;
+    config.parts = 80;
+    config.suppliers = 20;
+    tpch_ = GenerateTpch(config).release();
+    CensusConfig census_config;
+    census_config.households = 150;
+    census_ = GenerateCensus(census_config).release();
+  }
+  static void TearDownTestSuite() {
+    delete tpch_;
+    delete census_;
+    tpch_ = nullptr;
+    census_ = nullptr;
+  }
+
+  static Database* tpch_;
+  static Database* census_;
+};
+
+Database* WorkloadEquivalenceTest::tpch_ = nullptr;
+Database* WorkloadEquivalenceTest::census_ = nullptr;
+
+TEST_P(WorkloadEquivalenceTest, SampleMatchesExecutor) {
+  const int w = GetParam();
+  const Database& db =
+      WorkloadGenerator::IsCensus(w) ? *census_ : *tpch_;
+  WorkloadGenerator gen(/*scale=*/1, /*seed=*/4096 + w);
+  auto queries = gen.Generate(w);
+  ASSERT_TRUE(queries.ok()) << queries.status();
+
+  Rewriter rewriter(db.schema());
+  Executor executor(db);
+  const size_t sample = std::min<size_t>(40, queries->size());
+  for (size_t i = 0; i < sample; ++i) {
+    const std::string& sql = (*queries)[i].sql;
+    auto stmt = ParseSelect(sql);
+    ASSERT_TRUE(stmt.ok()) << sql << "\n" << stmt.status();
+    auto rq = rewriter.Rewrite(**stmt);
+    ASSERT_TRUE(rq.ok()) << sql << "\n" << rq.status();
+
+    auto original = executor.ExecuteScalar(**stmt);
+    ASSERT_TRUE(original.ok()) << sql << "\n" << original.status();
+    auto rewritten = executor.ExecuteRewritten(*rq);
+    ASSERT_TRUE(rewritten.ok()) << ToSql(*rq) << "\n" << rewritten.status();
+    EXPECT_NEAR(*original, *rewritten, 1e-6)
+        << "W" << w << "[" << i << "]\noriginal:  " << sql
+        << "\nrewritten: " << ToSql(*rq);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, WorkloadEquivalenceTest,
+                         ::testing::Values(1, 6, 11, 16, 21, 26, 31),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "W" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,128 @@
+#include "sql/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace viewrewrite {
+namespace {
+
+TEST(AstTest, BinaryOpHelpers) {
+  EXPECT_TRUE(IsComparisonOp(BinaryOp::kEq));
+  EXPECT_TRUE(IsComparisonOp(BinaryOp::kGe));
+  EXPECT_FALSE(IsComparisonOp(BinaryOp::kAdd));
+  EXPECT_FALSE(IsComparisonOp(BinaryOp::kAnd));
+
+  EXPECT_EQ(MirrorComparison(BinaryOp::kLt), BinaryOp::kGt);
+  EXPECT_EQ(MirrorComparison(BinaryOp::kLe), BinaryOp::kGe);
+  EXPECT_EQ(MirrorComparison(BinaryOp::kEq), BinaryOp::kEq);
+
+  EXPECT_EQ(NegateComparison(BinaryOp::kLt), BinaryOp::kGe);
+  EXPECT_EQ(NegateComparison(BinaryOp::kEq), BinaryOp::kNe);
+  EXPECT_EQ(NegateComparison(BinaryOp::kGe), BinaryOp::kLt);
+}
+
+TEST(AstTest, MakeAndOrTolerateNull) {
+  ExprPtr a = MakeIntLiteral(1);
+  ExprPtr combined = MakeAnd(nullptr, std::move(a));
+  ASSERT_NE(combined, nullptr);
+  EXPECT_EQ(ToSql(*combined), "1");
+  combined = MakeAnd(std::move(combined), nullptr);
+  EXPECT_EQ(ToSql(*combined), "1");
+  EXPECT_EQ(MakeOr(nullptr, nullptr), nullptr);
+}
+
+TEST(AstTest, CollectConjunctsFlattensNestedAnds) {
+  auto stmt = ParseSelect(
+      "SELECT * FROM t WHERE a = 1 AND (b = 2 AND (c = 3 AND d = 4))");
+  ASSERT_TRUE(stmt.ok());
+  auto conjuncts = CollectConjuncts((*stmt)->where.get());
+  EXPECT_EQ(conjuncts.size(), 4u);
+}
+
+TEST(AstTest, CollectConjunctsStopsAtOr) {
+  auto stmt = ParseSelect("SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)");
+  ASSERT_TRUE(stmt.ok());
+  auto conjuncts = CollectConjuncts((*stmt)->where.get());
+  ASSERT_EQ(conjuncts.size(), 2u);
+  EXPECT_EQ(ToSql(*conjuncts[1]), "((b = 2) OR (c = 3))");
+}
+
+TEST(AstTest, CollectConjunctsOfNull) {
+  EXPECT_TRUE(CollectConjuncts(nullptr).empty());
+}
+
+TEST(AstTest, ConjunctionOfRebuilds) {
+  auto stmt = ParseSelect("SELECT * FROM t WHERE a = 1 AND b = 2");
+  ASSERT_TRUE(stmt.ok());
+  auto conjuncts = CollectConjuncts((*stmt)->where.get());
+  ExprPtr rebuilt = ConjunctionOf(conjuncts);
+  EXPECT_EQ(ToSql(*rebuilt), ToSql(*(*stmt)->where));
+  EXPECT_EQ(ConjunctionOf({}), nullptr);
+}
+
+TEST(AstTest, CloneIsDeep) {
+  auto stmt = ParseSelect(
+      "WITH t AS (SELECT a FROM u) SELECT COUNT(*) FROM t, (SELECT b FROM "
+      "v WHERE b IN (SELECT c FROM w)) d WHERE t.a = d.b AND EXISTS "
+      "(SELECT * FROM x) AND t.a > ANY (SELECT y FROM z)");
+  ASSERT_TRUE(stmt.ok());
+  SelectStmtPtr clone = (*stmt)->Clone();
+  std::string before = ToSql(**stmt);
+  EXPECT_EQ(before, ToSql(*clone));
+  // Mutating the clone must not affect the original.
+  clone->where = nullptr;
+  clone->items.clear();
+  clone->with.clear();
+  EXPECT_EQ(ToSql(**stmt), before);
+}
+
+TEST(AstTest, RewrittenQueryClone) {
+  auto q = ParseSelect("SELECT COUNT(*) FROM t WHERE a > $v0");
+  ASSERT_TRUE(q.ok());
+  RewrittenQuery rq;
+  auto link = ParseSelect("SELECT AVG(b) FROM u");
+  ASSERT_TRUE(link.ok());
+  rq.chain.push_back(ChainLink{"v0", std::move(link).value()});
+  QueryCombination::Term term;
+  term.coeff = -1.0;
+  term.query = std::move(q).value();
+  rq.combination.terms.push_back(std::move(term));
+
+  RewrittenQuery clone = rq.Clone();
+  EXPECT_EQ(ToSql(rq), ToSql(clone));
+  EXPECT_EQ(clone.chain[0].var, "v0");
+  EXPECT_EQ(clone.combination.terms[0].coeff, -1.0);
+}
+
+TEST(AstTest, FuncCallAggregateDetection) {
+  auto is_agg = [](const char* name) {
+    FuncCallExpr f(name, {});
+    return f.IsAggregate();
+  };
+  EXPECT_TRUE(is_agg("count"));
+  EXPECT_TRUE(is_agg("sum"));
+  EXPECT_TRUE(is_agg("avg"));
+  EXPECT_TRUE(is_agg("min"));
+  EXPECT_TRUE(is_agg("max"));
+  EXPECT_FALSE(is_agg("coalesce"));
+  EXPECT_FALSE(is_agg("isnull"));
+}
+
+TEST(AstTest, ColumnRefFullName) {
+  ColumnRefExpr qualified("t", "c");
+  ColumnRefExpr bare("", "c");
+  EXPECT_EQ(qualified.FullName(), "t.c");
+  EXPECT_EQ(bare.FullName(), "c");
+}
+
+TEST(AstTest, BaseTableBindingName) {
+  BaseTableRef with_alias("orders", "o");
+  BaseTableRef without("orders", "");
+  EXPECT_EQ(with_alias.BindingName(), "o");
+  EXPECT_EQ(without.BindingName(), "orders");
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,195 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/printer.h"
+
+namespace viewrewrite {
+namespace {
+
+SelectStmtPtr MustParse(const std::string& sql) {
+  auto r = ParseSelect(sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+  if (!r.ok()) return nullptr;
+  return std::move(r).value();
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = MustParse("SELECT count(*) FROM orders");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->items.size(), 1u);
+  EXPECT_EQ(stmt->items[0].expr->kind, ExprKind::kFuncCall);
+  ASSERT_EQ(stmt->from.size(), 1u);
+  EXPECT_EQ(stmt->from[0]->kind, TableRefKind::kBase);
+}
+
+TEST(ParserTest, SelectListWithAliases) {
+  auto stmt = MustParse("SELECT a AS x, b y, c FROM t");
+  ASSERT_EQ(stmt->items.size(), 3u);
+  EXPECT_EQ(stmt->items[0].alias, "x");
+  EXPECT_EQ(stmt->items[1].alias, "y");
+  EXPECT_EQ(stmt->items[2].alias, "");
+}
+
+TEST(ParserTest, WhereWithPrecedence) {
+  auto stmt = MustParse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  // AND binds tighter than OR.
+  ASSERT_NE(stmt->where, nullptr);
+  const auto& root = static_cast<const BinaryExpr&>(*stmt->where);
+  EXPECT_EQ(root.op, BinaryOp::kOr);
+  const auto& right = static_cast<const BinaryExpr&>(*root.right);
+  EXPECT_EQ(right.op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto stmt = MustParse("SELECT a + b * c FROM t");
+  const auto& root = static_cast<const BinaryExpr&>(*stmt->items[0].expr);
+  EXPECT_EQ(root.op, BinaryOp::kAdd);
+  const auto& right = static_cast<const BinaryExpr&>(*root.right);
+  EXPECT_EQ(right.op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, GroupByHaving) {
+  auto stmt = MustParse(
+      "SELECT o_custkey, COUNT(*) FROM orders GROUP BY o_custkey "
+      "HAVING COUNT(*) > 3");
+  EXPECT_EQ(stmt->group_by.size(), 1u);
+  ASSERT_NE(stmt->having, nullptr);
+}
+
+TEST(ParserTest, QualifiedColumnRefs) {
+  auto stmt = MustParse("SELECT t.a FROM t");
+  const auto& ref = static_cast<const ColumnRefExpr&>(*stmt->items[0].expr);
+  EXPECT_EQ(ref.table, "t");
+  EXPECT_EQ(ref.column, "a");
+}
+
+TEST(ParserTest, JoinWithOn) {
+  auto stmt = MustParse("SELECT * FROM a JOIN b ON a.x = b.y");
+  ASSERT_EQ(stmt->from.size(), 1u);
+  ASSERT_EQ(stmt->from[0]->kind, TableRefKind::kJoin);
+  const auto& j = static_cast<const JoinTableRef&>(*stmt->from[0]);
+  EXPECT_EQ(j.join_type, JoinType::kInner);
+  ASSERT_NE(j.condition, nullptr);
+}
+
+TEST(ParserTest, LeftOuterJoin) {
+  auto stmt = MustParse("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y");
+  const auto& j = static_cast<const JoinTableRef&>(*stmt->from[0]);
+  EXPECT_EQ(j.join_type, JoinType::kLeft);
+}
+
+TEST(ParserTest, JoinWithoutOnIsError) {
+  EXPECT_FALSE(ParseSelect("SELECT * FROM a JOIN b").ok());
+}
+
+TEST(ParserTest, DerivedTableRequiresAlias) {
+  EXPECT_FALSE(ParseSelect("SELECT * FROM (SELECT a FROM t)").ok());
+  auto stmt = MustParse("SELECT * FROM (SELECT a FROM t) AS d");
+  ASSERT_EQ(stmt->from[0]->kind, TableRefKind::kDerived);
+  EXPECT_EQ(static_cast<const DerivedTableRef&>(*stmt->from[0]).alias, "d");
+}
+
+TEST(ParserTest, WithClause) {
+  auto stmt = MustParse(
+      "WITH t AS (SELECT a FROM u), s AS (SELECT b FROM v) "
+      "SELECT * FROM t, s");
+  ASSERT_EQ(stmt->with.size(), 2u);
+  EXPECT_EQ(stmt->with[0].name, "t");
+  EXPECT_EQ(stmt->with[1].name, "s");
+}
+
+TEST(ParserTest, ScalarSubquery) {
+  auto stmt =
+      MustParse("SELECT * FROM t WHERE a > (SELECT AVG(b) FROM u)");
+  const auto& cmp = static_cast<const BinaryExpr&>(*stmt->where);
+  EXPECT_EQ(cmp.right->kind, ExprKind::kScalarSubquery);
+}
+
+TEST(ParserTest, InSubqueryAndList) {
+  auto stmt = MustParse("SELECT * FROM t WHERE a IN (SELECT b FROM u)");
+  ASSERT_EQ(stmt->where->kind, ExprKind::kIn);
+  EXPECT_NE(static_cast<const InExpr&>(*stmt->where).subquery, nullptr);
+
+  stmt = MustParse("SELECT * FROM t WHERE a IN (1, 2, 3)");
+  const auto& in = static_cast<const InExpr&>(*stmt->where);
+  EXPECT_EQ(in.subquery, nullptr);
+  EXPECT_EQ(in.value_list.size(), 3u);
+}
+
+TEST(ParserTest, NotInFoldsNegation) {
+  auto stmt = MustParse("SELECT * FROM t WHERE a NOT IN (SELECT b FROM u)");
+  ASSERT_EQ(stmt->where->kind, ExprKind::kIn);
+  EXPECT_TRUE(static_cast<const InExpr&>(*stmt->where).negated);
+}
+
+TEST(ParserTest, ExistsAndNotExists) {
+  auto stmt = MustParse("SELECT * FROM t WHERE EXISTS (SELECT * FROM u)");
+  ASSERT_EQ(stmt->where->kind, ExprKind::kExists);
+  EXPECT_FALSE(static_cast<const ExistsExpr&>(*stmt->where).negated);
+
+  stmt = MustParse("SELECT * FROM t WHERE NOT EXISTS (SELECT * FROM u)");
+  ASSERT_EQ(stmt->where->kind, ExprKind::kExists);
+  EXPECT_TRUE(static_cast<const ExistsExpr&>(*stmt->where).negated);
+}
+
+TEST(ParserTest, QuantifiedComparisons) {
+  auto stmt = MustParse("SELECT * FROM t WHERE a > ALL (SELECT b FROM u)");
+  ASSERT_EQ(stmt->where->kind, ExprKind::kQuantifiedCmp);
+  const auto& q = static_cast<const QuantifiedCmpExpr&>(*stmt->where);
+  EXPECT_EQ(q.quantifier, Quantifier::kAll);
+  EXPECT_EQ(q.op, BinaryOp::kGt);
+
+  stmt = MustParse("SELECT * FROM t WHERE a = SOME (SELECT b FROM u)");
+  const auto& q2 = static_cast<const QuantifiedCmpExpr&>(*stmt->where);
+  EXPECT_EQ(q2.quantifier, Quantifier::kAny);  // SOME == ANY
+}
+
+TEST(ParserTest, BetweenDesugarsToRange) {
+  auto stmt = MustParse("SELECT * FROM t WHERE a BETWEEN 1 AND 5");
+  EXPECT_EQ(ToSql(*stmt->where), "((a >= 1) AND (a <= 5))");
+}
+
+TEST(ParserTest, IsNullBecomesFunction) {
+  auto stmt = MustParse("SELECT * FROM t WHERE a IS NULL");
+  EXPECT_EQ(ToSql(*stmt->where), "ISNULL(a)");
+  stmt = MustParse("SELECT * FROM t WHERE a IS NOT NULL");
+  EXPECT_EQ(ToSql(*stmt->where), "ISNOTNULL(a)");
+}
+
+TEST(ParserTest, DistinctAggregates) {
+  auto stmt = MustParse("SELECT COUNT(DISTINCT a) FROM t");
+  const auto& f = static_cast<const FuncCallExpr&>(*stmt->items[0].expr);
+  EXPECT_TRUE(f.distinct);
+  EXPECT_EQ(f.name, "count");
+}
+
+TEST(ParserTest, ParamPlaceholder) {
+  auto stmt = MustParse("SELECT count(*) FROM t WHERE a > $v0");
+  const auto& cmp = static_cast<const BinaryExpr&>(*stmt->where);
+  ASSERT_EQ(cmp.right->kind, ExprKind::kParam);
+  EXPECT_EQ(static_cast<const ParamExpr&>(*cmp.right).name, "v0");
+}
+
+TEST(ParserTest, TrailingGarbageIsError) {
+  EXPECT_FALSE(ParseSelect("SELECT a FROM t xyzzy garbage garbage").ok());
+}
+
+TEST(ParserTest, TrailingSemicolonOk) {
+  EXPECT_TRUE(ParseSelect("SELECT a FROM t;").ok());
+}
+
+TEST(ParserTest, NegativeNumbers) {
+  auto stmt = MustParse("SELECT -a, -3 FROM t WHERE a > -5");
+  EXPECT_EQ(stmt->items[0].expr->kind, ExprKind::kUnary);
+}
+
+TEST(ParserTest, NestedSubqueriesParse) {
+  auto stmt = MustParse(
+      "SELECT count(*) FROM t WHERE a IN (SELECT b FROM u WHERE c > "
+      "(SELECT MAX(d) FROM v))");
+  ASSERT_EQ(stmt->where->kind, ExprKind::kIn);
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "rewrite/rewriter.h"
+#include "datagen/tpch.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "workload/workload.h"
+
+namespace viewrewrite {
+namespace {
+
+/// Printer/parser fixed-point property over machine-generated SQL: for
+/// every workload family, parse -> print -> parse -> print must converge
+/// after one step, and the rewritten output must itself round-trip (the
+/// paper's "database compatibility" requirement: rewritten queries are
+/// legal SQL again, modulo the internal $param / IFPOS forms which the
+/// parser also accepts).
+class RoundTripPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripPropertyTest, WorkloadSqlIsAFixedPoint) {
+  WorkloadGenerator gen(1, 1234 + GetParam());
+  auto queries = gen.Generate(GetParam());
+  ASSERT_TRUE(queries.ok());
+  size_t n = std::min<size_t>(80, queries->size());
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& sql = (*queries)[i].sql;
+    auto first = ParseSelect(sql);
+    ASSERT_TRUE(first.ok()) << sql << "\n" << first.status();
+    std::string printed = ToSql(**first);
+    auto second = ParseSelect(printed);
+    ASSERT_TRUE(second.ok()) << printed << "\n" << second.status();
+    EXPECT_EQ(printed, ToSql(**second)) << sql;
+  }
+}
+
+TEST_P(RoundTripPropertyTest, RewrittenFormsRoundTrip) {
+  if (WorkloadGenerator::IsCensus(GetParam())) return;
+  Schema schema = MakeTpchSchema();
+  Rewriter rewriter(schema);
+  WorkloadGenerator gen(1, 98765 + GetParam());
+  auto queries = gen.Generate(GetParam());
+  ASSERT_TRUE(queries.ok());
+  size_t n = std::min<size_t>(30, queries->size());
+  for (size_t i = 0; i < n; ++i) {
+    auto stmt = ParseSelect((*queries)[i].sql);
+    ASSERT_TRUE(stmt.ok());
+    auto rq = rewriter.Rewrite(**stmt);
+    ASSERT_TRUE(rq.ok()) << (*queries)[i].sql << "\n" << rq.status();
+    for (const ChainLink& link : rq->chain) {
+      std::string printed = ToSql(*link.query);
+      auto again = ParseSelect(printed);
+      ASSERT_TRUE(again.ok()) << printed << "\n" << again.status();
+      EXPECT_EQ(printed, ToSql(**again));
+    }
+    for (const auto& term : rq->combination.terms) {
+      std::string printed = ToSql(*term.query);
+      auto again = ParseSelect(printed);
+      ASSERT_TRUE(again.ok()) << printed << "\n" << again.status();
+      EXPECT_EQ(printed, ToSql(**again));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, RoundTripPropertyTest,
+                         ::testing::Values(1, 6, 11, 16, 21, 26, 31),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "W" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace viewrewrite

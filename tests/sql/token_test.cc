@@ -1,0 +1,83 @@
+#include "sql/token.h"
+
+#include <gtest/gtest.h>
+
+namespace viewrewrite {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& sql) {
+  auto r = Tokenize(sql);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST(TokenTest, KeywordsUppercasedIdentifiersLowercased) {
+  auto toks = MustTokenize("SELECT Foo FROM Bar");
+  ASSERT_EQ(toks.size(), 5u);  // + end token
+  EXPECT_EQ(toks[0].type, TokenType::kKeyword);
+  EXPECT_EQ(toks[0].text, "SELECT");
+  EXPECT_EQ(toks[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(toks[1].text, "foo");
+  EXPECT_EQ(toks[2].text, "FROM");
+  EXPECT_EQ(toks[3].text, "bar");
+  EXPECT_EQ(toks[4].type, TokenType::kEnd);
+}
+
+TEST(TokenTest, NumbersIntAndFloat) {
+  auto toks = MustTokenize("123 4.5 .5");
+  EXPECT_EQ(toks[0].type, TokenType::kInteger);
+  EXPECT_EQ(toks[0].text, "123");
+  EXPECT_EQ(toks[1].type, TokenType::kFloat);
+  EXPECT_EQ(toks[1].text, "4.5");
+  EXPECT_EQ(toks[2].type, TokenType::kFloat);
+  EXPECT_EQ(toks[2].text, ".5");
+}
+
+TEST(TokenTest, StringLiteralWithEscapedQuote) {
+  auto toks = MustTokenize("'o''brien'");
+  EXPECT_EQ(toks[0].type, TokenType::kString);
+  EXPECT_EQ(toks[0].text, "o'brien");
+}
+
+TEST(TokenTest, UnterminatedStringErrors) {
+  auto r = Tokenize("'abc");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(TokenTest, MultiCharOperators) {
+  auto toks = MustTokenize("a <> b <= c >= d != e");
+  EXPECT_EQ(toks[1].text, "<>");
+  EXPECT_EQ(toks[3].text, "<=");
+  EXPECT_EQ(toks[5].text, ">=");
+  // != normalizes to <>
+  EXPECT_EQ(toks[7].text, "<>");
+}
+
+TEST(TokenTest, LineCommentsSkipped) {
+  auto toks = MustTokenize("SELECT -- comment here\n 1");
+  EXPECT_EQ(toks[0].text, "SELECT");
+  EXPECT_EQ(toks[1].type, TokenType::kInteger);
+}
+
+TEST(TokenTest, UnexpectedCharacterErrors) {
+  auto r = Tokenize("SELECT #");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TokenTest, OffsetsRecorded) {
+  auto toks = MustTokenize("SELECT a");
+  EXPECT_EQ(toks[0].offset, 0u);
+  EXPECT_EQ(toks[1].offset, 7u);
+}
+
+TEST(TokenTest, DollarParamTokenized) {
+  auto toks = MustTokenize("$v0");
+  EXPECT_EQ(toks[0].type, TokenType::kOperator);
+  EXPECT_EQ(toks[0].text, "$");
+  EXPECT_EQ(toks[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(toks[1].text, "v0");
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,84 @@
+#include "sql/value.h"
+
+#include <gtest/gtest.h>
+
+namespace viewrewrite {
+namespace {
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Int(3).is_int());
+  EXPECT_TRUE(Value::Double(1.5).is_double());
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_TRUE(Value::Int(3).is_numeric());
+  EXPECT_TRUE(Value::Double(1.5).is_numeric());
+  EXPECT_FALSE(Value::String("x").is_numeric());
+}
+
+TEST(ValueTest, ToStringRendersSqlLiterals) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::String("ab").ToString(), "'ab'");
+  EXPECT_EQ(Value::String("o'brien").ToString(), "'o''brien'");
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));
+  EXPECT_NE(Value::Int(2), Value::Double(2.5));
+  EXPECT_NE(Value::Int(2), Value::String("2"));
+}
+
+TEST(ValueTest, TotalOrderRanksNullNumbersStrings) {
+  EXPECT_LT(Value::Null(), Value::Int(0));
+  EXPECT_LT(Value::Int(100), Value::String(""));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  EXPECT_FALSE(Value::Null() < Value::Null());
+}
+
+TEST(ValueTest, CompareSqlNumeric) {
+  auto r = Value::Int(3).CompareSql(Value::Double(3.0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->is_null);
+  EXPECT_EQ(r->cmp, 0);
+
+  r = Value::Int(2).CompareSql(Value::Int(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->cmp, 0);
+}
+
+TEST(ValueTest, CompareSqlNullIsUnknown) {
+  auto r = Value::Null().CompareSql(Value::Int(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_null);
+  r = Value::Int(1).CompareSql(Value::Null());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_null);
+}
+
+TEST(ValueTest, CompareSqlTypeMismatchErrors) {
+  auto r = Value::Int(1).CompareSql(Value::String("1"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(ValueTest, CompareSqlStrings) {
+  auto r = Value::String("abc").CompareSql(Value::String("abd"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->cmp, 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Double(2.0).Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+}
+
+TEST(ValueTest, VectorHashDistinguishesOrder) {
+  ValueVectorHash h;
+  std::vector<Value> a = {Value::Int(1), Value::Int(2)};
+  std::vector<Value> b = {Value::Int(2), Value::Int(1)};
+  EXPECT_NE(h(a), h(b));
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,124 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_db.h"
+
+namespace viewrewrite {
+namespace {
+
+TableSchema SmallSchema() {
+  return TableSchema("t",
+                     {{"id", DataType::kInt, ColumnDomain::None()},
+                      {"name", DataType::kString, ColumnDomain::None()},
+                      {"score", DataType::kDouble, ColumnDomain::None()}},
+                     "id");
+}
+
+TEST(CsvTest, LoadBasicRecords) {
+  Table t(SmallSchema());
+  Status st = LoadCsv(&t, "id,name,score\n1,alice,2.5\n2,bob,3\n", true);
+  ASSERT_TRUE(st.ok()) << st;
+  ASSERT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.rows()[0][0], Value::Int(1));
+  EXPECT_EQ(t.rows()[0][1], Value::String("alice"));
+  EXPECT_EQ(t.rows()[0][2], Value::Double(2.5));
+  EXPECT_EQ(t.rows()[1][2], Value::Double(3.0));
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  Table t(SmallSchema());
+  ASSERT_TRUE(LoadCsv(&t, "1,a,1.0\n", false).ok());
+  EXPECT_EQ(t.NumRows(), 1u);
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  Table t(SmallSchema());
+  Status st = LoadCsv(&t, "1,\"last, first\",0.5\n2,\"say \"\"hi\"\"\",1\n",
+                      false);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(t.rows()[0][1], Value::String("last, first"));
+  EXPECT_EQ(t.rows()[1][1], Value::String("say \"hi\""));
+}
+
+TEST(CsvTest, EmptyUnquotedFieldIsNull) {
+  Table t(SmallSchema());
+  ASSERT_TRUE(LoadCsv(&t, "1,,\n", false).ok());
+  EXPECT_TRUE(t.rows()[0][1].is_null());
+  EXPECT_TRUE(t.rows()[0][2].is_null());
+}
+
+TEST(CsvTest, QuotedEmptyStringIsNotNull) {
+  Table t(SmallSchema());
+  ASSERT_TRUE(LoadCsv(&t, "1,\"\",2\n", false).ok());
+  EXPECT_EQ(t.rows()[0][1], Value::String(""));
+}
+
+TEST(CsvTest, TypeErrorsSurface) {
+  Table t(SmallSchema());
+  Status st = LoadCsv(&t, "abc,x,1\n", false);
+  EXPECT_EQ(st.code(), StatusCode::kTypeMismatch);
+}
+
+TEST(CsvTest, ArityErrorsSurface) {
+  Table t(SmallSchema());
+  Status st = LoadCsv(&t, "1,x\n", false);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, DanglingQuoteErrors) {
+  Table t(SmallSchema());
+  Status st = LoadCsv(&t, "1,\"oops,2\n", false);
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, CrLfTolerated) {
+  Table t(SmallSchema());
+  ASSERT_TRUE(LoadCsv(&t, "1,a,2\r\n2,b,3\r\n", false).ok());
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.rows()[0][1], Value::String("a"));
+}
+
+TEST(CsvTest, RoundTripThroughText) {
+  Table t(SmallSchema());
+  ASSERT_TRUE(t.Insert({Value::Int(1), Value::String("a,b"),
+                        Value::Double(1.5)}).ok());
+  ASSERT_TRUE(
+      t.Insert({Value::Int(2), Value::Null(), Value::Null()}).ok());
+  std::string csv = TableToCsv(t);
+  Table back(SmallSchema());
+  ASSERT_TRUE(LoadCsv(&back, csv, true).ok());
+  ASSERT_EQ(back.NumRows(), 2u);
+  EXPECT_EQ(back.rows()[0][1], Value::String("a,b"));
+  EXPECT_TRUE(back.rows()[1][1].is_null());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t(SmallSchema());
+  ASSERT_TRUE(
+      t.Insert({Value::Int(7), Value::String("x"), Value::Double(0.25)})
+          .ok());
+  std::string path = ::testing::TempDir() + "/vr_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  Table back(SmallSchema());
+  ASSERT_TRUE(LoadCsvFile(&back, path, true).ok());
+  ASSERT_EQ(back.NumRows(), 1u);
+  EXPECT_EQ(back.rows()[0][0], Value::Int(7));
+}
+
+TEST(CsvTest, MissingFileErrors) {
+  Table t(SmallSchema());
+  EXPECT_EQ(LoadCsvFile(&t, "/nonexistent/nope.csv", true).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CsvTest, ResultSetSerialization) {
+  ResultSet rs;
+  rs.columns = {"a", "cnt"};
+  rs.rows.push_back({Value::String("x"), Value::Int(3)});
+  rs.rows.push_back({Value::Null(), Value::Int(1)});
+  EXPECT_EQ(ResultSetToCsv(rs), "a,cnt\nx,3\n,1\n");
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,62 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_db.h"
+
+namespace viewrewrite {
+namespace {
+
+TEST(TableTest, InsertChecksArity) {
+  Table t(TableSchema("t",
+                      {{"a", DataType::kInt, ColumnDomain::None()},
+                       {"b", DataType::kString, ColumnDomain::None()}},
+                      "a"));
+  EXPECT_TRUE(t.Insert({Value::Int(1), Value::String("x")}).ok());
+  EXPECT_EQ(t.Insert({Value::Int(1)}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, InsertChecksTypes) {
+  Table t(TableSchema("t", {{"a", DataType::kInt, ColumnDomain::None()}},
+                      "a"));
+  EXPECT_TRUE(t.Insert({Value::Int(1)}).ok());
+  EXPECT_EQ(t.Insert({Value::String("x")}).code(), StatusCode::kTypeMismatch);
+  // NULLs are allowed in any column.
+  EXPECT_TRUE(t.Insert({Value::Null()}).ok());
+}
+
+TEST(TableTest, IntWidensToDoubleColumn) {
+  Table t(TableSchema("t", {{"a", DataType::kDouble, ColumnDomain::None()}},
+                      "a"));
+  ASSERT_TRUE(t.Insert({Value::Int(3)}).ok());
+  EXPECT_TRUE(t.rows()[0][0].is_double());
+  EXPECT_EQ(t.rows()[0][0].AsDoubleExact(), 3.0);
+}
+
+TEST(DatabaseTest, TablesMaterializedFromSchema) {
+  auto db = testing_support::MakeTestDatabase(1);
+  EXPECT_NE(db->FindTable("customer"), nullptr);
+  EXPECT_NE(db->FindTable("orders"), nullptr);
+  EXPECT_NE(db->FindTable("lineitem"), nullptr);
+  EXPECT_EQ(db->FindTable("nope"), nullptr);
+  EXPECT_FALSE(db->GetTable("nope").ok());
+}
+
+TEST(DatabaseTest, GeneratedDataRespectsSizes) {
+  auto db = testing_support::MakeTestDatabase(7, 50);
+  EXPECT_EQ(db->FindTable("customer")->NumRows(), 50u);
+  EXPECT_GT(db->FindTable("orders")->NumRows(), 0u);
+  EXPECT_EQ(db->TotalRows(), db->FindTable("customer")->NumRows() +
+                                 db->FindTable("orders")->NumRows() +
+                                 db->FindTable("lineitem")->NumRows());
+}
+
+TEST(DatabaseTest, GenerationIsDeterministic) {
+  auto a = testing_support::MakeTestDatabase(11, 20);
+  auto b = testing_support::MakeTestDatabase(11, 20);
+  EXPECT_EQ(a->TotalRows(), b->TotalRows());
+  EXPECT_EQ(a->FindTable("orders")->rows(), b->FindTable("orders")->rows());
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,98 @@
+#ifndef VIEWREWRITE_TESTS_TESTING_TEST_DB_H_
+#define VIEWREWRITE_TESTS_TESTING_TEST_DB_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "storage/table.h"
+
+namespace viewrewrite {
+namespace testing_support {
+
+/// A three-relation mini schema shaped like the paper's TPC-H subset:
+///   customer(c_custkey PK, c_nation, c_acctbal)
+///   orders(o_orderkey PK, o_custkey -> customer, o_status, o_totalprice)
+///   lineitem(l_linekey PK, l_orderkey -> orders, l_quantity, l_price)
+inline Schema MakeTestSchema() {
+  Schema schema;
+  {
+    std::vector<ColumnDef> cols;
+    cols.push_back({"c_custkey", DataType::kInt,
+                    ColumnDomain::IntBuckets(0, 63, 16)});
+    cols.push_back({"c_nation", DataType::kInt,
+                    ColumnDomain::Categorical({Value::Int(0), Value::Int(1),
+                                               Value::Int(2), Value::Int(3),
+                                               Value::Int(4)})});
+    cols.push_back(
+        {"c_acctbal", DataType::kInt, ColumnDomain::IntBuckets(0, 63, 16)});
+    (void)schema.AddTable(TableSchema("customer", std::move(cols),
+                                      "c_custkey"));
+  }
+  {
+    std::vector<ColumnDef> cols;
+    cols.push_back({"o_orderkey", DataType::kInt, ColumnDomain::None()});
+    cols.push_back({"o_custkey", DataType::kInt,
+                    ColumnDomain::IntBuckets(0, 63, 16)});
+    cols.push_back({"o_status", DataType::kString,
+                    ColumnDomain::Categorical({Value::String("f"),
+                                               Value::String("o"),
+                                               Value::String("p")})});
+    cols.push_back({"o_totalprice", DataType::kInt,
+                    ColumnDomain::IntBuckets(0, 255, 16)});
+    (void)schema.AddTable(
+        TableSchema("orders", std::move(cols), "o_orderkey",
+                    {{"o_custkey", "customer", "c_custkey"}}));
+  }
+  {
+    std::vector<ColumnDef> cols;
+    cols.push_back({"l_linekey", DataType::kInt, ColumnDomain::None()});
+    cols.push_back({"l_orderkey", DataType::kInt, ColumnDomain::None()});
+    cols.push_back(
+        {"l_quantity", DataType::kInt, ColumnDomain::IntBuckets(0, 63, 16)});
+    cols.push_back(
+        {"l_price", DataType::kInt, ColumnDomain::IntBuckets(0, 255, 16)});
+    (void)schema.AddTable(
+        TableSchema("lineitem", std::move(cols), "l_linekey",
+                    {{"l_orderkey", "orders", "o_orderkey"}}));
+  }
+  return schema;
+}
+
+/// Seeded random instance: `n_customers` customers, each with a skewed
+/// number of orders, each order with a few lineitems. Every value stays
+/// inside its registered domain.
+inline std::unique_ptr<Database> MakeTestDatabase(uint64_t seed,
+                                                  int n_customers = 30) {
+  auto db = std::make_unique<Database>(MakeTestSchema());
+  Random rng(seed);
+  Table* customer = db->MutableTable("customer");
+  Table* orders = db->MutableTable("orders");
+  Table* lineitem = db->MutableTable("lineitem");
+  int64_t next_order = 1;
+  int64_t next_line = 1;
+  for (int64_t c = 1; c <= n_customers; ++c) {
+    customer->InsertUnchecked({Value::Int(c), Value::Int(rng.UniformInt(0, 4)),
+                               Value::Int(rng.UniformInt(0, 63))});
+    int64_t n_orders = rng.UniformInt(0, 5);
+    for (int64_t o = 0; o < n_orders; ++o) {
+      int64_t okey = next_order++;
+      const char* statuses[] = {"f", "o", "p"};
+      orders->InsertUnchecked(
+          {Value::Int(okey), Value::Int(c),
+           Value::String(statuses[rng.UniformInt(0, 2)]),
+           Value::Int(rng.UniformInt(0, 255))});
+      int64_t n_lines = rng.UniformInt(0, 4);
+      for (int64_t l = 0; l < n_lines; ++l) {
+        lineitem->InsertUnchecked({Value::Int(next_line++), Value::Int(okey),
+                                   Value::Int(rng.UniformInt(0, 63)),
+                                   Value::Int(rng.UniformInt(0, 255))});
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace testing_support
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_TESTS_TESTING_TEST_DB_H_

@@ -1,0 +1,130 @@
+#include "view/cell_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace viewrewrite {
+namespace {
+
+ExprPtr ParsePredicate(const std::string& predicate) {
+  auto stmt = ParseSelect("SELECT * FROM t WHERE " + predicate);
+  EXPECT_TRUE(stmt.ok()) << stmt.status();
+  return std::move((*stmt)->where);
+}
+
+TEST(CellEvalTest, ComparisonOnAttrValue) {
+  CellContext ctx;
+  ctx.attr_values["t.a"] = Value::Int(10);
+  ctx.attr_values["a"] = Value::Int(10);
+  ExprPtr e = ParsePredicate("t.a >= 8");
+  auto r = EvalCellPredicate(*e, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  e = ParsePredicate("a < 10");
+  r = EvalCellPredicate(*e, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(CellEvalTest, NullAttrMakesComparisonNotTrue) {
+  CellContext ctx;
+  ctx.attr_values["a"] = Value::Null();
+  ExprPtr e = ParsePredicate("a > 5");
+  auto r = EvalCellPredicate(*e, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(CellEvalTest, CoalesceSubstitutesNull) {
+  CellContext ctx;
+  ctx.attr_values["cnt"] = Value::Null();
+  ExprPtr e = ParsePredicate("COALESCE(cnt, 0) < 1");
+  auto r = EvalCellPredicate(*e, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST(CellEvalTest, ThreeValuedAndOr) {
+  CellContext ctx;
+  ctx.attr_values["a"] = Value::Null();
+  ctx.attr_values["b"] = Value::Int(1);
+  // NULL-compare AND true -> not true.
+  auto r = EvalCellPredicate(*ParsePredicate("a > 5 AND b = 1"), ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+  // NULL-compare OR true -> true.
+  r = EvalCellPredicate(*ParsePredicate("a > 5 OR b = 1"), ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST(CellEvalTest, IsNullTests) {
+  CellContext ctx;
+  ctx.attr_values["a"] = Value::Null();
+  ctx.attr_values["b"] = Value::Int(2);
+  EXPECT_TRUE(*EvalCellPredicate(*ParsePredicate("a IS NULL"), ctx));
+  EXPECT_TRUE(*EvalCellPredicate(*ParsePredicate("b IS NOT NULL"), ctx));
+  EXPECT_FALSE(*EvalCellPredicate(*ParsePredicate("b IS NULL"), ctx));
+}
+
+TEST(CellEvalTest, ParamsResolve) {
+  CellContext ctx;
+  ctx.attr_values["a"] = Value::Int(100);
+  ctx.params["v0"] = Value::Double(55.5);
+  EXPECT_TRUE(*EvalCellPredicate(*ParsePredicate("a > $v0"), ctx));
+  auto missing = EvalCellPredicate(*ParsePredicate("a > $nope"), ctx);
+  EXPECT_FALSE(missing.ok());
+}
+
+TEST(CellEvalTest, ArithmeticAndNot) {
+  CellContext ctx;
+  ctx.attr_values["a"] = Value::Int(6);
+  EXPECT_TRUE(*EvalCellPredicate(*ParsePredicate("a * 2 - 4 = 8"), ctx));
+  EXPECT_TRUE(*EvalCellPredicate(*ParsePredicate("NOT a = 5"), ctx));
+}
+
+TEST(CellEvalTest, InListOnCells) {
+  CellContext ctx;
+  ctx.attr_values["a"] = Value::String("f");
+  EXPECT_TRUE(
+      *EvalCellPredicate(*ParsePredicate("a IN ('f', 'o')"), ctx));
+  EXPECT_FALSE(
+      *EvalCellPredicate(*ParsePredicate("a NOT IN ('f', 'o')"), ctx));
+}
+
+TEST(CellEvalTest, IfposGates) {
+  CellContext ctx;
+  ctx.attr_values["a"] = Value::Int(3);
+  ctx.attr_values["agg"] = Value::Int(9);
+  auto v = EvalCellExpr(*ParsePredicate("IFPOS(a > 1, agg) = 9"), ctx);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Int(1));
+  // Gate closed -> NULL -> comparison not true.
+  EXPECT_FALSE(
+      *EvalCellPredicate(*ParsePredicate("IFPOS(a > 5, agg) = 9"), ctx));
+}
+
+TEST(CellEvalTest, UnknownAttributeErrors) {
+  CellContext ctx;
+  auto r = EvalCellPredicate(*ParsePredicate("zzz = 1"), ctx);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CellEvalTest, SubqueryInCellPredicateRejected) {
+  CellContext ctx;
+  ExprPtr e = ParsePredicate("EXISTS (SELECT * FROM u)");
+  auto r = EvalCellPredicate(*e, ctx);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(CellEvalTest, QualifiedFallbackToBareName) {
+  CellContext ctx;
+  ctx.attr_values["price"] = Value::Int(7);
+  EXPECT_TRUE(*EvalCellPredicate(*ParsePredicate("o.price = 7"), ctx));
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "view/view_def.h"
+#include "testing/test_db.h"
+
+namespace viewrewrite {
+namespace {
+
+class DomainTest : public ::testing::Test {
+ protected:
+  ColumnDomain Derive(const std::string& sql, const std::string& table,
+                      const std::string& column) {
+    auto stmt = ParseSelect(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status();
+    auto d = DeriveAttributeDomain((*stmt)->from, schema_, table, column,
+                                   options_);
+    EXPECT_TRUE(d.ok()) << d.status();
+    return d.ok() ? std::move(d).value() : ColumnDomain::None();
+  }
+
+  Schema schema_ = testing_support::MakeTestSchema();
+  DomainOptions options_;
+};
+
+TEST_F(DomainTest, BaseColumnUsesCatalogDomain) {
+  ColumnDomain d = Derive("SELECT * FROM orders o", "o", "o_status");
+  EXPECT_EQ(d.kind, ColumnDomain::Kind::kCategorical);
+  EXPECT_EQ(d.CellCount(), 3);
+}
+
+TEST_F(DomainTest, UnqualifiedLookupSearchesAllLeaves) {
+  ColumnDomain d = Derive("SELECT * FROM customer c, orders o", "",
+                          "o_totalprice");
+  EXPECT_EQ(d.kind, ColumnDomain::Kind::kIntBuckets);
+}
+
+TEST_F(DomainTest, UnregisteredColumnFails) {
+  auto stmt = ParseSelect("SELECT * FROM orders o");
+  ASSERT_TRUE(stmt.ok());
+  auto d = DeriveAttributeDomain((*stmt)->from, schema_, "o", "o_orderkey",
+                                 options_);
+  EXPECT_FALSE(d.ok());
+}
+
+TEST_F(DomainTest, DerivedCountGetsSyntheticDomain) {
+  ColumnDomain d = Derive(
+      "SELECT * FROM (SELECT o_custkey, COUNT(*) AS cnt FROM orders GROUP "
+      "BY o_custkey) dt",
+      "dt", "cnt");
+  EXPECT_EQ(d.kind, ColumnDomain::Kind::kIntBuckets);
+  EXPECT_EQ(d.lo, 0);
+  EXPECT_EQ(d.hi, options_.count_bound - 1);
+}
+
+TEST_F(DomainTest, DerivedAvgKeepsColumnDomain) {
+  ColumnDomain d = Derive(
+      "SELECT * FROM (SELECT o_custkey, AVG(o_totalprice) AS a FROM orders "
+      "GROUP BY o_custkey) dt",
+      "dt", "a");
+  // AVG stays within the argument's registered domain.
+  EXPECT_EQ(d.kind, ColumnDomain::Kind::kIntBuckets);
+  EXPECT_EQ(d.lo, 0);
+  EXPECT_EQ(d.hi, 255);
+}
+
+TEST_F(DomainTest, DerivedSumScalesByCountBound) {
+  ColumnDomain d = Derive(
+      "SELECT * FROM (SELECT o_custkey, SUM(o_totalprice) AS s FROM orders "
+      "GROUP BY o_custkey) dt",
+      "dt", "s");
+  EXPECT_EQ(d.kind, ColumnDomain::Kind::kIntBuckets);
+  EXPECT_EQ(d.lo, 0);
+  // (255 + 1) * count_bound - 1.
+  EXPECT_EQ(d.hi, 256 * options_.count_bound - 1);
+}
+
+TEST_F(DomainTest, DerivedColumnPassThrough) {
+  ColumnDomain d = Derive(
+      "SELECT * FROM (SELECT o_custkey, o_status FROM orders) dt", "dt",
+      "o_status");
+  EXPECT_EQ(d.kind, ColumnDomain::Kind::kCategorical);
+}
+
+TEST_F(DomainTest, LiteralProjectionGetsSingletonDomain) {
+  ColumnDomain d = Derive(
+      "SELECT * FROM (SELECT o_custkey, 1 AS matched FROM orders) dt", "dt",
+      "matched");
+  EXPECT_EQ(d.kind, ColumnDomain::Kind::kCategorical);
+  EXPECT_EQ(d.CellCount(), 1);
+  EXPECT_EQ(d.CellIndex(Value::Int(1)), 0);
+}
+
+TEST_F(DomainTest, NestedDerivedResolution) {
+  ColumnDomain d = Derive(
+      "SELECT * FROM (SELECT inner_dt.a AS b FROM (SELECT AVG(o_totalprice)"
+      " AS a FROM orders GROUP BY o_custkey) inner_dt) outer_dt",
+      "outer_dt", "b");
+  EXPECT_EQ(d.kind, ColumnDomain::Kind::kIntBuckets);
+  EXPECT_EQ(d.hi, 255);
+}
+
+TEST_F(DomainTest, ExpressionBoundIntervalArithmetic) {
+  auto stmt = ParseSelect("SELECT * FROM lineitem l");
+  ASSERT_TRUE(stmt.ok());
+  // l_quantity in [0,64), l_price in [0,256): product bound = 16384.
+  auto q = ParseSelect("SELECT l_quantity * l_price FROM lineitem l");
+  ASSERT_TRUE(q.ok());
+  auto bound = ExpressionBound((*stmt)->from, schema_,
+                               *(*q)->items[0].expr, options_);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_DOUBLE_EQ(*bound, 64.0 * 256.0);
+}
+
+TEST_F(DomainTest, ExpressionBoundHandlesSubtraction) {
+  auto stmt = ParseSelect("SELECT * FROM customer c");
+  ASSERT_TRUE(stmt.ok());
+  auto q = ParseSelect("SELECT 10 - c_acctbal FROM customer c");
+  ASSERT_TRUE(q.ok());
+  auto bound = ExpressionBound((*stmt)->from, schema_,
+                               *(*q)->items[0].expr, options_);
+  ASSERT_TRUE(bound.ok());
+  // c_acctbal in [0, 64): 10 - x in (-54, 10] -> bound 54.
+  EXPECT_DOUBLE_EQ(*bound, 54.0);
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,136 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/census.h"
+#include "datagen/tpch.h"
+#include "rewrite/classifier.h"
+#include "sql/parser.h"
+
+namespace viewrewrite {
+namespace {
+
+TEST(WorkloadTest, QueryCountsMatchPaper) {
+  EXPECT_EQ(WorkloadGenerator::QueryCount(1), 750);
+  EXPECT_EQ(WorkloadGenerator::QueryCount(5), 12000);
+  EXPECT_EQ(WorkloadGenerator::QueryCount(7), 1500);
+  EXPECT_EQ(WorkloadGenerator::QueryCount(12), 1500);
+  EXPECT_EQ(WorkloadGenerator::QueryCount(16), 200);
+  EXPECT_EQ(WorkloadGenerator::QueryCount(20), 3200);
+  EXPECT_EQ(WorkloadGenerator::QueryCount(27), 400);
+  EXPECT_EQ(WorkloadGenerator::QueryCount(31), 3000);
+  EXPECT_EQ(WorkloadGenerator::QueryCount(0), 0);
+  EXPECT_EQ(WorkloadGenerator::QueryCount(32), 0);
+}
+
+TEST(WorkloadTest, InvalidIndexRejected) {
+  WorkloadGenerator gen(1, 1);
+  EXPECT_FALSE(gen.Generate(0).ok());
+  EXPECT_FALSE(gen.Generate(32).ok());
+}
+
+TEST(WorkloadTest, EveryTpchQueryParses) {
+  WorkloadGenerator gen(1, 7);
+  for (int w : {1, 6, 11, 16, 21, 26}) {
+    auto queries = gen.Generate(w);
+    ASSERT_TRUE(queries.ok()) << w;
+    // Check a sample (first 60) parses.
+    for (size_t i = 0; i < std::min<size_t>(60, queries->size()); ++i) {
+      auto stmt = ParseSelect((*queries)[i].sql);
+      ASSERT_TRUE(stmt.ok()) << "W" << w << "[" << i
+                             << "]: " << (*queries)[i].sql << "\n"
+                             << stmt.status();
+    }
+  }
+}
+
+TEST(WorkloadTest, CensusQueriesParse) {
+  WorkloadGenerator gen(1, 7);
+  auto queries = gen.Generate(31);
+  ASSERT_TRUE(queries.ok());
+  EXPECT_EQ(queries->size(), 3000u);
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_TRUE(ParseSelect((*queries)[i].sql).ok()) << (*queries)[i].sql;
+  }
+}
+
+TEST(WorkloadTest, Deterministic) {
+  WorkloadGenerator a(1, 99);
+  WorkloadGenerator b(1, 99);
+  auto qa = a.Generate(16);
+  auto qb = b.Generate(16);
+  ASSERT_TRUE(qa.ok() && qb.ok());
+  ASSERT_EQ(qa->size(), qb->size());
+  for (size_t i = 0; i < qa->size(); ++i) {
+    EXPECT_EQ((*qa)[i].sql, (*qb)[i].sql);
+  }
+}
+
+TEST(WorkloadTest, AblationWorkloadsAreClassPure) {
+  WorkloadGenerator gen(1, 3);
+  Schema schema = MakeTpchSchema();
+  auto correlated = gen.Generate(16);
+  ASSERT_TRUE(correlated.ok());
+  for (size_t i = 0; i < 40; ++i) {
+    auto stmt = ParseSelect((*correlated)[i].sql);
+    ASSERT_TRUE(stmt.ok());
+    auto cls = Classify(**stmt, schema);
+    ASSERT_TRUE(cls.ok()) << cls.status();
+    EXPECT_TRUE(IsCorrelatedClass(*cls)) << (*correlated)[i].sql;
+  }
+  auto noncorr = gen.Generate(21);
+  ASSERT_TRUE(noncorr.ok());
+  for (size_t i = 0; i < 40; ++i) {
+    auto stmt = ParseSelect((*noncorr)[i].sql);
+    ASSERT_TRUE(stmt.ok());
+    auto cls = Classify(**stmt, schema);
+    ASSERT_TRUE(cls.ok());
+    EXPECT_TRUE(IsNestedClass(*cls) && !IsCorrelatedClass(*cls))
+        << (*noncorr)[i].sql;
+  }
+  auto derived = gen.Generate(26);
+  ASSERT_TRUE(derived.ok());
+  for (size_t i = 0; i < 40; ++i) {
+    auto stmt = ParseSelect((*derived)[i].sql);
+    ASSERT_TRUE(stmt.ok());
+    auto cls = Classify(**stmt, schema);
+    ASSERT_TRUE(cls.ok());
+    EXPECT_TRUE(*cls == QueryClass::kFromDerivedTable ||
+                *cls == QueryClass::kWithDerivedTable)
+        << (*derived)[i].sql;
+  }
+}
+
+TEST(WorkloadTest, SumWorkloadsUseSumAggregates) {
+  WorkloadGenerator gen(1, 3);
+  auto queries = gen.Generate(6);
+  ASSERT_TRUE(queries.ok());
+  int sums = 0;
+  for (size_t i = 0; i < 30; ++i) {
+    if ((*queries)[i].sql.find("SUM(") != std::string::npos) ++sums;
+  }
+  EXPECT_EQ(sums, 30);
+}
+
+TEST(WorkloadTest, SubqueryConstantsGrowSublinearly) {
+  // The Zipf draws mean distinct subquery constants grow slower than the
+  // workload — what drives PrivateSQL's sublinear view growth.
+  WorkloadGenerator gen(1, 5);
+  auto small = gen.Generate(16);   // 200 correlated queries
+  auto large = gen.Generate(20);   // 3200 correlated queries
+  ASSERT_TRUE(small.ok() && large.ok());
+  auto distinct = [](const std::vector<WorkloadQuery>& qs) {
+    std::set<std::string> s;
+    for (const auto& q : qs) s.insert(q.sql);
+    return s.size();
+  };
+  size_t ds = distinct(*small);
+  size_t dl = distinct(*large);
+  EXPECT_GT(dl, ds);
+  EXPECT_LT(dl, 16 * ds);  // far from linear scaling
+}
+
+}  // namespace
+}  // namespace viewrewrite
