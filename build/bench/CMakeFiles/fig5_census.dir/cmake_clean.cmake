@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_census.dir/fig5_census.cc.o"
+  "CMakeFiles/fig5_census.dir/fig5_census.cc.o.d"
+  "fig5_census"
+  "fig5_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_workloads.dir/fig5_workloads.cc.o"
+  "CMakeFiles/fig5_workloads.dir/fig5_workloads.cc.o.d"
+  "fig5_workloads"
+  "fig5_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/rewrite_explorer.cpp" "examples/CMakeFiles/rewrite_explorer.dir/rewrite_explorer.cpp.o" "gcc" "examples/CMakeFiles/rewrite_explorer.dir/rewrite_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/vr_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/vr_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/view/CMakeFiles/vr_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/vr_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/vr_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/vr_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/vr_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/vr_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_shell.dir/vr_shell.cpp.o"
+  "CMakeFiles/vr_shell.dir/vr_shell.cpp.o.d"
+  "vr_shell"
+  "vr_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

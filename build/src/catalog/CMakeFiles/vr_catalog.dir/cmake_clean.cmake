@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_catalog.dir/schema.cc.o"
+  "CMakeFiles/vr_catalog.dir/schema.cc.o.d"
+  "libvr_catalog.a"
+  "libvr_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_common.dir/random.cc.o"
+  "CMakeFiles/vr_common.dir/random.cc.o.d"
+  "CMakeFiles/vr_common.dir/status.cc.o"
+  "CMakeFiles/vr_common.dir/status.cc.o.d"
+  "CMakeFiles/vr_common.dir/strings.cc.o"
+  "CMakeFiles/vr_common.dir/strings.cc.o.d"
+  "libvr_common.a"
+  "libvr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

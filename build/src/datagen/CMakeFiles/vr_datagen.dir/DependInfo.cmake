@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/census.cc" "src/datagen/CMakeFiles/vr_datagen.dir/census.cc.o" "gcc" "src/datagen/CMakeFiles/vr_datagen.dir/census.cc.o.d"
+  "/root/repo/src/datagen/tpch.cc" "src/datagen/CMakeFiles/vr_datagen.dir/tpch.cc.o" "gcc" "src/datagen/CMakeFiles/vr_datagen.dir/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/vr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/vr_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/vr_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_datagen.dir/census.cc.o"
+  "CMakeFiles/vr_datagen.dir/census.cc.o.d"
+  "CMakeFiles/vr_datagen.dir/tpch.cc.o"
+  "CMakeFiles/vr_datagen.dir/tpch.cc.o.d"
+  "libvr_datagen.a"
+  "libvr_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

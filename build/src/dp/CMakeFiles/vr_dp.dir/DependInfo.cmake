@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/budget.cc" "src/dp/CMakeFiles/vr_dp.dir/budget.cc.o" "gcc" "src/dp/CMakeFiles/vr_dp.dir/budget.cc.o.d"
+  "/root/repo/src/dp/matrix_mechanism.cc" "src/dp/CMakeFiles/vr_dp.dir/matrix_mechanism.cc.o" "gcc" "src/dp/CMakeFiles/vr_dp.dir/matrix_mechanism.cc.o.d"
+  "/root/repo/src/dp/mechanism.cc" "src/dp/CMakeFiles/vr_dp.dir/mechanism.cc.o" "gcc" "src/dp/CMakeFiles/vr_dp.dir/mechanism.cc.o.d"
+  "/root/repo/src/dp/truncation.cc" "src/dp/CMakeFiles/vr_dp.dir/truncation.cc.o" "gcc" "src/dp/CMakeFiles/vr_dp.dir/truncation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

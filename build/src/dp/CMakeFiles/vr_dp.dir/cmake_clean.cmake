@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_dp.dir/budget.cc.o"
+  "CMakeFiles/vr_dp.dir/budget.cc.o.d"
+  "CMakeFiles/vr_dp.dir/matrix_mechanism.cc.o"
+  "CMakeFiles/vr_dp.dir/matrix_mechanism.cc.o.d"
+  "CMakeFiles/vr_dp.dir/mechanism.cc.o"
+  "CMakeFiles/vr_dp.dir/mechanism.cc.o.d"
+  "CMakeFiles/vr_dp.dir/truncation.cc.o"
+  "CMakeFiles/vr_dp.dir/truncation.cc.o.d"
+  "libvr_dp.a"
+  "libvr_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

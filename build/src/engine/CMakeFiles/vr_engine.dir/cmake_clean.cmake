@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_engine.dir/private_sql_engine.cc.o"
+  "CMakeFiles/vr_engine.dir/private_sql_engine.cc.o.d"
+  "CMakeFiles/vr_engine.dir/viewrewrite_engine.cc.o"
+  "CMakeFiles/vr_engine.dir/viewrewrite_engine.cc.o.d"
+  "libvr_engine.a"
+  "libvr_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

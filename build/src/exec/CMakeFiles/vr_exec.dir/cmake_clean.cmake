@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_exec.dir/executor.cc.o"
+  "CMakeFiles/vr_exec.dir/executor.cc.o.d"
+  "libvr_exec.a"
+  "libvr_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/analysis.cc" "src/rewrite/CMakeFiles/vr_rewrite.dir/analysis.cc.o" "gcc" "src/rewrite/CMakeFiles/vr_rewrite.dir/analysis.cc.o.d"
+  "/root/repo/src/rewrite/classifier.cc" "src/rewrite/CMakeFiles/vr_rewrite.dir/classifier.cc.o" "gcc" "src/rewrite/CMakeFiles/vr_rewrite.dir/classifier.cc.o.d"
+  "/root/repo/src/rewrite/dnf.cc" "src/rewrite/CMakeFiles/vr_rewrite.dir/dnf.cc.o" "gcc" "src/rewrite/CMakeFiles/vr_rewrite.dir/dnf.cc.o.d"
+  "/root/repo/src/rewrite/rewriter.cc" "src/rewrite/CMakeFiles/vr_rewrite.dir/rewriter.cc.o" "gcc" "src/rewrite/CMakeFiles/vr_rewrite.dir/rewriter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/vr_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/vr_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_rewrite.dir/analysis.cc.o"
+  "CMakeFiles/vr_rewrite.dir/analysis.cc.o.d"
+  "CMakeFiles/vr_rewrite.dir/classifier.cc.o"
+  "CMakeFiles/vr_rewrite.dir/classifier.cc.o.d"
+  "CMakeFiles/vr_rewrite.dir/dnf.cc.o"
+  "CMakeFiles/vr_rewrite.dir/dnf.cc.o.d"
+  "CMakeFiles/vr_rewrite.dir/rewriter.cc.o"
+  "CMakeFiles/vr_rewrite.dir/rewriter.cc.o.d"
+  "libvr_rewrite.a"
+  "libvr_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

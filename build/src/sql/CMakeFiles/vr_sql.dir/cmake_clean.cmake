@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_sql.dir/ast.cc.o"
+  "CMakeFiles/vr_sql.dir/ast.cc.o.d"
+  "CMakeFiles/vr_sql.dir/parser.cc.o"
+  "CMakeFiles/vr_sql.dir/parser.cc.o.d"
+  "CMakeFiles/vr_sql.dir/printer.cc.o"
+  "CMakeFiles/vr_sql.dir/printer.cc.o.d"
+  "CMakeFiles/vr_sql.dir/token.cc.o"
+  "CMakeFiles/vr_sql.dir/token.cc.o.d"
+  "CMakeFiles/vr_sql.dir/value.cc.o"
+  "CMakeFiles/vr_sql.dir/value.cc.o.d"
+  "libvr_sql.a"
+  "libvr_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvr_sql.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_storage.dir/csv.cc.o"
+  "CMakeFiles/vr_storage.dir/csv.cc.o.d"
+  "CMakeFiles/vr_storage.dir/table.cc.o"
+  "CMakeFiles/vr_storage.dir/table.cc.o.d"
+  "libvr_storage.a"
+  "libvr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

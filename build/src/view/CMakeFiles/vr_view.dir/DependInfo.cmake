@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/view/cell_eval.cc" "src/view/CMakeFiles/vr_view.dir/cell_eval.cc.o" "gcc" "src/view/CMakeFiles/vr_view.dir/cell_eval.cc.o.d"
+  "/root/repo/src/view/synopsis.cc" "src/view/CMakeFiles/vr_view.dir/synopsis.cc.o" "gcc" "src/view/CMakeFiles/vr_view.dir/synopsis.cc.o.d"
+  "/root/repo/src/view/view_def.cc" "src/view/CMakeFiles/vr_view.dir/view_def.cc.o" "gcc" "src/view/CMakeFiles/vr_view.dir/view_def.cc.o.d"
+  "/root/repo/src/view/view_manager.cc" "src/view/CMakeFiles/vr_view.dir/view_manager.cc.o" "gcc" "src/view/CMakeFiles/vr_view.dir/view_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/vr_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/vr_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/vr_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/vr_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/vr_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_view.dir/cell_eval.cc.o"
+  "CMakeFiles/vr_view.dir/cell_eval.cc.o.d"
+  "CMakeFiles/vr_view.dir/synopsis.cc.o"
+  "CMakeFiles/vr_view.dir/synopsis.cc.o.d"
+  "CMakeFiles/vr_view.dir/view_def.cc.o"
+  "CMakeFiles/vr_view.dir/view_def.cc.o.d"
+  "CMakeFiles/vr_view.dir/view_manager.cc.o"
+  "CMakeFiles/vr_view.dir/view_manager.cc.o.d"
+  "libvr_view.a"
+  "libvr_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

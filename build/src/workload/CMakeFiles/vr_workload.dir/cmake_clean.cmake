@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_workload.dir/workload.cc.o"
+  "CMakeFiles/vr_workload.dir/workload.cc.o.d"
+  "libvr_workload.a"
+  "libvr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budget_allocation_test.dir/view/budget_allocation_test.cc.o"
+  "CMakeFiles/budget_allocation_test.dir/view/budget_allocation_test.cc.o.d"
+  "budget_allocation_test"
+  "budget_allocation_test.pdb"
+  "budget_allocation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_allocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_eval_test.dir/view/cell_eval_test.cc.o"
+  "CMakeFiles/cell_eval_test.dir/view/cell_eval_test.cc.o.d"
+  "cell_eval_test"
+  "cell_eval_test.pdb"
+  "cell_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

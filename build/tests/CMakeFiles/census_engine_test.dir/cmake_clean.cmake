@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_engine_test.dir/engine/census_engine_test.cc.o"
+  "CMakeFiles/census_engine_test.dir/engine/census_engine_test.cc.o.d"
+  "census_engine_test"
+  "census_engine_test.pdb"
+  "census_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

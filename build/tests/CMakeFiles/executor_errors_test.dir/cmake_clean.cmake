@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_errors_test.dir/exec/executor_errors_test.cc.o"
+  "CMakeFiles/executor_errors_test.dir/exec/executor_errors_test.cc.o.d"
+  "executor_errors_test"
+  "executor_errors_test.pdb"
+  "executor_errors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_errors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_subquery_test.dir/exec/executor_subquery_test.cc.o"
+  "CMakeFiles/executor_subquery_test.dir/exec/executor_subquery_test.cc.o.d"
+  "executor_subquery_test"
+  "executor_subquery_test.pdb"
+  "executor_subquery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_subquery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouped_test.dir/view/grouped_test.cc.o"
+  "CMakeFiles/grouped_test.dir/view/grouped_test.cc.o.d"
+  "grouped_test"
+  "grouped_test.pdb"
+  "grouped_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouped_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insensitive_test.dir/view/insensitive_test.cc.o"
+  "CMakeFiles/insensitive_test.dir/view/insensitive_test.cc.o.d"
+  "insensitive_test"
+  "insensitive_test.pdb"
+  "insensitive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insensitive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

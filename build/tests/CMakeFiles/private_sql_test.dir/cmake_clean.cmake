@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_sql_test.dir/engine/private_sql_test.cc.o"
+  "CMakeFiles/private_sql_test.dir/engine/private_sql_test.cc.o.d"
+  "private_sql_test"
+  "private_sql_test.pdb"
+  "private_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

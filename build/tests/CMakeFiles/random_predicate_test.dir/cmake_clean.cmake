@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_predicate_test.dir/rewrite/random_predicate_test.cc.o"
+  "CMakeFiles/random_predicate_test.dir/rewrite/random_predicate_test.cc.o.d"
+  "random_predicate_test"
+  "random_predicate_test.pdb"
+  "random_predicate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_predicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

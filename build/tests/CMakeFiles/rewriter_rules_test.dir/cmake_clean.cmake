@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewriter_rules_test.dir/rewrite/rewriter_rules_test.cc.o"
+  "CMakeFiles/rewriter_rules_test.dir/rewrite/rewriter_rules_test.cc.o.d"
+  "rewriter_rules_test"
+  "rewriter_rules_test.pdb"
+  "rewriter_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewriter_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
