@@ -19,6 +19,7 @@ constexpr uint64_t kSeed = 90210;
 RunResult RunWith(const Database& db, const std::vector<std::string>& sql,
                   BudgetAllocation allocation, MatrixStrategy strategy) {
   EngineOptions opts;
+  opts.strict = true;  // benchmarks keep the fail-fast contract
   opts.epsilon = 8.0;
   opts.seed = kSeed;
   opts.budget_allocation = allocation;
@@ -83,6 +84,7 @@ int main() {
     const int kTrials = 5;
     for (int t = 0; t < kTrials; ++t) {
       EngineOptions opts;
+      opts.strict = true;  // benchmarks keep the fail-fast contract
       opts.epsilon = 2.0;
       opts.seed = kSeed + static_cast<uint64_t>(t);
       opts.synopsis.strategy = strategy;

@@ -20,6 +20,7 @@ int main() {
   const size_t cap = FullMode() ? 0 : 1000;
   for (double eps : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
     EngineOptions opts;
+    opts.strict = true;  // benchmarks keep the fail-fast contract
     opts.epsilon = eps;
     opts.seed = 1860;
     ViewRewriteEngine engine(*db, PrivacyPolicy{"household"}, opts);

@@ -19,6 +19,7 @@ RunResult RunAt(int scale, const std::string& policy, double epsilon,
   config.scale = scale;
   auto db = GenerateTpch(config);
   EngineOptions opts;
+  opts.strict = true;  // benchmarks keep the fail-fast contract
   opts.epsilon = epsilon;
   opts.seed = kSeed;
   ViewRewriteEngine engine(*db, PrivacyPolicy{policy}, opts);

@@ -22,6 +22,7 @@ void Sweep(const char* title, int first_w) {
   const size_t cap = FullMode() ? 0 : 1500;
   for (int w = first_w; w <= last_w; ++w) {
     EngineOptions opts;
+    opts.strict = true;  // benchmarks keep the fail-fast contract
     opts.epsilon = 8.0;
     opts.seed = kSeed;
     ViewRewriteEngine engine(*db, PrivacyPolicy{"orders"}, opts);

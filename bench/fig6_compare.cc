@@ -25,6 +25,7 @@ Pair RunBoth(int scale, const std::string& policy, double epsilon,
   auto db = GenerateTpch(config);
   auto sql = WorkloadSql(/*w=*/12, scale, kSeed, cap);
   EngineOptions opts;
+  opts.strict = true;  // benchmarks keep the fail-fast contract
   opts.epsilon = epsilon;
   opts.seed = kSeed;
   Pair out;

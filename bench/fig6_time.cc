@@ -29,6 +29,7 @@ int main() {
     // Use W12's generator with a cap to emulate the workload-size ladder.
     auto sql = WorkloadSql(/*w=*/15, config.scale, kSeed, n);
     EngineOptions opts;
+    opts.strict = true;  // benchmarks keep the fail-fast contract
     opts.epsilon = 8.0;
     opts.seed = kSeed;
     RunResult vr, ps;

@@ -25,6 +25,7 @@ int main() {
     auto sql = WorkloadSql(w, config.scale, kSeed,
                            FullMode() ? 0 : 3000);
     EngineOptions opts;
+    opts.strict = true;  // benchmarks keep the fail-fast contract
     opts.epsilon = 8.0;
     opts.seed = kSeed;
     RunResult vr, ps;

@@ -34,6 +34,7 @@ struct Pair {
 Pair RunBoth(const Database& db, const std::vector<std::string>& sql,
              const std::string& policy, double epsilon) {
   EngineOptions opts;
+  opts.strict = true;  // benchmarks keep the fail-fast contract
   opts.epsilon = epsilon;
   opts.seed = kSeed;
   Pair out;

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus a sanitizer pass over the robustness test suite.
+#
+#   ci/check.sh            # full tier-1 build + tests, then ASan/UBSan pass
+#   SKIP_SANITIZE=1 ci/check.sh   # tier-1 only (e.g. toolchains without ASan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "${SKIP_SANITIZE:-0}" == "1" ]]; then
+  echo "== sanitizer pass skipped (SKIP_SANITIZE=1) =="
+  exit 0
+fi
+
+echo "== asan+ubsan: configure + build robustness suite =="
+cmake -B build-asan -S . -DVIEWREWRITE_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$(nproc)" --target \
+  fault_injection_test quarantine_test publish_recovery_test \
+  budget_test mechanism_test
+
+echo "== asan+ubsan: ctest (robustness suite) =="
+(cd build-asan && ctest --output-on-failure -j "$(nproc)" \
+  -R 'FaultInjection|Quarantine|PublishRecovery|Budget|LaplaceMechanism')
+
+echo "== all checks passed =="

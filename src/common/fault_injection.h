@@ -1,0 +1,129 @@
+#ifndef VIEWREWRITE_COMMON_FAULT_INJECTION_H_
+#define VIEWREWRITE_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+
+#include "common/status.h"
+
+namespace viewrewrite {
+
+/// Canonical fault-point names threaded through the pipeline. Each is a
+/// cheap check (one relaxed atomic load when nothing is armed) at which
+/// tests can deterministically force a failure.
+namespace faults {
+inline constexpr const char kParse[] = "parse";
+inline constexpr const char kRewrite[] = "rewrite";
+inline constexpr const char kViewRegister[] = "view.register";
+inline constexpr const char kViewPublish[] = "view.publish";
+inline constexpr const char kDpMechanism[] = "dp.mechanism";
+inline constexpr const char kStorageCsv[] = "storage.csv";
+}  // namespace faults
+
+/// Process-wide registry of armed fault points with deterministic
+/// triggers: fail exactly once on the Nth hit, fail on every Nth hit, or
+/// fail each hit with a seeded probability. Disabled points cost a single
+/// relaxed atomic load at the call site (see VR_FAULT_POINT), so fault
+/// points can stay compiled into release binaries.
+///
+/// Hit counts accumulate only while the point is armed; arming resets
+/// them. All methods are thread-safe.
+class FaultInjection {
+ public:
+  static FaultInjection& Instance();
+
+  /// Arms `point` to fail exactly once, on its `nth` hit (1-based).
+  /// Passing an OK `status` injects Status::Internal("injected fault...").
+  void FailOnNth(const std::string& point, uint64_t nth,
+                 Status status = Status());
+
+  /// Arms `point` to fail on every `n`th hit (hits n, 2n, 3n, ...).
+  void FailEveryN(const std::string& point, uint64_t n,
+                  Status status = Status());
+
+  /// Arms `point` to fail each hit independently with probability `p`,
+  /// sampled from a dedicated generator seeded with `seed` so the firing
+  /// pattern is reproducible.
+  void FailWithProbability(const std::string& point, double p, uint64_t seed,
+                           Status status = Status());
+
+  void Disable(const std::string& point);
+  void DisableAll();
+
+  /// Hits observed at `point` since it was armed (0 if not armed).
+  uint64_t HitCount(const std::string& point) const;
+
+  /// True when at least one point is armed (lock-free fast path).
+  static bool Armed() {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Records a hit at `point` and returns the injected status when the
+  /// trigger fires, OK otherwise. Call via VR_FAULT_POINT so disabled
+  /// builds skip the lock entirely.
+  Status Check(const std::string& point);
+
+ private:
+  FaultInjection() = default;
+
+  enum class Trigger { kNth, kEveryN, kProbability };
+  struct Point {
+    Trigger trigger = Trigger::kNth;
+    uint64_t n = 1;
+    double probability = 0;
+    std::mt19937_64 prng{0};
+    Status status;
+    uint64_t hits = 0;
+    bool fired = false;  // kNth fires at most once
+  };
+
+  void Arm(const std::string& point, Point p);
+
+  static std::atomic<int> armed_points_;
+  mutable std::mutex mu_;
+  std::map<std::string, Point> points_;
+};
+
+/// RAII enablement for tests: arms a fault point on construction and
+/// disarms it on destruction, so a failing test cannot leak an armed
+/// fault into later tests.
+class ScopedFault {
+ public:
+  static ScopedFault OnNth(const std::string& point, uint64_t nth,
+                           Status status = Status());
+  static ScopedFault EveryN(const std::string& point, uint64_t n,
+                            Status status = Status());
+  static ScopedFault WithProbability(const std::string& point, double p,
+                                     uint64_t seed, Status status = Status());
+
+  ScopedFault(ScopedFault&& other) noexcept;
+  ScopedFault& operator=(ScopedFault&&) = delete;
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+  ~ScopedFault();
+
+ private:
+  explicit ScopedFault(std::string point) : point_(std::move(point)) {}
+  std::string point_;
+};
+
+/// Fault-point check: returns the injected Status out of the enclosing
+/// function when the point fires. Works in functions returning Status or
+/// Result<T> (Result converts implicitly from Status). Near-zero overhead
+/// when nothing is armed: one relaxed atomic load, no lock, no string.
+#define VR_FAULT_POINT(point)                                     \
+  do {                                                            \
+    if (::viewrewrite::FaultInjection::Armed()) {                 \
+      ::viewrewrite::Status _vr_fault_status =                    \
+          ::viewrewrite::FaultInjection::Instance().Check(point); \
+      if (!_vr_fault_status.ok()) return _vr_fault_status;        \
+    }                                                             \
+  } while (false)
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_COMMON_FAULT_INJECTION_H_

@@ -1,13 +1,30 @@
 #include "dp/budget.h"
 
+#include <cmath>
+
 namespace viewrewrite {
 
+namespace {
+// Tolerate floating-point accumulation at the very end of the budget.
+constexpr double kSlack = 1e-9;
+}  // namespace
+
+BudgetAccountant::BudgetAccountant(double total_epsilon)
+    : total_(0),
+      spent_(0),
+      valid_(std::isfinite(total_epsilon) && total_epsilon >= 0) {
+  if (valid_) total_ = total_epsilon;
+}
+
 Status BudgetAccountant::Spend(double epsilon, const std::string& label) {
-  if (epsilon <= 0) {
-    return Status::PrivacyError("spend must be positive: " + label);
+  if (!valid_) {
+    return Status::PrivacyError(
+        "budget accountant was constructed with a non-finite or negative "
+        "total epsilon");
   }
-  // Tolerate floating-point accumulation at the very end of the budget.
-  constexpr double kSlack = 1e-9;
+  if (!std::isfinite(epsilon) || epsilon <= 0) {
+    return Status::PrivacyError("spend must be positive and finite: " + label);
+  }
   if (spent_ + epsilon > total_ * (1.0 + kSlack) + kSlack) {
     return Status::PrivacyError("privacy budget exhausted: spending " +
                                 std::to_string(epsilon) + " on '" + label +
@@ -16,6 +33,26 @@ Status BudgetAccountant::Spend(double epsilon, const std::string& label) {
   }
   spent_ += epsilon;
   ledger_.push_back(Entry{epsilon, label});
+  return Status::OK();
+}
+
+Status BudgetAccountant::Refund(double epsilon, const std::string& label) {
+  if (!valid_) {
+    return Status::PrivacyError(
+        "budget accountant was constructed with a non-finite or negative "
+        "total epsilon");
+  }
+  if (!std::isfinite(epsilon) || epsilon <= 0) {
+    return Status::PrivacyError("refund must be positive and finite: " +
+                                label);
+  }
+  if (epsilon > spent_ * (1.0 + kSlack) + kSlack) {
+    return Status::PrivacyError("refund of " + std::to_string(epsilon) +
+                                " on '" + label + "' exceeds spent budget " +
+                                std::to_string(spent_));
+  }
+  spent_ = std::max(0.0, spent_ - epsilon);
+  ledger_.push_back(Entry{-epsilon, label, /*refund=*/true});
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef VIEWREWRITE_DP_BUDGET_H_
 #define VIEWREWRITE_DP_BUDGET_H_
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -14,26 +15,41 @@ namespace viewrewrite {
 /// disjoint data (e.g. the cells of one histogram).
 class BudgetAccountant {
  public:
-  explicit BudgetAccountant(double total_epsilon)
-      : total_(total_epsilon), spent_(0) {}
+  /// A non-finite or negative total poisons the accountant: every Spend
+  /// and Refund fails with PrivacyError. (A constructor cannot return a
+  /// Status; poisoning keeps a corrupted epsilon from silently granting
+  /// budget.)
+  explicit BudgetAccountant(double total_epsilon);
 
   double total() const { return total_; }
   double spent() const { return spent_; }
-  double remaining() const { return total_ - spent_; }
+  /// Clamped at zero so floating-point drift never reports a negative
+  /// remaining budget.
+  double remaining() const { return std::max(0.0, total_ - spent_); }
 
   /// Records a sequential-composition spend labeled for the audit trail.
-  /// Fails (without spending) if the budget would be exceeded.
+  /// Fails (without spending) if the budget would be exceeded or
+  /// `epsilon` is non-finite or non-positive.
   Status Spend(double epsilon, const std::string& label);
+
+  /// Returns budget from a failed release whose outputs were all
+  /// discarded before publication — nothing observable was computed from
+  /// the spend, so the slice composes as if it never happened. Recorded
+  /// in the ledger as a negative-epsilon entry flagged `refund`. Fails if
+  /// `epsilon` is non-finite, non-positive, or exceeds what was spent.
+  Status Refund(double epsilon, const std::string& label);
 
   struct Entry {
     double epsilon;
     std::string label;
+    bool refund = false;
   };
   const std::vector<Entry>& ledger() const { return ledger_; }
 
  private:
   double total_;
   double spent_;
+  bool valid_;
   std::vector<Entry> ledger_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/fault_injection.h"
 #include "dp/mechanism.h"
 
 namespace viewrewrite {
@@ -9,12 +10,18 @@ namespace viewrewrite {
 Result<std::vector<double>> PublishIdentity(const std::vector<double>& cells,
                                             double l1_sensitivity,
                                             double epsilon, Random* rng) {
+  VR_FAULT_POINT(faults::kDpMechanism);
   VR_ASSIGN_OR_RETURN(double scale,
                       LaplaceMechanism::Scale(l1_sensitivity, epsilon));
   std::vector<double> out;
   out.reserve(cells.size());
   for (double c : cells) {
-    out.push_back(scale == 0 ? c : c + rng->Laplace(scale));
+    const double v = scale == 0 ? c : c + rng->Laplace(scale);
+    if (!std::isfinite(v)) {
+      return Status::PrivacyError(
+          "identity mechanism produced a non-finite noisy cell");
+    }
+    out.push_back(v);
   }
   return out;
 }
@@ -22,6 +29,7 @@ Result<std::vector<double>> PublishIdentity(const std::vector<double>& cells,
 Result<HierarchicalHistogram> HierarchicalHistogram::Publish(
     const std::vector<double>& cells, double l1_sensitivity, double epsilon,
     Random* rng) {
+  VR_FAULT_POINT(faults::kDpMechanism);
   if (epsilon <= 0) {
     return Status::PrivacyError("epsilon must be positive");
   }
@@ -59,7 +67,12 @@ Result<HierarchicalHistogram> HierarchicalHistogram::Publish(
   for (int64_t level = 0; level < height; ++level) {
     h.tree_[level].reserve(exact[level].size());
     for (double v : exact[level]) {
-      h.tree_[level].push_back(scale == 0 ? v : v + rng->Laplace(scale));
+      const double noisy = scale == 0 ? v : v + rng->Laplace(scale);
+      if (!std::isfinite(noisy)) {
+        return Status::PrivacyError(
+            "hierarchical mechanism produced a non-finite noisy node");
+      }
+      h.tree_[level].push_back(noisy);
     }
   }
   h.leaves_.assign(h.tree_[height - 1].begin(),

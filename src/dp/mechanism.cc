@@ -1,5 +1,9 @@
 #include "dp/mechanism.h"
 
+#include <cmath>
+
+#include "common/fault_injection.h"
+
 namespace viewrewrite {
 
 Result<double> LaplaceMechanism::Scale(double sensitivity, double epsilon) {
@@ -14,9 +18,14 @@ Result<double> LaplaceMechanism::Scale(double sensitivity, double epsilon) {
 
 Result<double> LaplaceMechanism::Release(double true_value, double sensitivity,
                                          double epsilon, Random* rng) {
+  VR_FAULT_POINT(faults::kDpMechanism);
   VR_ASSIGN_OR_RETURN(double scale, Scale(sensitivity, epsilon));
-  if (scale == 0) return true_value;
-  return true_value + rng->Laplace(scale);
+  const double released =
+      scale == 0 ? true_value : true_value + rng->Laplace(scale);
+  if (!std::isfinite(released)) {
+    return Status::PrivacyError("mechanism produced a non-finite release");
+  }
+  return released;
 }
 
 }  // namespace viewrewrite

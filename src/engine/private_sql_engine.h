@@ -26,7 +26,12 @@ class PrivateSqlEngine {
   PrivateSqlEngine(const Database& db, PrivacyPolicy policy,
                    EngineOptions options = {});
 
+  /// Same degraded/strict contract as ViewRewriteEngine::Prepare, so
+  /// baseline comparisons stay apples-to-apples under injected faults.
   Status Prepare(const std::vector<std::string>& workload_sql);
+
+  const PrepareReport& report() const { return report_; }
+  const ViewManager& views() const { return views_; }
 
   size_t NumQueries() const { return bound_.size(); }
   size_t NumViews() const { return views_.NumViews(); }
@@ -49,6 +54,7 @@ class PrivateSqlEngine {
   std::vector<RewrittenQuery> rewritten_;
   std::vector<BoundRewrittenQuery> bound_;
   EngineStats stats_;
+  PrepareReport report_;
 };
 
 }  // namespace viewrewrite

@@ -35,35 +35,76 @@ ViewRewriteEngine::ViewRewriteEngine(const Database& db, PrivacyPolicy policy,
 Status ViewRewriteEngine::Prepare(const std::vector<std::string>& workload) {
   stats_ = EngineStats{};
   stats_.num_queries = workload.size();
+  report_ = PrepareReport{};
+  report_.query_status.assign(workload.size(), Status::OK());
+  const bool strict = options_.strict;
+  auto quarantine = [&](size_t i, Status st) {
+    report_.query_status[i] = std::move(st);
+    ++report_.num_quarantined;
+  };
 
   // ---- Query rewriting. ----------------------------------------------------
   auto t0 = std::chrono::steady_clock::now();
   rewritten_.clear();
-  rewritten_.reserve(workload.size());
-  for (const std::string& sql : workload) {
-    VR_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelect(sql));
-    VR_ASSIGN_OR_RETURN(RewrittenQuery rq, rewriter_.Rewrite(*stmt));
-    rewritten_.push_back(std::move(rq));
+  rewritten_.resize(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto rewrite_one = [&]() -> Result<RewrittenQuery> {
+      VR_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelect(workload[i]));
+      return rewriter_.Rewrite(*stmt);
+    };
+    Result<RewrittenQuery> rq = rewrite_one();
+    if (!rq.ok()) {
+      if (strict) return rq.status();
+      quarantine(i, rq.status());
+      continue;
+    }
+    rewritten_[i] = std::move(rq).value();
   }
   stats_.rewrite_seconds = SecondsSince(t0);
 
   // ---- View generation (registration + merging by signature). --------------
   t0 = std::chrono::steady_clock::now();
   bound_.clear();
-  bound_.reserve(rewritten_.size());
-  for (const RewrittenQuery& rq : rewritten_) {
-    VR_ASSIGN_OR_RETURN(BoundRewrittenQuery bq,
-                        views_.RegisterRewritten(rq, nullptr));
-    bound_.push_back(std::move(bq));
+  bound_.resize(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (!report_.query_status[i].ok()) continue;
+    Result<BoundRewrittenQuery> bq =
+        views_.RegisterRewritten(rewritten_[i], nullptr);
+    if (!bq.ok()) {
+      if (strict) return bq.status();
+      quarantine(i, bq.status());
+      continue;
+    }
+    bound_[i] = std::move(bq).value();
   }
   stats_.view_generation_seconds = SecondsSince(t0);
   stats_.num_views = views_.NumViews();
 
   // ---- View publication (the only budget-consuming stage). -----------------
   t0 = std::chrono::steady_clock::now();
-  VR_RETURN_NOT_OK(views_.Publish(db_, options_.epsilon, &rng_,
-                                  options_.budget_allocation));
+  if (strict || views_.NumViews() > 0) {
+    VR_RETURN_NOT_OK(views_.Publish(db_, options_.epsilon, &rng_,
+                                    options_.budget_allocation,
+                                    /*degraded=*/!strict));
+    report_.num_views_failed = views_.failed_views().size();
+    if (report_.num_views_failed > 0) {
+      for (size_t i = 0; i < bound_.size(); ++i) {
+        if (!report_.query_status[i].ok()) continue;
+        if (const Status* failure = views_.BindingFailure(bound_[i])) {
+          quarantine(i, *failure);
+        }
+      }
+    }
+  }
   stats_.publish_seconds = SecondsSince(t0);
+
+  report_.num_prepared = workload.size() - report_.num_quarantined;
+  if (!workload.empty() && report_.num_prepared == 0) {
+    return Status::ExecutionError(
+        "all " + std::to_string(workload.size()) +
+        " workload queries failed to prepare; first error: " +
+        report_.query_status.front().ToString());
+  }
   return Status::OK();
 }
 
@@ -71,6 +112,7 @@ Result<double> ViewRewriteEngine::NoisyAnswer(size_t i) {
   if (i >= bound_.size()) {
     return Status::InvalidArgument("query index out of range");
   }
+  if (!report_.query_status[i].ok()) return report_.query_status[i];
   auto t0 = std::chrono::steady_clock::now();
   Result<double> out = views_.Answer(bound_[i]);
   stats_.answer_seconds += SecondsSince(t0);
@@ -81,6 +123,7 @@ Result<double> ViewRewriteEngine::TrueAnswer(size_t i) const {
   if (i >= rewritten_.size()) {
     return Status::InvalidArgument("query index out of range");
   }
+  if (!report_.query_status[i].ok()) return report_.query_status[i];
   return executor_.ExecuteRewritten(rewritten_[i]);
 }
 
@@ -88,6 +131,7 @@ Result<double> ViewRewriteEngine::ExactViewAnswer(size_t i) const {
   if (i >= bound_.size()) {
     return Status::InvalidArgument("query index out of range");
   }
+  if (!report_.query_status[i].ok()) return report_.query_status[i];
   return views_.Answer(bound_[i], /*exact=*/true);
 }
 

@@ -22,6 +22,27 @@ struct EngineOptions {
   /// Budget split across views (kByUsage is the paper's future-work
   /// extension: weight views by the number of queries they answer).
   BudgetAllocation budget_allocation = BudgetAllocation::kUniform;
+  /// Fail-fast preparation: any per-query or per-view failure aborts
+  /// Prepare immediately (the pre-robustness contract, kept for the
+  /// benchmarks). The default is degraded mode: failing queries are
+  /// quarantined, failing views are recovered per-view, and the healthy
+  /// remainder of the workload is still served.
+  bool strict = false;
+};
+
+/// Per-query outcome of Prepare in degraded mode. `query_status` is
+/// index-aligned with the workload: OK means the query is answerable from
+/// the published synopses; a non-OK entry is the quarantined query's
+/// recorded failure, returned verbatim by NoisyAnswer / TrueAnswer /
+/// RelativeError for that index.
+struct PrepareReport {
+  std::vector<Status> query_status;
+  size_t num_prepared = 0;      // answerable queries
+  size_t num_quarantined = 0;   // queries held out of the batch
+  size_t num_views_failed = 0;  // views whose publication failed
+  bool AllHealthy() const {
+    return num_quarantined == 0 && num_views_failed == 0;
+  }
 };
 
 struct EngineStats {
@@ -48,7 +69,19 @@ class ViewRewriteEngine {
                     EngineOptions options = {});
 
   /// Rewrites + registers + publishes. Call once.
+  ///
+  /// Degraded mode (default): per-query failures quarantine the query,
+  /// per-view publication failures refund that view's budget slice and
+  /// quarantine only the queries bound to it; returns OK as long as at
+  /// least one query survives (inspect report() for details). Strict
+  /// mode (options.strict): the first failure aborts, as before.
   Status Prepare(const std::vector<std::string>& workload_sql);
+
+  /// Per-query outcomes of the last Prepare.
+  const PrepareReport& report() const { return report_; }
+
+  /// The underlying view manager (budget accountant, failed views, ...).
+  const ViewManager& views() const { return views_; }
 
   size_t NumQueries() const { return bound_.size(); }
   size_t NumViews() const { return views_.NumViews(); }
@@ -83,6 +116,7 @@ class ViewRewriteEngine {
   std::vector<RewrittenQuery> rewritten_;
   std::vector<BoundRewrittenQuery> bound_;
   EngineStats stats_;
+  PrepareReport report_;
 };
 
 /// The paper's relative-error metric.

@@ -5,6 +5,7 @@
 #include <set>
 #include <string>
 
+#include "common/fault_injection.h"
 #include "rewrite/analysis.h"
 #include "rewrite/dnf.h"
 #include "sql/printer.h"
@@ -1472,6 +1473,7 @@ Result<QueryCombination> Rewriter::SplitDisjunction(SelectStmtPtr stmt) const {
 }
 
 Result<RewrittenQuery> Rewriter::Rewrite(const SelectStmt& query) const {
+  VR_FAULT_POINT(faults::kRewrite);
   SelectStmtPtr stmt = query.Clone();
   RewrittenQuery out;
 

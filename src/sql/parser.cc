@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/fault_injection.h"
 #include "sql/token.h"
 
 namespace viewrewrite {
@@ -484,6 +485,7 @@ class Parser {
 }  // namespace
 
 Result<SelectStmtPtr> ParseSelect(const std::string& sql) {
+  VR_FAULT_POINT(faults::kParse);
   VR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens));
   return parser.ParseStatement();

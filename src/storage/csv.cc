@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault_injection.h"
+
 namespace viewrewrite {
 
 namespace {
@@ -107,6 +109,7 @@ std::string EscapeField(const Value& v) {
 }  // namespace
 
 Status LoadCsv(Table* table, const std::string& csv_text, bool has_header) {
+  VR_FAULT_POINT(faults::kStorageCsv);
   std::istringstream in(csv_text);
   std::string line;
   size_t line_no = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/fault_injection.h"
 #include "rewrite/analysis.h"
 #include "sql/printer.h"
 
@@ -93,6 +94,8 @@ Result<ResultSet> ViewManager::AnswerGrouped(const BoundQuery& q,
                                              bool exact) const {
   auto it = synopses_.find(q.view_signature);
   if (it == synopses_.end()) {
+    auto failed = failed_views_.find(q.view_signature);
+    if (failed != failed_views_.end()) return failed->second;
     return Status::NotFound("no synopsis published for view '" +
                             q.view_signature + "'");
   }
@@ -101,6 +104,7 @@ Result<ResultSet> ViewManager::AnswerGrouped(const BoundQuery& q,
 
 Result<BoundQuery> ViewManager::RegisterScalar(const SelectStmt& query,
                                                const BakePredicate& bake) {
+  VR_FAULT_POINT(faults::kViewRegister);
   if (query.items.size() != 1 || query.items[0].is_star) {
     return Status::InvalidArgument(
         "view registration expects a single-aggregate query, got: " +
@@ -229,11 +233,13 @@ size_t ViewManager::ViewUsage(const std::string& signature) const {
 }
 
 Status ViewManager::Publish(const Database& db, double total_epsilon,
-                            Random* rng, BudgetAllocation allocation) {
+                            Random* rng, BudgetAllocation allocation,
+                            bool degraded) {
   if (views_.empty()) {
     return Status::InvalidArgument("no views registered");
   }
   accountant_ = std::make_unique<BudgetAccountant>(total_epsilon);
+  failed_views_.clear();
   double total_weight = 0;
   auto weight_of = [&](const ViewDef& view) -> double {
     if (allocation == BudgetAllocation::kUniform) return 1.0;
@@ -243,14 +249,44 @@ Status ViewManager::Publish(const Database& db, double total_epsilon,
   for (const auto& view : views_) {
     const double eps_view =
         total_epsilon * weight_of(*view) / total_weight;
-    VR_RETURN_NOT_OK(
-        accountant_->Spend(eps_view, "synopsis:" + view->signature()));
-    VR_ASSIGN_OR_RETURN(
-        Synopsis syn,
-        Synopsis::Build(*view, db, policy_, eps_view, options_, rng));
-    synopses_.emplace(view->signature(), std::move(syn));
+    Status st = accountant_->Spend(eps_view, "synopsis:" + view->signature());
+    const bool spent = st.ok();
+    if (st.ok() && FaultInjection::Armed()) {
+      st = FaultInjection::Instance().Check(faults::kViewPublish);
+    }
+    if (st.ok()) {
+      Result<Synopsis> syn =
+          Synopsis::Build(*view, db, policy_, eps_view, options_, rng);
+      if (syn.ok()) {
+        synopses_.emplace(view->signature(), std::move(syn).value());
+        continue;
+      }
+      st = syn.status();
+    }
+    if (!degraded) return st;
+    // Per-view recovery: every output of the failed publication is
+    // discarded, so its slice composes as if never spent — refund it and
+    // keep publishing the remaining views.
+    if (spent) {
+      VR_RETURN_NOT_OK(
+          accountant_->Refund(eps_view, "refund:synopsis:" + view->signature()));
+    }
+    failed_views_.emplace(view->signature(), std::move(st));
   }
   return Status::OK();
+}
+
+const Status* ViewManager::BindingFailure(const BoundRewrittenQuery& q) const {
+  if (failed_views_.empty()) return nullptr;
+  for (const auto& link : q.chain) {
+    auto it = failed_views_.find(link.query.view_signature);
+    if (it != failed_views_.end()) return &it->second;
+  }
+  for (const auto& term : q.terms) {
+    auto it = failed_views_.find(term.query.view_signature);
+    if (it != failed_views_.end()) return &it->second;
+  }
+  return nullptr;
 }
 
 Result<double> ViewManager::AnswerScalar(const BoundQuery& q,
@@ -258,6 +294,8 @@ Result<double> ViewManager::AnswerScalar(const BoundQuery& q,
                                          bool exact) const {
   auto it = synopses_.find(q.view_signature);
   if (it == synopses_.end()) {
+    auto failed = failed_views_.find(q.view_signature);
+    if (failed != failed_views_.end()) return failed->second;
     return Status::NotFound("no synopsis published for view '" +
                             q.view_signature + "'");
   }

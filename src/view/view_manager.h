@@ -81,8 +81,30 @@ class ViewManager {
   /// Publishes one synopsis per view (sequential composition across
   /// views), each view running the §9 pipeline. Must be called after all
   /// registrations. `allocation` picks the budget split.
+  ///
+  /// With `degraded` set, a view whose publication fails (injected fault,
+  /// SVT abort, non-finite noise, ...) does not abort the batch: its
+  /// budget slice is refunded (all of its outputs are discarded before
+  /// anything is published, so the spend composes as if it never
+  /// happened), the failure is recorded in failed_views(), and the
+  /// remaining views still publish. Without `degraded` the first failure
+  /// is returned immediately (the pre-robustness contract).
   Status Publish(const Database& db, double total_epsilon, Random* rng,
-                 BudgetAllocation allocation = BudgetAllocation::kUniform);
+                 BudgetAllocation allocation = BudgetAllocation::kUniform,
+                 bool degraded = false);
+
+  /// Views whose synopsis publication failed in a degraded Publish:
+  /// signature -> recorded failure. Answering a query bound to one of
+  /// these views returns that status.
+  const std::map<std::string, Status>& failed_views() const {
+    return failed_views_;
+  }
+
+  /// Failure status of the first failed view `q` is bound to, or nullptr
+  /// when every view it needs was published.
+  const Status* BindingFailure(const BoundRewrittenQuery& q) const;
+
+  size_t NumPublished() const { return synopses_.size(); }
 
   /// Number of registered scalar queries (terms + chain links) answered
   /// by view `signature`.
@@ -123,6 +145,7 @@ class ViewManager {
   std::map<std::string, size_t> view_index_;           // signature -> index
   std::map<std::string, size_t> view_usage_;           // signature -> #queries
   std::map<std::string, Synopsis> synopses_;           // signature -> synopsis
+  std::map<std::string, Status> failed_views_;         // signature -> failure
   std::unique_ptr<BudgetAccountant> accountant_;
 };
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace viewrewrite {
 namespace {
 
@@ -43,6 +46,74 @@ TEST(BudgetTest, LedgerRecordsLabels) {
   ASSERT_EQ(acc.ledger().size(), 2u);
   EXPECT_EQ(acc.ledger()[0].label, "view:a");
   EXPECT_EQ(acc.ledger()[1].epsilon, 1.0);
+}
+
+TEST(BudgetTest, RefundRestoresBudgetAndIsLedgered) {
+  BudgetAccountant acc(1.0);
+  ASSERT_TRUE(acc.Spend(0.6, "view:a").ok());
+  ASSERT_TRUE(acc.Refund(0.4, "refund:view:a").ok());
+  EXPECT_NEAR(acc.spent(), 0.2, 1e-12);
+  EXPECT_NEAR(acc.remaining(), 0.8, 1e-12);
+  ASSERT_EQ(acc.ledger().size(), 2u);
+  EXPECT_TRUE(acc.ledger().back().refund);
+  EXPECT_DOUBLE_EQ(acc.ledger().back().epsilon, -0.4);
+  EXPECT_EQ(acc.ledger().back().label, "refund:view:a");
+  EXPECT_FALSE(acc.ledger().front().refund);
+}
+
+TEST(BudgetTest, RefundRejectsMoreThanSpent) {
+  BudgetAccountant acc(1.0);
+  ASSERT_TRUE(acc.Spend(0.3, "a").ok());
+  Status s = acc.Refund(0.5, "too-much");
+  EXPECT_EQ(s.code(), StatusCode::kPrivacyError);
+  EXPECT_DOUBLE_EQ(acc.spent(), 0.3);  // failed refund not recorded
+}
+
+TEST(BudgetTest, RefundRejectsNonFiniteOrNonPositive) {
+  BudgetAccountant acc(1.0);
+  ASSERT_TRUE(acc.Spend(0.5, "a").ok());
+  EXPECT_FALSE(acc.Refund(0.0, "zero").ok());
+  EXPECT_FALSE(acc.Refund(-0.1, "negative").ok());
+  EXPECT_FALSE(acc.Refund(std::nan(""), "nan").ok());
+  EXPECT_FALSE(acc.Refund(std::numeric_limits<double>::infinity(), "inf").ok());
+  EXPECT_DOUBLE_EQ(acc.spent(), 0.5);
+}
+
+TEST(BudgetTest, FullRefundComposesAsNeverSpent) {
+  BudgetAccountant acc(1.0);
+  ASSERT_TRUE(acc.Spend(1.0, "view:a").ok());
+  EXPECT_NEAR(acc.remaining(), 0.0, 1e-9);
+  ASSERT_TRUE(acc.Refund(1.0, "refund:view:a").ok());
+  EXPECT_TRUE(acc.Spend(1.0, "view:b").ok());
+}
+
+TEST(BudgetTest, NonFiniteTotalPoisonsAccountant) {
+  for (double bad : {std::nan(""), std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity(), -1.0}) {
+    BudgetAccountant acc(bad);
+    Status s = acc.Spend(0.1, "a");
+    EXPECT_EQ(s.code(), StatusCode::kPrivacyError) << bad;
+    EXPECT_FALSE(acc.Refund(0.1, "b").ok()) << bad;
+    EXPECT_GE(acc.remaining(), 0.0) << bad;
+  }
+}
+
+TEST(BudgetTest, NonFiniteSpendRejected) {
+  BudgetAccountant acc(1.0);
+  EXPECT_FALSE(acc.Spend(std::nan(""), "nan").ok());
+  EXPECT_FALSE(acc.Spend(std::numeric_limits<double>::infinity(), "inf").ok());
+  EXPECT_DOUBLE_EQ(acc.spent(), 0.0);
+  EXPECT_TRUE(acc.ledger().empty());
+}
+
+TEST(BudgetTest, RemainingNeverGoesNegative) {
+  BudgetAccountant acc(0.3);
+  // Three 0.1 spends can drift past 0.3 in floating point; remaining()
+  // must clamp instead of reporting a negative budget.
+  ASSERT_TRUE(acc.Spend(0.1, "a").ok());
+  ASSERT_TRUE(acc.Spend(0.1, "b").ok());
+  ASSERT_TRUE(acc.Spend(0.1, "c").ok());
+  EXPECT_GE(acc.remaining(), 0.0);
 }
 
 }  // namespace

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+
+#include "common/fault_injection.h"
 
 namespace viewrewrite {
 namespace {
@@ -47,6 +50,29 @@ TEST(LaplaceMechanismTest, NoiseConcentratesAroundTruth) {
   EXPECT_NEAR(sum / n, 100.0, 0.05);
   // E[|Lap(b)|] = b = 1.
   EXPECT_NEAR(abs_dev / n, 1.0, 0.05);
+}
+
+TEST(LaplaceMechanismTest, NonFiniteReleaseRejected) {
+  Random rng(3);
+  auto inf = LaplaceMechanism::Release(std::numeric_limits<double>::infinity(),
+                                       1.0, 1.0, &rng);
+  ASSERT_FALSE(inf.ok());
+  EXPECT_EQ(inf.status().code(), StatusCode::kPrivacyError);
+  auto nan = LaplaceMechanism::Release(std::nan(""), 1.0, 1.0, &rng);
+  ASSERT_FALSE(nan.ok());
+  EXPECT_EQ(nan.status().code(), StatusCode::kPrivacyError);
+}
+
+TEST(LaplaceMechanismTest, FaultPointIsInjectable) {
+  Random rng(5);
+  {
+    ScopedFault fault = ScopedFault::OnNth(
+        faults::kDpMechanism, 1, Status::PrivacyError("injected"));
+    auto r = LaplaceMechanism::Release(1.0, 1.0, 1.0, &rng);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().message(), "injected");
+  }
+  EXPECT_TRUE(LaplaceMechanism::Release(1.0, 1.0, 1.0, &rng).ok());
 }
 
 TEST(LaplaceMechanismTest, NoiseShrinksWithEpsilon) {

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "engine/viewrewrite_engine.h"
+#include "testing/test_db.h"
+
+namespace viewrewrite {
+namespace {
+
+/// Per-view publish recovery: a view whose synopsis fails is marked
+/// failed, its budget slice is refunded, the surviving views still
+/// publish, and only the queries bound to the failed view are
+/// quarantined.
+class PublishRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = testing_support::MakeTestDatabase(8, 40); }
+  void TearDown() override { FaultInjection::Instance().DisableAll(); }
+
+  /// Two views: queries 0 and 2 share the orders view, query 1 uses the
+  /// customer view. Registration order makes the orders view publish
+  /// first.
+  static std::vector<std::string> TwoViewWorkload() {
+    return {
+        "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice >= 64",
+        "SELECT COUNT(*) FROM customer c WHERE c.c_nation = 1",
+        "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice < 32",
+    };
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(PublishRecoveryTest, FailedViewIsRefundedAndOthersSurvive) {
+  ScopedFault fault = ScopedFault::OnNth(
+      faults::kViewPublish, 1, Status::PrivacyError("injected publish fault"));
+  EngineOptions opts;
+  opts.epsilon = 8.0;
+  ViewRewriteEngine engine(*db_, PrivacyPolicy{"customer"}, opts);
+  Status st = engine.Prepare(TwoViewWorkload());
+  ASSERT_TRUE(st.ok()) << st;
+
+  ASSERT_EQ(engine.NumViews(), 2u);
+  EXPECT_EQ(engine.views().failed_views().size(), 1u);
+  EXPECT_EQ(engine.views().NumPublished(), 1u);
+  EXPECT_EQ(engine.report().num_views_failed, 1u);
+  EXPECT_EQ(engine.report().num_quarantined, 2u);
+
+  // Queries bound to the failed (orders) view carry its recorded status.
+  EXPECT_EQ(engine.NoisyAnswer(0).status().message(),
+            "injected publish fault");
+  EXPECT_EQ(engine.NoisyAnswer(2).status().code(), StatusCode::kPrivacyError);
+  // The customer view survived and answers with finite noise.
+  auto err = engine.RelativeError(1);
+  ASSERT_TRUE(err.ok()) << err.status();
+  EXPECT_TRUE(std::isfinite(*err));
+
+  // Budget: the failed view's uniform slice (epsilon/2) was refunded, so
+  // only the surviving view's slice stays spent.
+  const BudgetAccountant* acc = engine.views().accountant();
+  ASSERT_NE(acc, nullptr);
+  EXPECT_NEAR(acc->spent(), 4.0, 1e-9);
+  EXPECT_LE(acc->spent(), acc->total());
+  bool saw_refund = false;
+  for (const auto& entry : acc->ledger()) {
+    if (entry.refund) {
+      saw_refund = true;
+      EXPECT_NEAR(entry.epsilon, -4.0, 1e-9);
+      EXPECT_NE(entry.label.find("refund:synopsis:"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_refund);
+}
+
+TEST_F(PublishRecoveryTest, StrictModePropagatesPublishFailure) {
+  ScopedFault fault = ScopedFault::OnNth(
+      faults::kViewPublish, 1, Status::PrivacyError("injected publish fault"));
+  EngineOptions opts;
+  opts.strict = true;
+  ViewRewriteEngine engine(*db_, PrivacyPolicy{"customer"}, opts);
+  Status st = engine.Prepare(TwoViewWorkload());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "injected publish fault");
+}
+
+TEST_F(PublishRecoveryTest, MechanismFaultInsideBuildIsRecoveredPerView) {
+  // The first mechanism invocation happens inside the first view's
+  // synopsis pipeline; the failure must stay contained to that view.
+  ScopedFault fault = ScopedFault::OnNth(
+      faults::kDpMechanism, 1, Status::PrivacyError("injected noise failure"));
+  ViewRewriteEngine engine(*db_, PrivacyPolicy{"customer"});
+  Status st = engine.Prepare(TwoViewWorkload());
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(engine.views().failed_views().size(), 1u);
+  EXPECT_EQ(engine.views().NumPublished(), 1u);
+  EXPECT_FALSE(engine.NoisyAnswer(0).ok());
+  EXPECT_TRUE(engine.NoisyAnswer(1).ok());
+  const BudgetAccountant* acc = engine.views().accountant();
+  ASSERT_NE(acc, nullptr);
+  EXPECT_LE(acc->spent(), acc->total());
+  EXPECT_NEAR(acc->spent(), 4.0, 1e-9);
+}
+
+TEST_F(PublishRecoveryTest, ParseAndPublishFaultsComposeInDegradedMode) {
+  // The acceptance scenario: a parse failure on query k plus a publish
+  // failure on one view. Unaffected queries answer with finite noise,
+  // quarantined indices return their recorded status, and the ledger
+  // refunds the failed view's slice.
+  ScopedFault parse_fault = ScopedFault::OnNth(
+      faults::kParse, 2, Status::ParseError("injected parse fault"));
+  ScopedFault publish_fault = ScopedFault::OnNth(
+      faults::kViewPublish, 1, Status::PrivacyError("injected publish fault"));
+
+  std::vector<std::string> workload = {
+      "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice >= 64",   // view A
+      "SELECT COUNT(*) FROM customer c WHERE c.c_nation = 1",       // parse-faulted
+      "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice < 32",    // view A
+      "SELECT COUNT(*) FROM customer c WHERE c.c_acctbal >= 32",    // view B
+  };
+  EngineOptions opts;
+  opts.epsilon = 8.0;
+  ViewRewriteEngine engine(*db_, PrivacyPolicy{"customer"}, opts);
+  Status st = engine.Prepare(workload);
+  ASSERT_TRUE(st.ok()) << st;
+
+  const PrepareReport& report = engine.report();
+  EXPECT_EQ(report.query_status[1].code(), StatusCode::kParseError);
+  // Queries 0 and 2 are bound to view A, which the publish fault killed.
+  EXPECT_EQ(report.query_status[0].code(), StatusCode::kPrivacyError);
+  EXPECT_EQ(report.query_status[2].code(), StatusCode::kPrivacyError);
+  EXPECT_EQ(report.num_quarantined, 3u);
+  EXPECT_EQ(report.num_prepared, 1u);
+
+  auto err = engine.RelativeError(3);
+  ASSERT_TRUE(err.ok()) << err.status();
+  EXPECT_TRUE(std::isfinite(*err));
+
+  const BudgetAccountant* acc = engine.views().accountant();
+  ASSERT_NE(acc, nullptr);
+  EXPECT_LE(acc->spent(), acc->total());
+  EXPECT_NEAR(acc->spent(), 4.0, 1e-9);
+  bool saw_refund = false;
+  for (const auto& entry : acc->ledger()) saw_refund |= entry.refund;
+  EXPECT_TRUE(saw_refund);
+}
+
+}  // namespace
+}  // namespace viewrewrite

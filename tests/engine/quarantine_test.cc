@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "engine/private_sql_engine.h"
+#include "engine/viewrewrite_engine.h"
+#include "testing/test_db.h"
+
+namespace viewrewrite {
+namespace {
+
+/// Degraded-mode preparation: failing workload queries are quarantined
+/// with their recorded status while the healthy remainder of the batch is
+/// still rewritten, published, and answered.
+class QuarantineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = testing_support::MakeTestDatabase(8, 40); }
+  void TearDown() override { FaultInjection::Instance().DisableAll(); }
+
+  static std::vector<std::string> HealthyWorkload() {
+    return {
+        "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice >= 64",
+        "SELECT COUNT(*) FROM customer c WHERE c.c_nation = 1",
+        "SELECT COUNT(*) FROM orders o WHERE o.o_status = 'f'",
+    };
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(QuarantineTest, BadSqlIsQuarantinedHealthyQueriesAnswer) {
+  auto workload = HealthyWorkload();
+  workload.insert(workload.begin() + 1, "SELEC COUNT(* FROM nonsense");
+  workload.push_back("SELECT COUNT(*) FROM no_such_table t");
+
+  ViewRewriteEngine engine(*db_, PrivacyPolicy{"customer"});
+  Status st = engine.Prepare(workload);
+  ASSERT_TRUE(st.ok()) << st;
+
+  const PrepareReport& report = engine.report();
+  ASSERT_EQ(report.query_status.size(), workload.size());
+  EXPECT_EQ(report.num_quarantined, 2u);
+  EXPECT_EQ(report.num_prepared, workload.size() - 2);
+  EXPECT_FALSE(report.AllHealthy());
+  EXPECT_EQ(report.query_status[1].code(), StatusCode::kParseError);
+  EXPECT_FALSE(report.query_status[4].ok());
+
+  for (size_t i : {size_t{0}, size_t{2}, size_t{3}}) {
+    ASSERT_TRUE(report.query_status[i].ok()) << i;
+    auto err = engine.RelativeError(i);
+    ASSERT_TRUE(err.ok()) << i << ": " << err.status();
+    EXPECT_TRUE(std::isfinite(*err)) << i;
+  }
+  // Quarantined indices return the recorded status from every accessor.
+  EXPECT_EQ(engine.NoisyAnswer(1).status().code(), StatusCode::kParseError);
+  EXPECT_EQ(engine.TrueAnswer(1).status().code(), StatusCode::kParseError);
+  EXPECT_EQ(engine.RelativeError(1).status().code(), StatusCode::kParseError);
+  EXPECT_FALSE(engine.NoisyAnswer(4).ok());
+  // Index alignment is preserved despite the quarantine.
+  EXPECT_EQ(engine.NumQueries(), workload.size());
+}
+
+TEST_F(QuarantineTest, StrictModePreservesFailFast) {
+  auto workload = HealthyWorkload();
+  workload.insert(workload.begin() + 1, "SELEC COUNT(* FROM nonsense");
+  EngineOptions opts;
+  opts.strict = true;
+  ViewRewriteEngine engine(*db_, PrivacyPolicy{"customer"}, opts);
+  Status st = engine.Prepare(workload);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST_F(QuarantineTest, InjectedParseFaultQuarantinesNthQuery) {
+  ScopedFault fault = ScopedFault::OnNth(
+      faults::kParse, 2, Status::ParseError("injected parse fault"));
+  ViewRewriteEngine engine(*db_, PrivacyPolicy{"customer"});
+  Status st = engine.Prepare(HealthyWorkload());
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(engine.report().num_quarantined, 1u);
+  EXPECT_EQ(engine.NoisyAnswer(1).status().message(), "injected parse fault");
+  EXPECT_TRUE(engine.NoisyAnswer(0).ok());
+  EXPECT_TRUE(engine.NoisyAnswer(2).ok());
+}
+
+TEST_F(QuarantineTest, InjectedRewriteFaultQuarantinesNthQuery) {
+  ScopedFault fault = ScopedFault::OnNth(
+      faults::kRewrite, 3, Status::RewriteError("injected rewrite fault"));
+  ViewRewriteEngine engine(*db_, PrivacyPolicy{"customer"});
+  Status st = engine.Prepare(HealthyWorkload());
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(engine.report().num_quarantined, 1u);
+  EXPECT_EQ(engine.NoisyAnswer(2).status().code(), StatusCode::kRewriteError);
+  EXPECT_TRUE(engine.NoisyAnswer(0).ok());
+  EXPECT_TRUE(engine.NoisyAnswer(1).ok());
+}
+
+TEST_F(QuarantineTest, InjectedRegisterFaultQuarantinesQuery) {
+  ScopedFault fault = ScopedFault::OnNth(faults::kViewRegister, 1);
+  ViewRewriteEngine engine(*db_, PrivacyPolicy{"customer"});
+  Status st = engine.Prepare(HealthyWorkload());
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(engine.report().num_quarantined, 1u);
+  EXPECT_FALSE(engine.NoisyAnswer(0).ok());
+  EXPECT_TRUE(engine.NoisyAnswer(1).ok());
+  EXPECT_TRUE(engine.NoisyAnswer(2).ok());
+}
+
+TEST_F(QuarantineTest, PrivateSqlEngineSharesTheContract) {
+  auto workload = HealthyWorkload();
+  workload.insert(workload.begin() + 1, "SELEC COUNT(* FROM nonsense");
+  PrivateSqlEngine engine(*db_, PrivacyPolicy{"customer"});
+  Status st = engine.Prepare(workload);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(engine.report().num_quarantined, 1u);
+  EXPECT_EQ(engine.NoisyAnswer(1).status().code(), StatusCode::kParseError);
+  for (size_t i : {size_t{0}, size_t{2}, size_t{3}}) {
+    auto err = engine.RelativeError(i);
+    ASSERT_TRUE(err.ok()) << i << ": " << err.status();
+    EXPECT_TRUE(std::isfinite(*err)) << i;
+  }
+}
+
+TEST_F(QuarantineTest, AllQueriesFailingIsAnError) {
+  std::vector<std::string> workload = {"not sql at all", "SELEC"};
+  ViewRewriteEngine engine(*db_, PrivacyPolicy{"customer"});
+  Status st = engine.Prepare(workload);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+  EXPECT_EQ(engine.report().num_prepared, 0u);
+  EXPECT_EQ(engine.report().num_quarantined, 2u);
+}
+
+TEST_F(QuarantineTest, EmptyWorkloadIsOkInDegradedMode) {
+  ViewRewriteEngine engine(*db_, PrivacyPolicy{"customer"});
+  EXPECT_TRUE(engine.Prepare({}).ok());
+  EXPECT_EQ(engine.NumQueries(), 0u);
+  EXPECT_FALSE(engine.NoisyAnswer(0).ok());  // out of range, not a crash
+}
+
+}  // namespace
+}  // namespace viewrewrite
