@@ -1,0 +1,163 @@
+// Serving-layer throughput: queries/sec answered by a QueryServer over a
+// save/load round-tripped synopsis bundle, swept across worker-thread
+// counts (1/2/4/8) with the answer cache on and off. Emits BENCH_serve.json
+// alongside the human-readable table.
+//
+// Each row's `speedup` is its qps relative to the single-thread run in the
+// same cache mode, so the thread axis is read per mode: cache-off rows
+// exercise the full parse -> rewrite -> match -> cell-scan pipeline and
+// scale with physical cores (`hardware_threads` is recorded so a flat
+// curve on a small machine is self-explanatory), while cache-on rows
+// measure the sharded LRU plus submission/answer overlap. The top-level
+// `cache_speedup` (single-thread cache-on vs cache-off) is the headline
+// serving-layer gain and is core-count independent.
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "serve/query_server.h"
+#include "serve/synopsis_store.h"
+
+int main() {
+  using namespace viewrewrite;
+  using namespace viewrewrite::bench;
+
+  constexpr uint64_t kSeed = 20250805;
+  TpchConfig config;
+  auto db = GenerateTpch(config);
+
+  const size_t n_queries = FullMode() ? 600 : 150;
+  auto sql = WorkloadSql(/*w=*/1, config.scale, kSeed, n_queries);
+
+  EngineOptions opts;
+  opts.strict = true;
+  opts.epsilon = 8.0;
+  opts.seed = kSeed;
+  ViewRewriteEngine engine(*db, PrivacyPolicy{"orders"}, opts);
+  {
+    Status st = engine.Prepare(sql);
+    if (!st.ok()) {
+      std::fprintf(stderr, "Prepare failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Serve from a bundle that went through disk, as a real server would.
+  const std::string path = "BENCH_serve_bundle.vrsy";
+  std::shared_ptr<const SynopsisStore> store;
+  {
+    auto snapshot = SynopsisStore::FromManager(engine.views(), db->schema());
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "snapshot failed: %s\n",
+                   snapshot.status().ToString().c_str());
+      return 1;
+    }
+    if (Status st = snapshot->Save(path); !st.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto loaded = SynopsisStore::Load(path, db->schema());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    store = std::make_shared<SynopsisStore>(std::move(*loaded));
+  }
+
+  const size_t submissions = FullMode() ? 20000 : 4000;
+  std::printf("=== serve throughput: %zu submissions over %zu distinct "
+              "queries, bundle of %zu views ===\n",
+              submissions, sql.size(), store->NumViews());
+  std::printf("%-8s %-8s | %-12s %-10s\n", "threads", "cache", "qps",
+              "speedup");
+
+  struct Row {
+    size_t threads;
+    bool cache;
+    double qps;
+    double speedup;
+    uint64_t cache_hits;
+    uint64_t cache_misses;
+  };
+  std::vector<Row> rows;
+  double baseline_qps[2] = {0, 0};  // [cache_on] -> single-thread qps
+
+  for (bool cache_on : {false, true}) {
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      ServeOptions options;
+      options.num_threads = threads;
+      options.queue_capacity = submissions;
+      options.enable_cache = cache_on;
+      QueryServer server(store, db->schema(), options);
+
+      std::vector<std::future<Result<double>>> futures;
+      futures.reserve(submissions);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < submissions; ++i) {
+        futures.push_back(server.Submit(sql[i % sql.size()]));
+      }
+      size_t failed = 0;
+      for (auto& f : futures) {
+        if (!f.get().ok()) ++failed;
+      }
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      server.Shutdown();
+      if (failed > 0) {
+        std::fprintf(stderr, "%zu submissions failed\n", failed);
+        return 1;
+      }
+
+      Row row;
+      row.threads = threads;
+      row.cache = cache_on;
+      row.qps = static_cast<double>(submissions) / elapsed;
+      if (threads == 1) baseline_qps[cache_on] = row.qps;
+      row.speedup = row.qps / baseline_qps[cache_on];
+      ServeStats stats = server.stats();
+      row.cache_hits = stats.cache_hits;
+      row.cache_misses = stats.cache_misses;
+      rows.push_back(row);
+
+      std::printf("%-8zu %-8s | %-12.0f %-10.2f\n", threads,
+                  cache_on ? "on" : "off", row.qps, row.speedup);
+    }
+  }
+
+  FILE* json = std::fopen("BENCH_serve.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  const double cache_speedup =
+      baseline_qps[0] > 0 ? baseline_qps[1] / baseline_qps[0] : 0.0;
+  std::fprintf(json,
+               "{\n  \"submissions\": %zu,\n  \"distinct_queries\": %zu,"
+               "\n  \"views\": %zu,\n  \"hardware_threads\": %u,"
+               "\n  \"cache_speedup\": %.3f,\n  \"runs\": [\n",
+               submissions, sql.size(), store->NumViews(),
+               std::thread::hardware_concurrency(), cache_speedup);
+  std::printf("cache speedup (1-thread on vs off): %.2fx\n", cache_speedup);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(json,
+                 "    {\"threads\": %zu, \"cache\": %s, \"qps\": %.1f, "
+                 "\"speedup\": %.3f, \"cache_hits\": %llu, "
+                 "\"cache_misses\": %llu}%s\n",
+                 r.threads, r.cache ? "true" : "false", r.qps, r.speedup,
+                 static_cast<unsigned long long>(r.cache_hits),
+                 static_cast<unsigned long long>(r.cache_misses),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_serve.json\n");
+  return 0;
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus a sanitizer pass over the robustness test suite.
 #
-#   ci/check.sh            # full tier-1 build + tests, then ASan/UBSan pass
+#   ci/check.sh            # tier-1 build + tests, then ASan/UBSan + TSan passes
 #   SKIP_SANITIZE=1 ci/check.sh   # tier-1 only (e.g. toolchains without ASan)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,5 +27,14 @@ cmake --build build-asan -j "$(nproc)" --target \
 echo "== asan+ubsan: ctest (robustness suite) =="
 (cd build-asan && ctest --output-on-failure -j "$(nproc)" \
   -R 'FaultInjection|Quarantine|PublishRecovery|Budget|LaplaceMechanism')
+
+echo "== tsan: configure + build concurrent-serve smoke =="
+cmake -B build-tsan -S . -DVIEWREWRITE_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$(nproc)" --target \
+  query_server_test answer_cache_test
+
+echo "== tsan: ctest (concurrent serving layer) =="
+(cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
+  -R 'QueryServer|AnswerCache')
 
 echo "== all checks passed =="

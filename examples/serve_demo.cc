@@ -1,0 +1,119 @@
+// Serving demo: the full publish-once / serve-forever lifecycle.
+//
+//   1. Offline: prepare a workload under DP (spends the privacy budget),
+//      snapshot the published synopses into a SynopsisStore, save it.
+//   2. Online: reload the bundle from disk — no database access, no
+//      budget — start a concurrent QueryServer over it, and answer
+//      queries (including ones not in the original workload, as long as
+//      a published view covers their structure).
+//
+//   $ ./build/examples/serve_demo [bundle_path] [num_threads]
+//
+// Default bundle path: serve_demo_bundle.vrsy (left on disk so a second
+// run demonstrates pure reload-and-serve without re-publishing).
+
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "datagen/tpch.h"
+#include "engine/viewrewrite_engine.h"
+#include "serve/query_server.h"
+#include "serve/synopsis_store.h"
+
+int main(int argc, char** argv) {
+  using namespace viewrewrite;
+
+  const std::string bundle_path =
+      argc > 1 ? argv[1] : "serve_demo_bundle.vrsy";
+  const size_t num_threads =
+      argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 4;
+
+  TpchConfig config;
+  config.scale = 1;
+  config.seed = 7;
+  std::unique_ptr<Database> db = GenerateTpch(config);
+  PrivacyPolicy policy{"orders"};
+
+  // ---- Offline phase: publish and persist (skipped when a bundle already
+  // exists — the second run of this demo serves without touching data).
+  if (!SynopsisStore::Load(bundle_path, db->schema()).ok()) {
+    std::vector<std::string> workload = {
+        "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice >= 32768",
+        "SELECT COUNT(*) FROM orders o WHERE o.o_orderstatus = 'f'",
+        "SELECT SUM(o_totalprice) FROM orders o WHERE o.o_totalprice < 32768",
+        "SELECT COUNT(*) FROM customer c, orders o WHERE c.c_custkey = "
+        "o.o_custkey AND c.c_mktsegment = 2",
+    };
+    EngineOptions options;
+    options.epsilon = 8.0;
+    options.seed = 42;
+    ViewRewriteEngine engine(*db, policy, options);
+    Status st = engine.Prepare(workload);
+    if (!st.ok()) {
+      std::fprintf(stderr, "Prepare failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::cout << "prepare: " << engine.report() << "\n";
+    std::cout << "stats:   " << engine.stats() << "\n";
+
+    auto store = SynopsisStore::FromManager(engine.views(), db->schema());
+    if (!store.ok()) {
+      std::fprintf(stderr, "snapshot failed: %s\n",
+                   store.status().ToString().c_str());
+      return 1;
+    }
+    if (Status save = store->Save(bundle_path); !save.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", save.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved %zu views (eps spent %.3f of %.3f) to %s\n\n",
+                store->NumViews(), store->ledger().spent_epsilon,
+                store->ledger().total_epsilon, bundle_path.c_str());
+  }
+
+  // ---- Online phase: reload and serve concurrently.
+  auto loaded = SynopsisStore::Load(bundle_path, db->schema());
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  auto store = std::make_shared<SynopsisStore>(std::move(*loaded));
+  std::printf("loaded %zu views from %s\n", store->NumViews(),
+              bundle_path.c_str());
+
+  ServeOptions serve_options;
+  serve_options.num_threads = num_threads;
+  QueryServer server(store, db->schema(), serve_options);
+
+  // A mix of workload queries and fresh variants the views still cover;
+  // the last one has a structure no view matches and is refused cleanly.
+  std::vector<std::string> queries = {
+      "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice >= 32768",
+      "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice >= 16384",
+      "SELECT SUM(o_totalprice) FROM orders o WHERE o.o_totalprice < 16384",
+      "SELECT COUNT(*) FROM orders o WHERE o.o_orderstatus = 'f' AND "
+      "o.o_totalprice >= 32768",
+      "SELECT COUNT(*) FROM lineitem l WHERE l.l_quantity >= 25",
+  };
+  std::vector<std::future<Result<double>>> futures;
+  for (const std::string& sql : queries) {
+    futures.push_back(server.Submit(sql));
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Result<double> answer = futures[i].get();
+    if (answer.ok()) {
+      std::printf("  %-100.100s -> %.2f\n", queries[i].c_str(), *answer);
+    } else {
+      std::printf("  %-100.100s -> refused: %s\n", queries[i].c_str(),
+                  answer.status().ToString().c_str());
+    }
+  }
+  server.Shutdown();
+  std::cout << "\n" << server.stats() << "\n";
+  return 0;
+}

@@ -148,4 +148,60 @@ std::vector<std::string> Schema::PrivacyRelations(
   return out;
 }
 
+namespace {
+
+void HashMix(uint64_t* h, std::string_view s) {
+  for (unsigned char c : s) {
+    *h ^= c;
+    *h *= 1099511628211ull;  // FNV-1a 64
+  }
+  *h ^= 0xFFu;  // field separator
+  *h *= 1099511628211ull;
+}
+
+void HashMix(uint64_t* h, int64_t v) {
+  HashMix(h, std::to_string(v));
+}
+
+}  // namespace
+
+uint64_t SchemaFingerprint(const Schema& schema) {
+  uint64_t h = 1469598103934665603ull;
+  // TableNames() iterates the sorted map, so the fingerprint is
+  // independent of AddTable order.
+  for (const std::string& name : schema.TableNames()) {
+    const TableSchema* t = schema.FindTable(name);
+    HashMix(&h, "T");
+    HashMix(&h, name);
+    HashMix(&h, t->primary_key());
+    for (const ColumnDef& col : t->columns()) {
+      HashMix(&h, "C");
+      HashMix(&h, col.name);
+      HashMix(&h, DataTypeName(col.type));
+      HashMix(&h, static_cast<int64_t>(col.domain.kind));
+      switch (col.domain.kind) {
+        case ColumnDomain::Kind::kNone:
+          break;
+        case ColumnDomain::Kind::kCategorical:
+          for (const Value& v : col.domain.categories) {
+            HashMix(&h, v.ToString());
+          }
+          break;
+        case ColumnDomain::Kind::kIntBuckets:
+          HashMix(&h, col.domain.lo);
+          HashMix(&h, col.domain.hi);
+          HashMix(&h, col.domain.buckets);
+          break;
+      }
+    }
+    for (const ForeignKey& fk : t->foreign_keys()) {
+      HashMix(&h, "F");
+      HashMix(&h, fk.column);
+      HashMix(&h, fk.ref_table);
+      HashMix(&h, fk.ref_column);
+    }
+  }
+  return h;
+}
+
 }  // namespace viewrewrite

@@ -104,6 +104,13 @@ struct PrivacyPolicy {
   std::string primary_relation;
 };
 
+/// Stable 64-bit fingerprint of the full schema: table names, column
+/// names/types/domains, primary keys, and foreign keys, hashed in
+/// canonical (sorted-table) order. A persisted synopsis bundle records
+/// the fingerprint of the schema it was built against so that loading it
+/// under a drifted schema fails cleanly instead of mis-answering.
+uint64_t SchemaFingerprint(const Schema& schema);
+
 }  // namespace viewrewrite
 
 #endif  // VIEWREWRITE_CATALOG_SCHEMA_H_

@@ -1,0 +1,19 @@
+#ifndef VIEWREWRITE_COMMON_CRC32_H_
+#define VIEWREWRITE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace viewrewrite {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected), the checksum
+/// guarding each section of a persisted synopsis bundle. Software
+/// table-driven implementation; no hardware dependency.
+uint32_t Crc32(const void* data, size_t size);
+
+inline uint32_t Crc32(std::string_view s) { return Crc32(s.data(), s.size()); }
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_COMMON_CRC32_H_

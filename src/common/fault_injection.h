@@ -22,6 +22,7 @@ inline constexpr const char kViewRegister[] = "view.register";
 inline constexpr const char kViewPublish[] = "view.publish";
 inline constexpr const char kDpMechanism[] = "dp.mechanism";
 inline constexpr const char kStorageCsv[] = "storage.csv";
+inline constexpr const char kServeLoad[] = "serve.load";
 }  // namespace faults
 
 /// Process-wide registry of armed fault points with deterministic

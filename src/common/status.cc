@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "PrivacyError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -21,6 +21,8 @@ enum class StatusCode {
   kRewriteError,
   kPrivacyError,
   kInternal,
+  kCorruption,    // persisted data failed validation (checksum, truncation)
+  kUnavailable,   // transient capacity condition (queue full, shutting down)
 };
 
 /// Returns a human-readable name for `code` ("OK", "ParseError", ...).
@@ -66,6 +68,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

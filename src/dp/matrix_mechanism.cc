@@ -80,6 +80,34 @@ Result<HierarchicalHistogram> HierarchicalHistogram::Publish(
   return h;
 }
 
+Result<HierarchicalHistogram> HierarchicalHistogram::FromParts(
+    int64_t n, int64_t height, std::vector<std::vector<double>> tree) {
+  HierarchicalHistogram h;
+  if (n == 0 && height == 0 && tree.empty()) return h;  // empty release
+  if (n <= 0 || height <= 0 ||
+      tree.size() != static_cast<size_t>(height)) {
+    return Status::Corruption("hierarchical histogram shape mismatch");
+  }
+  const int64_t padded = int64_t{1} << (height - 1);
+  if (n > padded || (height > 1 && n <= padded / 2)) {
+    return Status::Corruption("hierarchical histogram leaf count mismatch");
+  }
+  for (int64_t level = 0; level < height; ++level) {
+    const size_t expect = level + 1 == height
+                              ? static_cast<size_t>(padded)
+                              : (size_t{1} << level);
+    if (tree[static_cast<size_t>(level)].size() != expect) {
+      return Status::Corruption("hierarchical histogram level width mismatch");
+    }
+  }
+  h.n_ = n;
+  h.height_ = height;
+  h.tree_ = std::move(tree);
+  h.leaves_.assign(h.tree_[static_cast<size_t>(height - 1)].begin(),
+                   h.tree_[static_cast<size_t>(height - 1)].begin() + n);
+  return h;
+}
+
 double HierarchicalHistogram::Decompose(int64_t lo, int64_t hi,
                                         int64_t node_lo, int64_t node_hi,
                                         int64_t level, int64_t index) const {

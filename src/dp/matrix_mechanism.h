@@ -52,6 +52,15 @@ class HierarchicalHistogram {
 
   int64_t num_cells() const { return n_; }
 
+  /// Serialization support (serve-layer persistence): the full noisy tree
+  /// and its shape, and reconstruction from persisted parts. FromParts
+  /// validates the shape (level widths, leaf count) so a corrupted bundle
+  /// cannot produce an out-of-bounds tree.
+  int64_t height() const { return height_; }
+  const std::vector<std::vector<double>>& tree() const { return tree_; }
+  static Result<HierarchicalHistogram> FromParts(
+      int64_t n, int64_t height, std::vector<std::vector<double>> tree);
+
  private:
   HierarchicalHistogram() = default;
 

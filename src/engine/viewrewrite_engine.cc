@@ -17,6 +17,30 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
+std::ostream& operator<<(std::ostream& os, const PrepareReport& report) {
+  os << "prepared " << report.num_prepared << "/"
+     << report.query_status.size() << " queries";
+  if (report.AllHealthy()) return os << " (all healthy)";
+  os << ", " << report.num_quarantined << " quarantined, "
+     << report.num_views_failed << " views failed";
+  size_t shown = 0;
+  for (size_t i = 0; i < report.query_status.size() && shown < 3; ++i) {
+    if (report.query_status[i].ok()) continue;
+    os << "\n  query " << i << ": " << report.query_status[i].ToString();
+    ++shown;
+  }
+  return os;
+}
+
+std::ostream& operator<<(std::ostream& os, const EngineStats& stats) {
+  return os << "queries=" << stats.num_queries << " views=" << stats.num_views
+            << " | rewrite=" << stats.rewrite_seconds
+            << "s viewgen=" << stats.view_generation_seconds
+            << "s publish=" << stats.publish_seconds
+            << "s (synopsis total " << stats.SynopsisSeconds()
+            << "s) | answer=" << stats.answer_seconds << "s";
+}
+
 double RelativeErrorMetric(double true_answer, double noisy_answer) {
   return std::fabs(true_answer - noisy_answer) /
          std::max(50.0, std::fabs(true_answer));

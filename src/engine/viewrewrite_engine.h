@@ -2,6 +2,7 @@
 #define VIEWREWRITE_ENGINE_VIEWREWRITE_ENGINE_H_
 
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,10 @@ struct PrepareReport {
   }
 };
 
+/// One-line health summary, plus the first few quarantine reasons when
+/// anything failed (examples and benches print this after Prepare).
+std::ostream& operator<<(std::ostream& os, const PrepareReport& report);
+
 struct EngineStats {
   size_t num_queries = 0;
   size_t num_views = 0;
@@ -59,6 +64,8 @@ struct EngineStats {
     return rewrite_seconds + view_generation_seconds + publish_seconds;
   }
 };
+
+std::ostream& operator<<(std::ostream& os, const EngineStats& stats);
 
 /// The paper's system: rewrite every workload query (Rules 1-20), derive
 /// and merge views, publish one DP synopsis per view, then answer all

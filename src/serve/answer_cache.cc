@@ -1,0 +1,57 @@
+#include "serve/answer_cache.h"
+
+#include <algorithm>
+
+#include "rewrite/canonical.h"
+
+namespace viewrewrite {
+
+AnswerCache::AnswerCache(size_t capacity, size_t shards)
+    : per_shard_capacity_(
+          std::max<size_t>(1, capacity / std::max<size_t>(1, shards))),
+      shards_(std::max<size_t>(1, shards)) {}
+
+AnswerCache::Shard& AnswerCache::ShardFor(const std::string& key) {
+  return shards_[Fnv1a64(key) % shards_.size()];
+}
+
+std::optional<double> AnswerCache::Get(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void AnswerCache::Put(const std::string& key, double value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+  }
+  shard.lru.emplace_front(key, value);
+  shard.index[key] = shard.lru.begin();
+}
+
+size_t AnswerCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace viewrewrite

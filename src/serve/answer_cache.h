@@ -1,0 +1,67 @@
+#ifndef VIEWREWRITE_SERVE_ANSWER_CACHE_H_
+#define VIEWREWRITE_SERVE_ANSWER_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace viewrewrite {
+
+/// Sharded LRU cache of scalar answers, keyed by canonical cache key
+/// (see rewrite/canonical.h). Published answers are deterministic — the
+/// noise was drawn once at publication — so a cached value is exactly
+/// the value a full re-evaluation would produce; caching changes latency,
+/// never results.
+///
+/// Thread safety: fully thread safe. Keys hash to one of `shards`
+/// independent LRU lists, each behind its own mutex, so concurrent
+/// workers rarely contend unless they touch the same shard.
+class AnswerCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across `shards`
+  /// (each shard holds at least one entry). `shards` is clamped to >= 1.
+  AnswerCache(size_t capacity, size_t shards);
+
+  AnswerCache(const AnswerCache&) = delete;
+  AnswerCache& operator=(const AnswerCache&) = delete;
+
+  /// Returns the cached answer and refreshes its recency, or nullopt.
+  /// Counts one hit or one miss.
+  std::optional<double> Get(const std::string& key);
+
+  /// Inserts (or refreshes) `key`, evicting the shard's least recently
+  /// used entry if the shard is at capacity.
+  void Put(const std::string& key, double value);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Current resident entries (sums shard sizes; approximate under
+  /// concurrent mutation).
+  size_t size() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Most recently used at the front.
+    std::list<std::pair<std::string, double>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, double>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_SERVE_ANSWER_CACHE_H_

@@ -1,0 +1,179 @@
+#include "serve/query_server.h"
+
+#include <chrono>
+
+#include "rewrite/canonical.h"
+#include "sql/parser.h"
+
+namespace viewrewrite {
+
+namespace {
+
+std::string RawCacheKey(const std::string& sql, const ParamMap& params) {
+  std::string key = "r|";
+  key += sql;
+  for (const auto& [name, value] : params) {
+    key += "|$";
+    key += name;
+    key += '=';
+    key += value.ToString();
+  }
+  return key;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(std::shared_ptr<const SynopsisStore> store,
+                         const Schema& schema, ServeOptions options)
+    : store_(std::move(store)),
+      schema_(schema),
+      options_(options),
+      rewriter_(schema_, options.rewrite) {
+  if (options_.num_threads == 0) options_.num_threads = 1;
+  if (options_.enable_cache) {
+    cache_ = std::make_unique<AnswerCache>(options_.cache_capacity,
+                                           options_.cache_shards);
+  }
+  workers_.reserve(options_.num_threads);
+  for (size_t i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+void QueryServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already shut down; workers may be joined by the earlier caller.
+    }
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::future<Result<double>> QueryServer::Submit(std::string sql,
+                                                ParamMap params) {
+  Task task;
+  task.sql = std::move(sql);
+  task.params = std::move(params);
+  std::future<Result<double>> future = task.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      task.promise.set_value(
+          Status::Unavailable("query server is shut down"));
+      return future;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      task.promise.set_value(Status::Unavailable(
+          "request queue full (" + std::to_string(options_.queue_capacity) +
+          " pending)"));
+      return future;
+    }
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void QueryServer::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: every accepted Submit holds a
+      // promise that must resolve.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task.promise.set_value(Handle(task.sql, task.params));
+  }
+}
+
+Result<double> QueryServer::Answer(const std::string& sql,
+                                   const ParamMap& params) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return Handle(sql, params);
+}
+
+Result<double> QueryServer::Handle(const std::string& sql,
+                                   const ParamMap& params) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto record = [&](Result<double> out) {
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    answer_nanos_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count(),
+        std::memory_order_relaxed);
+    if (out.ok()) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      if (out.status().code() == StatusCode::kNotFound) {
+        unmatched_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return out;
+  };
+
+  std::string raw_key;
+  if (cache_) {
+    raw_key = RawCacheKey(sql, params);
+    if (std::optional<double> hit = cache_->Get(raw_key)) {
+      return record(*hit);
+    }
+  }
+
+  auto answer_uncached = [&]() -> Result<double> {
+    VR_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelect(sql));
+    VR_ASSIGN_OR_RETURN(RewrittenQuery rq, rewriter_.Rewrite(*stmt));
+
+    std::string canonical_key;
+    if (cache_) {
+      canonical_key = "c|" + CanonicalCacheKey(rq, params);
+      if (std::optional<double> hit = cache_->Get(canonical_key)) {
+        return *hit;
+      }
+    }
+
+    // The engine registers with a null bake predicate; binding with the
+    // same predicate reproduces the register-time signatures.
+    VR_ASSIGN_OR_RETURN(BoundRewrittenQuery bound, store_->Bind(rq, nullptr));
+    VR_ASSIGN_OR_RETURN(double answer, store_->Answer(bound, params));
+
+    if (cache_) {
+      cache_->Put(canonical_key, answer);
+      cache_->Put(raw_key, answer);
+    }
+    return answer;
+  };
+  return record(answer_uncached());
+}
+
+ServeStats QueryServer::stats() const {
+  ServeStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.unmatched = unmatched_.load(std::memory_order_relaxed);
+  if (cache_) {
+    s.cache_hits = cache_->hits();
+    s.cache_misses = cache_->misses();
+    s.cache_entries = cache_->size();
+  }
+  s.answer_seconds =
+      static_cast<double>(answer_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  return s;
+}
+
+}  // namespace viewrewrite

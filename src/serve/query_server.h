@@ -1,0 +1,129 @@
+#ifndef VIEWREWRITE_SERVE_QUERY_SERVER_H_
+#define VIEWREWRITE_SERVE_QUERY_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+#include "rewrite/rewriter.h"
+#include "serve/answer_cache.h"
+#include "serve/serve_stats.h"
+#include "serve/synopsis_store.h"
+
+namespace viewrewrite {
+
+struct ServeOptions {
+  /// Worker threads answering queries concurrently.
+  size_t num_threads = 4;
+  /// Bounded request queue: Submit calls beyond this depth are rejected
+  /// with Unavailable instead of growing memory without bound.
+  size_t queue_capacity = 1024;
+  bool enable_cache = true;
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 8;
+  /// Serve-time rewrite options; must match the options the workload was
+  /// prepared with, or structurally identical queries would map to
+  /// different view signatures.
+  RewriteOptions rewrite;
+};
+
+/// Concurrent query answering over a loaded SynopsisStore: the operational
+/// complement of ViewRewriteEngine. Prepare/Publish runs once, offline,
+/// and spends the privacy budget; a QueryServer then serves any number of
+/// queries from the published (or reloaded) synopses at zero further
+/// privacy cost — answering is deterministic post-processing of the
+/// noisy cells.
+///
+/// Each Submit parses, rewrites (Rules 1-20), binds the rewritten query
+/// against the stored views via the shared matcher, and answers from the
+/// noisy cells on a worker thread. A query whose structure no stored view
+/// covers fails with NotFound — never a crash, and never a budget spend.
+///
+/// ## Threading model
+///
+/// A fixed pool of workers consumes a bounded queue; Submit never blocks
+/// (a full queue rejects with Unavailable). The store and schema are
+/// immutable, shared by all workers without locking (see the Synopsis
+/// thread-safety contract); the answer cache is internally sharded and
+/// locked; stats counters are atomics. Answering draws no randomness, so
+/// workers need no per-thread RNG — determinism is what makes the cache
+/// sound.
+///
+/// ## Cache
+///
+/// Two-level lookup. The raw key (verbatim SQL + parameters) short-cuts
+/// exact resubmissions before any parsing. On a raw miss the query is
+/// parsed and rewritten, and the canonical key (canonical rewritten SQL +
+/// sorted parameters, rewrite/canonical.h) catches queries that differ
+/// textually but rewrite to the same canonical form. Successful answers
+/// populate both keys; failures are never cached.
+class QueryServer {
+ public:
+  QueryServer(std::shared_ptr<const SynopsisStore> store, const Schema& schema,
+              ServeOptions options = {});
+
+  /// Drains and joins (Shutdown).
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Enqueues one query; the future resolves to its noisy answer or a
+  /// typed error. Rejected submissions (queue full, server shut down)
+  /// resolve immediately with Unavailable.
+  std::future<Result<double>> Submit(std::string sql, ParamMap params = {});
+
+  /// Synchronous convenience: answers on the calling thread, bypassing
+  /// the queue (still uses the cache and counts stats).
+  Result<double> Answer(const std::string& sql, const ParamMap& params = {});
+
+  /// Stops accepting work, finishes every queued request, joins workers.
+  /// Idempotent.
+  void Shutdown();
+
+  /// Consistent snapshot of the counters.
+  ServeStats stats() const;
+
+  const SynopsisStore& store() const { return *store_; }
+
+ private:
+  struct Task {
+    std::string sql;
+    ParamMap params;
+    std::promise<Result<double>> promise;
+  };
+
+  void WorkerLoop();
+  Result<double> Handle(const std::string& sql, const ParamMap& params);
+
+  std::shared_ptr<const SynopsisStore> store_;
+  const Schema& schema_;
+  ServeOptions options_;
+  Rewriter rewriter_;
+  std::unique_ptr<AnswerCache> cache_;  // null when disabled
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> unmatched_{0};
+  std::atomic<uint64_t> answer_nanos_{0};
+};
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_SERVE_QUERY_SERVER_H_

@@ -1,0 +1,21 @@
+#include "serve/serve_stats.h"
+
+namespace viewrewrite {
+
+std::ostream& operator<<(std::ostream& os, const ServeStats& s) {
+  os << "serve: submitted=" << s.submitted << " completed=" << s.completed
+     << " failed=" << s.failed << " rejected=" << s.rejected
+     << " unmatched=" << s.unmatched;
+  const uint64_t lookups = s.cache_hits + s.cache_misses;
+  os << " | cache: hits=" << s.cache_hits << " misses=" << s.cache_misses;
+  if (lookups > 0) {
+    os << " (" << (100.0 * static_cast<double>(s.cache_hits) /
+                   static_cast<double>(lookups))
+       << "% hit rate)";
+  }
+  os << " entries=" << s.cache_entries;
+  os << " | answer_seconds=" << s.answer_seconds;
+  return os;
+}
+
+}  // namespace viewrewrite

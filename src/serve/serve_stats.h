@@ -1,0 +1,31 @@
+#ifndef VIEWREWRITE_SERVE_SERVE_STATS_H_
+#define VIEWREWRITE_SERVE_SERVE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+
+namespace viewrewrite {
+
+/// Counters of one QueryServer's lifetime. A consistent snapshot is
+/// returned by QueryServer::stats(); the server maintains the fields as
+/// atomics internally.
+struct ServeStats {
+  uint64_t submitted = 0;      // Submit calls accepted into the queue
+  uint64_t completed = 0;      // answered successfully
+  uint64_t failed = 0;         // finished with a non-OK status
+  uint64_t rejected = 0;       // refused at Submit (queue full / shut down)
+  uint64_t unmatched = 0;      // no stored view could answer (subset of failed)
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  size_t cache_entries = 0;    // resident cache entries at snapshot time
+  /// Total wall time spent answering across workers (sums over threads, so
+  /// it can exceed elapsed time under concurrency).
+  double answer_seconds = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const ServeStats& s);
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_SERVE_SERVE_STATS_H_

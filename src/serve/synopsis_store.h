@@ -1,0 +1,121 @@
+#ifndef VIEWREWRITE_SERVE_SYNOPSIS_STORE_H_
+#define VIEWREWRITE_SERVE_SYNOPSIS_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "view/view_manager.h"
+
+namespace viewrewrite {
+
+/// A self-contained, persistable snapshot of a publication: every view
+/// definition together with its published synopsis, the schema
+/// fingerprint the views were built against, and a summary of the budget
+/// ledger. Once published, the noisy cells are just data — saving and
+/// reloading them consumes no further privacy budget (DP post-processing),
+/// which is the paper's "publish once, serve forever" property made
+/// durable across process restarts.
+///
+/// ## On-disk format (version 1)
+///
+/// All integers little-endian, doubles as IEEE-754 bit patterns (so a
+/// save/load round trip is bit-identical). Layout:
+///
+///   u32 magic "VRSY"  | u16 format version | u16 reserved
+///   repeated sections, each:
+///     u32 section tag | u64 payload length | payload bytes | u32 CRC-32
+///
+/// Section tags: 'H' header (schema fingerprint, view count, ledger
+/// summary), 'V' one view + its synopsis parts, 'E' end marker (empty
+/// payload). Load verifies magic, version, every section CRC, and the
+/// schema fingerprint, and returns a typed Status (Corruption /
+/// Unsupported / InvalidArgument) instead of crashing on any mismatch,
+/// truncation, or trailing garbage.
+///
+/// AST-bearing pieces (the view's FROM template with baked predicates,
+/// SUM measure expressions) are persisted as canonical SQL text and
+/// re-parsed on load; the printer's canonical rendering makes this
+/// round-trip exact.
+///
+/// Thread safety: a SynopsisStore is immutable after construction; all
+/// const members may be called concurrently (see Synopsis's contract).
+class SynopsisStore {
+ public:
+  /// Budget audit summary persisted with the bundle: what the publication
+  /// cost, so a serving process can report provenance without the
+  /// accountant object.
+  struct LedgerSummary {
+    double total_epsilon = 0;
+    double spent_epsilon = 0;
+    uint32_t entries = 0;
+    uint32_t refunds = 0;
+  };
+
+  SynopsisStore(SynopsisStore&&) = default;
+  SynopsisStore& operator=(SynopsisStore&&) = default;
+
+  /// Snapshots a published ViewManager (the export hook): deep-copies
+  /// every view with a published synopsis. Views whose publication failed
+  /// (degraded mode) are skipped — they have nothing to serve.
+  static Result<SynopsisStore> FromManager(const ViewManager& manager,
+                                           const Schema& schema);
+
+  /// Writes the bundle to `path` (atomically: a temp file renamed over
+  /// the target).
+  Status Save(const std::string& path) const;
+
+  /// Reads a bundle back and re-binds it against `schema`, which must
+  /// fingerprint-match the schema the bundle was built under.
+  static Result<SynopsisStore> Load(const std::string& path,
+                                    const Schema& schema);
+
+  size_t NumViews() const { return views_.size(); }
+  uint64_t schema_fingerprint() const { return schema_fingerprint_; }
+  const LedgerSummary& ledger() const { return ledger_; }
+  const std::vector<std::unique_ptr<ViewDef>>& views() const { return views_; }
+
+  /// Synopsis for `signature`, or nullptr.
+  const Synopsis* Find(const std::string& signature) const;
+
+  /// Serve-time matching: analyzes a scalar aggregate with the same
+  /// matcher registration used (view_matcher.h) and binds it to a stored
+  /// view. Fails with NotFound (and no budget spend — there is no budget
+  /// here to spend) when no stored view has the query's structure or the
+  /// view lacks a required attribute/measure.
+  Result<BoundQuery> BindScalar(const SelectStmt& query,
+                                const BakePredicate& bake) const;
+
+  /// Binds a full rewritten query (chain links + combination terms).
+  Result<BoundRewrittenQuery> Bind(const RewrittenQuery& rq,
+                                   const BakePredicate& bake) const;
+
+  /// Answers one bound scalar from the stored noisy cells.
+  Result<double> AnswerScalar(const BoundQuery& q, const ParamMap& params) const;
+
+  /// Answers a bound rewritten query: chain links evaluate first (their
+  /// results bind $var parameters), then the signed combination, exactly
+  /// as ViewManager::Answer does in-process.
+  Result<double> Answer(const BoundRewrittenQuery& q,
+                        const ParamMap& params = {}) const;
+
+ private:
+  SynopsisStore() = default;
+
+  uint64_t schema_fingerprint_ = 0;
+  LedgerSummary ledger_;
+  /// Owned view definitions; synopses_ hold non-owning pointers into
+  /// these, so views_ must never reallocate after construction (it is
+  /// built once and then immutable).
+  std::vector<std::unique_ptr<ViewDef>> views_;
+  std::map<std::string, size_t> view_index_;  // signature -> views_ index
+  std::map<std::string, Synopsis> synopses_;  // signature -> synopsis
+};
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_SERVE_SYNOPSIS_STORE_H_

@@ -363,6 +363,70 @@ const std::vector<double>& Synopsis::ExactCells(
   return it == exact_.end() ? *empty : it->second;
 }
 
+SynopsisParts Synopsis::ToParts() const {
+  SynopsisParts parts;
+  parts.dim_sizes = dim_sizes_;
+  parts.total_cells = total_cells_;
+  parts.noisy = noisy_;
+  parts.exact = exact_;
+  parts.count_noise_scale = count_noise_scale_;
+  parts.stats = stats_;
+  parts.hier_count = hier_count_;
+  return parts;
+}
+
+Result<Synopsis> Synopsis::FromParts(const ViewDef* view,
+                                     SynopsisParts parts) {
+  if (view == nullptr) {
+    return Status::InvalidArgument("synopsis parts need a view to bind to");
+  }
+  // The persisted grid must agree with the view definition it is bound
+  // to: one size per attribute, each the domain's cell count plus the
+  // NULL/other cell, with the flat arrays sized to the grid product.
+  if (parts.dim_sizes.size() != view->attributes().size()) {
+    return Status::Corruption(
+        "synopsis dimension count does not match view '" +
+        view->signature() + "'");
+  }
+  size_t product = 1;
+  for (size_t i = 0; i < parts.dim_sizes.size(); ++i) {
+    const int64_t expect = view->attributes()[i].domain.CellCount() + 1;
+    if (parts.dim_sizes[i] != expect) {
+      return Status::Corruption("synopsis dimension " + std::to_string(i) +
+                                " size mismatch for view '" +
+                                view->signature() + "'");
+    }
+    product *= static_cast<size_t>(parts.dim_sizes[i]);
+  }
+  if (parts.total_cells != product) {
+    return Status::Corruption("synopsis cell total mismatch for view '" +
+                              view->signature() + "'");
+  }
+  if (parts.noisy.count("count") == 0 || parts.exact.count("count") == 0) {
+    return Status::Corruption("synopsis for view '" + view->signature() +
+                              "' is missing its count histogram");
+  }
+  for (const auto* arrays : {&parts.noisy, &parts.exact}) {
+    for (const auto& [key, cells] : *arrays) {
+      if (cells.size() != parts.total_cells) {
+        return Status::Corruption("synopsis array '" + key +
+                                  "' has wrong length for view '" +
+                                  view->signature() + "'");
+      }
+    }
+  }
+  Synopsis s;
+  s.view_ = view;
+  s.dim_sizes_ = std::move(parts.dim_sizes);
+  s.total_cells_ = parts.total_cells;
+  s.noisy_ = std::move(parts.noisy);
+  s.exact_ = std::move(parts.exact);
+  s.count_noise_scale_ = parts.count_noise_scale;
+  s.stats_ = parts.stats;
+  s.hier_count_ = std::move(parts.hier_count);
+  return s;
+}
+
 namespace {
 
 /// Dimension references of a conjunct: resolves each column ref against

@@ -27,10 +27,19 @@ struct SynopsisOptions {
   DomainOptions domain;
 };
 
+struct SynopsisParts;
+
 /// A differentially private synopsis of one view: noisy contingency tables
 /// (one per measure) over the view's attribute grid, published via the
 /// §9 pipeline — materialize, pick truncation threshold τ (DLS + SVT),
 /// truncate per protected key, add matrix-mechanism noise.
+///
+/// Thread safety: once built (or reconstructed), a Synopsis is immutable.
+/// All const members — AnswerScalar, AnswerScalarExact, AnswerGrouped,
+/// stats, ExactCells — only read the published arrays and build local
+/// state, so any number of threads may answer queries from one Synopsis
+/// concurrently with no external locking. The serve layer's QueryServer
+/// relies on this contract.
 class Synopsis {
  public:
   struct BuildStats {
@@ -78,6 +87,16 @@ class Synopsis {
   /// Exact (pre-noise) cell totals, for tests only.
   const std::vector<double>& ExactCells(const std::string& measure_key) const;
 
+  /// Serialization-friendly snapshot of the published state (deep copy,
+  /// no view pointer). The serve layer persists these parts.
+  SynopsisParts ToParts() const;
+
+  /// Rebuilds a synopsis from persisted parts, bound to `view` (which the
+  /// caller owns and must keep alive). Validates that the parts are
+  /// consistent with the view's attribute grid — a corrupted or drifted
+  /// bundle yields a Corruption status, never an out-of-bounds answer.
+  static Result<Synopsis> FromParts(const ViewDef* view, SynopsisParts parts);
+
  private:
   Synopsis() = default;
 
@@ -119,6 +138,19 @@ class Synopsis {
   std::map<std::string, std::vector<double>> exact_;
   double count_noise_scale_ = 0;
   BuildStats stats_;
+};
+
+/// The decomposed state of one published synopsis: everything Save needs
+/// to write and FromParts needs to rebuild answering, minus the ViewDef
+/// binding (persisted separately, re-bound on load).
+struct SynopsisParts {
+  std::vector<int64_t> dim_sizes;
+  size_t total_cells = 1;
+  std::map<std::string, std::vector<double>> noisy;
+  std::map<std::string, std::vector<double>> exact;
+  double count_noise_scale = 0;
+  Synopsis::BuildStats stats;
+  std::optional<HierarchicalHistogram> hier_count;
 };
 
 /// Finds (or synthesizes by FK-path augmentation) an expression that

@@ -46,6 +46,13 @@ int ViewDef::AttributeIndex(const std::string& table,
   return -1;
 }
 
+std::unique_ptr<ViewDef> ViewDef::Clone() const {
+  auto out = std::make_unique<ViewDef>(signature_, from_template_->Clone());
+  for (const ViewAttribute& a : attrs_) out->attrs_.push_back(a);
+  for (const ViewMeasure& m : measures_) out->measures_.push_back(m.Clone());
+  return out;
+}
+
 int ViewDef::MeasureIndex(const std::string& key) const {
   for (size_t i = 0; i < measures_.size(); ++i) {
     if (measures_[i].key == key) return static_cast<int>(i);

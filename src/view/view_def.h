@@ -61,6 +61,9 @@ class ViewDef {
   /// Adds a measure if not already present (by key).
   void AddMeasure(ViewMeasure measure);
 
+  /// Deep copy (the serve layer snapshots views out of a ViewManager).
+  std::unique_ptr<ViewDef> Clone() const;
+
   int AttributeIndex(const std::string& table,
                      const std::string& column) const;
   int MeasureIndex(const std::string& key) const;

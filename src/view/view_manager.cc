@@ -6,34 +6,9 @@
 #include "common/fault_injection.h"
 #include "rewrite/analysis.h"
 #include "sql/printer.h"
+#include "view/view_matcher.h"
 
 namespace viewrewrite {
-
-namespace {
-
-void CollectAggCalls(const Expr* e, std::vector<const FuncCallExpr*>* out) {
-  if (e == nullptr) return;
-  if (e->kind == ExprKind::kFuncCall) {
-    const auto* f = static_cast<const FuncCallExpr*>(e);
-    if (f->IsAggregate()) {
-      out->push_back(f);
-      return;
-    }
-    for (const auto& a : f->args) CollectAggCalls(a.get(), out);
-    return;
-  }
-  if (e->kind == ExprKind::kBinary) {
-    const auto* b = static_cast<const BinaryExpr*>(e);
-    CollectAggCalls(b->left.get(), out);
-    CollectAggCalls(b->right.get(), out);
-    return;
-  }
-  if (e->kind == ExprKind::kUnary) {
-    CollectAggCalls(static_cast<const UnaryExpr*>(e)->operand.get(), out);
-  }
-}
-
-}  // namespace
 
 Result<BoundQuery> ViewManager::RegisterGrouped(const SelectStmt& query,
                                                 const BakePredicate& bake) {
@@ -105,105 +80,68 @@ Result<ResultSet> ViewManager::AnswerGrouped(const BoundQuery& q,
 Result<BoundQuery> ViewManager::RegisterScalar(const SelectStmt& query,
                                                const BakePredicate& bake) {
   VR_FAULT_POINT(faults::kViewRegister);
-  if (query.items.size() != 1 || query.items[0].is_star) {
-    return Status::InvalidArgument(
-        "view registration expects a single-aggregate query, got: " +
-        ToSql(query));
-  }
-  if (!query.group_by.empty() || query.having != nullptr) {
-    return Status::Unsupported(
-        "grouped workload queries go through RegisterGrouped");
-  }
-
-  // Split WHERE into baked (view-defining) and cell (dimension) conjuncts.
-  std::vector<const Expr*> baked;
-  std::vector<const Expr*> cell;
-  for (const Expr* c : CollectConjuncts(query.where.get())) {
-    if (bake && bake(*c)) {
-      baked.push_back(c);
-    } else {
-      cell.push_back(c);
-    }
-  }
-  ExprPtr baked_where = ConjunctionOf(baked);
-
-  // View signature: the canonical FROM rendering plus baked predicates.
-  std::string signature;
-  for (const auto& f : query.from) signature += ToSql(*f) + " , ";
-  if (baked_where) signature += "|B:" + ToSql(*baked_where);
+  // One analysis shared with serve-time matching (view_matcher.h): the
+  // shape says which view answers the query and what it must carry.
+  VR_ASSIGN_OR_RETURN(ScalarQueryShape shape, AnalyzeScalarQuery(query, bake));
 
   ViewDef* view = nullptr;
-  auto it = view_index_.find(signature);
+  auto it = view_index_.find(shape.signature);
   if (it != view_index_.end()) {
     view = views_[it->second].get();
   } else {
     auto tmpl = std::make_unique<SelectStmt>();
     for (const auto& f : query.from) tmpl->from.push_back(f->Clone());
-    tmpl->where = baked_where ? baked_where->Clone() : nullptr;
-    views_.push_back(std::make_unique<ViewDef>(signature, std::move(tmpl)));
-    view_index_[signature] = views_.size() - 1;
+    tmpl->where = shape.baked_where ? shape.baked_where->Clone() : nullptr;
+    views_.push_back(
+        std::make_unique<ViewDef>(shape.signature, std::move(tmpl)));
+    view_index_[shape.signature] = views_.size() - 1;
     view = views_.back().get();
   }
 
-  // Attributes: every column the cell predicates touch.
-  std::vector<const ColumnRefExpr*> refs;
-  for (const Expr* c : cell) CollectColumnRefsShallow(c, &refs);
-  for (const ColumnRefExpr* r : refs) {
-    if (view->AttributeIndex(r->table, r->column) >= 0) continue;
+  // Contribute the attributes the cell predicates need.
+  for (const auto& a : shape.attributes) {
+    if (view->AttributeIndex(a.table, a.column) >= 0) continue;
     VR_ASSIGN_OR_RETURN(
         ColumnDomain domain,
-        DeriveAttributeDomain(view->from_template().from, schema_, r->table,
-                              r->column, options_.domain));
-    view->AddAttribute(ViewAttribute{r->table, r->column, std::move(domain)});
+        DeriveAttributeDomain(view->from_template().from, schema_, a.table,
+                              a.column, options_.domain));
+    view->AddAttribute(ViewAttribute{a.table, a.column, std::move(domain)});
   }
 
-  // Measures from the aggregate item.
-  std::vector<const FuncCallExpr*> aggs;
-  CollectAggCalls(query.items[0].expr.get(), &aggs);
-  if (aggs.empty()) {
-    return Status::InvalidArgument("workload query has no aggregate: " +
-                                   ToSql(query));
-  }
-  for (const FuncCallExpr* agg : aggs) {
-    if (agg->name == "count") continue;  // count histogram always built
-    if (agg->name == "sum" || agg->name == "avg") {
-      const Expr& arg = *agg->args[0];
-      ViewMeasure m;
-      m.kind = ViewMeasure::Kind::kSum;
-      m.expr = arg.Clone();
-      m.key = "sum:" + ToSql(arg);
-      VR_ASSIGN_OR_RETURN(m.value_bound,
-                          ExpressionBound(view->from_template().from, schema_,
-                                          arg, options_.domain));
-      view->AddMeasure(std::move(m));
-      continue;
-    }
-    if (agg->name == "min" || agg->name == "max") {
-      if (agg->args.size() != 1 ||
-          agg->args[0]->kind != ExprKind::kColumnRef) {
-        return Status::Unsupported("MIN/MAX over non-column expressions");
+  // Contribute the measures the aggregate item needs.
+  for (const auto& need : shape.measures) {
+    switch (need.kind) {
+      case ScalarQueryShape::MeasureNeed::Kind::kCount:
+        break;  // count histogram always built
+      case ScalarQueryShape::MeasureNeed::Kind::kSum: {
+        ViewMeasure m;
+        m.kind = ViewMeasure::Kind::kSum;
+        m.expr = need.expr->Clone();
+        m.key = need.key;
+        VR_ASSIGN_OR_RETURN(
+            m.value_bound,
+            ExpressionBound(view->from_template().from, schema_, *need.expr,
+                            options_.domain));
+        view->AddMeasure(std::move(m));
+        break;
       }
-      const auto& col = static_cast<const ColumnRefExpr&>(*agg->args[0]);
-      if (view->AttributeIndex(col.table, col.column) < 0) {
+      case ScalarQueryShape::MeasureNeed::Kind::kExtremum: {
+        if (view->AttributeIndex(need.table, need.column) >= 0) break;
         VR_ASSIGN_OR_RETURN(
             ColumnDomain domain,
             DeriveAttributeDomain(view->from_template().from, schema_,
-                                  col.table, col.column, options_.domain));
+                                  need.table, need.column, options_.domain));
         view->AddAttribute(
-            ViewAttribute{col.table, col.column, std::move(domain)});
+            ViewAttribute{need.table, need.column, std::move(domain)});
+        break;
       }
-      continue;
     }
-    return Status::Unsupported("aggregate '" + agg->name +
-                               "' in workload query");
   }
 
-  ++view_usage_[signature];
+  ++view_usage_[shape.signature];
   BoundQuery bound;
-  bound.view_signature = signature;
-  bound.cell_query = std::make_unique<SelectStmt>();
-  bound.cell_query->items.push_back(query.items[0].Clone());
-  bound.cell_query->where = ConjunctionOf(cell);
+  bound.view_signature = shape.signature;
+  bound.cell_query = MakeCellQuery(query, shape);
   return bound;
 }
 

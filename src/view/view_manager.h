@@ -14,6 +14,7 @@
 #include "exec/executor.h"
 #include "view/synopsis.h"
 #include "view/view_def.h"
+#include "view/view_matcher.h"
 
 namespace viewrewrite {
 
@@ -59,8 +60,9 @@ class ViewManager {
  public:
   /// `bake` decides, per WHERE conjunct, whether the predicate becomes part
   /// of the view definition (baked, evaluated at materialization) instead
-  /// of a cell-level filter. Pass nullptr to bake nothing.
-  using BakePredicate = std::function<bool(const Expr&)>;
+  /// of a cell-level filter. Pass nullptr to bake nothing. (The type lives
+  /// in view_matcher.h so serve-time matching shares it.)
+  using BakePredicate = viewrewrite::BakePredicate;
 
   ViewManager(const Schema& schema, PrivacyPolicy policy,
               SynopsisOptions options = {})
@@ -134,6 +136,12 @@ class ViewManager {
 
   /// Per-view build stats after Publish.
   std::vector<Synopsis::BuildStats> BuildStatsList() const;
+
+  /// Published synopses by view signature — the export hook the serve
+  /// layer snapshots into a persistable SynopsisStore.
+  const std::map<std::string, Synopsis>& synopses() const {
+    return synopses_;
+  }
 
   const BudgetAccountant* accountant() const { return accountant_.get(); }
 

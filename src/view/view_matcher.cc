@@ -1,0 +1,149 @@
+#include "view/view_matcher.h"
+
+#include "rewrite/analysis.h"
+#include "sql/printer.h"
+
+namespace viewrewrite {
+
+namespace {
+
+void CollectAggCalls(const Expr* e, std::vector<const FuncCallExpr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kFuncCall) {
+    const auto* f = static_cast<const FuncCallExpr*>(e);
+    if (f->IsAggregate()) {
+      out->push_back(f);
+      return;
+    }
+    for (const auto& a : f->args) CollectAggCalls(a.get(), out);
+    return;
+  }
+  if (e->kind == ExprKind::kBinary) {
+    const auto* b = static_cast<const BinaryExpr*>(e);
+    CollectAggCalls(b->left.get(), out);
+    CollectAggCalls(b->right.get(), out);
+    return;
+  }
+  if (e->kind == ExprKind::kUnary) {
+    CollectAggCalls(static_cast<const UnaryExpr*>(e)->operand.get(), out);
+  }
+}
+
+}  // namespace
+
+Result<ScalarQueryShape> AnalyzeScalarQuery(const SelectStmt& query,
+                                            const BakePredicate& bake) {
+  if (query.items.size() != 1 || query.items[0].is_star) {
+    return Status::InvalidArgument(
+        "view matching expects a single-aggregate query, got: " +
+        ToSql(query));
+  }
+  if (!query.group_by.empty() || query.having != nullptr) {
+    return Status::Unsupported(
+        "grouped workload queries go through RegisterGrouped");
+  }
+
+  ScalarQueryShape shape;
+
+  // Split WHERE into baked (view-defining) and cell (dimension) conjuncts.
+  std::vector<const Expr*> baked;
+  for (const Expr* c : CollectConjuncts(query.where.get())) {
+    if (bake && bake(*c)) {
+      baked.push_back(c);
+    } else {
+      shape.cell_conjuncts.push_back(c);
+    }
+  }
+  shape.baked_where = ConjunctionOf(baked);
+
+  // View signature: the canonical FROM rendering plus baked predicates.
+  for (const auto& f : query.from) shape.signature += ToSql(*f) + " , ";
+  if (shape.baked_where) {
+    shape.signature += "|B:" + ToSql(*shape.baked_where);
+  }
+
+  // Attributes: every column the cell predicates touch.
+  std::vector<const ColumnRefExpr*> refs;
+  for (const Expr* c : shape.cell_conjuncts) {
+    CollectColumnRefsShallow(c, &refs);
+  }
+  for (const ColumnRefExpr* r : refs) {
+    shape.attributes.push_back({r->table, r->column});
+  }
+
+  // Measures from the aggregate item.
+  std::vector<const FuncCallExpr*> aggs;
+  CollectAggCalls(query.items[0].expr.get(), &aggs);
+  if (aggs.empty()) {
+    return Status::InvalidArgument("workload query has no aggregate: " +
+                                   ToSql(query));
+  }
+  for (const FuncCallExpr* agg : aggs) {
+    ScalarQueryShape::MeasureNeed need;
+    if (agg->name == "count") {
+      need.kind = ScalarQueryShape::MeasureNeed::Kind::kCount;
+    } else if (agg->name == "sum" || agg->name == "avg") {
+      const Expr& arg = *agg->args[0];
+      need.kind = ScalarQueryShape::MeasureNeed::Kind::kSum;
+      need.expr = arg.Clone();
+      need.key = "sum:" + ToSql(arg);
+    } else if (agg->name == "min" || agg->name == "max") {
+      if (agg->args.size() != 1 ||
+          agg->args[0]->kind != ExprKind::kColumnRef) {
+        return Status::Unsupported("MIN/MAX over non-column expressions");
+      }
+      const auto& col = static_cast<const ColumnRefExpr&>(*agg->args[0]);
+      need.kind = ScalarQueryShape::MeasureNeed::Kind::kExtremum;
+      need.table = col.table;
+      need.column = col.column;
+    } else {
+      return Status::Unsupported("aggregate '" + agg->name +
+                                 "' in workload query");
+    }
+    shape.measures.push_back(std::move(need));
+  }
+  return shape;
+}
+
+Status MatchShapeToView(const ScalarQueryShape& shape, const ViewDef& view) {
+  for (const auto& a : shape.attributes) {
+    if (view.AttributeIndex(a.table, a.column) < 0) {
+      const std::string name =
+          a.table.empty() ? a.column : a.table + "." + a.column;
+      return Status::NotFound("view '" + view.signature() +
+                              "' has no attribute '" + name + "'");
+    }
+  }
+  for (const auto& m : shape.measures) {
+    switch (m.kind) {
+      case ScalarQueryShape::MeasureNeed::Kind::kCount:
+        break;  // the count histogram is always published
+      case ScalarQueryShape::MeasureNeed::Kind::kSum:
+        if (view.MeasureIndex(m.key) < 0) {
+          return Status::NotFound("view '" + view.signature() +
+                                  "' has no measure '" + m.key + "'");
+        }
+        break;
+      case ScalarQueryShape::MeasureNeed::Kind::kExtremum:
+        if (view.AttributeIndex(m.table, m.column) < 0) {
+          const std::string name =
+              m.table.empty() ? m.column : m.table + "." + m.column;
+          return Status::NotFound("view '" + view.signature() +
+                                  "' has no dimension '" + name +
+                                  "' for MIN/MAX");
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+SelectStmtPtr MakeCellQuery(const SelectStmt& query,
+                            const ScalarQueryShape& shape) {
+  auto cell = std::make_unique<SelectStmt>();
+  cell->items.push_back(query.items[0].Clone());
+  cell->where = ConjunctionOf(shape.cell_conjuncts);
+  return cell;
+}
+
+}  // namespace viewrewrite

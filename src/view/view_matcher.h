@@ -1,0 +1,84 @@
+#ifndef VIEWREWRITE_VIEW_VIEW_MATCHER_H_
+#define VIEWREWRITE_VIEW_VIEW_MATCHER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "view/view_def.h"
+
+namespace viewrewrite {
+
+/// Decides, per WHERE conjunct, whether the predicate becomes part of the
+/// view definition (baked, evaluated at materialization) instead of a
+/// cell-level filter. Pass nullptr to bake nothing. Shared by register-time
+/// view generation (ViewManager) and serve-time matching (SynopsisStore).
+using BakePredicate = std::function<bool(const Expr&)>;
+
+/// The view-relevant shape of one scalar aggregate query: its view
+/// signature, the split of its WHERE into baked and cell conjuncts, and
+/// the attributes/measures the answering view must carry.
+///
+/// This is the single matcher both sides of the system use. At
+/// registration time the shape says what to *add* to the (possibly new)
+/// view; at serve time it says what a *loaded* view must already have for
+/// the query to be answerable. Keeping one analysis guarantees a query
+/// that registered against a view also matches it after a save/load
+/// round trip.
+struct ScalarQueryShape {
+  /// View identity: canonical FROM rendering plus baked predicates.
+  std::string signature;
+
+  /// Conjunction of baked (view-defining) predicates; null if none.
+  ExprPtr baked_where;
+
+  /// Non-baked conjuncts, evaluated against synopsis cells at answer
+  /// time. Pointers into the analyzed query: the query must outlive the
+  /// shape (both callers analyze and bind in one scope).
+  std::vector<const Expr*> cell_conjuncts;
+
+  /// Columns the cell conjuncts reference; each must be a view attribute.
+  struct AttributeRef {
+    std::string table;
+    std::string column;
+  };
+  std::vector<AttributeRef> attributes;
+
+  /// What the aggregate item needs from the synopsis.
+  struct MeasureNeed {
+    enum class Kind {
+      kCount,     // count histogram (always published)
+      kSum,       // SUM(expr) / AVG(expr) cell totals
+      kExtremum,  // MIN/MAX(col): col must be a view dimension
+    };
+    Kind kind = Kind::kCount;
+    ExprPtr expr;       // kSum: the summed expression
+    std::string key;    // kSum: canonical measure key ("sum:<expr>")
+    std::string table;  // kExtremum: the dimension column
+    std::string column;
+  };
+  std::vector<MeasureNeed> measures;
+};
+
+/// Analyzes one scalar aggregate query (a combination term or chain link)
+/// into its view shape. Fails with a typed Status when the query is not a
+/// single-aggregate scalar (InvalidArgument) or uses an unsupported
+/// aggregate form (Unsupported).
+Result<ScalarQueryShape> AnalyzeScalarQuery(const SelectStmt& query,
+                                            const BakePredicate& bake);
+
+/// Serve-time check that `view` can answer a query of this shape: every
+/// required attribute is a view dimension and every required measure was
+/// published. Returns NotFound naming the first missing piece.
+Status MatchShapeToView(const ScalarQueryShape& shape, const ViewDef& view);
+
+/// Builds the bound cell query for `shape`: the original aggregate item
+/// plus the conjunction of cell-level conjuncts.
+SelectStmtPtr MakeCellQuery(const SelectStmt& query,
+                            const ScalarQueryShape& shape);
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_VIEW_VIEW_MATCHER_H_

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/answer_cache.h"
+
+namespace viewrewrite {
+namespace {
+
+TEST(AnswerCacheTest, GetMissThenHit) {
+  AnswerCache cache(16, 4);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  cache.Put("a", 1.5);
+  auto hit = cache.Get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 1.5);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(AnswerCacheTest, PutRefreshesExistingKey) {
+  AnswerCache cache(16, 1);
+  cache.Put("a", 1.0);
+  cache.Put("a", 2.0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.Get("a"), 2.0);
+}
+
+TEST(AnswerCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard of capacity 2 makes eviction order fully observable.
+  AnswerCache cache(2, 1);
+  cache.Put("a", 1.0);
+  cache.Put("b", 2.0);
+  ASSERT_TRUE(cache.Get("a").has_value());  // refresh "a"; "b" is now LRU
+  cache.Put("c", 3.0);                      // evicts "b"
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(AnswerCacheTest, CapacitySplitsAcrossShardsWithFloorOfOne) {
+  // capacity 1 with 8 shards still holds one entry per shard.
+  AnswerCache cache(1, 8);
+  cache.Put("x", 1.0);
+  EXPECT_TRUE(cache.Get("x").has_value());
+}
+
+TEST(AnswerCacheTest, ConcurrentMixedUseIsSafe) {
+  AnswerCache cache(64, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const std::string key = "k" + std::to_string((t * 31 + i) % 100);
+        if (auto hit = cache.Get(key)) {
+          EXPECT_EQ(*hit, static_cast<double>((t * 31 + i) % 100));
+        }
+        cache.Put(key, static_cast<double>((t * 31 + i) % 100));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cache.hits() + cache.misses(), 8u * 500u);
+  EXPECT_LE(cache.size(), 64u);
+}
+
+}  // namespace
+}  // namespace viewrewrite
