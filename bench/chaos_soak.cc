@@ -1,0 +1,65 @@
+// Chaos soak: many seeded fault schedules through the full
+// publish -> save -> load -> serve run, asserting the resilience-layer
+// invariants on every one (see tests/chaos/chaos_harness.h):
+// no crash, no deadlock, ledger never over-spent, every response
+// baseline-exact, stale, or an allowed typed error.
+//
+//   $ ./build/bench/chaos_soak [num_seeds] [base_seed]
+//
+// Defaults: 32 seeds starting at base seed 1. Exits non-zero on the
+// first invariant violation, printing every violation for that seed.
+// Registered under ctest label "chaos" (excluded from tier-1); CI runs
+// it with a hard wall-clock bound.
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <string>
+
+#include "chaos/chaos_harness.h"
+
+int main(int argc, char** argv) {
+  using namespace viewrewrite;
+
+  const uint64_t num_seeds =
+      argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 32;
+  const uint64_t base_seed =
+      argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 1;
+
+  std::printf("chaos soak: %llu seeds from %llu\n",
+              static_cast<unsigned long long>(num_seeds),
+              static_cast<unsigned long long>(base_seed));
+  std::printf("%-8s %-8s %-7s %-7s %-7s %-7s %-8s %s\n", "seed", "views",
+              "fresh", "stale", "errors", "reload", "publish", "verdict");
+
+  uint64_t failed_seeds = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < num_seeds; ++i) {
+    const uint64_t seed = base_seed + i;
+    chaos::ChaosRunResult run = chaos::RunChaosSeed(seed);
+    std::printf("%-8llu %-8llu %-7llu %-7llu %-7llu %-7s %-8s %s\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(run.published_views),
+                static_cast<unsigned long long>(run.fresh),
+                static_cast<unsigned long long>(run.stale),
+                static_cast<unsigned long long>(run.errors),
+                run.reload_attempted ? "yes" : "no",
+                run.prepare_ok ? "ok" : "degraded",
+                run.ok() ? "pass" : "FAIL");
+    if (!run.ok()) {
+      ++failed_seeds;
+      for (const std::string& violation : run.violations) {
+        std::fprintf(stderr, "  seed %llu violation: %s\n",
+                     static_cast<unsigned long long>(seed),
+                     violation.c_str());
+      }
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("soak finished in %.1fs: %llu/%llu seeds passed\n", elapsed,
+              static_cast<unsigned long long>(num_seeds - failed_seeds),
+              static_cast<unsigned long long>(num_seeds));
+  return failed_seeds == 0 ? 0 : 1;
+}

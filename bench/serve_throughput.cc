@@ -96,7 +96,7 @@ int main() {
       options.enable_cache = cache_on;
       QueryServer server(store, db->schema(), options);
 
-      std::vector<std::future<Result<double>>> futures;
+      std::vector<std::future<Result<ServedAnswer>>> futures;
       futures.reserve(submissions);
       const auto t0 = std::chrono::steady_clock::now();
       for (size_t i = 0; i < submissions; ++i) {

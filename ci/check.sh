@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus a sanitizer pass over the robustness test suite.
+# Tier-1 gate plus sanitizer and chaos passes over the resilience suite.
 #
-#   ci/check.sh            # tier-1 build + tests, then ASan/UBSan + TSan passes
-#   SKIP_SANITIZE=1 ci/check.sh   # tier-1 only (e.g. toolchains without ASan)
+#   ci/check.sh                   # tier-1 build + tests, sanitizers, chaos smoke
+#   SKIP_SANITIZE=1 ci/check.sh   # tier-1 + chaos smoke only
+#   SKIP_CHAOS=1 ci/check.sh      # skip the chaos soak binaries
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Hard wall-clock bound for each chaos soak invocation; a hang is a
+# deadlock, which is exactly what the harness exists to catch.
+CHAOS_TIMEOUT="${CHAOS_TIMEOUT:-600}"
+CHAOS_SEEDS="${CHAOS_SEEDS:-32}"
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
@@ -12,6 +18,11 @@ cmake --build build -j "$(nproc)"
 
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
+  echo "== chaos soak: ${CHAOS_SEEDS} fixed seeds (default build) =="
+  timeout "${CHAOS_TIMEOUT}" ./build/bench/chaos_soak "${CHAOS_SEEDS}" 1
+fi
 
 if [[ "${SKIP_SANITIZE:-0}" == "1" ]]; then
   echo "== sanitizer pass skipped (SKIP_SANITIZE=1) =="
@@ -22,19 +33,31 @@ echo "== asan+ubsan: configure + build robustness suite =="
 cmake -B build-asan -S . -DVIEWREWRITE_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$(nproc)" --target \
   fault_injection_test quarantine_test publish_recovery_test \
-  budget_test mechanism_test
+  budget_test mechanism_test retry_test circuit_breaker_test \
+  durability_test chaos_soak
 
 echo "== asan+ubsan: ctest (robustness suite) =="
 (cd build-asan && ctest --output-on-failure -j "$(nproc)" \
-  -R 'FaultInjection|Quarantine|PublishRecovery|Budget|LaplaceMechanism')
+  -R 'FaultInjection|Quarantine|PublishRecovery|Budget|LaplaceMechanism|Retry|Backoff|CircuitBreaker|Durability')
 
-echo "== tsan: configure + build concurrent-serve smoke =="
+if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
+  echo "== asan+ubsan: chaos soak (reduced seeds) =="
+  timeout "${CHAOS_TIMEOUT}" ./build-asan/bench/chaos_soak 8 1
+fi
+
+echo "== tsan: configure + build concurrent-serve suite =="
 cmake -B build-tsan -S . -DVIEWREWRITE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" --target \
-  query_server_test answer_cache_test
+  query_server_test answer_cache_test shutdown_race_test reload_test \
+  resilience_test deadline_test chaos_soak
 
 echo "== tsan: ctest (concurrent serving layer) =="
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
-  -R 'QueryServer|AnswerCache')
+  -R 'QueryServer|AnswerCache|ShutdownRace|Reload|Resilience|Deadline')
+
+if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
+  echo "== tsan: chaos soak (reduced seeds) =="
+  timeout "${CHAOS_TIMEOUT}" ./build-tsan/bench/chaos_soak 8 1
+fi
 
 echo "== all checks passed =="

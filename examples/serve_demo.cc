@@ -100,14 +100,15 @@ int main(int argc, char** argv) {
       "o.o_totalprice >= 32768",
       "SELECT COUNT(*) FROM lineitem l WHERE l.l_quantity >= 25",
   };
-  std::vector<std::future<Result<double>>> futures;
+  std::vector<std::future<Result<ServedAnswer>>> futures;
   for (const std::string& sql : queries) {
     futures.push_back(server.Submit(sql));
   }
   for (size_t i = 0; i < queries.size(); ++i) {
-    Result<double> answer = futures[i].get();
+    Result<ServedAnswer> answer = futures[i].get();
     if (answer.ok()) {
-      std::printf("  %-100.100s -> %.2f\n", queries[i].c_str(), *answer);
+      std::printf("  %-100.100s -> %.2f%s\n", queries[i].c_str(),
+                  answer->value, answer->stale ? " (stale)" : "");
     } else {
       std::printf("  %-100.100s -> refused: %s\n", queries[i].c_str(),
                   answer.status().ToString().c_str());

@@ -1,0 +1,110 @@
+#include "common/circuit_breaker.h"
+
+namespace viewrewrite {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options, ClockFn clock)
+    : options_(options), clock_(std::move(clock)) {
+  if (options_.half_open_successes == 0) options_.half_open_successes = 1;
+}
+
+std::chrono::steady_clock::time_point CircuitBreaker::Now() const {
+  return clock_ ? clock_() : std::chrono::steady_clock::now();
+}
+
+bool CircuitBreaker::Allow() {
+  if (options_.failure_threshold == 0) return true;  // breaker disabled
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (Now() - opened_at_ >= options_.open_duration) {
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = true;
+        probe_successes_ = 0;
+        return true;  // this caller is the probe
+      }
+      ++rejections_;
+      return false;
+    case State::kHalfOpen:
+      if (probe_in_flight_) {
+        ++rejections_;
+        return false;
+      }
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (options_.failure_threshold == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kHalfOpen:
+      probe_in_flight_ = false;
+      if (++probe_successes_ >= options_.half_open_successes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+      }
+      break;
+    case State::kOpen:
+      // A straggler from before the trip; its success is stale evidence.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (options_.failure_threshold == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        state_ = State::kOpen;
+        opened_at_ = Now();
+        ++trips_;
+      }
+      break;
+    case State::kHalfOpen:
+      // The probe failed: back to a full cooldown.
+      state_ = State::kOpen;
+      opened_at_ = Now();
+      probe_in_flight_ = false;
+      ++trips_;
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+uint64_t CircuitBreaker::rejections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejections_;
+}
+
+const char* CircuitBreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace viewrewrite

@@ -1,0 +1,81 @@
+#ifndef VIEWREWRITE_COMMON_CIRCUIT_BREAKER_H_
+#define VIEWREWRITE_COMMON_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace viewrewrite {
+
+struct CircuitBreakerOptions {
+  /// Consecutive fault-domain failures that trip the breaker open.
+  /// 0 disables the breaker entirely (Allow always returns true).
+  uint32_t failure_threshold = 8;
+  /// How long an open breaker rejects fast before admitting one probe.
+  std::chrono::nanoseconds open_duration = std::chrono::milliseconds(100);
+  /// Consecutive probe successes in half-open required to close again.
+  uint32_t half_open_successes = 1;
+};
+
+/// Per-fault-domain circuit breaker (closed → open → half-open → closed).
+///
+/// When a dependency is failing repeatedly, continuing to hammer it wastes
+/// worker time and deadline budget on attempts that will fail anyway. The
+/// breaker trips after `failure_threshold` consecutive failures; while
+/// open, callers are rejected immediately (cheap, no attempt made). After
+/// `open_duration` it admits exactly one probe (half-open): success closes
+/// the breaker, failure re-opens it for another cooldown.
+///
+/// Only fault-domain failures should be recorded — semantic errors like
+/// NotFound or ParseError say nothing about the dependency's health and
+/// must not trip the breaker (callers filter via IsRetryableStatus).
+///
+/// Thread safe. The clock is injectable so tests can drive the open →
+/// half-open transition deterministically without sleeping.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  using ClockFn = std::function<std::chrono::steady_clock::time_point()>;
+
+  /// A null `clock` uses std::chrono::steady_clock::now.
+  explicit CircuitBreaker(CircuitBreakerOptions options, ClockFn clock = {});
+
+  /// True when a call may proceed. An open breaker past its cooldown
+  /// flips to half-open and admits the caller as the single probe;
+  /// otherwise open and half-open-with-probe-in-flight reject (counted
+  /// in rejections()). Callers admitted while the breaker is tracking
+  /// health must report back via RecordSuccess / RecordFailure.
+  bool Allow();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  /// Closed → open transitions (including half-open probes that failed).
+  uint64_t trips() const;
+  /// Calls rejected fast by Allow().
+  uint64_t rejections() const;
+
+ private:
+  std::chrono::steady_clock::time_point Now() const;
+
+  CircuitBreakerOptions options_;
+  ClockFn clock_;
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  uint32_t consecutive_failures_ = 0;
+  uint32_t probe_successes_ = 0;
+  bool probe_in_flight_ = false;
+  std::chrono::steady_clock::time_point opened_at_{};
+  uint64_t trips_ = 0;
+  uint64_t rejections_ = 0;
+};
+
+const char* CircuitBreakerStateName(CircuitBreaker::State state);
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_COMMON_CIRCUIT_BREAKER_H_

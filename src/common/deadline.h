@@ -1,0 +1,51 @@
+#ifndef VIEWREWRITE_COMMON_DEADLINE_H_
+#define VIEWREWRITE_COMMON_DEADLINE_H_
+
+#include <chrono>
+
+namespace viewrewrite {
+
+/// A point in monotonic time after which work on one request should stop.
+///
+/// A default-constructed Deadline never expires; `After(timeout)` builds
+/// one relative to now. Deadlines are plain values — copy them into a
+/// request and check `expired()` at stage boundaries (parse, rewrite,
+/// match, answer, between retry attempts). Cancellation is cooperative:
+/// a stage runs to its next check, so the granularity of enforcement is
+/// one pipeline stage, never a torn half-answer.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() : at_(Clock::time_point::max()) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `timeout` from now. A zero or negative timeout is already
+  /// expired — useful for deterministic tests of the timeout path.
+  static Deadline After(Clock::duration timeout) {
+    return Deadline(Clock::now() + timeout);
+  }
+
+  static Deadline At(Clock::time_point at) { return Deadline(at); }
+
+  bool infinite() const { return at_ == Clock::time_point::max(); }
+  bool expired() const { return !infinite() && Clock::now() >= at_; }
+
+  /// Time left: zero once expired, Clock::duration::max() when infinite.
+  Clock::duration remaining() const {
+    if (infinite()) return Clock::duration::max();
+    const Clock::time_point now = Clock::now();
+    return now >= at_ ? Clock::duration::zero() : at_ - now;
+  }
+
+ private:
+  explicit Deadline(Clock::time_point at) : at_(at) {}
+
+  Clock::time_point at_;
+};
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_COMMON_DEADLINE_H_

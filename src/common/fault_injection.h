@@ -23,6 +23,16 @@ inline constexpr const char kViewPublish[] = "view.publish";
 inline constexpr const char kDpMechanism[] = "dp.mechanism";
 inline constexpr const char kStorageCsv[] = "storage.csv";
 inline constexpr const char kServeLoad[] = "serve.load";
+inline constexpr const char kServeSave[] = "serve.save";
+inline constexpr const char kServeAnswer[] = "serve.answer";
+inline constexpr const char kServeReload[] = "serve.reload";
+
+/// Every registered point, for sweeps that arm the whole registry (the
+/// chaos harness). Keep in sync with the constants above.
+inline constexpr const char* kAllPoints[] = {
+    kParse,     kRewrite,   kViewRegister, kViewPublish, kDpMechanism,
+    kStorageCsv, kServeLoad, kServeSave,    kServeAnswer, kServeReload,
+};
 }  // namespace faults
 
 /// Process-wide registry of armed fault points with deterministic

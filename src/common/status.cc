@@ -30,6 +30,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Corruption";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kInternal,
   kCorruption,    // persisted data failed validation (checksum, truncation)
   kUnavailable,   // transient capacity condition (queue full, shutting down)
+  kDeadlineExceeded,  // per-request deadline elapsed before the answer
 };
 
 /// Returns a human-readable name for `code` ("OK", "ParseError", ...).
@@ -74,6 +75,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

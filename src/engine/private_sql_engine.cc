@@ -152,6 +152,13 @@ Status PrivateSqlEngine::Prepare(const std::vector<std::string>& workload) {
     }
   }
   stats_.publish_seconds = SecondsSince(t0);
+  if (const BudgetAccountant* budget = views_.accountant()) {
+    stats_.budget_total_epsilon = budget->total();
+    stats_.budget_spent_epsilon = budget->spent();
+    for (const BudgetAccountant::Entry& entry : budget->ledger()) {
+      if (entry.refund) ++stats_.budget_refunds;
+    }
+  }
 
   report_.num_prepared = workload.size() - report_.num_quarantined;
   if (!workload.empty() && report_.num_prepared == 0) {

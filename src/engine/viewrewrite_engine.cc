@@ -38,7 +38,10 @@ std::ostream& operator<<(std::ostream& os, const EngineStats& stats) {
             << "s viewgen=" << stats.view_generation_seconds
             << "s publish=" << stats.publish_seconds
             << "s (synopsis total " << stats.SynopsisSeconds()
-            << "s) | answer=" << stats.answer_seconds << "s";
+            << "s) | answer=" << stats.answer_seconds
+            << "s | budget: spent=" << stats.budget_spent_epsilon << " of "
+            << stats.budget_total_epsilon
+            << " eps, refunds=" << stats.budget_refunds;
 }
 
 double RelativeErrorMetric(double true_answer, double noisy_answer) {
@@ -121,6 +124,13 @@ Status ViewRewriteEngine::Prepare(const std::vector<std::string>& workload) {
     }
   }
   stats_.publish_seconds = SecondsSince(t0);
+  if (const BudgetAccountant* budget = views_.accountant()) {
+    stats_.budget_total_epsilon = budget->total();
+    stats_.budget_spent_epsilon = budget->spent();
+    for (const BudgetAccountant::Entry& entry : budget->ledger()) {
+      if (entry.refund) ++stats_.budget_refunds;
+    }
+  }
 
   report_.num_prepared = workload.size() - report_.num_quarantined;
   if (!workload.empty() && report_.num_prepared == 0) {

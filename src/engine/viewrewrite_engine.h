@@ -58,6 +58,15 @@ struct EngineStats {
   double publish_seconds = 0;
   double answer_seconds = 0;
 
+  /// Budget ledger summary after Publish: the privacy budget the workload
+  /// was prepared under, what publication actually consumed (refunds from
+  /// failed degraded-mode views already netted out), and how many refunds
+  /// the ledger recorded. spent <= total is the core DP invariant the
+  /// chaos harness asserts under injected publish failures.
+  double budget_total_epsilon = 0;
+  double budget_spent_epsilon = 0;
+  size_t budget_refunds = 0;
+
   /// Synopsis generation time in the paper's sense: rewriting + view
   /// generation + view publication.
   double SynopsisSeconds() const {

@@ -15,7 +15,7 @@ AnswerCache::Shard& AnswerCache::ShardFor(const std::string& key) {
   return shards_[Fnv1a64(key) % shards_.size()];
 }
 
-std::optional<double> AnswerCache::Get(const std::string& key) {
+std::optional<AnswerCache::Entry> AnswerCache::Get(const std::string& key) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
@@ -28,12 +28,12 @@ std::optional<double> AnswerCache::Get(const std::string& key) {
   return it->second->second;
 }
 
-void AnswerCache::Put(const std::string& key, double value) {
+void AnswerCache::Put(const std::string& key, double value, uint64_t epoch) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    it->second->second = value;
+    it->second->second = Entry{value, epoch};
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
@@ -41,7 +41,7 @@ void AnswerCache::Put(const std::string& key, double value) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
   }
-  shard.lru.emplace_front(key, value);
+  shard.lru.emplace_front(key, Entry{value, epoch});
   shard.index[key] = shard.lru.begin();
 }
 

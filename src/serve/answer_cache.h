@@ -18,11 +18,23 @@ namespace viewrewrite {
 /// the value a full re-evaluation would produce; caching changes latency,
 /// never results.
 ///
+/// Every entry is tagged with the store **epoch** it was computed under
+/// (QueryServer bumps the epoch on each hot reload). An entry whose epoch
+/// matches the server's current epoch is fresh; an older entry is a
+/// *stale* answer from a previous bundle, kept around as a degradation
+/// fallback: when the live answer path is failing, serving yesterday's
+/// answer flagged stale beats serving an error.
+///
 /// Thread safety: fully thread safe. Keys hash to one of `shards`
 /// independent LRU lists, each behind its own mutex, so concurrent
 /// workers rarely contend unless they touch the same shard.
 class AnswerCache {
  public:
+  struct Entry {
+    double value = 0;
+    uint64_t epoch = 0;
+  };
+
   /// `capacity` is the total entry budget, split evenly across `shards`
   /// (each shard holds at least one entry). `shards` is clamped to >= 1.
   AnswerCache(size_t capacity, size_t shards);
@@ -30,13 +42,13 @@ class AnswerCache {
   AnswerCache(const AnswerCache&) = delete;
   AnswerCache& operator=(const AnswerCache&) = delete;
 
-  /// Returns the cached answer and refreshes its recency, or nullopt.
-  /// Counts one hit or one miss.
-  std::optional<double> Get(const std::string& key);
+  /// Returns the cached entry and refreshes its recency, or nullopt.
+  /// Counts one hit or one miss. Epoch interpretation is the caller's.
+  std::optional<Entry> Get(const std::string& key);
 
-  /// Inserts (or refreshes) `key`, evicting the shard's least recently
-  /// used entry if the shard is at capacity.
-  void Put(const std::string& key, double value);
+  /// Inserts (or refreshes) `key` with the given epoch tag, evicting the
+  /// shard's least recently used entry if the shard is at capacity.
+  void Put(const std::string& key, double value, uint64_t epoch = 0);
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
@@ -48,9 +60,9 @@ class AnswerCache {
   struct Shard {
     mutable std::mutex mu;
     // Most recently used at the front.
-    std::list<std::pair<std::string, double>> lru;
+    std::list<std::pair<std::string, Entry>> lru;
     std::unordered_map<std::string,
-                       std::list<std::pair<std::string, double>>::iterator>
+                       std::list<std::pair<std::string, Entry>>::iterator>
         index;
   };
 

@@ -1,7 +1,9 @@
 #include "serve/query_server.h"
 
-#include <chrono>
+#include <algorithm>
+#include <optional>
 
+#include "common/fault_injection.h"
 #include "rewrite/canonical.h"
 #include "sql/parser.h"
 
@@ -28,7 +30,9 @@ QueryServer::QueryServer(std::shared_ptr<const SynopsisStore> store,
     : store_(std::move(store)),
       schema_(schema),
       options_(options),
-      rewriter_(schema_, options.rewrite) {
+      rewriter_(schema_, options.rewrite),
+      answer_breaker_(options.answer_breaker),
+      store_breaker_(options.store_breaker) {
   if (options_.num_threads == 0) options_.num_threads = 1;
   if (options_.enable_cache) {
     cache_ = std::make_unique<AnswerCache>(options_.cache_capacity,
@@ -45,33 +49,63 @@ QueryServer::~QueryServer() { Shutdown(); }
 void QueryServer::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      // Already shut down; workers may be joined by the earlier caller.
-    }
     stopping_ = true;
   }
   queue_cv_.notify_all();
+  // Serialize the join phase: concurrent Shutdown calls (user thread
+  // racing the destructor, two explicit callers) each wait here until the
+  // workers are down, instead of racing joinable()/join() on the same
+  // std::thread objects.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
 }
 
-std::future<Result<double>> QueryServer::Submit(std::string sql,
-                                                ParamMap params) {
+QueryServer::StoreSnapshot QueryServer::SnapshotStore() const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return {store_, epoch_.load(std::memory_order_acquire)};
+}
+
+std::shared_ptr<const SynopsisStore> QueryServer::store() const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return store_;
+}
+
+Deadline QueryServer::MakeDeadline(std::chrono::nanoseconds timeout) const {
+  if (timeout != std::chrono::nanoseconds(0)) {
+    // A negative timeout is already expired — deterministic timeout-path
+    // testing without sleeping.
+    return Deadline::After(timeout);
+  }
+  if (options_.default_timeout > std::chrono::nanoseconds(0)) {
+    return Deadline::After(options_.default_timeout);
+  }
+  return Deadline::Infinite();
+}
+
+std::future<Result<ServedAnswer>> QueryServer::Submit(std::string sql,
+                                                      ParamMap params) {
+  return Submit(std::move(sql), std::move(params), std::chrono::nanoseconds(0));
+}
+
+std::future<Result<ServedAnswer>> QueryServer::Submit(
+    std::string sql, ParamMap params, std::chrono::nanoseconds timeout) {
   Task task;
   task.sql = std::move(sql);
   task.params = std::move(params);
-  std::future<Result<double>> future = task.promise.get_future();
+  task.deadline = MakeDeadline(timeout);
+  std::future<Result<ServedAnswer>> future = task.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
       task.promise.set_value(
           Status::Unavailable("query server is shut down"));
       return future;
     }
     if (queue_.size() >= options_.queue_capacity) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
       task.promise.set_value(Status::Unavailable(
           "request queue full (" + std::to_string(options_.queue_capacity) +
           " pending)"));
@@ -96,67 +130,233 @@ void QueryServer::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task.promise.set_value(Handle(task.sql, task.params));
+    if (task.deadline.expired()) {
+      // Expired while queued: resolve without touching the answer path,
+      // and the worker simply moves to the next request.
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      task.promise.set_value(
+          Status::DeadlineExceeded("request deadline expired while queued"));
+      continue;
+    }
+    task.promise.set_value(Handle(task.sql, task.params, task.deadline));
   }
 }
 
-Result<double> QueryServer::Answer(const std::string& sql,
-                                   const ParamMap& params) {
+Result<ServedAnswer> QueryServer::Answer(const std::string& sql,
+                                         const ParamMap& params,
+                                         std::chrono::nanoseconds timeout) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  return Handle(sql, params);
+  return Handle(sql, params, MakeDeadline(timeout));
 }
 
-Result<double> QueryServer::Handle(const std::string& sql,
-                                   const ParamMap& params) {
+Result<ServedAnswer> QueryServer::Handle(const std::string& sql,
+                                         const ParamMap& params,
+                                         Deadline deadline) {
   const auto t0 = std::chrono::steady_clock::now();
-  auto record = [&](Result<double> out) {
+  auto record = [&](Result<ServedAnswer> out) {
     const auto dt = std::chrono::steady_clock::now() - t0;
     answer_nanos_.fetch_add(
         std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count(),
         std::memory_order_relaxed);
     if (out.ok()) {
       completed_.fetch_add(1, std::memory_order_relaxed);
+      if (out->stale) {
+        stale_served_.fetch_add(1, std::memory_order_relaxed);
+      } else if (out->attempts > 1) {
+        retry_successes_.fetch_add(1, std::memory_order_relaxed);
+      }
     } else {
       failed_.fetch_add(1, std::memory_order_relaxed);
       if (out.status().code() == StatusCode::kNotFound) {
         unmatched_.fetch_add(1, std::memory_order_relaxed);
+      } else if (out.status().code() == StatusCode::kDeadlineExceeded) {
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
       }
     }
     return out;
   };
 
+  // One snapshot per request: a mid-request Reload never tears a query
+  // across two bundles, and cache writes are tagged with the epoch the
+  // answer was actually computed under.
+  const StoreSnapshot snap = SnapshotStore();
+
+  // A cache entry from an older epoch is never returned as fresh, but it
+  // is remembered: if the live answer path fails, serving the previous
+  // bundle's answer flagged stale beats serving an error.
+  std::optional<double> stale_candidate;
+  auto classify_hit =
+      [&](const AnswerCache::Entry& e) -> std::optional<ServedAnswer> {
+    if (e.epoch == snap.epoch) return ServedAnswer{e.value, false, 0};
+    stale_candidate = e.value;
+    return std::nullopt;
+  };
+
   std::string raw_key;
   if (cache_) {
     raw_key = RawCacheKey(sql, params);
-    if (std::optional<double> hit = cache_->Get(raw_key)) {
-      return record(*hit);
+    if (std::optional<AnswerCache::Entry> hit = cache_->Get(raw_key)) {
+      if (std::optional<ServedAnswer> fresh = classify_hit(*hit)) {
+        return record(*fresh);
+      }
     }
   }
 
-  auto answer_uncached = [&]() -> Result<double> {
+  auto answer_uncached = [&]() -> Result<ServedAnswer> {
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded("request deadline expired before parse");
+    }
     VR_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelect(sql));
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded("request deadline expired after parse");
+    }
     VR_ASSIGN_OR_RETURN(RewrittenQuery rq, rewriter_.Rewrite(*stmt));
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded(
+          "request deadline expired after rewrite");
+    }
 
     std::string canonical_key;
     if (cache_) {
       canonical_key = "c|" + CanonicalCacheKey(rq, params);
-      if (std::optional<double> hit = cache_->Get(canonical_key)) {
-        return *hit;
+      if (std::optional<AnswerCache::Entry> hit = cache_->Get(canonical_key)) {
+        if (std::optional<ServedAnswer> fresh = classify_hit(*hit)) {
+          return *fresh;
+        }
       }
     }
 
-    // The engine registers with a null bake predicate; binding with the
-    // same predicate reproduces the register-time signatures.
-    VR_ASSIGN_OR_RETURN(BoundRewrittenQuery bound, store_->Bind(rq, nullptr));
-    VR_ASSIGN_OR_RETURN(double answer, store_->Answer(bound, params));
+    auto degrade = [&](Status failure) -> Result<ServedAnswer> {
+      if (options_.serve_stale && stale_candidate.has_value()) {
+        return ServedAnswer{*stale_candidate, /*stale=*/true, 0};
+      }
+      return failure;
+    };
 
-    if (cache_) {
-      cache_->Put(canonical_key, answer);
-      cache_->Put(raw_key, answer);
+    // One answer attempt: fault point, bind against the snapshot, answer
+    // from the stored noisy cells. The engine registers with a null bake
+    // predicate; binding with the same predicate reproduces the
+    // register-time signatures.
+    auto attempt_answer = [&]() -> Result<double> {
+      VR_FAULT_POINT(faults::kServeAnswer);
+      VR_ASSIGN_OR_RETURN(BoundRewrittenQuery bound,
+                          snap.store->Bind(rq, nullptr));
+      return snap.store->Answer(bound, params);
+    };
+
+    Backoff backoff(options_.retry, Fnv1a64(sql));
+    const uint32_t max_attempts = std::max(1u, options_.retry.max_attempts);
+    Status last;
+    uint32_t attempts = 0;
+    for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      if (attempt > 1 && deadline.expired()) {
+        return Status::DeadlineExceeded(
+            "request deadline expired after " + std::to_string(attempts) +
+            " answer attempts");
+      }
+      if (!answer_breaker_.Allow()) {
+        return degrade(Status::Unavailable(
+            "answer-path circuit breaker is open; failing fast"));
+      }
+      ++attempts;
+      Result<double> got = attempt_answer();
+      if (got.ok()) {
+        answer_breaker_.RecordSuccess();
+        if (cache_) {
+          cache_->Put(canonical_key, *got, snap.epoch);
+          cache_->Put(raw_key, *got, snap.epoch);
+        }
+        return ServedAnswer{*got, /*stale=*/false, attempts};
+      }
+      last = got.status();
+      if (!IsRetryableStatus(last.code())) {
+        // Semantic failure (unparseable, no matching view, ...): the
+        // answer path itself functioned, so the breaker records health,
+        // and retrying could not change the outcome.
+        answer_breaker_.RecordSuccess();
+        return last;
+      }
+      answer_breaker_.RecordFailure();
+      if (attempt < max_attempts) {
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        std::chrono::nanoseconds delay = backoff.Next();
+        if (!deadline.infinite()) {
+          delay = std::min<std::chrono::nanoseconds>(delay,
+                                                     deadline.remaining());
+        }
+        if (delay > std::chrono::nanoseconds(0)) {
+          std::this_thread::sleep_for(delay);
+        }
+      }
     }
-    return answer;
+    // Transient failure survived every attempt: degrade to a stale answer
+    // when one exists, otherwise surface the last typed error.
+    if (options_.serve_stale && stale_candidate.has_value()) {
+      return ServedAnswer{*stale_candidate, /*stale=*/true, attempts};
+    }
+    return last;
   };
   return record(answer_uncached());
+}
+
+Status QueryServer::Reload(const std::string& path) {
+  auto load_fresh = [&]() -> Result<std::shared_ptr<const SynopsisStore>> {
+    VR_FAULT_POINT(faults::kServeReload);
+    Backoff backoff(options_.retry, Fnv1a64(path));
+    const uint32_t max_attempts = std::max(1u, options_.retry.max_attempts);
+    Status last;
+    for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      if (!store_breaker_.Allow()) {
+        return Status::Unavailable(
+            "store-load circuit breaker is open; reload rejected");
+      }
+      Result<SynopsisStore> loaded = SynopsisStore::Load(path, schema_);
+      if (loaded.ok()) {
+        store_breaker_.RecordSuccess();
+        return std::make_shared<const SynopsisStore>(std::move(*loaded));
+      }
+      last = loaded.status();
+      store_breaker_.RecordFailure();
+      if (!IsRetryableStatus(last.code())) return last;
+      if (attempt < max_attempts) {
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(backoff.Next());
+      }
+    }
+    return last;
+  };
+  Result<std::shared_ptr<const SynopsisStore>> fresh = load_fresh();
+  if (!fresh.ok()) {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    return fresh.status();
+  }
+  return Reload(std::move(fresh).value());
+}
+
+Status QueryServer::Reload(std::shared_ptr<const SynopsisStore> store) {
+  if (store == nullptr) {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument("cannot reload a null store");
+  }
+  const uint64_t expected = SchemaFingerprint(schema_);
+  if (store->schema_fingerprint() != expected) {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::InvalidArgument(
+        "schema drift: replacement bundle was built against a different "
+        "schema (fingerprint " + std::to_string(store->schema_fingerprint()) +
+        ", current schema " + std::to_string(expected) + ")");
+  }
+  {
+    // RCU-style swap: in-flight requests keep their shared_ptr snapshot
+    // and finish against the old epoch; the old store is destroyed when
+    // the last such request drops its reference.
+    std::lock_guard<std::mutex> lock(store_mu_);
+    store_ = std::move(store);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 ServeStats QueryServer::stats() const {
@@ -164,8 +364,21 @@ ServeStats QueryServer::stats() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.rejected_queue_full =
+      rejected_queue_full_.load(std::memory_order_relaxed);
+  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  s.rejected = s.rejected_queue_full + s.rejected_shutdown;
   s.unmatched = unmatched_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.retry_successes = retry_successes_.load(std::memory_order_relaxed);
+  s.breaker_trips = answer_breaker_.trips() + store_breaker_.trips();
+  s.breaker_rejected =
+      answer_breaker_.rejections() + store_breaker_.rejections();
+  s.stale_served = stale_served_.load(std::memory_order_relaxed);
+  s.reloads = reloads_.load(std::memory_order_relaxed);
+  s.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  s.epoch = epoch_.load(std::memory_order_acquire);
   if (cache_) {
     s.cache_hits = cache_->hits();
     s.cache_misses = cache_->misses();

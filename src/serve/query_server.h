@@ -2,6 +2,7 @@
 #define VIEWREWRITE_SERVE_QUERY_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -12,6 +13,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/circuit_breaker.h"
+#include "common/deadline.h"
+#include "common/retry.h"
 #include "exec/executor.h"
 #include "rewrite/rewriter.h"
 #include "serve/answer_cache.h"
@@ -33,6 +37,39 @@ struct ServeOptions {
   /// prepared with, or structurally identical queries would map to
   /// different view signatures.
   RewriteOptions rewrite;
+
+  // ---- Resilience. ---------------------------------------------------------
+
+  /// Deadline applied to every request that does not carry its own
+  /// timeout. Zero means no deadline.
+  std::chrono::nanoseconds default_timeout{0};
+  /// Retry schedule for transient answer-path failures (injected faults,
+  /// Unavailable). Semantic failures (parse, NotFound, ...) never retry.
+  /// The same policy paces store-load retries inside Reload.
+  RetryPolicy retry;
+  /// Circuit breaker over the answer path: trips after consecutive
+  /// transient failures, rejects fast while open, half-opens on a probe.
+  /// failure_threshold = 0 disables it.
+  CircuitBreakerOptions answer_breaker;
+  /// Circuit breaker over bundle loading (Reload).
+  CircuitBreakerOptions store_breaker;
+  /// Graceful degradation: when the answer path fails transiently (or the
+  /// answer breaker is open) and the cache still holds this query's
+  /// answer from a previous epoch, serve it flagged stale instead of
+  /// erroring.
+  bool serve_stale = true;
+};
+
+/// One served answer. `stale` marks a degraded response: the value comes
+/// from a previous epoch's cache because the live answer path was
+/// failing; it is exactly the value that bundle produced, just possibly
+/// outdated relative to the current one. `attempts` counts answer-path
+/// attempts consumed (> 1 means retries happened; 0 means the request
+/// never reached the answer path, e.g. a fresh cache hit).
+struct ServedAnswer {
+  double value = 0;
+  bool stale = false;
+  uint32_t attempts = 0;
 };
 
 /// Concurrent query answering over a loaded SynopsisStore: the operational
@@ -50,12 +87,31 @@ struct ServeOptions {
 /// ## Threading model
 ///
 /// A fixed pool of workers consumes a bounded queue; Submit never blocks
-/// (a full queue rejects with Unavailable). The store and schema are
-/// immutable, shared by all workers without locking (see the Synopsis
+/// (a full queue rejects with Unavailable). The store is an immutable
+/// snapshot shared by all workers via shared_ptr (see the Synopsis
 /// thread-safety contract); the answer cache is internally sharded and
 /// locked; stats counters are atomics. Answering draws no randomness, so
 /// workers need no per-thread RNG — determinism is what makes the cache
 /// sound.
+///
+/// ## Resilience
+///
+/// - **Deadlines**: each request carries a Deadline from Submit through
+///   parse, rewrite, match and answer; expiry at any stage boundary (or
+///   while still queued) resolves the future with DeadlineExceeded. The
+///   worker simply moves on — a timed-out query never poisons its thread.
+/// - **Retries**: transient answer-path failures retry under
+///   `options.retry` with exponential backoff and deterministic seeded
+///   jitter, capped by the request deadline.
+/// - **Circuit breakers**: one per fault domain (answer path, store
+///   load). Consecutive transient failures trip the breaker; while open,
+///   requests fail fast with Unavailable (or degrade to a stale answer).
+/// - **Stale serving**: a cache entry from a previous epoch is never
+///   returned as fresh, but when the live path fails it is served with
+///   `stale = true` rather than an error.
+/// - **Hot reload**: Reload atomically swaps in a freshly loaded bundle
+///   (epoch/RCU-style shared_ptr swap). In-flight queries finish against
+///   the epoch they started under; new requests see the new bundle.
 ///
 /// ## Cache
 ///
@@ -64,7 +120,8 @@ struct ServeOptions {
 /// parsed and rewritten, and the canonical key (canonical rewritten SQL +
 /// sorted parameters, rewrite/canonical.h) catches queries that differ
 /// textually but rewrite to the same canonical form. Successful answers
-/// populate both keys; failures are never cached.
+/// populate both keys tagged with the serving epoch; failures are never
+/// cached.
 class QueryServer {
  public:
   QueryServer(std::shared_ptr<const SynopsisStore> store, const Schema& schema,
@@ -76,51 +133,100 @@ class QueryServer {
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
 
-  /// Enqueues one query; the future resolves to its noisy answer or a
-  /// typed error. Rejected submissions (queue full, server shut down)
-  /// resolve immediately with Unavailable.
-  std::future<Result<double>> Submit(std::string sql, ParamMap params = {});
+  /// Enqueues one query; the future resolves to its answer or a typed
+  /// error. Rejected submissions (queue full, server shut down) resolve
+  /// immediately with Unavailable — a Submit racing Shutdown always
+  /// resolves, it is never abandoned.
+  std::future<Result<ServedAnswer>> Submit(std::string sql,
+                                           ParamMap params = {});
+
+  /// Like Submit, but with a per-request deadline `timeout` from now
+  /// (<= 0 means no deadline beyond the server default).
+  std::future<Result<ServedAnswer>> Submit(std::string sql, ParamMap params,
+                                           std::chrono::nanoseconds timeout);
 
   /// Synchronous convenience: answers on the calling thread, bypassing
-  /// the queue (still uses the cache and counts stats).
-  Result<double> Answer(const std::string& sql, const ParamMap& params = {});
+  /// the queue (still uses the cache, retries, breakers and stats).
+  Result<ServedAnswer> Answer(const std::string& sql,
+                              const ParamMap& params = {},
+                              std::chrono::nanoseconds timeout =
+                                  std::chrono::nanoseconds(0));
+
+  /// Hot reload: loads a fresh bundle from `path` (with retries under the
+  /// store breaker), verifies it against the schema, and atomically swaps
+  /// it in. In-flight queries finish against the old epoch. On any
+  /// failure the old bundle keeps serving and the error is returned.
+  Status Reload(const std::string& path);
+
+  /// Hot reload from an already-loaded store (e.g. built in-process).
+  Status Reload(std::shared_ptr<const SynopsisStore> store);
 
   /// Stops accepting work, finishes every queued request, joins workers.
-  /// Idempotent.
+  /// Idempotent and safe to race from multiple threads.
   void Shutdown();
 
   /// Consistent snapshot of the counters.
   ServeStats stats() const;
 
-  const SynopsisStore& store() const { return *store_; }
+  /// Current store snapshot (the epoch being served right now).
+  std::shared_ptr<const SynopsisStore> store() const;
+
+  /// Monotonic bundle epoch: 0 for the construction-time store, +1 per
+  /// successful Reload.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
  private:
   struct Task {
     std::string sql;
     ParamMap params;
-    std::promise<Result<double>> promise;
+    Deadline deadline;
+    std::promise<Result<ServedAnswer>> promise;
   };
 
-  void WorkerLoop();
-  Result<double> Handle(const std::string& sql, const ParamMap& params);
+  /// The store snapshot a request answers against: pointer + the epoch it
+  /// was current at. Taken once per request so a mid-request Reload never
+  /// tears a query across two bundles.
+  struct StoreSnapshot {
+    std::shared_ptr<const SynopsisStore> store;
+    uint64_t epoch = 0;
+  };
+  StoreSnapshot SnapshotStore() const;
 
+  void WorkerLoop();
+  Result<ServedAnswer> Handle(const std::string& sql, const ParamMap& params,
+                              Deadline deadline);
+  Deadline MakeDeadline(std::chrono::nanoseconds timeout) const;
+
+  mutable std::mutex store_mu_;  // guards store_ swap; held only briefly
   std::shared_ptr<const SynopsisStore> store_;
+  std::atomic<uint64_t> epoch_{0};
+
   const Schema& schema_;
   ServeOptions options_;
   Rewriter rewriter_;
   std::unique_ptr<AnswerCache> cache_;  // null when disabled
+  CircuitBreaker answer_breaker_;
+  CircuitBreaker store_breaker_;
 
   std::mutex mu_;
   std::condition_variable queue_cv_;
   std::deque<Task> queue_;
   bool stopping_ = false;
+  std::mutex join_mu_;  // serializes the join phase of concurrent Shutdowns
   std::vector<std::thread> workers_;
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
-  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> rejected_shutdown_{0};
   std::atomic<uint64_t> unmatched_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> retry_successes_{0};
+  std::atomic<uint64_t> stale_served_{0};
+  std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> reload_failures_{0};
   std::atomic<uint64_t> answer_nanos_{0};
 };
 

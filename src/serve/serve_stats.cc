@@ -4,8 +4,19 @@ namespace viewrewrite {
 
 std::ostream& operator<<(std::ostream& os, const ServeStats& s) {
   os << "serve: submitted=" << s.submitted << " completed=" << s.completed
-     << " failed=" << s.failed << " rejected=" << s.rejected
-     << " unmatched=" << s.unmatched;
+     << " failed=" << s.failed << " rejected=" << s.rejected;
+  if (s.rejected > 0) {
+    os << " (queue_full=" << s.rejected_queue_full
+       << " shutdown=" << s.rejected_shutdown << ")";
+  }
+  os << " unmatched=" << s.unmatched
+     << " deadline_exceeded=" << s.deadline_exceeded;
+  os << " | resilience: retries=" << s.retries
+     << " retry_successes=" << s.retry_successes
+     << " breaker_trips=" << s.breaker_trips
+     << " breaker_rejected=" << s.breaker_rejected
+     << " stale_served=" << s.stale_served << " reloads=" << s.reloads
+     << " reload_failures=" << s.reload_failures << " epoch=" << s.epoch;
   const uint64_t lookups = s.cache_hits + s.cache_misses;
   os << " | cache: hits=" << s.cache_hits << " misses=" << s.cache_misses;
   if (lookups > 0) {

@@ -9,13 +9,26 @@ namespace viewrewrite {
 
 /// Counters of one QueryServer's lifetime. A consistent snapshot is
 /// returned by QueryServer::stats(); the server maintains the fields as
-/// atomics internally.
+/// atomics internally. Overload and degradation are first-class here:
+/// every rejection, retry, breaker event, stale serve and reload is
+/// counted, so a degraded server is observable rather than silently slow.
 struct ServeStats {
   uint64_t submitted = 0;      // Submit calls accepted into the queue
-  uint64_t completed = 0;      // answered successfully
+  uint64_t completed = 0;      // answered successfully (including stale)
   uint64_t failed = 0;         // finished with a non-OK status
   uint64_t rejected = 0;       // refused at Submit (queue full / shut down)
+  uint64_t rejected_queue_full = 0;  // subset of rejected: bounded queue full
+  uint64_t rejected_shutdown = 0;    // subset of rejected: server shut down
   uint64_t unmatched = 0;      // no stored view could answer (subset of failed)
+  uint64_t deadline_exceeded = 0;  // requests past deadline (subset of failed)
+  uint64_t retries = 0;            // extra answer attempts beyond the first
+  uint64_t retry_successes = 0;    // answers that succeeded after >=1 retry
+  uint64_t breaker_rejected = 0;   // fast-failed while a breaker was open
+  uint64_t breaker_trips = 0;      // closed->open transitions, both domains
+  uint64_t stale_served = 0;   // degraded answers from a previous epoch's cache
+  uint64_t reloads = 0;            // successful hot bundle swaps
+  uint64_t reload_failures = 0;    // Reload calls that kept the old bundle
+  uint64_t epoch = 0;              // current store epoch (0 = initial bundle)
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   size_t cache_entries = 0;    // resident cache entries at snapshot time

@@ -4,6 +4,12 @@
 #include <cstring>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "common/crc32.h"
 #include "common/fault_injection.h"
 #include "sql/parser.h"
@@ -483,6 +489,76 @@ Result<SynopsisStore> SynopsisStore::FromManager(const ViewManager& manager,
   return store;
 }
 
+namespace {
+
+// Writes `blob` to `tmp` and forces it to stable storage before
+// returning. On POSIX this is open/write/fsync/close; elsewhere it falls
+// back to a plain stream write (no durability guarantee beyond the OS).
+Status WriteFileDurably(const std::string& tmp, const std::string& blob) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::ExecutionError("cannot open '" + tmp + "' for writing");
+  }
+  size_t off = 0;
+  while (off < blob.size()) {
+    const ssize_t n = ::write(fd, blob.data() + off, blob.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::ExecutionError("short write to '" + tmp + "'");
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::ExecutionError("fsync failed for '" + tmp + "'");
+  }
+  if (::close(fd) != 0) {
+    return Status::ExecutionError("close failed for '" + tmp + "'");
+  }
+#else
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::ExecutionError("cannot open '" + tmp + "' for writing");
+  }
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  out.flush();
+  if (!out) {
+    return Status::ExecutionError("short write to '" + tmp + "'");
+  }
+#endif
+  return Status::OK();
+}
+
+// Makes the rename of `path` itself durable by fsyncing its parent
+// directory — without this, a crash after rename can roll the directory
+// entry back to the old bundle (or to nothing). Best-effort no-op on
+// platforms without directory fds.
+Status SyncParentDir(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const size_t slash = path.find_last_of('/');
+  std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::ExecutionError("cannot open directory '" + dir +
+                                  "' to sync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::ExecutionError("fsync failed for directory '" + dir + "'");
+  }
+#else
+  (void)path;
+#endif
+  return Status::OK();
+}
+
+}  // namespace
+
 Status SynopsisStore::Save(const std::string& path) const {
   std::string blob;
   blob.append(kMagic, sizeof(kMagic));
@@ -510,23 +586,21 @@ Status SynopsisStore::Save(const std::string& path) const {
   }
   AppendSection(&blob, kSectionEnd, std::string());
 
+  // Atomic durable publish: write + fsync the temp file, then rename over
+  // the target, then fsync the parent directory. A crash at any point
+  // leaves either the previous bundle intact or the new one fully
+  // durable — readers never observe a torn file.
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::ExecutionError("cannot open '" + tmp + "' for writing");
-    }
-    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-    if (!out) {
-      return Status::ExecutionError("short write to '" + tmp + "'");
-    }
-  }
+  VR_RETURN_NOT_OK(WriteFileDurably(tmp, blob));
+  // A kill here (the serve.save fault point simulates it) leaves a
+  // complete, loadable temp file and the target untouched.
+  VR_FAULT_POINT(faults::kServeSave);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return Status::ExecutionError("cannot rename '" + tmp + "' to '" + path +
                                   "'");
   }
-  return Status::OK();
+  return SyncParentDir(path);
 }
 
 Result<SynopsisStore> SynopsisStore::Load(const std::string& path,

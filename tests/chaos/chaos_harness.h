@@ -1,0 +1,311 @@
+#ifndef VIEWREWRITE_TESTS_CHAOS_CHAOS_HARNESS_H_
+#define VIEWREWRITE_TESTS_CHAOS_CHAOS_HARNESS_H_
+
+// Deterministic chaos harness: one seed drives one full
+// publish -> save -> load -> serve run with every registered fault point
+// armed at seed-derived probabilities, and checks the system-wide
+// invariants the resilience layer promises:
+//
+//   1. No crash, no uncaught exception (the run returns).
+//   2. No deadlock: every submitted future resolves within a bounded
+//      wait; the whole run finishes in bounded wall time.
+//   3. The privacy ledger is never over-spent, no matter which publish
+//      stages failed (spent <= total, both in the engine accountant and
+//      in the persisted bundle header).
+//   4. Every served response is one of: bit-identical to the fault-free
+//      answer, the same value flagged stale, or a typed error from the
+//      small set the resilience layer emits. Nothing else — no silent
+//      wrong answers.
+//
+// "Deterministic" means the fault schedule is fully reproducible from the
+// seed (probabilistic triggers use dedicated seeded PRNGs); the checked
+// invariants are valid under any thread interleaving.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "engine/viewrewrite_engine.h"
+#include "serve/query_server.h"
+#include "serve/synopsis_store.h"
+#include "testing/test_db.h"
+
+namespace viewrewrite {
+namespace chaos {
+
+struct ChaosConfig {
+  /// Requests submitted in the serve phase.
+  size_t num_requests = 400;
+  size_t num_threads = 4;
+  /// Upper bound on injected-failure probability per fault point; the
+  /// seed picks the actual value per phase in [0, max).
+  double max_publish_fault_p = 0.25;
+  double max_serve_fault_p = 0.35;
+  /// Per-future resolution bound; exceeding it is the deadlock signal.
+  std::chrono::seconds future_wait{60};
+  /// Where the bundle goes; empty picks a per-seed name under /tmp.
+  std::string bundle_path;
+};
+
+struct ChaosRunResult {
+  uint64_t published_views = 0;
+  uint64_t fresh = 0;       // responses bit-identical to the baseline
+  uint64_t stale = 0;       // degraded responses (value still baseline)
+  uint64_t errors = 0;      // typed errors
+  bool prepare_ok = false;
+  bool reload_attempted = false;
+  /// Invariant violations; empty means the seed passed.
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+namespace internal {
+
+inline double UniformP(std::mt19937_64& rng, double max_p) {
+  return std::uniform_real_distribution<double>(0.0, max_p)(rng);
+}
+
+/// Typed errors the serve path may legitimately emit under injected
+/// faults. Anything outside this set is an invariant violation.
+inline bool IsAllowedServeError(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInternal:          // the injected fault itself
+    case StatusCode::kUnavailable:       // breaker open / queue / shutdown
+    case StatusCode::kDeadlineExceeded:  // per-request deadline
+    case StatusCode::kNotFound:          // no stored view covers the query
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace internal
+
+/// Runs one seeded chaos scenario end to end. Never throws; all failures
+/// are reported through ChaosRunResult::violations.
+inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
+  ChaosRunResult result;
+  auto violate = [&result](const std::string& what) {
+    result.violations.push_back(what);
+  };
+  std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  FaultInjection& faults_registry = FaultInjection::Instance();
+  faults_registry.DisableAll();
+
+  // ---- Fixed workload over the mini TPC-H test database. -------------------
+  std::unique_ptr<Database> db = testing_support::MakeTestDatabase(13, 40);
+  const std::vector<std::string> workload = {
+      "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice >= 64",
+      "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice >= 128",
+      "SELECT COUNT(*) FROM orders o WHERE o.o_status = 'f'",
+      "SELECT SUM(o_totalprice) FROM orders o WHERE o.o_status = 'o'",
+      "SELECT COUNT(*) FROM customer c, orders o WHERE c.c_custkey = "
+      "o.o_custkey AND c.c_nation = 1",
+      "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice >= 64 OR "
+      "o.o_status = 'p'",
+  };
+
+  // ---- Publish phase under injected faults (degraded mode). ----------------
+  const double publish_p =
+      internal::UniformP(rng, config.max_publish_fault_p);
+  for (const char* point :
+       {faults::kParse, faults::kRewrite, faults::kViewRegister,
+        faults::kViewPublish, faults::kDpMechanism}) {
+    faults_registry.FailWithProbability(point, publish_p, rng());
+  }
+
+  EngineOptions engine_options;
+  engine_options.seed = seed;  // noise differs per seed; baseline tracks it
+  ViewRewriteEngine engine(*db, PrivacyPolicy{"customer"}, engine_options);
+  const Status prepared = engine.Prepare(workload);
+  faults_registry.DisableAll();
+  result.prepare_ok = prepared.ok();
+  result.published_views = engine.views().NumPublished();
+
+  // Invariant 3, engine side: whatever failed, the ledger never
+  // over-spends (refunds from failed view publications are netted out).
+  const EngineStats& estats = engine.stats();
+  if (estats.budget_spent_epsilon > estats.budget_total_epsilon + 1e-9) {
+    violate("budget over-spent after faulted publish: spent " +
+            std::to_string(estats.budget_spent_epsilon) + " of " +
+            std::to_string(estats.budget_total_epsilon));
+  }
+  if (!prepared.ok() || result.published_views == 0) {
+    // A fully-quarantined workload is a legitimate chaos outcome: the run
+    // ends at publish with the budget invariant intact.
+    return result;
+  }
+
+  // ---- Fault-free baseline: what each query must answer. -------------------
+  // Computed from the chaos-published engine with all faults disarmed, so
+  // the baseline reflects exactly the views that survived this seed's
+  // publish-phase faults. Quarantined queries have no baseline value and
+  // are excluded from value checks (any typed outcome is acceptable).
+  std::vector<size_t> servable;
+  std::vector<double> baseline(workload.size(), 0);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    Result<double> ans = engine.NoisyAnswer(i);
+    if (ans.ok()) {
+      baseline[i] = *ans;
+      servable.push_back(i);
+    }
+  }
+  if (servable.empty()) return result;
+
+  // ---- Save/load through disk, with storage faults armed. ------------------
+  const std::string path =
+      config.bundle_path.empty()
+          ? "/tmp/vr_chaos_" + std::to_string(seed) + ".vrsy"
+          : config.bundle_path;
+  Result<SynopsisStore> snapshot =
+      SynopsisStore::FromManager(engine.views(), db->schema());
+  if (!snapshot.ok()) {
+    violate("FromManager failed on published views: " +
+            snapshot.status().ToString());
+    return result;
+  }
+  {
+    ScopedFault save_fault = ScopedFault::WithProbability(
+        faults::kServeSave, internal::UniformP(rng, config.max_serve_fault_p),
+        rng());
+    ScopedFault load_fault = ScopedFault::WithProbability(
+        faults::kServeLoad, internal::UniformP(rng, config.max_serve_fault_p),
+        rng());
+    // A failed save or load is retried; the final attempt below runs
+    // clean, so the serve phase always starts from a good bundle.
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      if (snapshot->Save(path).ok() &&
+          SynopsisStore::Load(path, db->schema()).ok()) {
+        break;
+      }
+    }
+  }
+  if (!snapshot->Save(path).ok()) {
+    violate("fault-free Save failed after chaos saves");
+    return result;
+  }
+  Result<SynopsisStore> loaded = SynopsisStore::Load(path, db->schema());
+  if (!loaded.ok()) {
+    violate("fault-free Load failed after chaos saves: " +
+            loaded.status().ToString());
+    return result;
+  }
+  // Invariant 3, bundle side: the persisted ledger is consistent.
+  if (loaded->ledger().spent_epsilon > loaded->ledger().total_epsilon + 1e-9) {
+    violate("persisted ledger over-spent");
+  }
+
+  // ---- Serve phase under answer/reload faults. -----------------------------
+  ServeOptions serve_options;
+  serve_options.num_threads = config.num_threads;
+  serve_options.queue_capacity = config.num_requests + 16;
+  serve_options.enable_cache = (rng() % 4) != 0;  // mostly on, sometimes off
+  serve_options.retry.max_attempts = 3;
+  serve_options.retry.initial_backoff = std::chrono::microseconds(50);
+  serve_options.retry.max_backoff = std::chrono::microseconds(400);
+  serve_options.answer_breaker.failure_threshold = 6;
+  serve_options.answer_breaker.open_duration = std::chrono::milliseconds(2);
+  serve_options.serve_stale = true;
+
+  uint64_t deadline_hits = 0;
+  {
+    QueryServer server(
+        std::make_shared<const SynopsisStore>(std::move(*loaded)),
+        db->schema(), serve_options);
+
+    ScopedFault answer_fault = ScopedFault::WithProbability(
+        faults::kServeAnswer,
+        internal::UniformP(rng, config.max_serve_fault_p), rng());
+    ScopedFault reload_fault = ScopedFault::WithProbability(
+        faults::kServeReload,
+        internal::UniformP(rng, config.max_serve_fault_p), rng());
+    ScopedFault reload_load_fault = ScopedFault::WithProbability(
+        faults::kServeLoad,
+        internal::UniformP(rng, config.max_serve_fault_p), rng());
+
+    std::vector<size_t> request_query;
+    std::vector<std::future<Result<ServedAnswer>>> futures;
+    request_query.reserve(config.num_requests);
+    futures.reserve(config.num_requests);
+    for (size_t r = 0; r < config.num_requests; ++r) {
+      const size_t qi = servable[r % servable.size()];
+      request_query.push_back(qi);
+      if (r % 7 == 3) {
+        // A sprinkle of tight deadlines; expiry is an allowed outcome.
+        futures.push_back(server.Submit(workload[qi], {},
+                                        std::chrono::microseconds(200)));
+      } else {
+        futures.push_back(server.Submit(workload[qi]));
+      }
+      if (r == config.num_requests / 2) {
+        // Mid-traffic hot reload of the same bundle: epoch advances,
+        // in-flight queries finish against the old epoch, and the
+        // baseline stays valid because the cells are identical. Failure
+        // is fine — the old bundle keeps serving.
+        result.reload_attempted = true;
+        (void)server.Reload(path);
+      }
+    }
+
+    // Invariants 2 and 4: every future resolves in bounded time, to a
+    // baseline-exact value, a stale copy of it, or an allowed typed error.
+    for (size_t r = 0; r < futures.size(); ++r) {
+      if (futures[r].wait_for(config.future_wait) !=
+          std::future_status::ready) {
+        violate("deadlock suspected: request " + std::to_string(r) +
+                " unresolved after bounded wait");
+        return result;  // .get() below would hang; stop here
+      }
+      Result<ServedAnswer> got = futures[r].get();
+      const size_t qi = request_query[r];
+      if (got.ok()) {
+        if (got->value != baseline[qi]) {
+          violate("response for query " + std::to_string(qi) +
+                  " diverged from fault-free baseline: got " +
+                  std::to_string(got->value) + " want " +
+                  std::to_string(baseline[qi]) +
+                  (got->stale ? " (stale)" : ""));
+        }
+        if (got->stale) {
+          ++result.stale;
+        } else {
+          ++result.fresh;
+        }
+      } else {
+        ++result.errors;
+        if (!internal::IsAllowedServeError(got.status().code())) {
+          violate("unexpected error type for query " + std::to_string(qi) +
+                  ": " + got.status().ToString());
+        }
+        if (got.status().code() == StatusCode::kDeadlineExceeded) {
+          ++deadline_hits;
+        }
+      }
+    }
+
+    server.Shutdown();
+    const ServeStats sstats = server.stats();
+    if (sstats.completed != result.fresh + result.stale) {
+      violate("stats.completed disagrees with resolved futures");
+    }
+    if (sstats.deadline_exceeded != deadline_hits) {
+      violate("stats.deadline_exceeded disagrees with observed responses");
+    }
+  }
+
+  faults_registry.DisableAll();
+  std::remove(path.c_str());
+  return result;
+}
+
+}  // namespace chaos
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_TESTS_CHAOS_CHAOS_HARNESS_H_

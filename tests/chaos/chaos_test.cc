@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "chaos/chaos_harness.h"
+#include "common/fault_injection.h"
+
+namespace viewrewrite {
+namespace {
+
+/// Tier-1 chaos smoke: a handful of fixed seeds through the full
+/// publish -> save -> load -> serve run with every fault point armed.
+/// The 32-seed sweep lives in bench/chaos_soak (ctest label "chaos",
+/// excluded from tier-1); these seeds keep the invariants continuously
+/// exercised in the default test run.
+class ChaosSmokeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::Instance().DisableAll(); }
+};
+
+TEST_F(ChaosSmokeTest, FixedSeedsHoldAllInvariants) {
+  chaos::ChaosConfig config;
+  config.num_requests = 200;
+  for (uint64_t seed : {1u, 7u, 23u}) {
+    chaos::ChaosRunResult run = chaos::RunChaosSeed(seed, config);
+    for (const std::string& violation : run.violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << violation;
+    }
+  }
+}
+
+TEST_F(ChaosSmokeTest, ZeroFaultSeedServesEverythingFresh) {
+  // Probability bounds at zero turn the harness into a plain end-to-end
+  // run: everything must answer, bit-identical, nothing stale.
+  chaos::ChaosConfig config;
+  config.num_requests = 120;
+  config.max_publish_fault_p = 0;
+  config.max_serve_fault_p = 0;
+  chaos::ChaosRunResult run = chaos::RunChaosSeed(5, config);
+  EXPECT_TRUE(run.ok()) << run.violations.front();
+  EXPECT_TRUE(run.prepare_ok);
+  EXPECT_EQ(run.stale, 0u);
+  EXPECT_GT(run.fresh, 0u);
+  // Tight injected deadlines may still expire; everything else answers.
+  EXPECT_EQ(run.fresh + run.errors, config.num_requests);
+}
+
+TEST_F(ChaosSmokeTest, HighFaultRateStillNeverViolatesInvariants) {
+  // Near the configured ceiling the serve path fails constantly; the
+  // contract is not "answers happen" but "only allowed outcomes happen".
+  chaos::ChaosConfig config;
+  config.num_requests = 150;
+  config.max_publish_fault_p = 0.4;
+  config.max_serve_fault_p = 0.6;
+  for (uint64_t seed : {11u, 42u}) {
+    chaos::ChaosRunResult run = chaos::RunChaosSeed(seed, config);
+    for (const std::string& violation : run.violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << violation;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,125 @@
+#include "common/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace viewrewrite {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+/// Manually-advanced clock: the open -> half-open transition is driven
+/// deterministically, no sleeping.
+struct FakeClock {
+  steady_clock::time_point now = steady_clock::time_point{};
+  CircuitBreaker::ClockFn fn() {
+    return [this] { return now; };
+  }
+  void Advance(steady_clock::duration d) { now += d; }
+};
+
+CircuitBreakerOptions SmallBreaker() {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  options.open_duration = milliseconds(10);
+  options.half_open_successes = 1;
+  return options;
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowThreshold) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), clock.fn());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.trips(), 0u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveFailureCount) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), clock.fn());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();  // streak broken
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, TripsOpenAtThresholdAndRejectsFast) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), clock.fn());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(breaker.rejections(), 2u);
+}
+
+TEST(CircuitBreakerTest, HalfOpensAfterCooldownAndAdmitsOneProbe) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), clock.fn());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.Advance(milliseconds(10));
+  EXPECT_TRUE(breaker.Allow());  // the probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow());  // probe in flight: everyone else waits
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensForAnotherCooldown) {
+  FakeClock clock;
+  CircuitBreaker breaker(SmallBreaker(), clock.fn());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.Advance(milliseconds(10));
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordFailure();  // probe failed
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2u);
+  EXPECT_FALSE(breaker.Allow());  // cooldown restarted
+  clock.Advance(milliseconds(10));
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, MultipleProbeSuccessesRequiredWhenConfigured) {
+  CircuitBreakerOptions options = SmallBreaker();
+  options.half_open_successes = 2;
+  FakeClock clock;
+  CircuitBreaker breaker(options, clock.fn());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.Advance(milliseconds(10));
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  ASSERT_TRUE(breaker.Allow());  // second probe admitted after the first
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, ZeroThresholdDisablesBreaker) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 0;
+  CircuitBreaker breaker(options);
+  for (int i = 0; i < 100; ++i) breaker.RecordFailure();
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.trips(), 0u);
+  EXPECT_EQ(breaker.rejections(), 0u);
+}
+
+TEST(CircuitBreakerTest, StateNamesForOperatorOutput) {
+  EXPECT_STREQ(CircuitBreakerStateName(CircuitBreaker::State::kClosed),
+               "closed");
+  EXPECT_STREQ(CircuitBreakerStateName(CircuitBreaker::State::kOpen), "open");
+  EXPECT_STREQ(CircuitBreakerStateName(CircuitBreaker::State::kHalfOpen),
+               "half-open");
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -15,7 +15,8 @@ TEST(AnswerCacheTest, GetMissThenHit) {
   cache.Put("a", 1.5);
   auto hit = cache.Get("a");
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(*hit, 1.5);
+  EXPECT_EQ(hit->value, 1.5);
+  EXPECT_EQ(hit->epoch, 0u);
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
   EXPECT_EQ(cache.size(), 1u);
@@ -26,7 +27,19 @@ TEST(AnswerCacheTest, PutRefreshesExistingKey) {
   cache.Put("a", 1.0);
   cache.Put("a", 2.0);
   EXPECT_EQ(cache.size(), 1u);
-  EXPECT_EQ(*cache.Get("a"), 2.0);
+  EXPECT_EQ(cache.Get("a")->value, 2.0);
+}
+
+TEST(AnswerCacheTest, PutTagsEntryWithEpoch) {
+  // A reload refreshes the same key under a newer epoch; the entry keeps
+  // exactly one (value, epoch) pair — the latest.
+  AnswerCache cache(16, 1);
+  cache.Put("a", 1.0, /*epoch=*/0);
+  cache.Put("a", 4.0, /*epoch=*/3);
+  auto hit = cache.Get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->value, 4.0);
+  EXPECT_EQ(hit->epoch, 3u);
 }
 
 TEST(AnswerCacheTest, EvictsLeastRecentlyUsed) {
@@ -57,7 +70,7 @@ TEST(AnswerCacheTest, ConcurrentMixedUseIsSafe) {
       for (int i = 0; i < 500; ++i) {
         const std::string key = "k" + std::to_string((t * 31 + i) % 100);
         if (auto hit = cache.Get(key)) {
-          EXPECT_EQ(*hit, static_cast<double>((t * 31 + i) % 100));
+          EXPECT_EQ(hit->value, static_cast<double>((t * 31 + i) % 100));
         }
         cache.Put(key, static_cast<double>((t * 31 + i) % 100));
       }

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "common/fault_injection.h"
+#include "serve/query_server.h"
+#include "serve/serve_test_util.h"
+
+namespace viewrewrite {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+/// Deadline semantics: expiry yields a typed DeadlineExceeded, never
+/// poisons the worker, and never pollutes the cache.
+class DeadlineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ctx_ = serve_testing::MakeServeContext(42, "deadline");
+    ASSERT_NE(ctx_.store, nullptr);
+  }
+  void TearDown() override { FaultInjection::Instance().DisableAll(); }
+
+  serve_testing::ServeContext ctx_;
+};
+
+TEST_F(DeadlineTest, ExpiredWhileQueuedResolvesTypedAndWorkerSurvives) {
+  ServeOptions options;
+  options.num_threads = 1;  // the same worker must answer the follow-up
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  // A negative timeout is expired on arrival: deterministic expiry with
+  // no sleeping and no race against the worker.
+  auto expired =
+      server.Submit(ctx_.workload[0], {}, nanoseconds(-1)).get();
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+
+  // The worker thread moved on; the identical query now succeeds with
+  // the exact published value — the earlier failure was not cached.
+  auto later = server.Submit(ctx_.workload[0]).get();
+  ASSERT_TRUE(later.ok()) << later.status();
+  EXPECT_FALSE(later->stale);
+  EXPECT_EQ(later->value, ctx_.Expected(0));
+
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST_F(DeadlineTest, MidAnswerTimeoutDuringRetryBackoff) {
+  ServeOptions options;
+  options.num_threads = 1;
+  options.enable_cache = false;
+  // Backoff far exceeds the request deadline: attempt 1 fails with an
+  // injected transient fault, the retry sleep is capped by the deadline,
+  // and attempt 2 finds the deadline expired.
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff = milliseconds(50);
+  options.retry.max_backoff = milliseconds(50);
+  options.retry.jitter = 0;
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  {
+    ScopedFault fault = ScopedFault::EveryN(faults::kServeAnswer, 1);
+    auto got = server.Submit(ctx_.workload[1], {}, milliseconds(5)).get();
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded)
+        << got.status();
+  }
+
+  // Fault disarmed: the same worker serves the same query correctly.
+  auto later = server.Answer(ctx_.workload[1]);
+  ASSERT_TRUE(later.ok()) << later.status();
+  EXPECT_EQ(later->value, ctx_.Expected(1));
+
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_GE(stats.retries, 1u);
+}
+
+TEST_F(DeadlineTest, ServerDefaultTimeoutAppliesWhenRequestHasNone) {
+  ServeOptions options;
+  options.num_threads = 1;
+  options.enable_cache = false;
+  options.default_timeout = milliseconds(2);
+  options.retry.max_attempts = 5;
+  options.retry.initial_backoff = milliseconds(20);
+  options.retry.jitter = 0;
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  ScopedFault fault = ScopedFault::EveryN(faults::kServeAnswer, 1);
+  auto got = server.Submit(ctx_.workload[2]).get();  // no explicit timeout
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(DeadlineTest, GenerousDeadlineDoesNotDisturbAnswers) {
+  ServeOptions options;
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+  for (size_t i = 0; i < ctx_.workload.size(); ++i) {
+    auto got =
+        server.Submit(ctx_.workload[i], {}, std::chrono::seconds(30)).get();
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(got->value, ctx_.Expected(i)) << ctx_.workload[i];
+  }
+  EXPECT_EQ(server.stats().deadline_exceeded, 0u);
+}
+
+}  // namespace
+}  // namespace viewrewrite

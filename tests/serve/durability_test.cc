@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/fault_injection.h"
+#include "serve/serve_test_util.h"
+#include "serve/synopsis_store.h"
+
+namespace viewrewrite {
+namespace {
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+/// Atomic durable save: write + fsync temp, rename, fsync directory. The
+/// serve.save fault point sits between the durable temp write and the
+/// rename — firing it is the "process killed at the worst moment"
+/// simulation.
+class DurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ctx_ = serve_testing::MakeServeContext(42, "durability");
+    ASSERT_NE(ctx_.store, nullptr);
+  }
+  void TearDown() override { FaultInjection::Instance().DisableAll(); }
+
+  serve_testing::ServeContext ctx_;
+};
+
+TEST_F(DurabilityTest, KillAfterTempWriteLeavesOldBundleIntact) {
+  const std::string path = ::testing::TempDir() + "durable_overwrite.vrsy";
+  Result<SynopsisStore> snapshot =
+      SynopsisStore::FromManager(ctx_.engine->views(), ctx_.db->schema());
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  ASSERT_TRUE(snapshot->Save(path).ok());
+
+  // Simulated kill between the durable temp write and the rename.
+  {
+    ScopedFault fault = ScopedFault::OnNth(faults::kServeSave, 1);
+    Status killed = snapshot->Save(path);
+    ASSERT_FALSE(killed.ok());
+  }
+
+  // The published bundle is untouched and still loads cleanly...
+  Result<SynopsisStore> survivor =
+      SynopsisStore::Load(path, ctx_.db->schema());
+  ASSERT_TRUE(survivor.ok()) << survivor.status();
+  EXPECT_EQ(survivor->NumViews(), ctx_.store->NumViews());
+
+  // ...and the temp file the "crash" left behind is itself a complete,
+  // loadable bundle (the write + fsync finished before the kill) — crash
+  // recovery can adopt it instead of re-publishing.
+  const std::string tmp = path + ".tmp";
+  ASSERT_TRUE(FileExists(tmp));
+  Result<SynopsisStore> adopted =
+      SynopsisStore::Load(tmp, ctx_.db->schema());
+  EXPECT_TRUE(adopted.ok()) << adopted.status();
+
+  // A later clean save replaces the bundle normally.
+  ASSERT_TRUE(snapshot->Save(path).ok());
+  EXPECT_TRUE(SynopsisStore::Load(path, ctx_.db->schema()).ok());
+  std::remove(tmp.c_str());
+  std::remove(path.c_str());
+}
+
+TEST_F(DurabilityTest, KillOnFreshSaveNeverExposesAPartialTarget) {
+  const std::string path = ::testing::TempDir() + "durable_fresh.vrsy";
+  std::remove(path.c_str());
+  Result<SynopsisStore> snapshot =
+      SynopsisStore::FromManager(ctx_.engine->views(), ctx_.db->schema());
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+
+  {
+    ScopedFault fault = ScopedFault::OnNth(faults::kServeSave, 1);
+    ASSERT_FALSE(snapshot->Save(path).ok());
+  }
+  // The target never appeared: readers polling for the bundle can never
+  // observe a torn file, only absence.
+  EXPECT_FALSE(FileExists(path));
+
+  ASSERT_TRUE(snapshot->Save(path).ok());
+  EXPECT_TRUE(SynopsisStore::Load(path, ctx_.db->schema()).ok());
+  std::remove((path + ".tmp").c_str());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/query_server.h"
+#include "serve/serve_test_util.h"
+
+namespace viewrewrite {
+namespace {
+
+/// Hot reload under concurrent load: swapping bundles mid-traffic loses
+/// no in-flight query, and every answer is exactly one of the two
+/// bundles' values — never a blend.
+class ReloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two publications of the same workload with different noise seeds:
+    // same schema fingerprint, distinguishable answers.
+    a_ = serve_testing::MakeServeContext(42, "reload_a");
+    b_ = serve_testing::MakeServeContext(1042, "reload_b");
+    ASSERT_NE(a_.store, nullptr);
+    ASSERT_NE(b_.store, nullptr);
+  }
+
+  serve_testing::ServeContext a_;
+  serve_testing::ServeContext b_;
+};
+
+TEST_F(ReloadTest, MidTrafficSwapLosesNothingAndNeverBlendsBundles) {
+  std::vector<double> expected_a, expected_b;
+  bool bundles_differ = false;
+  for (size_t i = 0; i < a_.workload.size(); ++i) {
+    expected_a.push_back(a_.Expected(i));
+    expected_b.push_back(b_.Expected(i));
+    if (expected_a[i] != expected_b[i]) bundles_differ = true;
+  }
+  // If every noisy answer collided the test would be vacuous.
+  ASSERT_TRUE(bundles_differ);
+
+  ServeOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 8192;
+  QueryServer server(a_.store, a_.db->schema(), options);
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 150;
+  std::vector<std::vector<std::future<Result<ServedAnswer>>>> futures(
+      kThreads);
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        futures[t].push_back(
+            server.Submit(a_.workload[(t + i) % a_.workload.size()]));
+      }
+    });
+  }
+  // Swap to bundle B while the submitters are hammering.
+  Status reload = server.Reload(b_.bundle_path);
+  for (std::thread& t : submitters) t.join();
+  ASSERT_TRUE(reload.ok()) << reload;
+  EXPECT_EQ(server.epoch(), 1u);
+
+  size_t answered = 0;
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (size_t i = 0; i < futures[t].size(); ++i) {
+      Result<ServedAnswer> got = futures[t][i].get();
+      ASSERT_TRUE(got.ok()) << got.status();
+      const size_t qi = (t + i) % a_.workload.size();
+      EXPECT_TRUE(got->value == expected_a[qi] ||
+                  got->value == expected_b[qi])
+          << "blended or foreign value " << got->value << " for query " << qi;
+      ++answered;
+    }
+  }
+  EXPECT_EQ(answered, kThreads * kPerThread);
+
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, kThreads * kPerThread);
+  EXPECT_EQ(stats.completed, kThreads * kPerThread);  // nothing lost
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.reloads, 1u);
+
+  // Post-swap, the server answers exactly like a cold server on bundle B.
+  QueryServer cold(b_.store, b_.db->schema(), ServeOptions{});
+  for (size_t i = 0; i < a_.workload.size(); ++i) {
+    auto hot = server.Answer(a_.workload[i]);
+    auto ref = cold.Answer(a_.workload[i]);
+    ASSERT_TRUE(hot.ok()) << hot.status();
+    ASSERT_TRUE(ref.ok()) << ref.status();
+    EXPECT_FALSE(hot->stale);
+    EXPECT_EQ(hot->value, ref->value) << a_.workload[i];
+    EXPECT_EQ(hot->value, expected_b[i]) << a_.workload[i];
+  }
+}
+
+TEST_F(ReloadTest, ReloadFromInProcessStoreBumpsEpoch) {
+  QueryServer server(a_.store, a_.db->schema(), ServeOptions{});
+  EXPECT_EQ(server.epoch(), 0u);
+  ASSERT_TRUE(server.Reload(b_.store).ok());
+  EXPECT_EQ(server.epoch(), 1u);
+  auto got = server.Answer(a_.workload[0]);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->value, b_.Expected(0));
+}
+
+TEST_F(ReloadTest, SchemaDriftIsRejected) {
+  QueryServer server(a_.store, a_.db->schema(), ServeOptions{});
+  Status null_reload = server.Reload(std::shared_ptr<const SynopsisStore>());
+  EXPECT_FALSE(null_reload.ok());
+  EXPECT_EQ(server.stats().reload_failures, 1u);
+  EXPECT_EQ(server.epoch(), 0u);
+}
+
+}  // namespace
+}  // namespace viewrewrite

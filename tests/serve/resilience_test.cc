@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "common/fault_injection.h"
+#include "serve/query_server.h"
+#include "serve/serve_test_util.h"
+
+namespace viewrewrite {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+/// Retry, circuit-breaker and stale-serving behavior of the QueryServer,
+/// driven deterministically through injected faults.
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ctx_ = serve_testing::MakeServeContext(42, "resilience");
+    ASSERT_NE(ctx_.store, nullptr);
+  }
+  void TearDown() override { FaultInjection::Instance().DisableAll(); }
+
+  /// Fast retries so tests spend microseconds, not milliseconds.
+  static ServeOptions FastRetryOptions() {
+    ServeOptions options;
+    options.num_threads = 1;
+    options.retry.initial_backoff = microseconds(10);
+    options.retry.max_backoff = microseconds(50);
+    options.retry.jitter = 0;
+    return options;
+  }
+
+  serve_testing::ServeContext ctx_;
+};
+
+TEST_F(ResilienceTest, RetryRecoversFromTransientFault) {
+  ServeOptions options = FastRetryOptions();
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  ScopedFault fault = ScopedFault::OnNth(faults::kServeAnswer, 1);
+  auto got = server.Submit(ctx_.workload[0]).get();
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->value, ctx_.Expected(0));
+  EXPECT_FALSE(got->stale);
+  EXPECT_EQ(got->attempts, 2u);  // first attempt hit the fault, retry won
+
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.retry_successes, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(ResilienceTest, SemanticFailuresNeverRetry) {
+  ServeOptions options = FastRetryOptions();
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  // No stored view covers a customer-only aggregate: NotFound, exactly
+  // one attempt — retrying a semantic failure cannot change the outcome.
+  auto got =
+      server.Submit("SELECT COUNT(*) FROM customer c WHERE c.c_nation = 2")
+          .get();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(server.stats().retries, 0u);
+}
+
+TEST_F(ResilienceTest, ExhaustedRetriesSurfaceTheTransientError) {
+  ServeOptions options = FastRetryOptions();
+  options.enable_cache = false;
+  options.retry.max_attempts = 3;
+  options.serve_stale = false;
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  ScopedFault fault = ScopedFault::EveryN(faults::kServeAnswer, 1);
+  auto got = server.Submit(ctx_.workload[0]).get();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInternal);  // the injection
+  EXPECT_EQ(FaultInjection::Instance().HitCount(faults::kServeAnswer), 3u);
+  EXPECT_EQ(server.stats().retries, 2u);
+}
+
+TEST_F(ResilienceTest, BreakerTripsAfterThresholdThenFailsFast) {
+  ServeOptions options = FastRetryOptions();
+  options.enable_cache = false;
+  options.serve_stale = false;
+  options.retry.max_attempts = 1;  // isolate the breaker from retries
+  options.answer_breaker.failure_threshold = 3;
+  options.answer_breaker.open_duration = std::chrono::seconds(30);
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  ScopedFault fault = ScopedFault::EveryN(faults::kServeAnswer, 1);
+  for (int i = 0; i < 3; ++i) {
+    auto got = server.Submit(ctx_.workload[0]).get();
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kInternal);
+  }
+  // Breaker is open: the next requests are rejected without touching the
+  // answer path — the fault point's hit count stops moving.
+  const uint64_t hits_at_trip =
+      FaultInjection::Instance().HitCount(faults::kServeAnswer);
+  EXPECT_EQ(hits_at_trip, 3u);
+  for (int i = 0; i < 2; ++i) {
+    auto got = server.Submit(ctx_.workload[0]).get();
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kUnavailable) << got.status();
+  }
+  EXPECT_EQ(FaultInjection::Instance().HitCount(faults::kServeAnswer),
+            hits_at_trip);
+
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.breaker_trips, 1u);
+  EXPECT_EQ(stats.breaker_rejected, 2u);
+}
+
+TEST_F(ResilienceTest, BreakerHalfOpensAndRecovers) {
+  ServeOptions options = FastRetryOptions();
+  options.enable_cache = false;
+  options.serve_stale = false;
+  options.retry.max_attempts = 1;
+  options.answer_breaker.failure_threshold = 1;
+  options.answer_breaker.open_duration = std::chrono::nanoseconds(0);
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  {
+    ScopedFault fault = ScopedFault::OnNth(faults::kServeAnswer, 1);
+    auto tripped = server.Submit(ctx_.workload[0]).get();
+    ASSERT_FALSE(tripped.ok());
+  }
+  // Cooldown of zero: the next request is admitted as the half-open
+  // probe; with the fault disarmed it succeeds and closes the breaker.
+  auto probe = server.Submit(ctx_.workload[0]).get();
+  ASSERT_TRUE(probe.ok()) << probe.status();
+  EXPECT_EQ(probe->value, ctx_.Expected(0));
+
+  auto after = server.Submit(ctx_.workload[1]).get();
+  ASSERT_TRUE(after.ok()) << after.status();
+
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.breaker_trips, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST_F(ResilienceTest, ServesStaleFromPreviousEpochWhenAnswerPathFails) {
+  ServeOptions options = FastRetryOptions();
+  options.retry.max_attempts = 2;
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  // Warm the cache at epoch 0, then reload (same bundle, epoch 1): the
+  // cached entry is no longer fresh, only a stale fallback.
+  auto warm = server.Submit(ctx_.workload[0]).get();
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  ASSERT_TRUE(server.Reload(ctx_.bundle_path).ok());
+  EXPECT_EQ(server.epoch(), 1u);
+
+  ScopedFault fault = ScopedFault::EveryN(faults::kServeAnswer, 1);
+  auto degraded = server.Submit(ctx_.workload[0]).get();
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_TRUE(degraded->stale);
+  // The stale value is the previous epoch's exact answer — and since the
+  // reloaded bundle holds identical cells, it equals the baseline too.
+  EXPECT_EQ(degraded->value, warm->value);
+
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.stale_served, 1u);
+  EXPECT_EQ(stats.reloads, 1u);
+}
+
+TEST_F(ResilienceTest, StaleServingDisabledSurfacesTheError) {
+  ServeOptions options = FastRetryOptions();
+  options.retry.max_attempts = 2;
+  options.serve_stale = false;
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  auto warm = server.Submit(ctx_.workload[0]).get();
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  ASSERT_TRUE(server.Reload(ctx_.bundle_path).ok());
+
+  ScopedFault fault = ScopedFault::EveryN(faults::kServeAnswer, 1);
+  auto got = server.Submit(ctx_.workload[0]).get();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(server.stats().stale_served, 0u);
+}
+
+TEST_F(ResilienceTest, FailedReloadKeepsOldBundleServing) {
+  ServeOptions options = FastRetryOptions();
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  {
+    ScopedFault fault = ScopedFault::EveryN(faults::kServeReload, 1);
+    Status reload = server.Reload(ctx_.bundle_path);
+    ASSERT_FALSE(reload.ok());
+  }
+  EXPECT_EQ(server.epoch(), 0u);  // swap never happened
+
+  auto got = server.Submit(ctx_.workload[0]).get();
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->value, ctx_.Expected(0));
+
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.reload_failures, 1u);
+  EXPECT_EQ(stats.reloads, 0u);
+}
+
+TEST_F(ResilienceTest, StatsStreamOutputMentionsResilienceCounters) {
+  ServeOptions options = FastRetryOptions();
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+  ASSERT_TRUE(server.Submit(ctx_.workload[0]).get().ok());
+  std::ostringstream os;
+  os << server.stats();
+  const std::string text = os.str();
+  EXPECT_NE(text.find("retries="), std::string::npos) << text;
+  EXPECT_NE(text.find("breaker_trips="), std::string::npos) << text;
+  EXPECT_NE(text.find("stale_served="), std::string::npos) << text;
+  EXPECT_NE(text.find("epoch="), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace viewrewrite
