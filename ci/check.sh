@@ -4,6 +4,7 @@
 #   ci/check.sh                   # tier-1 build + tests, sanitizers, chaos smoke
 #   SKIP_SANITIZE=1 ci/check.sh   # tier-1 + chaos smoke only
 #   SKIP_CHAOS=1 ci/check.sh      # skip the chaos soak binaries
+#   SKIP_FUZZ=1 ci/check.sh       # skip the time-boxed fuzz smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,6 +12,8 @@ cd "$(dirname "$0")/.."
 # deadlock, which is exactly what the harness exists to catch.
 CHAOS_TIMEOUT="${CHAOS_TIMEOUT:-600}"
 CHAOS_SEEDS="${CHAOS_SEEDS:-32}"
+# Per-fuzzer time box for the mutation smoke (seconds).
+FUZZ_SECONDS="${FUZZ_SECONDS:-30}"
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
@@ -30,15 +33,34 @@ if [[ "${SKIP_SANITIZE:-0}" == "1" ]]; then
 fi
 
 echo "== asan+ubsan: configure + build robustness suite =="
-cmake -B build-asan -S . -DVIEWREWRITE_SANITIZE=ON >/dev/null
+cmake -B build-asan -S . -DVIEWREWRITE_SANITIZE=ON -DVIEWREWRITE_FUZZ=ON \
+  >/dev/null
 cmake --build build-asan -j "$(nproc)" --target \
   fault_injection_test quarantine_test publish_recovery_test \
   budget_test mechanism_test retry_test circuit_breaker_test \
-  durability_test chaos_soak
+  durability_test chaos_soak \
+  limits_test adversarial_test synopsis_overflow_test hostile_bundle_test \
+  admission_test corpus_replay_test \
+  fuzz_sql_parser fuzz_rewriter fuzz_vrsy_loader make_seed_corpus
 
 echo "== asan+ubsan: ctest (robustness suite) =="
 (cd build-asan && ctest --output-on-failure -j "$(nproc)" \
-  -R 'FaultInjection|Quarantine|PublishRecovery|Budget|LaplaceMechanism|Retry|Backoff|CircuitBreaker|Durability')
+  -R 'FaultInjection|Quarantine|PublishRecovery|Budget|LaplaceMechanism|Retry|Backoff|CircuitBreaker|Durability|Limits|Tracker|CheckedMul|Adversarial|SynopsisOverflow|HostileBundle|Admission|CorpusReplay')
+
+if [[ "${SKIP_FUZZ:-0}" != "1" ]]; then
+  echo "== asan+ubsan: fuzz smoke (${FUZZ_SECONDS}s per boundary) =="
+  ./build-asan/fuzz/make_seed_corpus build-asan/fuzz-corpus
+  ./build-asan/fuzz/fuzz_sql_parser  --mutate build-asan/fuzz-corpus/sql  "${FUZZ_SECONDS}" 1
+  ./build-asan/fuzz/fuzz_rewriter    --mutate build-asan/fuzz-corpus/sql  "${FUZZ_SECONDS}" 2
+  ./build-asan/fuzz/fuzz_vrsy_loader --mutate build-asan/fuzz-corpus/vrsy "${FUZZ_SECONDS}" 3
+  # The checked-in regressions replay through the instrumented fuzzers too
+  # (the corpus_replay_test above covers them via gtest; this exercises the
+  # driver's file-replay mode on the same inputs).
+  find fuzz/regressions/sql fuzz/regressions/rewrite -type f \
+    -exec ./build-asan/fuzz/fuzz_sql_parser {} +
+  find fuzz/regressions/vrsy -type f \
+    -exec ./build-asan/fuzz/fuzz_vrsy_loader {} +
+fi
 
 if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   echo "== asan+ubsan: chaos soak (reduced seeds) =="
@@ -49,11 +71,12 @@ echo "== tsan: configure + build concurrent-serve suite =="
 cmake -B build-tsan -S . -DVIEWREWRITE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" --target \
   query_server_test answer_cache_test shutdown_race_test reload_test \
-  resilience_test deadline_test chaos_soak
+  resilience_test deadline_test chaos_soak \
+  adversarial_test admission_test corpus_replay_test
 
 echo "== tsan: ctest (concurrent serving layer) =="
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
-  -R 'QueryServer|AnswerCache|ShutdownRace|Reload|Resilience|Deadline')
+  -R 'QueryServer|AnswerCache|ShutdownRace|Reload|Resilience|Deadline|Adversarial|Admission|CorpusReplay')
 
 if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   echo "== tsan: chaos soak (reduced seeds) =="

@@ -1,0 +1,8 @@
+// libFuzzer entry point for the parse -> rewrite boundary (fuzz/harness.h).
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  viewrewrite::fuzz::OneRewriterInput(data, size);
+  return 0;
+}

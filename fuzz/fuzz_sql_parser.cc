@@ -1,0 +1,10 @@
+// libFuzzer entry point for the SQL parser boundary (fuzz/harness.h).
+// Built with -fsanitize=fuzzer under Clang; under GCC the same symbol is
+// driven by fuzz/standalone_driver.cc instead.
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  viewrewrite::fuzz::OneSqlParserInput(data, size);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// libFuzzer entry point for the .vrsy bundle loader boundary
+// (fuzz/harness.h).
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  viewrewrite::fuzz::OneVrsyLoaderInput(data, size);
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Minimal fuzz driver for toolchains without libFuzzer (GCC): links
+// against one LLVMFuzzerTestOneInput and provides replay and a seeded,
+// time-boxed mutation loop. This is deliberately a fraction of what
+// libFuzzer does — no coverage feedback, no corpus minimization — but it
+// is deterministic (same seed => same inputs), runs under ASan/UBSan, and
+// is enough for the CI smoke: hammer the harness with structured garbage
+// derived from real seeds and fail loudly on any crash.
+//
+//   driver FILE...                    replay each file once (regression mode)
+//   driver --mutate DIR SECONDS [SEED]  mutate corpus files under DIR
+//
+// Exit status is 0 iff every input returned normally; a crash inside the
+// harness terminates the process via the sanitizer/signal machinery, which
+// is exactly what ci/check.sh treats as failure.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void RunOne(const std::vector<uint8_t>& input) {
+  LLVMFuzzerTestOneInput(input.data(), input.size());
+}
+
+/// One mutation step: byte flip, truncate, duplicate a chunk, insert
+/// random bytes, or splice in a chunk from another corpus entry.
+std::vector<uint8_t> Mutate(const std::vector<std::vector<uint8_t>>& corpus,
+                            std::mt19937_64& rng) {
+  std::vector<uint8_t> out = corpus[rng() % corpus.size()];
+  const int rounds = 1 + static_cast<int>(rng() % 4);
+  for (int r = 0; r < rounds; ++r) {
+    switch (rng() % 5) {
+      case 0:  // flip / overwrite a byte
+        if (!out.empty()) out[rng() % out.size()] = static_cast<uint8_t>(rng());
+        break;
+      case 1:  // truncate
+        if (!out.empty()) out.resize(rng() % out.size());
+        break;
+      case 2: {  // duplicate a chunk in place
+        if (out.empty()) break;
+        size_t begin = rng() % out.size();
+        size_t len = 1 + rng() % (out.size() - begin);
+        if (out.size() + len > (1u << 20)) break;  // keep inputs small
+        std::vector<uint8_t> chunk(out.begin() + begin,
+                                   out.begin() + begin + len);
+        out.insert(out.begin() + begin, chunk.begin(), chunk.end());
+        break;
+      }
+      case 3: {  // insert random bytes
+        size_t len = 1 + rng() % 16;
+        size_t at = out.empty() ? 0 : rng() % out.size();
+        for (size_t i = 0; i < len; ++i) {
+          out.insert(out.begin() + at, static_cast<uint8_t>(rng()));
+        }
+        break;
+      }
+      case 4: {  // splice a chunk from another seed
+        const std::vector<uint8_t>& other = corpus[rng() % corpus.size()];
+        if (other.empty() || out.size() + other.size() > (1u << 20)) break;
+        size_t begin = rng() % other.size();
+        size_t len = 1 + rng() % (other.size() - begin);
+        size_t at = out.empty() ? 0 : rng() % out.size();
+        out.insert(out.begin() + at, other.begin() + begin,
+                   other.begin() + begin + len);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+int MutateMode(const std::string& dir, long seconds, uint64_t seed) {
+  std::vector<std::vector<uint8_t>> corpus;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) corpus.push_back(ReadFile(entry.path()));
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr, "no seed files under %s\n", dir.c_str());
+    return 2;
+  }
+  // Every seed replays once first, then the mutation loop runs until the
+  // time box expires.
+  for (const auto& input : corpus) RunOne(input);
+  std::mt19937_64 rng(seed);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  uint64_t execs = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int burst = 0; burst < 64; ++burst, ++execs) {
+      RunOne(Mutate(corpus, rng));
+    }
+  }
+  std::fprintf(stderr, "mutation loop done: %llu execs over %lu seeds, %lds\n",
+               static_cast<unsigned long long>(execs),
+               static_cast<unsigned long>(corpus.size()), seconds);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "--mutate") == 0) {
+    long seconds = (argc >= 4) ? std::atol(argv[3]) : 10;
+    uint64_t seed = (argc >= 5) ? std::strtoull(argv[4], nullptr, 10) : 1;
+    return MutateMode(argv[2], seconds, seed);
+  }
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s FILE...               replay files\n"
+                 "       %s --mutate DIR SECS [SEED]\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    RunOne(ReadFile(argv[i]));
+  }
+  std::fprintf(stderr, "replayed %d file(s) without crashing\n", argc - 1);
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "common/limits.h"
+
+#include <limits>
+#include <string>
+
+namespace viewrewrite {
+
+const ResourceLimits& ResourceLimits::Defaults() {
+  static const ResourceLimits* kDefaults = new ResourceLimits();
+  return *kDefaults;
+}
+
+ResourceLimits ResourceLimits::Unbounded() {
+  ResourceLimits l;
+  l.max_sql_bytes = std::numeric_limits<size_t>::max();
+  l.max_tokens = std::numeric_limits<size_t>::max();
+  // Depth stays bounded even in "unbounded" mode: machine stack is a hard
+  // physical resource, and callers asking for no governance still must
+  // not segfault. 1<<20 frames would already overflow any default stack,
+  // so cap at a value that is generous yet survivable for the iterative
+  // checks while keeping recursion guards meaningful.
+  l.max_ast_depth = 100000;
+  l.max_ast_nodes = std::numeric_limits<size_t>::max();
+  l.max_dnf_disjuncts = std::numeric_limits<size_t>::max();
+  l.max_ie_terms = std::numeric_limits<size_t>::max();
+  l.max_view_cells = std::numeric_limits<uint64_t>::max();
+  l.max_arena_bytes = std::numeric_limits<size_t>::max();
+  return l;
+}
+
+std::ostream& operator<<(std::ostream& os, const ResourceLimits& l) {
+  return os << "limits: sql_bytes=" << l.max_sql_bytes
+            << " tokens=" << l.max_tokens << " ast_depth=" << l.max_ast_depth
+            << " ast_nodes=" << l.max_ast_nodes
+            << " dnf_disjuncts=" << l.max_dnf_disjuncts
+            << " ie_terms=" << l.max_ie_terms
+            << " view_cells=" << l.max_view_cells
+            << " arena_bytes=" << l.max_arena_bytes;
+}
+
+Status LimitTracker::Exhausted(const char* what, const char* which,
+                               size_t limit) {
+  return Status::ResourceExhausted(std::string(what) + " exceeds the " +
+                                   which + " limit (" +
+                                   std::to_string(limit) + ")");
+}
+
+}  // namespace viewrewrite

@@ -1,0 +1,135 @@
+#ifndef VIEWREWRITE_COMMON_LIMITS_H_
+#define VIEWREWRITE_COMMON_LIMITS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+
+#include "common/status.h"
+
+namespace viewrewrite {
+
+/// Central resource-governance knobs for every untrusted-input boundary:
+/// the SQL front door (tokenizer/parser), the rewrite pipeline (DNF and
+/// Rule-7 inclusion-exclusion expansion), synopsis generation (cell-grid
+/// size), the `.vrsy` bundle loader (allocation budget), and QueryServer
+/// admission control.
+///
+/// The contract is uniform: a breach surfaces as a typed Status
+/// (kResourceExhausted for size/expansion budgets, kInvalidArgument or
+/// kCorruption where the input is malformed rather than merely large) —
+/// never a stack overflow, OOM kill, integer wrap, or multi-second CPU
+/// burn. Hostile input must fail in microseconds with a message naming
+/// the limit it hit.
+///
+/// Defaults are sized so every query in the paper's 31 workloads (and
+/// anything a human plausibly writes) passes with orders-of-magnitude
+/// headroom; see docs/ROBUSTNESS.md for the limit table.
+struct ResourceLimits {
+  /// Raw SQL text accepted by the tokenizer (bytes). Checked before any
+  /// per-character work.
+  size_t max_sql_bytes = size_t{1} << 20;  // 1 MiB
+  /// Token count produced by the tokenizer.
+  size_t max_tokens = size_t{1} << 17;  // 131072
+  /// AST depth, both as parser recursion (nesting: parens, subqueries)
+  /// and as post-parse tree height (which left-deep AND/OR chains grow
+  /// without parser recursion). Bounding it here makes every downstream
+  /// recursive walk — printer, clone, DNF, classifier, executor eval —
+  /// stack-safe.
+  size_t max_ast_depth = 400;
+  /// Total AST nodes in one parsed statement.
+  size_t max_ast_nodes = size_t{1} << 18;  // 262144
+  /// Hard safety cap on DNF disjuncts. The paper-level knob
+  /// (RewriteOptions::max_or_disjuncts, default 6) normally trips first
+  /// with kRewriteError; this cap is the governance backstop should the
+  /// paper knob be configured high.
+  size_t max_dnf_disjuncts = 64;
+  /// Rule-7 inclusion-exclusion emits 2^k - 1 cloned AND-only queries for
+  /// k disjuncts; this caps the term count (and thus the clone memory).
+  size_t max_ie_terms = 4096;
+  /// Synopsis cell-grid budget (product of per-dimension sizes). Clamps
+  /// SynopsisOptions::max_cells when wired through EngineOptions.
+  uint64_t max_view_cells = uint64_t{1} << 21;
+  /// Transient allocation budget for one unit of untrusted work: the
+  /// `.vrsy` loader charges every array/string/vector it materializes
+  /// against this before allocating.
+  size_t max_arena_bytes = size_t{256} << 20;  // 256 MiB
+
+  /// Shared default instance (the values above).
+  static const ResourceLimits& Defaults();
+  /// Effectively-unbounded limits, for benchmarking governance overhead
+  /// and for trusted internal replays. Not "disabled": counters still
+  /// run, the thresholds are just numeric_limits-sized.
+  static ResourceLimits Unbounded();
+};
+
+std::ostream& operator<<(std::ostream& os, const ResourceLimits& l);
+
+/// Mutable per-operation accounting against a ResourceLimits, threaded
+/// through one parse / one rewrite / one bundle load. Cheap enough for
+/// hot paths: each charge is an add + compare. Not thread-safe; one
+/// tracker per operation.
+class LimitTracker {
+ public:
+  explicit LimitTracker(const ResourceLimits& limits) : limits_(limits) {}
+
+  const ResourceLimits& limits() const { return limits_; }
+
+  /// Recursion-depth accounting (parser nesting). Pair with LeaveDepth.
+  Status EnterDepth(const char* what) {
+    if (++depth_ > limits_.max_ast_depth) {
+      --depth_;
+      return Exhausted(what, "depth", limits_.max_ast_depth);
+    }
+    return Status::OK();
+  }
+  void LeaveDepth() { --depth_; }
+
+  /// AST node-count accounting.
+  Status AddNodes(size_t n, const char* what) {
+    nodes_ += n;
+    if (nodes_ > limits_.max_ast_nodes) {
+      return Exhausted(what, "node count", limits_.max_ast_nodes);
+    }
+    return Status::OK();
+  }
+
+  /// Allocation accounting (loader arena budget).
+  Status AddBytes(size_t n, const char* what) {
+    if (n > limits_.max_arena_bytes - bytes_) {  // overflow-safe
+      return Exhausted(what, "allocation budget (bytes)",
+                       limits_.max_arena_bytes);
+    }
+    bytes_ += n;
+    return Status::OK();
+  }
+
+  size_t depth() const { return depth_; }
+  size_t nodes() const { return nodes_; }
+  size_t bytes() const { return bytes_; }
+
+ private:
+  static Status Exhausted(const char* what, const char* which, size_t limit);
+
+  const ResourceLimits& limits_;
+  size_t depth_ = 0;
+  size_t nodes_ = 0;
+  size_t bytes_ = 0;
+};
+
+/// `*out = a * b`, or false when the product overflows uint64. Used by
+/// synopsis cell counting so the grid-size check trips before the
+/// product wraps.
+inline bool CheckedMulU64(uint64_t a, uint64_t b, uint64_t* out) {
+#if defined(__GNUC__) || defined(__clang__)
+  return !__builtin_mul_overflow(a, b, out);
+#else
+  if (b != 0 && a > UINT64_MAX / b) return false;
+  *out = a * b;
+  return true;
+#endif
+}
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_COMMON_LIMITS_H_

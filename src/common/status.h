@@ -24,6 +24,7 @@ enum class StatusCode {
   kCorruption,    // persisted data failed validation (checksum, truncation)
   kUnavailable,   // transient capacity condition (queue full, shutting down)
   kDeadlineExceeded,  // per-request deadline elapsed before the answer
+  kResourceExhausted,  // input breached a resource-governance limit
 };
 
 /// Returns a human-readable name for `code` ("OK", "ParseError", ...).
@@ -78,6 +79,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,6 @@
 #include "engine/viewrewrite_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 
@@ -13,6 +14,21 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+/// EngineOptions::limits is the single governance knob: stamp it into the
+/// sub-option structs the pipeline components actually consume.
+RewriteOptions RewriteWithLimits(RewriteOptions rewrite,
+                                 const ResourceLimits& l) {
+  rewrite.limits = l;
+  return rewrite;
+}
+
+SynopsisOptions SynopsisWithLimits(SynopsisOptions synopsis,
+                                   const ResourceLimits& l) {
+  synopsis.max_cells = static_cast<size_t>(
+      std::min<uint64_t>(synopsis.max_cells, l.max_view_cells));
+  return synopsis;
 }
 
 }  // namespace
@@ -54,10 +70,15 @@ ViewRewriteEngine::ViewRewriteEngine(const Database& db, PrivacyPolicy policy,
     : db_(db),
       policy_(std::move(policy)),
       options_(options),
-      rewriter_(db.schema(), options.rewrite),
-      views_(db.schema(), policy_, options.synopsis),
+      rewriter_(db.schema(), RewriteWithLimits(options.rewrite,
+                                               options.limits)),
+      views_(db.schema(), policy_,
+             SynopsisWithLimits(options.synopsis, options.limits)),
       executor_(db),
-      rng_(options.seed) {}
+      rng_(options.seed) {
+  options_.rewrite.limits = options_.limits;
+  options_.synopsis = SynopsisWithLimits(options_.synopsis, options_.limits);
+}
 
 Status ViewRewriteEngine::Prepare(const std::vector<std::string>& workload) {
   stats_ = EngineStats{};
@@ -76,7 +97,8 @@ Status ViewRewriteEngine::Prepare(const std::vector<std::string>& workload) {
   rewritten_.resize(workload.size());
   for (size_t i = 0; i < workload.size(); ++i) {
     auto rewrite_one = [&]() -> Result<RewrittenQuery> {
-      VR_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelect(workload[i]));
+      VR_ASSIGN_OR_RETURN(SelectStmtPtr stmt,
+                          ParseSelect(workload[i], options_.limits));
       return rewriter_.Rewrite(*stmt);
     };
     Result<RewrittenQuery> rq = rewrite_one();

@@ -18,6 +18,13 @@ namespace viewrewrite {
 struct EngineOptions {
   double epsilon = 8.0;
   uint64_t seed = 42;
+  /// Resource governance for untrusted workload input (see
+  /// docs/ROBUSTNESS.md for the limit table). The engine parses every
+  /// workload query under these limits, copies them into
+  /// `rewrite.limits` at construction (set them here, not there), and
+  /// clamps `synopsis.max_cells` to `limits.max_view_cells` — so one knob
+  /// governs the whole parse -> rewrite -> publish pipeline.
+  ResourceLimits limits;
   RewriteOptions rewrite;
   SynopsisOptions synopsis;
   /// Budget split across views (kByUsage is the paper's future-work

@@ -98,7 +98,8 @@ Result<std::vector<Disjunct>> ToDnf(const Expr& e, size_t max_disjuncts) {
 }
 
 Result<QueryCombination> InclusionExclusion(
-    const SelectStmt& base, const std::vector<Disjunct>& disjuncts) {
+    const SelectStmt& base, const std::vector<Disjunct>& disjuncts,
+    size_t max_terms) {
   const size_t k = disjuncts.size();
   if (k == 0) {
     return Status::InvalidArgument("inclusion-exclusion over zero disjuncts");
@@ -106,7 +107,17 @@ Result<QueryCombination> InclusionExclusion(
   if (k > 16) {
     return Status::RewriteError("too many disjuncts for inclusion-exclusion");
   }
+  // Governance backstop: refuse the 2^k - 1 expansion before cloning
+  // anything. k <= 16 above, so the shift cannot overflow.
+  const size_t n_terms = (size_t{1} << k) - 1;
+  if (n_terms > max_terms) {
+    return Status::ResourceExhausted(
+        "inclusion-exclusion over " + std::to_string(k) +
+        " disjuncts needs " + std::to_string(n_terms) +
+        " terms, exceeding the limit (" + std::to_string(max_terms) + ")");
+  }
   QueryCombination combo;
+  combo.terms.reserve(n_terms);
   for (uint32_t mask = 1; mask < (1u << k); ++mask) {
     // Intersection of the selected disjuncts: conjunction of their atoms,
     // deduplicated by canonical SQL text.

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/limits.h"
 #include "common/result.h"
 #include "sql/ast.h"
 
@@ -26,8 +27,14 @@ Result<std::vector<Disjunct>> ToDnf(const Expr& e, size_t max_disjuncts);
 /// queries by inclusion–exclusion:
 ///   |D1 ∪ ... ∪ Dk| = Σ_S (-1)^{|S|+1} |∩ S|.
 /// Duplicate atoms within an intersection are deduplicated.
+///
+/// The expansion has 2^k - 1 terms, each a full clone of `base`;
+/// `max_terms` (governance: ResourceLimits::max_ie_terms) is checked
+/// BEFORE any clone is made, returning kResourceExhausted so a
+/// high-disjunct query degrades to a typed refusal, never 2^k memory.
 Result<QueryCombination> InclusionExclusion(
-    const SelectStmt& base, const std::vector<Disjunct>& disjuncts);
+    const SelectStmt& base, const std::vector<Disjunct>& disjuncts,
+    size_t max_terms = ResourceLimits::Defaults().max_ie_terms);
 
 }  // namespace viewrewrite
 

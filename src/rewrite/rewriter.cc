@@ -1460,8 +1460,22 @@ Result<QueryCombination> Rewriter::SplitDisjunction(SelectStmtPtr stmt) const {
   if (!scalar_agg) {
     return single(std::move(stmt));
   }
-  size_t max_d = options_.max_or_disjuncts;
-  VR_ASSIGN_OR_RETURN(std::vector<Disjunct> dnf, ToDnf(*stmt->where, max_d));
+  // The paper knob (max_or_disjuncts -> kRewriteError) trips first under
+  // default configuration; the governance cap (max_dnf_disjuncts ->
+  // kResourceExhausted) backstops it should the knob be raised.
+  const size_t governance_cap = options_.limits.max_dnf_disjuncts;
+  const size_t max_d = std::min(options_.max_or_disjuncts, governance_cap);
+  Result<std::vector<Disjunct>> dnf_result = ToDnf(*stmt->where, max_d);
+  if (!dnf_result.ok()) {
+    if (options_.max_or_disjuncts > governance_cap &&
+        dnf_result.status().code() == StatusCode::kRewriteError) {
+      return Status::ResourceExhausted(
+          "DNF expansion exceeds the governance limit (" +
+          std::to_string(governance_cap) + " disjuncts)");
+    }
+    return dnf_result.status();
+  }
+  std::vector<Disjunct> dnf = std::move(dnf_result).value();
   if (dnf.size() == 1) {
     std::vector<const Expr*> atoms;
     for (const auto& a : dnf[0]) atoms.push_back(a.get());
@@ -1469,7 +1483,7 @@ Result<QueryCombination> Rewriter::SplitDisjunction(SelectStmtPtr stmt) const {
     return single(std::move(stmt));
   }
   stmt->where = nullptr;
-  return InclusionExclusion(*stmt, dnf);
+  return InclusionExclusion(*stmt, dnf, options_.limits.max_ie_terms);
 }
 
 Result<RewrittenQuery> Rewriter::Rewrite(const SelectStmt& query) const {

@@ -1,17 +1,26 @@
 #ifndef VIEWREWRITE_REWRITE_REWRITER_H_
 #define VIEWREWRITE_REWRITE_REWRITER_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "catalog/schema.h"
+#include "common/limits.h"
 #include "common/result.h"
 #include "sql/ast.h"
 
 namespace viewrewrite {
 
 struct RewriteOptions {
-  /// Hard cap on DNF disjuncts (Rule 7 emits 2^k - 1 terms).
+  /// Hard cap on DNF disjuncts (Rule 7 emits 2^k - 1 terms). This is the
+  /// paper-level quality knob; breaching it is kRewriteError ("this query
+  /// is outside the rewrite class"), distinct from the governance caps in
+  /// `limits` below (kResourceExhausted, "this input is hostile-sized").
   size_t max_or_disjuncts = 6;
+  /// Resource governance for the rewrite pipeline: max_dnf_disjuncts
+  /// backstops max_or_disjuncts should it be configured high, and
+  /// max_ie_terms bounds the Rule-7 2^k clone expansion.
+  ResourceLimits limits;
   /// Stage toggles, used by the ablation benchmarks.
   bool enable_unnest = true;         // Rules 9-20
   bool enable_hoist = true;          // Rules 1-3

@@ -11,6 +11,13 @@ namespace viewrewrite {
 
 namespace {
 
+/// Rewrite options with the server-level governance limits stamped in, so
+/// one ServeOptions::limits knob governs admission, parse and rewrite.
+RewriteOptions WithLimits(RewriteOptions rewrite, const ResourceLimits& l) {
+  rewrite.limits = l;
+  return rewrite;
+}
+
 std::string RawCacheKey(const std::string& sql, const ParamMap& params) {
   std::string key = "r|";
   key += sql;
@@ -30,9 +37,10 @@ QueryServer::QueryServer(std::shared_ptr<const SynopsisStore> store,
     : store_(std::move(store)),
       schema_(schema),
       options_(options),
-      rewriter_(schema_, options.rewrite),
+      rewriter_(schema_, WithLimits(options.rewrite, options.limits)),
       answer_breaker_(options.answer_breaker),
       store_breaker_(options.store_breaker) {
+  options_.rewrite.limits = options_.limits;
   if (options_.num_threads == 0) options_.num_threads = 1;
   if (options_.enable_cache) {
     cache_ = std::make_unique<AnswerCache>(options_.cache_capacity,
@@ -96,6 +104,17 @@ std::future<Result<ServedAnswer>> QueryServer::Submit(
   task.params = std::move(params);
   task.deadline = MakeDeadline(timeout);
   std::future<Result<ServedAnswer>> future = task.promise.get_future();
+  // Admission control: oversized SQL is refused before it occupies a
+  // queue slot or a worker — the cheapest point to stop a hostile
+  // payload, and the check the tokenizer would make anyway.
+  if (task.sql.size() > options_.limits.max_sql_bytes) {
+    rejected_oversized_.fetch_add(1, std::memory_order_relaxed);
+    task.promise.set_value(Status::ResourceExhausted(
+        "query of " + std::to_string(task.sql.size()) +
+        " bytes exceeds the limit (" +
+        std::to_string(options_.limits.max_sql_bytes) + ")"));
+    return future;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
@@ -207,7 +226,7 @@ Result<ServedAnswer> QueryServer::Handle(const std::string& sql,
     if (deadline.expired()) {
       return Status::DeadlineExceeded("request deadline expired before parse");
     }
-    VR_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelect(sql));
+    VR_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelect(sql, options_.limits));
     if (deadline.expired()) {
       return Status::DeadlineExceeded("request deadline expired after parse");
     }
@@ -311,7 +330,8 @@ Status QueryServer::Reload(const std::string& path) {
         return Status::Unavailable(
             "store-load circuit breaker is open; reload rejected");
       }
-      Result<SynopsisStore> loaded = SynopsisStore::Load(path, schema_);
+      Result<SynopsisStore> loaded =
+          SynopsisStore::Load(path, schema_, options_.limits);
       if (loaded.ok()) {
         store_breaker_.RecordSuccess();
         return std::make_shared<const SynopsisStore>(std::move(*loaded));
@@ -367,7 +387,9 @@ ServeStats QueryServer::stats() const {
   s.rejected_queue_full =
       rejected_queue_full_.load(std::memory_order_relaxed);
   s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
-  s.rejected = s.rejected_queue_full + s.rejected_shutdown;
+  s.rejected_oversized = rejected_oversized_.load(std::memory_order_relaxed);
+  s.rejected = s.rejected_queue_full + s.rejected_shutdown +
+               s.rejected_oversized;
   s.unmatched = unmatched_.load(std::memory_order_relaxed);
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   s.retries = retries_.load(std::memory_order_relaxed);

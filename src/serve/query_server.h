@@ -33,6 +33,12 @@ struct ServeOptions {
   bool enable_cache = true;
   size_t cache_capacity = 4096;
   size_t cache_shards = 8;
+  /// Resource governance for untrusted query input: Submit rejects SQL
+  /// larger than `limits.max_sql_bytes` before it ever occupies a queue
+  /// slot (counted in ServeStats::rejected_oversized), and the same
+  /// limits govern parse and rewrite on the worker (they are copied into
+  /// `rewrite.limits` at construction — set them here, not there).
+  ResourceLimits limits;
   /// Serve-time rewrite options; must match the options the workload was
   /// prepared with, or structurally identical queries would map to
   /// different view signatures.
@@ -220,6 +226,7 @@ class QueryServer {
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> rejected_queue_full_{0};
   std::atomic<uint64_t> rejected_shutdown_{0};
+  std::atomic<uint64_t> rejected_oversized_{0};
   std::atomic<uint64_t> unmatched_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> retries_{0};

@@ -7,7 +7,8 @@ std::ostream& operator<<(std::ostream& os, const ServeStats& s) {
      << " failed=" << s.failed << " rejected=" << s.rejected;
   if (s.rejected > 0) {
     os << " (queue_full=" << s.rejected_queue_full
-       << " shutdown=" << s.rejected_shutdown << ")";
+       << " shutdown=" << s.rejected_shutdown
+       << " oversized=" << s.rejected_oversized << ")";
   }
   os << " unmatched=" << s.unmatched
      << " deadline_exceeded=" << s.deadline_exceeded;

@@ -16,9 +16,11 @@ struct ServeStats {
   uint64_t submitted = 0;      // Submit calls accepted into the queue
   uint64_t completed = 0;      // answered successfully (including stale)
   uint64_t failed = 0;         // finished with a non-OK status
-  uint64_t rejected = 0;       // refused at Submit (queue full / shut down)
+  uint64_t rejected = 0;  // refused at Submit (full / shut down / oversized)
   uint64_t rejected_queue_full = 0;  // subset of rejected: bounded queue full
   uint64_t rejected_shutdown = 0;    // subset of rejected: server shut down
+  uint64_t rejected_oversized = 0;   // subset of rejected: SQL over the
+                                     // ServeOptions::limits size cap
   uint64_t unmatched = 0;      // no stored view could answer (subset of failed)
   uint64_t deadline_exceeded = 0;  // requests past deadline (subset of failed)
   uint64_t retries = 0;            // extra answer attempts beyond the first

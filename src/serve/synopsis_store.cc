@@ -68,11 +68,15 @@ void PutDoubles(std::string* out, const std::vector<double>& v) {
 
 /// Bounds-checked reader over a byte span. Every overrun is a Corruption
 /// status, never undefined behavior — corrupted bundles must fail cleanly.
+/// When a LimitTracker is attached, every materialized string/array is
+/// charged against its arena budget before allocation.
 class Reader {
  public:
-  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+  Reader(const char* data, size_t size, LimitTracker* tracker = nullptr)
+      : data_(data), size_(size), tracker_(tracker) {}
 
   size_t remaining() const { return size_ - pos_; }
+  LimitTracker* tracker() const { return tracker_; }
 
   Status Need(size_t n) {
     if (size_ - pos_ < n) {
@@ -81,6 +85,26 @@ class Reader {
                                 std::to_string(size_ - pos_) + " left)");
     }
     return Status::OK();
+  }
+
+  /// Validates that `count` elements of `elem_size` serialized bytes each
+  /// can still be present, without the multiply ever overflowing — the
+  /// gate that makes a subsequent reserve(count) safe.
+  Status NeedElements(uint64_t count, size_t elem_size) {
+    if (count > remaining() / elem_size) {
+      return Status::Corruption(
+          "synopsis bundle declares " + std::to_string(count) +
+          " elements but only " + std::to_string(remaining()) +
+          " bytes remain");
+    }
+    return Status::OK();
+  }
+
+  /// Charges `n` bytes of materialization against the arena budget (no-op
+  /// without a tracker).
+  Status Charge(size_t n, const char* what) {
+    if (tracker_ == nullptr) return Status::OK();
+    return tracker_->AddBytes(n, what);
   }
 
   Result<uint8_t> U8() {
@@ -130,6 +154,7 @@ class Reader {
   Result<std::string> String() {
     VR_ASSIGN_OR_RETURN(uint64_t n, U64());
     VR_RETURN_NOT_OK(Need(n));
+    VR_RETURN_NOT_OK(Charge(n, "bundle string"));
     std::string s(data_ + pos_, n);
     pos_ += n;
     return s;
@@ -137,7 +162,10 @@ class Reader {
 
   Result<std::vector<double>> Doubles() {
     VR_ASSIGN_OR_RETURN(uint64_t n, U64());
-    VR_RETURN_NOT_OK(Need(n * 8));
+    // NeedElements instead of Need(n * 8): the multiply would wrap for
+    // n >= 2^61, letting a hostile count through the bounds check.
+    VR_RETURN_NOT_OK(NeedElements(n, 8));
+    VR_RETURN_NOT_OK(Charge(n * sizeof(double), "bundle double array"));
     std::vector<double> v;
     v.reserve(n);
     for (uint64_t i = 0; i < n; ++i) {
@@ -157,6 +185,7 @@ class Reader {
  private:
   const char* data_;
   size_t size_;
+  LimitTracker* tracker_;
   size_t pos_ = 0;
 };
 
@@ -223,6 +252,11 @@ Result<ColumnDomain> ReadDomain(Reader* r) {
       return ColumnDomain::None();
     case static_cast<uint8_t>(ColumnDomain::Kind::kCategorical): {
       VR_ASSIGN_OR_RETURN(uint64_t n, r->U64());
+      // Each serialized value occupies at least its 1-byte tag, so a
+      // count beyond the remaining bytes is corrupt — checked before the
+      // reserve so the declared count can never drive the allocation.
+      VR_RETURN_NOT_OK(r->NeedElements(n, 1));
+      VR_RETURN_NOT_OK(r->Charge(n * sizeof(Value), "bundle domain"));
       std::vector<Value> values;
       values.reserve(n);
       for (uint64_t i = 0; i < n; ++i) {
@@ -433,6 +467,10 @@ Result<LoadedView> ReadViewSection(Reader* r) {
     VR_ASSIGN_OR_RETURN(int64_t n, r->I64());
     VR_ASSIGN_OR_RETURN(int64_t height, r->I64());
     VR_ASSIGN_OR_RETURN(uint32_t n_levels, r->U32());
+    // Each level costs at least its 8-byte length prefix.
+    VR_RETURN_NOT_OK(r->NeedElements(n_levels, 8));
+    VR_RETURN_NOT_OK(
+        r->Charge(n_levels * sizeof(std::vector<double>), "bundle hier tree"));
     std::vector<std::vector<double>> tree;
     tree.reserve(n_levels);
     for (uint32_t i = 0; i < n_levels; ++i) {
@@ -604,7 +642,8 @@ Status SynopsisStore::Save(const std::string& path) const {
 }
 
 Result<SynopsisStore> SynopsisStore::Load(const std::string& path,
-                                          const Schema& schema) {
+                                          const Schema& schema,
+                                          const ResourceLimits& limits) {
   VR_FAULT_POINT(faults::kServeLoad);
   std::string blob;
   {
@@ -612,12 +651,28 @@ Result<SynopsisStore> SynopsisStore::Load(const std::string& path,
     if (!in) {
       return Status::NotFound("cannot open synopsis bundle '" + path + "'");
     }
+    // Refuse oversized files before buffering: the file itself is the
+    // first allocation an attacker controls.
+    in.seekg(0, std::ios::end);
+    const std::streamoff file_size = in.tellg();
+    if (file_size < 0) {
+      return Status::ExecutionError("cannot stat synopsis bundle '" + path +
+                                    "'");
+    }
+    if (static_cast<uint64_t>(file_size) > limits.max_arena_bytes) {
+      return Status::ResourceExhausted(
+          "synopsis bundle '" + path + "' is " + std::to_string(file_size) +
+          " bytes, exceeding the load budget (" +
+          std::to_string(limits.max_arena_bytes) + ")");
+    }
+    in.seekg(0, std::ios::beg);
     std::string buf((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
     blob = std::move(buf);
   }
 
-  Reader r(blob.data(), blob.size());
+  LimitTracker tracker(limits);
+  Reader r(blob.data(), blob.size(), &tracker);
   VR_ASSIGN_OR_RETURN(std::string_view magic, r.Bytes(sizeof(kMagic)));
   if (std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("'" + path + "' is not a synopsis bundle "
@@ -648,7 +703,7 @@ Result<SynopsisStore> SynopsisStore::Load(const std::string& path,
           "checksum mismatch in synopsis bundle section '" +
           std::string(1, static_cast<char>(tag)) + "'");
     }
-    Reader section(payload.data(), payload.size());
+    Reader section(payload.data(), payload.size(), &tracker);
     switch (tag) {
       case kSectionHeader: {
         if (saw_header) {

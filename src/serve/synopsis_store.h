@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "catalog/schema.h"
+#include "common/limits.h"
 #include "common/result.h"
 #include "view/view_manager.h"
 
@@ -71,8 +72,18 @@ class SynopsisStore {
 
   /// Reads a bundle back and re-binds it against `schema`, which must
   /// fingerprint-match the schema the bundle was built under.
-  static Result<SynopsisStore> Load(const std::string& path,
-                                    const Schema& schema);
+  ///
+  /// Resource governance: the loader never trusts a length field. Every
+  /// declared element count is cross-checked against the bytes actually
+  /// remaining in the section before any reserve/allocate, and all
+  /// materialized arrays and strings are charged against
+  /// `limits.max_arena_bytes` — so a hostile bundle (e.g. a 100-byte file
+  /// declaring 2^60 doubles) fails with kCorruption/kResourceExhausted
+  /// instead of a multi-gigabyte allocation or an integer-overflowed
+  /// bounds check.
+  static Result<SynopsisStore> Load(
+      const std::string& path, const Schema& schema,
+      const ResourceLimits& limits = ResourceLimits::Defaults());
 
   size_t NumViews() const { return views_.size(); }
   uint64_t schema_fingerprint() const { return schema_fingerprint_; }

@@ -264,6 +264,112 @@ ExprPtr MakeFuncCall(std::string name, std::vector<ExprPtr> args,
                                         distinct);
 }
 
+namespace {
+
+/// One pending node of the iterative AST walk: exactly one pointer set.
+struct WalkItem {
+  const Expr* expr = nullptr;
+  const TableRef* ref = nullptr;
+  const SelectStmt* stmt = nullptr;
+  size_t depth = 0;
+};
+
+}  // namespace
+
+AstStats ComputeAstStats(const SelectStmt& stmt) {
+  AstStats stats;
+  std::vector<WalkItem> work;
+  work.push_back({nullptr, nullptr, &stmt, 1});
+  auto push_expr = [&work](const Expr* e, size_t d) {
+    if (e != nullptr) work.push_back({e, nullptr, nullptr, d});
+  };
+  auto push_stmt = [&work](const SelectStmt* s, size_t d) {
+    if (s != nullptr) work.push_back({nullptr, nullptr, s, d});
+  };
+  while (!work.empty()) {
+    WalkItem item = work.back();
+    work.pop_back();
+    ++stats.nodes;
+    if (item.depth > stats.depth) stats.depth = item.depth;
+    const size_t d = item.depth + 1;
+    if (item.expr != nullptr) {
+      switch (item.expr->kind) {
+        case ExprKind::kLiteral:
+        case ExprKind::kColumnRef:
+        case ExprKind::kStar:
+        case ExprKind::kParam:
+          break;
+        case ExprKind::kBinary: {
+          const auto* b = static_cast<const BinaryExpr*>(item.expr);
+          push_expr(b->left.get(), d);
+          push_expr(b->right.get(), d);
+          break;
+        }
+        case ExprKind::kUnary:
+          push_expr(static_cast<const UnaryExpr*>(item.expr)->operand.get(),
+                    d);
+          break;
+        case ExprKind::kFuncCall: {
+          const auto* f = static_cast<const FuncCallExpr*>(item.expr);
+          for (const auto& a : f->args) push_expr(a.get(), d);
+          break;
+        }
+        case ExprKind::kScalarSubquery:
+          push_stmt(
+              static_cast<const ScalarSubqueryExpr*>(item.expr)->subquery.get(),
+              d);
+          break;
+        case ExprKind::kIn: {
+          const auto* in = static_cast<const InExpr*>(item.expr);
+          push_expr(in->lhs.get(), d);
+          push_stmt(in->subquery.get(), d);
+          for (const auto& v : in->value_list) push_expr(v.get(), d);
+          break;
+        }
+        case ExprKind::kExists:
+          push_stmt(static_cast<const ExistsExpr*>(item.expr)->subquery.get(),
+                    d);
+          break;
+        case ExprKind::kQuantifiedCmp: {
+          const auto* q = static_cast<const QuantifiedCmpExpr*>(item.expr);
+          push_expr(q->lhs.get(), d);
+          push_stmt(q->subquery.get(), d);
+          break;
+        }
+      }
+    } else if (item.ref != nullptr) {
+      switch (item.ref->kind) {
+        case TableRefKind::kBase:
+          break;
+        case TableRefKind::kDerived:
+          push_stmt(
+              static_cast<const DerivedTableRef*>(item.ref)->subquery.get(),
+              d);
+          break;
+        case TableRefKind::kJoin: {
+          const auto* j = static_cast<const JoinTableRef*>(item.ref);
+          if (j->left) work.push_back({nullptr, j->left.get(), nullptr, d});
+          if (j->right) work.push_back({nullptr, j->right.get(), nullptr, d});
+          push_expr(j->condition.get(), d);
+          break;
+        }
+      }
+    } else {
+      const SelectStmt* s = item.stmt;
+      for (const auto& w : s->with) push_stmt(w.query.get(), d);
+      for (const auto& it : s->items) push_expr(it.expr.get(), d);
+      for (const auto& f : s->from) {
+        if (f) work.push_back({nullptr, f.get(), nullptr, d});
+      }
+      push_expr(s->where.get(), d);
+      for (const auto& g : s->group_by) push_expr(g.get(), d);
+      push_expr(s->having.get(), d);
+      for (const auto& o : s->order_by) push_expr(o.expr.get(), d);
+    }
+  }
+  return stats;
+}
+
 std::vector<const Expr*> CollectConjuncts(const Expr* e) {
   std::vector<const Expr*> out;
   if (e == nullptr) return out;

@@ -321,6 +321,17 @@ ExprPtr MakeNot(ExprPtr e);
 ExprPtr MakeFuncCall(std::string name, std::vector<ExprPtr> args,
                      bool distinct = false);
 
+/// Tree height and node count of a parsed statement. Computed with an
+/// explicit work stack (never recursion), so a tree too deep for the
+/// machine stack can still be measured safely — this is what lets the
+/// parser enforce ResourceLimits::max_ast_depth on left-deep AND/OR
+/// chains that it builds iteratively.
+struct AstStats {
+  size_t depth = 0;  // max nesting over expressions, refs and subqueries
+  size_t nodes = 0;  // total Expr + TableRef + SelectStmt nodes
+};
+AstStats ComputeAstStats(const SelectStmt& stmt);
+
 /// Splits a predicate into its top-level AND conjuncts (flattens nested
 /// ANDs). A null input produces an empty vector.
 std::vector<const Expr*> CollectConjuncts(const Expr* e);

@@ -1,20 +1,71 @@
 #include "sql/parser.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/fault_injection.h"
+#include "common/limits.h"
 #include "sql/token.h"
 
 namespace viewrewrite {
 
 namespace {
 
+/// RAII wrapper around LimitTracker::EnterDepth/LeaveDepth: charges one
+/// level of parser recursion on construction and releases it on scope
+/// exit (on failure nothing was charged, so nothing is released).
+class DepthScope {
+ public:
+  DepthScope(LimitTracker& tracker, const char* what) : tracker_(tracker) {
+    status_ = tracker_.EnterDepth(what);
+    entered_ = status_.ok();
+  }
+  ~DepthScope() {
+    if (entered_) tracker_.LeaveDepth();
+  }
+  DepthScope(const DepthScope&) = delete;
+  DepthScope& operator=(const DepthScope&) = delete;
+
+  const Status& status() const { return status_; }
+
+ private:
+  LimitTracker& tracker_;
+  Status status_;
+  bool entered_ = false;
+};
+
+/// Strict int64 parse for an integer token: the whole text must convert
+/// and fit, else kInvalidArgument (std::strtoll would silently saturate
+/// on overflow and ignore trailing garbage).
+Result<int64_t> ParseInt64Token(const Token& tok) {
+  errno = 0;
+  char* end = nullptr;
+  const char* begin = tok.text.c_str();
+  long long v = std::strtoll(begin, &end, 10);
+  if (errno == ERANGE || end == begin || *end != '\0') {
+    return Status::InvalidArgument("integer literal '" + tok.text +
+                                   "' at offset " +
+                                   std::to_string(tok.offset) +
+                                   " does not fit in int64");
+  }
+  return static_cast<int64_t>(v);
+}
+
 /// Recursive-descent parser over the token stream. `IS [NOT] NULL` is
 /// represented as the special function calls isnull(x) / isnotnull(x);
 /// `BETWEEN a AND b` is desugared to (x >= a AND x <= b) at parse time.
+///
+/// Governance: every recursion cycle (subqueries, parenthesized
+/// expressions, NOT chains, unary-minus chains) passes through a
+/// DepthScope, and the iterative left-deep chain builders (AND/OR,
+/// additive, multiplicative, joins) charge chain length against the same
+/// depth budget — so the tree the parser hands back can always be
+/// destroyed, cloned, and walked recursively without overflowing the
+/// machine stack.
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, const ResourceLimits& limits)
+      : tokens_(std::move(tokens)), tracker_(limits) {}
 
   Result<SelectStmtPtr> ParseStatement() {
     VR_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelectStmt());
@@ -65,7 +116,27 @@ class Parser {
     return ErrStatus(msg);
   }
 
+  /// Charges `n` nodes toward max_ast_nodes; a breach is sticky (the
+  /// parser aborts at the next VR_RETURN_NOT_OK).
+  Status ChargeNodes(size_t n = 1) {
+    return tracker_.AddNodes(n, "SQL statement");
+  }
+  /// Charges one link of an iteratively-built left-deep chain (AND/OR,
+  /// + - * /, JOIN) against the depth budget: each link deepens the tree
+  /// by one without any parser recursion.
+  Status ChargeChain(size_t* chain, const char* what) {
+    if (++*chain > tracker_.limits().max_ast_depth) {
+      return Status::ResourceExhausted(
+          std::string(what) + " chain exceeds the depth limit (" +
+          std::to_string(tracker_.limits().max_ast_depth) + ")");
+    }
+    return Status::OK();
+  }
+
   Result<SelectStmtPtr> ParseSelectStmt() {
+    DepthScope scope(tracker_, "SELECT nesting");
+    VR_RETURN_NOT_OK(scope.status());
+    VR_RETURN_NOT_OK(ChargeNodes());
     auto stmt = std::make_unique<SelectStmt>();
     if (AcceptKeyword("WITH")) {
       while (true) {
@@ -143,13 +214,14 @@ class Parser {
       if (Peek().type != TokenType::kInteger) {
         return Err("LIMIT expects an integer");
       }
-      stmt->limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+      VR_ASSIGN_OR_RETURN(stmt->limit, ParseInt64Token(Advance()));
     }
     return stmt;
   }
 
   Result<TableRefPtr> ParseTableRef() {
     VR_ASSIGN_OR_RETURN(TableRefPtr left, ParseTablePrimary());
+    size_t chain = 0;
     while (true) {
       JoinType type;
       bool natural = false;
@@ -169,6 +241,7 @@ class Parser {
       } else {
         break;
       }
+      VR_RETURN_NOT_OK(ChargeChain(&chain, "JOIN"));
       VR_ASSIGN_OR_RETURN(TableRefPtr right, ParseTablePrimary());
       ExprPtr cond;
       if (AcceptKeyword("ON")) {
@@ -213,11 +286,18 @@ class Parser {
   }
 
   // expr := or_expr
-  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseExpr() {
+    DepthScope scope(tracker_, "expression nesting");
+    VR_RETURN_NOT_OK(scope.status());
+    return ParseOr();
+  }
 
   Result<ExprPtr> ParseOr() {
     VR_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    size_t chain = 0;
     while (AcceptKeyword("OR")) {
+      VR_RETURN_NOT_OK(ChargeChain(&chain, "OR"));
+      VR_RETURN_NOT_OK(ChargeNodes());
       VR_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
       left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
     }
@@ -226,7 +306,10 @@ class Parser {
 
   Result<ExprPtr> ParseAnd() {
     VR_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    size_t chain = 0;
     while (AcceptKeyword("AND")) {
+      VR_RETURN_NOT_OK(ChargeChain(&chain, "AND"));
+      VR_RETURN_NOT_OK(ChargeNodes());
       VR_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
       left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
     }
@@ -239,6 +322,9 @@ class Parser {
       return ParsePredicate();
     }
     if (AcceptKeyword("NOT")) {
+      DepthScope scope(tracker_, "NOT chain");
+      VR_RETURN_NOT_OK(scope.status());
+      VR_RETURN_NOT_OK(ChargeNodes());
       VR_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
       // NOT EXISTS / NOT IN are already folded below; a generic NOT wraps.
       return MakeNot(std::move(inner));
@@ -338,11 +424,16 @@ class Parser {
 
   Result<ExprPtr> ParseAdditive() {
     VR_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    size_t chain = 0;
     while (true) {
       if (AcceptOperator("+")) {
+        VR_RETURN_NOT_OK(ChargeChain(&chain, "additive"));
+        VR_RETURN_NOT_OK(ChargeNodes());
         VR_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
         left = MakeBinary(BinaryOp::kAdd, std::move(left), std::move(right));
       } else if (AcceptOperator("-")) {
+        VR_RETURN_NOT_OK(ChargeChain(&chain, "additive"));
+        VR_RETURN_NOT_OK(ChargeNodes());
         VR_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
         left = MakeBinary(BinaryOp::kSub, std::move(left), std::move(right));
       } else {
@@ -354,11 +445,16 @@ class Parser {
 
   Result<ExprPtr> ParseMultiplicative() {
     VR_ASSIGN_OR_RETURN(ExprPtr left, ParseUnaryPrimary());
+    size_t chain = 0;
     while (true) {
       if (AcceptOperator("*")) {
+        VR_RETURN_NOT_OK(ChargeChain(&chain, "multiplicative"));
+        VR_RETURN_NOT_OK(ChargeNodes());
         VR_ASSIGN_OR_RETURN(ExprPtr right, ParseUnaryPrimary());
         left = MakeBinary(BinaryOp::kMul, std::move(left), std::move(right));
       } else if (AcceptOperator("/")) {
+        VR_RETURN_NOT_OK(ChargeChain(&chain, "multiplicative"));
+        VR_RETURN_NOT_OK(ChargeNodes());
         VR_ASSIGN_OR_RETURN(ExprPtr right, ParseUnaryPrimary());
         left = MakeBinary(BinaryOp::kDiv, std::move(left), std::move(right));
       } else {
@@ -370,6 +466,8 @@ class Parser {
 
   Result<ExprPtr> ParseUnaryPrimary() {
     if (AcceptOperator("-")) {
+      DepthScope scope(tracker_, "unary-minus chain");
+      VR_RETURN_NOT_OK(scope.status());
       VR_ASSIGN_OR_RETURN(ExprPtr e, ParseUnaryPrimary());
       // Fold `-<numeric literal>` so negative constants round-trip
       // through the printer unchanged.
@@ -386,10 +484,11 @@ class Parser {
   }
 
   Result<ExprPtr> ParsePrimary() {
+    VR_RETURN_NOT_OK(ChargeNodes());
     const Token& t = Peek();
     switch (t.type) {
       case TokenType::kInteger: {
-        int64_t v = std::strtoll(Advance().text.c_str(), nullptr, 10);
+        VR_ASSIGN_OR_RETURN(int64_t v, ParseInt64Token(Advance()));
         return MakeLiteral(Value::Int(v));
       }
       case TokenType::kFloat: {
@@ -434,10 +533,11 @@ class Parser {
           VR_RETURN_NOT_OK(Expect(TokenType::kOperator, ")"));
           return inner;
         }
-        if (t.text == "*") {
-          Advance();
-          return ExprPtr(std::make_unique<StarExpr>());
-        }
+        // Note: no bare-`*` production here. `*` is only meaningful as a
+        // whole select item or a COUNT(*) argument (both handled at their
+        // call sites); accepting it as a general primary let nonsense
+        // like `(*) AS cnt` parse into statements whose canonical
+        // rendering could not be reparsed (found by fuzz_sql_parser).
         return Err<ExprPtr>("unexpected operator in expression");
       }
       case TokenType::kIdentifier: {
@@ -480,15 +580,37 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  LimitTracker tracker_;
 };
 
 }  // namespace
 
-Result<SelectStmtPtr> ParseSelect(const std::string& sql) {
+Result<SelectStmtPtr> ParseSelect(const std::string& sql,
+                                  const ResourceLimits& limits) {
   VR_FAULT_POINT(faults::kParse);
-  VR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
-  Parser parser(std::move(tokens));
-  return parser.ParseStatement();
+  VR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql, limits));
+  Parser parser(std::move(tokens), limits);
+  VR_ASSIGN_OR_RETURN(SelectStmtPtr stmt, parser.ParseStatement());
+  // Re-measure the finished tree iteratively: the in-parse charges are
+  // per-production approximations, this is the exact bound downstream
+  // recursive walks (Clone, ToSql, DNF, executor eval) rely on.
+  AstStats stats = ComputeAstStats(*stmt);
+  if (stats.depth > limits.max_ast_depth) {
+    return Status::ResourceExhausted(
+        "parsed statement depth " + std::to_string(stats.depth) +
+        " exceeds the limit (" + std::to_string(limits.max_ast_depth) + ")");
+  }
+  if (stats.nodes > limits.max_ast_nodes) {
+    return Status::ResourceExhausted(
+        "parsed statement has " + std::to_string(stats.nodes) +
+        " nodes, exceeding the limit (" +
+        std::to_string(limits.max_ast_nodes) + ")");
+  }
+  return stmt;
+}
+
+Result<SelectStmtPtr> ParseSelect(const std::string& sql) {
+  return ParseSelect(sql, ResourceLimits::Defaults());
 }
 
 }  // namespace viewrewrite

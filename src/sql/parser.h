@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/limits.h"
 #include "common/result.h"
 #include "sql/ast.h"
 
@@ -20,7 +21,17 @@ namespace viewrewrite {
 /// scalar/EXISTS/IN/ANY/SOME/ALL subqueries, aggregates with DISTINCT,
 /// COALESCE, arithmetic, AND/OR/NOT, IS [NOT] NULL, BETWEEN, and `$param`
 /// placeholders for chained queries.
+///
+/// Resource governance (`limits`): input size and token count are
+/// enforced by the tokenizer; nesting depth, operator-chain length, and
+/// total AST node count are enforced during parsing, and the finished
+/// tree is re-measured with ComputeAstStats. Any breach returns
+/// kResourceExhausted; malformed integer literals (overflowing int64)
+/// return kInvalidArgument. A statement that parses OK is therefore safe
+/// for every downstream recursive walk.
 Result<SelectStmtPtr> ParseSelect(const std::string& sql);
+Result<SelectStmtPtr> ParseSelect(const std::string& sql,
+                                  const ResourceLimits& limits);
 
 }  // namespace viewrewrite
 

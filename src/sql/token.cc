@@ -36,11 +36,23 @@ bool Token::IsOperator(const char* op) const {
   return type == TokenType::kOperator && text == op;
 }
 
-Result<std::vector<Token>> Tokenize(const std::string& sql) {
+Result<std::vector<Token>> Tokenize(const std::string& sql,
+                                    const ResourceLimits& limits) {
+  if (sql.size() > limits.max_sql_bytes) {
+    return Status::ResourceExhausted(
+        "SQL text of " + std::to_string(sql.size()) +
+        " bytes exceeds the limit (" + std::to_string(limits.max_sql_bytes) +
+        ")");
+  }
   std::vector<Token> out;
   size_t i = 0;
   const size_t n = sql.size();
   while (i < n) {
+    if (out.size() >= limits.max_tokens) {
+      return Status::ResourceExhausted(
+          "SQL token stream exceeds the limit (" +
+          std::to_string(limits.max_tokens) + " tokens)");
+    }
     char c = sql[i];
     if (std::isspace(static_cast<unsigned char>(c))) {
       ++i;

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/limits.h"
 #include "common/result.h"
 
 namespace viewrewrite {
@@ -32,7 +33,13 @@ struct Token {
 /// are recognized case-insensitively from a fixed list; everything else
 /// alphabetic is an identifier (lower-cased, since SQL identifiers are
 /// case-insensitive across database platforms).
-Result<std::vector<Token>> Tokenize(const std::string& sql);
+///
+/// Resource governance: input larger than `limits.max_sql_bytes` is
+/// refused before any scanning, and the token stream is capped at
+/// `limits.max_tokens` — both with kResourceExhausted.
+Result<std::vector<Token>> Tokenize(
+    const std::string& sql,
+    const ResourceLimits& limits = ResourceLimits::Defaults());
 
 /// True if `word` (upper-cased) is a recognized SQL keyword.
 bool IsSqlKeyword(const std::string& upper_word);

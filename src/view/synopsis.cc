@@ -7,6 +7,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/limits.h"
 #include "dp/truncation.h"
 #include "rewrite/analysis.h"
 #include "sql/printer.h"
@@ -184,16 +185,20 @@ Result<Synopsis> Synopsis::Build(const ViewDef& view, const Database& db,
   s.view_ = &view;
 
   // ---- Dimension grid. ----------------------------------------------------
-  s.total_cells_ = 1;
+  // Checked multiply: with hostile domains the running product can wrap
+  // uint64 (e.g. two ~2^33-bucket dimensions) and sneak under max_cells,
+  // so the overflow itself must trip the budget check.
+  uint64_t total = 1;
   for (const ViewAttribute& a : view.attributes()) {
     int64_t size = a.domain.CellCount() + 1;  // + NULL/other cell
     s.dim_sizes_.push_back(size);
-    s.total_cells_ *= static_cast<size_t>(size);
-    if (s.total_cells_ > options.max_cells) {
+    if (!CheckedMulU64(total, static_cast<uint64_t>(size), &total) ||
+        total > options.max_cells) {
       return Status::InvalidArgument("view '" + view.signature() +
                                      "' exceeds the synopsis cell budget");
     }
   }
+  s.total_cells_ = static_cast<size_t>(total);
 
   // ---- Materialization statement. -----------------------------------------
   auto mat = std::make_unique<SelectStmt>();
@@ -388,7 +393,7 @@ Result<Synopsis> Synopsis::FromParts(const ViewDef* view,
         "synopsis dimension count does not match view '" +
         view->signature() + "'");
   }
-  size_t product = 1;
+  uint64_t product = 1;
   for (size_t i = 0; i < parts.dim_sizes.size(); ++i) {
     const int64_t expect = view->attributes()[i].domain.CellCount() + 1;
     if (parts.dim_sizes[i] != expect) {
@@ -396,7 +401,11 @@ Result<Synopsis> Synopsis::FromParts(const ViewDef* view,
                                 " size mismatch for view '" +
                                 view->signature() + "'");
     }
-    product *= static_cast<size_t>(parts.dim_sizes[i]);
+    if (!CheckedMulU64(product, static_cast<uint64_t>(parts.dim_sizes[i]),
+                       &product)) {
+      return Status::Corruption("synopsis cell grid overflows for view '" +
+                                view->signature() + "'");
+    }
   }
   if (parts.total_cells != product) {
     return Status::Corruption("synopsis cell total mismatch for view '" +

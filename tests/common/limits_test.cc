@@ -1,0 +1,96 @@
+#include "common/limits.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+namespace viewrewrite {
+namespace {
+
+TEST(ResourceLimitsTest, DefaultsAreSaneAndStable) {
+  const ResourceLimits& d = ResourceLimits::Defaults();
+  EXPECT_EQ(d.max_sql_bytes, 1u << 20);
+  EXPECT_EQ(d.max_ast_depth, 400u);
+  EXPECT_GT(d.max_tokens, 0u);
+  EXPECT_GT(d.max_ast_nodes, 0u);
+  EXPECT_GT(d.max_dnf_disjuncts, 0u);
+  EXPECT_GT(d.max_ie_terms, 0u);
+  EXPECT_GT(d.max_view_cells, 0u);
+  EXPECT_GT(d.max_arena_bytes, 0u);
+  // Defaults() returns a stable singleton.
+  EXPECT_EQ(&ResourceLimits::Defaults(), &ResourceLimits::Defaults());
+}
+
+TEST(ResourceLimitsTest, UnboundedIsEffectivelyLimitless) {
+  ResourceLimits u = ResourceLimits::Unbounded();
+  EXPECT_EQ(u.max_sql_bytes, std::numeric_limits<size_t>::max());
+  EXPECT_EQ(u.max_tokens, std::numeric_limits<size_t>::max());
+  // Depth stays finite even "unbounded": it guards the call stack, which
+  // is a physical resource no configuration can wish away.
+  EXPECT_LT(u.max_ast_depth, std::numeric_limits<size_t>::max());
+}
+
+TEST(ResourceLimitsTest, StreamsReadably) {
+  std::ostringstream os;
+  os << ResourceLimits::Defaults();
+  EXPECT_NE(os.str().find("ast_depth"), std::string::npos);
+}
+
+TEST(LimitTrackerTest, DepthTripsAtLimitAndRecoversOnLeave) {
+  ResourceLimits limits;
+  limits.max_ast_depth = 3;
+  LimitTracker tracker(limits);
+  EXPECT_TRUE(tracker.EnterDepth("x").ok());
+  EXPECT_TRUE(tracker.EnterDepth("x").ok());
+  EXPECT_TRUE(tracker.EnterDepth("x").ok());
+  Status over = tracker.EnterDepth("x");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.code(), StatusCode::kResourceExhausted);
+  // A failed Enter must not consume depth: after one Leave, one Enter
+  // succeeds again.
+  tracker.LeaveDepth();
+  EXPECT_TRUE(tracker.EnterDepth("x").ok());
+}
+
+TEST(LimitTrackerTest, NodeBudgetAccumulates) {
+  ResourceLimits limits;
+  limits.max_ast_nodes = 10;
+  LimitTracker tracker(limits);
+  EXPECT_TRUE(tracker.AddNodes(4, "x").ok());
+  EXPECT_TRUE(tracker.AddNodes(6, "x").ok());
+  Status over = tracker.AddNodes(1, "x");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(LimitTrackerTest, ByteBudgetIsOverflowSafe) {
+  ResourceLimits limits;
+  limits.max_arena_bytes = 100;
+  LimitTracker tracker(limits);
+  EXPECT_TRUE(tracker.AddBytes(60, "x").ok());
+  // 60 + huge would wrap a naive sum; the guard must still trip.
+  Status over =
+      tracker.AddBytes(std::numeric_limits<size_t>::max() - 8, "x");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CheckedMulTest, DetectsOverflowExactly) {
+  uint64_t out = 0;
+  EXPECT_TRUE(CheckedMulU64(1u << 20, 1u << 20, &out));
+  EXPECT_EQ(out, uint64_t{1} << 40);
+  EXPECT_TRUE(CheckedMulU64(0, std::numeric_limits<uint64_t>::max(), &out));
+  EXPECT_EQ(out, 0u);
+  // 2^32 * 2^32 == 2^64: one past representable.
+  EXPECT_FALSE(CheckedMulU64(uint64_t{1} << 32, uint64_t{1} << 32, &out));
+  EXPECT_FALSE(CheckedMulU64(std::numeric_limits<uint64_t>::max(), 2, &out));
+  // Largest representable product still succeeds.
+  EXPECT_TRUE(
+      CheckedMulU64(std::numeric_limits<uint64_t>::max(), 1, &out));
+  EXPECT_EQ(out, std::numeric_limits<uint64_t>::max());
+}
+
+}  // namespace
+}  // namespace viewrewrite

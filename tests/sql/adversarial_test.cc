@@ -1,0 +1,222 @@
+// Adversarial parser inputs: each case must come back as a *typed* Status
+// (or parse successfully) — never a crash, stack overflow, unbounded
+// allocation, or sanitizer finding. ci/check.sh runs this suite under
+// both ASan+UBSan and TSan.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/limits.h"
+#include "sql/parser.h"
+
+namespace viewrewrite {
+namespace {
+
+std::string Repeat(const std::string& s, size_t n) {
+  std::string out;
+  out.reserve(s.size() * n);
+  for (size_t i = 0; i < n; ++i) out += s;
+  return out;
+}
+
+// ---- Recursion / chain depth -------------------------------------------
+
+TEST(AdversarialTest, ThousandDeepNestedParensRefusedNotCrashed) {
+  std::string sql = "SELECT COUNT(*) FROM orders WHERE " + Repeat("(", 1000) +
+                    "o_orderkey = 1" + Repeat(")", 1000);
+  auto stmt = ParseSelect(sql);
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kResourceExhausted)
+      << stmt.status();
+}
+
+TEST(AdversarialTest, HundredThousandDeepParensStillTyped) {
+  // Two orders of magnitude past the limit: the depth guard must trip
+  // long before the call stack is at risk.
+  std::string sql = "SELECT COUNT(*) FROM t WHERE " + Repeat("(", 100000) +
+                    "x = 1" + Repeat(")", 100000);
+  auto stmt = ParseSelect(sql);
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AdversarialTest, DeepNotChainRefused) {
+  std::string sql =
+      "SELECT COUNT(*) FROM orders WHERE " + Repeat("NOT ", 5000) + "x = 1";
+  auto stmt = ParseSelect(sql);
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AdversarialTest, DeepUnaryMinusChainRefused) {
+  std::string sql =
+      "SELECT COUNT(*) FROM orders WHERE x = " + Repeat("- ", 5000) + "1";
+  auto stmt = ParseSelect(sql);
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AdversarialTest, LongAndChainRefusedBeyondDepthLimit) {
+  // AND chains are built iteratively (left-deep), so they don't recurse in
+  // the parser — but the resulting tree would still recurse in every
+  // downstream walker, so the chain cap must refuse them too.
+  std::string sql = "SELECT COUNT(*) FROM orders WHERE x = 0";
+  for (int i = 1; i <= 2000; ++i) {
+    sql += " AND x = " + std::to_string(i);
+  }
+  auto stmt = ParseSelect(sql);
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AdversarialTest, LongJoinChainRefused) {
+  std::string sql = "SELECT COUNT(*) FROM t0";
+  for (int i = 1; i <= 2000; ++i) {
+    sql += " JOIN t" + std::to_string(i) + " ON a = b";
+  }
+  auto stmt = ParseSelect(sql);
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AdversarialTest, ModerateNestingStillParses) {
+  // The guards must not refuse reasonable queries: 50 nested parens is
+  // well inside the default depth budget.
+  std::string sql = "SELECT COUNT(*) FROM orders WHERE " + Repeat("(", 50) +
+                    "o_orderkey = 1" + Repeat(")", 50);
+  auto stmt = ParseSelect(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status();
+}
+
+// ---- Width: huge IN lists, overlong identifiers ------------------------
+
+TEST(AdversarialTest, TenThousandElementInListHandled) {
+  std::string sql = "SELECT COUNT(*) FROM orders WHERE o_orderkey IN (0";
+  for (int i = 1; i < 10000; ++i) sql += "," + std::to_string(i);
+  sql += ")";
+  // Within the default token/node budgets this parses; the contract under
+  // attack is simply "typed status or success, never crash".
+  auto stmt = ParseSelect(sql);
+  if (!stmt.ok()) {
+    EXPECT_EQ(stmt.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(AdversarialTest, MillionElementInListRefused) {
+  std::string sql = "SELECT COUNT(*) FROM orders WHERE o_orderkey IN (0";
+  for (int i = 1; i < 1000000; ++i) sql += ",1";
+  sql += ")";
+  auto stmt = ParseSelect(sql);
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AdversarialTest, OverlongIdentifierHandled) {
+  std::string sql = "SELECT COUNT(*) FROM " + std::string(100000, 'x');
+  auto stmt = ParseSelect(sql);  // one huge token is fine or refused —
+  if (!stmt.ok()) {              // typed either way
+    EXPECT_TRUE(stmt.status().code() == StatusCode::kResourceExhausted ||
+                stmt.status().code() == StatusCode::kParseError)
+        << stmt.status();
+  }
+}
+
+TEST(AdversarialTest, OversizedSqlTextRefusedBeforeScanning) {
+  ResourceLimits limits;
+  limits.max_sql_bytes = 1024;
+  std::string sql =
+      "SELECT COUNT(*) FROM orders -- " + std::string(4096, 'a');
+  auto stmt = ParseSelect(sql, limits);
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ---- Malformed lexical input -------------------------------------------
+
+TEST(AdversarialTest, UnterminatedStringTyped) {
+  auto stmt = ParseSelect("SELECT COUNT(*) FROM t WHERE s = 'oops");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kParseError) << stmt.status();
+}
+
+TEST(AdversarialTest, UnterminatedBlockCommentTyped) {
+  // The dialect has no /* */ comments; the bytes must surface as a parse
+  // error (trailing input), not confuse the tokenizer.
+  auto stmt = ParseSelect("SELECT COUNT(*) FROM t /* never closed");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kParseError) << stmt.status();
+}
+
+TEST(AdversarialTest, EmbeddedNulByteTyped) {
+  std::string sql = "SELECT COUNT(*) FROM t WHERE s = 'a";
+  sql.push_back('\0');
+  sql += "b'";
+  auto stmt = ParseSelect(sql);
+  // NUL inside a string literal either tokenizes as data or is refused;
+  // the byte must never truncate scanning or read past the buffer.
+  if (!stmt.ok()) {
+    EXPECT_EQ(stmt.status().code(), StatusCode::kParseError) << stmt.status();
+  }
+}
+
+TEST(AdversarialTest, AllByteValuesNeverCrash) {
+  std::string sql;
+  for (int b = 0; b < 256; ++b) sql.push_back(static_cast<char>(b));
+  auto stmt = ParseSelect(sql);
+  EXPECT_FALSE(stmt.ok());
+}
+
+TEST(AdversarialTest, BareStarInExpressionPositionRejected) {
+  // Found by fuzz_sql_parser: `(*)` used to parse as a StarExpr primary,
+  // producing statements whose canonical rendering (`* AS cnt`) could not
+  // be reparsed. `*` is only valid as a whole select item or inside
+  // COUNT(*).
+  auto stmt = ParseSelect(
+      "SELECT o_custkey, (*) AS cnt FROM orders GROUP BY o_custkey");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kParseError) << stmt.status();
+  // The legitimate star forms keep working.
+  EXPECT_TRUE(ParseSelect("SELECT * FROM orders").ok());
+  EXPECT_TRUE(ParseSelect("SELECT COUNT(*) FROM orders").ok());
+}
+
+// ---- Integer literal overflow (the strtoll satellite) ------------------
+
+TEST(AdversarialTest, LimitClauseOverflowIsInvalidArgument) {
+  auto stmt =
+      ParseSelect("SELECT COUNT(*) FROM t LIMIT 99999999999999999999999");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kInvalidArgument)
+      << stmt.status();
+}
+
+TEST(AdversarialTest, IntegerLiteralOverflowIsInvalidArgument) {
+  auto stmt = ParseSelect(
+      "SELECT COUNT(*) FROM t WHERE x = 170141183460469231731687303");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kInvalidArgument)
+      << stmt.status();
+}
+
+TEST(AdversarialTest, Int64MaxLiteralStillParses) {
+  auto stmt =
+      ParseSelect("SELECT COUNT(*) FROM t WHERE x = 9223372036854775807");
+  EXPECT_TRUE(stmt.ok()) << stmt.status();
+}
+
+// ---- Token budget -------------------------------------------------------
+
+TEST(AdversarialTest, TokenFloodRefused) {
+  ResourceLimits limits;
+  limits.max_tokens = 64;
+  std::string sql = "SELECT COUNT(*) FROM t WHERE x IN (1";
+  for (int i = 0; i < 200; ++i) sql += ",1";
+  sql += ")";
+  auto stmt = ParseSelect(sql, limits);
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_EQ(stmt.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace viewrewrite

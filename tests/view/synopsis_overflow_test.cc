@@ -1,0 +1,102 @@
+// Regression for the synopsis cell-count overflow: two dimensions whose
+// cell counts multiply past 2^64 used to wrap the running product, slip
+// under max_cells, and head for a bogus (and enormous) allocation. The
+// checked multiply must refuse with a typed Status before any allocation.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "common/random.h"
+#include "sql/parser.h"
+#include "storage/table.h"
+#include "view/synopsis.h"
+#include "view/view_def.h"
+
+namespace viewrewrite {
+namespace {
+
+/// One-table schema whose two columns carry astronomically large bucketed
+/// domains (IntBuckets stores lo/hi/buckets scalars, so huge bucket
+/// counts are cheap to *declare* — the danger is downstream).
+Schema MakeHugeDomainSchema(int64_t buckets) {
+  Schema schema;
+  std::vector<ColumnDef> cols;
+  cols.push_back({"x", DataType::kInt,
+                  ColumnDomain::IntBuckets(0, (int64_t{1} << 62), buckets)});
+  cols.push_back({"y", DataType::kInt,
+                  ColumnDomain::IntBuckets(0, (int64_t{1} << 62), buckets)});
+  (void)schema.AddTable(TableSchema("t", std::move(cols), "x"));
+  return schema;
+}
+
+std::unique_ptr<ViewDef> MakeTwoHugeDimensionView(const Schema& schema,
+                                                  int64_t buckets) {
+  auto stmt = ParseSelect("SELECT COUNT(*) FROM t");
+  EXPECT_TRUE(stmt.ok()) << stmt.status();
+  auto view = std::make_unique<ViewDef>("t", std::move(*stmt));
+  const TableSchema* t = schema.FindTable("t");
+  EXPECT_NE(t, nullptr);
+  view->AddAttribute({"t", "x", ColumnDomain::IntBuckets(
+                                    0, (int64_t{1} << 62), buckets)});
+  view->AddAttribute({"t", "y", ColumnDomain::IntBuckets(
+                                    0, (int64_t{1} << 62), buckets)});
+  ViewMeasure count;
+  count.kind = ViewMeasure::Kind::kCount;
+  count.key = "count";
+  view->AddMeasure(std::move(count));
+  return view;
+}
+
+TEST(SynopsisOverflowTest, CellProductPastUint64RefusedNotWrapped) {
+  // (2^62 + 1)^2 overflows uint64: a wrapping product would come out tiny
+  // and pass a naive max_cells check.
+  const int64_t buckets = int64_t{1} << 62;
+  Schema schema = MakeHugeDomainSchema(buckets);
+  Database db(schema);
+  auto view = MakeTwoHugeDimensionView(schema, buckets);
+
+  SynopsisOptions options;
+  options.max_cells = std::numeric_limits<size_t>::max();  // only the
+  // overflow check stands between us and a wrapped product
+  Random rng(7);
+  auto synopsis = Synopsis::Build(*view, db, PrivacyPolicy{"t"},
+                                  /*epsilon=*/1.0, options, &rng);
+  ASSERT_FALSE(synopsis.ok());
+  EXPECT_EQ(synopsis.status().code(), StatusCode::kInvalidArgument)
+      << synopsis.status();
+}
+
+TEST(SynopsisOverflowTest, CellProductOverBudgetRefused) {
+  // No overflow, just far over the default budget: same typed refusal.
+  const int64_t buckets = int64_t{1} << 30;
+  Schema schema = MakeHugeDomainSchema(buckets);
+  Database db(schema);
+  auto view = MakeTwoHugeDimensionView(schema, buckets);
+
+  SynopsisOptions options;  // default max_cells = 2^21
+  Random rng(7);
+  auto synopsis = Synopsis::Build(*view, db, PrivacyPolicy{"t"},
+                                  /*epsilon=*/1.0, options, &rng);
+  ASSERT_FALSE(synopsis.ok());
+  EXPECT_EQ(synopsis.status().code(), StatusCode::kInvalidArgument)
+      << synopsis.status();
+}
+
+TEST(SynopsisOverflowTest, ReasonableGridStillBuilds) {
+  // Guard the guard: a small grid on the same schema shape must build.
+  const int64_t buckets = 8;
+  Schema schema = MakeHugeDomainSchema(buckets);
+  Database db(schema);
+  auto view = MakeTwoHugeDimensionView(schema, buckets);
+
+  SynopsisOptions options;
+  Random rng(7);
+  auto synopsis = Synopsis::Build(*view, db, PrivacyPolicy{"t"},
+                                  /*epsilon=*/1.0, options, &rng);
+  EXPECT_TRUE(synopsis.ok()) << synopsis.status();
+}
+
+}  // namespace
+}  // namespace viewrewrite
