@@ -50,9 +50,19 @@ echo "== asan+ubsan: ctest (robustness suite) =="
 if [[ "${SKIP_FUZZ:-0}" != "1" ]]; then
   echo "== asan+ubsan: fuzz smoke (${FUZZ_SECONDS}s per boundary) =="
   ./build-asan/fuzz/make_seed_corpus build-asan/fuzz-corpus
-  ./build-asan/fuzz/fuzz_sql_parser  --mutate build-asan/fuzz-corpus/sql  "${FUZZ_SECONDS}" 1
-  ./build-asan/fuzz/fuzz_rewriter    --mutate build-asan/fuzz-corpus/sql  "${FUZZ_SECONDS}" 2
-  ./build-asan/fuzz/fuzz_vrsy_loader --mutate build-asan/fuzz-corpus/vrsy "${FUZZ_SECONDS}" 3
+  # The two fuzzer flavors speak different CLIs (fuzz/CMakeLists.txt
+  # records which one was built): libFuzzer wants -max_total_time= and a
+  # corpus dir; the standalone driver wants --mutate DIR SECONDS SEED.
+  FUZZ_FLAVOR="$(cat build-asan/fuzz/fuzzer_flavor 2>/dev/null || echo standalone)"
+  if [[ "${FUZZ_FLAVOR}" == "libfuzzer" ]]; then
+    ./build-asan/fuzz/fuzz_sql_parser  -max_total_time="${FUZZ_SECONDS}" -seed=1 build-asan/fuzz-corpus/sql
+    ./build-asan/fuzz/fuzz_rewriter    -max_total_time="${FUZZ_SECONDS}" -seed=2 build-asan/fuzz-corpus/sql
+    ./build-asan/fuzz/fuzz_vrsy_loader -max_total_time="${FUZZ_SECONDS}" -seed=3 build-asan/fuzz-corpus/vrsy
+  else
+    ./build-asan/fuzz/fuzz_sql_parser  --mutate build-asan/fuzz-corpus/sql  "${FUZZ_SECONDS}" 1
+    ./build-asan/fuzz/fuzz_rewriter    --mutate build-asan/fuzz-corpus/sql  "${FUZZ_SECONDS}" 2
+    ./build-asan/fuzz/fuzz_vrsy_loader --mutate build-asan/fuzz-corpus/vrsy "${FUZZ_SECONDS}" 3
+  fi
   # The checked-in regressions replay through the instrumented fuzzers too
   # (the corpus_replay_test above covers them via gtest; this exercises the
   # driver's file-replay mode on the same inputs).

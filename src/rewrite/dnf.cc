@@ -46,13 +46,17 @@ ExprPtr PushNotInward(const Expr& e, bool negate) {
 
 namespace {
 
-Result<std::vector<Disjunct>> ToDnfImpl(const Expr& e, size_t max_disjuncts) {
+Result<std::vector<Disjunct>> ToDnfImpl(const Expr& e, size_t max_disjuncts,
+                                        bool* cap_tripped) {
   if (e.kind == ExprKind::kBinary) {
     const auto& b = static_cast<const BinaryExpr&>(e);
     if (b.op == BinaryOp::kOr) {
-      VR_ASSIGN_OR_RETURN(auto l, ToDnfImpl(*b.left, max_disjuncts));
-      VR_ASSIGN_OR_RETURN(auto r, ToDnfImpl(*b.right, max_disjuncts));
+      VR_ASSIGN_OR_RETURN(auto l, ToDnfImpl(*b.left, max_disjuncts,
+                                            cap_tripped));
+      VR_ASSIGN_OR_RETURN(auto r, ToDnfImpl(*b.right, max_disjuncts,
+                                            cap_tripped));
       if (l.size() + r.size() > max_disjuncts) {
+        if (cap_tripped != nullptr) *cap_tripped = true;
         return Status::RewriteError("DNF expansion exceeds " +
                                     std::to_string(max_disjuncts) +
                                     " disjuncts");
@@ -62,9 +66,12 @@ Result<std::vector<Disjunct>> ToDnfImpl(const Expr& e, size_t max_disjuncts) {
     }
     if (b.op == BinaryOp::kAnd) {
       // Distributive law: (D1 | ... ) AND (E1 | ...) = cross product.
-      VR_ASSIGN_OR_RETURN(auto l, ToDnfImpl(*b.left, max_disjuncts));
-      VR_ASSIGN_OR_RETURN(auto r, ToDnfImpl(*b.right, max_disjuncts));
+      VR_ASSIGN_OR_RETURN(auto l, ToDnfImpl(*b.left, max_disjuncts,
+                                            cap_tripped));
+      VR_ASSIGN_OR_RETURN(auto r, ToDnfImpl(*b.right, max_disjuncts,
+                                            cap_tripped));
       if (l.size() * r.size() > max_disjuncts) {
+        if (cap_tripped != nullptr) *cap_tripped = true;
         return Status::RewriteError("DNF expansion exceeds " +
                                     std::to_string(max_disjuncts) +
                                     " disjuncts");
@@ -92,9 +99,11 @@ Result<std::vector<Disjunct>> ToDnfImpl(const Expr& e, size_t max_disjuncts) {
 
 }  // namespace
 
-Result<std::vector<Disjunct>> ToDnf(const Expr& e, size_t max_disjuncts) {
+Result<std::vector<Disjunct>> ToDnf(const Expr& e, size_t max_disjuncts,
+                                    bool* cap_tripped) {
+  if (cap_tripped != nullptr) *cap_tripped = false;
   ExprPtr normalized = PushNotInward(e);
-  return ToDnfImpl(*normalized, max_disjuncts);
+  return ToDnfImpl(*normalized, max_disjuncts, cap_tripped);
 }
 
 Result<QueryCombination> InclusionExclusion(

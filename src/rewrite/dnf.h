@@ -19,8 +19,12 @@ using Disjunct = std::vector<ExprPtr>;
 
 /// Converts a (NOT-normalized) predicate into disjunctive normal form via
 /// the distributive law (Rule 6). Fails if the expansion exceeds
-/// `max_disjuncts` (inclusion–exclusion would need 2^k - 1 terms).
-Result<std::vector<Disjunct>> ToDnf(const Expr& e, size_t max_disjuncts);
+/// `max_disjuncts` (inclusion–exclusion would need 2^k - 1 terms); when
+/// that specific limit caused the failure, `*cap_tripped` (if non-null)
+/// is set so callers can tell a size refusal apart from other rewrite
+/// errors without inspecting the message.
+Result<std::vector<Disjunct>> ToDnf(const Expr& e, size_t max_disjuncts,
+                                    bool* cap_tripped = nullptr);
 
 /// Rule 7: expands `base` (an aggregate query whose WHERE is the
 /// disjunction of `disjuncts`) into a signed combination of AND-only

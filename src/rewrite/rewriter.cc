@@ -1465,10 +1465,13 @@ Result<QueryCombination> Rewriter::SplitDisjunction(SelectStmtPtr stmt) const {
   // kResourceExhausted) backstops it should the knob be raised.
   const size_t governance_cap = options_.limits.max_dnf_disjuncts;
   const size_t max_d = std::min(options_.max_or_disjuncts, governance_cap);
-  Result<std::vector<Disjunct>> dnf_result = ToDnf(*stmt->where, max_d);
+  bool dnf_cap_tripped = false;
+  Result<std::vector<Disjunct>> dnf_result =
+      ToDnf(*stmt->where, max_d, &dnf_cap_tripped);
   if (!dnf_result.ok()) {
-    if (options_.max_or_disjuncts > governance_cap &&
-        dnf_result.status().code() == StatusCode::kRewriteError) {
+    // Relabel only a genuine disjunct-cap trip while the governance cap
+    // is the effective bound; unrelated rewrite errors pass through.
+    if (dnf_cap_tripped && options_.max_or_disjuncts > governance_cap) {
       return Status::ResourceExhausted(
           "DNF expansion exceeds the governance limit (" +
           std::to_string(governance_cap) + " disjuncts)");

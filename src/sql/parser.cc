@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <limits>
 
 #include "common/fault_injection.h"
 #include "common/limits.h"
@@ -49,6 +50,28 @@ Result<int64_t> ParseInt64Token(const Token& tok) {
                                    " does not fit in int64");
   }
   return static_cast<int64_t>(v);
+}
+
+/// Strict parse of `-<integer token>`. The magnitude converts as uint64
+/// so that INT64_MIN stays expressible: its magnitude 2^63 does not fit
+/// a bare int64 literal and would be refused before the unary-minus fold
+/// could negate it.
+Result<int64_t> ParseNegatedInt64Token(const Token& tok) {
+  constexpr uint64_t kInt64MinMagnitude =
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) + 1;
+  errno = 0;
+  char* end = nullptr;
+  const char* begin = tok.text.c_str();
+  unsigned long long mag = std::strtoull(begin, &end, 10);
+  if (errno == ERANGE || end == begin || *end != '\0' ||
+      mag > kInt64MinMagnitude) {
+    return Status::InvalidArgument("integer literal '-" + tok.text +
+                                   "' at offset " +
+                                   std::to_string(tok.offset) +
+                                   " does not fit in int64");
+  }
+  if (mag == kInt64MinMagnitude) return std::numeric_limits<int64_t>::min();
+  return -static_cast<int64_t>(mag);
 }
 
 /// Recursive-descent parser over the token stream. `IS [NOT] NULL` is
@@ -468,12 +491,26 @@ class Parser {
     if (AcceptOperator("-")) {
       DepthScope scope(tracker_, "unary-minus chain");
       VR_RETURN_NOT_OK(scope.status());
+      // `-` directly before an integer token folds before the magnitude
+      // check, so INT64_MIN (magnitude 2^63) parses.
+      if (Peek().type == TokenType::kInteger) {
+        VR_RETURN_NOT_OK(ChargeNodes());
+        VR_ASSIGN_OR_RETURN(int64_t v, ParseNegatedInt64Token(Advance()));
+        return MakeLiteral(Value::Int(v));
+      }
       VR_ASSIGN_OR_RETURN(ExprPtr e, ParseUnaryPrimary());
       // Fold `-<numeric literal>` so negative constants round-trip
       // through the printer unchanged.
       if (e->kind == ExprKind::kLiteral) {
         const Value& v = static_cast<const LiteralExpr&>(*e).value;
-        if (v.is_int()) return MakeLiteral(Value::Int(-v.AsInt()));
+        if (v.is_int()) {
+          if (v.AsInt() == std::numeric_limits<int64_t>::min()) {
+            return Status::InvalidArgument(
+                "integer literal does not fit in int64 after negation "
+                "near offset " + std::to_string(Peek().offset));
+          }
+          return MakeLiteral(Value::Int(-v.AsInt()));
+        }
         if (v.is_double()) {
           return MakeLiteral(Value::Double(-v.AsDoubleExact()));
         }

@@ -71,6 +71,24 @@ TEST(ToDnfTest, ExceedingBudgetFails) {
   EXPECT_EQ(dnf.status().code(), StatusCode::kRewriteError);
 }
 
+TEST(ToDnfTest, CapTrippedFlagDistinguishesSizeRefusal) {
+  // Callers (SplitDisjunction) use the flag to decide whether a failure
+  // may be relabeled kResourceExhausted; it must be set exactly when the
+  // disjunct cap caused the failure.
+  ExprPtr big = ParseWhere(
+      "(a = 1 OR a = 2) AND (b = 1 OR b = 2) AND (c = 1 OR c = 2)");
+  bool tripped = false;
+  auto dnf = ToDnf(*big, 4, &tripped);
+  EXPECT_FALSE(dnf.ok());
+  EXPECT_TRUE(tripped);
+
+  ExprPtr small = ParseWhere("a = 1 OR b = 2");
+  tripped = true;  // must be reset by ToDnf
+  auto ok = ToDnf(*small, 16, &tripped);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_FALSE(tripped);
+}
+
 TEST(InclusionExclusionTest, TwoDisjunctsGiveThreeTerms) {
   ExprPtr e = ParseWhere("a = 1 OR b = 2");
   auto dnf = ToDnf(*e, 16);

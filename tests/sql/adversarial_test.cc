@@ -205,6 +205,27 @@ TEST(AdversarialTest, Int64MaxLiteralStillParses) {
   EXPECT_TRUE(stmt.ok()) << stmt.status();
 }
 
+TEST(AdversarialTest, Int64MinLiteralStillParses) {
+  // INT64_MIN's magnitude (2^63) overflows a bare integer token; the
+  // parser folds the unary minus into the literal before the range check
+  // so the full int64 domain stays expressible.
+  auto stmt =
+      ParseSelect("SELECT COUNT(*) FROM t WHERE x = -9223372036854775808");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  // Positive 2^63 on its own is still out of range.
+  auto bare =
+      ParseSelect("SELECT COUNT(*) FROM t WHERE x = 9223372036854775808");
+  ASSERT_FALSE(bare.ok());
+  EXPECT_EQ(bare.status().code(), StatusCode::kInvalidArgument)
+      << bare.status();
+  // And so is double-negated 2^63: -(-INT64_MIN) does not fit.
+  auto dbl =
+      ParseSelect("SELECT COUNT(*) FROM t WHERE x = - -9223372036854775808");
+  ASSERT_FALSE(dbl.ok());
+  EXPECT_EQ(dbl.status().code(), StatusCode::kInvalidArgument)
+      << dbl.status();
+}
+
 // ---- Token budget -------------------------------------------------------
 
 TEST(AdversarialTest, TokenFloodRefused) {
