@@ -2,7 +2,9 @@
 // publish -> save -> load -> serve run, asserting the resilience-layer
 // invariants on every one (see tests/chaos/chaos_harness.h):
 // no crash, no deadlock, ledger never over-spent, every response
-// baseline-exact, stale, or an allowed typed error.
+// baseline-exact, stale, or an allowed typed error, and the coalescing
+// conservation law (flights + coalesced_waiters + cache_short_circuits
+// + expired_in_queue == submitted) after every shutdown.
 //
 //   $ ./build/bench/chaos_soak [num_seeds] [base_seed]
 //
@@ -29,23 +31,43 @@ int main(int argc, char** argv) {
   std::printf("chaos soak: %llu seeds from %llu\n",
               static_cast<unsigned long long>(num_seeds),
               static_cast<unsigned long long>(base_seed));
-  std::printf("%-8s %-8s %-7s %-7s %-7s %-7s %-8s %s\n", "seed", "views",
-              "fresh", "stale", "errors", "reload", "publish", "verdict");
+  std::printf("%-6s %-6s %-6s %-6s %-6s %-7s %-8s %-7s %-7s %-7s %-7s %s\n",
+              "seed", "views", "fresh", "stale", "errors", "flights",
+              "coalesc", "maxgrp", "reload", "publish", "single", "verdict");
 
   uint64_t failed_seeds = 0;
+  uint64_t total_submitted = 0;
+  uint64_t total_flights = 0;
+  uint64_t total_coalesced = 0;
+  uint64_t total_short_circuits = 0;
+  uint64_t total_expired = 0;
+  uint64_t largest_group = 0;
   const auto t0 = std::chrono::steady_clock::now();
   for (uint64_t i = 0; i < num_seeds; ++i) {
     const uint64_t seed = base_seed + i;
     chaos::ChaosRunResult run = chaos::RunChaosSeed(seed);
-    std::printf("%-8llu %-8llu %-7llu %-7llu %-7llu %-7s %-8s %s\n",
-                static_cast<unsigned long long>(seed),
-                static_cast<unsigned long long>(run.published_views),
-                static_cast<unsigned long long>(run.fresh),
-                static_cast<unsigned long long>(run.stale),
-                static_cast<unsigned long long>(run.errors),
-                run.reload_attempted ? "yes" : "no",
-                run.prepare_ok ? "ok" : "degraded",
-                run.ok() ? "pass" : "FAIL");
+    std::printf(
+        "%-6llu %-6llu %-6llu %-6llu %-6llu %-7llu %-8llu %-7llu %-7s %-8s "
+        "%-7s %s\n",
+        static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(run.published_views),
+        static_cast<unsigned long long>(run.fresh),
+        static_cast<unsigned long long>(run.stale),
+        static_cast<unsigned long long>(run.errors),
+        static_cast<unsigned long long>(run.flights),
+        static_cast<unsigned long long>(run.coalesced_waiters),
+        static_cast<unsigned long long>(run.max_flight_group),
+        run.reload_attempted ? "yes" : "no",
+        run.prepare_ok ? "ok" : "degraded",
+        run.coalescing_enabled ? "on" : "off", run.ok() ? "pass" : "FAIL");
+    total_submitted += run.submitted;
+    total_flights += run.flights;
+    total_coalesced += run.coalesced_waiters;
+    total_short_circuits += run.cache_short_circuits;
+    total_expired += run.expired_in_queue;
+    if (run.max_flight_group > largest_group) {
+      largest_group = run.max_flight_group;
+    }
     if (!run.ok()) {
       ++failed_seeds;
       for (const std::string& violation : run.violations) {
@@ -55,9 +77,33 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // The per-seed harness already asserts the conservation law on each
+  // server; summing the channels across every seed must balance too — a
+  // cheap cross-check that no seed's accounting was silently skipped.
+  if (total_flights + total_coalesced + total_short_circuits +
+          total_expired != total_submitted) {
+    std::fprintf(stderr,
+                 "aggregate conservation violated: %llu + %llu + %llu + %llu "
+                 "!= %llu\n",
+                 static_cast<unsigned long long>(total_flights),
+                 static_cast<unsigned long long>(total_coalesced),
+                 static_cast<unsigned long long>(total_short_circuits),
+                 static_cast<unsigned long long>(total_expired),
+                 static_cast<unsigned long long>(total_submitted));
+    ++failed_seeds;
+  }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  std::printf(
+      "soak coalescing: submitted=%llu flights=%llu coalesced=%llu "
+      "short_circuits=%llu expired_in_queue=%llu largest_group=%llu\n",
+      static_cast<unsigned long long>(total_submitted),
+      static_cast<unsigned long long>(total_flights),
+      static_cast<unsigned long long>(total_coalesced),
+      static_cast<unsigned long long>(total_short_circuits),
+      static_cast<unsigned long long>(total_expired),
+      static_cast<unsigned long long>(largest_group));
   std::printf("soak finished in %.1fs: %llu/%llu seeds passed\n", elapsed,
               static_cast<unsigned long long>(num_seeds - failed_seeds),
               static_cast<unsigned long long>(num_seeds));

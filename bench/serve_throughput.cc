@@ -11,11 +11,23 @@
 // measure the sharded LRU plus submission/answer overlap. The top-level
 // `cache_speedup` (single-thread cache-on vs cache-off) is the headline
 // serving-layer gain and is core-count independent.
+//
+// The sweep runs with coalescing OFF so the thread axis stays a pure
+// pipeline measurement. A second, duplicate-heavy section then measures
+// what single-flight coalescing and batched submission buy when traffic
+// repeats itself: the same flood of requests over a hot set of as many
+// distinct queries as there are workers, cache off (so coalescing is the
+// only dedup in play), in three modes —
+// per-request submits with coalescing off, the same with coalescing on,
+// and SubmitBatch chunks. `duplicate_heavy.coalesce_speedup` (on vs off)
+// is the headline coalescing gain; CI asserts it stays >= 2x.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -94,6 +106,9 @@ int main() {
       options.num_threads = threads;
       options.queue_capacity = submissions;
       options.enable_cache = cache_on;
+      // The sweep measures the raw pipeline and the cache; coalescing has
+      // its own duplicate-heavy section below.
+      options.enable_coalescing = false;
       QueryServer server(store, db->schema(), options);
 
       std::vector<std::future<Result<ServedAnswer>>> futures;
@@ -131,6 +146,109 @@ int main() {
     }
   }
 
+  // ---- Duplicate-heavy section: what coalescing and batching buy. ----------
+  // Real serving traffic repeats itself; this models the hot tail with a
+  // flood of submissions over just 8 distinct queries, cache disabled so
+  // every saved computation is the coalescer's (not the LRU's) doing.
+  // Distinct count matches the worker count: with a flight live per hot
+  // query, nearly every duplicate joins instead of recomputing — the
+  // regime coalescing exists for. (More distinct queries than workers
+  // leaves gaps with no live flight to join, which just re-measures the
+  // pipeline.)
+  const size_t dup_submissions = FullMode() ? 20000 : 4000;
+  const size_t dup_threads = 4;
+  const size_t dup_distinct = std::min<size_t>(dup_threads, sql.size());
+  // Per-request modes submit from several frontend threads so a backlog
+  // actually forms (one submitter can't outrun four workers); the batch
+  // mode keeps a single submitter — chunked SubmitBatch is itself the
+  // amortization being measured.
+  const size_t dup_submitters = 4;
+  const size_t batch_chunk = 64;
+  struct DupRun {
+    const char* mode;
+    double qps = 0;
+    uint64_t flights = 0;
+    uint64_t coalesced_waiters = 0;
+    uint64_t max_flight_group = 0;
+  };
+  std::vector<DupRun> dup_runs;
+  std::printf("=== duplicate-heavy: %zu submissions over %zu distinct "
+              "queries, %zu threads, cache off ===\n",
+              dup_submissions, dup_distinct, dup_threads);
+  std::printf("%-14s | %-12s %-9s %-10s %-8s\n", "mode", "qps", "flights",
+              "coalesced", "maxgrp");
+  for (const char* mode : {"coalesce_off", "coalesce_on", "batch"}) {
+    const bool batched = std::string(mode) == "batch";
+    ServeOptions options;
+    options.num_threads = dup_threads;
+    options.queue_capacity = dup_submissions;
+    options.enable_cache = false;
+    options.enable_coalescing = std::string(mode) != "coalesce_off";
+    QueryServer server(store, db->schema(), options);
+
+    std::vector<std::future<Result<ServedAnswer>>> futures;
+    futures.reserve(dup_submissions);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (batched) {
+      std::vector<std::string> chunk;
+      chunk.reserve(batch_chunk);
+      for (size_t i = 0; i < dup_submissions; ++i) {
+        chunk.push_back(sql[i % dup_distinct]);
+        if (chunk.size() == batch_chunk || i + 1 == dup_submissions) {
+          auto batch = server.SubmitBatch(std::move(chunk));
+          for (auto& f : batch) futures.push_back(std::move(f));
+          chunk.clear();
+        }
+      }
+    } else {
+      std::vector<std::vector<std::future<Result<ServedAnswer>>>> per(
+          dup_submitters);
+      std::vector<std::thread> submitters;
+      for (size_t t = 0; t < dup_submitters; ++t) {
+        submitters.emplace_back([&, t] {
+          for (size_t i = t; i < dup_submissions; i += dup_submitters) {
+            per[t].push_back(server.Submit(sql[i % dup_distinct]));
+          }
+        });
+      }
+      for (std::thread& t : submitters) t.join();
+      for (auto& p : per) {
+        for (auto& f : p) futures.push_back(std::move(f));
+      }
+    }
+    size_t failed = 0;
+    for (auto& f : futures) {
+      if (!f.get().ok()) ++failed;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    server.Shutdown();
+    if (failed > 0) {
+      std::fprintf(stderr, "%zu duplicate-heavy submissions failed (%s)\n",
+                   failed, mode);
+      return 1;
+    }
+    ServeStats stats = server.stats();
+    DupRun run;
+    run.mode = mode;
+    run.qps = static_cast<double>(dup_submissions) / elapsed;
+    run.flights = stats.flights;
+    run.coalesced_waiters = stats.coalesced_waiters;
+    run.max_flight_group = stats.max_flight_group;
+    dup_runs.push_back(run);
+    std::printf("%-14s | %-12.0f %-9llu %-10llu %-8llu\n", mode, run.qps,
+                static_cast<unsigned long long>(run.flights),
+                static_cast<unsigned long long>(run.coalesced_waiters),
+                static_cast<unsigned long long>(run.max_flight_group));
+  }
+  const double coalesce_speedup =
+      dup_runs[0].qps > 0 ? dup_runs[1].qps / dup_runs[0].qps : 0.0;
+  const double batch_speedup =
+      dup_runs[0].qps > 0 ? dup_runs[2].qps / dup_runs[0].qps : 0.0;
+  std::printf("coalescing speedup (on vs off): %.2fx, batch: %.2fx\n",
+              coalesce_speedup, batch_speedup);
+
   FILE* json = std::fopen("BENCH_serve.json", "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_serve.json\n");
@@ -156,7 +274,26 @@ int main() {
                  static_cast<unsigned long long>(r.cache_misses),
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json,
+               "  \"duplicate_heavy\": {\n"
+               "    \"submissions\": %zu,\n    \"distinct_queries\": %zu,\n"
+               "    \"threads\": %zu,\n    \"batch_chunk\": %zu,\n"
+               "    \"coalesce_speedup\": %.3f,\n"
+               "    \"batch_speedup\": %.3f,\n    \"modes\": [\n",
+               dup_submissions, dup_distinct, dup_threads, batch_chunk,
+               coalesce_speedup, batch_speedup);
+  for (size_t i = 0; i < dup_runs.size(); ++i) {
+    const DupRun& r = dup_runs[i];
+    std::fprintf(json,
+                 "      {\"mode\": \"%s\", \"qps\": %.1f, \"flights\": %llu, "
+                 "\"coalesced_waiters\": %llu, \"max_flight_group\": %llu}%s\n",
+                 r.mode, r.qps, static_cast<unsigned long long>(r.flights),
+                 static_cast<unsigned long long>(r.coalesced_waiters),
+                 static_cast<unsigned long long>(r.max_flight_group),
+                 i + 1 < dup_runs.size() ? "," : "");
+  }
+  std::fprintf(json, "    ]\n  }\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_serve.json\n");
   return 0;

@@ -5,6 +5,7 @@
 #   SKIP_SANITIZE=1 ci/check.sh   # tier-1 + chaos smoke only
 #   SKIP_CHAOS=1 ci/check.sh      # skip the chaos soak binaries
 #   SKIP_FUZZ=1 ci/check.sh       # skip the time-boxed fuzz smoke
+#   SKIP_BENCH=1 ci/check.sh      # skip the serve-bench regeneration check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +28,30 @@ if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   timeout "${CHAOS_TIMEOUT}" ./build/bench/chaos_soak "${CHAOS_SEEDS}" 1
 fi
 
+if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
+  echo "== serve bench: regenerate and check against committed BENCH_serve.json =="
+  # Regenerates BENCH_serve.json in build/bench and checks (a) the schema
+  # matches the committed file and (b) the coalescing claim holds on this
+  # machine: the committed duplicate-heavy speedup must be >= 2x and the
+  # fresh run must still show a gain (> 1x; absolute qps is hardware-bound
+  # but "coalescing wins on duplicate-heavy traffic" must reproduce).
+  (cd build/bench && ./serve_throughput > /dev/null)
+  for key in '"duplicate_heavy"' '"coalesce_speedup"' '"batch_speedup"' \
+             '"cache_speedup"' '"max_flight_group"' '"modes"' '"runs"'; do
+    grep -q "${key}" BENCH_serve.json ||
+      { echo "committed BENCH_serve.json missing ${key}"; exit 1; }
+    grep -q "${key}" build/bench/BENCH_serve.json ||
+      { echo "regenerated BENCH_serve.json missing ${key}"; exit 1; }
+  done
+  committed_speedup="$(grep -o '"coalesce_speedup": [0-9.]*' BENCH_serve.json | grep -o '[0-9.]*$')"
+  fresh_speedup="$(grep -o '"coalesce_speedup": [0-9.]*' build/bench/BENCH_serve.json | grep -o '[0-9.]*$')"
+  awk -v c="${committed_speedup}" 'BEGIN { exit !(c >= 2.0) }' ||
+    { echo "committed coalesce_speedup ${committed_speedup} < 2.0"; exit 1; }
+  awk -v f="${fresh_speedup}" 'BEGIN { exit !(f > 1.0) }' ||
+    { echo "regenerated coalesce_speedup ${fresh_speedup} <= 1.0"; exit 1; }
+  echo "coalesce_speedup: committed ${committed_speedup}, regenerated ${fresh_speedup}"
+fi
+
 if [[ "${SKIP_SANITIZE:-0}" == "1" ]]; then
   echo "== sanitizer pass skipped (SKIP_SANITIZE=1) =="
   exit 0
@@ -39,13 +64,14 @@ cmake --build build-asan -j "$(nproc)" --target \
   fault_injection_test quarantine_test publish_recovery_test \
   budget_test mechanism_test retry_test circuit_breaker_test \
   durability_test chaos_soak \
+  coalescing_test batch_submit_test stats_shard_test \
   limits_test adversarial_test synopsis_overflow_test hostile_bundle_test \
   admission_test corpus_replay_test \
   fuzz_sql_parser fuzz_rewriter fuzz_vrsy_loader make_seed_corpus
 
 echo "== asan+ubsan: ctest (robustness suite) =="
 (cd build-asan && ctest --output-on-failure -j "$(nproc)" \
-  -R 'FaultInjection|Quarantine|PublishRecovery|Budget|LaplaceMechanism|Retry|Backoff|CircuitBreaker|Durability|Limits|Tracker|CheckedMul|Adversarial|SynopsisOverflow|HostileBundle|Admission|CorpusReplay')
+  -R 'FaultInjection|Quarantine|PublishRecovery|Budget|LaplaceMechanism|Retry|Backoff|CircuitBreaker|Durability|Limits|Tracker|CheckedMul|Adversarial|SynopsisOverflow|HostileBundle|Admission|CorpusReplay|Coalescing|BatchSubmit|StatsShard')
 
 if [[ "${SKIP_FUZZ:-0}" != "1" ]]; then
   echo "== asan+ubsan: fuzz smoke (${FUZZ_SECONDS}s per boundary) =="
@@ -82,11 +108,12 @@ cmake -B build-tsan -S . -DVIEWREWRITE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" --target \
   query_server_test answer_cache_test shutdown_race_test reload_test \
   resilience_test deadline_test chaos_soak \
+  coalescing_test batch_submit_test stats_shard_test \
   adversarial_test admission_test corpus_replay_test
 
 echo "== tsan: ctest (concurrent serving layer) =="
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
-  -R 'QueryServer|AnswerCache|ShutdownRace|Reload|Resilience|Deadline|Adversarial|Admission|CorpusReplay')
+  -R 'QueryServer|AnswerCache|ShutdownRace|Reload|Resilience|Deadline|Coalescing|BatchSubmit|StatsShard|Adversarial|Admission|CorpusReplay')
 
 if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   echo "== tsan: chaos soak (reduced seeds) =="

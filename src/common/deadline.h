@@ -33,6 +33,11 @@ class Deadline {
   bool infinite() const { return at_ == Clock::time_point::max(); }
   bool expired() const { return !infinite() && Clock::now() >= at_; }
 
+  /// The absolute expiry instant (Clock::time_point::max() when
+  /// infinite), for callers that combine deadlines — e.g. a coalesced
+  /// flight tracking the latest deadline among its waiters.
+  Clock::time_point when() const { return at_; }
+
   /// Time left: zero once expired, Clock::duration::max() when infinite.
   Clock::duration remaining() const {
     if (infinite()) return Clock::duration::max();

@@ -20,11 +20,11 @@ std::optional<AnswerCache::Entry> AnswerCache::Get(const std::string& key) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
   return it->second->second;
 }
 
@@ -40,9 +40,34 @@ void AnswerCache::Put(const std::string& key, double value, uint64_t epoch) {
   if (shard.lru.size() >= per_shard_capacity_) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
   }
   shard.lru.emplace_front(key, Entry{value, epoch});
   shard.index[key] = shard.lru.begin();
+}
+
+uint64_t AnswerCache::hits() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.hits.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t AnswerCache::misses() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.misses.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t AnswerCache::evictions() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.evictions.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 size_t AnswerCache::size() const {
@@ -52,6 +77,23 @@ size_t AnswerCache::size() const {
     total += shard.lru.size();
   }
   return total;
+}
+
+std::vector<CacheStripeStats> AnswerCache::StripeStatsSnapshot() const {
+  std::vector<CacheStripeStats> out;
+  out.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    CacheStripeStats s;
+    s.hits = shard.hits.load(std::memory_order_relaxed);
+    s.misses = shard.misses.load(std::memory_order_relaxed);
+    s.evictions = shard.evictions.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      s.entries = shard.lru.size();
+    }
+    out.push_back(s);
+  }
+  return out;
 }
 
 }  // namespace viewrewrite

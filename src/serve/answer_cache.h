@@ -12,6 +12,14 @@
 
 namespace viewrewrite {
 
+/// Per-stripe counter snapshot (see AnswerCache::StripeStatsSnapshot).
+struct CacheStripeStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+};
+
 /// Sharded LRU cache of scalar answers, keyed by canonical cache key
 /// (see rewrite/canonical.h). Published answers are deterministic — the
 /// noise was drawn once at publication — so a cached value is exactly
@@ -26,8 +34,12 @@ namespace viewrewrite {
 /// answer flagged stale beats serving an error.
 ///
 /// Thread safety: fully thread safe. Keys hash to one of `shards`
-/// independent LRU lists, each behind its own mutex, so concurrent
-/// workers rarely contend unless they touch the same shard.
+/// independent LRU stripes, each behind its own mutex, so concurrent
+/// workers rarely contend unless they touch the same stripe. Hit, miss
+/// and eviction counters live **per stripe** on the stripe's own cache
+/// line (there is no global counter pair for every lookup to bounce on);
+/// the totals exposed by hits()/misses()/evictions() and the per-stripe
+/// breakdown in StripeStatsSnapshot() are summed at read time.
 class AnswerCache {
  public:
   struct Entry {
@@ -50,11 +62,17 @@ class AnswerCache {
   /// shard's least recently used entry if the shard is at capacity.
   void Put(const std::string& key, double value, uint64_t epoch = 0);
 
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+  size_t num_stripes() const { return shards_.size(); }
   /// Current resident entries (sums shard sizes; approximate under
   /// concurrent mutation).
   size_t size() const;
+  /// Per-stripe counters plus resident entries, for observability and the
+  /// stats-sharding tests. Approximate under concurrent mutation, exact
+  /// once writers are quiesced.
+  std::vector<CacheStripeStats> StripeStatsSnapshot() const;
 
  private:
   struct Shard {
@@ -64,14 +82,17 @@ class AnswerCache {
     std::unordered_map<std::string,
                        std::list<std::pair<std::string, Entry>>::iterator>
         index;
+    // Stripe-local counters: mutated under `mu`, read lock-free by the
+    // snapshot methods, hence atomics with relaxed ordering.
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
   };
 
   Shard& ShardFor(const std::string& key);
 
   size_t per_shard_capacity_;
   std::vector<Shard> shards_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace viewrewrite

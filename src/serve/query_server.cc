@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
 
 #include "common/fault_injection.h"
 #include "rewrite/canonical.h"
@@ -30,6 +31,22 @@ std::string RawCacheKey(const std::string& sql, const ParamMap& params) {
   return key;
 }
 
+/// Cells for the sharded counters: enough that the configured workers
+/// plus a few caller threads (Answer, Reload, stats) land on distinct
+/// cells, capped so an over-threaded config does not waste memory.
+size_t StatsCells(const ServeOptions& options) {
+  if (options.stats_cells > 0) return options.stats_cells;
+  const size_t hw = std::thread::hardware_concurrency();
+  const size_t want = std::max(options.num_threads + 2, hw);
+  return std::min<size_t>(std::max<size_t>(1, want), 64);
+}
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Deadline::Clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 QueryServer::QueryServer(std::shared_ptr<const SynopsisStore> store,
@@ -39,7 +56,8 @@ QueryServer::QueryServer(std::shared_ptr<const SynopsisStore> store,
       options_(options),
       rewriter_(schema_, WithLimits(options.rewrite, options.limits)),
       answer_breaker_(options.answer_breaker),
-      store_breaker_(options.store_breaker) {
+      store_breaker_(options.store_breaker),
+      counters_(StatsCells(options)) {
   options_.rewrite.limits = options_.limits;
   if (options_.num_threads == 0) options_.num_threads = 1;
   if (options_.enable_cache) {
@@ -52,7 +70,29 @@ QueryServer::QueryServer(std::shared_ptr<const SynopsisStore> store,
   }
 }
 
-QueryServer::~QueryServer() { Shutdown(); }
+QueryServer::~QueryServer() {
+  Shutdown();
+  // Defensive sweep: by the time the workers are joined every flight has
+  // resolved its waiters (leaders run to completion during the drain), so
+  // this finds nothing in practice — but a promise must never be
+  // destroyed unresolved, so any straggler gets a typed Unavailable
+  // rather than a broken_promise exception at the caller.
+  std::vector<Waiter> orphans;
+  {
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    for (auto& [key, flight] : flights_) {
+      for (Waiter& w : flight->waiters) orphans.push_back(std::move(w));
+      flight->waiters.clear();
+    }
+    flights_.clear();
+  }
+  for (Waiter& w : orphans) {
+    Result<ServedAnswer> r{Status::Unavailable(
+        "query server shut down while the request was coalesced in flight")};
+    RecordOutcome(r);
+    w.promise.set_value(std::move(r));
+  }
+}
 
 void QueryServer::Shutdown() {
   {
@@ -92,6 +132,34 @@ Deadline QueryServer::MakeDeadline(std::chrono::nanoseconds timeout) const {
   return Deadline::Infinite();
 }
 
+int64_t QueryServer::DeadlineNanos(const Deadline& d) {
+  if (d.infinite()) return kInfiniteDeadlineNs;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             d.when().time_since_epoch())
+      .count();
+}
+
+void QueryServer::RelaxFlightDeadline(Flight& flight, const Deadline& d) {
+  const int64_t ns = DeadlineNanos(d);
+  int64_t seen = flight.deadline_ns.load(std::memory_order_relaxed);
+  while (ns > seen && !flight.deadline_ns.compare_exchange_weak(
+                          seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+bool QueryServer::FlightDeadlineExpired(const Flight& flight) {
+  const int64_t ns = flight.deadline_ns.load(std::memory_order_relaxed);
+  if (ns == kInfiniteDeadlineNs) return false;
+  return NowNanos() >= ns;
+}
+
+std::chrono::nanoseconds QueryServer::FlightDeadlineRemaining(
+    const Flight& flight) {
+  const int64_t ns = flight.deadline_ns.load(std::memory_order_relaxed);
+  if (ns == kInfiniteDeadlineNs) return std::chrono::nanoseconds::max();
+  return std::chrono::nanoseconds(std::max<int64_t>(0, ns - NowNanos()));
+}
+
 std::future<Result<ServedAnswer>> QueryServer::Submit(std::string sql,
                                                       ParamMap params) {
   return Submit(std::move(sql), std::move(params), std::chrono::nanoseconds(0));
@@ -108,7 +176,7 @@ std::future<Result<ServedAnswer>> QueryServer::Submit(
   // queue slot or a worker — the cheapest point to stop a hostile
   // payload, and the check the tokenizer would make anyway.
   if (task.sql.size() > options_.limits.max_sql_bytes) {
-    rejected_oversized_.fetch_add(1, std::memory_order_relaxed);
+    counters_.Add(ServeCounter::kRejectedOversized);
     task.promise.set_value(Status::ResourceExhausted(
         "query of " + std::to_string(task.sql.size()) +
         " bytes exceeds the limit (" +
@@ -118,23 +186,103 @@ std::future<Result<ServedAnswer>> QueryServer::Submit(
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
-      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      counters_.Add(ServeCounter::kRejectedShutdown);
       task.promise.set_value(
           Status::Unavailable("query server is shut down"));
       return future;
     }
     if (queue_.size() >= options_.queue_capacity) {
-      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      counters_.Add(ServeCounter::kRejectedQueueFull);
       task.promise.set_value(Status::Unavailable(
           "request queue full (" + std::to_string(options_.queue_capacity) +
           " pending)"));
       return future;
     }
-    submitted_.fetch_add(1, std::memory_order_relaxed);
+    counters_.Add(ServeCounter::kSubmitted);
     queue_.push_back(std::move(task));
   }
   queue_cv_.notify_one();
   return future;
+}
+
+std::vector<std::future<Result<ServedAnswer>>> QueryServer::SubmitBatch(
+    std::vector<std::string> sqls, ParamMap params,
+    std::chrono::nanoseconds timeout) {
+  const Deadline deadline = MakeDeadline(timeout);
+  std::vector<std::future<Result<ServedAnswer>>> futures;
+  futures.reserve(sqls.size());
+
+  // Dedup within the batch: the first occurrence of a text becomes a
+  // task, later occurrences ride it as followers — they resolve with the
+  // task's single computation.
+  std::vector<Task> tasks;
+  std::unordered_map<std::string, size_t> first;  // sql -> index in tasks
+  for (std::string& sql : sqls) {
+    std::promise<Result<ServedAnswer>> promise;
+    futures.push_back(promise.get_future());
+    if (sql.size() > options_.limits.max_sql_bytes) {
+      counters_.Add(ServeCounter::kRejectedOversized);
+      promise.set_value(Status::ResourceExhausted(
+          "query of " + std::to_string(sql.size()) +
+          " bytes exceeds the limit (" +
+          std::to_string(options_.limits.max_sql_bytes) + ")"));
+      continue;
+    }
+    auto it = first.find(sql);
+    if (it != first.end()) {
+      tasks[it->second].followers.push_back(std::move(promise));
+      continue;
+    }
+    first.emplace(sql, tasks.size());
+    Task task;
+    task.sql = std::move(sql);
+    task.params = params;
+    task.deadline = deadline;
+    task.promise = std::move(promise);
+    tasks.push_back(std::move(task));
+  }
+
+  // Enqueue every distinct task under one queue lock — the batch pays one
+  // lock round-trip, and its tasks land contiguously. Admission control
+  // stays per task; a rejected task rejects its followers with it.
+  std::vector<std::pair<Task, Status>> rejected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Task& task : tasks) {
+      const uint64_t group = 1 + task.followers.size();
+      if (stopping_) {
+        counters_.Add(ServeCounter::kRejectedShutdown, group);
+        rejected.emplace_back(std::move(task),
+                              Status::Unavailable("query server is shut down"));
+        continue;
+      }
+      if (queue_.size() >= options_.queue_capacity) {
+        counters_.Add(ServeCounter::kRejectedQueueFull, group);
+        rejected.emplace_back(
+            std::move(task),
+            Status::Unavailable("request queue full (" +
+                                std::to_string(options_.queue_capacity) +
+                                " pending)"));
+        continue;
+      }
+      counters_.Add(ServeCounter::kSubmitted, group);
+      counters_.Add(ServeCounter::kBatchQueries, group);
+      if (!task.followers.empty()) {
+        // Followers are coalesced at admission: they will never start a
+        // computation of their own, which is exactly what
+        // ServeStats::coalesced_waiters counts.
+        counters_.Add(ServeCounter::kBatchDeduped, task.followers.size());
+        counters_.Add(ServeCounter::kCoalescedWaiters, task.followers.size());
+      }
+      queue_.push_back(std::move(task));
+    }
+  }
+  queue_cv_.notify_all();
+  for (auto& [task, status] : rejected) {
+    for (auto& follower : task.followers) follower.set_value(status);
+    task.promise.set_value(status);
+  }
+  return futures;
 }
 
 void QueryServer::WorkerLoop() {
@@ -151,172 +299,346 @@ void QueryServer::WorkerLoop() {
     }
     if (task.deadline.expired()) {
       // Expired while queued: resolve without touching the answer path,
-      // and the worker simply moves to the next request.
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-      task.promise.set_value(
-          Status::DeadlineExceeded("request deadline expired while queued"));
+      // and the worker simply moves to the next request. Followers share
+      // the batch deadline, so they expire with the task (they were
+      // already counted coalesced at admission; the task itself resolves
+      // through the expired-in-queue channel).
+      counters_.Add(ServeCounter::kExpiredInQueue);
+      Result<ServedAnswer> r{
+          Status::DeadlineExceeded("request deadline expired while queued")};
+      for (auto& follower : task.followers) {
+        RecordOutcome(r);
+        follower.set_value(r);
+      }
+      RecordOutcome(r);
+      task.promise.set_value(std::move(r));
       continue;
     }
-    task.promise.set_value(Handle(task.sql, task.params, task.deadline));
+    Process(std::move(task));
   }
 }
 
 Result<ServedAnswer> QueryServer::Answer(const std::string& sql,
                                          const ParamMap& params,
                                          std::chrono::nanoseconds timeout) {
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  return Handle(sql, params, MakeDeadline(timeout));
+  counters_.Add(ServeCounter::kSubmitted);
+  Task task;
+  task.sql = sql;
+  task.params = params;
+  task.deadline = MakeDeadline(timeout);
+  std::future<Result<ServedAnswer>> future = task.promise.get_future();
+  // Runs the full pipeline on the calling thread. If this request joins
+  // another thread's flight the get() blocks until that leader resolves
+  // it; leaders themselves never block on other flights, so this cannot
+  // deadlock.
+  Process(std::move(task));
+  return future.get();
 }
 
-Result<ServedAnswer> QueryServer::Handle(const std::string& sql,
-                                         const ParamMap& params,
-                                         Deadline deadline) {
-  const auto t0 = std::chrono::steady_clock::now();
-  auto record = [&](Result<ServedAnswer> out) {
-    const auto dt = std::chrono::steady_clock::now() - t0;
-    answer_nanos_.fetch_add(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count(),
-        std::memory_order_relaxed);
-    if (out.ok()) {
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      if (out->stale) {
-        stale_served_.fetch_add(1, std::memory_order_relaxed);
-      } else if (out->attempts > 1) {
-        retry_successes_.fetch_add(1, std::memory_order_relaxed);
-      }
-    } else {
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      if (out.status().code() == StatusCode::kNotFound) {
-        unmatched_.fetch_add(1, std::memory_order_relaxed);
-      } else if (out.status().code() == StatusCode::kDeadlineExceeded) {
-        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
-    return out;
-  };
-
+void QueryServer::Process(Task task) {
   // One snapshot per request: a mid-request Reload never tears a query
   // across two bundles, and cache writes are tagged with the epoch the
   // answer was actually computed under.
   const StoreSnapshot snap = SnapshotStore();
 
-  // A cache entry from an older epoch is never returned as fresh, but it
-  // is remembered: if the live answer path fails, serving the previous
-  // bundle's answer flagged stale beats serving an error.
+  // Raw-key probe before any parsing. A fresh hit resolves the request
+  // (and its batch followers) without consulting the flight table at all;
+  // an old-epoch entry is remembered as this request's stale fallback.
   std::optional<double> stale_candidate;
-  auto classify_hit =
-      [&](const AnswerCache::Entry& e) -> std::optional<ServedAnswer> {
-    if (e.epoch == snap.epoch) return ServedAnswer{e.value, false, 0};
-    stale_candidate = e.value;
-    return std::nullopt;
-  };
-
-  std::string raw_key;
+  const std::string raw_key = RawCacheKey(task.sql, task.params);
   if (cache_) {
-    raw_key = RawCacheKey(sql, params);
     if (std::optional<AnswerCache::Entry> hit = cache_->Get(raw_key)) {
-      if (std::optional<ServedAnswer> fresh = classify_hit(*hit)) {
-        return record(*fresh);
+      if (hit->epoch == snap.epoch) {
+        counters_.Add(ServeCounter::kCacheShortCircuits);
+        for (auto& follower : task.followers) {
+          Result<ServedAnswer> r{
+              ServedAnswer{hit->value, false, 0, /*coalesced=*/true}};
+          RecordOutcome(r);
+          follower.set_value(std::move(r));
+        }
+        Result<ServedAnswer> r{
+            ServedAnswer{hit->value, false, 0, /*coalesced=*/false}};
+        RecordOutcome(r);
+        task.promise.set_value(std::move(r));
+        return;
       }
+      stale_candidate = hit->value;
     }
   }
 
-  auto answer_uncached = [&]() -> Result<ServedAnswer> {
-    if (deadline.expired()) {
-      return Status::DeadlineExceeded("request deadline expired before parse");
-    }
-    VR_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelect(sql, options_.limits));
-    if (deadline.expired()) {
-      return Status::DeadlineExceeded("request deadline expired after parse");
-    }
-    VR_ASSIGN_OR_RETURN(RewrittenQuery rq, rewriter_.Rewrite(*stmt));
-    if (deadline.expired()) {
-      return Status::DeadlineExceeded(
-          "request deadline expired after rewrite");
-    }
+  // The request and its followers become waiters on a flight: either one
+  // already computing this exact text under this epoch, or a new one this
+  // request leads.
+  std::vector<Waiter> members;
+  members.reserve(1 + task.followers.size());
+  {
+    Waiter w;
+    w.promise = std::move(task.promise);
+    w.deadline = task.deadline;
+    w.stale_candidate = stale_candidate;
+    members.push_back(std::move(w));
+  }
+  for (auto& follower : task.followers) {
+    Waiter w;
+    w.promise = std::move(follower);
+    w.deadline = task.deadline;
+    w.stale_candidate = stale_candidate;
+    w.coalesced = true;
+    members.push_back(std::move(w));
+  }
 
-    std::string canonical_key;
-    if (cache_) {
-      canonical_key = "c|" + CanonicalCacheKey(rq, params);
-      if (std::optional<AnswerCache::Entry> hit = cache_->Get(canonical_key)) {
-        if (std::optional<ServedAnswer> fresh = classify_hit(*hit)) {
-          return *fresh;
-        }
-      }
+  std::shared_ptr<Flight> flight;
+  if (options_.enable_coalescing) {
+    // Flight keys are epoch-qualified: a duplicate admitted after a hot
+    // reload must not receive the previous epoch's answer unflagged, so
+    // it starts a fresh flight against the new bundle instead of joining
+    // the old one.
+    std::string flight_key = std::to_string(snap.epoch);
+    flight_key += '|';
+    flight_key += raw_key;
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    auto it = flights_.find(flight_key);
+    if (it != flights_.end()) {
+      Flight& lead = *it->second;
+      RelaxFlightDeadline(lead, task.deadline);
+      counters_.Add(ServeCounter::kCoalescedWaiters);
+      members[0].coalesced = true;
+      for (Waiter& w : members) lead.waiters.push_back(std::move(w));
+      return;
     }
+    flight = std::make_shared<Flight>();
+    flight->epoch = snap.epoch;
+    flight->deadline_ns.store(DeadlineNanos(task.deadline),
+                              std::memory_order_relaxed);
+    for (Waiter& w : members) flight->waiters.push_back(std::move(w));
+    flight->keys.push_back(flight_key);
+    flights_.emplace(std::move(flight_key), flight);
+  } else {
+    flight = std::make_shared<Flight>();
+    flight->epoch = snap.epoch;
+    flight->deadline_ns.store(DeadlineNanos(task.deadline),
+                              std::memory_order_relaxed);
+    for (Waiter& w : members) flight->waiters.push_back(std::move(w));
+  }
 
-    auto degrade = [&](Status failure) -> Result<ServedAnswer> {
-      if (options_.serve_stale && stale_candidate.has_value()) {
-        return ServedAnswer{*stale_candidate, /*stale=*/true, 0};
-      }
-      return failure;
-    };
+  counters_.Add(ServeCounter::kFlights);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::optional<FlightOutcome> out =
+      ComputeAnswer(flight, snap, task.sql, task.params, raw_key);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  counters_.Add(
+      ServeCounter::kAnswerNanos,
+      std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+  // nullopt: this flight merged into a canonical-equal one after rewrite;
+  // its waiters (including this request) now belong to that leader.
+  if (!out.has_value()) return;
+  FinishFlight(flight, *out);
+}
 
-    // One answer attempt: fault point, bind against the snapshot, answer
-    // from the stored noisy cells. The engine registers with a null bake
-    // predicate; binding with the same predicate reproduces the
-    // register-time signatures.
-    auto attempt_answer = [&]() -> Result<double> {
-      VR_FAULT_POINT(faults::kServeAnswer);
-      VR_ASSIGN_OR_RETURN(BoundRewrittenQuery bound,
-                          snap.store->Bind(rq, nullptr));
-      return snap.store->Answer(bound, params);
-    };
+std::optional<QueryServer::FlightOutcome> QueryServer::ComputeAnswer(
+    const std::shared_ptr<Flight>& flight, const StoreSnapshot& snap,
+    const std::string& sql, const ParamMap& params,
+    const std::string& raw_key) {
+  // The computation runs under the flight's *effective* deadline — the
+  // latest among its waiters, extended lock-free as joiners arrive — so a
+  // leader with a tight deadline never strands a waiter that had time
+  // left. Each waiter's own deadline is re-applied at resolution.
+  if (FlightDeadlineExpired(*flight)) {
+    return FlightOutcome{
+        Status::DeadlineExceeded("request deadline expired before parse")};
+  }
+  Result<SelectStmtPtr> stmt = ParseSelect(sql, options_.limits);
+  if (!stmt.ok()) return FlightOutcome{stmt.status()};
+  if (FlightDeadlineExpired(*flight)) {
+    return FlightOutcome{
+        Status::DeadlineExceeded("request deadline expired after parse")};
+  }
+  Result<RewrittenQuery> rq = rewriter_.Rewrite(**stmt);
+  if (!rq.ok()) return FlightOutcome{rq.status()};
+  if (FlightDeadlineExpired(*flight)) {
+    return FlightOutcome{
+        Status::DeadlineExceeded("request deadline expired after rewrite")};
+  }
 
-    Backoff backoff(options_.retry, Fnv1a64(sql));
-    const uint32_t max_attempts = std::max(1u, options_.retry.max_attempts);
-    Status last;
-    uint32_t attempts = 0;
-    for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
-      if (attempt > 1 && deadline.expired()) {
-        return Status::DeadlineExceeded(
-            "request deadline expired after " + std::to_string(attempts) +
-            " answer attempts");
+  const std::string canonical_key = "c|" + CanonicalCacheKey(*rq, params);
+  if (options_.enable_coalescing) {
+    // Second coalescing stage: textual variants that rewrite to the same
+    // canonical form. If a canonical-equal flight is already registered,
+    // this flight's waiters move over and the computation stops here;
+    // otherwise this flight claims the canonical key as an alias so later
+    // variants find it.
+    std::string canonical_flight_key = std::to_string(snap.epoch);
+    canonical_flight_key += '|';
+    canonical_flight_key += canonical_key;
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    auto it = flights_.find(canonical_flight_key);
+    if (it != flights_.end() && it->second != flight) {
+      Flight& target = *it->second;
+      for (Waiter& w : flight->waiters) {
+        RelaxFlightDeadline(target, w.deadline);
+        w.coalesced = true;
+        target.waiters.push_back(std::move(w));
       }
-      if (!answer_breaker_.Allow()) {
-        return degrade(Status::Unavailable(
-            "answer-path circuit breaker is open; failing fast"));
+      flight->waiters.clear();
+      if (flight->shared_stale.has_value() &&
+          !target.shared_stale.has_value()) {
+        target.shared_stale = flight->shared_stale;
       }
-      ++attempts;
-      Result<double> got = attempt_answer();
-      if (got.ok()) {
-        answer_breaker_.RecordSuccess();
-        if (cache_) {
-          cache_->Put(canonical_key, *got, snap.epoch);
-          cache_->Put(raw_key, *got, snap.epoch);
-        }
-        return ServedAnswer{*got, /*stale=*/false, attempts};
-      }
-      last = got.status();
-      if (!IsRetryableStatus(last.code())) {
-        // Semantic failure (unparseable, no matching view, ...): the
-        // answer path itself functioned, so the breaker records health,
-        // and retrying could not change the outcome.
-        answer_breaker_.RecordSuccess();
-        return last;
-      }
-      answer_breaker_.RecordFailure();
-      if (attempt < max_attempts) {
-        retries_.fetch_add(1, std::memory_order_relaxed);
-        std::chrono::nanoseconds delay = backoff.Next();
-        if (!deadline.infinite()) {
-          delay = std::min<std::chrono::nanoseconds>(delay,
-                                                     deadline.remaining());
-        }
-        if (delay > std::chrono::nanoseconds(0)) {
-          std::this_thread::sleep_for(delay);
-        }
-      }
+      for (const std::string& k : flight->keys) flights_.erase(k);
+      flight->keys.clear();
+      counters_.Add(ServeCounter::kMergedFlights);
+      return std::nullopt;
     }
-    // Transient failure survived every attempt: degrade to a stale answer
-    // when one exists, otherwise surface the last typed error.
-    if (options_.serve_stale && stale_candidate.has_value()) {
-      return ServedAnswer{*stale_candidate, /*stale=*/true, attempts};
+    if (it == flights_.end()) {
+      flight->keys.push_back(canonical_flight_key);
+      flights_.emplace(std::move(canonical_flight_key), flight);
     }
-    return last;
+  }
+
+  if (cache_) {
+    if (std::optional<AnswerCache::Entry> hit = cache_->Get(canonical_key)) {
+      if (hit->epoch == snap.epoch) {
+        return FlightOutcome{Status::OK(), hit->value, 0};
+      }
+      // An old-epoch canonical entry is a degradation fallback for every
+      // waiter of this flight, including ones whose raw probe missed.
+      std::lock_guard<std::mutex> lock(flights_mu_);
+      flight->shared_stale = hit->value;
+    }
+  }
+
+  // One answer attempt: fault point, bind against the snapshot, answer
+  // from the stored noisy cells. The engine registers with a null bake
+  // predicate; binding with the same predicate reproduces the
+  // register-time signatures.
+  auto attempt_answer = [&]() -> Result<double> {
+    VR_FAULT_POINT(faults::kServeAnswer);
+    VR_ASSIGN_OR_RETURN(BoundRewrittenQuery bound,
+                        snap.store->Bind(*rq, nullptr));
+    return snap.store->Answer(bound, params);
   };
-  return record(answer_uncached());
+
+  Backoff backoff(options_.retry, Fnv1a64(sql));
+  const uint32_t max_attempts = std::max(1u, options_.retry.max_attempts);
+  Status last;
+  uint32_t attempts = 0;
+  for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1 && FlightDeadlineExpired(*flight)) {
+      return FlightOutcome{
+          Status::DeadlineExceeded("request deadline expired after " +
+                                   std::to_string(attempts) +
+                                   " answer attempts"),
+          0, attempts};
+    }
+    if (!answer_breaker_.Allow()) {
+      return FlightOutcome{Status::Unavailable(
+          "answer-path circuit breaker is open; failing fast")};
+    }
+    ++attempts;
+    Result<double> got = attempt_answer();
+    if (got.ok()) {
+      answer_breaker_.RecordSuccess();
+      if (cache_) {
+        // The leader writes each key exactly once per flight, no matter
+        // how many waiters resolve with it.
+        cache_->Put(canonical_key, *got, snap.epoch);
+        cache_->Put(raw_key, *got, snap.epoch);
+      }
+      return FlightOutcome{Status::OK(), *got, attempts};
+    }
+    last = got.status();
+    if (!IsRetryableStatus(last.code())) {
+      // Semantic failure (unparseable, no matching view, ...): the
+      // answer path itself functioned, so the breaker records health,
+      // and retrying could not change the outcome.
+      answer_breaker_.RecordSuccess();
+      return FlightOutcome{last, 0, attempts};
+    }
+    answer_breaker_.RecordFailure();
+    if (attempt < max_attempts) {
+      counters_.Add(ServeCounter::kRetries);
+      std::chrono::nanoseconds delay = backoff.Next();
+      delay = std::min(delay, FlightDeadlineRemaining(*flight));
+      if (delay > std::chrono::nanoseconds(0)) {
+        std::this_thread::sleep_for(delay);
+      }
+    }
+  }
+  return FlightOutcome{last, 0, attempts};
+}
+
+void QueryServer::FinishFlight(const std::shared_ptr<Flight>& flight,
+                               const FlightOutcome& out) {
+  std::vector<Waiter> waiters;
+  std::optional<double> shared_stale;
+  {
+    // Deregister before resolving: once the keys are gone, a new
+    // duplicate starts a fresh flight (or hits the cache the leader just
+    // populated) instead of joining a completed one.
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    for (const std::string& k : flight->keys) flights_.erase(k);
+    flight->keys.clear();
+    waiters = std::move(flight->waiters);
+    flight->waiters.clear();
+    shared_stale = flight->shared_stale;
+  }
+  counters_.NoteFlightGroup(waiters.size());
+  for (Waiter& w : waiters) {
+    Result<ServedAnswer> r = ResolveWaiter(w, out, shared_stale);
+    RecordOutcome(r);
+    w.promise.set_value(std::move(r));
+  }
+}
+
+Result<ServedAnswer> QueryServer::ResolveWaiter(
+    Waiter& w, const FlightOutcome& out,
+    const std::optional<double>& shared_stale) {
+  // Per-waiter resolution of the shared outcome. On success the value is
+  // delivered regardless of the waiter's deadline — success beats the
+  // deadline race, exactly as in the uncoalesced path where no deadline
+  // check follows a successful answer. Coalesced waiters report zero
+  // attempts: they consumed none themselves.
+  if (out.status.ok()) {
+    return ServedAnswer{out.value, /*stale=*/false,
+                        w.coalesced ? 0 : out.attempts, w.coalesced};
+  }
+  // Failure order: deadline expiry is reported as such and never degrades
+  // to a stale answer; then transient failures fall back to this waiter's
+  // stale candidate (or the flight's shared one); semantic failures
+  // surface typed.
+  if (w.deadline.expired()) {
+    return Status::DeadlineExceeded("request deadline expired");
+  }
+  if (out.status.code() == StatusCode::kDeadlineExceeded) {
+    return out.status;
+  }
+  if (options_.serve_stale && IsRetryableStatus(out.status.code())) {
+    const std::optional<double>& fallback =
+        w.stale_candidate.has_value() ? w.stale_candidate : shared_stale;
+    if (fallback.has_value()) {
+      return ServedAnswer{*fallback, /*stale=*/true,
+                          w.coalesced ? 0 : out.attempts, w.coalesced};
+    }
+  }
+  return out.status;
+}
+
+void QueryServer::RecordOutcome(const Result<ServedAnswer>& r) {
+  if (r.ok()) {
+    counters_.Add(ServeCounter::kCompleted);
+    if (r->stale) {
+      counters_.Add(ServeCounter::kStaleServed);
+    } else if (r->attempts > 1) {
+      counters_.Add(ServeCounter::kRetrySuccesses);
+    }
+  } else {
+    counters_.Add(ServeCounter::kFailed);
+    if (r.status().code() == StatusCode::kNotFound) {
+      counters_.Add(ServeCounter::kUnmatched);
+    } else if (r.status().code() == StatusCode::kDeadlineExceeded) {
+      counters_.Add(ServeCounter::kDeadlineExceeded);
+    }
+  }
 }
 
 Status QueryServer::Reload(const std::string& path) {
@@ -340,7 +662,7 @@ Status QueryServer::Reload(const std::string& path) {
       store_breaker_.RecordFailure();
       if (!IsRetryableStatus(last.code())) return last;
       if (attempt < max_attempts) {
-        retries_.fetch_add(1, std::memory_order_relaxed);
+        counters_.Add(ServeCounter::kRetries);
         std::this_thread::sleep_for(backoff.Next());
       }
     }
@@ -348,7 +670,7 @@ Status QueryServer::Reload(const std::string& path) {
   };
   Result<std::shared_ptr<const SynopsisStore>> fresh = load_fresh();
   if (!fresh.ok()) {
-    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    counters_.Add(ServeCounter::kReloadFailures);
     return fresh.status();
   }
   return Reload(std::move(fresh).value());
@@ -356,12 +678,12 @@ Status QueryServer::Reload(const std::string& path) {
 
 Status QueryServer::Reload(std::shared_ptr<const SynopsisStore> store) {
   if (store == nullptr) {
-    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    counters_.Add(ServeCounter::kReloadFailures);
     return Status::InvalidArgument("cannot reload a null store");
   }
   const uint64_t expected = SchemaFingerprint(schema_);
   if (store->schema_fingerprint() != expected) {
-    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    counters_.Add(ServeCounter::kReloadFailures);
     return Status::InvalidArgument(
         "schema drift: replacement bundle was built against a different "
         "schema (fingerprint " + std::to_string(store->schema_fingerprint()) +
@@ -375,39 +697,48 @@ Status QueryServer::Reload(std::shared_ptr<const SynopsisStore> store) {
     store_ = std::move(store);
     epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
-  reloads_.fetch_add(1, std::memory_order_relaxed);
+  counters_.Add(ServeCounter::kReloads);
   return Status::OK();
 }
 
 ServeStats QueryServer::stats() const {
   ServeStats s;
-  s.submitted = submitted_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_relaxed);
-  s.failed = failed_.load(std::memory_order_relaxed);
-  s.rejected_queue_full =
-      rejected_queue_full_.load(std::memory_order_relaxed);
-  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
-  s.rejected_oversized = rejected_oversized_.load(std::memory_order_relaxed);
+  s.submitted = counters_.Total(ServeCounter::kSubmitted);
+  s.completed = counters_.Total(ServeCounter::kCompleted);
+  s.failed = counters_.Total(ServeCounter::kFailed);
+  s.rejected_queue_full = counters_.Total(ServeCounter::kRejectedQueueFull);
+  s.rejected_shutdown = counters_.Total(ServeCounter::kRejectedShutdown);
+  s.rejected_oversized = counters_.Total(ServeCounter::kRejectedOversized);
   s.rejected = s.rejected_queue_full + s.rejected_shutdown +
                s.rejected_oversized;
-  s.unmatched = unmatched_.load(std::memory_order_relaxed);
-  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
-  s.retries = retries_.load(std::memory_order_relaxed);
-  s.retry_successes = retry_successes_.load(std::memory_order_relaxed);
+  s.unmatched = counters_.Total(ServeCounter::kUnmatched);
+  s.deadline_exceeded = counters_.Total(ServeCounter::kDeadlineExceeded);
+  s.expired_in_queue = counters_.Total(ServeCounter::kExpiredInQueue);
+  s.retries = counters_.Total(ServeCounter::kRetries);
+  s.retry_successes = counters_.Total(ServeCounter::kRetrySuccesses);
   s.breaker_trips = answer_breaker_.trips() + store_breaker_.trips();
   s.breaker_rejected =
       answer_breaker_.rejections() + store_breaker_.rejections();
-  s.stale_served = stale_served_.load(std::memory_order_relaxed);
-  s.reloads = reloads_.load(std::memory_order_relaxed);
-  s.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  s.stale_served = counters_.Total(ServeCounter::kStaleServed);
+  s.reloads = counters_.Total(ServeCounter::kReloads);
+  s.reload_failures = counters_.Total(ServeCounter::kReloadFailures);
   s.epoch = epoch_.load(std::memory_order_acquire);
+  s.flights = counters_.Total(ServeCounter::kFlights);
+  s.coalesced_waiters = counters_.Total(ServeCounter::kCoalescedWaiters);
+  s.merged_flights = counters_.Total(ServeCounter::kMergedFlights);
+  s.max_flight_group = counters_.MaxFlightGroup();
+  s.cache_short_circuits = counters_.Total(ServeCounter::kCacheShortCircuits);
+  s.batch_queries = counters_.Total(ServeCounter::kBatchQueries);
+  s.batch_deduped = counters_.Total(ServeCounter::kBatchDeduped);
   if (cache_) {
     s.cache_hits = cache_->hits();
     s.cache_misses = cache_->misses();
+    s.cache_evictions = cache_->evictions();
     s.cache_entries = cache_->size();
+    s.cache_stripes = cache_->num_stripes();
   }
   s.answer_seconds =
-      static_cast<double>(answer_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+      static_cast<double>(counters_.Total(ServeCounter::kAnswerNanos)) * 1e-9;
   return s;
 }
 

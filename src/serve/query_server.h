@@ -7,10 +7,13 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/circuit_breaker.h"
@@ -33,6 +36,17 @@ struct ServeOptions {
   bool enable_cache = true;
   size_t cache_capacity = 4096;
   size_t cache_shards = 8;
+  /// Single-flight coalescing: concurrent requests for the same query
+  /// join the computation already in flight instead of re-running
+  /// parse→rewrite→match→answer. All waiters of a flight receive the same
+  /// value or the same typed error; deadline and stale-fallback semantics
+  /// stay per-waiter. Flights are keyed per store epoch, so a request
+  /// admitted after a hot reload never receives a previous epoch's answer
+  /// unflagged. Disable to measure or serve without coalescing.
+  bool enable_coalescing = true;
+  /// Cells for the sharded stats counters; 0 sizes them automatically
+  /// from num_threads and the hardware concurrency.
+  size_t stats_cells = 0;
   /// Resource governance for untrusted query input: Submit rejects SQL
   /// larger than `limits.max_sql_bytes` before it ever occupies a queue
   /// slot (counted in ServeStats::rejected_oversized), and the same
@@ -70,12 +84,16 @@ struct ServeOptions {
 /// from a previous epoch's cache because the live answer path was
 /// failing; it is exactly the value that bundle produced, just possibly
 /// outdated relative to the current one. `attempts` counts answer-path
-/// attempts consumed (> 1 means retries happened; 0 means the request
-/// never reached the answer path, e.g. a fresh cache hit).
+/// attempts this request consumed itself (> 1 means retries happened;
+/// 0 means the request never ran the answer path — a fresh cache hit or
+/// a coalesced waiter). `coalesced` marks a request that was resolved by
+/// another request's flight (single-flight join or batch dedup) rather
+/// than its own computation.
 struct ServedAnswer {
   double value = 0;
   bool stale = false;
   uint32_t attempts = 0;
+  bool coalesced = false;
 };
 
 /// Concurrent query answering over a loaded SynopsisStore: the operational
@@ -95,29 +113,70 @@ struct ServedAnswer {
 /// A fixed pool of workers consumes a bounded queue; Submit never blocks
 /// (a full queue rejects with Unavailable). The store is an immutable
 /// snapshot shared by all workers via shared_ptr (see the Synopsis
-/// thread-safety contract); the answer cache is internally sharded and
-/// locked; stats counters are atomics. Answering draws no randomness, so
-/// workers need no per-thread RNG — determinism is what makes the cache
-/// sound.
+/// thread-safety contract); the answer cache is internally striped and
+/// locked per stripe; stats counters are sharded per-thread cells
+/// (ShardedServeCounters) so the hot path never bounces a shared cache
+/// line. Answering draws no randomness, so workers need no per-thread
+/// RNG — determinism is what makes the cache and coalescing sound.
+///
+/// ## Single-flight coalescing
+///
+/// Answers are deterministic per {store, epoch}, so N concurrent
+/// identical requests need exactly one computation. Requests are keyed
+/// twice, mirroring the cache:
+///
+/// - **raw stage** (before parse): requests with identical SQL text and
+///   parameters join the flight already computing that text — the
+///   duplicates skip parse, rewrite, match *and* answer.
+/// - **canonical stage** (after rewrite): a flight that discovers a
+///   canonical-equal flight already registered (textual variants that
+///   rewrite identically) merges into it and its waiters move over.
+///
+/// Flight keys include the store epoch: a request admitted after a hot
+/// reload starts a fresh flight against the new bundle rather than
+/// receiving the old epoch's value unflagged. Every waiter of a flight
+/// receives the same value or the same typed error; deadlines and stale
+/// degradation are applied per waiter at resolution. A fresh cache hit
+/// never consults or creates a flight, and a completing flight writes
+/// each of its cache keys exactly once (leader only), no matter how many
+/// waiters it resolved.
+///
+/// ## Batched submission
+///
+/// SubmitBatch enqueues a whole vector of queries under one queue lock
+/// and deduplicates identical texts within the batch: duplicates ride
+/// their first occurrence's task as pre-joined waiters, so a batch with
+/// D distinct texts costs at most D computations (fewer when flights or
+/// the cache absorb them).
 ///
 /// ## Resilience
 ///
 /// - **Deadlines**: each request carries a Deadline from Submit through
 ///   parse, rewrite, match and answer; expiry at any stage boundary (or
-///   while still queued) resolves the future with DeadlineExceeded. The
-///   worker simply moves on — a timed-out query never poisons its thread.
+///   while still queued) resolves the future with DeadlineExceeded. A
+///   flight's computation runs under the *latest* deadline among its
+///   waiters, and each waiter's own deadline is re-checked when the
+///   flight resolves (a successful flight still delivers its value —
+///   success beats the deadline race, exactly as in the uncoalesced
+///   path, where no deadline check follows a successful answer).
 /// - **Retries**: transient answer-path failures retry under
 ///   `options.retry` with exponential backoff and deterministic seeded
-///   jitter, capped by the request deadline.
+///   jitter, capped by the flight deadline.
 /// - **Circuit breakers**: one per fault domain (answer path, store
 ///   load). Consecutive transient failures trip the breaker; while open,
 ///   requests fail fast with Unavailable (or degrade to a stale answer).
 /// - **Stale serving**: a cache entry from a previous epoch is never
 ///   returned as fresh, but when the live path fails it is served with
-///   `stale = true` rather than an error.
+///   `stale = true` rather than an error — per waiter: each waiter
+///   degrades on its own stale candidate (or the flight's shared one).
 /// - **Hot reload**: Reload atomically swaps in a freshly loaded bundle
 ///   (epoch/RCU-style shared_ptr swap). In-flight queries finish against
 ///   the epoch they started under; new requests see the new bundle.
+/// - **Shutdown**: stops intake, drains every accepted request, joins
+///   workers. Coalesced waiters are never abandoned: queued requests
+///   resolve through their flight's leader during the drain, and any
+///   waiter still registered when the server is destroyed resolves with
+///   Unavailable instead of a broken promise.
 ///
 /// ## Cache
 ///
@@ -151,8 +210,20 @@ class QueryServer {
   std::future<Result<ServedAnswer>> Submit(std::string sql, ParamMap params,
                                            std::chrono::nanoseconds timeout);
 
+  /// Batched submission: enqueues every query under a single queue lock
+  /// and deduplicates identical texts within the batch (`params` and the
+  /// deadline are shared by all elements). futures[i] corresponds to
+  /// sqls[i]. Admission control is per element: an oversized element
+  /// rejects alone; if the queue fills partway through, the remaining
+  /// *distinct* texts reject with Unavailable while duplicates of already
+  /// accepted texts still resolve with them.
+  std::vector<std::future<Result<ServedAnswer>>> SubmitBatch(
+      std::vector<std::string> sqls, ParamMap params = {},
+      std::chrono::nanoseconds timeout = std::chrono::nanoseconds(0));
+
   /// Synchronous convenience: answers on the calling thread, bypassing
-  /// the queue (still uses the cache, retries, breakers and stats).
+  /// the queue (still uses the cache, coalescing, retries, breakers and
+  /// stats; may resolve other requests' waiters if it leads a flight).
   Result<ServedAnswer> Answer(const std::string& sql,
                               const ParamMap& params = {},
                               std::chrono::nanoseconds timeout =
@@ -187,7 +258,45 @@ class QueryServer {
     ParamMap params;
     Deadline deadline;
     std::promise<Result<ServedAnswer>> promise;
+    /// Batch-deduped duplicates of this task's sql: resolved together
+    /// with the task, sharing its deadline and stale candidate.
+    std::vector<std::promise<Result<ServedAnswer>>> followers;
   };
+
+  /// One request waiting on a flight's outcome. The leader's own promise
+  /// is waiter #0 of its flight (coalesced = false); joined requests and
+  /// batch followers carry coalesced = true.
+  struct Waiter {
+    std::promise<Result<ServedAnswer>> promise;
+    Deadline deadline;
+    std::optional<double> stale_candidate;
+    bool coalesced = false;
+  };
+
+  /// One in-flight computation. Registered in `flights_` under its
+  /// epoch-qualified raw key and, once the leader has rewritten the
+  /// query, also under the epoch-qualified canonical key. `waiters`,
+  /// `keys` and `shared_stale` are guarded by `flights_mu_`; the
+  /// effective deadline is an atomic nanosecond timestamp so the leader
+  /// can poll it lock-free at stage boundaries while joiners extend it.
+  struct Flight {
+    std::vector<Waiter> waiters;
+    std::vector<std::string> keys;
+    std::optional<double> shared_stale;
+    std::atomic<int64_t> deadline_ns{kInfiniteDeadlineNs};
+    uint64_t epoch = 0;
+  };
+
+  /// What a completed flight delivers to every waiter: a value (status
+  /// OK) or a typed error, plus the attempts the leader consumed.
+  struct FlightOutcome {
+    Status status;
+    double value = 0;
+    uint32_t attempts = 0;
+  };
+
+  static constexpr int64_t kInfiniteDeadlineNs =
+      std::numeric_limits<int64_t>::max();
 
   /// The store snapshot a request answers against: pointer + the epoch it
   /// was current at. Taken once per request so a mid-request Reload never
@@ -199,9 +308,33 @@ class QueryServer {
   StoreSnapshot SnapshotStore() const;
 
   void WorkerLoop();
-  Result<ServedAnswer> Handle(const std::string& sql, const ParamMap& params,
-                              Deadline deadline);
+  /// Full request pipeline for one task (plus followers): cache
+  /// short-circuit, flight join-or-lead, compute, resolve.
+  void Process(Task task);
+  /// Leader computation: parse → rewrite → canonical coalesce/cache →
+  /// breaker/retry answer loop. Returns nullopt when this flight merged
+  /// into a canonical-equal one (its waiters moved over; nothing to
+  /// resolve here).
+  std::optional<FlightOutcome> ComputeAnswer(const std::shared_ptr<Flight>& f,
+                                             const StoreSnapshot& snap,
+                                             const std::string& sql,
+                                             const ParamMap& params,
+                                             const std::string& raw_key);
+  /// Deregisters the flight, extracts its waiters and resolves each one
+  /// under its own deadline/stale semantics.
+  void FinishFlight(const std::shared_ptr<Flight>& flight,
+                    const FlightOutcome& out);
+  Result<ServedAnswer> ResolveWaiter(Waiter& w, const FlightOutcome& out,
+                                     const std::optional<double>& shared_stale);
+  /// Counts one resolved request (completed/failed and their subsets).
+  void RecordOutcome(const Result<ServedAnswer>& r);
   Deadline MakeDeadline(std::chrono::nanoseconds timeout) const;
+
+  static int64_t DeadlineNanos(const Deadline& d);
+  static void RelaxFlightDeadline(Flight& flight, const Deadline& d);
+  static bool FlightDeadlineExpired(const Flight& flight);
+  static std::chrono::nanoseconds FlightDeadlineRemaining(
+      const Flight& flight);
 
   mutable std::mutex store_mu_;  // guards store_ swap; held only briefly
   std::shared_ptr<const SynopsisStore> store_;
@@ -219,22 +352,13 @@ class QueryServer {
   std::deque<Task> queue_;
   bool stopping_ = false;
   std::mutex join_mu_;  // serializes the join phase of concurrent Shutdowns
+
+  std::mutex flights_mu_;  // guards flights_ and every Flight's shared state
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+
   std::vector<std::thread> workers_;
 
-  std::atomic<uint64_t> submitted_{0};
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> failed_{0};
-  std::atomic<uint64_t> rejected_queue_full_{0};
-  std::atomic<uint64_t> rejected_shutdown_{0};
-  std::atomic<uint64_t> rejected_oversized_{0};
-  std::atomic<uint64_t> unmatched_{0};
-  std::atomic<uint64_t> deadline_exceeded_{0};
-  std::atomic<uint64_t> retries_{0};
-  std::atomic<uint64_t> retry_successes_{0};
-  std::atomic<uint64_t> stale_served_{0};
-  std::atomic<uint64_t> reloads_{0};
-  std::atomic<uint64_t> reload_failures_{0};
-  std::atomic<uint64_t> answer_nanos_{0};
+  mutable ShardedServeCounters counters_;
 };
 
 }  // namespace viewrewrite

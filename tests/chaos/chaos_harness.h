@@ -16,6 +16,12 @@
 //      answer, the same value flagged stale, or a typed error from the
 //      small set the resilience layer emits. Nothing else — no silent
 //      wrong answers.
+//   5. Coalescing conservation: every accepted request resolves through
+//      exactly one of the four serve channels, so after shutdown
+//        flights + coalesced_waiters + cache_short_circuits
+//          + expired_in_queue == submitted
+//      holds exactly — coalescing under faults, reloads and deadlines
+//      never loses or double-resolves a request.
 //
 // "Deterministic" means the fault schedule is fully reproducible from the
 // seed (probabilistic triggers use dedicated seeded PRNGs); the checked
@@ -58,6 +64,16 @@ struct ChaosRunResult {
   uint64_t fresh = 0;       // responses bit-identical to the baseline
   uint64_t stale = 0;       // degraded responses (value still baseline)
   uint64_t errors = 0;      // typed errors
+  // Coalescing observability (from the server's post-shutdown stats):
+  // how the accepted requests split across the four resolution channels,
+  // and the largest single-flight group the seed produced.
+  uint64_t submitted = 0;
+  uint64_t flights = 0;
+  uint64_t coalesced_waiters = 0;
+  uint64_t cache_short_circuits = 0;
+  uint64_t expired_in_queue = 0;
+  uint64_t max_flight_group = 0;
+  bool coalescing_enabled = false;
   bool prepare_ok = false;
   bool reload_attempted = false;
   /// Invariant violations; empty means the seed passed.
@@ -205,8 +221,12 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
   // ---- Serve phase under answer/reload faults. -----------------------------
   ServeOptions serve_options;
   serve_options.num_threads = config.num_threads;
-  serve_options.queue_capacity = config.num_requests + 16;
+  // Batched submissions fan one loop iteration into several futures, so
+  // the queue must absorb more than num_requests tasks.
+  serve_options.queue_capacity = config.num_requests * 3 + 16;
   serve_options.enable_cache = (rng() % 4) != 0;  // mostly on, sometimes off
+  serve_options.enable_coalescing = (rng() % 5) != 0;  // mostly on
+  result.coalescing_enabled = serve_options.enable_coalescing;
   serve_options.retry.max_attempts = 3;
   serve_options.retry.initial_backoff = std::chrono::microseconds(50);
   serve_options.retry.max_backoff = std::chrono::microseconds(400);
@@ -237,7 +257,18 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
     for (size_t r = 0; r < config.num_requests; ++r) {
       const size_t qi = servable[r % servable.size()];
       request_query.push_back(qi);
-      if (r % 7 == 3) {
+      if (r % 13 == 7) {
+        // Batched duplicate submission: three copies of the same text in
+        // one SubmitBatch. The duplicates dedup within the batch and must
+        // resolve to exactly what their primary resolves to.
+        std::vector<std::future<Result<ServedAnswer>>> batch =
+            server.SubmitBatch({workload[qi], workload[qi], workload[qi]});
+        for (auto& f : batch) futures.push_back(std::move(f));
+        // Three futures came back for one loop iteration: record the
+        // query index for the two extra ones too.
+        request_query.push_back(qi);
+        request_query.push_back(qi);
+      } else if (r % 7 == 3) {
         // A sprinkle of tight deadlines; expiry is an allowed outcome.
         futures.push_back(server.Submit(workload[qi], {},
                                         std::chrono::microseconds(200)));
@@ -297,6 +328,35 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
     }
     if (sstats.deadline_exceeded != deadline_hits) {
       violate("stats.deadline_exceeded disagrees with observed responses");
+    }
+    // Invariant 5: coalescing conservation. Every accepted request went
+    // through exactly one resolution channel — it led a flight, joined
+    // one, short-circuited on a fresh cache hit, or expired while queued.
+    result.submitted = sstats.submitted;
+    result.flights = sstats.flights;
+    result.coalesced_waiters = sstats.coalesced_waiters;
+    result.cache_short_circuits = sstats.cache_short_circuits;
+    result.expired_in_queue = sstats.expired_in_queue;
+    result.max_flight_group = sstats.max_flight_group;
+    if (sstats.flights + sstats.coalesced_waiters +
+            sstats.cache_short_circuits + sstats.expired_in_queue !=
+        sstats.submitted) {
+      violate("coalescing conservation violated: flights " +
+              std::to_string(sstats.flights) + " + coalesced_waiters " +
+              std::to_string(sstats.coalesced_waiters) +
+              " + cache_short_circuits " +
+              std::to_string(sstats.cache_short_circuits) +
+              " + expired_in_queue " +
+              std::to_string(sstats.expired_in_queue) + " != submitted " +
+              std::to_string(sstats.submitted));
+    }
+    if (!serve_options.enable_coalescing && sstats.coalesced_waiters >
+            sstats.batch_deduped) {
+      violate("coalesced waiters observed with coalescing disabled "
+              "(beyond batch dedup)");
+    }
+    if (sstats.max_flight_group > 0 && sstats.flights == 0) {
+      violate("flight group recorded without any flight");
     }
   }
 

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "serve/query_server.h"
+#include "serve/serve_test_util.h"
+
+namespace viewrewrite {
+namespace {
+
+/// SubmitBatch semantics: one queue lock per batch, duplicates dedup onto
+/// their first occurrence, futures map back positionally, and admission
+/// control (oversized, queue-full, shutdown) stays per element.
+class BatchSubmitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ctx_ = serve_testing::MakeServeContext(42, "batch_submit");
+    ASSERT_NE(ctx_.store, nullptr);
+  }
+  serve_testing::ServeContext ctx_;
+};
+
+TEST_F(BatchSubmitTest, DuplicatesDedupWithinTheBatch) {
+  ServeOptions options;
+  options.num_threads = 2;
+  options.enable_cache = false;     // expose the flight accounting
+  options.enable_coalescing = false;  // batch dedup works on its own
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  const std::string& a = ctx_.workload[0];
+  const std::string& b = ctx_.workload[1];
+  const std::string& c = ctx_.workload[2];
+  auto futures = server.SubmitBatch({a, a, a, b, b, c});
+  ASSERT_EQ(futures.size(), 6u);
+
+  std::vector<Result<ServedAnswer>> got;
+  for (auto& f : futures) got.push_back(f.get());
+  for (const auto& r : got) ASSERT_TRUE(r.ok()) << r.status();
+
+  // Positional mapping: futures[i] answers sqls[i].
+  EXPECT_EQ(got[0]->value, ctx_.Expected(0));
+  EXPECT_EQ(got[1]->value, ctx_.Expected(0));
+  EXPECT_EQ(got[2]->value, ctx_.Expected(0));
+  EXPECT_EQ(got[3]->value, ctx_.Expected(1));
+  EXPECT_EQ(got[4]->value, ctx_.Expected(1));
+  EXPECT_EQ(got[5]->value, ctx_.Expected(2));
+
+  // First occurrences computed; duplicates rode them.
+  EXPECT_FALSE(got[0]->coalesced);
+  EXPECT_TRUE(got[1]->coalesced);
+  EXPECT_TRUE(got[2]->coalesced);
+  EXPECT_FALSE(got[3]->coalesced);
+  EXPECT_TRUE(got[4]->coalesced);
+  EXPECT_FALSE(got[5]->coalesced);
+  EXPECT_EQ(got[1]->attempts, 0u);
+
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 6u);
+  EXPECT_EQ(stats.batch_queries, 6u);
+  EXPECT_EQ(stats.batch_deduped, 3u);
+  EXPECT_EQ(stats.coalesced_waiters, 3u);
+  EXPECT_EQ(stats.flights, 3u);  // three distinct texts, three computations
+  EXPECT_EQ(stats.max_flight_group, 3u);  // a, a, a resolved together
+  EXPECT_EQ(stats.completed, 6u);
+}
+
+TEST_F(BatchSubmitTest, BatchAnswersMatchSequentialSubmits) {
+  ServeOptions options;
+  options.num_threads = 4;
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  std::vector<std::string> sqls;
+  for (size_t r = 0; r < 4; ++r) {
+    for (const std::string& sql : ctx_.workload) sqls.push_back(sql);
+  }
+  auto futures = server.SubmitBatch(sqls);
+  ASSERT_EQ(futures.size(), sqls.size());
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<ServedAnswer> got = futures[i].get();
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(got->value, ctx_.Expected(i % ctx_.workload.size()))
+        << sqls[i];
+    EXPECT_FALSE(got->stale);
+  }
+}
+
+TEST_F(BatchSubmitTest, OversizedElementRejectsAloneNotTheBatch) {
+  ServeOptions options;
+  options.num_threads = 1;
+  options.limits.max_sql_bytes = 128;
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  const std::string oversized(256, 'x');
+  auto futures = server.SubmitBatch({ctx_.workload[0], oversized,
+                                     ctx_.workload[1]});
+  ASSERT_EQ(futures.size(), 3u);
+
+  Result<ServedAnswer> first = futures[0].get();
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->value, ctx_.Expected(0));
+
+  Result<ServedAnswer> rejected = futures[1].get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  Result<ServedAnswer> third = futures[2].get();
+  ASSERT_TRUE(third.ok()) << third.status();
+  EXPECT_EQ(third->value, ctx_.Expected(1));
+
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.rejected_oversized, 1u);
+  // The rejected element never counted as submitted or batched.
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.batch_queries, 2u);
+}
+
+TEST_F(BatchSubmitTest, FullQueueRejectsEveryDistinctTextTyped) {
+  ServeOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 0;  // nothing is ever admitted
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  auto futures = server.SubmitBatch(
+      {ctx_.workload[0], ctx_.workload[0], ctx_.workload[1]});
+  ASSERT_EQ(futures.size(), 3u);
+  for (auto& f : futures) {
+    Result<ServedAnswer> got = f.get();
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kUnavailable) << got.status();
+  }
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 0u);
+  // Rejections count per query, duplicates included: the caller sent
+  // three queries and all three were refused.
+  EXPECT_EQ(stats.rejected_queue_full, 3u);
+  EXPECT_EQ(stats.batch_queries, 0u);
+}
+
+TEST_F(BatchSubmitTest, BatchAfterShutdownRejectsAllWithUnavailable) {
+  QueryServer server(ctx_.store, ctx_.db->schema(), ServeOptions{});
+  server.Shutdown();
+  auto futures = server.SubmitBatch(
+      {ctx_.workload[0], ctx_.workload[0], ctx_.workload[1]});
+  ASSERT_EQ(futures.size(), 3u);
+  for (auto& f : futures) {
+    Result<ServedAnswer> got = f.get();
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kUnavailable) << got.status();
+  }
+  EXPECT_EQ(server.stats().rejected_shutdown, 3u);
+  EXPECT_EQ(server.stats().submitted, 0u);
+}
+
+TEST_F(BatchSubmitTest, EmptyBatchIsANoOp) {
+  QueryServer server(ctx_.store, ctx_.db->schema(), ServeOptions{});
+  auto futures = server.SubmitBatch({});
+  EXPECT_TRUE(futures.empty());
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 0u);
+  EXPECT_EQ(stats.batch_queries, 0u);
+}
+
+TEST_F(BatchSubmitTest, SharedDeadlineAppliesToEveryElement) {
+  ServeOptions options;
+  options.num_threads = 1;
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  // A negative timeout is expired on arrival: the whole batch — primary
+  // and deduped duplicates alike — resolves DeadlineExceeded without
+  // touching the answer path.
+  auto futures = server.SubmitBatch(
+      {ctx_.workload[0], ctx_.workload[0], ctx_.workload[1]}, {},
+      std::chrono::nanoseconds(-1));
+  ASSERT_EQ(futures.size(), 3u);
+  for (auto& f : futures) {
+    Result<ServedAnswer> got = f.get();
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded)
+        << got.status();
+  }
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 3u);
+  // Conservation: two distinct texts expired in the queue, one duplicate
+  // was coalesced at admission; together they cover all three submits.
+  EXPECT_EQ(stats.expired_in_queue, 2u);
+  EXPECT_EQ(stats.coalesced_waiters, 1u);
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.flights, 0u);
+}
+
+}  // namespace
+}  // namespace viewrewrite

@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "serve/query_server.h"
+#include "serve/serve_test_util.h"
+
+namespace viewrewrite {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// Single-flight coalescing: concurrent identical queries share one
+/// computation, every waiter sees the same value or the same typed error,
+/// flights are epoch-keyed across hot reloads, and a fresh cache hit
+/// never consults the flight table.
+///
+/// The tests open a deterministic coalescing window with fault injection:
+/// the leader's first answer attempt fails and the retry backoff parks
+/// the flight for long enough that duplicates submitted meanwhile must
+/// join it. The window is hundreds of milliseconds against joins that
+/// take microseconds, so the joins land inside it on any sane scheduler
+/// (including under TSan); the waits below are bounded, never unbounded.
+class CoalescingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ctx_ = serve_testing::MakeServeContext(42, "coalescing");
+    ASSERT_NE(ctx_.store, nullptr);
+  }
+  void TearDown() override { FaultInjection::Instance().DisableAll(); }
+
+  /// Options that hold a leader in retry backoff for ~`window`: attempt 1
+  /// fails (OnNth fault armed by the test), attempt 2 runs after the
+  /// backoff and succeeds.
+  static ServeOptions WindowOptions(milliseconds window) {
+    ServeOptions options;
+    options.num_threads = 4;
+    options.enable_cache = false;  // force every request onto the flight path
+    options.retry.max_attempts = 2;
+    options.retry.initial_backoff = window;
+    options.retry.max_backoff = window;
+    options.retry.jitter = 0;
+    return options;
+  }
+
+  /// Spins until `pred()` holds or `bound` elapses; returns whether it held.
+  template <typename Pred>
+  static bool SpinUntil(Pred pred, milliseconds bound = milliseconds(10000)) {
+    const auto until = std::chrono::steady_clock::now() + bound;
+    while (!pred()) {
+      if (std::chrono::steady_clock::now() >= until) return false;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return true;
+  }
+
+  serve_testing::ServeContext ctx_;
+};
+
+TEST_F(CoalescingTest, DuplicatesJoinOneFlightAndShareItsValue) {
+  QueryServer server(ctx_.store, ctx_.db->schema(),
+                     WindowOptions(milliseconds(600)));
+  ScopedFault fault = ScopedFault::OnNth(faults::kServeAnswer, 1);
+
+  auto leader = server.Submit(ctx_.workload[0]);
+  // The leader has registered its flight once stats show it; it now sits
+  // in retry backoff for the rest of the window.
+  ASSERT_TRUE(SpinUntil([&] { return server.stats().flights >= 1; }));
+
+  constexpr size_t kDuplicates = 6;
+  std::vector<std::future<Result<ServedAnswer>>> waiters;
+  for (size_t i = 0; i < kDuplicates; ++i) {
+    waiters.push_back(server.Submit(ctx_.workload[0]));
+  }
+  ASSERT_TRUE(SpinUntil(
+      [&] { return server.stats().coalesced_waiters >= kDuplicates; }))
+      << "duplicates did not join the in-flight computation";
+
+  Result<ServedAnswer> led = leader.get();
+  ASSERT_TRUE(led.ok()) << led.status();
+  EXPECT_FALSE(led->coalesced);
+  EXPECT_EQ(led->attempts, 2u);  // first attempt hit the fault, retry won
+  for (auto& w : waiters) {
+    Result<ServedAnswer> got = w.get();
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(got->value, led->value);
+    EXPECT_TRUE(got->coalesced);
+    EXPECT_EQ(got->attempts, 0u);  // waiters consumed no answer attempts
+    EXPECT_FALSE(got->stale);
+  }
+  EXPECT_EQ(led->value, ctx_.Expected(0));
+
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.flights, 1u);  // one computation for 7 requests
+  EXPECT_EQ(stats.coalesced_waiters, kDuplicates);
+  EXPECT_EQ(stats.max_flight_group, 1 + kDuplicates);
+  EXPECT_EQ(stats.completed, 1 + kDuplicates);
+  EXPECT_EQ(stats.retries, 1u);          // the leader's, counted once
+  EXPECT_EQ(stats.retry_successes, 1u);  // never inflated per waiter
+}
+
+TEST_F(CoalescingTest, WaitersReceiveTheLeadersTypedError) {
+  ServeOptions options = WindowOptions(milliseconds(600));
+  options.serve_stale = false;
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+  // Both attempts fail: the flight's outcome is the injected transient
+  // error, and every waiter must see that exact status code.
+  ScopedFault fault = ScopedFault::EveryN(faults::kServeAnswer, 1);
+
+  auto leader = server.Submit(ctx_.workload[1]);
+  ASSERT_TRUE(SpinUntil([&] { return server.stats().flights >= 1; }));
+  constexpr size_t kDuplicates = 4;
+  std::vector<std::future<Result<ServedAnswer>>> waiters;
+  for (size_t i = 0; i < kDuplicates; ++i) {
+    waiters.push_back(server.Submit(ctx_.workload[1]));
+  }
+  ASSERT_TRUE(SpinUntil(
+      [&] { return server.stats().coalesced_waiters >= kDuplicates; }));
+
+  Result<ServedAnswer> led = leader.get();
+  ASSERT_FALSE(led.ok());
+  EXPECT_EQ(led.status().code(), StatusCode::kInternal) << led.status();
+  for (auto& w : waiters) {
+    Result<ServedAnswer> got = w.get();
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), led.status().code()) << got.status();
+  }
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.flights, 1u);
+  EXPECT_EQ(stats.failed, 1 + kDuplicates);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST_F(CoalescingTest, CanonicalVariantsMergeIntoOneComputation) {
+  QueryServer server(ctx_.store, ctx_.db->schema(),
+                     WindowOptions(milliseconds(600)));
+  ScopedFault fault = ScopedFault::OnNth(faults::kServeAnswer, 1);
+
+  // Two textual variants of workload[0]: different raw keys, identical
+  // canonical rewritten form. The second leads its own flight, discovers
+  // the canonical-equal one after rewriting, and merges into it.
+  const std::string variant_a =
+      "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice >= 64";
+  const std::string variant_b =
+      "select COUNT(*) FROM orders o WHERE ((o.o_totalprice >= 64))";
+
+  auto a = server.Submit(variant_a);
+  ASSERT_TRUE(SpinUntil([&] { return server.stats().flights >= 1; }));
+  auto b = server.Submit(variant_b);
+  ASSERT_TRUE(SpinUntil([&] { return server.stats().merged_flights >= 1; }))
+      << "canonical-equal flight did not merge";
+
+  Result<ServedAnswer> got_a = a.get();
+  Result<ServedAnswer> got_b = b.get();
+  ASSERT_TRUE(got_a.ok()) << got_a.status();
+  ASSERT_TRUE(got_b.ok()) << got_b.status();
+  EXPECT_EQ(got_a->value, got_b->value);
+  EXPECT_TRUE(got_b->coalesced);
+
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.flights, 2u);  // both led, one merged before answering
+  EXPECT_EQ(stats.merged_flights, 1u);
+  EXPECT_GE(stats.max_flight_group, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST_F(CoalescingTest, FlightsAreEpochKeyedAcrossReload) {
+  QueryServer server(ctx_.store, ctx_.db->schema(),
+                     WindowOptions(milliseconds(600)));
+  ScopedFault fault = ScopedFault::OnNth(faults::kServeAnswer, 1);
+
+  auto before = server.Submit(ctx_.workload[2]);
+  ASSERT_TRUE(SpinUntil([&] { return server.stats().flights >= 1; }));
+
+  // Hot reload while the flight is parked: the epoch advances, so an
+  // identical query admitted now must NOT join the old epoch's flight —
+  // it starts a fresh computation against the new bundle.
+  ASSERT_TRUE(server.Reload(ctx_.store).ok());
+  auto after = server.Submit(ctx_.workload[2]);
+  ASSERT_TRUE(SpinUntil([&] { return server.stats().flights >= 2; }))
+      << "post-reload duplicate joined a pre-reload flight";
+
+  Result<ServedAnswer> got_before = before.get();
+  Result<ServedAnswer> got_after = after.get();
+  ASSERT_TRUE(got_before.ok()) << got_before.status();
+  ASSERT_TRUE(got_after.ok()) << got_after.status();
+  // Same bundle bytes on both sides of the reload: the values agree, and
+  // neither is stale — each was computed live against its own epoch.
+  EXPECT_EQ(got_before->value, got_after->value);
+  EXPECT_FALSE(got_before->stale);
+  EXPECT_FALSE(got_after->stale);
+
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.flights, 2u);
+  EXPECT_EQ(stats.coalesced_waiters, 0u);
+  EXPECT_EQ(stats.epoch, 1u);
+}
+
+TEST_F(CoalescingTest, FreshCacheHitNeverTouchesTheFlightTable) {
+  ServeOptions options;
+  options.num_threads = 2;
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  auto first = server.Answer(ctx_.workload[0]);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ServeStats after_first = server.stats();
+  EXPECT_EQ(after_first.flights, 1u);
+  // The completing flight wrote exactly one entry per key: the raw key
+  // and the canonical key. No double-insert.
+  EXPECT_EQ(after_first.cache_entries, 2u);
+
+  auto second = server.Answer(ctx_.workload[0]);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second->value, first->value);
+  EXPECT_EQ(second->attempts, 0u);
+
+  ServeStats stats = server.stats();
+  // The repeat resolved through the cache channel: no new flight, no
+  // coalescing, one short-circuit.
+  EXPECT_EQ(stats.flights, 1u);
+  EXPECT_EQ(stats.cache_short_circuits, 1u);
+  EXPECT_EQ(stats.coalesced_waiters, 0u);
+  EXPECT_EQ(stats.cache_entries, 2u);
+  EXPECT_GE(stats.cache_hits, 1u);
+}
+
+TEST_F(CoalescingTest, CoalescedFlightPopulatesEachCacheKeyOnce) {
+  ServeOptions options = WindowOptions(milliseconds(600));
+  options.enable_cache = true;  // override: this test is about the cache
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+  ScopedFault fault = ScopedFault::OnNth(faults::kServeAnswer, 1);
+
+  auto leader = server.Submit(ctx_.workload[3]);
+  ASSERT_TRUE(SpinUntil([&] { return server.stats().flights >= 1; }));
+  constexpr size_t kDuplicates = 5;
+  std::vector<std::future<Result<ServedAnswer>>> waiters;
+  for (size_t i = 0; i < kDuplicates; ++i) {
+    waiters.push_back(server.Submit(ctx_.workload[3]));
+  }
+  ASSERT_TRUE(SpinUntil(
+      [&] { return server.stats().coalesced_waiters >= kDuplicates; }));
+
+  ASSERT_TRUE(leader.get().ok());
+  for (auto& w : waiters) ASSERT_TRUE(w.get().ok());
+
+  // Six requests resolved, but the flight's leader wrote the cache once
+  // per key: raw + canonical = exactly two entries.
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.flights, 1u);
+  EXPECT_EQ(stats.cache_entries, 2u);
+}
+
+TEST_F(CoalescingTest, PropertyCoalescedAnswersEqualUncoalesced) {
+  // Property: for the same {store, epoch}, a duplicate-heavy workload
+  // answers identically — value for value, status code for status code —
+  // with coalescing on and off. Coalescing may only change who computes,
+  // never what is returned.
+  const std::string unmatchable =
+      "SELECT COUNT(*) FROM customer c WHERE c.c_nation = 3";
+  std::vector<std::string> requests;
+  constexpr size_t kRounds = 40;
+  for (size_t r = 0; r < kRounds; ++r) {
+    requests.push_back(ctx_.workload[r % ctx_.workload.size()]);
+    if (r % 5 == 4) requests.push_back(unmatchable);
+  }
+
+  auto run = [&](bool coalesce) {
+    ServeOptions options;
+    options.num_threads = 4;
+    options.enable_coalescing = coalesce;
+    QueryServer server(ctx_.store, ctx_.db->schema(), options);
+    std::vector<std::future<Result<ServedAnswer>>> futures;
+    for (const std::string& sql : requests) {
+      futures.push_back(server.Submit(sql));
+    }
+    std::vector<Result<ServedAnswer>> results;
+    for (auto& f : futures) results.push_back(f.get());
+    return results;
+  };
+
+  std::vector<Result<ServedAnswer>> off = run(false);
+  std::vector<Result<ServedAnswer>> on = run(true);
+  ASSERT_EQ(off.size(), on.size());
+  for (size_t i = 0; i < off.size(); ++i) {
+    ASSERT_EQ(off[i].ok(), on[i].ok()) << requests[i];
+    if (off[i].ok()) {
+      EXPECT_EQ(off[i]->value, on[i]->value) << requests[i];
+      EXPECT_EQ(off[i]->stale, on[i]->stale) << requests[i];
+    } else {
+      EXPECT_EQ(off[i].status().code(), on[i].status().code()) << requests[i];
+    }
+  }
+}
+
+TEST_F(CoalescingTest, DisablingCoalescingComputesEveryRequest) {
+  ServeOptions options = WindowOptions(milliseconds(100));
+  options.enable_coalescing = false;
+  options.retry.max_attempts = 1;
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  constexpr size_t kRequests = 8;
+  std::vector<std::future<Result<ServedAnswer>>> futures;
+  for (size_t i = 0; i < kRequests; ++i) {
+    futures.push_back(server.Submit(ctx_.workload[0]));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().ok());
+
+  // No cache and no coalescing: every request is its own flight.
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.flights, kRequests);
+  EXPECT_EQ(stats.coalesced_waiters, 0u);
+  EXPECT_EQ(stats.max_flight_group, 1u);
+}
+
+}  // namespace
+}  // namespace viewrewrite

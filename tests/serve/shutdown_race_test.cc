@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "serve/query_server.h"
 #include "serve/serve_test_util.h"
 
@@ -83,6 +85,69 @@ TEST_F(ShutdownRaceTest, EveryFutureResolvesWhenSubmittersRaceShutdown) {
     EXPECT_EQ(stats.completed, answered);
     EXPECT_EQ(stats.rejected_shutdown + stats.rejected_queue_full, rejected);
     EXPECT_EQ(stats.submitted, answered);  // accepted == answered: drained
+  }
+}
+
+TEST_F(ShutdownRaceTest, CoalescedWaitersResolveAcrossShutdown) {
+  // Regression for the Submit/Shutdown interaction with coalescing: a
+  // shutdown racing a parked flight full of coalesced waiters must let
+  // the flight's leader finish the drain and resolve every waiter — to
+  // the answer or a typed Unavailable — and must never hang or abandon a
+  // promise. The flight is parked deterministically: its first answer
+  // attempt hits an injected fault and the retry backoff holds it for
+  // ~400ms while the duplicates pile on and Shutdown lands mid-flight.
+  for (int round = 0; round < 3; ++round) {
+    ServeOptions options;
+    options.num_threads = 3;
+    options.enable_cache = false;
+    options.retry.max_attempts = 2;
+    options.retry.initial_backoff = std::chrono::milliseconds(400);
+    options.retry.max_backoff = std::chrono::milliseconds(400);
+    options.retry.jitter = 0;
+    QueryServer server(ctx_.store, ctx_.db->schema(), options);
+    ScopedFault fault = ScopedFault::OnNth(faults::kServeAnswer, 1);
+
+    std::vector<std::future<Result<ServedAnswer>>> futures;
+    futures.push_back(server.Submit(ctx_.workload[0]));
+    {
+      const auto until =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (server.stats().flights < 1 &&
+             std::chrono::steady_clock::now() < until) {
+        std::this_thread::yield();
+      }
+      ASSERT_GE(server.stats().flights, 1u);
+    }
+    for (int i = 0; i < 5; ++i) {
+      futures.push_back(server.Submit(ctx_.workload[0]));
+    }
+
+    // Shutdown while the flight is (very likely) still in its backoff
+    // window, with waiters attached. It must return — the drain finishes
+    // the leader, the leader resolves the waiters.
+    server.Shutdown();
+
+    size_t answered = 0, rejected = 0;
+    for (auto& f : futures) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(60)),
+                std::future_status::ready)
+          << "coalesced waiter abandoned across shutdown in round " << round;
+      Result<ServedAnswer> got = f.get();
+      if (got.ok()) {
+        ++answered;
+        EXPECT_EQ(got->value, ctx_.Expected(0));
+      } else {
+        EXPECT_EQ(got.status().code(), StatusCode::kUnavailable)
+            << got.status();
+        ++rejected;
+      }
+    }
+    EXPECT_EQ(answered + rejected, futures.size());
+    // The leader was accepted before Shutdown, so it always completes;
+    // duplicates either joined its flight (answered with it) or arrived
+    // after stopping_ flipped (typed Unavailable).
+    EXPECT_GE(answered, 1u);
+    FaultInjection::Instance().DisableAll();
   }
 }
 

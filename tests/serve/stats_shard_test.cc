@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/answer_cache.h"
+#include "serve/query_server.h"
+#include "serve/serve_stats.h"
+#include "serve/serve_test_util.h"
+
+namespace viewrewrite {
+namespace {
+
+/// Sharded statistics: per-thread counter cells lose nothing under
+/// concurrency (totals are exact), writes actually spread across cells,
+/// and the per-stripe answer-cache counters sum to the aggregate view.
+class StatsShardTest : public ::testing::Test {};
+
+TEST_F(StatsShardTest, TotalsAreExactUnderConcurrentWriters) {
+  ShardedServeCounters counters(8);
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counters.Add(ServeCounter::kSubmitted);
+        if (i % 3 == 0) counters.Add(ServeCounter::kCompleted, 2);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  // Every increment landed in exactly one cell; the sum is exact, not
+  // approximate — sharding trades contention, never accuracy.
+  EXPECT_EQ(counters.Total(ServeCounter::kSubmitted), kThreads * kPerThread);
+  EXPECT_EQ(counters.Total(ServeCounter::kCompleted),
+            kThreads * ((kPerThread + 2) / 3) * 2);
+  uint64_t per_cell_sum = 0;
+  for (uint64_t v : counters.PerCell(ServeCounter::kSubmitted)) {
+    per_cell_sum += v;
+  }
+  EXPECT_EQ(per_cell_sum, counters.Total(ServeCounter::kSubmitted));
+}
+
+TEST_F(StatsShardTest, WritesSpreadAcrossCells) {
+  // Thread slots are assigned as consecutive integers on first use, so 8
+  // fresh threads over 8 cells land on 8 distinct cells: the sharding
+  // demonstrably distributes writers instead of funneling them into one.
+  ShardedServeCounters counters(8);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 8; ++t) {
+    threads.emplace_back([&] { counters.Add(ServeCounter::kSubmitted); });
+  }
+  for (std::thread& t : threads) t.join();
+  size_t nonzero = 0;
+  for (uint64_t v : counters.PerCell(ServeCounter::kSubmitted)) {
+    if (v > 0) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, 8u);
+  EXPECT_EQ(counters.Total(ServeCounter::kSubmitted), 8u);
+}
+
+TEST_F(StatsShardTest, FlightGroupMaximumIsTheGlobalMaximum) {
+  ShardedServeCounters counters(4);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      counters.NoteFlightGroup(t + 1);
+      counters.NoteFlightGroup(1);  // later smaller values never regress it
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counters.MaxFlightGroup(), 8u);
+}
+
+TEST_F(StatsShardTest, SingleCellStillCountsEverything) {
+  ShardedServeCounters counters(1);  // degenerate but legal
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) counters.Add(ServeCounter::kRetries);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counters.Total(ServeCounter::kRetries), 4000u);
+  EXPECT_EQ(counters.num_cells(), 1u);
+}
+
+TEST_F(StatsShardTest, CacheStripeCountersSumToAggregates) {
+  AnswerCache cache(/*capacity=*/8, /*shards=*/4);
+  // Fill past capacity so every stripe sees hits, misses and evictions.
+  for (int i = 0; i < 64; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    (void)cache.Get(key);          // miss
+    cache.Put(key, i, /*epoch=*/0);
+    (void)cache.Get(key);          // hit (just inserted, still resident)
+  }
+  uint64_t hits = 0, misses = 0, evictions = 0;
+  size_t entries = 0;
+  for (const CacheStripeStats& s : cache.StripeStatsSnapshot()) {
+    hits += s.hits;
+    misses += s.misses;
+    evictions += s.evictions;
+    entries += s.entries;
+  }
+  EXPECT_EQ(hits, cache.hits());
+  EXPECT_EQ(misses, cache.misses());
+  EXPECT_EQ(evictions, cache.evictions());
+  EXPECT_EQ(entries, cache.size());
+  EXPECT_EQ(misses, 64u);
+  EXPECT_EQ(hits, 64u);
+  EXPECT_GT(evictions, 0u);          // capacity 8 << 64 inserts
+  EXPECT_LE(entries, 8u);            // never over per-stripe budget
+  EXPECT_EQ(cache.num_stripes(), 4u);
+}
+
+/// End-to-end: a server hammered from many threads keeps exact books.
+class StatsShardServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ctx_ = serve_testing::MakeServeContext(42, "stats_shard");
+    ASSERT_NE(ctx_.store, nullptr);
+  }
+  serve_testing::ServeContext ctx_;
+};
+
+TEST_F(StatsShardServerTest, ConcurrentLoadKeepsCountersConsistent) {
+  ServeOptions options;
+  options.num_threads = 8;
+  options.queue_capacity = 8192;
+  options.stats_cells = 16;
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  constexpr size_t kSubmitters = 4;
+  constexpr size_t kPerThread = 300;
+  std::vector<std::vector<std::future<Result<ServedAnswer>>>> futures(
+      kSubmitters);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        futures[t].push_back(
+            server.Submit(ctx_.workload[i % ctx_.workload.size()]));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  size_t ok = 0;
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) {
+      if (f.get().ok()) ++ok;
+    }
+  }
+  server.Shutdown();
+  EXPECT_EQ(ok, kSubmitters * kPerThread);
+
+  // The sharded cells must aggregate to exact totals: every accepted
+  // request is accounted once in completed/failed and once in exactly
+  // one resolution channel.
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, kSubmitters * kPerThread);
+  EXPECT_EQ(stats.completed, kSubmitters * kPerThread);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.flights + stats.coalesced_waiters +
+                stats.cache_short_circuits + stats.expired_in_queue,
+            stats.submitted);
+  EXPECT_EQ(stats.cache_stripes, options.cache_shards);
+  EXPECT_GE(stats.max_flight_group, 1u);
+}
+
+}  // namespace
+}  // namespace viewrewrite
