@@ -1,10 +1,12 @@
 // Chaos soak: many seeded fault schedules through the full
 // publish -> save -> load -> serve run, asserting the resilience-layer
 // invariants on every one (see tests/chaos/chaos_harness.h):
-// no crash, no deadlock, ledger never over-spent, every response
-// baseline-exact, stale, or an allowed typed error, and the coalescing
-// conservation law (flights + coalesced_waiters + cache_short_circuits
-// + expired_in_queue == submitted) after every shutdown.
+// no crash, no deadlock, ledger never over-spent (including across
+// republish generations), every response generation-baseline-exact,
+// stale, or an allowed typed error, the coalescing conservation law
+// (flights + coalesced_waiters + cache_short_circuits
+// + expired_in_queue == submitted) after every shutdown, and no torn
+// bundle under republish/reload/query races.
 //
 //   $ ./build/bench/chaos_soak [num_seeds] [base_seed]
 //
@@ -31,9 +33,12 @@ int main(int argc, char** argv) {
   std::printf("chaos soak: %llu seeds from %llu\n",
               static_cast<unsigned long long>(num_seeds),
               static_cast<unsigned long long>(base_seed));
-  std::printf("%-6s %-6s %-6s %-6s %-6s %-7s %-8s %-7s %-7s %-7s %-7s %s\n",
-              "seed", "views", "fresh", "stale", "errors", "flights",
-              "coalesc", "maxgrp", "reload", "publish", "single", "verdict");
+  std::printf(
+      "%-6s %-6s %-6s %-6s %-6s %-7s %-8s %-7s %-7s %-7s %-7s %-7s %-7s "
+      "%-7s %s\n",
+      "seed", "views", "fresh", "stale", "errors", "flights", "coalesc",
+      "maxgrp", "reload", "publish", "single", "gens", "rebuilt", "outdtd",
+      "verdict");
 
   uint64_t failed_seeds = 0;
   uint64_t total_submitted = 0;
@@ -42,13 +47,21 @@ int main(int argc, char** argv) {
   uint64_t total_short_circuits = 0;
   uint64_t total_expired = 0;
   uint64_t largest_group = 0;
+  uint64_t total_generations = 0;
+  uint64_t total_rebuilt = 0;
+  uint64_t total_outdated = 0;
   const auto t0 = std::chrono::steady_clock::now();
   for (uint64_t i = 0; i < num_seeds; ++i) {
     const uint64_t seed = base_seed + i;
     chaos::ChaosRunResult run = chaos::RunChaosSeed(seed);
+    // gens column: published / attempted republish generations.
+    char gens[24];
+    std::snprintf(gens, sizeof(gens), "%llu/%llu",
+                  static_cast<unsigned long long>(run.generations_published),
+                  static_cast<unsigned long long>(run.generations_attempted));
     std::printf(
-        "%-6llu %-6llu %-6llu %-6llu %-6llu %-7llu %-8llu %-7llu %-7s %-8s "
-        "%-7s %s\n",
+        "%-6llu %-6llu %-6llu %-6llu %-6llu %-7llu %-8llu %-7llu %-7s %-7s "
+        "%-7s %-7s %-7llu %-7llu %s\n",
         static_cast<unsigned long long>(seed),
         static_cast<unsigned long long>(run.published_views),
         static_cast<unsigned long long>(run.fresh),
@@ -58,8 +71,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(run.coalesced_waiters),
         static_cast<unsigned long long>(run.max_flight_group),
         run.reload_attempted ? "yes" : "no",
-        run.prepare_ok ? "ok" : "degraded",
-        run.coalescing_enabled ? "on" : "off", run.ok() ? "pass" : "FAIL");
+        run.prepare_ok ? "ok" : "degrade",
+        run.coalescing_enabled ? "on" : "off", gens,
+        static_cast<unsigned long long>(run.views_rebuilt),
+        static_cast<unsigned long long>(run.outdated_served),
+        run.ok() ? "pass" : "FAIL");
     total_submitted += run.submitted;
     total_flights += run.flights;
     total_coalesced += run.coalesced_waiters;
@@ -68,6 +84,9 @@ int main(int argc, char** argv) {
     if (run.max_flight_group > largest_group) {
       largest_group = run.max_flight_group;
     }
+    total_generations += run.generations_published;
+    total_rebuilt += run.views_rebuilt;
+    total_outdated += run.outdated_served;
     if (!run.ok()) {
       ++failed_seeds;
       for (const std::string& violation : run.violations) {
@@ -104,6 +123,12 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(total_short_circuits),
       static_cast<unsigned long long>(total_expired),
       static_cast<unsigned long long>(largest_group));
+  std::printf(
+      "soak lifecycle: generations_published=%llu views_rebuilt=%llu "
+      "outdated_served=%llu\n",
+      static_cast<unsigned long long>(total_generations),
+      static_cast<unsigned long long>(total_rebuilt),
+      static_cast<unsigned long long>(total_outdated));
   std::printf("soak finished in %.1fs: %llu/%llu seeds passed\n", elapsed,
               static_cast<unsigned long long>(num_seeds - failed_seeds),
               static_cast<unsigned long long>(num_seeds));

@@ -63,7 +63,7 @@ cmake -B build-asan -S . -DVIEWREWRITE_SANITIZE=ON -DVIEWREWRITE_FUZZ=ON \
 cmake --build build-asan -j "$(nproc)" --target \
   fault_injection_test quarantine_test publish_recovery_test \
   budget_test mechanism_test retry_test circuit_breaker_test \
-  durability_test chaos_soak \
+  durability_test republisher_test chaos_test chaos_soak \
   coalescing_test batch_submit_test stats_shard_test \
   limits_test adversarial_test synopsis_overflow_test hostile_bundle_test \
   admission_test corpus_replay_test \
@@ -71,7 +71,14 @@ cmake --build build-asan -j "$(nproc)" --target \
 
 echo "== asan+ubsan: ctest (robustness suite) =="
 (cd build-asan && ctest --output-on-failure -j "$(nproc)" \
-  -R 'FaultInjection|Quarantine|PublishRecovery|Budget|LaplaceMechanism|Retry|Backoff|CircuitBreaker|Durability|Limits|Tracker|CheckedMul|Adversarial|SynopsisOverflow|HostileBundle|Admission|CorpusReplay|Coalescing|BatchSubmit|StatsShard')
+  -R 'FaultInjection|Quarantine|PublishRecovery|Budget|LaplaceMechanism|Retry|Backoff|CircuitBreaker|Durability|Republisher|Limits|Tracker|CheckedMul|Adversarial|SynopsisOverflow|HostileBundle|Admission|CorpusReplay|Coalescing|BatchSubmit|StatsShard')
+
+if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
+  echo "== asan+ubsan: republish chaos smoke (single seed, lifecycle races) =="
+  # One full seed through the republish/reload/query race under ASan+UBSan:
+  # the --seed CLI replays exactly what a failing soak seed would.
+  timeout "${CHAOS_TIMEOUT}" ./build-asan/tests/chaos_test --seed=5
+fi
 
 if [[ "${SKIP_FUZZ:-0}" != "1" ]]; then
   echo "== asan+ubsan: fuzz smoke (${FUZZ_SECONDS}s per boundary) =="
@@ -107,17 +114,20 @@ echo "== tsan: configure + build concurrent-serve suite =="
 cmake -B build-tsan -S . -DVIEWREWRITE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" --target \
   query_server_test answer_cache_test shutdown_race_test reload_test \
-  resilience_test deadline_test chaos_soak \
+  resilience_test deadline_test budget_test durability_test \
+  republisher_test chaos_test chaos_soak \
   coalescing_test batch_submit_test stats_shard_test \
   adversarial_test admission_test corpus_replay_test
 
 echo "== tsan: ctest (concurrent serving layer) =="
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
-  -R 'QueryServer|AnswerCache|ShutdownRace|Reload|Resilience|Deadline|Coalescing|BatchSubmit|StatsShard|Adversarial|Admission|CorpusReplay')
+  -R 'QueryServer|AnswerCache|ShutdownRace|Reload|Resilience|Deadline|Budget|Durability|Republisher|Coalescing|BatchSubmit|StatsShard|Adversarial|Admission|CorpusReplay')
 
 if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   echo "== tsan: chaos soak (reduced seeds) =="
   timeout "${CHAOS_TIMEOUT}" ./build-tsan/bench/chaos_soak 8 1
+  echo "== tsan: republish chaos smoke (single seed, lifecycle races) =="
+  timeout "${CHAOS_TIMEOUT}" ./build-tsan/tests/chaos_test --seed=5
 fi
 
 echo "== all checks passed =="

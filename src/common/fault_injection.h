@@ -26,12 +26,19 @@ inline constexpr const char kServeLoad[] = "serve.load";
 inline constexpr const char kServeSave[] = "serve.save";
 inline constexpr const char kServeAnswer[] = "serve.answer";
 inline constexpr const char kServeReload[] = "serve.reload";
+/// Synopsis lifecycle (republisher): entry into a republish generation,
+/// the per-view delta rebuild, and the final bundle swap into the server.
+inline constexpr const char kServeRepublish[] = "serve.republish";
+inline constexpr const char kRepublishBuild[] = "republish.build";
+inline constexpr const char kRepublishSwap[] = "republish.swap";
 
 /// Every registered point, for sweeps that arm the whole registry (the
 /// chaos harness). Keep in sync with the constants above.
 inline constexpr const char* kAllPoints[] = {
-    kParse,     kRewrite,   kViewRegister, kViewPublish, kDpMechanism,
-    kStorageCsv, kServeLoad, kServeSave,    kServeAnswer, kServeReload,
+    kParse,          kRewrite,        kViewRegister, kViewPublish,
+    kDpMechanism,    kStorageCsv,     kServeLoad,    kServeSave,
+    kServeAnswer,    kServeReload,    kServeRepublish,
+    kRepublishBuild, kRepublishSwap,
 };
 }  // namespace faults
 

@@ -11,8 +11,8 @@ constexpr double kSlack = 1e-9;
 
 BudgetAccountant::BudgetAccountant(double total_epsilon)
     : total_(0),
-      spent_(0),
-      valid_(std::isfinite(total_epsilon) && total_epsilon >= 0) {
+      valid_(std::isfinite(total_epsilon) && total_epsilon >= 0),
+      spent_(0) {
   if (valid_) total_ = total_epsilon;
 }
 
@@ -25,11 +25,12 @@ Status BudgetAccountant::Spend(double epsilon, const std::string& label) {
   if (!std::isfinite(epsilon) || epsilon <= 0) {
     return Status::PrivacyError("spend must be positive and finite: " + label);
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (spent_ + epsilon > total_ * (1.0 + kSlack) + kSlack) {
-    return Status::PrivacyError("privacy budget exhausted: spending " +
-                                std::to_string(epsilon) + " on '" + label +
-                                "' with only " + std::to_string(remaining()) +
-                                " remaining");
+    return Status::PrivacyError(
+        "privacy budget exhausted: spending " + std::to_string(epsilon) +
+        " on '" + label + "' with only " +
+        std::to_string(std::max(0.0, total_ - spent_)) + " remaining");
   }
   spent_ += epsilon;
   ledger_.push_back(Entry{epsilon, label});
@@ -46,6 +47,7 @@ Status BudgetAccountant::Refund(double epsilon, const std::string& label) {
     return Status::PrivacyError("refund must be positive and finite: " +
                                 label);
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (epsilon > spent_ * (1.0 + kSlack) + kSlack) {
     return Status::PrivacyError("refund of " + std::to_string(epsilon) +
                                 " on '" + label + "' exceeds spent budget " +

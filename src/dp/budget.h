@@ -2,6 +2,7 @@
 #define VIEWREWRITE_DP_BUDGET_H_
 
 #include <algorithm>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,14 @@ namespace viewrewrite {
 /// spends are summed and may never exceed the total. Parallel composition
 /// is expressed by spending once for a group of mechanisms that operate on
 /// disjoint data (e.g. the cells of one histogram).
+///
+/// Thread safety: fully thread safe. The synopsis lifecycle spends and
+/// refunds from a background republisher thread while readers snapshot the
+/// ledger for bundle metadata, so Spend/Refund/ledger() serialize on an
+/// internal mutex; total() is immutable after construction and lock-free.
+/// The spent <= total invariant holds atomically: a Spend that would
+/// over-commit fails before mutating anything, even under concurrent
+/// spenders.
 class BudgetAccountant {
  public:
   /// A non-finite or negative total poisons the accountant: every Spend
@@ -22,10 +31,16 @@ class BudgetAccountant {
   explicit BudgetAccountant(double total_epsilon);
 
   double total() const { return total_; }
-  double spent() const { return spent_; }
+  double spent() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spent_;
+  }
   /// Clamped at zero so floating-point drift never reports a negative
   /// remaining budget.
-  double remaining() const { return std::max(0.0, total_ - spent_); }
+  double remaining() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::max(0.0, total_ - spent_);
+  }
 
   /// Records a sequential-composition spend labeled for the audit trail.
   /// Fails (without spending) if the budget would be exceeded or
@@ -44,13 +59,18 @@ class BudgetAccountant {
     std::string label;
     bool refund = false;
   };
-  const std::vector<Entry>& ledger() const { return ledger_; }
+  /// Snapshot of the ledger (by value: the ledger may grow concurrently).
+  std::vector<Entry> ledger() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ledger_;
+  }
 
  private:
   double total_;
-  double spent_;
   bool valid_;
-  std::vector<Entry> ledger_;
+  mutable std::mutex mu_;
+  double spent_;                // guarded by mu_
+  std::vector<Entry> ledger_;   // guarded by mu_
 };
 
 }  // namespace viewrewrite

@@ -134,7 +134,8 @@ Status ViewRewriteEngine::Prepare(const std::vector<std::string>& workload) {
   if (strict || views_.NumViews() > 0) {
     VR_RETURN_NOT_OK(views_.Publish(db_, options_.epsilon, &rng_,
                                     options_.budget_allocation,
-                                    /*degraded=*/!strict));
+                                    /*degraded=*/!strict,
+                                    options_.lifetime_epsilon));
     report_.num_views_failed = views_.failed_views().size();
     if (report_.num_views_failed > 0) {
       for (size_t i = 0; i < bound_.size(); ++i) {
@@ -162,6 +163,37 @@ Status ViewRewriteEngine::Prepare(const std::vector<std::string>& workload) {
         report_.query_status.front().ToString());
   }
   return Status::OK();
+}
+
+Result<ViewManager::RepublishOutcome> ViewRewriteEngine::RepublishChanged(
+    const std::vector<std::string>& changed_relations,
+    double generation_epsilon, uint64_t generation) {
+  auto t0 = std::chrono::steady_clock::now();
+  Result<ViewManager::RepublishOutcome> outcome = views_.RepublishViews(
+      db_, changed_relations, generation_epsilon, &rng_, generation);
+  stats_.publish_seconds += SecondsSince(t0);
+  if (const BudgetAccountant* budget = views_.accountant()) {
+    stats_.budget_total_epsilon = budget->total();
+    stats_.budget_spent_epsilon = budget->spent();
+    stats_.budget_refunds = 0;
+    for (const BudgetAccountant::Entry& entry : budget->ledger()) {
+      if (entry.refund) ++stats_.budget_refunds;
+    }
+  }
+  return outcome;
+}
+
+Status ViewRewriteEngine::RefundGeneration(
+    const ViewManager::RepublishOutcome& outcome) {
+  Status st = views_.RefundGeneration(outcome);
+  if (const BudgetAccountant* budget = views_.accountant()) {
+    stats_.budget_spent_epsilon = budget->spent();
+    stats_.budget_refunds = 0;
+    for (const BudgetAccountant::Entry& entry : budget->ledger()) {
+      if (entry.refund) ++stats_.budget_refunds;
+    }
+  }
+  return st;
 }
 
 Result<double> ViewRewriteEngine::NoisyAnswer(size_t i) {

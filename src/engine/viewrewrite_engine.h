@@ -17,6 +17,13 @@ namespace viewrewrite {
 
 struct EngineOptions {
   double epsilon = 8.0;
+  /// Lifetime privacy budget for the synopsis lifecycle. When greater
+  /// than `epsilon`, the initial publication still splits only `epsilon`
+  /// across views and the surplus is the reserve later RepublishChanged
+  /// generations draw from (sequential composition across epochs on one
+  /// ledger). Zero (default) means no reserve: the lifetime budget is
+  /// `epsilon` and every republish hard-fails before over-spending.
+  double lifetime_epsilon = 0;
   uint64_t seed = 42;
   /// Resource governance for untrusted workload input (see
   /// docs/ROBUSTNESS.md for the limit table). The engine parses every
@@ -105,6 +112,23 @@ class ViewRewriteEngine {
 
   /// The underlying view manager (budget accountant, failed views, ...).
   const ViewManager& views() const { return views_; }
+
+  /// Delta publication for the synopsis lifecycle: rebuilds only the
+  /// views whose definitions read one of `changed_relations`, spending
+  /// `generation_epsilon` from the lifetime reserve (see
+  /// EngineOptions::lifetime_epsilon) under per-generation ledger labels.
+  /// Returns the per-view outcome; per-view rebuild failures refund and
+  /// flag the view outdated instead of aborting. Call after a successful
+  /// Prepare. Not thread-safe against NoisyAnswer or itself — the
+  /// serve-layer Republisher serializes lifecycle mutations.
+  Result<ViewManager::RepublishOutcome> RepublishChanged(
+      const std::vector<std::string>& changed_relations,
+      double generation_epsilon, uint64_t generation);
+
+  /// Discards a generation that was never published anywhere observable
+  /// (save failed before the bundle landed): refunds its rebuilt views'
+  /// slices so the failed generation composes as if it never ran.
+  Status RefundGeneration(const ViewManager::RepublishOutcome& outcome);
 
   size_t NumQueries() const { return bound_.size(); }
   size_t NumViews() const { return views_.NumViews(); }

@@ -28,12 +28,13 @@ std::optional<AnswerCache::Entry> AnswerCache::Get(const std::string& key) {
   return it->second->second;
 }
 
-void AnswerCache::Put(const std::string& key, double value, uint64_t epoch) {
+void AnswerCache::Put(const std::string& key, double value, uint64_t epoch,
+                      bool outdated) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    it->second->second = Entry{value, epoch};
+    it->second->second = Entry{value, epoch, outdated};
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
@@ -42,8 +43,26 @@ void AnswerCache::Put(const std::string& key, double value, uint64_t epoch) {
     shard.lru.pop_back();
     shard.evictions.fetch_add(1, std::memory_order_relaxed);
   }
-  shard.lru.emplace_front(key, Entry{value, epoch});
+  shard.lru.emplace_front(key, Entry{value, epoch, outdated});
   shard.index[key] = shard.lru.begin();
+}
+
+uint64_t AnswerCache::EvictOlderThan(uint64_t min_epoch) {
+  uint64_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->second.epoch < min_epoch) {
+        shard.index.erase(it->first);
+        it = shard.lru.erase(it);
+        shard.evictions.fetch_add(1, std::memory_order_relaxed);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
 }
 
 uint64_t AnswerCache::hits() const {

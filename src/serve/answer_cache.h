@@ -45,6 +45,11 @@ class AnswerCache {
   struct Entry {
     double value = 0;
     uint64_t epoch = 0;
+    /// The answer touched a view flagged outdated by the staleness policy
+    /// (its base relation changed in a generation whose rebuild failed);
+    /// carried through so cached answers stay flagged exactly like
+    /// recomputed ones.
+    bool outdated = false;
   };
 
   /// `capacity` is the total entry budget, split evenly across `shards`
@@ -60,7 +65,14 @@ class AnswerCache {
 
   /// Inserts (or refreshes) `key` with the given epoch tag, evicting the
   /// shard's least recently used entry if the shard is at capacity.
-  void Put(const std::string& key, double value, uint64_t epoch = 0);
+  void Put(const std::string& key, double value, uint64_t epoch = 0,
+           bool outdated = false);
+
+  /// Generation-eviction hook for the synopsis lifecycle: drops every
+  /// entry tagged with an epoch older than `min_epoch`, freeing the
+  /// stripes' slots for current-generation answers (evicted entries are
+  /// counted in evictions()). Returns how many entries were dropped.
+  uint64_t EvictOlderThan(uint64_t min_epoch);
 
   uint64_t hits() const;
   uint64_t misses() const;

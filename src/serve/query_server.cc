@@ -47,6 +47,24 @@ int64_t NowNanos() {
       .count();
 }
 
+/// Staleness policy: an answer is flagged outdated when any view it binds
+/// has missed rebuilds for more than `ttl` generations (see
+/// ServeOptions::outdated_ttl_generations).
+bool TouchesOutdatedView(const SynopsisStore& store,
+                         const BoundRewrittenQuery& bound, uint64_t ttl) {
+  for (const auto& link : bound.chain) {
+    if (store.OutdatedGenerations(link.query.view_signature) > ttl) {
+      return true;
+    }
+  }
+  for (const auto& term : bound.terms) {
+    if (store.OutdatedGenerations(term.query.view_signature) > ttl) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 QueryServer::QueryServer(std::shared_ptr<const SynopsisStore> store,
@@ -350,14 +368,18 @@ void QueryServer::Process(Task task) {
     if (std::optional<AnswerCache::Entry> hit = cache_->Get(raw_key)) {
       if (hit->epoch == snap.epoch) {
         counters_.Add(ServeCounter::kCacheShortCircuits);
+        const uint64_t generation = snap.store->generation();
         for (auto& follower : task.followers) {
-          Result<ServedAnswer> r{
-              ServedAnswer{hit->value, false, 0, /*coalesced=*/true}};
+          Result<ServedAnswer> r{ServedAnswer{hit->value, false, 0,
+                                              /*coalesced=*/true,
+                                              hit->outdated, snap.epoch,
+                                              generation}};
           RecordOutcome(r);
           follower.set_value(std::move(r));
         }
-        Result<ServedAnswer> r{
-            ServedAnswer{hit->value, false, 0, /*coalesced=*/false}};
+        Result<ServedAnswer> r{ServedAnswer{hit->value, false, 0,
+                                            /*coalesced=*/false, hit->outdated,
+                                            snap.epoch, generation}};
         RecordOutcome(r);
         task.promise.set_value(std::move(r));
         return;
@@ -432,6 +454,10 @@ void QueryServer::Process(Task task) {
   // nullopt: this flight merged into a canonical-equal one after rewrite;
   // its waiters (including this request) now belong to that leader.
   if (!out.has_value()) return;
+  // Every outcome of this flight was computed under `snap`; stamp the
+  // provenance every waiter's ServedAnswer will carry.
+  out->epoch = snap.epoch;
+  out->generation = snap.store->generation();
   FinishFlight(flight, *out);
 }
 
@@ -498,7 +524,7 @@ std::optional<QueryServer::FlightOutcome> QueryServer::ComputeAnswer(
   if (cache_) {
     if (std::optional<AnswerCache::Entry> hit = cache_->Get(canonical_key)) {
       if (hit->epoch == snap.epoch) {
-        return FlightOutcome{Status::OK(), hit->value, 0};
+        return FlightOutcome{Status::OK(), hit->value, 0, hit->outdated};
       }
       // An old-epoch canonical entry is a degradation fallback for every
       // waiter of this flight, including ones whose raw probe missed.
@@ -511,10 +537,13 @@ std::optional<QueryServer::FlightOutcome> QueryServer::ComputeAnswer(
   // from the stored noisy cells. The engine registers with a null bake
   // predicate; binding with the same predicate reproduces the
   // register-time signatures.
+  bool outdated = false;
   auto attempt_answer = [&]() -> Result<double> {
     VR_FAULT_POINT(faults::kServeAnswer);
     VR_ASSIGN_OR_RETURN(BoundRewrittenQuery bound,
                         snap.store->Bind(*rq, nullptr));
+    outdated = TouchesOutdatedView(*snap.store, bound,
+                                   options_.outdated_ttl_generations);
     return snap.store->Answer(bound, params);
   };
 
@@ -541,10 +570,10 @@ std::optional<QueryServer::FlightOutcome> QueryServer::ComputeAnswer(
       if (cache_) {
         // The leader writes each key exactly once per flight, no matter
         // how many waiters resolve with it.
-        cache_->Put(canonical_key, *got, snap.epoch);
-        cache_->Put(raw_key, *got, snap.epoch);
+        cache_->Put(canonical_key, *got, snap.epoch, outdated);
+        cache_->Put(raw_key, *got, snap.epoch, outdated);
       }
-      return FlightOutcome{Status::OK(), *got, attempts};
+      return FlightOutcome{Status::OK(), *got, attempts, outdated};
     }
     last = got.status();
     if (!IsRetryableStatus(last.code())) {
@@ -599,8 +628,10 @@ Result<ServedAnswer> QueryServer::ResolveWaiter(
   // check follows a successful answer. Coalesced waiters report zero
   // attempts: they consumed none themselves.
   if (out.status.ok()) {
-    return ServedAnswer{out.value, /*stale=*/false,
-                        w.coalesced ? 0 : out.attempts, w.coalesced};
+    return ServedAnswer{out.value,     /*stale=*/false,
+                        w.coalesced ? 0 : out.attempts,
+                        w.coalesced,   out.outdated,
+                        out.epoch,     out.generation};
   }
   // Failure order: deadline expiry is reported as such and never degrades
   // to a stale answer; then transient failures fall back to this waiter's
@@ -616,8 +647,13 @@ Result<ServedAnswer> QueryServer::ResolveWaiter(
     const std::optional<double>& fallback =
         w.stale_candidate.has_value() ? w.stale_candidate : shared_stale;
     if (fallback.has_value()) {
-      return ServedAnswer{*fallback, /*stale=*/true,
-                          w.coalesced ? 0 : out.attempts, w.coalesced};
+      // The stale value's own lifecycle stamps are unknown (it came from
+      // an older epoch's cache entry); the answer carries the epoch and
+      // generation it degraded under, with `stale` as the flag.
+      return ServedAnswer{*fallback,   /*stale=*/true,
+                          w.coalesced ? 0 : out.attempts,
+                          w.coalesced, /*outdated=*/false,
+                          out.epoch,   out.generation};
     }
   }
   return out.status;
@@ -626,6 +662,7 @@ Result<ServedAnswer> QueryServer::ResolveWaiter(
 void QueryServer::RecordOutcome(const Result<ServedAnswer>& r) {
   if (r.ok()) {
     counters_.Add(ServeCounter::kCompleted);
+    if (r->outdated) counters_.Add(ServeCounter::kOutdatedServed);
     if (r->stale) {
       counters_.Add(ServeCounter::kStaleServed);
     } else if (r->attempts > 1) {
@@ -701,6 +738,11 @@ Status QueryServer::Reload(std::shared_ptr<const SynopsisStore> store) {
   return Status::OK();
 }
 
+uint64_t QueryServer::EvictCacheBefore(uint64_t min_epoch) {
+  if (!cache_) return 0;
+  return cache_->EvictOlderThan(min_epoch);
+}
+
 ServeStats QueryServer::stats() const {
   ServeStats s;
   s.submitted = counters_.Total(ServeCounter::kSubmitted);
@@ -720,9 +762,11 @@ ServeStats QueryServer::stats() const {
   s.breaker_rejected =
       answer_breaker_.rejections() + store_breaker_.rejections();
   s.stale_served = counters_.Total(ServeCounter::kStaleServed);
+  s.outdated_served = counters_.Total(ServeCounter::kOutdatedServed);
   s.reloads = counters_.Total(ServeCounter::kReloads);
   s.reload_failures = counters_.Total(ServeCounter::kReloadFailures);
   s.epoch = epoch_.load(std::memory_order_acquire);
+  s.generation = store()->generation();
   s.flights = counters_.Total(ServeCounter::kFlights);
   s.coalesced_waiters = counters_.Total(ServeCounter::kCoalescedWaiters);
   s.merged_flights = counters_.Total(ServeCounter::kMergedFlights);

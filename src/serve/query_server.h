@@ -78,6 +78,16 @@ struct ServeOptions {
   /// answer from a previous epoch, serve it flagged stale instead of
   /// erroring.
   bool serve_stale = true;
+
+  // ---- Synopsis-lifecycle staleness policy. --------------------------------
+
+  /// Per-view generation TTL: an answer that touches a view whose base
+  /// relation changed more than this many generations ago without a
+  /// successful rebuild is still served, but flagged
+  /// `ServedAnswer::outdated` (and counted in
+  /// ServeStats::outdated_served). 0, the default, flags any outdatedness
+  /// at all — one missed rebuild is enough.
+  uint64_t outdated_ttl_generations = 0;
 };
 
 /// One served answer. `stale` marks a degraded response: the value comes
@@ -94,6 +104,17 @@ struct ServedAnswer {
   bool stale = false;
   uint32_t attempts = 0;
   bool coalesced = false;
+  /// Staleness-policy flag: the answer is live (not `stale`) but touched
+  /// a view whose base relation changed in a past generation whose
+  /// rebuild failed, beyond ServeOptions::outdated_ttl_generations. The
+  /// value is still exactly what the current bundle serves — `outdated`
+  /// is provenance, not degradation. A `stale` answer never sets it (its
+  /// originating entry's lifecycle is unknown).
+  bool outdated = false;
+  /// Store epoch and republish generation the answer was computed (or,
+  /// for `stale`, degraded) under.
+  uint64_t epoch = 0;
+  uint64_t generation = 0;
 };
 
 /// Concurrent query answering over a loaded SynopsisStore: the operational
@@ -252,6 +273,13 @@ class QueryServer {
   /// successful Reload.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
+  /// Generation-eviction hook for the synopsis lifecycle: drops every
+  /// answer-cache entry computed under an epoch older than `min_epoch`
+  /// (the Republisher calls this once superseded generations age past the
+  /// staleness TTL, freeing the cache stripes for current answers).
+  /// Returns the number of entries dropped; no-op without a cache.
+  uint64_t EvictCacheBefore(uint64_t min_epoch);
+
  private:
   struct Task {
     std::string sql;
@@ -288,11 +316,16 @@ class QueryServer {
   };
 
   /// What a completed flight delivers to every waiter: a value (status
-  /// OK) or a typed error, plus the attempts the leader consumed.
+  /// OK) or a typed error, plus the attempts the leader consumed and the
+  /// snapshot provenance (epoch/generation/outdated flag) every waiter's
+  /// ServedAnswer is stamped with.
   struct FlightOutcome {
     Status status;
     double value = 0;
     uint32_t attempts = 0;
+    bool outdated = false;
+    uint64_t epoch = 0;
+    uint64_t generation = 0;
   };
 
   static constexpr int64_t kInfiniteDeadlineNs =

@@ -1,0 +1,201 @@
+#include "serve/republisher.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "rewrite/canonical.h"
+
+namespace viewrewrite {
+
+Republisher::Republisher(ViewRewriteEngine* engine, const Schema& schema,
+                         QueryServer* server, RepublisherOptions options)
+    : engine_(engine),
+      schema_(schema),
+      server_(server),
+      options_(std::move(options)),
+      breaker_(options_.breaker) {}
+
+Republisher::~Republisher() { Stop(); }
+
+Result<RepublishReport> Republisher::RepublishNow(
+    const std::vector<std::string>& changed_relations) {
+  // One generation at a time: the engine's lifecycle mutations are not
+  // concurrent-safe and concurrent Saves to one bundle path are
+  // unsupported. Server traffic keeps flowing concurrently — that is the
+  // race this subsystem is designed (and chaos-tested) to survive.
+  std::lock_guard<std::mutex> lock(republish_mu_);
+  Backoff backoff(options_.retry, Fnv1a64(options_.bundle_path));
+  const uint32_t max_attempts = std::max(1u, options_.max_attempts);
+  Status last;
+  for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (!breaker_.Allow()) {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.breaker_rejected;
+      return Status::Unavailable(
+          "republish circuit breaker is open; failing fast");
+    }
+    // Every attempt burns its own generation number: a generation that
+    // durably saved but failed to swap must never share a number with a
+    // retry that rebuilds different cells.
+    const uint64_t generation = ++next_generation_;
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.generations_attempted;
+    }
+    Result<RepublishReport> got = TryRepublish(changed_relations, generation);
+    if (got.ok()) {
+      breaker_.RecordSuccess();
+      got->attempts = attempt;
+      published_generation_.store(generation, std::memory_order_release);
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.generations_published;
+      stats_.views_rebuilt += got->rebuilt.size();
+      stats_.rebuild_failures += got->failed.size();
+      stats_.epsilon_spent += got->epsilon_spent;
+      return got;
+    }
+    last = got.status();
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.generations_failed;
+    }
+    if (!IsRetryableStatus(last.code())) {
+      // Semantic failure — above all PrivacyError when the lifetime
+      // budget cannot cover another generation. The rebuild machinery
+      // itself is healthy, so the breaker records success, and retrying
+      // could only repeat the refusal.
+      breaker_.RecordSuccess();
+      return last;
+    }
+    breaker_.RecordFailure();
+    if (attempt < max_attempts) {
+      std::this_thread::sleep_for(backoff.Next());
+    }
+  }
+  return last;
+}
+
+Result<RepublishReport> Republisher::TryRepublish(
+    const std::vector<std::string>& changed_relations, uint64_t generation) {
+  VR_FAULT_POINT(faults::kServeRepublish);
+
+  // Phase 1 — delta rebuild. Failures in here (including injected
+  // republish.build faults) refund per view inside RepublishChanged
+  // itself; a whole-generation error mutates nothing.
+  VR_ASSIGN_OR_RETURN(
+      ViewManager::RepublishOutcome outcome,
+      engine_->RepublishChanged(changed_relations,
+                                options_.generation_epsilon, generation));
+
+  RepublishReport report;
+  report.generation = generation;
+  report.parent_epoch = server_->epoch();
+  report.changed_relations = changed_relations;
+  report.rebuilt = outcome.rebuilt;
+  report.failed = outcome.failed;
+  report.epsilon_spent = outcome.epsilon_spent;
+
+  // Phase 2 — snapshot + durable save. Until the rename inside Save, the
+  // generation's outputs are observable nowhere, so any failure refunds
+  // the spend and composition treats the generation as never run.
+  SynopsisStore::GenerationInfo info;
+  info.generation = generation;
+  info.parent_epoch = report.parent_epoch;
+  info.generation_epsilon = outcome.epsilon_spent;
+  info.changed_relations = changed_relations;
+  Result<SynopsisStore> store =
+      SynopsisStore::FromManager(engine_->views(), schema_, std::move(info));
+  if (!store.ok()) {
+    VR_RETURN_NOT_OK(engine_->RefundGeneration(outcome));
+    return store.status();
+  }
+  Status saved = store->Save(options_.bundle_path);
+  if (!saved.ok()) {
+    VR_RETURN_NOT_OK(engine_->RefundGeneration(outcome));
+    return saved;
+  }
+
+  // Point of no return: the bundle is durably on disk. From here on,
+  // failures are NOT refunded — a restart (or the next Reload) will serve
+  // this generation, so its budget was genuinely consumed. The file being
+  // ahead of the serving process is the documented, recoverable state.
+  if (options_.on_saved) options_.on_saved(generation);
+
+  // Phase 3 — swap.
+  VR_FAULT_POINT(faults::kRepublishSwap);
+  VR_RETURN_NOT_OK(server_->Reload(
+      std::make_shared<const SynopsisStore>(std::move(*store))));
+  report.epoch_after = server_->epoch();
+
+  // Staleness policy: entries from epochs that have aged past the lag are
+  // no longer worth keeping as stale-serving fallbacks; free their
+  // stripes.
+  if (options_.cache_eviction_lag > 0 &&
+      report.epoch_after > options_.cache_eviction_lag) {
+    const uint64_t dropped = server_->EvictCacheBefore(
+        report.epoch_after - options_.cache_eviction_lag);
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.cache_evictions += dropped;
+  }
+  return report;
+}
+
+void Republisher::NotifyChanged(
+    const std::vector<std::string>& changed_relations) {
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    pending_.insert(changed_relations.begin(), changed_relations.end());
+  }
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.notifications;
+  }
+  bg_cv_.notify_one();
+}
+
+void Republisher::Start() {
+  std::lock_guard<std::mutex> lock(bg_mu_);
+  if (bg_running_) return;
+  bg_stop_ = false;
+  bg_running_ = true;
+  bg_thread_ = std::thread([this] { BackgroundLoop(); });
+}
+
+void Republisher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    if (!bg_running_) return;
+    bg_stop_ = true;
+  }
+  bg_cv_.notify_all();
+  bg_thread_.join();
+  std::lock_guard<std::mutex> lock(bg_mu_);
+  bg_running_ = false;
+}
+
+void Republisher::BackgroundLoop() {
+  for (;;) {
+    std::vector<std::string> changed;
+    {
+      std::unique_lock<std::mutex> lock(bg_mu_);
+      bg_cv_.wait(lock, [this] { return bg_stop_ || !pending_.empty(); });
+      if (bg_stop_) return;
+      changed.assign(pending_.begin(), pending_.end());
+      pending_.clear();
+    }
+    // Errors are already recorded in stats_ (and the breaker); the loop
+    // keeps serving later notifications regardless.
+    (void)RepublishNow(changed);
+  }
+}
+
+RepublisherStats Republisher::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  RepublisherStats s = stats_;
+  s.breaker_trips = breaker_.trips();
+  return s;
+}
+
+}  // namespace viewrewrite

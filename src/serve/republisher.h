@@ -1,0 +1,178 @@
+#ifndef VIEWREWRITE_SERVE_REPUBLISHER_H_
+#define VIEWREWRITE_SERVE_REPUBLISHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/circuit_breaker.h"
+#include "common/result.h"
+#include "common/retry.h"
+#include "engine/viewrewrite_engine.h"
+#include "serve/query_server.h"
+
+namespace viewrewrite {
+
+struct RepublisherOptions {
+  /// Where each generation's bundle is durably published (atomic
+  /// save-then-rename; see SynopsisStore::Save). Required.
+  std::string bundle_path;
+  /// Privacy budget each republish generation spends, split uniformly
+  /// across the affected views and charged against the engine's lifetime
+  /// ledger under sequential composition (see
+  /// EngineOptions::lifetime_epsilon).
+  double generation_epsilon = 0.5;
+  /// Attempts per RepublishNow call. Every attempt consumes its own
+  /// generation number, so a generation that saved but failed to swap is
+  /// never reused for different cells.
+  uint32_t max_attempts = 3;
+  /// Backoff between attempts (paced like the serve-path retries).
+  RetryPolicy retry;
+  /// Circuit breaker over the whole rebuild→save→swap path: repeated
+  /// rebuild failures trip it, and while open RepublishNow fails fast
+  /// with Unavailable instead of burning budget-adjacent work.
+  CircuitBreakerOptions breaker;
+  /// Staleness-policy eviction: after a successful swap to epoch E,
+  /// answer-cache entries older than E - cache_eviction_lag are dropped,
+  /// freeing their stripes (entries that recent are kept as stale-serving
+  /// fallbacks). 0 disables eviction entirely.
+  uint64_t cache_eviction_lag = 8;
+  /// Test/observability hook, invoked after the bundle is durably saved
+  /// and before the server swap, still under the republish serialization
+  /// lock. The chaos harness uses it to snapshot per-generation baseline
+  /// answers at the only moment they are unambiguous.
+  std::function<void(uint64_t generation)> on_saved;
+};
+
+/// Outcome of one successfully published generation.
+struct RepublishReport {
+  uint64_t generation = 0;
+  uint64_t parent_epoch = 0;
+  std::vector<std::string> changed_relations;
+  std::vector<std::string> rebuilt;
+  /// Affected views whose rebuild failed this generation: refunded,
+  /// still serving their old cells, flagged outdated in the bundle.
+  std::vector<std::string> failed;
+  double epsilon_spent = 0;
+  /// Server epoch after the swap.
+  uint64_t epoch_after = 0;
+  /// Attempts this RepublishNow consumed (> 1 means earlier attempts
+  /// failed and were retried under fresh generation numbers).
+  uint32_t attempts = 0;
+};
+
+struct RepublisherStats {
+  uint64_t generations_attempted = 0;
+  uint64_t generations_published = 0;
+  uint64_t generations_failed = 0;  // attempts that did not publish
+  uint64_t views_rebuilt = 0;
+  uint64_t rebuild_failures = 0;  // per-view failures inside generations
+  uint64_t breaker_trips = 0;
+  uint64_t breaker_rejected = 0;
+  uint64_t cache_evictions = 0;  // entries dropped by the eviction policy
+  uint64_t notifications = 0;    // NotifyChanged calls absorbed
+  double epsilon_spent = 0;      // net across all published generations
+};
+
+/// Background synopsis-lifecycle driver: turns "these base relations
+/// changed" into a durably published, atomically swapped new bundle
+/// generation, off the serving path.
+///
+/// One generation = delta rebuild of the affected views (budget charged
+/// under cross-epoch sequential composition, refunded if the generation
+/// never becomes observable) → snapshot with generation metadata →
+/// durable Save (fsync temp + rename + parent fsync) → QueryServer::Reload
+/// (RCU swap, monotonic epoch bump) → staleness-policy cache eviction.
+///
+/// ## Failure semantics (the refund boundary)
+///
+/// The point of no return is the rename inside Save. Failures *before* it
+/// (rebuild fault, snapshot error, save fault) discard every output, so
+/// the generation's spend is refunded and composition treats it as never
+/// run. Failures *after* it (swap fault, reload rejection) leave a durable
+/// bundle on disk that a restart — or the next Reload — will serve, so the
+/// spend is NOT refunded: the file is ahead of the serving process, not
+/// wasted. Each attempt uses a fresh generation number so a
+/// saved-but-unswapped generation is never confused with a later retry.
+///
+/// ## Threading
+///
+/// RepublishNow serializes against itself and the background thread via
+/// one mutex (engine lifecycle mutations are not concurrent-safe, and
+/// concurrent Saves to one path are unsupported); it runs concurrently
+/// with QueryServer traffic by design — that race is the chaos harness's
+/// main subject. NotifyChanged/Start/Stop are thread safe.
+class Republisher {
+ public:
+  /// `engine` owns the views and budget ledger; `schema` must be the
+  /// schema the engine prepared under; `server` is swapped on publish.
+  /// All three must outlive the Republisher.
+  Republisher(ViewRewriteEngine* engine, const Schema& schema,
+              QueryServer* server, RepublisherOptions options);
+
+  /// Stops the background thread.
+  ~Republisher();
+
+  Republisher(const Republisher&) = delete;
+  Republisher& operator=(const Republisher&) = delete;
+
+  /// Rebuilds + publishes a generation for `changed_relations`
+  /// synchronously (with retries/backoff/breaker). Returns the published
+  /// generation's report, or the last attempt's error. PrivacyError
+  /// (lifetime budget exhausted) is terminal: no retry, no breaker trip.
+  Result<RepublishReport> RepublishNow(
+      const std::vector<std::string>& changed_relations);
+
+  /// Queues changed relations for the background thread (unioned with
+  /// anything already pending). Requires Start().
+  void NotifyChanged(const std::vector<std::string>& changed_relations);
+
+  /// Starts the background thread (idempotent).
+  void Start();
+
+  /// Stops and joins the background thread (idempotent). Pending
+  /// notifications that were not yet picked up are dropped.
+  void Stop();
+
+  /// Last successfully published generation (0 = none yet).
+  uint64_t generation() const {
+    return published_generation_.load(std::memory_order_acquire);
+  }
+
+  RepublisherStats stats() const;
+
+ private:
+  /// One attempt under one fresh generation number.
+  Result<RepublishReport> TryRepublish(
+      const std::vector<std::string>& changed_relations, uint64_t generation);
+  void BackgroundLoop();
+
+  ViewRewriteEngine* engine_;
+  const Schema& schema_;
+  QueryServer* server_;
+  RepublisherOptions options_;
+  CircuitBreaker breaker_;
+
+  std::mutex republish_mu_;  // serializes whole generations
+  uint64_t next_generation_ = 0;  // guarded by republish_mu_
+  std::atomic<uint64_t> published_generation_{0};
+
+  mutable std::mutex stats_mu_;
+  RepublisherStats stats_;
+
+  std::mutex bg_mu_;  // guards pending_, bg_stop_, bg_running_
+  std::condition_variable bg_cv_;
+  std::set<std::string> pending_;
+  bool bg_stop_ = false;
+  bool bg_running_ = false;
+  std::thread bg_thread_;
+};
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_SERVE_REPUBLISHER_H_

@@ -26,8 +26,10 @@ std::ostream& operator<<(std::ostream& os, const ServeStats& s) {
      << " retry_successes=" << s.retry_successes
      << " breaker_trips=" << s.breaker_trips
      << " breaker_rejected=" << s.breaker_rejected
-     << " stale_served=" << s.stale_served << " reloads=" << s.reloads
-     << " reload_failures=" << s.reload_failures << " epoch=" << s.epoch;
+     << " stale_served=" << s.stale_served
+     << " outdated_served=" << s.outdated_served << " reloads=" << s.reloads
+     << " reload_failures=" << s.reload_failures << " epoch=" << s.epoch
+     << " generation=" << s.generation;
   const uint64_t lookups = s.cache_hits + s.cache_misses;
   os << " | cache: hits=" << s.cache_hits << " misses=" << s.cache_misses;
   if (lookups > 0) {

@@ -34,9 +34,15 @@ struct ServeStats {
   uint64_t breaker_rejected = 0;   // fast-failed while a breaker was open
   uint64_t breaker_trips = 0;      // closed->open transitions, both domains
   uint64_t stale_served = 0;   // degraded answers from a previous epoch's cache
+  uint64_t outdated_served = 0;  // successful answers that touched a view the
+                                 // staleness policy flags outdated (its base
+                                 // relation changed in a generation whose
+                                 // rebuild failed, beyond the configured TTL)
   uint64_t reloads = 0;            // successful hot bundle swaps
   uint64_t reload_failures = 0;    // Reload calls that kept the old bundle
   uint64_t epoch = 0;              // current store epoch (0 = initial bundle)
+  uint64_t generation = 0;         // republish generation of the bundle being
+                                   // served (0 = initial publication)
 
   // ---- Single-flight coalescing and batching. ------------------------------
   // Conservation law (asserted by the chaos harness): every accepted
@@ -89,6 +95,7 @@ enum class ServeCounter : size_t {
   kRetries,
   kRetrySuccesses,
   kStaleServed,
+  kOutdatedServed,
   kReloads,
   kReloadFailures,
   kFlights,

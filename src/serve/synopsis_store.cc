@@ -1,11 +1,13 @@
 #include "serve/synopsis_store.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <cerrno>
+#include <dirent.h>
 #include <fcntl.h>
 #include <unistd.h>
 #endif
@@ -26,6 +28,7 @@ constexpr char kMagic[4] = {'V', 'R', 'S', 'Y'};
 constexpr uint16_t kFormatVersion = 1;
 
 constexpr uint32_t kSectionHeader = 'H';
+constexpr uint32_t kSectionGeneration = 'G';
 constexpr uint32_t kSectionView = 'V';
 constexpr uint32_t kSectionEnd = 'E';
 
@@ -497,6 +500,12 @@ void AppendSection(std::string* out, uint32_t tag, const std::string& payload) {
 
 Result<SynopsisStore> SynopsisStore::FromManager(const ViewManager& manager,
                                                  const Schema& schema) {
+  return FromManager(manager, schema, GenerationInfo());
+}
+
+Result<SynopsisStore> SynopsisStore::FromManager(const ViewManager& manager,
+                                                 const Schema& schema,
+                                                 GenerationInfo generation) {
   if (manager.NumPublished() == 0) {
     return Status::InvalidArgument(
         "nothing to snapshot: the manager has no published synopses "
@@ -504,6 +513,7 @@ Result<SynopsisStore> SynopsisStore::FromManager(const ViewManager& manager,
   }
   SynopsisStore store;
   store.schema_fingerprint_ = SchemaFingerprint(schema);
+  store.generation_info_ = std::move(generation);
   if (const BudgetAccountant* acct = manager.accountant()) {
     store.ledger_.total_epsilon = acct->total();
     store.ledger_.spent_epsilon = acct->spent();
@@ -520,8 +530,19 @@ Result<SynopsisStore> SynopsisStore::FromManager(const ViewManager& manager,
     std::unique_ptr<ViewDef> copy = view->Clone();
     VR_ASSIGN_OR_RETURN(Synopsis rebuilt,
                         Synopsis::FromParts(copy.get(), syn->ToParts()));
-    store.view_index_[copy->signature()] = store.views_.size();
-    store.synopses_.emplace(copy->signature(), std::move(rebuilt));
+    const std::string& sig = copy->signature();
+    ViewLifecycle cycle;
+    auto gen_it = manager.view_data_generation().find(sig);
+    if (gen_it != manager.view_data_generation().end()) {
+      cycle.data_generation = gen_it->second;
+    }
+    auto out_it = manager.view_outdated_since().find(sig);
+    if (out_it != manager.view_outdated_since().end()) {
+      cycle.outdated_since = out_it->second;
+    }
+    store.lifecycle_.emplace(sig, cycle);
+    store.view_index_[sig] = store.views_.size();
+    store.synopses_.emplace(sig, std::move(rebuilt));
     store.views_.push_back(std::move(copy));
   }
   return store;
@@ -595,6 +616,34 @@ Status SyncParentDir(const std::string& path) {
   return Status::OK();
 }
 
+// A crash between the temp write and the rename strands a fully durable
+// `<path>.tmp.<pid>.<seq>` file; without cleanup every crashed republish
+// leaks one. After a successful publish, sweep any `<basename>.tmp*`
+// siblings still in the directory — best-effort (a sibling appearing or
+// vanishing mid-scan is fine), and a no-op off POSIX.
+void SweepOrphanTemps(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  const std::string prefix =
+      (slash == std::string::npos ? path : path.substr(slash + 1)) + ".tmp";
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> orphans;
+  while (struct dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name.compare(0, prefix.size(), prefix) == 0) {
+      orphans.push_back(dir + "/" + name);
+    }
+  }
+  ::closedir(d);
+  for (const std::string& orphan : orphans) std::remove(orphan.c_str());
+#else
+  (void)path;
+#endif
+}
+
 }  // namespace
 
 Status SynopsisStore::Save(const std::string& path) const {
@@ -612,6 +661,22 @@ Status SynopsisStore::Save(const std::string& path) const {
   PutU32(&header, ledger_.refunds);
   AppendSection(&blob, kSectionHeader, header);
 
+  std::string gen;
+  PutU64(&gen, generation_info_.generation);
+  PutU64(&gen, generation_info_.parent_epoch);
+  PutDouble(&gen, generation_info_.generation_epsilon);
+  PutU32(&gen, static_cast<uint32_t>(generation_info_.changed_relations.size()));
+  for (const std::string& rel : generation_info_.changed_relations) {
+    PutString(&gen, rel);
+  }
+  PutU32(&gen, static_cast<uint32_t>(lifecycle_.size()));
+  for (const auto& [sig, cycle] : lifecycle_) {
+    PutString(&gen, sig);
+    PutU64(&gen, cycle.data_generation);
+    PutU64(&gen, cycle.outdated_since);
+  }
+  AppendSection(&blob, kSectionGeneration, gen);
+
   for (const auto& view : views_) {
     auto it = synopses_.find(view->signature());
     if (it == synopses_.end()) {
@@ -627,8 +692,15 @@ Status SynopsisStore::Save(const std::string& path) const {
   // Atomic durable publish: write + fsync the temp file, then rename over
   // the target, then fsync the parent directory. A crash at any point
   // leaves either the previous bundle intact or the new one fully
-  // durable — readers never observe a torn file.
-  const std::string tmp = path + ".tmp";
+  // durable — readers never observe a torn file. The temp name is unique
+  // per process and per save so a concurrent or crashed earlier save can
+  // never be renamed into place by this one.
+  static std::atomic<uint64_t> save_seq{0};
+  const std::string tmp = path + ".tmp." +
+#if defined(__unix__) || defined(__APPLE__)
+                          std::to_string(::getpid()) + "." +
+#endif
+                          std::to_string(save_seq.fetch_add(1) + 1);
   VR_RETURN_NOT_OK(WriteFileDurably(tmp, blob));
   // A kill here (the serve.save fault point simulates it) leaves a
   // complete, loadable temp file and the target untouched.
@@ -638,7 +710,9 @@ Status SynopsisStore::Save(const std::string& path) const {
     return Status::ExecutionError("cannot rename '" + tmp + "' to '" + path +
                                   "'");
   }
-  return SyncParentDir(path);
+  VR_RETURN_NOT_OK(SyncParentDir(path));
+  SweepOrphanTemps(path);
+  return Status::OK();
 }
 
 Result<SynopsisStore> SynopsisStore::Load(const std::string& path,
@@ -690,6 +764,7 @@ Result<SynopsisStore> SynopsisStore::Load(const std::string& path,
 
   SynopsisStore store;
   bool saw_header = false;
+  bool saw_generation = false;
   bool saw_end = false;
   uint32_t declared_views = 0;
   while (!saw_end) {
@@ -722,6 +797,47 @@ Result<SynopsisStore> SynopsisStore::Load(const std::string& path,
               "schema drift: bundle was built against a different schema "
               "(fingerprint " + std::to_string(store.schema_fingerprint_) +
               ", current schema " + std::to_string(expected) + ")");
+        }
+        break;
+      }
+      case kSectionGeneration: {
+        // Optional (pre-lifecycle bundles lack it and load as generation
+        // 0), but at most one — two generation stamps would make the
+        // bundle's provenance ambiguous.
+        if (!saw_header) {
+          return Status::Corruption(
+              "generation section before header in bundle");
+        }
+        if (saw_generation) {
+          return Status::Corruption("duplicate generation section in bundle");
+        }
+        saw_generation = true;
+        GenerationInfo& info = store.generation_info_;
+        VR_ASSIGN_OR_RETURN(info.generation, section.U64());
+        VR_ASSIGN_OR_RETURN(info.parent_epoch, section.U64());
+        VR_ASSIGN_OR_RETURN(info.generation_epsilon, section.Double());
+        VR_ASSIGN_OR_RETURN(uint32_t n_changed, section.U32());
+        VR_RETURN_NOT_OK(section.NeedElements(n_changed, 8));
+        for (uint32_t i = 0; i < n_changed; ++i) {
+          VR_ASSIGN_OR_RETURN(std::string rel, section.String());
+          info.changed_relations.push_back(std::move(rel));
+        }
+        VR_ASSIGN_OR_RETURN(uint32_t n_cycles, section.U32());
+        // Each lifecycle record costs at least its signature length prefix
+        // plus two u64 stamps.
+        VR_RETURN_NOT_OK(section.NeedElements(n_cycles, 24));
+        for (uint32_t i = 0; i < n_cycles; ++i) {
+          VR_ASSIGN_OR_RETURN(std::string sig, section.String());
+          ViewLifecycle cycle;
+          VR_ASSIGN_OR_RETURN(cycle.data_generation, section.U64());
+          VR_ASSIGN_OR_RETURN(cycle.outdated_since, section.U64());
+          if (!store.lifecycle_.emplace(std::move(sig), cycle).second) {
+            return Status::Corruption(
+                "duplicate view lifecycle record in bundle");
+          }
+        }
+        if (section.remaining() != 0) {
+          return Status::Corruption("trailing bytes in generation section");
         }
         break;
       }

@@ -32,11 +32,15 @@ namespace viewrewrite {
 ///     u32 section tag | u64 payload length | payload bytes | u32 CRC-32
 ///
 /// Section tags: 'H' header (schema fingerprint, view count, ledger
-/// summary), 'V' one view + its synopsis parts, 'E' end marker (empty
-/// payload). Load verifies magic, version, every section CRC, and the
-/// schema fingerprint, and returns a typed Status (Corruption /
-/// Unsupported / InvalidArgument) instead of crashing on any mismatch,
-/// truncation, or trailing garbage.
+/// summary), 'G' generation metadata (synopsis-lifecycle provenance:
+/// generation number, parent epoch, changed-relation set, per-generation
+/// epsilon, per-view data generations — optional, at most one, defaults
+/// to generation 0 when absent so pre-lifecycle bundles still load), 'V'
+/// one view + its synopsis parts, 'E' end marker (empty payload). Load
+/// verifies magic, version, every section CRC, and the schema
+/// fingerprint, and returns a typed Status (Corruption / Unsupported /
+/// InvalidArgument) instead of crashing on any mismatch, truncation, or
+/// trailing garbage.
 ///
 /// AST-bearing pieces (the view's FROM template with baked predicates,
 /// SUM measure expressions) are persisted as canonical SQL text and
@@ -57,17 +61,49 @@ class SynopsisStore {
     uint32_t refunds = 0;
   };
 
+  /// Synopsis-lifecycle provenance persisted with the bundle ('G'
+  /// section): which republish generation produced it, the server epoch
+  /// it was built to replace (parent), which base relations changed, and
+  /// the epsilon that generation spent. Generation 0 is the initial
+  /// publication (the defaults, and what pre-lifecycle bundles load as).
+  struct GenerationInfo {
+    uint64_t generation = 0;
+    uint64_t parent_epoch = 0;
+    double generation_epsilon = 0;
+    std::vector<std::string> changed_relations;
+  };
+
+  /// Per-view lifecycle stamp: the generation whose rebuild last
+  /// refreshed the view's cells, and (when nonzero) the first generation
+  /// whose base-relation change the view missed — the staleness policy's
+  /// input.
+  struct ViewLifecycle {
+    uint64_t data_generation = 0;
+    uint64_t outdated_since = 0;  // 0 = fresh
+  };
+
   SynopsisStore(SynopsisStore&&) = default;
   SynopsisStore& operator=(SynopsisStore&&) = default;
 
   /// Snapshots a published ViewManager (the export hook): deep-copies
-  /// every view with a published synopsis. Views whose publication failed
-  /// (degraded mode) are skipped — they have nothing to serve.
+  /// every view with a published synopsis, together with the manager's
+  /// per-view lifecycle stamps. Views whose publication failed (degraded
+  /// mode) are skipped — they have nothing to serve. `generation`
+  /// describes the snapshot itself (the two-argument overload snapshots
+  /// the initial publication, generation 0).
   static Result<SynopsisStore> FromManager(const ViewManager& manager,
                                            const Schema& schema);
+  static Result<SynopsisStore> FromManager(const ViewManager& manager,
+                                           const Schema& schema,
+                                           GenerationInfo generation);
 
-  /// Writes the bundle to `path` (atomically: a temp file renamed over
-  /// the target).
+  /// Writes the bundle to `path` (atomically: a uniquely named temp file
+  /// fsync'd and renamed over the target, parent directory fsync'd).
+  /// After a successful publish, orphaned `<path>.tmp*` siblings left by
+  /// earlier crashed saves are swept away (best-effort): a crash between
+  /// the temp write and the rename strands a fully durable temp file, and
+  /// without the sweep every crash would leak one. Concurrent Saves to
+  /// the same path are not supported (the Republisher serializes them).
   Status Save(const std::string& path) const;
 
   /// Reads a bundle back and re-binds it against `schema`, which must
@@ -89,6 +125,23 @@ class SynopsisStore {
   uint64_t schema_fingerprint() const { return schema_fingerprint_; }
   const LedgerSummary& ledger() const { return ledger_; }
   const std::vector<std::unique_ptr<ViewDef>>& views() const { return views_; }
+
+  const GenerationInfo& generation_info() const { return generation_info_; }
+  /// Republish generation this bundle carries (0 = initial publication).
+  uint64_t generation() const { return generation_info_.generation; }
+  const std::map<std::string, ViewLifecycle>& lifecycle() const {
+    return lifecycle_;
+  }
+  /// Staleness metric for the TTL policy: how many generations ago
+  /// `signature`'s base data changed without a successful rebuild.
+  /// 0 means fresh (or unknown view). A view outdated since generation g
+  /// in a generation-G bundle has been stale for G - g + 1 generations.
+  uint64_t OutdatedGenerations(const std::string& signature) const {
+    auto it = lifecycle_.find(signature);
+    if (it == lifecycle_.end() || it->second.outdated_since == 0) return 0;
+    if (generation_info_.generation < it->second.outdated_since) return 1;
+    return generation_info_.generation - it->second.outdated_since + 1;
+  }
 
   /// Synopsis for `signature`, or nullptr.
   const Synopsis* Find(const std::string& signature) const;
@@ -119,6 +172,8 @@ class SynopsisStore {
 
   uint64_t schema_fingerprint_ = 0;
   LedgerSummary ledger_;
+  GenerationInfo generation_info_;
+  std::map<std::string, ViewLifecycle> lifecycle_;  // signature -> stamps
   /// Owned view definitions; synopses_ hold non-owning pointers into
   /// these, so views_ must never reallocate after construction (it is
   /// built once and then immutable).

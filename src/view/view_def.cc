@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 
 #include "sql/printer.h"
 
@@ -58,6 +59,41 @@ int ViewDef::MeasureIndex(const std::string& key) const {
     if (measures_[i].key == key) return static_cast<int>(i);
   }
   return -1;
+}
+
+namespace {
+
+void CollectBaseRelations(const TableRef& ref, std::set<std::string>* out) {
+  switch (ref.kind) {
+    case TableRefKind::kBase:
+      out->insert(static_cast<const BaseTableRef&>(ref).name);
+      break;
+    case TableRefKind::kDerived: {
+      const auto& derived = static_cast<const DerivedTableRef&>(ref);
+      if (derived.subquery) {
+        for (const TableRefPtr& f : derived.subquery->from) {
+          if (f) CollectBaseRelations(*f, out);
+        }
+      }
+      break;
+    }
+    case TableRefKind::kJoin: {
+      const auto& join = static_cast<const JoinTableRef&>(ref);
+      if (join.left) CollectBaseRelations(*join.left, out);
+      if (join.right) CollectBaseRelations(*join.right, out);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> ViewDef::BaseRelations() const {
+  std::set<std::string> names;
+  for (const TableRefPtr& f : from_template_->from) {
+    if (f) CollectBaseRelations(*f, &names);
+  }
+  return std::vector<std::string>(names.begin(), names.end());
 }
 
 namespace {

@@ -64,6 +64,14 @@ class ViewDef {
   /// Deep copy (the serve layer snapshots views out of a ViewManager).
   std::unique_ptr<ViewDef> Clone() const;
 
+  /// Base relations the view's definition reads (deduplicated, sorted):
+  /// every base table reachable through the FROM tree, including tables
+  /// referenced only inside derived-table subqueries. This is the
+  /// dependency set the synopsis lifecycle consults: when a base relation
+  /// changes, every view whose BaseRelations() contains it must be
+  /// rebuilt (or flagged outdated).
+  std::vector<std::string> BaseRelations() const;
+
   int AttributeIndex(const std::string& table,
                      const std::string& column) const;
   int MeasureIndex(const std::string& key) const;

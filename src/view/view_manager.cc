@@ -172,12 +172,19 @@ size_t ViewManager::ViewUsage(const std::string& signature) const {
 
 Status ViewManager::Publish(const Database& db, double total_epsilon,
                             Random* rng, BudgetAllocation allocation,
-                            bool degraded) {
+                            bool degraded, double lifetime_epsilon) {
   if (views_.empty()) {
     return Status::InvalidArgument("no views registered");
   }
-  accountant_ = std::make_unique<BudgetAccountant>(total_epsilon);
+  // The accountant's total is the *lifetime* budget: the initial
+  // publication splits total_epsilon, and any surplus is the reserve
+  // later republish generations compose against (sequential composition
+  // across epochs, one ledger).
+  accountant_ = std::make_unique<BudgetAccountant>(
+      lifetime_epsilon > total_epsilon ? lifetime_epsilon : total_epsilon);
   failed_views_.clear();
+  view_data_generation_.clear();
+  view_outdated_since_.clear();
   double total_weight = 0;
   auto weight_of = [&](const ViewDef& view) -> double {
     if (allocation == BudgetAllocation::kUniform) return 1.0;
@@ -210,6 +217,106 @@ Status ViewManager::Publish(const Database& db, double total_epsilon,
           accountant_->Refund(eps_view, "refund:synopsis:" + view->signature()));
     }
     failed_views_.emplace(view->signature(), std::move(st));
+  }
+  return Status::OK();
+}
+
+Result<ViewManager::RepublishOutcome> ViewManager::RepublishViews(
+    const Database& db, const std::vector<std::string>& changed_relations,
+    double generation_epsilon, Random* rng, uint64_t generation) {
+  if (accountant_ == nullptr) {
+    return Status::InvalidArgument(
+        "RepublishViews requires a prior Publish (no lifetime ledger)");
+  }
+  if (generation == 0) {
+    return Status::InvalidArgument(
+        "generation 0 is the initial publication; republish generations "
+        "start at 1");
+  }
+  RepublishOutcome outcome;
+  outcome.generation = generation;
+
+  const std::set<std::string> changed(changed_relations.begin(),
+                                      changed_relations.end());
+  for (const auto& view : views_) {
+    for (const std::string& rel : view->BaseRelations()) {
+      if (changed.count(rel)) {
+        outcome.affected.push_back(view->signature());
+        break;
+      }
+    }
+  }
+  if (outcome.affected.empty()) return outcome;
+
+  // Hard-fail before over-spend: the whole generation is refused before
+  // any spend or rebuild when the lifetime reserve cannot cover it, so a
+  // generation either has its full budget or never starts.
+  if (generation_epsilon >
+      accountant_->remaining() * (1.0 + 1e-9) + 1e-9) {
+    return Status::PrivacyError(
+        "republish generation " + std::to_string(generation) + " needs " +
+        std::to_string(generation_epsilon) +
+        " epsilon but only " + std::to_string(accountant_->remaining()) +
+        " of the lifetime budget remains");
+  }
+  outcome.epsilon_per_view =
+      generation_epsilon / static_cast<double>(outcome.affected.size());
+
+  const std::string gen_tag = "gen" + std::to_string(generation);
+  for (const std::string& sig : outcome.affected) {
+    const ViewDef& view = *views_[view_index_.at(sig)];
+    auto fail_view = [&](Status st, bool spent) -> Status {
+      if (spent) {
+        VR_RETURN_NOT_OK(accountant_->Refund(
+            outcome.epsilon_per_view, "refund:" + gen_tag + ":synopsis:" + sig));
+      }
+      outcome.failed.push_back(sig);
+      // The old synopsis (when one exists) keeps serving, flagged
+      // outdated from the first generation whose change it missed.
+      view_outdated_since_.emplace(sig, generation);
+      if (!synopses_.count(sig)) failed_views_[sig] = std::move(st);
+      return Status::OK();
+    };
+    Status st = accountant_->Spend(outcome.epsilon_per_view,
+                                   gen_tag + ":synopsis:" + sig);
+    if (!st.ok()) {
+      VR_RETURN_NOT_OK(fail_view(std::move(st), /*spent=*/false));
+      continue;
+    }
+    if (FaultInjection::Armed()) {
+      st = FaultInjection::Instance().Check(faults::kRepublishBuild);
+    }
+    if (st.ok()) {
+      Result<Synopsis> syn = Synopsis::Build(view, db, policy_,
+                                             outcome.epsilon_per_view,
+                                             options_, rng);
+      if (syn.ok()) {
+        synopses_.insert_or_assign(sig, std::move(syn).value());
+        outcome.rebuilt.push_back(sig);
+        outcome.epsilon_spent += outcome.epsilon_per_view;
+        view_data_generation_[sig] = generation;
+        view_outdated_since_.erase(sig);
+        // A view whose initial publication failed heals on a successful
+        // rebuild: it now has a synopsis to serve.
+        failed_views_.erase(sig);
+        continue;
+      }
+      st = syn.status();
+    }
+    VR_RETURN_NOT_OK(fail_view(std::move(st), /*spent=*/true));
+  }
+  return outcome;
+}
+
+Status ViewManager::RefundGeneration(const RepublishOutcome& outcome) {
+  if (accountant_ == nullptr) {
+    return Status::InvalidArgument("no lifetime ledger to refund against");
+  }
+  const std::string gen_tag = "gen" + std::to_string(outcome.generation);
+  for (const std::string& sig : outcome.rebuilt) {
+    VR_RETURN_NOT_OK(accountant_->Refund(
+        outcome.epsilon_per_view,
+        "refund:discarded:" + gen_tag + ":synopsis:" + sig));
   }
   return Status::OK();
 }

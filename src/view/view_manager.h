@@ -91,9 +91,61 @@ class ViewManager {
   /// happened), the failure is recorded in failed_views(), and the
   /// remaining views still publish. Without `degraded` the first failure
   /// is returned immediately (the pre-robustness contract).
+  ///
+  /// `lifetime_epsilon`, when positive, is the accountant's total across
+  /// the whole synopsis lifetime: the initial publication still splits
+  /// only `total_epsilon` across views, and the difference is the reserve
+  /// later RepublishViews generations draw from under sequential
+  /// composition (cross-epoch composition: initial + every generation sum
+  /// against one ledger). Zero (the default) keeps the single-epoch
+  /// contract: the lifetime budget equals `total_epsilon` and any
+  /// republish hard-fails immediately.
   Status Publish(const Database& db, double total_epsilon, Random* rng,
                  BudgetAllocation allocation = BudgetAllocation::kUniform,
-                 bool degraded = false);
+                 bool degraded = false, double lifetime_epsilon = 0);
+
+  /// Outcome of one delta-republish generation (RepublishViews).
+  struct RepublishOutcome {
+    uint64_t generation = 0;
+    /// Views whose BaseRelations() intersect the changed set.
+    std::vector<std::string> affected;
+    /// Affected views rebuilt successfully this generation.
+    std::vector<std::string> rebuilt;
+    /// Affected views whose rebuild failed: budget refunded, old synopsis
+    /// (if any) kept serving, view flagged outdated.
+    std::vector<std::string> failed;
+    /// Net epsilon consumed by this generation (spends minus refunds).
+    double epsilon_spent = 0;
+    /// Per-rebuilt-view slice, for a caller-side discard refund (see
+    /// RefundGeneration).
+    double epsilon_per_view = 0;
+  };
+
+  /// Delta republish (synopsis lifecycle, generation `generation` >= 1):
+  /// rebuilds only the views whose base relations intersect
+  /// `changed_relations`, spending `generation_epsilon` split uniformly
+  /// across them under sequential composition against the lifetime ledger
+  /// (labels "gen<N>:synopsis:<sig>"). Hard-fails with PrivacyError
+  /// before touching any view when the remaining lifetime budget cannot
+  /// cover the generation. A per-view rebuild failure refunds that slice
+  /// ("refund:gen<N>:synopsis:<sig>"), keeps the old synopsis serving and
+  /// records the view outdated-since this generation; a successful
+  /// rebuild replaces the synopsis, stamps view_data_generation() and
+  /// clears any outdated flag (a view that failed its initial publication
+  /// heals if its rebuild succeeds). Requires a prior Publish.
+  ///
+  /// Not thread-safe against itself or concurrent readers of synopses();
+  /// the serve-layer Republisher serializes all lifecycle mutations.
+  Result<RepublishOutcome> RepublishViews(
+      const Database& db, const std::vector<std::string>& changed_relations,
+      double generation_epsilon, Random* rng, uint64_t generation);
+
+  /// Caller-side discard: a generation that rebuilt successfully but was
+  /// never published anywhere observable (e.g. the bundle save failed and
+  /// the next generation will overwrite the cells) refunds its rebuilt
+  /// views' slices. Must not be called once the generation's outputs were
+  /// persisted or served.
+  Status RefundGeneration(const RepublishOutcome& outcome);
 
   /// Views whose synopsis publication failed in a degraded Publish:
   /// signature -> recorded failure. Answering a query bound to one of
@@ -145,6 +197,20 @@ class ViewManager {
 
   const BudgetAccountant* accountant() const { return accountant_.get(); }
 
+  // ---- Synopsis lifecycle metadata. ----------------------------------------
+
+  /// Generation whose rebuild last refreshed each view's cells (0 = the
+  /// initial publication; views never republished stay at 0).
+  const std::map<std::string, uint64_t>& view_data_generation() const {
+    return view_data_generation_;
+  }
+  /// First generation at which a view's base data changed without a
+  /// successful rebuild; erased again when a later rebuild succeeds. A
+  /// view present here is answerable but outdated.
+  const std::map<std::string, uint64_t>& view_outdated_since() const {
+    return view_outdated_since_;
+  }
+
  private:
   const Schema& schema_;
   PrivacyPolicy policy_;
@@ -154,6 +220,8 @@ class ViewManager {
   std::map<std::string, size_t> view_usage_;           // signature -> #queries
   std::map<std::string, Synopsis> synopses_;           // signature -> synopsis
   std::map<std::string, Status> failed_views_;         // signature -> failure
+  std::map<std::string, uint64_t> view_data_generation_;
+  std::map<std::string, uint64_t> view_outdated_since_;
   std::unique_ptr<BudgetAccountant> accountant_;
 };
 

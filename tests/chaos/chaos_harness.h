@@ -22,6 +22,15 @@
 //          + expired_in_queue == submitted
 //      holds exactly — coalescing under faults, reloads and deadlines
 //      never loses or double-resolves a request.
+//   6. Synopsis lifecycle: a Republisher races hot Reloads races query
+//      traffic for the whole serve phase, with the republish fault points
+//      armed. A torn bundle is impossible (any mid-run or final Load that
+//      returns Corruption is a violation); every successful answer is
+//      bit-identical to the baseline of the generation it claims
+//      (wrong-epoch answers can never travel unflagged); the cross-epoch
+//      budget ledger never exceeds the lifetime total no matter which
+//      generations failed where (refunds only for generations that never
+//      became observable); and no flight waiter is stranded by a swap.
 //
 // "Deterministic" means the fault schedule is fully reproducible from the
 // seed (probabilistic triggers use dedicated seeded PRNGs); the checked
@@ -31,14 +40,18 @@
 #include <cstdint>
 #include <cstdio>
 #include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fault_injection.h"
 #include "engine/viewrewrite_engine.h"
 #include "serve/query_server.h"
+#include "serve/republisher.h"
 #include "serve/synopsis_store.h"
 #include "testing/test_db.h"
 
@@ -57,6 +70,10 @@ struct ChaosConfig {
   std::chrono::seconds future_wait{60};
   /// Where the bundle goes; empty picks a per-seed name under /tmp.
   std::string bundle_path;
+  /// Republish generations attempted by the lifecycle thread while the
+  /// serve phase runs (each may retry internally under fresh generation
+  /// numbers). 0 disables the lifecycle racing entirely.
+  size_t num_republishes = 3;
 };
 
 struct ChaosRunResult {
@@ -76,6 +93,14 @@ struct ChaosRunResult {
   bool coalescing_enabled = false;
   bool prepare_ok = false;
   bool reload_attempted = false;
+  // Synopsis-lifecycle observability (from the Republisher's stats and
+  // the server's, after every thread joined).
+  bool republish_attempted = false;
+  uint64_t generations_attempted = 0;
+  uint64_t generations_published = 0;
+  uint64_t views_rebuilt = 0;
+  uint64_t rebuild_failures = 0;
+  uint64_t outdated_served = 0;
   /// Invariant violations; empty means the seed passed.
   std::vector<std::string> violations;
 
@@ -102,13 +127,40 @@ inline bool IsAllowedServeError(StatusCode code) {
   }
 }
 
+/// Typed errors a republish generation may legitimately end with under
+/// injected faults. PrivacyError is the hard-fail-before-over-spend path
+/// (the lifetime budget genuinely ran out — the invariant working, not
+/// breaking). Corruption is conspicuously absent: a republish that reads
+/// back a torn bundle would be a durability violation.
+inline bool IsAllowedRepublishError(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInternal:      // injected republish/build/save fault
+    case StatusCode::kUnavailable:   // republish breaker open
+    case StatusCode::kPrivacyError:  // lifetime budget exhausted
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// A mid-run Reload(path) may fail only through the injected fault or the
+/// store breaker. Corruption here means rename atomicity broke — a reader
+/// saw a torn bundle.
+inline bool IsAllowedReloadError(StatusCode code) {
+  return code == StatusCode::kInternal || code == StatusCode::kUnavailable;
+}
+
 }  // namespace internal
 
 /// Runs one seeded chaos scenario end to end. Never throws; all failures
 /// are reported through ChaosRunResult::violations.
 inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
   ChaosRunResult result;
-  auto violate = [&result](const std::string& what) {
+  // The republisher and reload threads report violations concurrently
+  // with the main thread.
+  std::mutex violations_mu;
+  auto violate = [&result, &violations_mu](const std::string& what) {
+    std::lock_guard<std::mutex> lock(violations_mu);
     result.violations.push_back(what);
   };
   std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ULL);
@@ -139,6 +191,11 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
 
   EngineOptions engine_options;
   engine_options.seed = seed;  // noise differs per seed; baseline tracks it
+  // Lifetime reserve beyond the initial publication's epsilon: the serve
+  // phase's republish generations draw from it under cross-epoch
+  // sequential composition, and enough seeds exhaust it that the
+  // hard-fail-before-over-spend path is exercised too.
+  engine_options.lifetime_epsilon = 12.0;
   ViewRewriteEngine engine(*db, PrivacyPolicy{"customer"}, engine_options);
   const Status prepared = engine.Prepare(workload);
   faults_registry.DisableAll();
@@ -249,6 +306,87 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
     ScopedFault reload_load_fault = ScopedFault::WithProbability(
         faults::kServeLoad,
         internal::UniformP(rng, config.max_serve_fault_p), rng());
+    // Synopsis-lifecycle fault points: entering a generation, the
+    // per-view delta rebuild, the durable save, and the bundle swap.
+    ScopedFault republish_fault = ScopedFault::WithProbability(
+        faults::kServeRepublish,
+        internal::UniformP(rng, config.max_serve_fault_p), rng());
+    ScopedFault rebuild_fault = ScopedFault::WithProbability(
+        faults::kRepublishBuild,
+        internal::UniformP(rng, config.max_serve_fault_p), rng());
+    ScopedFault swap_fault = ScopedFault::WithProbability(
+        faults::kRepublishSwap,
+        internal::UniformP(rng, config.max_serve_fault_p), rng());
+    ScopedFault repub_save_fault = ScopedFault::WithProbability(
+        faults::kServeSave,
+        internal::UniformP(rng, config.max_serve_fault_p), rng());
+
+    // Per-generation baselines: generation -> (query index -> the exact
+    // value that generation's cells answer). Generation 0 is the initial
+    // publication; later entries are recorded by the on_saved hook at the
+    // only unambiguous moment — after the bundle is durable, before the
+    // swap, while the republish lock still excludes the next generation.
+    // A generation that saved but failed to swap still gets a baseline,
+    // because a mid-run Reload(path) can legitimately serve it.
+    std::mutex baselines_mu;
+    std::map<uint64_t, std::map<size_t, double>> gen_baselines;
+    {
+      std::map<size_t, double>& g0 = gen_baselines[0];
+      for (size_t qi : servable) g0[qi] = baseline[qi];
+    }
+
+    // Pre-draw the lifecycle plan so thread scheduling never perturbs the
+    // seed's deterministic fault schedule.
+    std::vector<std::vector<std::string>> republish_plan;
+    for (size_t i = 0; i < config.num_republishes; ++i) {
+      republish_plan.push_back(
+          (rng() % 2 == 0)
+              ? std::vector<std::string>{"orders"}
+              : std::vector<std::string>{"customer", "orders"});
+    }
+
+    RepublisherOptions repub_options;
+    repub_options.bundle_path = path;
+    repub_options.generation_epsilon = 0.8;
+    repub_options.max_attempts = 2;
+    repub_options.retry.max_attempts = 2;
+    repub_options.retry.initial_backoff = std::chrono::microseconds(50);
+    repub_options.retry.max_backoff = std::chrono::microseconds(400);
+    repub_options.breaker.failure_threshold = 4;
+    repub_options.breaker.open_duration = std::chrono::milliseconds(1);
+    repub_options.cache_eviction_lag = 2;
+    repub_options.on_saved = [&](uint64_t generation) {
+      std::lock_guard<std::mutex> lock(baselines_mu);
+      std::map<size_t, double>& g = gen_baselines[generation];
+      for (size_t qi : servable) {
+        Result<double> ans = engine.NoisyAnswer(qi);
+        if (ans.ok()) g[qi] = *ans;
+      }
+    };
+    Republisher republisher(&engine, db->schema(), &server, repub_options);
+    result.republish_attempted = !republish_plan.empty();
+
+    // The lifecycle race: republish generations, hot reloads from disk,
+    // and query traffic all run concurrently for the whole serve phase.
+    std::thread republish_thread([&] {
+      for (const std::vector<std::string>& changed : republish_plan) {
+        Result<RepublishReport> rep = republisher.RepublishNow(changed);
+        if (!rep.ok() &&
+            !internal::IsAllowedRepublishError(rep.status().code())) {
+          violate("unexpected republish error: " + rep.status().ToString());
+        }
+      }
+    });
+    std::thread reload_thread([&] {
+      for (int i = 0; i < 2; ++i) {
+        std::this_thread::sleep_for(std::chrono::microseconds(700));
+        Status st = server.Reload(path);
+        if (!st.ok() && !internal::IsAllowedReloadError(st.code())) {
+          violate("mid-run reload returned disallowed error "
+                  "(torn bundle?): " + st.ToString());
+        }
+      }
+    });
 
     std::vector<size_t> request_query;
     std::vector<std::future<Result<ServedAnswer>>> futures;
@@ -279,14 +417,27 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
         // Mid-traffic hot reload of the same bundle: epoch advances,
         // in-flight queries finish against the old epoch, and the
         // baseline stays valid because the cells are identical. Failure
-        // is fine — the old bundle keeps serving.
+        // is fine — the old bundle keeps serving — but only through the
+        // allowed error set: Corruption would mean a torn bundle.
         result.reload_attempted = true;
-        (void)server.Reload(path);
+        Status st = server.Reload(path);
+        if (!st.ok() && !internal::IsAllowedReloadError(st.code())) {
+          violate("mid-loop reload returned disallowed error "
+                  "(torn bundle?): " + st.ToString());
+        }
       }
     }
 
-    // Invariants 2 and 4: every future resolves in bounded time, to a
-    // baseline-exact value, a stale copy of it, or an allowed typed error.
+    // Quiesce the lifecycle before judging answers: once both threads
+    // join, gen_baselines is complete and immutable, so the value checks
+    // below read it without locking.
+    republish_thread.join();
+    reload_thread.join();
+
+    // Invariants 2 and 4/6: every future resolves in bounded time, to a
+    // value bit-identical to the baseline of the generation it claims, a
+    // stale copy from some published generation, or an allowed typed
+    // error.
     for (size_t r = 0; r < futures.size(); ++r) {
       if (futures[r].wait_for(config.future_wait) !=
           std::future_status::ready) {
@@ -297,16 +448,49 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
       Result<ServedAnswer> got = futures[r].get();
       const size_t qi = request_query[r];
       if (got.ok()) {
-        if (got->value != baseline[qi]) {
-          violate("response for query " + std::to_string(qi) +
-                  " diverged from fault-free baseline: got " +
-                  std::to_string(got->value) + " want " +
-                  std::to_string(baseline[qi]) +
-                  (got->stale ? " (stale)" : ""));
-        }
         if (got->stale) {
+          // A stale answer is a cached value from some earlier epoch; the
+          // entry does not carry its generation, so the check is
+          // membership: the value must be bit-identical to SOME
+          // generation's baseline for this query. Anything else is a
+          // silent wrong answer.
+          bool known = false;
+          for (const auto& gen : gen_baselines) {
+            auto it = gen.second.find(qi);
+            if (it != gen.second.end() && it->second == got->value) {
+              known = true;
+              break;
+            }
+          }
+          if (!known) {
+            violate("stale response for query " + std::to_string(qi) +
+                    " matches no generation's baseline: got " +
+                    std::to_string(got->value));
+          }
           ++result.stale;
         } else {
+          // Fresh answers claim a generation; they must be bit-identical
+          // to that generation's baseline — a wrong-epoch answer can
+          // never travel unflagged.
+          auto gen_it = gen_baselines.find(got->generation);
+          if (gen_it == gen_baselines.end()) {
+            violate("fresh response for query " + std::to_string(qi) +
+                    " claims unknown generation " +
+                    std::to_string(got->generation));
+          } else {
+            auto val_it = gen_it->second.find(qi);
+            if (val_it == gen_it->second.end()) {
+              violate("query " + std::to_string(qi) +
+                      " has no baseline in generation " +
+                      std::to_string(got->generation));
+            } else if (got->value != val_it->second) {
+              violate("response for query " + std::to_string(qi) +
+                      " diverged from generation " +
+                      std::to_string(got->generation) + " baseline: got " +
+                      std::to_string(got->value) + " want " +
+                      std::to_string(val_it->second));
+            }
+          }
           ++result.fresh;
         }
       } else {
@@ -358,9 +542,38 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
     if (sstats.max_flight_group > 0 && sstats.flights == 0) {
       violate("flight group recorded without any flight");
     }
+
+    // Invariant 6: lifecycle observability + cross-epoch budget. Every
+    // generation, published or refunded, charged the ONE lifetime ledger
+    // under sequential composition; whatever mix of faults this seed
+    // produced, the engine accountant never exceeds the lifetime total.
+    result.outdated_served = sstats.outdated_served;
+    const RepublisherStats rstats = republisher.stats();
+    result.generations_attempted = rstats.generations_attempted;
+    result.generations_published = rstats.generations_published;
+    result.views_rebuilt = rstats.views_rebuilt;
+    result.rebuild_failures = rstats.rebuild_failures;
+    const EngineStats& post = engine.stats();
+    if (post.budget_spent_epsilon > post.budget_total_epsilon + 1e-9) {
+      violate("cross-epoch budget over-spent after republishes: spent " +
+              std::to_string(post.budget_spent_epsilon) + " of " +
+              std::to_string(post.budget_total_epsilon));
+    }
   }
 
   faults_registry.DisableAll();
+  // Durability epilogue: whatever interleaving of saves, republishes and
+  // crashes-by-fault this seed produced, the bundle on disk must be a
+  // complete, loadable generation with a consistent ledger — rename
+  // atomicity means a torn file is impossible.
+  Result<SynopsisStore> final_load = SynopsisStore::Load(path, db->schema());
+  if (!final_load.ok()) {
+    violate("final fault-free Load failed (torn or missing bundle): " +
+            final_load.status().ToString());
+  } else if (final_load->ledger().spent_epsilon >
+             final_load->ledger().total_epsilon + 1e-9) {
+    violate("final persisted ledger over-spent");
+  }
   std::remove(path.c_str());
   return result;
 }

@@ -1,10 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 #include "chaos/chaos_harness.h"
 #include "common/fault_injection.h"
 
 namespace viewrewrite {
 namespace {
+
+/// Seeds the tier-1 suite pins (the 32-seed sweep lives in
+/// bench/chaos_soak). Kept in one place so --list-seeds and the tests
+/// cannot drift apart.
+constexpr uint64_t kTier1Seeds[] = {1, 5, 7, 11, 23, 42};
 
 /// Tier-1 chaos smoke: a handful of fixed seeds through the full
 /// publish -> save -> load -> serve run with every fault point armed.
@@ -39,6 +48,13 @@ TEST_F(ChaosSmokeTest, ZeroFaultSeedServesEverythingFresh) {
   EXPECT_TRUE(run.prepare_ok);
   EXPECT_EQ(run.stale, 0u);
   EXPECT_GT(run.fresh, 0u);
+  // With no faults armed every planned republish generation publishes,
+  // rebuilds at least one view, and stays within the lifetime budget.
+  EXPECT_TRUE(run.republish_attempted);
+  EXPECT_EQ(run.generations_published, config.num_republishes);
+  EXPECT_EQ(run.generations_attempted, run.generations_published);
+  EXPECT_GT(run.views_rebuilt, 0u);
+  EXPECT_EQ(run.rebuild_failures, 0u);
   // Batched iterations fan one request slot into three futures, so the
   // accepted total can exceed num_requests; every accepted request still
   // answers fresh or expires on a tight injected deadline.
@@ -67,3 +83,68 @@ TEST_F(ChaosSmokeTest, HighFaultRateStillNeverViolatesInvariants) {
 
 }  // namespace
 }  // namespace viewrewrite
+
+namespace {
+
+/// Runs one seed directly (outside gtest) and prints a human-readable
+/// report. Exit code 0 iff every invariant held.
+int RunSingleSeed(uint64_t seed) {
+  viewrewrite::chaos::ChaosConfig config;
+  viewrewrite::chaos::ChaosRunResult run =
+      viewrewrite::chaos::RunChaosSeed(seed, config);
+  std::printf(
+      "seed %llu: published_views=%llu fresh=%llu stale=%llu errors=%llu\n"
+      "  submitted=%llu flights=%llu coalesced=%llu cache_hits=%llu "
+      "expired=%llu\n"
+      "  generations attempted=%llu published=%llu views_rebuilt=%llu "
+      "rebuild_failures=%llu outdated_served=%llu\n",
+      (unsigned long long)seed, (unsigned long long)run.published_views,
+      (unsigned long long)run.fresh, (unsigned long long)run.stale,
+      (unsigned long long)run.errors, (unsigned long long)run.submitted,
+      (unsigned long long)run.flights,
+      (unsigned long long)run.coalesced_waiters,
+      (unsigned long long)run.cache_short_circuits,
+      (unsigned long long)run.expired_in_queue,
+      (unsigned long long)run.generations_attempted,
+      (unsigned long long)run.generations_published,
+      (unsigned long long)run.views_rebuilt,
+      (unsigned long long)run.rebuild_failures,
+      (unsigned long long)run.outdated_served);
+  if (run.ok()) {
+    std::printf("  PASS: all invariants held\n");
+    return 0;
+  }
+  for (const std::string& violation : run.violations) {
+    std::printf("  VIOLATION: %s\n", violation.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+/// Custom main so one failing seed can be replayed in isolation:
+///   chaos_test --seed=N     run exactly that seed, print its report
+///   chaos_test --list-seeds print the tier-1 pinned seeds, one per line
+/// With neither flag, the normal gtest suite runs (gtest flags intact).
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-seeds") == 0) {
+      for (uint64_t seed : viewrewrite::kTier1Seeds) {
+        std::printf("%llu\n", (unsigned long long)seed);
+      }
+      return 0;
+    }
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      char* end = nullptr;
+      const unsigned long long seed = std::strtoull(argv[i] + 7, &end, 10);
+      if (end == argv[i] + 7 || *end != '\0') {
+        std::fprintf(stderr, "chaos_test: bad --seed value: %s\n",
+                     argv[i] + 7);
+        return 2;
+      }
+      return RunSingleSeed(seed);
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -4,6 +4,9 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
+#include <thread>
+#include <vector>
 
 namespace viewrewrite {
 namespace {
@@ -114,6 +117,70 @@ TEST(BudgetTest, RemainingNeverGoesNegative) {
   ASSERT_TRUE(acc.Spend(0.1, "b").ok());
   ASSERT_TRUE(acc.Spend(0.1, "c").ok());
   EXPECT_GE(acc.remaining(), 0.0);
+}
+
+TEST(BudgetTest, ConcurrentSpendAndRefundHoldsInvariantAtomically) {
+  // The synopsis lifecycle spends and refunds per-generation slices from
+  // a republisher thread while other threads read the ledger for bundle
+  // metadata. The invariant must hold atomically, not just at quiescence:
+  // every sampled spent() stays within total, every Spend either fully
+  // lands or fully fails, and each successful Spend's matching Refund
+  // restores exactly its slice.
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 200;
+  constexpr double kSlice = 0.01;
+  // Room for roughly half the spends at any instant, so rejections and
+  // successes interleave under contention.
+  BudgetAccountant acc(kThreads * kOpsPerThread * kSlice / 2);
+
+  std::vector<int> landed(kThreads, 0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&acc, &landed, t] {
+      const std::string label = "gen" + std::to_string(t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        if (acc.Spend(kSlice, label).ok()) {
+          ++landed[t];
+          // Odd iterations model a discarded generation: refund the
+          // exact slice that landed.
+          if (i % 2 == 1) {
+            ASSERT_TRUE(acc.Refund(kSlice, "refund:" + label).ok());
+            --landed[t];
+          }
+        }
+        // A concurrent reader's view must never catch a torn spend.
+        ASSERT_LE(acc.spent(), acc.total() + 1e-9);
+        ASSERT_GE(acc.remaining(), 0.0);
+      }
+    });
+  }
+  // Concurrent ledger snapshots: by-value copies taken mid-growth must be
+  // internally consistent (entries carry their sign — refunds are
+  // negative — and sum to a value within budget).
+  std::thread reader([&acc] {
+    for (int i = 0; i < 200; ++i) {
+      double sum = 0;
+      for (const BudgetAccountant::Entry& e : acc.ledger()) {
+        sum += e.epsilon;
+      }
+      ASSERT_LE(sum, acc.total() + 1e-9);
+      ASSERT_GE(sum, -1e-9);
+    }
+  });
+  for (std::thread& w : workers) w.join();
+  reader.join();
+
+  int net_landed = 0;
+  for (int t = 0; t < kThreads; ++t) net_landed += landed[t];
+  EXPECT_NEAR(acc.spent(), net_landed * kSlice, 1e-6);
+  EXPECT_LE(acc.spent(), acc.total() + 1e-9);
+  // The ledger recorded every successful operation exactly once: its
+  // signed sum equals the surviving spend.
+  double ledger_sum = 0;
+  for (const BudgetAccountant::Entry& e : acc.ledger()) {
+    ledger_sum += e.epsilon;
+  }
+  EXPECT_NEAR(ledger_sum, acc.spent(), 1e-6);
 }
 
 }  // namespace

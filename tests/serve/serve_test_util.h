@@ -36,9 +36,12 @@ struct ServeContext {
 /// Publishes the standard workload with noise seed `engine_seed` and
 /// round-trips the bundle through `name`.vrsy in the test temp dir.
 /// Different seeds produce different noisy cells — the reload test uses
-/// that to tell two bundles apart.
+/// that to tell two bundles apart. `lifetime_epsilon` > 0 leaves a
+/// cross-epoch reserve for republish-generation tests (see
+/// EngineOptions::lifetime_epsilon).
 inline ServeContext MakeServeContext(uint64_t engine_seed = 42,
-                                     const std::string& name = "bundle") {
+                                     const std::string& name = "bundle",
+                                     double lifetime_epsilon = 0) {
   ServeContext ctx;
   ctx.db = testing_support::MakeTestDatabase(13, 40);
   ctx.workload = {
@@ -49,6 +52,7 @@ inline ServeContext MakeServeContext(uint64_t engine_seed = 42,
   };
   EngineOptions options;
   options.seed = engine_seed;
+  options.lifetime_epsilon = lifetime_epsilon;
   ctx.engine = std::make_unique<ViewRewriteEngine>(
       *ctx.db, PrivacyPolicy{"customer"}, options);
   Status prepared = ctx.engine->Prepare(ctx.workload);
