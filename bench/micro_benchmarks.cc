@@ -1,9 +1,19 @@
 // Google-benchmark microbenchmarks for the per-component costs behind the
 // end-to-end numbers: parsing, rewriting, execution, synopsis publication,
-// cell answering, and the DP primitives.
+// cell answering, the answer path (scalar, grouped, derived measures,
+// suppression), and the DP primitives.
+//
+// The custom main() below also emits BENCH_answer.json — the committed
+// answer-path baseline checked by ci/check.sh. Regenerate with:
+//   ./build/bench/micro_benchmarks --benchmark_filter=NoSuchBench
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
+#include "aggregate/grouped_result.h"
+#include "aggregate/suppression.h"
 #include "datagen/tpch.h"
 #include "dp/matrix_mechanism.h"
 #include "dp/truncation.h"
@@ -159,7 +169,188 @@ void BM_WorkloadGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
 
+// ---- Answer path: serving from the published synopsis is pure
+// post-processing, so these measure the per-request cost of scalar cell
+// answers, grouped materialization, derived-measure evaluation (AVG and
+// VARIANCE resolve from (sum, sum^2, count) companions), and the
+// minimum-frequency suppression pass.
+
+const char* kAnswerScalar =
+    "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice >= 32768";
+const char* kAnswerGroupedCount =
+    "SELECT o_orderstatus, COUNT(*) FROM orders o GROUP BY o_orderstatus";
+const char* kAnswerDerivedAvgHaving =
+    "SELECT o_orderstatus, AVG(o_totalprice) FROM orders o GROUP BY "
+    "o_orderstatus HAVING COUNT(*) >= 2";
+const char* kAnswerDerivedVariance =
+    "SELECT o_orderstatus, VARIANCE(o_totalprice) FROM orders o GROUP BY "
+    "o_orderstatus";
+
+struct AnswerEnv {
+  std::vector<std::string> workload;
+  std::unique_ptr<ViewRewriteEngine> engine;
+};
+
+AnswerEnv& SharedAnswerEnv() {
+  static AnswerEnv* env = [] {
+    auto* e = new AnswerEnv;
+    e->workload = {kAnswerScalar, kAnswerGroupedCount,
+                   kAnswerDerivedAvgHaving, kAnswerDerivedVariance};
+    EngineOptions options;
+    options.seed = 42;
+    e->engine = std::make_unique<ViewRewriteEngine>(
+        SharedDb(), PrivacyPolicy{"orders"}, options);
+    Status st = e->engine->Prepare(e->workload);
+    if (!st.ok()) {
+      std::fprintf(stderr, "answer bench Prepare failed: %s\n",
+                   st.ToString().c_str());
+      std::abort();
+    }
+    return e;
+  }();
+  return *env;
+}
+
+void BM_ScalarNoisyAnswer(benchmark::State& state) {
+  AnswerEnv& env = SharedAnswerEnv();
+  for (auto _ : state) {
+    auto r = env.engine->NoisyAnswer(0);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ScalarNoisyAnswer);
+
+void BM_GroupedCountAnswer(benchmark::State& state) {
+  AnswerEnv& env = SharedAnswerEnv();
+  for (auto _ : state) {
+    auto r = env.engine->GroupedAnswer(1);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GroupedCountAnswer);
+
+void BM_DerivedAvgHavingAnswer(benchmark::State& state) {
+  AnswerEnv& env = SharedAnswerEnv();
+  for (auto _ : state) {
+    auto r = env.engine->GroupedAnswer(2);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DerivedAvgHavingAnswer);
+
+void BM_DerivedVarianceAnswer(benchmark::State& state) {
+  AnswerEnv& env = SharedAnswerEnv();
+  for (auto _ : state) {
+    auto r = env.engine->GroupedAnswer(3);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DerivedVarianceAnswer);
+
+void BM_SuppressionPass(benchmark::State& state) {
+  AnswerEnv& env = SharedAnswerEnv();
+  auto baseline = env.engine->GroupedAnswer(1);
+  if (!baseline.ok()) std::abort();
+  aggregate::SuppressionPolicy policy{12.0};
+  for (auto _ : state) {
+    aggregate::GroupedData copy = *baseline;
+    size_t n = aggregate::ApplySuppression(policy, &copy);
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_SuppressionPass);
+
+// ---- BENCH_answer.json: a small always-on emitter (independent of the
+// google-benchmark CLI flags) so ci/check.sh can regenerate the committed
+// answer-path baseline with --benchmark_filter=NoSuchBench.
+
+template <typename Fn>
+double MeanNs(int iters, Fn&& fn) {
+  fn();  // warm caches and lazy state outside the timed region
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(end - start).count() /
+         static_cast<double>(iters);
+}
+
+int WriteAnswerBaseline() {
+  AnswerEnv& env = SharedAnswerEnv();
+  struct Entry {
+    const char* name;
+    const char* kind;
+    size_t rows;
+    double mean_ns;
+  };
+  std::vector<Entry> entries;
+
+  entries.push_back({"scalar_count", "scalar", 0,
+                     MeanNs(1000, [&] {
+                       auto r = env.engine->NoisyAnswer(0);
+                       benchmark::DoNotOptimize(r);
+                     })});
+  const struct {
+    size_t index;
+    const char* name;
+    const char* kind;
+  } grouped[] = {
+      {1, "grouped_count", "grouped"},
+      {2, "derived_avg_having", "derived"},
+      {3, "derived_variance", "derived"},
+  };
+  for (const auto& g : grouped) {
+    auto rows = env.engine->GroupedAnswer(g.index);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "answer baseline %s failed: %s\n", g.name,
+                   rows.status().ToString().c_str());
+      return 1;
+    }
+    entries.push_back({g.name, g.kind, rows->rows.size(),
+                       MeanNs(300, [&] {
+                         auto r = env.engine->GroupedAnswer(g.index);
+                         benchmark::DoNotOptimize(r);
+                       })});
+  }
+  auto baseline = env.engine->GroupedAnswer(1);
+  if (!baseline.ok()) return 1;
+  aggregate::SuppressionPolicy policy{12.0};
+  entries.push_back({"suppression_pass", "suppression", baseline->rows.size(),
+                     MeanNs(1000, [&] {
+                       aggregate::GroupedData copy = *baseline;
+                       size_t n = aggregate::ApplySuppression(policy, &copy);
+                       benchmark::DoNotOptimize(n);
+                     })});
+
+  FILE* json = std::fopen("BENCH_answer.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_answer.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"workload\": %zu,\n  \"views\": %zu,\n"
+               "  \"answers\": [\n",
+               env.workload.size(), env.engine->views().views().size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::fprintf(json,
+                 "    {\"name\": \"%s\", \"kind\": \"%s\", \"rows\": %zu, "
+                 "\"mean_ns\": %.1f}%s\n",
+                 e.name, e.kind, e.rows, e.mean_ns,
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_answer.json\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace viewrewrite
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return viewrewrite::WriteAnswerBaseline();
+}

@@ -5,7 +5,7 @@
 #   SKIP_SANITIZE=1 ci/check.sh   # tier-1 + chaos smoke only
 #   SKIP_CHAOS=1 ci/check.sh      # skip the chaos soak binaries
 #   SKIP_FUZZ=1 ci/check.sh       # skip the time-boxed fuzz smoke
-#   SKIP_BENCH=1 ci/check.sh      # skip the serve-bench regeneration check
+#   SKIP_BENCH=1 ci/check.sh      # skip the serve/answer bench regeneration checks
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -50,6 +50,24 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
   awk -v f="${fresh_speedup}" 'BEGIN { exit !(f > 1.0) }' ||
     { echo "regenerated coalesce_speedup ${fresh_speedup} <= 1.0"; exit 1; }
   echo "coalesce_speedup: committed ${committed_speedup}, regenerated ${fresh_speedup}"
+
+  echo "== answer bench: regenerate and check against committed BENCH_answer.json =="
+  # The micro_benchmarks main always emits BENCH_answer.json after the
+  # google-benchmark run; an impossible filter skips the BM loop so only
+  # the answer-path baseline is regenerated. Schema check only — answer
+  # timings are hardware-bound, but the grouped/derived/suppression
+  # entries must exist in both the committed and the regenerated file.
+  (cd build/bench && ./micro_benchmarks --benchmark_filter=NoSuchBench \
+    > /dev/null)
+  for key in '"answers"' '"mean_ns"' '"grouped_count"' \
+             '"derived_avg_having"' '"derived_variance"' \
+             '"suppression_pass"' '"scalar_count"'; do
+    grep -q "${key}" BENCH_answer.json ||
+      { echo "committed BENCH_answer.json missing ${key}"; exit 1; }
+    grep -q "${key}" build/bench/BENCH_answer.json ||
+      { echo "regenerated BENCH_answer.json missing ${key}"; exit 1; }
+  done
+  echo "BENCH_answer.json schema ok"
 fi
 
 if [[ "${SKIP_SANITIZE:-0}" == "1" ]]; then
@@ -67,11 +85,12 @@ cmake --build build-asan -j "$(nproc)" --target \
   coalescing_test batch_submit_test stats_shard_test \
   limits_test adversarial_test synopsis_overflow_test hostile_bundle_test \
   admission_test corpus_replay_test \
+  aggregate_planner_test suppression_test grouped_serve_test \
   fuzz_sql_parser fuzz_rewriter fuzz_vrsy_loader make_seed_corpus
 
 echo "== asan+ubsan: ctest (robustness suite) =="
 (cd build-asan && ctest --output-on-failure -j "$(nproc)" \
-  -R 'FaultInjection|Quarantine|PublishRecovery|Budget|LaplaceMechanism|Retry|Backoff|CircuitBreaker|Durability|Republisher|Limits|Tracker|CheckedMul|Adversarial|SynopsisOverflow|HostileBundle|Admission|CorpusReplay|Coalescing|BatchSubmit|StatsShard')
+  -R 'FaultInjection|Quarantine|PublishRecovery|Budget|LaplaceMechanism|Retry|Backoff|CircuitBreaker|Durability|Republisher|Limits|Tracker|CheckedMul|Adversarial|SynopsisOverflow|HostileBundle|Admission|CorpusReplay|Coalescing|BatchSubmit|StatsShard|PlanAggregate|EvaluateDerived|EvalExpr|Suppression|GroupedServe')
 
 if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   echo "== asan+ubsan: republish chaos smoke (single seed, lifecycle races) =="
@@ -117,11 +136,12 @@ cmake --build build-tsan -j "$(nproc)" --target \
   resilience_test deadline_test budget_test durability_test \
   republisher_test chaos_test chaos_soak \
   coalescing_test batch_submit_test stats_shard_test \
-  adversarial_test admission_test corpus_replay_test
+  adversarial_test admission_test corpus_replay_test \
+  grouped_serve_test
 
 echo "== tsan: ctest (concurrent serving layer) =="
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
-  -R 'QueryServer|AnswerCache|ShutdownRace|Reload|Resilience|Deadline|Budget|Durability|Republisher|Coalescing|BatchSubmit|StatsShard|Adversarial|Admission|CorpusReplay')
+  -R 'QueryServer|AnswerCache|ShutdownRace|Reload|Resilience|Deadline|Budget|Durability|Republisher|Coalescing|BatchSubmit|StatsShard|Adversarial|Admission|CorpusReplay|GroupedServe')
 
 if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   echo "== tsan: chaos soak (reduced seeds) =="

@@ -15,8 +15,9 @@
 //
 //   $ ./build/examples/serve_demo [bundle_path] [num_threads]
 //
-// Default bundle path: serve_demo_bundle.vrsy (left on disk so a second
-// run demonstrates pure reload-and-serve without re-publishing).
+// Default bundle path: $TMPDIR/serve_demo_bundle.vrsy (left on disk so a
+// second run demonstrates pure reload-and-serve without re-publishing —
+// but never dropped into the working directory / repo checkout).
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,8 +35,15 @@
 int main(int argc, char** argv) {
   using namespace viewrewrite;
 
-  const std::string bundle_path =
-      argc > 1 ? argv[1] : "serve_demo_bundle.vrsy";
+  // Default into the temp dir, not the working directory: demos must not
+  // litter a source checkout with bundles.
+  std::string default_path;
+  const char* tmpdir = std::getenv("TMPDIR");
+  default_path = std::string(tmpdir != nullptr && *tmpdir != '\0' ? tmpdir
+                                                                  : "/tmp");
+  if (default_path.back() != '/') default_path += '/';
+  default_path += "serve_demo_bundle.vrsy";
+  const std::string bundle_path = argc > 1 ? argv[1] : default_path;
   const size_t num_threads =
       argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 4;
 
@@ -57,6 +65,11 @@ int main(int argc, char** argv) {
         "SELECT SUM(o_totalprice) FROM orders o WHERE o.o_totalprice < 32768",
         "SELECT COUNT(*) FROM customer c, orders o WHERE c.c_custkey = "
         "o.o_custkey AND c.c_mktsegment = 2",
+        // Grouped + derived: AVG never materializes — it registers its
+        // (sum, count) companions and is derived at serve time; the
+        // HAVING filter is applied post-noise (docs/AGGREGATES.md).
+        "SELECT o_orderstatus, AVG(o_totalprice) FROM orders o "
+        "GROUP BY o_orderstatus HAVING COUNT(*) >= 2",
     };
     EngineOptions options;
     options.epsilon = 8.0;
@@ -112,6 +125,8 @@ int main(int argc, char** argv) {
       "SELECT SUM(o_totalprice) FROM orders o WHERE o.o_totalprice < 16384",
       "SELECT COUNT(*) FROM orders o WHERE o.o_orderstatus = 'f' AND "
       "o.o_totalprice >= 32768",
+      "SELECT o_orderstatus, AVG(o_totalprice) FROM orders o "
+      "GROUP BY o_orderstatus HAVING COUNT(*) >= 2",
       "SELECT COUNT(*) FROM lineitem l WHERE l.l_quantity >= 25",
   };
   std::vector<std::future<Result<ServedAnswer>>> futures;
@@ -120,7 +135,26 @@ int main(int argc, char** argv) {
   }
   for (size_t i = 0; i < queries.size(); ++i) {
     Result<ServedAnswer> answer = futures[i].get();
-    if (answer.ok()) {
+    if (answer.ok() && answer->rows != nullptr) {
+      std::printf("  %-100.100s -> %zu groups\n", queries[i].c_str(),
+                  answer->rows->rows.size());
+      for (const auto& row : answer->rows->rows) {
+        std::printf("      ");
+        for (size_t c = 0; c < row.values.size(); ++c) {
+          const Value& v = row.values[c];
+          if (v.is_null()) {
+            std::printf(" %s=NULL", answer->rows->columns[c].c_str());
+          } else if (v.is_numeric()) {
+            std::printf(" %s=%.2f", answer->rows->columns[c].c_str(),
+                        v.ToDouble());
+          } else {
+            std::printf(" %s=%s", answer->rows->columns[c].c_str(),
+                        v.AsString().c_str());
+          }
+        }
+        std::printf("%s\n", row.suppressed ? "  [suppressed]" : "");
+      }
+    } else if (answer.ok()) {
       std::printf("  %-100.100s -> %.2f%s\n", queries[i].c_str(),
                   answer->value, answer->stale ? " (stale)" : "");
     } else {

@@ -195,6 +195,35 @@ class Shell {
       return;
     }
     for (size_t i = 0; i < prepared_->NumQueries(); ++i) {
+      if (prepared_->IsGrouped(i)) {
+        auto rows = prepared_->GroupedAnswer(i);
+        if (!rows.ok()) {
+          std::printf("Q%zu failed: %s\n", i + 1,
+                      rows.status().ToString().c_str());
+          continue;
+        }
+        std::printf("Q%zu  grouped, %zu rows\n", i + 1, rows->rows.size());
+        for (const aggregate::GroupedRow& row : rows->rows) {
+          std::printf("   ");
+          for (size_t c = 0; c < row.values.size(); ++c) {
+            const Value& v = row.values[c];
+            std::string text = v.is_null()
+                                   ? std::string("NULL")
+                                   : (v.is_numeric()
+                                          ? [&] {
+                                              char buf[32];
+                                              std::snprintf(buf, sizeof(buf),
+                                                            "%.1f",
+                                                            v.ToDouble());
+                                              return std::string(buf);
+                                            }()
+                                          : v.AsString());
+            std::printf(" %s=%s", rows->columns[c].c_str(), text.c_str());
+          }
+          std::printf("%s\n", row.suppressed ? "  [suppressed]" : "");
+        }
+        continue;
+      }
       auto noisy = prepared_->NoisyAnswer(i);
       auto truth = prepared_->TrueAnswer(i);
       if (!noisy.ok() || !truth.ok()) {

@@ -55,6 +55,28 @@ int WriteSqlSeeds(const std::string& dir) {
       ++n;
     }
   }
+  // Grouped / derived-measure statements: the workload generator emits
+  // scalar aggregates only, so seed the GROUP BY / HAVING / AVG / VARIANCE
+  // grammar explicitly — these reach the aggregate planner and the
+  // RegisterGrouped proxy path in the rewriter.
+  const char* grouped[] = {
+      "SELECT o_orderstatus, COUNT(*) FROM orders o GROUP BY o_orderstatus",
+      "SELECT o_orderstatus, AVG(o_totalprice) FROM orders o "
+      "GROUP BY o_orderstatus HAVING COUNT(*) >= 2",
+      "SELECT o_orderstatus, SUM(o_totalprice), VARIANCE(o_totalprice) "
+      "FROM orders o GROUP BY o_orderstatus",
+      "SELECT o_orderstatus, STDDEV(o_totalprice) FROM orders o "
+      "WHERE o.o_totalprice >= 64 GROUP BY o_orderstatus "
+      "HAVING AVG(o_totalprice) > 100",
+      "SELECT c_mktsegment, o_orderstatus, COUNT(*) FROM customer c, "
+      "orders o WHERE c.c_custkey = o.o_custkey "
+      "GROUP BY c_mktsegment, o_orderstatus HAVING SUM(o_totalprice) >= 0",
+  };
+  for (size_t i = 0; i < sizeof(grouped) / sizeof(grouped[0]); ++i) {
+    std::string name = dir + "/grouped_" + std::to_string(i) + ".sql";
+    if (!WriteFile(name, grouped[i])) return -1;
+    ++written;
+  }
   return written;
 }
 

@@ -1,0 +1,36 @@
+#include "aggregate/grouped_result.h"
+
+namespace viewrewrite {
+namespace aggregate {
+
+namespace {
+
+size_t ValueBytes(const Value& v) {
+  size_t bytes = sizeof(Value);
+  if (v.is_string()) bytes += v.AsString().capacity();
+  return bytes;
+}
+
+}  // namespace
+
+size_t GroupedData::ByteSize() const {
+  size_t bytes = sizeof(GroupedData);
+  for (const std::string& c : columns) bytes += sizeof(std::string) + c.capacity();
+  bytes += is_aggregate.capacity() / 8 + sizeof(size_t);
+  for (const GroupedRow& r : rows) {
+    bytes += sizeof(GroupedRow);
+    for (const Value& v : r.values) bytes += ValueBytes(v);
+  }
+  return bytes;
+}
+
+ResultSet GroupedData::ToResultSet() const {
+  ResultSet rs;
+  rs.columns = columns;
+  rs.rows.reserve(rows.size());
+  for (const GroupedRow& r : rows) rs.rows.push_back(r.values);
+  return rs;
+}
+
+}  // namespace aggregate
+}  // namespace viewrewrite

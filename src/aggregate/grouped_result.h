@@ -1,0 +1,55 @@
+#ifndef VIEWREWRITE_AGGREGATE_GROUPED_RESULT_H_
+#define VIEWREWRITE_AGGREGATE_GROUPED_RESULT_H_
+
+// Grouped served results: the row-carrying counterpart of the scalar
+// answer. A GroupedData is immutable once built and shared by pointer
+// between the flight table, the answer cache, and every coalesced
+// waiter, so identical in-flight queries always observe the identical
+// row set.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exec/result_set.h"
+#include "sql/value.h"
+
+namespace viewrewrite {
+namespace aggregate {
+
+/// One served group. `values` holds one entry per output column (group
+/// keys and aggregates interleaved in select-list order). `noisy_count`
+/// is the noisy COUNT(*) of the group — the input to the minimum-
+/// frequency suppression rule — and `suppressed` marks rows whose
+/// aggregates were withheld by that rule (their aggregate values are
+/// NULL but the group keys, which come from the public column domain,
+/// remain).
+struct GroupedRow {
+  Row values;
+  double noisy_count = 0;
+  bool suppressed = false;
+};
+
+/// A grouped answer: named columns, a per-column aggregate/key flag,
+/// and rows. The flag drives suppression (only aggregate outputs are
+/// withheld) and lets the chaos invariants compare key columns exactly.
+struct GroupedData {
+  std::vector<std::string> columns;
+  std::vector<bool> is_aggregate;  // per column: aggregate output vs group key
+  std::vector<GroupedRow> rows;
+
+  size_t NumRows() const { return rows.size(); }
+  size_t NumColumns() const { return columns.size(); }
+
+  /// Approximate heap footprint, used for byte-aware cache accounting.
+  size_t ByteSize() const;
+
+  /// Flattens to a plain ResultSet (flags dropped; suppressed rows keep
+  /// their NULLed aggregates).
+  ResultSet ToResultSet() const;
+};
+
+}  // namespace aggregate
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_AGGREGATE_GROUPED_RESULT_H_

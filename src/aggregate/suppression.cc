@@ -1,0 +1,26 @@
+#include "aggregate/suppression.h"
+
+namespace viewrewrite {
+namespace aggregate {
+
+size_t ApplySuppression(const SuppressionPolicy& policy, GroupedData* data) {
+  if (policy.min_group_count <= 0 || data == nullptr) return 0;
+  size_t suppressed = 0;
+  for (GroupedRow& row : data->rows) {
+    if (row.suppressed) {  // idempotent over already-suppressed rows
+      ++suppressed;
+      continue;
+    }
+    if (row.noisy_count >= policy.min_group_count) continue;
+    row.suppressed = true;
+    for (size_t c = 0; c < row.values.size() && c < data->is_aggregate.size();
+         ++c) {
+      if (data->is_aggregate[c]) row.values[c] = Value::Null();
+    }
+    ++suppressed;
+  }
+  return suppressed;
+}
+
+}  // namespace aggregate
+}  // namespace viewrewrite

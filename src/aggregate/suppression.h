@@ -1,0 +1,35 @@
+#ifndef VIEWREWRITE_AGGREGATE_SUPPRESSION_H_
+#define VIEWREWRITE_AGGREGATE_SUPPRESSION_H_
+
+// Minimum-frequency suppression (after DPSQL+): groups whose *noisy*
+// count falls below a configured threshold have their aggregate values
+// withheld before release. The decision reads only the already-noised
+// count, so it is pure post-processing and costs no additional budget;
+// the group keys themselves come from the public column domain (every
+// domain cell is enumerated whether or not any tuple falls in it), so
+// a suppressed row reveals nothing beyond "the noisy count was small".
+
+#include <cstddef>
+
+#include "aggregate/grouped_result.h"
+
+namespace viewrewrite {
+namespace aggregate {
+
+/// Suppression rule configuration. `min_group_count` <= 0 disables the
+/// rule (every group is released).
+struct SuppressionPolicy {
+  double min_group_count = 0;
+};
+
+/// Applies the minimum-frequency rule in place: rows whose noisy_count
+/// is below the threshold get suppressed=true and their aggregate
+/// columns (per data->is_aggregate) set to NULL; group-key columns are
+/// kept. Returns the number of rows suppressed. Deterministic given the
+/// noisy counts, so serve-side and baseline-side applications agree.
+size_t ApplySuppression(const SuppressionPolicy& policy, GroupedData* data);
+
+}  // namespace aggregate
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_AGGREGATE_SUPPRESSION_H_

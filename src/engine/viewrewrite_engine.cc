@@ -196,11 +196,40 @@ Status ViewRewriteEngine::RefundGeneration(
   return st;
 }
 
+bool ViewRewriteEngine::IsGrouped(size_t i) const {
+  if (i >= bound_.size()) return false;
+  const BoundRewrittenQuery& q = bound_[i];
+  return q.chain.empty() && q.terms.size() == 1 &&
+         q.terms[0].query.cell_query != nullptr &&
+         !q.terms[0].query.cell_query->group_by.empty();
+}
+
+Result<aggregate::GroupedData> ViewRewriteEngine::GroupedAnswer(size_t i,
+                                                                bool exact) {
+  if (i >= bound_.size()) {
+    return Status::InvalidArgument("query index out of range");
+  }
+  if (!report_.query_status[i].ok()) return report_.query_status[i];
+  if (!IsGrouped(i)) {
+    return Status::Unsupported("query " + std::to_string(i) +
+                               " is scalar; use NoisyAnswer/TrueAnswer");
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  Result<aggregate::GroupedData> out =
+      views_.AnswerGroupedData(bound_[i].terms[0].query, /*params=*/{}, exact);
+  stats_.answer_seconds += SecondsSince(t0);
+  return out;
+}
+
 Result<double> ViewRewriteEngine::NoisyAnswer(size_t i) {
   if (i >= bound_.size()) {
     return Status::InvalidArgument("query index out of range");
   }
   if (!report_.query_status[i].ok()) return report_.query_status[i];
+  if (IsGrouped(i)) {
+    return Status::Unsupported("query " + std::to_string(i) +
+                               " is grouped; use GroupedAnswer");
+  }
   auto t0 = std::chrono::steady_clock::now();
   Result<double> out = views_.Answer(bound_[i]);
   stats_.answer_seconds += SecondsSince(t0);
@@ -212,6 +241,10 @@ Result<double> ViewRewriteEngine::TrueAnswer(size_t i) const {
     return Status::InvalidArgument("query index out of range");
   }
   if (!report_.query_status[i].ok()) return report_.query_status[i];
+  if (IsGrouped(i)) {
+    return Status::Unsupported("query " + std::to_string(i) +
+                               " is grouped; use GroupedAnswer");
+  }
   return executor_.ExecuteRewritten(rewritten_[i]);
 }
 
@@ -220,6 +253,10 @@ Result<double> ViewRewriteEngine::ExactViewAnswer(size_t i) const {
     return Status::InvalidArgument("query index out of range");
   }
   if (!report_.query_status[i].ok()) return report_.query_status[i];
+  if (IsGrouped(i)) {
+    return Status::Unsupported("query " + std::to_string(i) +
+                               " is grouped; use GroupedAnswer");
+  }
   return views_.Answer(bound_[i], /*exact=*/true);
 }
 

@@ -133,6 +133,17 @@ class ViewRewriteEngine {
   size_t NumQueries() const { return bound_.size(); }
   size_t NumViews() const { return views_.NumViews(); }
 
+  /// Whether prepared workload query `i` is a grouped aggregate (GROUP
+  /// BY): such queries are answered row-wise via GroupedAnswer; the
+  /// scalar answer paths return Unsupported for them.
+  bool IsGrouped(size_t i) const;
+
+  /// Row-carrying answer for a grouped workload query: one row per group
+  /// cell, derived aggregates computed from published measures, HAVING
+  /// evaluated post-noise. With `exact`, uses pre-noise cell totals (the
+  /// chaos/benchmark baseline). Pure post-processing: no privacy cost.
+  Result<aggregate::GroupedData> GroupedAnswer(size_t i, bool exact = false);
+
   /// Differentially private answer for workload query `i`.
   Result<double> NoisyAnswer(size_t i);
 

@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -782,9 +783,12 @@ Result<Value> Engine::ComputeAggregate(const FuncCallExpr& agg, const Rel& rel,
                                    "' takes one argument");
   }
 
+  const bool wants_moments = agg.name == "sum" || agg.name == "avg" ||
+                             agg.name == "variance" || agg.name == "stddev";
   std::set<Value> distinct_seen;
   int64_t count = 0;
   double sum = 0;
+  double sumsq = 0;
   bool sum_is_int = true;
   int64_t isum = 0;
   Value min_v, max_v;
@@ -796,9 +800,9 @@ Result<Value> Engine::ComputeAggregate(const FuncCallExpr& agg, const Rel& rel,
       if (!distinct_seen.insert(v).second) continue;
     }
     ++count;
-    if (agg.name == "sum" || agg.name == "avg") {
+    if (wants_moments) {
       if (!v.is_numeric()) {
-        return Status::TypeMismatch("SUM/AVG of non-numeric value");
+        return Status::TypeMismatch("SUM/AVG/VARIANCE of non-numeric value");
       }
       if (v.is_int()) {
         isum += v.AsInt();
@@ -806,6 +810,7 @@ Result<Value> Engine::ComputeAggregate(const FuncCallExpr& agg, const Rel& rel,
         sum_is_int = false;
       }
       sum += v.ToDouble();
+      sumsq += v.ToDouble() * v.ToDouble();
     } else if (agg.name == "min") {
       if (min_v.is_null() || v < min_v) min_v = v;
     } else if (agg.name == "max") {
@@ -820,6 +825,15 @@ Result<Value> Engine::ComputeAggregate(const FuncCallExpr& agg, const Rel& rel,
     return Value::Double(sum);
   }
   if (agg.name == "avg") return Value::Double(sum / static_cast<double>(count));
+  if (agg.name == "variance" || agg.name == "stddev") {
+    // Population moments, matching the (sum, sum-of-squares, count)
+    // derivation the synopsis path uses.
+    const double n = static_cast<double>(count);
+    const double mean = sum / n;
+    const double variance = std::max(sumsq / n - mean * mean, 0.0);
+    return Value::Double(agg.name == "variance" ? variance
+                                                : std::sqrt(variance));
+  }
   if (agg.name == "min") return min_v;
   if (agg.name == "max") return max_v;
   return Status::Unsupported("unknown aggregate '" + agg.name + "'");
@@ -1278,7 +1292,11 @@ Result<double> Executor::ExecuteRewritten(const RewrittenQuery& rq) const {
       return Status::ExecutionError("chain link '" + link.var +
                                     "' must yield a single scalar");
     }
-    Value v = rs.NumRows() == 0 ? Value::Null() : rs.rows[0][0];
+    // An empty or NULL chain scalar binds as 0, exactly like the noisy
+    // chain path (and ExecuteScalar): SUM over zero rows is SQL NULL,
+    // but a rewritten query's $var is always a number.
+    Value v = rs.NumRows() == 0 ? Value::Double(0) : rs.rows[0][0];
+    if (v.is_null()) v = Value::Double(0);
     params[link.var] = std::move(v);
   }
   double total = 0;

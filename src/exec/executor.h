@@ -18,8 +18,9 @@ using ParamMap = std::map<std::string, Value>;
 ///
 /// Supports the full query surface the paper's workloads use: multi-table
 /// joins (hash joins on equi-predicates, nested loops otherwise), LEFT and
-/// NATURAL joins, WHERE/GROUP BY/HAVING, aggregates (COUNT/SUM/AVG/MIN/MAX,
-/// DISTINCT), derived tables, WITH, correlated and non-correlated
+/// NATURAL joins, WHERE/GROUP BY/HAVING, aggregates (COUNT/SUM/AVG/MIN/MAX/
+/// VARIANCE/STDDEV, DISTINCT), derived tables, WITH, correlated and
+/// non-correlated
 /// subqueries (scalar, EXISTS, IN, ANY/SOME/ALL), COALESCE, and SQL
 /// three-valued NULL logic.
 ///
@@ -35,12 +36,16 @@ class Executor {
                             const ParamMap& params = {}) const;
 
   /// Runs a query expected to yield a single numeric cell (aggregate
-  /// without GROUP BY). NULL (e.g. SUM over zero rows) maps to 0.
+  /// without GROUP BY). Execute preserves SQL NULL semantics (SUM over
+  /// zero rows is NULL); this scalar wrapper maps that NULL — and an
+  /// empty result — to 0, mirroring the synopsis answer path.
   Result<double> ExecuteScalar(const SelectStmt& stmt,
                                const ParamMap& params = {}) const;
 
   /// Evaluates a rewritten query: executes chain links in order, binding
   /// each `$var`, then returns the signed combination of the final terms.
+  /// Chain scalars follow the same NULL-maps-to-0 rule as ExecuteScalar,
+  /// keeping the exact path consistent with the noisy one.
   Result<double> ExecuteRewritten(const RewrittenQuery& rq) const;
 
  private:

@@ -6,13 +6,36 @@
 
 namespace viewrewrite {
 
-AnswerCache::AnswerCache(size_t capacity, size_t shards)
+AnswerCache::AnswerCache(size_t capacity, size_t shards, size_t max_bytes)
     : per_shard_capacity_(
           std::max<size_t>(1, capacity / std::max<size_t>(1, shards))),
+      per_shard_bytes_(max_bytes / std::max<size_t>(1, shards)),
       shards_(std::max<size_t>(1, shards)) {}
 
 AnswerCache::Shard& AnswerCache::ShardFor(const std::string& key) {
   return shards_[Fnv1a64(key) % shards_.size()];
+}
+
+size_t AnswerCache::EntryBytes(const std::string& key, const Entry& entry) {
+  size_t bytes = key.size() + sizeof(Entry);
+  if (entry.rows != nullptr) bytes += entry.rows->ByteSize();
+  return bytes;
+}
+
+void AnswerCache::EvictWhileOver(Shard& shard) {
+  while (!shard.lru.empty() &&
+         (shard.lru.size() > per_shard_capacity_ ||
+          (per_shard_bytes_ > 0 &&
+           shard.bytes.load(std::memory_order_relaxed) > per_shard_bytes_))) {
+    // The byte budget may evict below one entry: a single grouped row set
+    // larger than the whole budget must not pin itself resident.
+    auto& victim = shard.lru.back();
+    shard.bytes.fetch_sub(EntryBytes(victim.first, victim.second),
+                          std::memory_order_relaxed);
+    shard.index.erase(victim.first);
+    shard.lru.pop_back();
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::optional<AnswerCache::Entry> AnswerCache::Get(const std::string& key) {
@@ -29,22 +52,26 @@ std::optional<AnswerCache::Entry> AnswerCache::Get(const std::string& key) {
 }
 
 void AnswerCache::Put(const std::string& key, double value, uint64_t epoch,
-                      bool outdated) {
+                      bool outdated,
+                      std::shared_ptr<const aggregate::GroupedData> rows) {
+  Entry entry{value, epoch, outdated, std::move(rows)};
+  const size_t bytes = EntryBytes(key, entry);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    it->second->second = Entry{value, epoch, outdated};
+    shard.bytes.fetch_sub(EntryBytes(key, it->second->second),
+                          std::memory_order_relaxed);
+    shard.bytes.fetch_add(bytes, std::memory_order_relaxed);
+    it->second->second = std::move(entry);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    EvictWhileOver(shard);
     return;
   }
-  if (shard.lru.size() >= per_shard_capacity_) {
-    shard.index.erase(shard.lru.back().first);
-    shard.lru.pop_back();
-    shard.evictions.fetch_add(1, std::memory_order_relaxed);
-  }
-  shard.lru.emplace_front(key, Entry{value, epoch, outdated});
+  shard.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  shard.lru.emplace_front(key, std::move(entry));
   shard.index[key] = shard.lru.begin();
+  EvictWhileOver(shard);
 }
 
 uint64_t AnswerCache::EvictOlderThan(uint64_t min_epoch) {
@@ -53,6 +80,8 @@ uint64_t AnswerCache::EvictOlderThan(uint64_t min_epoch) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       if (it->second.epoch < min_epoch) {
+        shard.bytes.fetch_sub(EntryBytes(it->first, it->second),
+                              std::memory_order_relaxed);
         shard.index.erase(it->first);
         it = shard.lru.erase(it);
         shard.evictions.fetch_add(1, std::memory_order_relaxed);
@@ -98,6 +127,14 @@ size_t AnswerCache::size() const {
   return total;
 }
 
+size_t AnswerCache::byte_size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 std::vector<CacheStripeStats> AnswerCache::StripeStatsSnapshot() const {
   std::vector<CacheStripeStats> out;
   out.reserve(shards_.size());
@@ -106,6 +143,7 @@ std::vector<CacheStripeStats> AnswerCache::StripeStatsSnapshot() const {
     s.hits = shard.hits.load(std::memory_order_relaxed);
     s.misses = shard.misses.load(std::memory_order_relaxed);
     s.evictions = shard.evictions.load(std::memory_order_relaxed);
+    s.bytes = shard.bytes.load(std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       s.entries = shard.lru.size();

@@ -4,11 +4,14 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "aggregate/grouped_result.h"
 
 namespace viewrewrite {
 
@@ -18,13 +21,14 @@ struct CacheStripeStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   size_t entries = 0;
+  size_t bytes = 0;
 };
 
-/// Sharded LRU cache of scalar answers, keyed by canonical cache key
-/// (see rewrite/canonical.h). Published answers are deterministic — the
-/// noise was drawn once at publication — so a cached value is exactly
-/// the value a full re-evaluation would produce; caching changes latency,
-/// never results.
+/// Sharded LRU cache of served answers — scalar values and grouped row
+/// sets — keyed by canonical cache key (see rewrite/canonical.h).
+/// Published answers are deterministic — the noise was drawn once at
+/// publication — so a cached value is exactly the value a full
+/// re-evaluation would produce; caching changes latency, never results.
 ///
 /// Every entry is tagged with the store **epoch** it was computed under
 /// (QueryServer bumps the epoch on each hot reload). An entry whose epoch
@@ -50,11 +54,20 @@ class AnswerCache {
     /// carried through so cached answers stay flagged exactly like
     /// recomputed ones.
     bool outdated = false;
+    /// Grouped answers: the immutable row set (post-noise, suppression
+    /// already applied). Null for scalar answers. Shared, never copied —
+    /// every cache hit hands out the same rows the flight produced.
+    std::shared_ptr<const aggregate::GroupedData> rows;
   };
 
   /// `capacity` is the total entry budget, split evenly across `shards`
   /// (each shard holds at least one entry). `shards` is clamped to >= 1.
-  AnswerCache(size_t capacity, size_t shards);
+  /// `max_bytes`, when nonzero, additionally caps each shard at
+  /// max_bytes / shards of accounted payload (key + entry + row bytes):
+  /// grouped row sets are orders of magnitude larger than scalar entries,
+  /// so the entry-count budget alone would let them grow memory
+  /// unboundedly.
+  AnswerCache(size_t capacity, size_t shards, size_t max_bytes = 0);
 
   AnswerCache(const AnswerCache&) = delete;
   AnswerCache& operator=(const AnswerCache&) = delete;
@@ -64,9 +77,11 @@ class AnswerCache {
   std::optional<Entry> Get(const std::string& key);
 
   /// Inserts (or refreshes) `key` with the given epoch tag, evicting the
-  /// shard's least recently used entry if the shard is at capacity.
+  /// shard's least recently used entries while the shard is over its
+  /// entry or byte budget.
   void Put(const std::string& key, double value, uint64_t epoch = 0,
-           bool outdated = false);
+           bool outdated = false,
+           std::shared_ptr<const aggregate::GroupedData> rows = nullptr);
 
   /// Generation-eviction hook for the synopsis lifecycle: drops every
   /// entry tagged with an epoch older than `min_epoch`, freeing the
@@ -81,6 +96,9 @@ class AnswerCache {
   /// Current resident entries (sums shard sizes; approximate under
   /// concurrent mutation).
   size_t size() const;
+  /// Accounted payload bytes resident across all shards (keys + entries +
+  /// grouped rows); approximate under concurrent mutation.
+  size_t byte_size() const;
   /// Per-stripe counters plus resident entries, for observability and the
   /// stats-sharding tests. Approximate under concurrent mutation, exact
   /// once writers are quiesced.
@@ -94,6 +112,9 @@ class AnswerCache {
     std::unordered_map<std::string,
                        std::list<std::pair<std::string, Entry>>::iterator>
         index;
+    // Accounted payload bytes resident in this shard; mutated under `mu`,
+    // read lock-free by byte_size(), hence atomic with relaxed ordering.
+    std::atomic<size_t> bytes{0};
     // Stripe-local counters: mutated under `mu`, read lock-free by the
     // snapshot methods, hence atomics with relaxed ordering.
     std::atomic<uint64_t> hits{0};
@@ -101,9 +122,15 @@ class AnswerCache {
     std::atomic<uint64_t> evictions{0};
   };
 
+  static size_t EntryBytes(const std::string& key, const Entry& entry);
+  /// Evicts from the tail while the shard is over its entry or byte
+  /// budget. Caller holds shard.mu.
+  void EvictWhileOver(Shard& shard);
+
   Shard& ShardFor(const std::string& key);
 
   size_t per_shard_capacity_;
+  size_t per_shard_bytes_;  // 0 = no byte budget
   std::vector<Shard> shards_;
 };
 

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "aggregate/suppression.h"
 #include "common/fault_injection.h"
 #include "rewrite/canonical.h"
 #include "sql/parser.h"
@@ -80,7 +81,8 @@ QueryServer::QueryServer(std::shared_ptr<const SynopsisStore> store,
   if (options_.num_threads == 0) options_.num_threads = 1;
   if (options_.enable_cache) {
     cache_ = std::make_unique<AnswerCache>(options_.cache_capacity,
-                                           options_.cache_shards);
+                                           options_.cache_shards,
+                                           options_.cache_max_bytes);
   }
   workers_.reserve(options_.num_threads);
   for (size_t i = 0; i < options_.num_threads; ++i) {
@@ -362,7 +364,7 @@ void QueryServer::Process(Task task) {
   // Raw-key probe before any parsing. A fresh hit resolves the request
   // (and its batch followers) without consulting the flight table at all;
   // an old-epoch entry is remembered as this request's stale fallback.
-  std::optional<double> stale_candidate;
+  std::optional<StalePayload> stale_candidate;
   const std::string raw_key = RawCacheKey(task.sql, task.params);
   if (cache_) {
     if (std::optional<AnswerCache::Entry> hit = cache_->Get(raw_key)) {
@@ -373,18 +375,18 @@ void QueryServer::Process(Task task) {
           Result<ServedAnswer> r{ServedAnswer{hit->value, false, 0,
                                               /*coalesced=*/true,
                                               hit->outdated, snap.epoch,
-                                              generation}};
+                                              generation, hit->rows}};
           RecordOutcome(r);
           follower.set_value(std::move(r));
         }
         Result<ServedAnswer> r{ServedAnswer{hit->value, false, 0,
                                             /*coalesced=*/false, hit->outdated,
-                                            snap.epoch, generation}};
+                                            snap.epoch, generation, hit->rows}};
         RecordOutcome(r);
         task.promise.set_value(std::move(r));
         return;
       }
-      stale_candidate = hit->value;
+      stale_candidate = StalePayload{hit->value, hit->rows};
     }
   }
 
@@ -524,26 +526,49 @@ std::optional<QueryServer::FlightOutcome> QueryServer::ComputeAnswer(
   if (cache_) {
     if (std::optional<AnswerCache::Entry> hit = cache_->Get(canonical_key)) {
       if (hit->epoch == snap.epoch) {
-        return FlightOutcome{Status::OK(), hit->value, 0, hit->outdated};
+        FlightOutcome out{Status::OK(), hit->value, 0, hit->outdated};
+        out.rows = hit->rows;
+        return out;
       }
       // An old-epoch canonical entry is a degradation fallback for every
       // waiter of this flight, including ones whose raw probe missed.
       std::lock_guard<std::mutex> lock(flights_mu_);
-      flight->shared_stale = hit->value;
+      flight->shared_stale = StalePayload{hit->value, hit->rows};
     }
   }
 
   // One answer attempt: fault point, bind against the snapshot, answer
   // from the stored noisy cells. The engine registers with a null bake
   // predicate; binding with the same predicate reproduces the
-  // register-time signatures.
+  // register-time signatures. A grouped query (single GROUP BY term, no
+  // chain) answers row-wise: suppression runs here, once per computation,
+  // so cached and coalesced consumers all see the identical filtered row
+  // set; the scalar `value` of a grouped answer is its row count.
   bool outdated = false;
+  std::shared_ptr<const aggregate::GroupedData> rows;
+  size_t suppressed = 0;
   auto attempt_answer = [&]() -> Result<double> {
     VR_FAULT_POINT(faults::kServeAnswer);
     VR_ASSIGN_OR_RETURN(BoundRewrittenQuery bound,
                         snap.store->Bind(*rq, nullptr));
     outdated = TouchesOutdatedView(*snap.store, bound,
                                    options_.outdated_ttl_generations);
+    rows = nullptr;
+    suppressed = 0;
+    const bool grouped =
+        bound.chain.empty() && bound.terms.size() == 1 &&
+        bound.terms[0].query.cell_query != nullptr &&
+        !bound.terms[0].query.cell_query->group_by.empty();
+    if (grouped) {
+      VR_ASSIGN_OR_RETURN(
+          aggregate::GroupedData data,
+          snap.store->AnswerGrouped(bound.terms[0].query, params));
+      suppressed = aggregate::ApplySuppression(
+          aggregate::SuppressionPolicy{options_.min_group_count}, &data);
+      const double row_count = static_cast<double>(data.rows.size());
+      rows = std::make_shared<const aggregate::GroupedData>(std::move(data));
+      return row_count;
+    }
     return snap.store->Answer(bound, params);
   };
 
@@ -567,13 +592,21 @@ std::optional<QueryServer::FlightOutcome> QueryServer::ComputeAnswer(
     Result<double> got = attempt_answer();
     if (got.ok()) {
       answer_breaker_.RecordSuccess();
+      if (rows != nullptr) {
+        counters_.Add(ServeCounter::kGroupedQueries);
+        if (suppressed > 0) {
+          counters_.Add(ServeCounter::kSuppressedGroups, suppressed);
+        }
+      }
       if (cache_) {
         // The leader writes each key exactly once per flight, no matter
         // how many waiters resolve with it.
-        cache_->Put(canonical_key, *got, snap.epoch, outdated);
-        cache_->Put(raw_key, *got, snap.epoch, outdated);
+        cache_->Put(canonical_key, *got, snap.epoch, outdated, rows);
+        cache_->Put(raw_key, *got, snap.epoch, outdated, rows);
       }
-      return FlightOutcome{Status::OK(), *got, attempts, outdated};
+      FlightOutcome out{Status::OK(), *got, attempts, outdated};
+      out.rows = std::move(rows);
+      return out;
     }
     last = got.status();
     if (!IsRetryableStatus(last.code())) {
@@ -599,7 +632,7 @@ std::optional<QueryServer::FlightOutcome> QueryServer::ComputeAnswer(
 void QueryServer::FinishFlight(const std::shared_ptr<Flight>& flight,
                                const FlightOutcome& out) {
   std::vector<Waiter> waiters;
-  std::optional<double> shared_stale;
+  std::optional<StalePayload> shared_stale;
   {
     // Deregister before resolving: once the keys are gone, a new
     // duplicate starts a fresh flight (or hits the cache the leader just
@@ -621,7 +654,7 @@ void QueryServer::FinishFlight(const std::shared_ptr<Flight>& flight,
 
 Result<ServedAnswer> QueryServer::ResolveWaiter(
     Waiter& w, const FlightOutcome& out,
-    const std::optional<double>& shared_stale) {
+    const std::optional<StalePayload>& shared_stale) {
   // Per-waiter resolution of the shared outcome. On success the value is
   // delivered regardless of the waiter's deadline — success beats the
   // deadline race, exactly as in the uncoalesced path where no deadline
@@ -631,7 +664,8 @@ Result<ServedAnswer> QueryServer::ResolveWaiter(
     return ServedAnswer{out.value,     /*stale=*/false,
                         w.coalesced ? 0 : out.attempts,
                         w.coalesced,   out.outdated,
-                        out.epoch,     out.generation};
+                        out.epoch,     out.generation,
+                        out.rows};
   }
   // Failure order: deadline expiry is reported as such and never degrades
   // to a stale answer; then transient failures fall back to this waiter's
@@ -644,16 +678,17 @@ Result<ServedAnswer> QueryServer::ResolveWaiter(
     return out.status;
   }
   if (options_.serve_stale && IsRetryableStatus(out.status.code())) {
-    const std::optional<double>& fallback =
+    const std::optional<StalePayload>& fallback =
         w.stale_candidate.has_value() ? w.stale_candidate : shared_stale;
     if (fallback.has_value()) {
       // The stale value's own lifecycle stamps are unknown (it came from
       // an older epoch's cache entry); the answer carries the epoch and
       // generation it degraded under, with `stale` as the flag.
-      return ServedAnswer{*fallback,   /*stale=*/true,
+      return ServedAnswer{fallback->value, /*stale=*/true,
                           w.coalesced ? 0 : out.attempts,
-                          w.coalesced, /*outdated=*/false,
-                          out.epoch,   out.generation};
+                          w.coalesced,     /*outdated=*/false,
+                          out.epoch,       out.generation,
+                          fallback->rows};
     }
   }
   return out.status;
@@ -774,11 +809,14 @@ ServeStats QueryServer::stats() const {
   s.cache_short_circuits = counters_.Total(ServeCounter::kCacheShortCircuits);
   s.batch_queries = counters_.Total(ServeCounter::kBatchQueries);
   s.batch_deduped = counters_.Total(ServeCounter::kBatchDeduped);
+  s.grouped_queries = counters_.Total(ServeCounter::kGroupedQueries);
+  s.suppressed_groups = counters_.Total(ServeCounter::kSuppressedGroups);
   if (cache_) {
     s.cache_hits = cache_->hits();
     s.cache_misses = cache_->misses();
     s.cache_evictions = cache_->evictions();
     s.cache_entries = cache_->size();
+    s.cache_bytes = cache_->byte_size();
     s.cache_stripes = cache_->num_stripes();
   }
   s.answer_seconds =

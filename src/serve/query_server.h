@@ -36,6 +36,11 @@ struct ServeOptions {
   bool enable_cache = true;
   size_t cache_capacity = 4096;
   size_t cache_shards = 8;
+  /// Byte budget for the answer cache across all shards (keys + entries +
+  /// grouped row sets). Grouped answers cache whole row sets, so the
+  /// entry-count budget alone no longer bounds memory. 0 disables the
+  /// byte budget.
+  size_t cache_max_bytes = 8u << 20;
   /// Single-flight coalescing: concurrent requests for the same query
   /// join the computation already in flight instead of re-running
   /// parse→rewrite→match→answer. All waiters of a flight receive the same
@@ -88,6 +93,17 @@ struct ServeOptions {
   /// ServeStats::outdated_served). 0, the default, flags any outdatedness
   /// at all — one missed rebuild is enough.
   uint64_t outdated_ttl_generations = 0;
+
+  // ---- Grouped-answer suppression (minimum-frequency rule). ----------------
+
+  /// Groups whose *noisy* count falls below this threshold are suppressed
+  /// in grouped answers: the row stays (group keys are public — they come
+  /// from the published domain grid, not the data) but its aggregate
+  /// columns are nulled and `GroupedRow::suppressed` is set. Suppression
+  /// is post-processing of the noisy counts, so it costs no privacy
+  /// budget; it guards utility (tiny noisy groups are mostly noise), not
+  /// privacy. <= 0 disables suppression.
+  double min_group_count = 0;
 };
 
 /// One served answer. `stale` marks a degraded response: the value comes
@@ -115,7 +131,18 @@ struct ServedAnswer {
   /// for `stale`, degraded) under.
   uint64_t epoch = 0;
   uint64_t generation = 0;
+  /// Grouped answers: the row set (group keys, noisy aggregates, per-row
+  /// noisy counts and suppression flags — suppression already applied
+  /// under ServeOptions::min_group_count). Null for scalar answers. For a
+  /// grouped answer `value` is the row count, kept so every downstream
+  /// consumer of the scalar field stays meaningful. Shared and immutable:
+  /// cache hits and coalesced waiters all hand out the same object.
+  std::shared_ptr<const aggregate::GroupedData> rows;
 };
+
+/// Alias making call sites that serve grouped row sets read naturally;
+/// same type — scalar and grouped answers flow through one pipeline.
+using ServedResult = ServedAnswer;
 
 /// Concurrent query answering over a loaded SynopsisStore: the operational
 /// complement of ViewRewriteEngine. Prepare/Publish runs once, offline,
@@ -291,13 +318,20 @@ class QueryServer {
     std::vector<std::promise<Result<ServedAnswer>>> followers;
   };
 
+  /// Previous-epoch cache payload kept as a degradation fallback: the
+  /// scalar value plus, for grouped answers, the row set it carried.
+  struct StalePayload {
+    double value = 0;
+    std::shared_ptr<const aggregate::GroupedData> rows;
+  };
+
   /// One request waiting on a flight's outcome. The leader's own promise
   /// is waiter #0 of its flight (coalesced = false); joined requests and
   /// batch followers carry coalesced = true.
   struct Waiter {
     std::promise<Result<ServedAnswer>> promise;
     Deadline deadline;
-    std::optional<double> stale_candidate;
+    std::optional<StalePayload> stale_candidate;
     bool coalesced = false;
   };
 
@@ -310,7 +344,7 @@ class QueryServer {
   struct Flight {
     std::vector<Waiter> waiters;
     std::vector<std::string> keys;
-    std::optional<double> shared_stale;
+    std::optional<StalePayload> shared_stale;
     std::atomic<int64_t> deadline_ns{kInfiniteDeadlineNs};
     uint64_t epoch = 0;
   };
@@ -318,7 +352,8 @@ class QueryServer {
   /// What a completed flight delivers to every waiter: a value (status
   /// OK) or a typed error, plus the attempts the leader consumed and the
   /// snapshot provenance (epoch/generation/outdated flag) every waiter's
-  /// ServedAnswer is stamped with.
+  /// ServedAnswer is stamped with. `rows` carries a grouped answer's row
+  /// set (null for scalar flights).
   struct FlightOutcome {
     Status status;
     double value = 0;
@@ -326,6 +361,7 @@ class QueryServer {
     bool outdated = false;
     uint64_t epoch = 0;
     uint64_t generation = 0;
+    std::shared_ptr<const aggregate::GroupedData> rows;
   };
 
   static constexpr int64_t kInfiniteDeadlineNs =
@@ -357,8 +393,9 @@ class QueryServer {
   /// under its own deadline/stale semantics.
   void FinishFlight(const std::shared_ptr<Flight>& flight,
                     const FlightOutcome& out);
-  Result<ServedAnswer> ResolveWaiter(Waiter& w, const FlightOutcome& out,
-                                     const std::optional<double>& shared_stale);
+  Result<ServedAnswer> ResolveWaiter(
+      Waiter& w, const FlightOutcome& out,
+      const std::optional<StalePayload>& shared_stale);
   /// Counts one resolved request (completed/failed and their subsets).
   void RecordOutcome(const Result<ServedAnswer>& r);
   Deadline MakeDeadline(std::chrono::nanoseconds timeout) const;

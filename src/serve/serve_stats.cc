@@ -37,8 +37,10 @@ std::ostream& operator<<(std::ostream& os, const ServeStats& s) {
                    static_cast<double>(lookups))
        << "% hit rate)";
   }
-  os << " entries=" << s.cache_entries << " evictions=" << s.cache_evictions
-     << " stripes=" << s.cache_stripes;
+  os << " entries=" << s.cache_entries << " bytes=" << s.cache_bytes
+     << " evictions=" << s.cache_evictions << " stripes=" << s.cache_stripes;
+  os << " | grouped: queries=" << s.grouped_queries
+     << " suppressed_groups=" << s.suppressed_groups;
   os << " | answer_seconds=" << s.answer_seconds;
   return os;
 }

@@ -67,10 +67,22 @@ struct ServeStats {
                                    // within their batch (subset of
                                    // coalesced_waiters)
 
+  // ---- Grouped serving. ----------------------------------------------------
+  uint64_t grouped_queries = 0;   // grouped (GROUP BY) answer computations
+                                  // that succeeded on the answer path
+                                  // (cache hits of grouped answers are not
+                                  // recounted here)
+  uint64_t suppressed_groups = 0;  // groups whose noisy count fell below
+                                   // ServeOptions::min_group_count and were
+                                   // suppressed (summed across grouped
+                                   // computations)
+
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;  // LRU evictions across all stripes
   size_t cache_entries = 0;    // resident cache entries at snapshot time
+  size_t cache_bytes = 0;      // accounted payload bytes resident (keys +
+                               // entries + grouped row sets)
   size_t cache_stripes = 0;    // stripe (shard) count of the answer cache
   /// Total wall time spent answering across workers (sums over threads, so
   /// it can exceed elapsed time under concurrency).
@@ -104,6 +116,8 @@ enum class ServeCounter : size_t {
   kCacheShortCircuits,
   kBatchQueries,
   kBatchDeduped,
+  kGroupedQueries,
+  kSuppressedGroups,
   kAnswerNanos,
   kNumCounters,  // sentinel
 };

@@ -904,6 +904,27 @@ Result<BoundQuery> SynopsisStore::BindScalar(const SelectStmt& query,
   return bound;
 }
 
+Result<BoundQuery> SynopsisStore::BindGrouped(const SelectStmt& query,
+                                              const BakePredicate& bake) const {
+  VR_ASSIGN_OR_RETURN(GroupedQueryShape shape,
+                      AnalyzeGroupedQuery(query, bake));
+  auto it = view_index_.find(shape.base.signature);
+  if (it == view_index_.end()) {
+    return Status::NotFound(
+        "no stored view matches the grouped query's join structure "
+        "(signature: " +
+        shape.base.signature + ")");
+  }
+  // MatchShapeToView checks WHERE attributes and measures; the group
+  // columns were folded into shape.base.attributes by the analyzer, so
+  // one check covers both.
+  VR_RETURN_NOT_OK(MatchShapeToView(shape.base, *views_[it->second]));
+  BoundQuery bound;
+  bound.view_signature = shape.base.signature;
+  bound.cell_query = query.Clone();
+  return bound;
+}
+
 Result<BoundRewrittenQuery> SynopsisStore::Bind(const RewrittenQuery& rq,
                                                 const BakePredicate& bake) const {
   BoundRewrittenQuery out;
@@ -912,8 +933,11 @@ Result<BoundRewrittenQuery> SynopsisStore::Bind(const RewrittenQuery& rq,
     out.chain.push_back({link.var, std::move(bq)});
   }
   for (const auto& term : rq.combination.terms) {
-    VR_ASSIGN_OR_RETURN(BoundQuery bq, BindScalar(*term.query, bake));
-    out.terms.push_back({term.coeff, std::move(bq)});
+    Result<BoundQuery> bq = term.query->group_by.empty()
+                                ? BindScalar(*term.query, bake)
+                                : BindGrouped(*term.query, bake);
+    VR_RETURN_NOT_OK(bq.status());
+    out.terms.push_back({term.coeff, std::move(*bq)});
   }
   return out;
 }
@@ -926,6 +950,16 @@ Result<double> SynopsisStore::AnswerScalar(const BoundQuery& q,
                             q.view_signature + "'");
   }
   return syn->AnswerScalar(*q.cell_query, params);
+}
+
+Result<aggregate::GroupedData> SynopsisStore::AnswerGrouped(
+    const BoundQuery& q, const ParamMap& params) const {
+  const Synopsis* syn = Find(q.view_signature);
+  if (syn == nullptr) {
+    return Status::NotFound("no stored synopsis for view '" +
+                            q.view_signature + "'");
+  }
+  return syn->AnswerGroupedData(*q.cell_query, params);
 }
 
 Result<double> SynopsisStore::Answer(const BoundRewrittenQuery& q,

@@ -154,12 +154,27 @@ class SynopsisStore {
   Result<BoundQuery> BindScalar(const SelectStmt& query,
                                 const BakePredicate& bake) const;
 
+  /// Serve-time matching for a grouped aggregate: same analysis
+  /// RegisterGrouped uses (AnalyzeGroupedQuery), so a grouped query that
+  /// registered in-process also binds after a save/load round trip. The
+  /// bound cell query is the full grouped statement (GROUP BY + HAVING);
+  /// answering enumerates group cells and filters post-noise.
+  Result<BoundQuery> BindGrouped(const SelectStmt& query,
+                                 const BakePredicate& bake) const;
+
   /// Binds a full rewritten query (chain links + combination terms).
+  /// Grouped terms (non-empty GROUP BY) route through BindGrouped.
   Result<BoundRewrittenQuery> Bind(const RewrittenQuery& rq,
                                    const BakePredicate& bake) const;
 
   /// Answers one bound scalar from the stored noisy cells.
   Result<double> AnswerScalar(const BoundQuery& q, const ParamMap& params) const;
+
+  /// Answers a bound grouped query from the stored noisy cells: one row
+  /// per group cell with per-row noisy counts (the suppression input),
+  /// derived aggregates from published measures, HAVING post-noise.
+  Result<aggregate::GroupedData> AnswerGrouped(const BoundQuery& q,
+                                               const ParamMap& params) const;
 
   /// Answers a bound rewritten query: chain links evaluate first (their
   /// results bind $var parameters), then the signed combination, exactly

@@ -60,7 +60,8 @@ BinaryOp NegateComparison(BinaryOp op) {
 
 bool FuncCallExpr::IsAggregate() const {
   return name == "count" || name == "sum" || name == "avg" ||
-         name == "min" || name == "max";
+         name == "min" || name == "max" || name == "variance" ||
+         name == "stddev";
 }
 
 // Clone implementations ------------------------------------------------------

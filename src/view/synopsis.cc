@@ -7,6 +7,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "aggregate/aggregate_planner.h"
 #include "common/limits.h"
 #include "dp/truncation.h"
 #include "rewrite/analysis.h"
@@ -774,6 +775,13 @@ Result<double> Synopsis::AnswerScalarExact(const SelectStmt& query,
 Result<ResultSet> Synopsis::AnswerGrouped(const SelectStmt& query,
                                           const ParamMap& params,
                                           bool use_exact) const {
+  VR_ASSIGN_OR_RETURN(aggregate::GroupedData data,
+                      AnswerGroupedData(query, params, use_exact));
+  return data.ToResultSet();
+}
+
+Result<aggregate::GroupedData> Synopsis::AnswerGroupedData(
+    const SelectStmt& query, const ParamMap& params, bool use_exact) const {
   if (query.group_by.empty()) {
     return Status::InvalidArgument("AnswerGrouped requires GROUP BY");
   }
@@ -792,25 +800,30 @@ Result<ResultSet> Synopsis::AnswerGrouped(const SelectStmt& query,
     group_dims.push_back(static_cast<size_t>(dim));
   }
 
-  // Output columns: group keys followed by the aggregate items.
-  ResultSet rs;
-  std::vector<const FuncCallExpr*> aggs;
+  // Output columns: group keys and aggregate items in select-list order.
+  aggregate::GroupedData data;
   for (const SelectItem& item : query.items) {
     if (item.is_star || !item.expr) {
       return Status::Unsupported("SELECT * in a grouped synopsis query");
     }
     if (!item.alias.empty()) {
-      rs.columns.push_back(item.alias);
+      data.columns.push_back(item.alias);
     } else if (item.expr->kind == ExprKind::kColumnRef) {
-      rs.columns.push_back(
+      data.columns.push_back(
           static_cast<const ColumnRefExpr&>(*item.expr).column);
     } else if (item.expr->kind == ExprKind::kFuncCall) {
-      rs.columns.push_back(
+      data.columns.push_back(
           static_cast<const FuncCallExpr&>(*item.expr).name);
     } else {
-      rs.columns.push_back("expr");
+      data.columns.push_back("expr");
     }
+    data.is_aggregate.push_back(item.expr->kind != ExprKind::kColumnRef);
   }
+
+  // The synthetic COUNT(*) backing every row's noisy_count.
+  std::vector<ExprPtr> star_args;
+  star_args.push_back(std::make_unique<StarExpr>());
+  const FuncCallExpr count_star("count", std::move(star_args));
 
   // Enumerate group cells (value cells only; the NULL/other padding cell
   // is not a publishable group key) and answer each slice by pinning the
@@ -818,20 +831,54 @@ Result<ResultSet> Synopsis::AnswerGrouped(const SelectStmt& query,
   std::vector<int64_t> combo(group_dims.size(), 0);
   std::function<Status(size_t)> recurse = [&](size_t d) -> Status {
     if (d == group_dims.size()) {
-      SelectStmtPtr slice = std::make_unique<SelectStmt>();
-      // Scalar item: reuse the scalar path per aggregate; build the row.
       ExprPtr where = query.where ? query.where->Clone() : nullptr;
-      CellContext key_ctx;
-      Row row;
+      // Group-key values, for select items and for HAVING column refs.
+      std::map<std::string, Value> group_values;
       for (size_t gi = 0; gi < group_dims.size(); ++gi) {
         const ViewAttribute& attr = view_->attributes()[group_dims[gi]];
         Value rep = Representative(group_dims[gi], combo[gi]);
+        group_values[attr.column] = rep;
+        group_values[attr.table + "." + attr.column] = rep;
         where = MakeAnd(std::move(where),
                         MakeBinary(BinaryOp::kEq,
                                    MakeColumnRef(attr.table, attr.column),
-                                   MakeLiteral(rep)));
+                                   MakeLiteral(std::move(rep))));
       }
-      bool first_agg = true;
+
+      // Answer each distinct aggregate call once per group (select list
+      // and HAVING share the memo), always including COUNT(*) for the
+      // suppression input.
+      std::map<std::string, double> agg_values;
+      auto answer_agg = [&](const FuncCallExpr& agg) -> Status {
+        const std::string key = ToSql(agg);
+        if (agg_values.count(key) != 0) return Status::OK();
+        VR_ASSIGN_OR_RETURN(
+            double v, AnswerAggCall(agg, where.get(), params, use_exact));
+        agg_values[key] = v;
+        return Status::OK();
+      };
+      VR_RETURN_NOT_OK(answer_agg(count_star));
+      std::vector<const FuncCallExpr*> aggs;
+      for (const SelectItem& item : query.items) {
+        CollectAggCallsForAnswer(item.expr.get(), &aggs);
+      }
+      CollectAggCallsForAnswer(query.having.get(), &aggs);
+      for (const FuncCallExpr* agg : aggs) VR_RETURN_NOT_OK(answer_agg(*agg));
+
+      aggregate::EvalContext ctx;
+      ctx.aggregates = &agg_values;
+      ctx.columns = &group_values;
+
+      // Post-noise HAVING: the aggregates above are already published
+      // noisy values, so filtering on them is pure post-processing.
+      if (query.having != nullptr) {
+        VR_ASSIGN_OR_RETURN(bool keep,
+                            aggregate::EvaluateHaving(*query.having, ctx));
+        if (!keep) return Status::OK();
+      }
+
+      aggregate::GroupedRow row;
+      row.noisy_count = agg_values[ToSql(count_star)];
       for (const SelectItem& item : query.items) {
         if (item.expr->kind == ExprKind::kColumnRef) {
           // Group key output.
@@ -840,7 +887,7 @@ Result<ResultSet> Synopsis::AnswerGrouped(const SelectStmt& query,
           bool emitted = false;
           for (size_t gi = 0; gi < group_dims.size(); ++gi) {
             if (static_cast<int>(group_dims[gi]) == dim) {
-              row.push_back(Representative(group_dims[gi], combo[gi]));
+              row.values.push_back(Representative(group_dims[gi], combo[gi]));
               emitted = true;
               break;
             }
@@ -852,15 +899,14 @@ Result<ResultSet> Synopsis::AnswerGrouped(const SelectStmt& query,
           }
           continue;
         }
-        (void)first_agg;
-        SelectStmt scalar;
-        scalar.items.push_back(item.Clone());
-        scalar.where = where ? where->Clone() : nullptr;
-        VR_ASSIGN_OR_RETURN(double v,
-                            AnswerScalarImpl(scalar, params, use_exact));
-        row.push_back(Value::Double(v));
+        VR_ASSIGN_OR_RETURN(Value v, aggregate::EvalExpr(*item.expr, ctx));
+        if (!v.is_numeric()) {
+          return Status::TypeMismatch(
+              "grouped aggregate item did not evaluate to a number");
+        }
+        row.values.push_back(Value::Double(v.ToDouble()));
       }
-      rs.rows.push_back(std::move(row));
+      data.rows.push_back(std::move(row));
       return Status::OK();
     }
     const int64_t cells =
@@ -872,13 +918,12 @@ Result<ResultSet> Synopsis::AnswerGrouped(const SelectStmt& query,
     return Status::OK();
   };
   VR_RETURN_NOT_OK(recurse(0));
-  return rs;
+  return data;
 }
 
 Result<double> Synopsis::AnswerScalarImpl(const SelectStmt& query,
                                           const ParamMap& params,
                                           bool use_exact) const {
-  const auto& arrays = use_exact ? exact_ : noisy_;
   if (query.items.size() != 1 || query.items[0].is_star) {
     return Status::InvalidArgument(
         "synopsis answering expects a single aggregate item");
@@ -892,56 +937,59 @@ Result<double> Synopsis::AnswerScalarImpl(const SelectStmt& query,
 
   std::map<std::string, double> agg_values;
   for (const FuncCallExpr* agg : aggs) {
-    double value = 0;
-    if (agg->name == "count") {
-      if (!use_exact) {
-        VR_ASSIGN_OR_RETURN(std::optional<double> hier,
-                            TryHierarchicalCount(query.where.get(), params));
-        if (hier.has_value()) {
-          agg_values[ToSql(*agg)] = *hier;
-          continue;
-        }
-      }
-      VR_ASSIGN_OR_RETURN(value, SumMatchingCells(arrays.at("count"),
-                                                  query.where.get(), params));
-    } else if (agg->name == "sum") {
-      std::string key = "sum:" + ToSql(*agg->args[0]);
-      auto it = arrays.find(key);
-      if (it == arrays.end()) {
-        return Status::NotFound("view has no measure '" + key + "'");
-      }
-      VR_ASSIGN_OR_RETURN(
-          value, SumMatchingCells(it->second, query.where.get(), params));
-    } else if (agg->name == "avg") {
-      std::string key = "sum:" + ToSql(*agg->args[0]);
-      auto it = arrays.find(key);
-      if (it == arrays.end()) {
-        return Status::NotFound("view has no measure '" + key +
-                                "' (needed for AVG)");
-      }
-      VR_ASSIGN_OR_RETURN(
-          double sum, SumMatchingCells(it->second, query.where.get(), params));
-      VR_ASSIGN_OR_RETURN(double cnt,
-                          SumMatchingCells(arrays.at("count"),
-                                           query.where.get(), params));
-      value = sum / std::max(cnt, 1.0);
-    } else if (agg->name == "min" || agg->name == "max") {
-      if (agg->args.size() != 1 ||
-          agg->args[0]->kind != ExprKind::kColumnRef) {
-        return Status::Unsupported("MIN/MAX over non-column expressions");
-      }
-      const auto& col = static_cast<const ColumnRefExpr&>(*agg->args[0]);
-      VR_ASSIGN_OR_RETURN(value,
-                          EstimateExtremum(col.column, agg->name == "max",
-                                           query.where.get(), params,
-                                           use_exact));
-    } else {
-      return Status::Unsupported("aggregate '" + agg->name +
-                                 "' in synopsis answering");
-    }
+    VR_ASSIGN_OR_RETURN(double value, AnswerAggCall(*agg, query.where.get(),
+                                                    params, use_exact));
     agg_values[ToSql(*agg)] = value;
   }
   return EvalAggregateExpr(item, agg_values);
+}
+
+Result<double> Synopsis::AnswerAggCall(const FuncCallExpr& agg,
+                                       const Expr* where,
+                                       const ParamMap& params,
+                                       bool use_exact) const {
+  const auto& arrays = use_exact ? exact_ : noisy_;
+  VR_ASSIGN_OR_RETURN(aggregate::AggregatePlan plan,
+                      aggregate::PlanAggregate(agg));
+  if (plan.is_extremum) {
+    const auto& col = static_cast<const ColumnRefExpr&>(*plan.arg);
+    return EstimateExtremum(col.column, agg.name == "max", where, params,
+                            use_exact);
+  }
+  double count = 0;
+  double sum = 0;
+  double sumsq = 0;
+  if (plan.derivation == aggregate::Derivation::kCount || plan.needs_count) {
+    bool answered = false;
+    if (plan.derivation == aggregate::Derivation::kCount && !use_exact) {
+      VR_ASSIGN_OR_RETURN(std::optional<double> hier,
+                          TryHierarchicalCount(where, params));
+      if (hier.has_value()) {
+        count = *hier;
+        answered = true;
+      }
+    }
+    if (!answered) {
+      VR_ASSIGN_OR_RETURN(count,
+                          SumMatchingCells(arrays.at("count"), where, params));
+    }
+  }
+  if (!plan.sum_key.empty()) {
+    auto it = arrays.find(plan.sum_key);
+    if (it == arrays.end()) {
+      return Status::NotFound("view has no measure '" + plan.sum_key + "'");
+    }
+    VR_ASSIGN_OR_RETURN(sum, SumMatchingCells(it->second, where, params));
+  }
+  if (!plan.sumsq_key.empty()) {
+    auto it = arrays.find(plan.sumsq_key);
+    if (it == arrays.end()) {
+      return Status::NotFound("view has no measure '" + plan.sumsq_key +
+                              "' (needed for " + agg.name + ")");
+    }
+    VR_ASSIGN_OR_RETURN(sumsq, SumMatchingCells(it->second, where, params));
+  }
+  return aggregate::EvaluateDerived(plan.derivation, count, sum, sumsq);
 }
 
 }  // namespace viewrewrite

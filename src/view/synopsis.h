@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "aggregate/grouped_result.h"
 #include "catalog/schema.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -77,6 +78,17 @@ class Synopsis {
   /// output row per group cell, keyed by the cell representative, with
   /// the noisy aggregate per group. This is the private histogram release
   /// for workloads that want per-group results instead of one scalar.
+  /// Derived aggregates (AVG, VARIANCE, STDDEV) combine published
+  /// measures per the planner; a HAVING clause is evaluated over the
+  /// noisy per-group aggregates (pure post-processing) and filters the
+  /// rows. Every row carries the group's noisy count for the serve
+  /// layer's suppression rule.
+  Result<aggregate::GroupedData> AnswerGroupedData(const SelectStmt& query,
+                                                   const ParamMap& params,
+                                                   bool use_exact = false)
+      const;
+
+  /// Flattened convenience wrapper around AnswerGroupedData.
   Result<ResultSet> AnswerGrouped(const SelectStmt& query,
                                   const ParamMap& params,
                                   bool use_exact = false) const;
@@ -112,6 +124,12 @@ class Synopsis {
   Result<double> AnswerScalarImpl(const SelectStmt& query,
                                   const ParamMap& params,
                                   bool use_exact) const;
+
+  /// Answers one aggregate call over the cells matching `where` by
+  /// combining published measures per its AggregatePlan (the shared
+  /// engine behind both the scalar and the grouped answer paths).
+  Result<double> AnswerAggCall(const FuncCallExpr& agg, const Expr* where,
+                               const ParamMap& params, bool use_exact) const;
 
   Result<double> SumMatchingCells(const std::vector<double>& array,
                                   const Expr* where,

@@ -15,15 +15,15 @@ Result<BoundQuery> ViewManager::RegisterGrouped(const SelectStmt& query,
   if (query.group_by.empty()) {
     return Status::InvalidArgument("RegisterGrouped requires GROUP BY");
   }
-  if (query.having != nullptr) {
-    return Status::Unsupported(
-        "HAVING on grouped synopsis queries is not supported");
-  }
   // Register via a scalar proxy whose WHERE additionally references the
   // group columns, so they become view attributes; then rebind the
   // original grouped statement.
   SelectStmtPtr proxy = query.Clone();
   proxy->group_by.clear();
+  // HAVING aggregates are collected below and registered like select-list
+  // ones; the scalar proxy itself must carry no HAVING (the scalar
+  // analysis rejects it, and its filtering is post-noise anyway).
+  proxy->having = nullptr;
   proxy->items.clear();
   SelectItem count_item;
   std::vector<ExprPtr> star_args;
@@ -45,17 +45,25 @@ Result<BoundQuery> ViewManager::RegisterGrouped(const SelectStmt& query,
                   return args;
                 }()));
   }
-  // Register once per aggregate item so every measure the grouped query
-  // needs lands on the (single, shared) view.
+  // Register once per aggregate call — select list and HAVING alike — so
+  // every measure the grouped query needs lands on the (single, shared)
+  // view. The scalar registration expands derived aggregates through the
+  // planner, so AVG contributes (sum, count) and VARIANCE/STDDEV
+  // contribute (sum, sum-of-squares, count) companion measures here, at
+  // register time; answering them later is budget-free post-processing.
   BoundQuery bound;
   bool registered = false;
+  std::vector<const FuncCallExpr*> aggs;
   for (const SelectItem& item : query.items) {
-    if (item.expr && item.expr->kind == ExprKind::kFuncCall &&
-        static_cast<const FuncCallExpr&>(*item.expr).IsAggregate()) {
-      proxy->items[0] = item.Clone();
-      VR_ASSIGN_OR_RETURN(bound, RegisterScalar(*proxy, bake));
-      registered = true;
-    }
+    CollectAggregateCalls(item.expr.get(), &aggs);
+  }
+  CollectAggregateCalls(query.having.get(), &aggs);
+  for (const FuncCallExpr* agg : aggs) {
+    SelectItem item;
+    item.expr = agg->Clone();
+    proxy->items[0] = std::move(item);
+    VR_ASSIGN_OR_RETURN(bound, RegisterScalar(*proxy, bake));
+    registered = true;
   }
   if (!registered) {
     VR_ASSIGN_OR_RETURN(bound, RegisterScalar(*proxy, bake));
@@ -75,6 +83,18 @@ Result<ResultSet> ViewManager::AnswerGrouped(const BoundQuery& q,
                             q.view_signature + "'");
   }
   return it->second.AnswerGrouped(*q.cell_query, params, exact);
+}
+
+Result<aggregate::GroupedData> ViewManager::AnswerGroupedData(
+    const BoundQuery& q, const ParamMap& params, bool exact) const {
+  auto it = synopses_.find(q.view_signature);
+  if (it == synopses_.end()) {
+    auto failed = failed_views_.find(q.view_signature);
+    if (failed != failed_views_.end()) return failed->second;
+    return Status::NotFound("no synopsis published for view '" +
+                            q.view_signature + "'");
+  }
+  return it->second.AnswerGroupedData(*q.cell_query, params, exact);
 }
 
 Result<BoundQuery> ViewManager::RegisterScalar(const SelectStmt& query,
@@ -156,10 +176,17 @@ Result<BoundRewrittenQuery> ViewManager::RegisterRewritten(
     out.chain.push_back(std::move(l));
   }
   for (const auto& term : rq.combination.terms) {
-    VR_ASSIGN_OR_RETURN(BoundQuery bq, RegisterScalar(*term.query, bake));
+    // Grouped terms (the rewriter passes grouped statements through as a
+    // single coefficient-1 term) register through the grouped path: the
+    // group columns become view attributes and the bound cell query
+    // keeps its GROUP BY/HAVING for row-carrying answering.
+    Result<BoundQuery> bq = term.query->group_by.empty()
+                                ? RegisterScalar(*term.query, bake)
+                                : RegisterGrouped(*term.query, bake);
+    VR_RETURN_NOT_OK(bq.status());
     BoundRewrittenQuery::Term t;
     t.coeff = term.coeff;
-    t.query = std::move(bq);
+    t.query = std::move(*bq);
     out.terms.push_back(std::move(t));
   }
   return out;

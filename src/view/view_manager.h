@@ -181,6 +181,14 @@ class ViewManager {
   Result<ResultSet> AnswerGrouped(const BoundQuery& q, const ParamMap& params,
                                   bool exact = false) const;
 
+  /// Row-carrying grouped answer: group keys, per-row noisy counts (the
+  /// suppression input) and per-column aggregate flags, with HAVING
+  /// evaluated post-noise. The serve layer and the chaos baselines both
+  /// consume this form.
+  Result<aggregate::GroupedData> AnswerGroupedData(const BoundQuery& q,
+                                                   const ParamMap& params,
+                                                   bool exact = false) const;
+
   /// Registration variant for grouped queries: group-by columns become
   /// view attributes alongside the filter columns.
   Result<BoundQuery> RegisterGrouped(const SelectStmt& query,

@@ -1,13 +1,13 @@
 #include "view/view_matcher.h"
 
+#include "aggregate/aggregate_planner.h"
 #include "rewrite/analysis.h"
 #include "sql/printer.h"
 
 namespace viewrewrite {
 
-namespace {
-
-void CollectAggCalls(const Expr* e, std::vector<const FuncCallExpr*>* out) {
+void CollectAggregateCalls(const Expr* e,
+                           std::vector<const FuncCallExpr*>* out) {
   if (e == nullptr) return;
   if (e->kind == ExprKind::kFuncCall) {
     const auto* f = static_cast<const FuncCallExpr*>(e);
@@ -15,18 +15,62 @@ void CollectAggCalls(const Expr* e, std::vector<const FuncCallExpr*>* out) {
       out->push_back(f);
       return;
     }
-    for (const auto& a : f->args) CollectAggCalls(a.get(), out);
+    for (const auto& a : f->args) CollectAggregateCalls(a.get(), out);
     return;
   }
   if (e->kind == ExprKind::kBinary) {
     const auto* b = static_cast<const BinaryExpr*>(e);
-    CollectAggCalls(b->left.get(), out);
-    CollectAggCalls(b->right.get(), out);
+    CollectAggregateCalls(b->left.get(), out);
+    CollectAggregateCalls(b->right.get(), out);
     return;
   }
   if (e->kind == ExprKind::kUnary) {
-    CollectAggCalls(static_cast<const UnaryExpr*>(e)->operand.get(), out);
+    CollectAggregateCalls(static_cast<const UnaryExpr*>(e)->operand.get(),
+                          out);
   }
+}
+
+namespace {
+
+// Translates one aggregate call into the measures it needs, via the
+// derived-measure planner: this is where AVG gains its count companion
+// and VARIANCE/STDDEV their sum-of-squares, both at register time (so
+// the companions get published) and at serve time (so a loaded view is
+// checked for them).
+Status AppendMeasureNeeds(const FuncCallExpr& agg,
+                          std::vector<ScalarQueryShape::MeasureNeed>* out) {
+  using Kind = ScalarQueryShape::MeasureNeed::Kind;
+  Result<aggregate::AggregatePlan> plan = aggregate::PlanAggregate(agg);
+  if (!plan.ok()) return plan.status();
+  if (plan->is_extremum) {
+    const auto& col = static_cast<const ColumnRefExpr&>(*plan->arg);
+    ScalarQueryShape::MeasureNeed need;
+    need.kind = Kind::kExtremum;
+    need.table = col.table;
+    need.column = col.column;
+    out->push_back(std::move(need));
+    return Status::OK();
+  }
+  if (!plan->sum_key.empty()) {
+    ScalarQueryShape::MeasureNeed need;
+    need.kind = Kind::kSum;
+    need.expr = plan->arg->Clone();
+    need.key = plan->sum_key;
+    out->push_back(std::move(need));
+  }
+  if (!plan->sumsq_key.empty()) {
+    ScalarQueryShape::MeasureNeed need;
+    need.kind = Kind::kSum;
+    need.expr = plan->square->Clone();
+    need.key = plan->sumsq_key;
+    out->push_back(std::move(need));
+  }
+  if (plan->needs_count) {
+    ScalarQueryShape::MeasureNeed need;
+    need.kind = Kind::kCount;
+    out->push_back(std::move(need));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -73,35 +117,94 @@ Result<ScalarQueryShape> AnalyzeScalarQuery(const SelectStmt& query,
 
   // Measures from the aggregate item.
   std::vector<const FuncCallExpr*> aggs;
-  CollectAggCalls(query.items[0].expr.get(), &aggs);
+  CollectAggregateCalls(query.items[0].expr.get(), &aggs);
   if (aggs.empty()) {
     return Status::InvalidArgument("workload query has no aggregate: " +
                                    ToSql(query));
   }
   for (const FuncCallExpr* agg : aggs) {
-    ScalarQueryShape::MeasureNeed need;
-    if (agg->name == "count") {
-      need.kind = ScalarQueryShape::MeasureNeed::Kind::kCount;
-    } else if (agg->name == "sum" || agg->name == "avg") {
-      const Expr& arg = *agg->args[0];
-      need.kind = ScalarQueryShape::MeasureNeed::Kind::kSum;
-      need.expr = arg.Clone();
-      need.key = "sum:" + ToSql(arg);
-    } else if (agg->name == "min" || agg->name == "max") {
-      if (agg->args.size() != 1 ||
-          agg->args[0]->kind != ExprKind::kColumnRef) {
-        return Status::Unsupported("MIN/MAX over non-column expressions");
-      }
-      const auto& col = static_cast<const ColumnRefExpr&>(*agg->args[0]);
-      need.kind = ScalarQueryShape::MeasureNeed::Kind::kExtremum;
-      need.table = col.table;
-      need.column = col.column;
-    } else {
-      return Status::Unsupported("aggregate '" + agg->name +
-                                 "' in workload query");
-    }
-    shape.measures.push_back(std::move(need));
+    VR_RETURN_NOT_OK(AppendMeasureNeeds(*agg, &shape.measures));
   }
+  return shape;
+}
+
+Result<GroupedQueryShape> AnalyzeGroupedQuery(const SelectStmt& query,
+                                              const BakePredicate& bake) {
+  if (query.group_by.empty()) {
+    return Status::InvalidArgument(
+        "grouped matching expects GROUP BY, got: " + ToSql(query));
+  }
+  GroupedQueryShape shape;
+
+  // Same conjunct split and signature computation as the scalar path:
+  // grouped queries share views (and synopses) with the scalar queries
+  // over the same FROM.
+  std::vector<const Expr*> baked;
+  for (const Expr* c : CollectConjuncts(query.where.get())) {
+    if (bake && bake(*c)) {
+      baked.push_back(c);
+    } else {
+      shape.base.cell_conjuncts.push_back(c);
+    }
+  }
+  shape.base.baked_where = ConjunctionOf(baked);
+  for (const auto& f : query.from) shape.base.signature += ToSql(*f) + " , ";
+  if (shape.base.baked_where) {
+    shape.base.signature += "|B:" + ToSql(*shape.base.baked_where);
+  }
+
+  std::vector<const ColumnRefExpr*> refs;
+  for (const Expr* c : shape.base.cell_conjuncts) {
+    CollectColumnRefsShallow(c, &refs);
+  }
+  for (const ColumnRefExpr* r : refs) {
+    shape.base.attributes.push_back({r->table, r->column});
+  }
+
+  // Group columns are dimensions too: the answer enumerates their cells.
+  for (const ExprPtr& g : query.group_by) {
+    if (g->kind != ExprKind::kColumnRef) {
+      return Status::Unsupported("GROUP BY over non-column expressions");
+    }
+    const auto& col = static_cast<const ColumnRefExpr&>(*g);
+    shape.group_columns.push_back({col.table, col.column});
+    shape.base.attributes.push_back({col.table, col.column});
+  }
+
+  // Measures: every aggregate in the select list and in HAVING, expanded
+  // through the planner, plus the count histogram — the noisy per-group
+  // count always backs the minimum-frequency suppression rule.
+  bool any_aggregate = false;
+  for (const SelectItem& item : query.items) {
+    if (item.is_star) {
+      return Status::InvalidArgument("SELECT * is not a grouped aggregate");
+    }
+    if (item.expr->kind == ExprKind::kColumnRef) continue;  // group key
+    std::vector<const FuncCallExpr*> aggs;
+    CollectAggregateCalls(item.expr.get(), &aggs);
+    if (aggs.empty()) {
+      return Status::Unsupported(
+          "grouped select items must be group columns or aggregates");
+    }
+    any_aggregate = true;
+    for (const FuncCallExpr* agg : aggs) {
+      VR_RETURN_NOT_OK(AppendMeasureNeeds(*agg, &shape.base.measures));
+    }
+  }
+  if (!any_aggregate) {
+    return Status::InvalidArgument("grouped query has no aggregate: " +
+                                   ToSql(query));
+  }
+  if (query.having != nullptr) {
+    std::vector<const FuncCallExpr*> aggs;
+    CollectAggregateCalls(query.having.get(), &aggs);
+    for (const FuncCallExpr* agg : aggs) {
+      VR_RETURN_NOT_OK(AppendMeasureNeeds(*agg, &shape.base.measures));
+    }
+  }
+  ScalarQueryShape::MeasureNeed count_need;
+  count_need.kind = ScalarQueryShape::MeasureNeed::Kind::kCount;
+  shape.base.measures.push_back(std::move(count_need));
   return shape;
 }
 

@@ -69,6 +69,31 @@ struct ScalarQueryShape {
 Result<ScalarQueryShape> AnalyzeScalarQuery(const SelectStmt& query,
                                             const BakePredicate& bake);
 
+/// The view-relevant shape of a grouped aggregate query: the scalar shape
+/// (signature, conjunct split, WHERE attributes, measures for every
+/// aggregate in the select list *and* in HAVING, via the derived-measure
+/// planner) plus the group-by columns, which must also be view
+/// dimensions. Shared by RegisterGrouped and serve-time BindGrouped so a
+/// grouped query that registered also matches after a save/load round
+/// trip.
+struct GroupedQueryShape {
+  ScalarQueryShape base;
+  std::vector<ScalarQueryShape::AttributeRef> group_columns;
+};
+
+/// Analyzes one grouped aggregate query (non-empty GROUP BY; HAVING
+/// allowed — it is evaluated post-noise at answer time). Select items
+/// must be group-column refs or aggregate expressions.
+Result<GroupedQueryShape> AnalyzeGroupedQuery(const SelectStmt& query,
+                                              const BakePredicate& bake);
+
+/// Collects the aggregate function calls inside `e` (skipping into
+/// arithmetic and scalar-function arguments, not into aggregate
+/// arguments). Shared by registration, matching and answering so all
+/// three agree on what counts as "an aggregate of this query".
+void CollectAggregateCalls(const Expr* e,
+                           std::vector<const FuncCallExpr*>* out);
+
 /// Serve-time check that `view` can answer a query of this shape: every
 /// required attribute is a view dimension and every required measure was
 /// published. Returns NotFound naming the first missing piece.

@@ -1,0 +1,98 @@
+#include "aggregate/suppression.h"
+
+#include <gtest/gtest.h>
+
+#include "aggregate/grouped_result.h"
+#include "sql/value.h"
+
+namespace viewrewrite {
+namespace aggregate {
+namespace {
+
+GroupedData MakeData() {
+  GroupedData data;
+  data.columns = {"o_status", "cnt", "avg_price"};
+  data.is_aggregate = {false, true, true};
+  auto add = [&](const char* key, double count, double avg) {
+    GroupedRow row;
+    row.values.push_back(Value::String(key));
+    row.values.push_back(Value::Double(count));
+    row.values.push_back(Value::Double(avg));
+    row.noisy_count = count;
+    data.rows.push_back(std::move(row));
+  };
+  add("f", 14.0, 31.5);
+  add("o", 11.2, 28.0);
+  add("p", 2.7, 90.0);
+  return data;
+}
+
+TEST(SuppressionTest, DisabledPolicyReleasesEverything) {
+  GroupedData data = MakeData();
+  EXPECT_EQ(ApplySuppression(SuppressionPolicy{0.0}, &data), 0u);
+  EXPECT_EQ(ApplySuppression(SuppressionPolicy{-5.0}, &data), 0u);
+  for (const GroupedRow& row : data.rows) {
+    EXPECT_FALSE(row.suppressed);
+    EXPECT_FALSE(row.values[1].is_null());
+  }
+}
+
+TEST(SuppressionTest, LowNoisyCountsLoseAggregatesButKeepKeys) {
+  GroupedData data = MakeData();
+  EXPECT_EQ(ApplySuppression(SuppressionPolicy{12.0}, &data), 2u);
+  // 'f' (14.0) survives intact.
+  EXPECT_FALSE(data.rows[0].suppressed);
+  EXPECT_DOUBLE_EQ(data.rows[0].values[2].ToDouble(), 31.5);
+  // 'o' (11.2) and 'p' (2.7) are below threshold: aggregates withheld,
+  // group keys (public domain) kept, row still present with the flag.
+  for (size_t i : {size_t{1}, size_t{2}}) {
+    EXPECT_TRUE(data.rows[i].suppressed);
+    EXPECT_FALSE(data.rows[i].values[0].is_null());  // key survives
+    EXPECT_TRUE(data.rows[i].values[1].is_null());
+    EXPECT_TRUE(data.rows[i].values[2].is_null());
+  }
+  EXPECT_EQ(data.NumRows(), 3u);  // no row deleted, only masked
+}
+
+TEST(SuppressionTest, IdempotentAndDeterministic) {
+  GroupedData once = MakeData();
+  GroupedData twice = MakeData();
+  ApplySuppression(SuppressionPolicy{12.0}, &once);
+  ApplySuppression(SuppressionPolicy{12.0}, &twice);
+  // Re-applying the same policy changes nothing and reports the same
+  // total: the serve path and the chaos baseline can each apply it.
+  EXPECT_EQ(ApplySuppression(SuppressionPolicy{12.0}, &twice), 2u);
+  ASSERT_EQ(once.rows.size(), twice.rows.size());
+  for (size_t i = 0; i < once.rows.size(); ++i) {
+    EXPECT_EQ(once.rows[i].suppressed, twice.rows[i].suppressed);
+    for (size_t j = 0; j < once.rows[i].values.size(); ++j) {
+      EXPECT_EQ(once.rows[i].values[j].is_null(),
+                twice.rows[i].values[j].is_null());
+    }
+  }
+}
+
+TEST(SuppressionTest, ThresholdComparesNoisyCountNotStoredValue) {
+  GroupedData data = MakeData();
+  // Make the stored count column disagree with noisy_count: the rule
+  // must read noisy_count (the designated suppression input).
+  data.rows[0].noisy_count = 1.0;
+  EXPECT_EQ(ApplySuppression(SuppressionPolicy{12.0}, &data), 3u);
+  EXPECT_TRUE(data.rows[0].suppressed);
+}
+
+TEST(SuppressionTest, ByteSizeAndResultSetSurviveSuppression) {
+  GroupedData data = MakeData();
+  ApplySuppression(SuppressionPolicy{12.0}, &data);
+  EXPECT_GT(data.ByteSize(), 0u);
+  ResultSet rs = data.ToResultSet();
+  ASSERT_EQ(rs.NumRows(), 3u);
+  EXPECT_EQ(rs.columns.size(), 3u);
+  // Suppressed rows flatten with their NULLed aggregates.
+  EXPECT_TRUE(rs.rows[2][1].is_null());
+  EXPECT_FALSE(rs.rows[2][0].is_null());
+}
+
+}  // namespace
+}  // namespace aggregate
+}  // namespace viewrewrite

@@ -48,6 +48,8 @@
 #include <thread>
 #include <vector>
 
+#include "aggregate/grouped_result.h"
+#include "aggregate/suppression.h"
 #include "common/fault_injection.h"
 #include "engine/viewrewrite_engine.h"
 #include "serve/query_server.h"
@@ -101,6 +103,12 @@ struct ChaosRunResult {
   uint64_t views_rebuilt = 0;
   uint64_t rebuild_failures = 0;
   uint64_t outdated_served = 0;
+  // Grouped-serving observability: requests answered row-wise, rows the
+  // minimum-frequency rule suppressed across all fresh grouped answers,
+  // and the suppression threshold this seed served under.
+  uint64_t grouped_fresh = 0;
+  uint64_t suppressed_rows = 0;
+  double min_group_count = 0;
   /// Invariant violations; empty means the seed passed.
   std::vector<std::string> violations;
 
@@ -150,6 +158,31 @@ inline bool IsAllowedReloadError(StatusCode code) {
   return code == StatusCode::kInternal || code == StatusCode::kUnavailable;
 }
 
+inline bool SameValue(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  if (a.is_numeric() != b.is_numeric()) return false;
+  if (a.is_numeric()) return a.ToDouble() == b.ToDouble();
+  return a.AsString() == b.AsString();
+}
+
+/// Bit-identity for grouped answers, the row-wise analogue of the scalar
+/// `got->value == baseline` check: same columns, same rows in the same
+/// order, every cell identical, and the suppression flags matching —
+/// so a served row is either baseline-exact or suppressed exactly where
+/// the policy suppressed the baseline.
+inline bool SameGroupedData(const aggregate::GroupedData& a,
+                            const aggregate::GroupedData& b) {
+  if (a.columns != b.columns || a.rows.size() != b.rows.size()) return false;
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    if (a.rows[i].suppressed != b.rows[i].suppressed) return false;
+    if (a.rows[i].values.size() != b.rows[i].values.size()) return false;
+    for (size_t j = 0; j < a.rows[i].values.size(); ++j) {
+      if (!SameValue(a.rows[i].values[j], b.rows[i].values[j])) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace internal
 
 /// Runs one seeded chaos scenario end to end. Never throws; all failures
@@ -178,6 +211,13 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
       "o.o_custkey AND c.c_nation = 1",
       "SELECT COUNT(*) FROM orders o WHERE o.o_totalprice >= 64 OR "
       "o.o_status = 'p'",
+      // Grouped aggregates: served row-wise through the same pipeline,
+      // with the minimum-frequency rule suppressing small noisy groups
+      // and HAVING evaluated post-noise. The AVG query registers only
+      // (sum, count) measures — the serve path derives the ratio.
+      "SELECT o_status, COUNT(*) FROM orders o GROUP BY o_status",
+      "SELECT o_status, AVG(o_totalprice) FROM orders o GROUP BY o_status "
+      "HAVING COUNT(*) >= 2",
   };
 
   // ---- Publish phase under injected faults (degraded mode). ----------------
@@ -221,9 +261,31 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
   // the baseline reflects exactly the views that survived this seed's
   // publish-phase faults. Quarantined queries have no baseline value and
   // are excluded from value checks (any typed outcome is acceptable).
+  // Suppression policy for this seed: sometimes off, sometimes biting
+  // (per-group counts in the test DB hover around a dozen, so 12.0
+  // suppresses whichever groups the noise lands low). The serve phase and
+  // every baseline apply the identical policy — suppression is
+  // deterministic post-processing of the noisy counts, so it can never
+  // introduce divergence between them.
+  const aggregate::SuppressionPolicy suppression{
+      (rng() % 2 == 0) ? 12.0 : 0.0};
+  result.min_group_count = suppression.min_group_count;
+
   std::vector<size_t> servable;
+  std::vector<bool> is_grouped(workload.size(), false);
   std::vector<double> baseline(workload.size(), 0);
+  std::map<size_t, aggregate::GroupedData> grouped_baseline;
   for (size_t i = 0; i < workload.size(); ++i) {
+    if (engine.IsGrouped(i)) {
+      is_grouped[i] = true;
+      Result<aggregate::GroupedData> rows = engine.GroupedAnswer(i);
+      if (rows.ok()) {
+        aggregate::ApplySuppression(suppression, &*rows);
+        grouped_baseline[i] = std::move(*rows);
+        servable.push_back(i);
+      }
+      continue;
+    }
     Result<double> ans = engine.NoisyAnswer(i);
     if (ans.ok()) {
       baseline[i] = *ans;
@@ -290,6 +352,7 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
   serve_options.answer_breaker.failure_threshold = 6;
   serve_options.answer_breaker.open_duration = std::chrono::milliseconds(2);
   serve_options.serve_stale = true;
+  serve_options.min_group_count = suppression.min_group_count;
 
   uint64_t deadline_hits = 0;
   {
@@ -330,9 +393,13 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
     // because a mid-run Reload(path) can legitimately serve it.
     std::mutex baselines_mu;
     std::map<uint64_t, std::map<size_t, double>> gen_baselines;
+    std::map<uint64_t, std::map<size_t, aggregate::GroupedData>> gen_grouped;
     {
       std::map<size_t, double>& g0 = gen_baselines[0];
-      for (size_t qi : servable) g0[qi] = baseline[qi];
+      for (size_t qi : servable) {
+        if (!is_grouped[qi]) g0[qi] = baseline[qi];
+      }
+      gen_grouped[0] = grouped_baseline;
     }
 
     // Pre-draw the lifecycle plan so thread scheduling never perturbs the
@@ -358,9 +425,18 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
     repub_options.on_saved = [&](uint64_t generation) {
       std::lock_guard<std::mutex> lock(baselines_mu);
       std::map<size_t, double>& g = gen_baselines[generation];
+      std::map<size_t, aggregate::GroupedData>& gg = gen_grouped[generation];
       for (size_t qi : servable) {
-        Result<double> ans = engine.NoisyAnswer(qi);
-        if (ans.ok()) g[qi] = *ans;
+        if (is_grouped[qi]) {
+          Result<aggregate::GroupedData> rows = engine.GroupedAnswer(qi);
+          if (rows.ok()) {
+            aggregate::ApplySuppression(suppression, &*rows);
+            gg[qi] = std::move(*rows);
+          }
+        } else {
+          Result<double> ans = engine.NoisyAnswer(qi);
+          if (ans.ok()) g[qi] = *ans;
+        }
       }
     };
     Republisher republisher(&engine, db->schema(), &server, repub_options);
@@ -447,6 +523,58 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
       }
       Result<ServedAnswer> got = futures[r].get();
       const size_t qi = request_query[r];
+      if (got.ok() && is_grouped[qi]) {
+        // Grouped answers are judged row-wise: every served row must be
+        // bit-identical to the claimed generation's baseline row —
+        // baseline-exact where the baseline is exact, suppressed exactly
+        // where the policy suppressed the baseline. Stale grouped
+        // answers must match SOME generation's baseline row set.
+        if (got->stale) {
+          ++result.stale;
+        } else {
+          ++result.fresh;
+          ++result.grouped_fresh;
+        }
+        if (got->rows == nullptr) {
+          violate("grouped response for query " + std::to_string(qi) +
+                  " carries no rows");
+          continue;
+        }
+        for (const aggregate::GroupedRow& row : got->rows->rows) {
+          if (row.suppressed) ++result.suppressed_rows;
+        }
+        if (got->stale) {
+          bool known = false;
+          for (const auto& gen : gen_grouped) {
+            auto it = gen.second.find(qi);
+            if (it != gen.second.end() &&
+                internal::SameGroupedData(*got->rows, it->second)) {
+              known = true;
+              break;
+            }
+          }
+          if (!known) {
+            violate("stale grouped response for query " + std::to_string(qi) +
+                    " matches no generation's baseline row set");
+          }
+        } else {
+          auto gen_it = gen_grouped.find(got->generation);
+          if (gen_it == gen_grouped.end() ||
+              gen_it->second.find(qi) == gen_it->second.end()) {
+            violate("grouped query " + std::to_string(qi) +
+                    " has no baseline in generation " +
+                    std::to_string(got->generation));
+          } else if (!internal::SameGroupedData(*got->rows,
+                                                gen_it->second.at(qi))) {
+            violate("grouped response for query " + std::to_string(qi) +
+                    " diverged from generation " +
+                    std::to_string(got->generation) +
+                    " baseline: a row is neither baseline-exact nor "
+                    "suppressed-by-policy");
+          }
+        }
+        continue;
+      }
       if (got.ok()) {
         if (got->stale) {
           // A stale answer is a cached value from some earlier epoch; the

@@ -42,6 +42,44 @@ TEST_F(ExecutorEdgeTest, EmptyTableAggregates) {
   EXPECT_EQ(Scalar("SELECT SUM(l_price) FROM lineitem"), 0);  // NULL -> 0
 }
 
+TEST_F(ExecutorEdgeTest, SumAndAvgOverZeroRowsAreNullThenZero) {
+  // Execute preserves SQL semantics: an aggregate over zero input rows is
+  // NULL (except COUNT). The scalar wrapper maps that NULL to 0, which is
+  // exactly what the synopsis answer path produces for an empty cell
+  // selection — the two sides must agree or noisy-vs-true comparisons
+  // would diverge on empty inputs.
+  for (const char* agg : {"SUM(l_price)", "AVG(l_price)",
+                          "VARIANCE(l_price)", "STDDEV(l_price)"}) {
+    auto stmt = ParseSelect(std::string("SELECT ") + agg + " FROM lineitem");
+    ASSERT_TRUE(stmt.ok());
+    auto rs = executor_->Execute(**stmt);
+    ASSERT_TRUE(rs.ok()) << rs.status();
+    ASSERT_EQ(rs->NumRows(), 1u);
+    EXPECT_TRUE(rs->rows[0][0].is_null()) << agg;
+    EXPECT_EQ(Scalar(std::string("SELECT ") + agg + " FROM lineitem"), 0)
+        << agg;
+  }
+  // A predicate matching nothing on a non-empty table behaves the same.
+  EXPECT_EQ(Scalar("SELECT SUM(o_totalprice) FROM orders WHERE "
+                   "o_totalprice > 1000"),
+            0);
+  EXPECT_EQ(Scalar("SELECT AVG(o_totalprice) FROM orders WHERE "
+                   "o_totalprice > 1000"),
+            0);
+}
+
+TEST_F(ExecutorEdgeTest, VarianceAndStddevArePopulationMoments) {
+  // orders o_totalprice {50, 60}: mean 55, population variance 25.
+  EXPECT_EQ(Scalar("SELECT VARIANCE(o_totalprice) FROM orders"), 25);
+  EXPECT_EQ(Scalar("SELECT STDDEV(o_totalprice) FROM orders"), 5);
+  // A single row has zero variance (population, not sample).
+  EXPECT_EQ(Scalar("SELECT VARIANCE(o_totalprice) FROM orders WHERE "
+                   "o_totalprice = 50"),
+            0);
+  // NULLs are skipped like in SUM/AVG: only customer 2's 20 remains.
+  EXPECT_EQ(Scalar("SELECT VARIANCE(c_acctbal) FROM customer"), 0);
+}
+
 TEST_F(ExecutorEdgeTest, JoinAgainstEmptyTable) {
   EXPECT_EQ(Scalar("SELECT COUNT(*) FROM orders o, lineitem l WHERE "
                    "o.o_orderkey = l.l_orderkey"),

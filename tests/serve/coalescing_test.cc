@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "aggregate/grouped_result.h"
 #include "serve/query_server.h"
 #include "serve/serve_test_util.h"
 
@@ -136,8 +137,11 @@ TEST_F(CoalescingTest, WaitersReceiveTheLeadersTypedError) {
 }
 
 TEST_F(CoalescingTest, CanonicalVariantsMergeIntoOneComputation) {
+  // Wider window than the join tests: the second variant must get
+  // through parse + rewrite before the leader's backoff expires, which
+  // can exceed 600ms under sanitizer builds on a loaded machine.
   QueryServer server(ctx_.store, ctx_.db->schema(),
-                     WindowOptions(milliseconds(600)));
+                     WindowOptions(milliseconds(2000)));
   ScopedFault fault = ScopedFault::OnNth(faults::kServeAnswer, 1);
 
   // Two textual variants of workload[0]: different raw keys, identical
@@ -314,6 +318,99 @@ TEST_F(CoalescingTest, DisablingCoalescingComputesEveryRequest) {
   EXPECT_EQ(stats.flights, kRequests);
   EXPECT_EQ(stats.coalesced_waiters, 0u);
   EXPECT_EQ(stats.max_flight_group, 1u);
+}
+
+// The context workload already gives its view the o_status attribute and
+// the sum:o_totalprice measure, so this grouped AVG binds against the
+// loaded bundle without having been registered verbatim.
+constexpr char kGroupedAvg[] =
+    "SELECT o_status, AVG(o_totalprice) FROM orders o GROUP BY o_status";
+
+TEST_F(CoalescingTest, GroupedDuplicatesShareOneFlightAndOneRowSet) {
+  QueryServer server(ctx_.store, ctx_.db->schema(),
+                     WindowOptions(milliseconds(600)));
+  ScopedFault fault = ScopedFault::OnNth(faults::kServeAnswer, 1);
+
+  auto leader = server.Submit(kGroupedAvg);
+  ASSERT_TRUE(SpinUntil([&] { return server.stats().flights >= 1; }));
+
+  constexpr size_t kDuplicates = 5;
+  std::vector<std::future<Result<ServedAnswer>>> waiters;
+  for (size_t i = 0; i < kDuplicates; ++i) {
+    waiters.push_back(server.Submit(kGroupedAvg));
+  }
+  ASSERT_TRUE(SpinUntil(
+      [&] { return server.stats().coalesced_waiters >= kDuplicates; }))
+      << "grouped duplicates did not join the in-flight computation";
+
+  Result<ServedAnswer> led = leader.get();
+  ASSERT_TRUE(led.ok()) << led.status();
+  ASSERT_NE(led->rows, nullptr);
+  EXPECT_EQ(led->value, static_cast<double>(led->rows->rows.size()));
+  for (auto& w : waiters) {
+    Result<ServedAnswer> got = w.get();
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_TRUE(got->coalesced);
+    // Every waiter receives the *identical* immutable row set — the same
+    // object the leader computed, not a copy and not a recomputation.
+    EXPECT_EQ(got->rows.get(), led->rows.get());
+  }
+
+  // The row set was computed exactly once despite 1 + kDuplicates
+  // submissions, and the flight accounting conserves: every submission is
+  // a flight, a coalesced waiter, a cache short-circuit, or expired.
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.grouped_queries, 1u);
+  EXPECT_EQ(stats.flights + stats.coalesced_waiters +
+                stats.cache_short_circuits + stats.expired_in_queue,
+            stats.submitted);
+}
+
+TEST_F(CoalescingTest, GroupedAnswersEqualWithCoalescingOnAndOff) {
+  // The grouped analogue of the scalar property test: coalescing may
+  // change who computes a row set, never its contents.
+  auto run = [&](bool coalesce) {
+    ServeOptions options;
+    options.num_threads = 4;
+    options.enable_coalescing = coalesce;
+    QueryServer server(ctx_.store, ctx_.db->schema(), options);
+    std::vector<std::future<Result<ServedAnswer>>> futures;
+    constexpr size_t kRequests = 12;
+    for (size_t i = 0; i < kRequests; ++i) {
+      futures.push_back(server.Submit(kGroupedAvg));
+    }
+    std::vector<Result<ServedAnswer>> results;
+    for (auto& f : futures) results.push_back(f.get());
+    return results;
+  };
+
+  std::vector<Result<ServedAnswer>> off = run(false);
+  std::vector<Result<ServedAnswer>> on = run(true);
+  ASSERT_EQ(off.size(), on.size());
+  for (size_t i = 0; i < off.size(); ++i) {
+    ASSERT_TRUE(off[i].ok() && on[i].ok());
+    ASSERT_NE(off[i]->rows, nullptr);
+    ASSERT_NE(on[i]->rows, nullptr);
+    const aggregate::GroupedData& a = *off[i]->rows;
+    const aggregate::GroupedData& b = *on[i]->rows;
+    ASSERT_EQ(a.columns, b.columns);
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (size_t r = 0; r < a.rows.size(); ++r) {
+      EXPECT_EQ(a.rows[r].suppressed, b.rows[r].suppressed);
+      ASSERT_EQ(a.rows[r].values.size(), b.rows[r].values.size());
+      for (size_t c = 0; c < a.rows[r].values.size(); ++c) {
+        const Value& av = a.rows[r].values[c];
+        const Value& bv = b.rows[r].values[c];
+        ASSERT_EQ(av.is_null(), bv.is_null());
+        if (av.is_null()) continue;
+        if (av.is_numeric()) {
+          EXPECT_DOUBLE_EQ(av.ToDouble(), bv.ToDouble());
+        } else {
+          EXPECT_EQ(av.AsString(), bv.AsString());
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

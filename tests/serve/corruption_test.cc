@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <fstream>
 #include <string>
@@ -38,7 +39,11 @@ class CorruptionTest : public ::testing::Test {
         "o.o_custkey AND c.c_nation = 1",
     };
     ASSERT_TRUE(engine_->Prepare(workload).ok());
-    path_ = ::testing::TempDir() + "corruption_bundle.vrsy";
+    // Pid-unique: concurrent test processes must not publish over
+    // each other's bundle (concurrent Saves to one path are
+    // unsupported).
+    path_ = ::testing::TempDir() + "corruption_bundle." +
+            std::to_string(::getpid()) + ".vrsy";
     auto store = SynopsisStore::FromManager(engine_->views(), db_->schema());
     ASSERT_TRUE(store.ok()) << store.status();
     ASSERT_TRUE(store->Save(path_).ok());

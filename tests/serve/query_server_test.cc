@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <future>
 #include <memory>
@@ -33,7 +34,10 @@ class QueryServerTest : public ::testing::Test {
     };
     ASSERT_TRUE(engine_->Prepare(*workload_).ok());
 
-    const std::string path = ::testing::TempDir() + "server_bundle.vrsy";
+    // Pid-unique path: ctest runs each case of this binary as its own
+    // process, and concurrent Saves to one path are unsupported.
+    const std::string path = ::testing::TempDir() + "server_bundle." +
+                             std::to_string(::getpid()) + ".vrsy";
     auto snapshot = SynopsisStore::FromManager(engine_->views(), db_->schema());
     ASSERT_TRUE(snapshot.ok()) << snapshot.status();
     ASSERT_TRUE(snapshot->Save(path).ok());

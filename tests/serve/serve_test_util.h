@@ -6,6 +6,7 @@
 // it back through disk the way a serving process would.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <memory>
 #include <string>
@@ -59,8 +60,13 @@ inline ServeContext MakeServeContext(uint64_t engine_seed = 42,
   EXPECT_TRUE(prepared.ok()) << prepared;
   if (!prepared.ok()) return ctx;
 
+  // The pid keeps concurrently running test processes of the same binary
+  // from publishing over each other's bundle: concurrent Saves to one
+  // path are unsupported (a successful publish sweeps `<path>.tmp*`
+  // siblings, including a neighbour's in-flight temp file).
   ctx.bundle_path = ::testing::TempDir() + name + "_" +
-                    std::to_string(engine_seed) + ".vrsy";
+                    std::to_string(engine_seed) + "." +
+                    std::to_string(::getpid()) + ".vrsy";
   Result<SynopsisStore> snapshot =
       SynopsisStore::FromManager(ctx.engine->views(), ctx.db->schema());
   EXPECT_TRUE(snapshot.ok()) << snapshot.status();

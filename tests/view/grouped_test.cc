@@ -151,14 +151,39 @@ TEST_F(GroupedTest, RejectsUnregisteredGroupColumn) {
   EXPECT_FALSE(bound.ok());
 }
 
-TEST_F(GroupedTest, RejectsHaving) {
+TEST_F(GroupedTest, HavingRegistersAndFiltersPostNoise) {
+  // HAVING is supported as pure post-processing: registration succeeds
+  // (HAVING aggregates register companion measures like select-list
+  // ones) and answering drops exactly the groups whose noisy aggregate
+  // fails the predicate.
+  BoundQuery all = MustRegisterGrouped(
+      "SELECT o_status, COUNT(*) FROM orders o GROUP BY o_status");
   auto stmt = ParseSelect(
       "SELECT o_status, COUNT(*) FROM orders o GROUP BY o_status HAVING "
       "COUNT(*) > 2");
   ASSERT_TRUE(stmt.ok());
-  auto bound = manager_->RegisterGrouped(**stmt, nullptr);
-  EXPECT_FALSE(bound.ok());
-  EXPECT_EQ(bound.status().code(), StatusCode::kUnsupported);
+  auto filtered = manager_->RegisterGrouped(**stmt, nullptr);
+  ASSERT_TRUE(filtered.ok()) << filtered.status();
+  Publish();
+  auto rs_all = manager_->AnswerGrouped(all, {});
+  auto rs_filtered = manager_->AnswerGrouped(*filtered, {});
+  ASSERT_TRUE(rs_all.ok()) << rs_all.status();
+  ASSERT_TRUE(rs_filtered.ok()) << rs_filtered.status();
+  EXPECT_LE(rs_filtered->NumRows(), rs_all->NumRows());
+  // Both queries read the same published cells, so every surviving row
+  // satisfies the predicate and matches the unfiltered answer exactly.
+  for (const auto& row : rs_filtered->rows) {
+    EXPECT_GT(row[1].ToDouble(), 2.0);
+    bool found = false;
+    for (const auto& other : rs_all->rows) {
+      if (other[0].AsString() == row[0].AsString() &&
+          other[1].ToDouble() == row[1].ToDouble()) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
 }
 
 TEST_F(GroupedTest, ScalarRegistrationStillRejectsGroupBy) {

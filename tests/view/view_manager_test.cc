@@ -94,14 +94,21 @@ TEST_F(ViewManagerTest, MeasuresAccumulate) {
             ViewMeasure::Kind::kSum);
 }
 
-TEST_F(ViewManagerTest, GroupedWorkloadQueriesRejected) {
+TEST_F(ViewManagerTest, GroupedWorkloadQueriesRegister) {
   auto stmt = ParseSelect(
       "SELECT o_custkey, COUNT(*) FROM orders GROUP BY o_custkey");
   ASSERT_TRUE(stmt.ok());
   auto rq = rewriter_->Rewrite(**stmt);
   ASSERT_TRUE(rq.ok());
   auto bound = manager_->RegisterRewritten(*rq, nullptr);
-  EXPECT_FALSE(bound.ok());
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  // The grouped term binds with its full statement (GROUP BY preserved)
+  // and the group column became a dimension of the registered view.
+  ASSERT_EQ(bound->terms.size(), 1u);
+  ASSERT_NE(bound->terms[0].query.cell_query, nullptr);
+  EXPECT_FALSE(bound->terms[0].query.cell_query->group_by.empty());
+  ASSERT_EQ(manager_->NumViews(), 1u);
+  EXPECT_GE(manager_->views()[0]->AttributeIndex("orders", "o_custkey"), 0);
 }
 
 TEST_F(ViewManagerTest, PublishWithoutViewsFails) {
