@@ -26,6 +26,11 @@ echo "== tier-1: ctest =="
 if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   echo "== chaos soak: ${CHAOS_SEEDS} fixed seeds (default build) =="
   timeout "${CHAOS_TIMEOUT}" ./build/bench/chaos_soak "${CHAOS_SEEDS}" 1
+
+  echo "== kill-nine soak: ${CHAOS_SEEDS} fixed seeds (default build) =="
+  # Fork + SIGKILL + recover against the write-ahead budget ledger; a hang
+  # here is a recovery deadlock, hence the same hard wall-clock bound.
+  timeout "${CHAOS_TIMEOUT}" ./build/bench/kill9_soak "${CHAOS_SEEDS}" 1
 fi
 
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
@@ -61,13 +66,21 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     > /dev/null)
   for key in '"answers"' '"mean_ns"' '"grouped_count"' \
              '"derived_avg_having"' '"derived_variance"' \
-             '"suppression_pass"' '"scalar_count"'; do
+             '"suppression_pass"' '"scalar_count"' \
+             '"wal_overhead"' '"publish_wal_off_ms"' '"publish_wal_on_ms"' \
+             '"wal_overhead_pct"'; do
     grep -q "${key}" BENCH_answer.json ||
       { echo "committed BENCH_answer.json missing ${key}"; exit 1; }
     grep -q "${key}" build/bench/BENCH_answer.json ||
       { echo "regenerated BENCH_answer.json missing ${key}"; exit 1; }
   done
-  echo "BENCH_answer.json schema ok"
+  # The committed baseline must keep the write-ahead budget ledger's
+  # publish-path overhead under the 5% acceptance bar (the regenerated
+  # number is hardware/jitter-bound and only schema-checked above).
+  committed_wal_pct="$(grep -o '"wal_overhead_pct": -\?[0-9.]*' BENCH_answer.json | grep -o '\-\?[0-9.]*$')"
+  awk -v p="${committed_wal_pct}" 'BEGIN { exit !(p < 5.0) }' ||
+    { echo "committed wal_overhead_pct ${committed_wal_pct} >= 5.0"; exit 1; }
+  echo "BENCH_answer.json schema ok (wal_overhead_pct ${committed_wal_pct})"
 fi
 
 if [[ "${SKIP_SANITIZE:-0}" == "1" ]]; then
@@ -80,23 +93,28 @@ cmake -B build-asan -S . -DVIEWREWRITE_SANITIZE=ON -DVIEWREWRITE_FUZZ=ON \
   >/dev/null
 cmake --build build-asan -j "$(nproc)" --target \
   fault_injection_test quarantine_test publish_recovery_test \
-  budget_test mechanism_test retry_test circuit_breaker_test \
+  budget_test budget_wal_test mechanism_test retry_test \
+  circuit_breaker_test \
   durability_test republisher_test chaos_test chaos_soak \
+  kill9_test kill9_soak \
   coalescing_test batch_submit_test stats_shard_test \
   limits_test adversarial_test synopsis_overflow_test hostile_bundle_test \
   admission_test corpus_replay_test \
   aggregate_planner_test suppression_test grouped_serve_test \
-  fuzz_sql_parser fuzz_rewriter fuzz_vrsy_loader make_seed_corpus
+  fuzz_sql_parser fuzz_rewriter fuzz_vrsy_loader fuzz_budget_wal \
+  make_seed_corpus
 
 echo "== asan+ubsan: ctest (robustness suite) =="
 (cd build-asan && ctest --output-on-failure -j "$(nproc)" \
-  -R 'FaultInjection|Quarantine|PublishRecovery|Budget|LaplaceMechanism|Retry|Backoff|CircuitBreaker|Durability|Republisher|Limits|Tracker|CheckedMul|Adversarial|SynopsisOverflow|HostileBundle|Admission|CorpusReplay|Coalescing|BatchSubmit|StatsShard|PlanAggregate|EvaluateDerived|EvalExpr|Suppression|GroupedServe')
+  -R 'FaultInjection|Quarantine|PublishRecovery|Budget|BudgetWal|KillNine|LaplaceMechanism|Retry|Backoff|CircuitBreaker|Durability|Republisher|Limits|Tracker|CheckedMul|Adversarial|SynopsisOverflow|HostileBundle|Admission|CorpusReplay|Coalescing|BatchSubmit|StatsShard|PlanAggregate|EvaluateDerived|EvalExpr|Suppression|GroupedServe')
 
 if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   echo "== asan+ubsan: republish chaos smoke (single seed, lifecycle races) =="
   # One full seed through the republish/reload/query race under ASan+UBSan:
   # the --seed CLI replays exactly what a failing soak seed would.
   timeout "${CHAOS_TIMEOUT}" ./build-asan/tests/chaos_test --seed=5
+  echo "== asan+ubsan: kill-nine smoke (single seed, crash recovery) =="
+  timeout "${CHAOS_TIMEOUT}" ./build-asan/tests/kill9_test --seed=3
 fi
 
 if [[ "${SKIP_FUZZ:-0}" != "1" ]]; then
@@ -110,10 +128,12 @@ if [[ "${SKIP_FUZZ:-0}" != "1" ]]; then
     ./build-asan/fuzz/fuzz_sql_parser  -max_total_time="${FUZZ_SECONDS}" -seed=1 build-asan/fuzz-corpus/sql
     ./build-asan/fuzz/fuzz_rewriter    -max_total_time="${FUZZ_SECONDS}" -seed=2 build-asan/fuzz-corpus/sql
     ./build-asan/fuzz/fuzz_vrsy_loader -max_total_time="${FUZZ_SECONDS}" -seed=3 build-asan/fuzz-corpus/vrsy
+    ./build-asan/fuzz/fuzz_budget_wal  -max_total_time="${FUZZ_SECONDS}" -seed=4 build-asan/fuzz-corpus/wal
   else
     ./build-asan/fuzz/fuzz_sql_parser  --mutate build-asan/fuzz-corpus/sql  "${FUZZ_SECONDS}" 1
     ./build-asan/fuzz/fuzz_rewriter    --mutate build-asan/fuzz-corpus/sql  "${FUZZ_SECONDS}" 2
     ./build-asan/fuzz/fuzz_vrsy_loader --mutate build-asan/fuzz-corpus/vrsy "${FUZZ_SECONDS}" 3
+    ./build-asan/fuzz/fuzz_budget_wal  --mutate build-asan/fuzz-corpus/wal  "${FUZZ_SECONDS}" 4
   fi
   # The checked-in regressions replay through the instrumented fuzzers too
   # (the corpus_replay_test above covers them via gtest; this exercises the
@@ -122,30 +142,37 @@ if [[ "${SKIP_FUZZ:-0}" != "1" ]]; then
     -exec ./build-asan/fuzz/fuzz_sql_parser {} +
   find fuzz/regressions/vrsy -type f \
     -exec ./build-asan/fuzz/fuzz_vrsy_loader {} +
+  find fuzz/regressions/wal -type f \
+    -exec ./build-asan/fuzz/fuzz_budget_wal {} +
 fi
 
 if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   echo "== asan+ubsan: chaos soak (reduced seeds) =="
   timeout "${CHAOS_TIMEOUT}" ./build-asan/bench/chaos_soak 8 1
+  echo "== asan+ubsan: kill-nine soak (reduced seeds) =="
+  timeout "${CHAOS_TIMEOUT}" ./build-asan/bench/kill9_soak 8 1
 fi
 
 echo "== tsan: configure + build concurrent-serve suite =="
 cmake -B build-tsan -S . -DVIEWREWRITE_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$(nproc)" --target \
   query_server_test answer_cache_test shutdown_race_test reload_test \
-  resilience_test deadline_test budget_test durability_test \
-  republisher_test chaos_test chaos_soak \
+  resilience_test deadline_test budget_test budget_wal_test \
+  durability_test \
+  republisher_test chaos_test chaos_soak kill9_test kill9_soak \
   coalescing_test batch_submit_test stats_shard_test \
   adversarial_test admission_test corpus_replay_test \
   grouped_serve_test
 
 echo "== tsan: ctest (concurrent serving layer) =="
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
-  -R 'QueryServer|AnswerCache|ShutdownRace|Reload|Resilience|Deadline|Budget|Durability|Republisher|Coalescing|BatchSubmit|StatsShard|Adversarial|Admission|CorpusReplay|GroupedServe')
+  -R 'QueryServer|AnswerCache|ShutdownRace|Reload|Resilience|Deadline|Budget|BudgetWal|KillNine|Durability|Republisher|Coalescing|BatchSubmit|StatsShard|Adversarial|Admission|CorpusReplay|GroupedServe')
 
 if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   echo "== tsan: chaos soak (reduced seeds) =="
   timeout "${CHAOS_TIMEOUT}" ./build-tsan/bench/chaos_soak 8 1
+  echo "== tsan: kill-nine soak (reduced seeds) =="
+  timeout "${CHAOS_TIMEOUT}" ./build-tsan/bench/kill9_soak 8 1
   echo "== tsan: republish chaos smoke (single seed, lifecycle races) =="
   timeout "${CHAOS_TIMEOUT}" ./build-tsan/tests/chaos_test --seed=5
 fi

@@ -1,0 +1,9 @@
+// libFuzzer entry point for the budget-WAL replay boundary
+// (fuzz/harness.h).
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  viewrewrite::fuzz::OneBudgetWalInput(data, size);
+  return 0;
+}

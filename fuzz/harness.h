@@ -19,6 +19,7 @@
 
 #include "common/limits.h"
 #include "datagen/tpch.h"
+#include "dp/budget_wal.h"
 #include "rewrite/rewriter.h"
 #include "serve/synopsis_store.h"
 #include "sql/parser.h"
@@ -100,6 +101,35 @@ inline void OneVrsyLoaderInput(const uint8_t* data, size_t size) {
   Result<SynopsisStore> store = SynopsisStore::Load(*path, *schema,
                                                     FuzzLimits());
   (void)store;
+}
+
+/// Budget-WAL boundary: arbitrary bytes as a write-ahead budget ledger.
+/// Replay() takes a path, so the input is staged through one per-process
+/// scratch file. The contract under fuzzing is the torn-tail semantics:
+/// Replay either reconstructs a valid prefix or returns a typed
+/// Status (kCorruption / kUnsupported) — never a crash, never an
+/// unbounded allocation (a hostile length field must not be trusted),
+/// and on success never a non-finite or negative spent total escaping
+/// into an accountant unpoisoned.
+inline void OneBudgetWalInput(const uint8_t* data, size_t size) {
+  static const std::string* path = [] {
+    const char* tmp = std::getenv("TMPDIR");
+    std::string dir = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+    return new std::string(dir + "/vr_fuzz_budget_" +
+                           std::to_string(static_cast<long>(::getpid())) +
+                           ".wal");
+  }();
+  std::FILE* f = std::fopen(path->c_str(), "wb");
+  if (f == nullptr) return;
+  if (size > 0) std::fwrite(data, 1, size, f);
+  std::fclose(f);
+  Result<BudgetWal::ReplayedLedger> replayed = BudgetWal::Replay(*path);
+  if (!replayed.ok()) return;
+  // Whatever replays must be safe to seed an accountant with: garbage
+  // numerics poison rather than admit spending.
+  BudgetAccountant acct(replayed->has_total ? replayed->total : 0.0,
+                        replayed->spent, replayed->entries);
+  (void)acct.remaining();
 }
 
 }  // namespace fuzz

@@ -3,7 +3,9 @@
 // mutators start from inputs that exercise deep parser/rewriter/loader
 // paths rather than from empty strings.
 //
-//   make_seed_corpus OUTDIR   writes OUTDIR/sql/*.sql and OUTDIR/vrsy/*.vrsy
+//   make_seed_corpus OUTDIR   writes OUTDIR/sql/*.sql, OUTDIR/vrsy/*.vrsy
+//                             and OUTDIR/wal/*.wal (budget-ledger seeds,
+//                             including a torn-tail truncation)
 
 #include <cstdio>
 #include <filesystem>
@@ -12,6 +14,7 @@
 #include <vector>
 
 #include "datagen/tpch.h"
+#include "dp/budget_wal.h"
 #include "engine/viewrewrite_engine.h"
 #include "serve/synopsis_store.h"
 #include "workload/workload.h"
@@ -106,6 +109,42 @@ int WriteVrsySeed(const std::string& dir) {
   return 1;
 }
 
+int WriteWalSeeds(const std::string& dir) {
+  using viewrewrite::BudgetWal;
+  // A real log with the full record vocabulary: total, spends, a refund,
+  // and a checkpoint — the mutators start from every frame type.
+  const std::string full = dir + "/budget_seed.wal";
+  std::remove(full.c_str());
+  {
+    BudgetWal::Options options;
+    options.compact_threshold_bytes = 0;  // keep every record in the seed
+    auto wal = BudgetWal::Open(full, 12.0, options);
+    if (!wal.ok()) {
+      std::fprintf(stderr, "%s\n", wal.status().ToString().c_str());
+      return -1;
+    }
+    if (!(*wal)->AppendSpend(6.0, "synopsis:initial").ok() ||
+        !(*wal)->AppendSpend(0.8, "gen1:orders").ok() ||
+        !(*wal)->AppendRefund(0.8, "refund:gen1:orders").ok() ||
+        !(*wal)->AppendSpend(0.8, "gen2:customer,orders").ok() ||
+        !(*wal)->AppendCheckpoint(2).ok()) {
+      return -1;
+    }
+  }
+  // The same log torn mid-record: the canonical crash shape the replay
+  // path must shrug off (tests/dp/budget_wal_test.cc proves every offset;
+  // the corpus keeps one representative in the mutation pool).
+  std::ifstream in(full, std::ios::binary);
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (blob.size() < 16) return -1;
+  if (!WriteFile(dir + "/budget_torn.wal",
+                 blob.substr(0, blob.size() - blob.size() / 3))) {
+    return -1;
+  }
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -117,12 +156,15 @@ int main(int argc, char** argv) {
   std::error_code ec;
   std::filesystem::create_directories(out + "/sql", ec);
   std::filesystem::create_directories(out + "/vrsy", ec);
+  std::filesystem::create_directories(out + "/wal", ec);
 
   int sql = WriteSqlSeeds(out + "/sql");
   if (sql < 0) return 1;
   int vrsy = WriteVrsySeed(out + "/vrsy");
   if (vrsy < 0) return 1;
-  std::printf("seed corpus: %d SQL seeds, %d bundle(s) under %s\n", sql, vrsy,
-              out.c_str());
+  int wal = WriteWalSeeds(out + "/wal");
+  if (wal < 0) return 1;
+  std::printf("seed corpus: %d SQL seeds, %d bundle(s), %d WAL(s) under %s\n",
+              sql, vrsy, wal, out.c_str());
   return 0;
 }

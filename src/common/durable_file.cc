@@ -1,0 +1,130 @@
+#include "common/durable_file.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <csignal>
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace viewrewrite {
+
+Status WriteFileDurably(const std::string& tmp, const std::string& blob) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::ExecutionError("cannot open '" + tmp + "' for writing");
+  }
+  size_t off = 0;
+  while (off < blob.size()) {
+    const ssize_t n = ::write(fd, blob.data() + off, blob.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::ExecutionError("short write to '" + tmp + "'");
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::ExecutionError("fsync failed for '" + tmp + "'");
+  }
+  if (::close(fd) != 0) {
+    return Status::ExecutionError("close failed for '" + tmp + "'");
+  }
+#else
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::ExecutionError("cannot open '" + tmp + "' for writing");
+  }
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  out.flush();
+  if (!out) {
+    return Status::ExecutionError("short write to '" + tmp + "'");
+  }
+#endif
+  return Status::OK();
+}
+
+Status SyncParentDir(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::ExecutionError("cannot open directory '" + dir +
+                                  "' to sync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::ExecutionError("fsync failed for directory '" + dir + "'");
+  }
+#else
+  (void)path;
+#endif
+  return Status::OK();
+}
+
+std::string UniqueTempName(const std::string& path) {
+  static std::atomic<uint64_t> temp_seq{0};
+  return path + ".tmp." +
+#if defined(__unix__) || defined(__APPLE__)
+         std::to_string(::getpid()) + "." +
+#endif
+         std::to_string(temp_seq.fetch_add(1) + 1);
+}
+
+namespace {
+
+#if defined(__unix__) || defined(__APPLE__)
+// Parses the `<pid>` out of a `<basename>.tmp.<pid>.<seq>` sibling name
+// (`name` starts just past the ".tmp" prefix) and reports whether that
+// process is still alive. Unparseable names count as dead: old-format or
+// foreign temps have no owner to protect.
+bool OwnerAlive(const std::string& suffix) {
+  if (suffix.size() < 2 || suffix[0] != '.') return false;
+  char* end = nullptr;
+  const long pid = std::strtol(suffix.c_str() + 1, &end, 10);
+  if (pid <= 0 || end == suffix.c_str() + 1) return false;
+  // Signal 0 probes existence without delivering anything; EPERM still
+  // means "alive, owned by someone else".
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+}
+#endif
+
+}  // namespace
+
+void SweepOrphanTemps(const std::string& path, bool only_dead_owners) {
+#if defined(__unix__) || defined(__APPLE__)
+  const size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  const std::string prefix =
+      (slash == std::string::npos ? path : path.substr(slash + 1)) + ".tmp";
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  std::vector<std::string> orphans;
+  while (struct dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (only_dead_owners && OwnerAlive(name.substr(prefix.size()))) continue;
+    orphans.push_back(dir + "/" + name);
+  }
+  ::closedir(d);
+  for (const std::string& orphan : orphans) std::remove(orphan.c_str());
+#else
+  (void)path;
+  (void)only_dead_owners;
+#endif
+}
+
+}  // namespace viewrewrite

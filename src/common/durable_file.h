@@ -1,0 +1,47 @@
+#ifndef VIEWREWRITE_COMMON_DURABLE_FILE_H_
+#define VIEWREWRITE_COMMON_DURABLE_FILE_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace viewrewrite {
+
+/// Crash-safe file publication primitives shared by the synopsis store
+/// and the budget WAL. The discipline is the classic one: write the
+/// payload to a uniquely named temp file, fsync it, rename it over the
+/// target, and fsync the parent directory so the rename itself is
+/// durable. A crash at any point leaves either the previous file intact
+/// or the new one fully durable — never a torn target.
+
+/// Writes `blob` to `tmp` and forces it to stable storage before
+/// returning. On POSIX this is open/write/fsync/close; elsewhere it falls
+/// back to a plain stream write (no durability guarantee beyond the OS).
+Status WriteFileDurably(const std::string& tmp, const std::string& blob);
+
+/// Makes a rename of `path` itself durable by fsyncing its parent
+/// directory — without this, a crash after rename can roll the directory
+/// entry back to the old file (or to nothing). Best-effort no-op on
+/// platforms without directory fds.
+Status SyncParentDir(const std::string& path);
+
+/// A temp name no other save (concurrent or crashed) can collide with:
+/// `<path>.tmp.<pid>.<seq>`, with a process-wide monotonically increasing
+/// sequence number.
+std::string UniqueTempName(const std::string& path);
+
+/// Sweeps `<basename>.tmp*` siblings of `path` left behind by crashed
+/// saves. Best-effort (a sibling appearing or vanishing mid-scan is
+/// fine), and a no-op off POSIX.
+///
+/// With `only_dead_owners`, temps whose name embeds the pid of a live
+/// process (including this one) are kept: that is the safe mode for
+/// load/startup-time sweeps, where another writer may legitimately have a
+/// temp in flight. Without it, every temp sibling is removed — only
+/// correct immediately after this process's own successful rename, when
+/// it is the sole writer of `path`.
+void SweepOrphanTemps(const std::string& path, bool only_dead_owners = false);
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_COMMON_DURABLE_FILE_H_

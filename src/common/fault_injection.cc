@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#endif
+
 namespace viewrewrite {
 
 std::atomic<int> FaultInjection::armed_points_{0};
@@ -57,6 +61,15 @@ void FaultInjection::FailWithProbability(const std::string& point, double p,
   Arm(point, std::move(pt));
 }
 
+void FaultInjection::KillOnNth(const std::string& point, uint64_t nth) {
+  Point p;
+  p.trigger = Trigger::kNth;
+  p.n = std::max<uint64_t>(1, nth);
+  p.kill = true;
+  p.status = InjectedStatus(point, Status());
+  Arm(point, std::move(p));
+}
+
 void FaultInjection::Disable(const std::string& point) {
   std::lock_guard<std::mutex> lock(mu_);
   if (points_.erase(point) > 0) {
@@ -87,6 +100,11 @@ Status FaultInjection::Check(const std::string& point) {
     case Trigger::kNth:
       if (!p.fired && p.hits == p.n) {
         p.fired = true;
+#if defined(__unix__) || defined(__APPLE__)
+        // Kill mode: die here, mid-operation, with no unwinding — the
+        // kill-nine harness recovers in the parent process.
+        if (p.kill) ::raise(SIGKILL);
+#endif
         return p.status;
       }
       return Status::OK();

@@ -31,14 +31,21 @@ inline constexpr const char kServeReload[] = "serve.reload";
 inline constexpr const char kServeRepublish[] = "serve.republish";
 inline constexpr const char kRepublishBuild[] = "republish.build";
 inline constexpr const char kRepublishSwap[] = "republish.swap";
+/// Budget write-ahead ledger (budget_wal.h): entry into a record append,
+/// the fsync that makes the record durable, and the checkpoint-compaction
+/// rewrite. The kill-nine harness draws its SIGKILL sites from these.
+inline constexpr const char kBudgetWalAppend[] = "budget.wal.append";
+inline constexpr const char kBudgetWalFsync[] = "budget.wal.fsync";
+inline constexpr const char kBudgetWalCheckpoint[] = "budget.wal.checkpoint";
 
 /// Every registered point, for sweeps that arm the whole registry (the
 /// chaos harness). Keep in sync with the constants above.
 inline constexpr const char* kAllPoints[] = {
-    kParse,          kRewrite,        kViewRegister, kViewPublish,
-    kDpMechanism,    kStorageCsv,     kServeLoad,    kServeSave,
+    kParse,          kRewrite,        kViewRegister,   kViewPublish,
+    kDpMechanism,    kStorageCsv,     kServeLoad,      kServeSave,
     kServeAnswer,    kServeReload,    kServeRepublish,
-    kRepublishBuild, kRepublishSwap,
+    kRepublishBuild, kRepublishSwap,  kBudgetWalAppend,
+    kBudgetWalFsync, kBudgetWalCheckpoint,
 };
 }  // namespace faults
 
@@ -69,6 +76,13 @@ class FaultInjection {
   void FailWithProbability(const std::string& point, double p, uint64_t seed,
                            Status status = Status());
 
+  /// Arms `point` to deliver SIGKILL to this process on its `nth` hit —
+  /// the kill-nine harness's deterministic crash site. The process dies
+  /// inside Check with no unwinding, no destructors and no flushes,
+  /// exactly like an external `kill -9`. On platforms without raise(),
+  /// falls back to injecting an Internal status.
+  void KillOnNth(const std::string& point, uint64_t nth);
+
   void Disable(const std::string& point);
   void DisableAll();
 
@@ -97,6 +111,7 @@ class FaultInjection {
     Status status;
     uint64_t hits = 0;
     bool fired = false;  // kNth fires at most once
+    bool kill = false;   // firing raises SIGKILL instead of returning status
   };
 
   void Arm(const std::string& point, Point p);

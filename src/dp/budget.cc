@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "dp/budget_wal.h"
+
 namespace viewrewrite {
 
 namespace {
@@ -14,6 +16,20 @@ BudgetAccountant::BudgetAccountant(double total_epsilon)
       valid_(std::isfinite(total_epsilon) && total_epsilon >= 0),
       spent_(0) {
   if (valid_) total_ = total_epsilon;
+}
+
+BudgetAccountant::BudgetAccountant(double total_epsilon,
+                                   double recovered_spent,
+                                   std::vector<Entry> recovered_ledger)
+    : total_(0),
+      valid_(std::isfinite(total_epsilon) && total_epsilon >= 0 &&
+             std::isfinite(recovered_spent) && recovered_spent >= 0),
+      spent_(0) {
+  if (valid_) {
+    total_ = total_epsilon;
+    spent_ = recovered_spent;
+    ledger_ = std::move(recovered_ledger);
+  }
 }
 
 Status BudgetAccountant::Spend(double epsilon, const std::string& label) {
@@ -31,6 +47,14 @@ Status BudgetAccountant::Spend(double epsilon, const std::string& label) {
         "privacy budget exhausted: spending " + std::to_string(epsilon) +
         " on '" + label + "' with only " +
         std::to_string(std::max(0.0, total_ - spent_)) + " remaining");
+  }
+  // Write-ahead ordering: the spend is durable in the WAL before the
+  // in-memory state admits it (and therefore before any noisy value is
+  // computed from it). A WAL failure aborts the spend — replay can then
+  // only over-count epsilon relative to what was published, never
+  // under-count.
+  if (wal_ != nullptr) {
+    VR_RETURN_NOT_OK(wal_->AppendSpend(epsilon, label));
   }
   spent_ += epsilon;
   ledger_.push_back(Entry{epsilon, label});
@@ -52,6 +76,12 @@ Status BudgetAccountant::Refund(double epsilon, const std::string& label) {
     return Status::PrivacyError("refund of " + std::to_string(epsilon) +
                                 " on '" + label + "' exceeds spent budget " +
                                 std::to_string(spent_));
+  }
+  // Refunds are recorded at the caller's discard boundary (nothing from
+  // the spend was published); they hit the WAL before memory so a crash
+  // after the refund record still replays the lower spent total.
+  if (wal_ != nullptr) {
+    VR_RETURN_NOT_OK(wal_->AppendRefund(epsilon, label));
   }
   spent_ = std::max(0.0, spent_ - epsilon);
   ledger_.push_back(Entry{-epsilon, label, /*refund=*/true});

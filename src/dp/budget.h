@@ -10,6 +10,8 @@
 
 namespace viewrewrite {
 
+class BudgetWal;
+
 /// Privacy-budget accountant implementing sequential composition (§3.6):
 /// spends are summed and may never exceed the total. Parallel composition
 /// is expressed by spending once for a group of mechanisms that operate on
@@ -24,11 +26,42 @@ namespace viewrewrite {
 /// spenders.
 class BudgetAccountant {
  public:
+  struct Entry {
+    double epsilon;
+    std::string label;
+    bool refund = false;
+  };
+
   /// A non-finite or negative total poisons the accountant: every Spend
-  /// and Refund fails with PrivacyError. (A constructor cannot return a
-  /// Status; poisoning keeps a corrupted epsilon from silently granting
-  /// budget.)
+  /// and Refund fails with PrivacyError, and total()/remaining() report 0
+  /// instead of echoing the garbage value into stats and bundle metadata
+  /// (check poisoned()). (A constructor cannot return a Status; poisoning
+  /// keeps a corrupted epsilon from silently granting budget.)
   explicit BudgetAccountant(double total_epsilon);
+
+  /// Crash-recovery construction: seeds the ledger with the state a
+  /// budget WAL replayed, so spends of a restarted process stack on top
+  /// of everything the previous process life durably recorded. A
+  /// non-finite or negative recovered spend poisons the accountant just
+  /// like a bad total — replayed garbage must not grant budget. A
+  /// recovered spend exceeding the total is *not* poison: it is the safe
+  /// over-counting direction (see BudgetWal), and simply leaves no
+  /// remaining budget.
+  BudgetAccountant(double total_epsilon, double recovered_spent,
+                   std::vector<Entry> recovered_ledger);
+
+  /// Attaches a write-ahead ledger. From now on every admitted Spend and
+  /// Refund is appended and fsync'd to `wal` *before* the in-memory state
+  /// mutates; a WAL append failure fails the call without mutating
+  /// anything. The accountant does not own the WAL, which must outlive
+  /// it. Not thread-safe against in-flight Spend/Refund: attach before
+  /// publishing.
+  void AttachWal(BudgetWal* wal) { wal_ = wal; }
+
+  /// True when the accountant was constructed with a non-finite or
+  /// negative epsilon and refuses all spends. total() and remaining()
+  /// report 0 in this state.
+  bool poisoned() const { return !valid_; }
 
   double total() const { return total_; }
   double spent() const {
@@ -54,11 +87,6 @@ class BudgetAccountant {
   /// `epsilon` is non-finite, non-positive, or exceeds what was spent.
   Status Refund(double epsilon, const std::string& label);
 
-  struct Entry {
-    double epsilon;
-    std::string label;
-    bool refund = false;
-  };
   /// Snapshot of the ledger (by value: the ledger may grow concurrently).
   std::vector<Entry> ledger() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -68,6 +96,7 @@ class BudgetAccountant {
  private:
   double total_;
   bool valid_;
+  BudgetWal* wal_ = nullptr;
   mutable std::mutex mu_;
   double spent_;                // guarded by mu_
   std::vector<Entry> ledger_;   // guarded by mu_

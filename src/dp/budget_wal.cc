@@ -1,0 +1,526 @@
+#include "dp/budget_wal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/crc32.h"
+#include "common/durable_file.h"
+#include "common/fault_injection.h"
+
+namespace viewrewrite {
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'R', 'W', 'L'};
+constexpr uint16_t kFormatVersion = 1;
+constexpr size_t kHeaderBytes = 8;
+// type(1) + payload length(8) + CRC(4): the smallest complete frame.
+constexpr size_t kFrameOverhead = 13;
+
+constexpr uint8_t kRecordTotal = 1;
+constexpr uint8_t kRecordSpend = 2;
+constexpr uint8_t kRecordRefund = 3;
+constexpr uint8_t kRecordCheckpoint = 4;
+
+void PutU16(std::string* out, uint16_t v) {
+  for (int i = 0; i < 2; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+double GetDouble(const char* p) {
+  const uint64_t bits = GetU64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string FileHeader() {
+  std::string h(kMagic, sizeof(kMagic));
+  PutU16(&h, kFormatVersion);
+  PutU16(&h, 0);  // reserved
+  return h;
+}
+
+std::string EncodeFrame(uint8_t type, const std::string& payload) {
+  std::string f;
+  f.reserve(kFrameOverhead + payload.size());
+  f.push_back(static_cast<char>(type));
+  PutU64(&f, payload.size());
+  f.append(payload);
+  // The CRC covers type + length + payload so a corrupted length that
+  // still lands inside the file cannot slip through.
+  PutU32(&f, Crc32(f.data(), f.size()));
+  return f;
+}
+
+std::string TotalPayload(double total) {
+  std::string p;
+  PutDouble(&p, total);
+  return p;
+}
+
+std::string EpsilonLabelPayload(double epsilon, const std::string& label) {
+  std::string p;
+  PutDouble(&p, epsilon);
+  p.append(label);
+  return p;
+}
+
+bool TotalsMatch(double logged, double requested) {
+  return std::fabs(logged - requested) <=
+         1e-9 * std::max(1.0, std::fabs(requested));
+}
+
+}  // namespace
+
+Result<BudgetWal::ReplayedLedger> BudgetWal::Replay(const std::string& path) {
+  std::string blob;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Status::NotFound("cannot open budget WAL '" + path + "'");
+    }
+    std::string buf((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    blob = std::move(buf);
+  }
+
+  const std::string header = FileHeader();
+  if (blob.size() < kHeaderBytes) {
+    // A file shorter than the header can only be a torn creation: the
+    // header + total record are fsync'd before the first spend, so no
+    // record can have been durable. The bytes present must still be a
+    // header prefix — anything else is not our file.
+    if (blob.compare(0, blob.size(), header, 0, blob.size()) != 0) {
+      return Status::Corruption("'" + path + "' is not a budget WAL");
+    }
+    ReplayedLedger torn;
+    torn.torn_tail = true;
+    return torn;
+  }
+  if (std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("'" + path +
+                              "' is not a budget WAL (bad magic)");
+  }
+  const uint16_t version =
+      static_cast<uint16_t>(GetU32(blob.data() + 4) & 0xffff);
+  if (version != kFormatVersion) {
+    return Status::Unsupported(
+        "budget WAL format version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kFormatVersion) + ")");
+  }
+
+  ReplayedLedger out;
+  size_t off = kHeaderBytes;
+  out.valid_bytes = off;
+  while (off < blob.size()) {
+    const size_t rem = blob.size() - off;
+    if (rem < kFrameOverhead) {
+      out.torn_tail = true;
+      break;
+    }
+    const uint8_t type = static_cast<uint8_t>(blob[off]);
+    const uint64_t len = GetU64(blob.data() + off + 1);
+    if (len > rem - kFrameOverhead) {
+      // The declared frame extends past EOF: a torn final append (or a
+      // corrupted length — indistinguishable, and equally droppable
+      // because nothing can follow a frame that swallows the rest of the
+      // file).
+      out.torn_tail = true;
+      break;
+    }
+    const size_t frame_end = off + kFrameOverhead + len;
+    const uint32_t stored_crc = GetU32(blob.data() + off + 9 + len);
+    const uint32_t actual_crc = Crc32(blob.data() + off, 9 + len);
+    if (stored_crc != actual_crc) {
+      if (frame_end == blob.size()) {
+        // Partially overwritten final record: torn tail, drop it.
+        out.torn_tail = true;
+        break;
+      }
+      return Status::Corruption(
+          "budget WAL '" + path + "': CRC mismatch mid-log at offset " +
+          std::to_string(off) + " — refusing to reconstruct epsilon from a "
+          "damaged ledger");
+    }
+    const char* payload = blob.data() + off + 9;
+
+    // From here on the frame is complete and checksummed; any remaining
+    // validation failure is real mid-log damage, never a torn write.
+    if (out.records == 0 && type != kRecordTotal) {
+      return Status::Corruption("budget WAL '" + path +
+                                "' does not start with a total record");
+    }
+    switch (type) {
+      case kRecordTotal: {
+        if (len != 8) {
+          return Status::Corruption("budget WAL total record has length " +
+                                    std::to_string(len));
+        }
+        if (out.has_total) {
+          return Status::Corruption("duplicate total record in budget WAL");
+        }
+        const double total = GetDouble(payload);
+        if (!std::isfinite(total) || total < 0) {
+          return Status::Corruption(
+              "budget WAL records a non-finite or negative total epsilon");
+        }
+        out.has_total = true;
+        out.total = total;
+        break;
+      }
+      case kRecordSpend:
+      case kRecordRefund: {
+        if (len < 8) {
+          return Status::Corruption("budget WAL spend/refund record has "
+                                    "length " + std::to_string(len));
+        }
+        const double epsilon = GetDouble(payload);
+        if (!std::isfinite(epsilon) || epsilon <= 0) {
+          return Status::Corruption(
+              "budget WAL records a non-finite or non-positive epsilon");
+        }
+        std::string label(payload + 8, len - 8);
+        if (type == kRecordSpend) {
+          out.spent += epsilon;
+          out.entries.push_back(
+              BudgetAccountant::Entry{epsilon, std::move(label)});
+        } else {
+          out.spent = std::max(0.0, out.spent - epsilon);
+          out.entries.push_back(BudgetAccountant::Entry{-epsilon,
+                                                        std::move(label),
+                                                        /*refund=*/true});
+        }
+        break;
+      }
+      case kRecordCheckpoint: {
+        if (len != 40) {
+          return Status::Corruption("budget WAL checkpoint record has "
+                                    "length " + std::to_string(len));
+        }
+        const uint64_t generation = GetU64(payload);
+        const double total = GetDouble(payload + 8);
+        const double spent = GetDouble(payload + 16);
+        if (!TotalsMatch(total, out.total)) {
+          return Status::Corruption(
+              "budget WAL checkpoint disagrees with the total record");
+        }
+        if (!std::isfinite(spent) || spent < 0) {
+          return Status::Corruption(
+              "budget WAL checkpoint records a non-finite or negative spent "
+              "epsilon");
+        }
+        out.spent = spent;
+        out.entries.clear();
+        out.folded_entries = GetU64(payload + 24);
+        out.folded_refunds = GetU64(payload + 32);
+        out.last_checkpoint_generation = generation;
+        break;
+      }
+      default:
+        return Status::Corruption("unknown budget WAL record type " +
+                                  std::to_string(type));
+    }
+    ++out.records;
+    off = frame_end;
+    out.valid_bytes = off;
+  }
+  return out;
+}
+
+BudgetWal::BudgetWal(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {}
+
+BudgetWal::~BudgetWal() { CloseFile(); }
+
+void BudgetWal::CloseFile() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+#else
+  delete static_cast<std::ofstream*>(stream_);
+  stream_ = nullptr;
+#endif
+}
+
+Status BudgetWal::ReopenForAppend() {
+  CloseFile();
+#if defined(__unix__) || defined(__APPLE__)
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND);
+  if (fd_ < 0) {
+    return Status::ExecutionError("cannot open budget WAL '" + path_ +
+                                  "' for appending");
+  }
+#else
+  auto* out = new std::ofstream(path_, std::ios::binary | std::ios::app);
+  if (!*out) {
+    delete out;
+    return Status::ExecutionError("cannot open budget WAL '" + path_ +
+                                  "' for appending");
+  }
+  stream_ = out;
+#endif
+  return Status::OK();
+}
+
+Result<std::unique_ptr<BudgetWal>> BudgetWal::Open(const std::string& path,
+                                                   double total_epsilon,
+                                                   Options options) {
+  if (!std::isfinite(total_epsilon) || total_epsilon < 0) {
+    return Status::InvalidArgument(
+        "refusing to open a budget WAL with a non-finite or negative total "
+        "epsilon");
+  }
+  std::unique_ptr<BudgetWal> wal(new BudgetWal(path, options));
+
+  Result<ReplayedLedger> replayed = Replay(path);
+  bool fresh = false;
+  if (!replayed.ok()) {
+    if (replayed.status().code() != StatusCode::kNotFound) {
+      return replayed.status();
+    }
+    fresh = true;
+  } else if (!replayed->has_total) {
+    // Torn creation (the crash landed inside the header or the total
+    // record): nothing was ever durable, so recreate from scratch.
+    fresh = true;
+  }
+
+  if (fresh) {
+    std::string blob = FileHeader();
+    blob += EncodeFrame(kRecordTotal, TotalPayload(total_epsilon));
+    const std::string tmp = UniqueTempName(path);
+    VR_RETURN_NOT_OK(WriteFileDurably(tmp, blob));
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return Status::ExecutionError("cannot rename '" + tmp + "' to '" +
+                                    path + "'");
+    }
+    VR_RETURN_NOT_OK(SyncParentDir(path));
+    wal->recovered_ = ReplayedLedger{};
+    wal->recovered_.has_total = true;
+    wal->recovered_.total = total_epsilon;
+    wal->recovered_.records = 1;
+    wal->recovered_.valid_bytes = blob.size();
+    wal->bytes_ = blob.size();
+  } else {
+    if (!TotalsMatch(replayed->total, total_epsilon)) {
+      return Status::InvalidArgument(
+          "budget WAL '" + path + "' records lifetime total " +
+          std::to_string(replayed->total) + " but this process was "
+          "configured with " + std::to_string(total_epsilon) +
+          " — refusing to mix ledgers");
+    }
+    if (replayed->torn_tail) {
+#if defined(__unix__) || defined(__APPLE__)
+      // Drop the torn suffix so new appends follow a valid frame instead
+      // of garbage (which replay would then reject as mid-log damage).
+      if (::truncate(path.c_str(),
+                     static_cast<off_t>(replayed->valid_bytes)) != 0) {
+        return Status::ExecutionError("cannot truncate torn tail of '" +
+                                      path + "'");
+      }
+#endif
+    }
+    wal->recovered_ = std::move(*replayed);
+    wal->bytes_ = wal->recovered_.valid_bytes;
+  }
+
+  // A crashed compaction strands a `<path>.tmp.<pid>.<seq>` sibling; only
+  // dead owners are swept (a live pid would be a concurrent writer, which
+  // is unsupported but not ours to sabotage).
+  SweepOrphanTemps(path, /*only_dead_owners=*/true);
+
+  wal->total_ = wal->recovered_.total;
+  wal->spent_ = wal->recovered_.spent;
+  wal->total_entries_ =
+      wal->recovered_.folded_entries + wal->recovered_.entries.size();
+  wal->total_refunds_ = wal->recovered_.folded_refunds;
+  for (const auto& e : wal->recovered_.entries) {
+    if (e.refund) ++wal->total_refunds_;
+  }
+  wal->last_checkpoint_generation_ =
+      wal->recovered_.last_checkpoint_generation;
+  VR_RETURN_NOT_OK(wal->ReopenForAppend());
+  return wal;
+}
+
+Status BudgetWal::AppendRecordLocked(uint8_t type,
+                                     const std::string& payload) {
+  // A kill at this point loses the record before any byte lands: replay
+  // simply never sees it, and the accountant never admitted the spend.
+  VR_FAULT_POINT(faults::kBudgetWalAppend);
+  const std::string frame = EncodeFrame(type, payload);
+#if defined(__unix__) || defined(__APPLE__)
+  if (fd_ < 0) {
+    return Status::ExecutionError("budget WAL '" + path_ + "' is not open");
+  }
+  size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // Roll a partial frame back so later appends don't land after torn
+      // bytes (which replay must treat as mid-log corruption).
+      (void)::ftruncate(fd_, static_cast<off_t>(bytes_));
+      return Status::ExecutionError("short write to budget WAL '" + path_ +
+                                    "'");
+    }
+    off += static_cast<size_t>(n);
+  }
+  {
+    // A kill between write and fsync is the classic torn-tail site: the
+    // record may be fully durable, partially durable, or gone. All three
+    // replay safely. An injected *status* here instead rolls the frame
+    // back, mirroring the accountant's refusal of the spend.
+    Status fault_or_fsync = [&]() -> Status {
+      VR_FAULT_POINT(faults::kBudgetWalFsync);
+      // fdatasync suffices on the append path: the record bytes and the
+      // file size are data-integrity metadata and both are flushed; only
+      // timestamps may lag. (Creation and compaction go through
+      // WriteFileDurably, which full-fsyncs file and directory.)
+#if defined(__linux__)
+      const int rc = ::fdatasync(fd_);
+#else
+      const int rc = ::fsync(fd_);
+#endif
+      if (rc != 0) {
+        return Status::ExecutionError("fsync failed for budget WAL '" +
+                                      path_ + "'");
+      }
+      return Status::OK();
+    }();
+    if (!fault_or_fsync.ok()) {
+      (void)::ftruncate(fd_, static_cast<off_t>(bytes_));
+      return fault_or_fsync;
+    }
+  }
+#else
+  auto* out = static_cast<std::ofstream*>(stream_);
+  if (out == nullptr) {
+    return Status::ExecutionError("budget WAL '" + path_ + "' is not open");
+  }
+  VR_FAULT_POINT(faults::kBudgetWalFsync);
+  out->write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out->flush();
+  if (!*out) {
+    return Status::ExecutionError("short write to budget WAL '" + path_ +
+                                  "'");
+  }
+#endif
+  bytes_ += frame.size();
+  return Status::OK();
+}
+
+Status BudgetWal::AppendSpend(double epsilon, const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VR_RETURN_NOT_OK(
+      AppendRecordLocked(kRecordSpend, EpsilonLabelPayload(epsilon, label)));
+  spent_ += epsilon;
+  ++total_entries_;
+  return Status::OK();
+}
+
+Status BudgetWal::AppendRefund(double epsilon, const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VR_RETURN_NOT_OK(
+      AppendRecordLocked(kRecordRefund, EpsilonLabelPayload(epsilon, label)));
+  spent_ = std::max(0.0, spent_ - epsilon);
+  ++total_entries_;
+  ++total_refunds_;
+  return Status::OK();
+}
+
+Status BudgetWal::AppendCheckpoint(uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VR_FAULT_POINT(faults::kBudgetWalCheckpoint);
+  std::string payload;
+  PutU64(&payload, generation);
+  PutDouble(&payload, total_);
+  PutDouble(&payload, spent_);
+  PutU64(&payload, total_entries_);
+  PutU64(&payload, total_refunds_);
+  if (options_.compact_threshold_bytes > 0 &&
+      bytes_ + kFrameOverhead + payload.size() >
+          options_.compact_threshold_bytes) {
+    VR_RETURN_NOT_OK(CompactLocked(payload));
+  } else {
+    VR_RETURN_NOT_OK(AppendRecordLocked(kRecordCheckpoint, payload));
+  }
+  last_checkpoint_generation_ = generation;
+  return Status::OK();
+}
+
+Status BudgetWal::CompactLocked(const std::string& checkpoint_payload) {
+  // Same atomic-publish discipline as the synopsis store: the full
+  // replacement log (header + total + checkpoint) is durable in a temp
+  // file before the rename, so a crash anywhere leaves either the old
+  // log or the compacted one — both replay to the same ledger state.
+  std::string blob = FileHeader();
+  blob += EncodeFrame(kRecordTotal, TotalPayload(total_));
+  blob += EncodeFrame(kRecordCheckpoint, checkpoint_payload);
+  const std::string tmp = UniqueTempName(path_);
+  VR_RETURN_NOT_OK(WriteFileDurably(tmp, blob));
+  VR_FAULT_POINT(faults::kBudgetWalCheckpoint);
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::ExecutionError("cannot rename '" + tmp + "' to '" + path_ +
+                                  "'");
+  }
+  VR_RETURN_NOT_OK(SyncParentDir(path_));
+  SweepOrphanTemps(path_, /*only_dead_owners=*/true);
+  bytes_ = blob.size();
+  return ReopenForAppend();
+}
+
+uint64_t BudgetWal::SizeBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+double BudgetWal::SpentEpsilon() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spent_;
+}
+
+}  // namespace viewrewrite

@@ -1,0 +1,182 @@
+#ifndef VIEWREWRITE_DP_BUDGET_WAL_H_
+#define VIEWREWRITE_DP_BUDGET_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dp/budget.h"
+
+namespace viewrewrite {
+
+/// Write-ahead budget ledger: an append-only, CRC-framed record log that
+/// makes privacy accounting crash-durable. Every Spend/Refund the
+/// BudgetAccountant admits is appended and fsync'd here *before* the
+/// in-memory ledger mutates — and therefore before any noisy value is
+/// computed from the spend — so a process that dies mid-publish can never
+/// forget epsilon it already (or was about to have) released. Replay at
+/// startup reconstructs the spent total, and sequential composition keeps
+/// holding across process lifetimes.
+///
+/// The failure direction is deliberately asymmetric: when an append
+/// fails, the record may or may not be on disk but the in-memory spend is
+/// refused, so replay can only ever *over*-count spent epsilon relative
+/// to what was published. Over-counting wastes budget; under-counting
+/// would break the privacy guarantee.
+///
+/// ## On-disk format (version 1)
+///
+/// All integers little-endian, doubles as IEEE-754 bit patterns.
+///
+///   u32 magic "VRWL" | u16 format version | u16 reserved
+///   repeated records, each framed as:
+///     u8 type | u64 payload length | payload bytes | u32 CRC-32
+///   (the CRC covers type + length + payload, so a flipped type or a
+///   corrupted length that still lands inside the file is caught)
+///
+/// Record types:
+///   1 kTotal       f64 lifetime total epsilon (always the first record)
+///   2 kSpend       f64 epsilon | label bytes (rest of payload)
+///   3 kRefund      f64 epsilon | label bytes
+///   4 kCheckpoint  u64 generation | f64 total | f64 spent |
+///                  u64 folded entries | u64 folded refunds
+///
+/// ## Torn-tail semantics
+///
+/// A crash mid-append tears at most the final record. Replay therefore
+/// ignores exactly one incomplete suffix: a final frame that is truncated,
+/// extends past EOF, or fails its CRC while being the last bytes of the
+/// file is a *torn tail* — dropped, and replay succeeds with the prefix.
+/// Anything else that fails validation (bad magic, CRC mismatch with
+/// bytes after it, malformed payload under a valid CRC, unknown record
+/// type) is mid-log damage no crash of this writer can produce, and
+/// replay returns kCorruption — never a garbage epsilon. Open() truncates
+/// a torn tail away before appending so the log stays parseable.
+///
+/// ## Compaction
+///
+/// Checkpoint records summarize the ledger (generation, running totals).
+/// Once the log grows past Options::compact_threshold_bytes, appending a
+/// checkpoint rewrites the file as header + total + that checkpoint via
+/// the same fsync-temp-then-rename discipline the synopsis store uses, so
+/// the log is bounded by the inter-checkpoint spend volume.
+///
+/// Thread safety: all appends serialize on an internal mutex. Replay is a
+/// static read-only pass. One process must own a WAL file at a time (the
+/// engine's Prepare opens it once).
+class BudgetWal {
+ public:
+  struct Options {
+    /// Log size that triggers checkpoint compaction; 0 disables
+    /// compaction entirely (the property tests want append-only files).
+    uint64_t compact_threshold_bytes = 256 * 1024;
+  };
+
+  /// What a replay pass recovered from the log.
+  struct ReplayedLedger {
+    bool has_total = false;
+    double total = 0;
+    /// Net spent epsilon (spends minus refunds, floored at 0), with any
+    /// checkpoint's summary folded in.
+    double spent = 0;
+    /// Ledger entries since the last checkpoint (full audit trail when
+    /// the log was never compacted).
+    std::vector<BudgetAccountant::Entry> entries;
+    /// Entries/refunds summarized away by the last checkpoint.
+    uint64_t folded_entries = 0;
+    uint64_t folded_refunds = 0;
+    uint64_t last_checkpoint_generation = 0;
+    /// Complete records replayed (including the total record).
+    uint64_t records = 0;
+    /// True when an incomplete final record was dropped.
+    bool torn_tail = false;
+    /// Byte offset of the first torn byte — the length of the valid
+    /// prefix, where appending may resume.
+    uint64_t valid_bytes = 0;
+  };
+
+  /// Read-only replay of the log at `path`. Returns the reconstructed
+  /// ledger, NotFound when no file exists, Unsupported for a future
+  /// format version, or kCorruption for mid-log damage (see the torn-tail
+  /// semantics above). Never returns a wrong spent total: the result is
+  /// either a prefix of what was appended or a typed error.
+  static Result<ReplayedLedger> Replay(const std::string& path);
+
+  /// Opens (or creates) the WAL at `path` for a ledger with lifetime
+  /// total `total_epsilon`. An existing log is replayed first: its
+  /// recorded total must match `total_epsilon` (a mismatch is
+  /// InvalidArgument — silently adopting either value could launder a
+  /// budget change past the ledger), a torn tail is truncated away, and
+  /// orphaned compaction temp files from dead processes are swept.
+  /// The recovered state is available via recovered() for seeding a
+  /// BudgetAccountant.
+  static Result<std::unique_ptr<BudgetWal>> Open(const std::string& path,
+                                                 double total_epsilon,
+                                                 Options options);
+  static Result<std::unique_ptr<BudgetWal>> Open(const std::string& path,
+                                                 double total_epsilon) {
+    return Open(path, total_epsilon, Options());
+  }
+
+  ~BudgetWal();
+  BudgetWal(const BudgetWal&) = delete;
+  BudgetWal& operator=(const BudgetWal&) = delete;
+
+  /// Appends and fsyncs one spend/refund record. Called by the accountant
+  /// *before* it mutates its in-memory state (write-ahead ordering); a
+  /// failure here must abort the spend.
+  Status AppendSpend(double epsilon, const std::string& label);
+  Status AppendRefund(double epsilon, const std::string& label);
+
+  /// Appends a generation checkpoint summarizing the running ledger, then
+  /// compacts the log down to header + total + checkpoint when it has
+  /// outgrown the threshold. Called after a generation's bundle is
+  /// durably published.
+  Status AppendCheckpoint(uint64_t generation);
+
+  /// State replayed when this WAL was opened (what a restarted process
+  /// seeds its accountant from). Immutable after Open.
+  const ReplayedLedger& recovered() const { return recovered_; }
+
+  const std::string& path() const { return path_; }
+
+  /// Current log size in bytes (header + appended frames).
+  uint64_t SizeBytes() const;
+
+  /// Net spent epsilon as recorded by this WAL (recovered + appended).
+  double SpentEpsilon() const;
+
+ private:
+  BudgetWal(std::string path, Options options);
+
+  Status ReopenForAppend();
+  Status AppendRecordLocked(uint8_t type, const std::string& payload);
+  Status CompactLocked(const std::string& checkpoint_payload);
+  void CloseFile();
+
+  const std::string path_;
+  const Options options_;
+  ReplayedLedger recovered_;
+
+  mutable std::mutex mu_;
+  // Running ledger state mirrored from the appended records (guarded by
+  // mu_): what the next checkpoint record will summarize.
+  double total_ = 0;
+  double spent_ = 0;
+  uint64_t total_entries_ = 0;   // spends + refunds ever recorded
+  uint64_t total_refunds_ = 0;
+  uint64_t last_checkpoint_generation_ = 0;
+  uint64_t bytes_ = 0;
+#if defined(__unix__) || defined(__APPLE__)
+  int fd_ = -1;
+#else
+  void* stream_ = nullptr;  // std::ofstream on non-POSIX fallback
+#endif
+};
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_DP_BUDGET_WAL_H_

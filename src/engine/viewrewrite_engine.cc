@@ -31,6 +31,22 @@ SynopsisOptions SynopsisWithLimits(SynopsisOptions synopsis,
   return synopsis;
 }
 
+/// One snapshot of the accountant into the stats block, shared by every
+/// path that mutates the ledger. A poisoned accountant already reports 0
+/// from total()/remaining(); the flag makes the poisoning visible instead
+/// of looking like an untouched budget.
+void SnapshotBudget(const ViewManager& views, EngineStats* stats) {
+  const BudgetAccountant* budget = views.accountant();
+  if (budget == nullptr) return;
+  stats->budget_total_epsilon = budget->total();
+  stats->budget_spent_epsilon = budget->spent();
+  stats->budget_poisoned = budget->poisoned();
+  stats->budget_refunds = 0;
+  for (const BudgetAccountant::Entry& entry : budget->ledger()) {
+    if (entry.refund) ++stats->budget_refunds;
+  }
+}
+
 }  // namespace
 
 std::ostream& operator<<(std::ostream& os, const PrepareReport& report) {
@@ -49,15 +65,17 @@ std::ostream& operator<<(std::ostream& os, const PrepareReport& report) {
 }
 
 std::ostream& operator<<(std::ostream& os, const EngineStats& stats) {
-  return os << "queries=" << stats.num_queries << " views=" << stats.num_views
-            << " | rewrite=" << stats.rewrite_seconds
-            << "s viewgen=" << stats.view_generation_seconds
-            << "s publish=" << stats.publish_seconds
-            << "s (synopsis total " << stats.SynopsisSeconds()
-            << "s) | answer=" << stats.answer_seconds
-            << "s | budget: spent=" << stats.budget_spent_epsilon << " of "
-            << stats.budget_total_epsilon
-            << " eps, refunds=" << stats.budget_refunds;
+  os << "queries=" << stats.num_queries << " views=" << stats.num_views
+     << " | rewrite=" << stats.rewrite_seconds
+     << "s viewgen=" << stats.view_generation_seconds
+     << "s publish=" << stats.publish_seconds
+     << "s (synopsis total " << stats.SynopsisSeconds()
+     << "s) | answer=" << stats.answer_seconds
+     << "s | budget: spent=" << stats.budget_spent_epsilon << " of "
+     << stats.budget_total_epsilon
+     << " eps, refunds=" << stats.budget_refunds;
+  if (stats.budget_poisoned) os << " (POISONED)";
+  return os;
 }
 
 double RelativeErrorMetric(double true_answer, double noisy_answer) {
@@ -90,6 +108,22 @@ Status ViewRewriteEngine::Prepare(const std::vector<std::string>& workload) {
     report_.query_status[i] = std::move(st);
     ++report_.num_quarantined;
   };
+
+  // ---- Durable budget ledger (before anything can spend). ------------------
+  if (!options_.budget_wal_path.empty() && budget_wal_ == nullptr) {
+    BudgetWal::Options wal_options;
+    wal_options.compact_threshold_bytes = options_.budget_wal_compact_bytes;
+    // Same lifetime-total rule as ViewManager::Publish: the WAL's total is
+    // the budget the whole synopsis lifetime composes against.
+    const double lifetime_total =
+        options_.lifetime_epsilon > options_.epsilon ? options_.lifetime_epsilon
+                                                     : options_.epsilon;
+    VR_ASSIGN_OR_RETURN(
+        budget_wal_,
+        BudgetWal::Open(options_.budget_wal_path, lifetime_total,
+                        wal_options));
+    views_.AttachBudgetWal(budget_wal_.get());
+  }
 
   // ---- Query rewriting. ----------------------------------------------------
   auto t0 = std::chrono::steady_clock::now();
@@ -147,13 +181,7 @@ Status ViewRewriteEngine::Prepare(const std::vector<std::string>& workload) {
     }
   }
   stats_.publish_seconds = SecondsSince(t0);
-  if (const BudgetAccountant* budget = views_.accountant()) {
-    stats_.budget_total_epsilon = budget->total();
-    stats_.budget_spent_epsilon = budget->spent();
-    for (const BudgetAccountant::Entry& entry : budget->ledger()) {
-      if (entry.refund) ++stats_.budget_refunds;
-    }
-  }
+  SnapshotBudget(views_, &stats_);
 
   report_.num_prepared = workload.size() - report_.num_quarantined;
   if (!workload.empty() && report_.num_prepared == 0) {
@@ -172,28 +200,20 @@ Result<ViewManager::RepublishOutcome> ViewRewriteEngine::RepublishChanged(
   Result<ViewManager::RepublishOutcome> outcome = views_.RepublishViews(
       db_, changed_relations, generation_epsilon, &rng_, generation);
   stats_.publish_seconds += SecondsSince(t0);
-  if (const BudgetAccountant* budget = views_.accountant()) {
-    stats_.budget_total_epsilon = budget->total();
-    stats_.budget_spent_epsilon = budget->spent();
-    stats_.budget_refunds = 0;
-    for (const BudgetAccountant::Entry& entry : budget->ledger()) {
-      if (entry.refund) ++stats_.budget_refunds;
-    }
-  }
+  SnapshotBudget(views_, &stats_);
   return outcome;
 }
 
 Status ViewRewriteEngine::RefundGeneration(
     const ViewManager::RepublishOutcome& outcome) {
   Status st = views_.RefundGeneration(outcome);
-  if (const BudgetAccountant* budget = views_.accountant()) {
-    stats_.budget_spent_epsilon = budget->spent();
-    stats_.budget_refunds = 0;
-    for (const BudgetAccountant::Entry& entry : budget->ledger()) {
-      if (entry.refund) ++stats_.budget_refunds;
-    }
-  }
+  SnapshotBudget(views_, &stats_);
   return st;
+}
+
+Status ViewRewriteEngine::CheckpointBudgetWal(uint64_t generation) {
+  if (budget_wal_ == nullptr) return Status::OK();
+  return budget_wal_->AppendCheckpoint(generation);
 }
 
 bool ViewRewriteEngine::IsGrouped(size_t i) const {

@@ -9,6 +9,7 @@
 #include "catalog/schema.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "dp/budget_wal.h"
 #include "exec/executor.h"
 #include "rewrite/rewriter.h"
 #include "view/view_manager.h"
@@ -37,6 +38,17 @@ struct EngineOptions {
   /// Budget split across views (kByUsage is the paper's future-work
   /// extension: weight views by the number of queries they answer).
   BudgetAllocation budget_allocation = BudgetAllocation::kUniform;
+  /// Crash-durable privacy accounting: when non-empty, Prepare opens (or
+  /// replays) a write-ahead budget ledger at this path (dp/budget_wal.h).
+  /// Every spend is fsync'd there before any noisy value is computed, and
+  /// a restarted process pointed at the same path composes its spends on
+  /// top of everything previous lives durably recorded — so a crash
+  /// mid-publish can never silently re-spend the lifetime epsilon. Empty
+  /// (default) keeps the accountant purely in-memory.
+  std::string budget_wal_path;
+  /// WAL size past which appending a generation checkpoint compacts the
+  /// log down to header + total + checkpoint. 0 disables compaction.
+  uint64_t budget_wal_compact_bytes = 256 * 1024;
   /// Fail-fast preparation: any per-query or per-view failure aborts
   /// Prepare immediately (the pre-robustness contract, kept for the
   /// benchmarks). The default is degraded mode: failing queries are
@@ -80,6 +92,11 @@ struct EngineStats {
   double budget_total_epsilon = 0;
   double budget_spent_epsilon = 0;
   size_t budget_refunds = 0;
+  /// True when the accountant was poisoned (constructed with a non-finite
+  /// or negative epsilon, or seeded with garbage recovery state): every
+  /// spend is refused, and the totals above report 0 rather than echoing
+  /// the garbage value.
+  bool budget_poisoned = false;
 
   /// Synopsis generation time in the paper's sense: rewriting + view
   /// generation + view publication.
@@ -130,6 +147,16 @@ class ViewRewriteEngine {
   /// slices so the failed generation composes as if it never ran.
   Status RefundGeneration(const ViewManager::RepublishOutcome& outcome);
 
+  /// Appends a generation checkpoint to the budget WAL (and compacts the
+  /// log past EngineOptions::budget_wal_compact_bytes). The Republisher
+  /// calls this after a generation's bundle is durably published and
+  /// swapped; a no-op without a WAL.
+  Status CheckpointBudgetWal(uint64_t generation);
+
+  /// The write-ahead budget ledger Prepare opened, or nullptr when
+  /// EngineOptions::budget_wal_path is empty.
+  const BudgetWal* budget_wal() const { return budget_wal_.get(); }
+
   size_t NumQueries() const { return bound_.size(); }
   size_t NumViews() const { return views_.NumViews(); }
 
@@ -173,6 +200,7 @@ class ViewRewriteEngine {
   Random rng_;
   std::vector<RewrittenQuery> rewritten_;
   std::vector<BoundRewrittenQuery> bound_;
+  std::unique_ptr<BudgetWal> budget_wal_;
   EngineStats stats_;
   PrepareReport report_;
 };

@@ -129,6 +129,12 @@ Result<RepublishReport> Republisher::TryRepublish(
       std::make_shared<const SynopsisStore>(std::move(*store))));
   report.epoch_after = server_->epoch();
 
+  // The generation is durable and serving: fold the budget ledger's
+  // history into a WAL checkpoint (and compact the log when it has grown
+  // past the threshold). Best-effort — a checkpoint failure loses only
+  // compaction, never accounting, since every spend is already durable.
+  (void)engine_->CheckpointBudgetWal(generation);
+
   // Staleness policy: entries from epochs that have aged past the lag are
   // no longer worth keeping as stale-serving fallbacks; free their
   // stripes.

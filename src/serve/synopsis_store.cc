@@ -1,18 +1,11 @@
 #include "serve/synopsis_store.h"
 
-#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <cerrno>
-#include <dirent.h>
-#include <fcntl.h>
-#include <unistd.h>
-#endif
-
 #include "common/crc32.h"
+#include "common/durable_file.h"
 #include "common/fault_injection.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
@@ -518,6 +511,7 @@ Result<SynopsisStore> SynopsisStore::FromManager(const ViewManager& manager,
     store.ledger_.total_epsilon = acct->total();
     store.ledger_.spent_epsilon = acct->spent();
     store.ledger_.entries = static_cast<uint32_t>(acct->ledger().size());
+    store.ledger_.poisoned = acct->poisoned();
     for (const auto& e : acct->ledger()) {
       if (e.refund) ++store.ledger_.refunds;
     }
@@ -548,104 +542,6 @@ Result<SynopsisStore> SynopsisStore::FromManager(const ViewManager& manager,
   return store;
 }
 
-namespace {
-
-// Writes `blob` to `tmp` and forces it to stable storage before
-// returning. On POSIX this is open/write/fsync/close; elsewhere it falls
-// back to a plain stream write (no durability guarantee beyond the OS).
-Status WriteFileDurably(const std::string& tmp, const std::string& blob) {
-#if defined(__unix__) || defined(__APPLE__)
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Status::ExecutionError("cannot open '" + tmp + "' for writing");
-  }
-  size_t off = 0;
-  while (off < blob.size()) {
-    const ssize_t n = ::write(fd, blob.data() + off, blob.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return Status::ExecutionError("short write to '" + tmp + "'");
-    }
-    off += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return Status::ExecutionError("fsync failed for '" + tmp + "'");
-  }
-  if (::close(fd) != 0) {
-    return Status::ExecutionError("close failed for '" + tmp + "'");
-  }
-#else
-  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::ExecutionError("cannot open '" + tmp + "' for writing");
-  }
-  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-  out.flush();
-  if (!out) {
-    return Status::ExecutionError("short write to '" + tmp + "'");
-  }
-#endif
-  return Status::OK();
-}
-
-// Makes the rename of `path` itself durable by fsyncing its parent
-// directory — without this, a crash after rename can roll the directory
-// entry back to the old bundle (or to nothing). Best-effort no-op on
-// platforms without directory fds.
-Status SyncParentDir(const std::string& path) {
-#if defined(__unix__) || defined(__APPLE__)
-  const size_t slash = path.find_last_of('/');
-  std::string dir =
-      slash == std::string::npos ? "." : path.substr(0, slash);
-  if (dir.empty()) dir = "/";
-  const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd < 0) {
-    return Status::ExecutionError("cannot open directory '" + dir +
-                                  "' to sync");
-  }
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) {
-    return Status::ExecutionError("fsync failed for directory '" + dir + "'");
-  }
-#else
-  (void)path;
-#endif
-  return Status::OK();
-}
-
-// A crash between the temp write and the rename strands a fully durable
-// `<path>.tmp.<pid>.<seq>` file; without cleanup every crashed republish
-// leaks one. After a successful publish, sweep any `<basename>.tmp*`
-// siblings still in the directory — best-effort (a sibling appearing or
-// vanishing mid-scan is fine), and a no-op off POSIX.
-void SweepOrphanTemps(const std::string& path) {
-#if defined(__unix__) || defined(__APPLE__)
-  const size_t slash = path.find_last_of('/');
-  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  if (dir.empty()) dir = "/";
-  const std::string prefix =
-      (slash == std::string::npos ? path : path.substr(slash + 1)) + ".tmp";
-  DIR* d = ::opendir(dir.c_str());
-  if (d == nullptr) return;
-  std::vector<std::string> orphans;
-  while (struct dirent* ent = ::readdir(d)) {
-    const std::string name = ent->d_name;
-    if (name.compare(0, prefix.size(), prefix) == 0) {
-      orphans.push_back(dir + "/" + name);
-    }
-  }
-  ::closedir(d);
-  for (const std::string& orphan : orphans) std::remove(orphan.c_str());
-#else
-  (void)path;
-#endif
-}
-
-}  // namespace
-
 Status SynopsisStore::Save(const std::string& path) const {
   std::string blob;
   blob.append(kMagic, sizeof(kMagic));
@@ -659,6 +555,9 @@ Status SynopsisStore::Save(const std::string& path) const {
   PutDouble(&header, ledger_.spent_epsilon);
   PutU32(&header, ledger_.entries);
   PutU32(&header, ledger_.refunds);
+  // Optional trailing byte (absent in pre-flag bundles): accountant
+  // poisoned at snapshot time.
+  PutU8(&header, ledger_.poisoned ? 1 : 0);
   AppendSection(&blob, kSectionHeader, header);
 
   std::string gen;
@@ -695,12 +594,7 @@ Status SynopsisStore::Save(const std::string& path) const {
   // durable — readers never observe a torn file. The temp name is unique
   // per process and per save so a concurrent or crashed earlier save can
   // never be renamed into place by this one.
-  static std::atomic<uint64_t> save_seq{0};
-  const std::string tmp = path + ".tmp." +
-#if defined(__unix__) || defined(__APPLE__)
-                          std::to_string(::getpid()) + "." +
-#endif
-                          std::to_string(save_seq.fetch_add(1) + 1);
+  const std::string tmp = UniqueTempName(path);
   VR_RETURN_NOT_OK(WriteFileDurably(tmp, blob));
   // A kill here (the serve.save fault point simulates it) leaves a
   // complete, loadable temp file and the target untouched.
@@ -791,6 +685,12 @@ Result<SynopsisStore> SynopsisStore::Load(const std::string& path,
         VR_ASSIGN_OR_RETURN(store.ledger_.spent_epsilon, section.Double());
         VR_ASSIGN_OR_RETURN(store.ledger_.entries, section.U32());
         VR_ASSIGN_OR_RETURN(store.ledger_.refunds, section.U32());
+        // Optional trailing poisoned flag: absent in pre-flag bundles
+        // (reads as false), ignored by pre-flag builds when present.
+        if (section.remaining() >= 1) {
+          VR_ASSIGN_OR_RETURN(uint8_t poisoned, section.U8());
+          store.ledger_.poisoned = poisoned != 0;
+        }
         const uint64_t expected = SchemaFingerprint(schema);
         if (store.schema_fingerprint_ != expected) {
           return Status::InvalidArgument(
@@ -880,6 +780,12 @@ Result<SynopsisStore> SynopsisStore::Load(const std::string& path,
         "bundle declares " + std::to_string(declared_views) + " views but " +
         std::to_string(store.views_.size()) + " were present");
   }
+  // A process SIGKILLed between its temp write and rename never gets to
+  // the post-Save sweep, so orphans from previous lives are reaped on the
+  // next successful load instead. Only temps whose owning pid is dead are
+  // touched: a live Republisher in another process (or this one) may have
+  // a save in flight, and deleting its temp would fail that save.
+  SweepOrphanTemps(path, /*only_dead_owners=*/true);
   return store;
 }
 

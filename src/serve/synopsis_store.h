@@ -59,6 +59,13 @@ class SynopsisStore {
     double spent_epsilon = 0;
     uint32_t entries = 0;
     uint32_t refunds = 0;
+    /// True when the publishing accountant was poisoned (constructed from
+    /// garbage totals or recovery state): the epsilons above then read 0
+    /// by design, and this flag distinguishes "nothing spent" from "the
+    /// accounting itself was refused". Persisted as an optional trailing
+    /// byte of the header section so pre-flag bundles still load (absent
+    /// reads as false) and pre-flag builds ignore it.
+    bool poisoned = false;
   };
 
   /// Synopsis-lifecycle provenance persisted with the bundle ('G'

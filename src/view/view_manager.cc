@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/fault_injection.h"
+#include "dp/budget_wal.h"
 #include "rewrite/analysis.h"
 #include "sql/printer.h"
 #include "view/view_matcher.h"
@@ -207,8 +208,21 @@ Status ViewManager::Publish(const Database& db, double total_epsilon,
   // publication splits total_epsilon, and any surplus is the reserve
   // later republish generations compose against (sequential composition
   // across epochs, one ledger).
-  accountant_ = std::make_unique<BudgetAccountant>(
-      lifetime_epsilon > total_epsilon ? lifetime_epsilon : total_epsilon);
+  const double lifetime_total =
+      lifetime_epsilon > total_epsilon ? lifetime_epsilon : total_epsilon;
+  if (budget_wal_ != nullptr) {
+    // Crash recovery: the WAL replayed every spend durably recorded by
+    // previous process lives. Seeding the accountant with that state
+    // makes this publication stack on top of it — so a restarted process
+    // hard-fails before the combined lifetime spend could exceed the
+    // total, instead of silently re-spending the whole budget.
+    const BudgetWal::ReplayedLedger& recovered = budget_wal_->recovered();
+    accountant_ = std::make_unique<BudgetAccountant>(
+        lifetime_total, recovered.spent, recovered.entries);
+    accountant_->AttachWal(budget_wal_);
+  } else {
+    accountant_ = std::make_unique<BudgetAccountant>(lifetime_total);
+  }
   failed_views_.clear();
   view_data_generation_.clear();
   view_outdated_since_.clear();

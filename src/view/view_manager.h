@@ -205,6 +205,15 @@ class ViewManager {
 
   const BudgetAccountant* accountant() const { return accountant_.get(); }
 
+  /// Attaches a crash-durable write-ahead budget ledger (see
+  /// dp/budget_wal.h). Publish then (a) seeds the accountant with the
+  /// spent epsilon the WAL replayed from previous process lives, so a
+  /// restart composes against everything already durably recorded, and
+  /// (b) routes every subsequent Spend/Refund through the WAL ahead of
+  /// the in-memory mutation. Must be attached before Publish; the WAL is
+  /// not owned and must outlive the manager.
+  void AttachBudgetWal(BudgetWal* wal) { budget_wal_ = wal; }
+
   // ---- Synopsis lifecycle metadata. ----------------------------------------
 
   /// Generation whose rebuild last refreshed each view's cells (0 = the
@@ -231,6 +240,7 @@ class ViewManager {
   std::map<std::string, uint64_t> view_data_generation_;
   std::map<std::string, uint64_t> view_outdated_since_;
   std::unique_ptr<BudgetAccountant> accountant_;
+  BudgetWal* budget_wal_ = nullptr;
 };
 
 }  // namespace viewrewrite

@@ -1,0 +1,383 @@
+#include "dp/budget_wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "dp/budget.h"
+
+namespace viewrewrite {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  return "/tmp/vr_budget_wal_" + tag + "_" +
+         std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+         ".wal";
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& blob) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+}
+
+/// Byte-boundary history of a WAL as it grows: after each append, the
+/// file size and the net spent epsilon at that prefix.
+struct Boundary {
+  size_t bytes;
+  double spent;
+};
+
+class BudgetWalTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FaultInjection::Instance().DisableAll();
+    for (const std::string& p : cleanup_) std::remove(p.c_str());
+  }
+  std::string Track(std::string path) {
+    cleanup_.push_back(path);
+    cleanup_.push_back(path + ".tmp.1");  // belt and braces
+    return path;
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(BudgetWalTest, FreshOpenCreatesReplayableLedger) {
+  const std::string path = Track(TempPath("fresh"));
+  std::remove(path.c_str());
+  auto wal = BudgetWal::Open(path, 4.0);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_TRUE((*wal)->recovered().has_total);
+  EXPECT_DOUBLE_EQ((*wal)->recovered().total, 4.0);
+  EXPECT_DOUBLE_EQ((*wal)->SpentEpsilon(), 0.0);
+
+  auto replayed = BudgetWal::Replay(path);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_TRUE(replayed->has_total);
+  EXPECT_DOUBLE_EQ(replayed->total, 4.0);
+  EXPECT_DOUBLE_EQ(replayed->spent, 0.0);
+  EXPECT_FALSE(replayed->torn_tail);
+}
+
+TEST_F(BudgetWalTest, SpendsAndRefundsReplayExactly) {
+  const std::string path = Track(TempPath("roundtrip"));
+  std::remove(path.c_str());
+  {
+    auto wal = BudgetWal::Open(path, 4.0);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->AppendSpend(1.0, "synopsis:v1").ok());
+    ASSERT_TRUE((*wal)->AppendSpend(0.5, "synopsis:v2").ok());
+    ASSERT_TRUE((*wal)->AppendRefund(0.5, "refund:synopsis:v2").ok());
+    ASSERT_TRUE((*wal)->AppendSpend(0.25, "gen1:synopsis:v1").ok());
+  }
+  auto replayed = BudgetWal::Replay(path);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_NEAR(replayed->spent, 1.25, 1e-12);
+  ASSERT_EQ(replayed->entries.size(), 4u);
+  EXPECT_EQ(replayed->entries[0].label, "synopsis:v1");
+  EXPECT_TRUE(replayed->entries[2].refund);
+  EXPECT_DOUBLE_EQ(replayed->entries[2].epsilon, -0.5);
+  EXPECT_EQ(replayed->entries[3].label, "gen1:synopsis:v1");
+}
+
+TEST_F(BudgetWalTest, ReopenRecoversAndStacksSpends) {
+  const std::string path = Track(TempPath("reopen"));
+  std::remove(path.c_str());
+  {
+    auto wal = BudgetWal::Open(path, 4.0);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->AppendSpend(1.5, "life1").ok());
+  }
+  {
+    auto wal = BudgetWal::Open(path, 4.0);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_NEAR((*wal)->recovered().spent, 1.5, 1e-12);
+    ASSERT_TRUE((*wal)->AppendSpend(1.0, "life2").ok());
+    EXPECT_NEAR((*wal)->SpentEpsilon(), 2.5, 1e-12);
+  }
+  auto replayed = BudgetWal::Replay(path);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_NEAR(replayed->spent, 2.5, 1e-12);
+  EXPECT_EQ(replayed->entries.size(), 2u);
+}
+
+TEST_F(BudgetWalTest, TotalMismatchRefused) {
+  const std::string path = Track(TempPath("mismatch"));
+  std::remove(path.c_str());
+  { ASSERT_TRUE(BudgetWal::Open(path, 4.0).ok()); }
+  auto wal = BudgetWal::Open(path, 5.0);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_EQ(wal.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BudgetWalTest, BadTotalsRefused) {
+  const std::string path = Track(TempPath("badtotal"));
+  EXPECT_FALSE(BudgetWal::Open(path, -1.0).ok());
+  EXPECT_FALSE(BudgetWal::Open(path, std::nan("")).ok());
+  EXPECT_FALSE(
+      BudgetWal::Open(path, std::numeric_limits<double>::infinity()).ok());
+}
+
+// The core torn-tail property: truncate a valid log at EVERY byte offset.
+// Replay must always succeed and report exactly the spent total of the
+// last complete record boundary at or before the cut — a prefix of the
+// truth, never garbage, never an error.
+TEST_F(BudgetWalTest, TruncationAtEveryByteReplaysToLastBoundary) {
+  const std::string path = Track(TempPath("torn"));
+  std::remove(path.c_str());
+  std::vector<Boundary> boundaries;
+  {
+    auto wal = BudgetWal::Open(path, 100.0);
+    ASSERT_TRUE(wal.ok());
+    boundaries.push_back({static_cast<size_t>((*wal)->SizeBytes()), 0.0});
+    double spent = 0;
+    const struct {
+      double eps;
+      bool refund;
+    } ops[] = {{1.0, false}, {0.25, false}, {0.25, true},
+               {2.0, false}, {0.125, false}};
+    for (const auto& op : ops) {
+      if (op.refund) {
+        ASSERT_TRUE((*wal)->AppendRefund(op.eps, "refund:x").ok());
+        spent -= op.eps;
+      } else {
+        ASSERT_TRUE((*wal)->AppendSpend(op.eps, "spend:with-a-label").ok());
+        spent += op.eps;
+      }
+      boundaries.push_back({static_cast<size_t>((*wal)->SizeBytes()), spent});
+    }
+  }
+  const std::string full = ReadAll(path);
+  ASSERT_EQ(full.size(), boundaries.back().bytes);
+
+  const std::string cut_path = Track(TempPath("torn_cut"));
+  for (size_t len = 0; len <= full.size(); ++len) {
+    WriteAll(cut_path, full.substr(0, len));
+    auto replayed = BudgetWal::Replay(cut_path);
+    ASSERT_TRUE(replayed.ok())
+        << "cut at byte " << len << ": " << replayed.status().ToString();
+    // The expected spent: the last boundary at or before the cut.
+    double want = 0;
+    size_t want_bytes = 0;
+    for (const Boundary& b : boundaries) {
+      if (b.bytes <= len) {
+        want = b.spent;
+        want_bytes = b.bytes;
+      }
+    }
+    if (len < boundaries.front().bytes) {
+      // Inside the header/total record: a torn creation, empty ledger.
+      // An exact header (8 bytes) is the one complete-but-empty prefix.
+      EXPECT_FALSE(replayed->has_total) << "cut at byte " << len;
+      EXPECT_EQ(replayed->torn_tail, len != 8) << "cut at byte " << len;
+      continue;
+    }
+    EXPECT_TRUE(replayed->has_total) << "cut at byte " << len;
+    EXPECT_NEAR(replayed->spent, want, 1e-12) << "cut at byte " << len;
+    EXPECT_EQ(replayed->valid_bytes, want_bytes) << "cut at byte " << len;
+    EXPECT_EQ(replayed->torn_tail, len != want_bytes)
+        << "cut at byte " << len;
+  }
+}
+
+// Opening a torn log truncates the tail and appends cleanly after it.
+TEST_F(BudgetWalTest, OpenAfterTornTailTruncatesAndAppends) {
+  const std::string path = Track(TempPath("torn_open"));
+  std::remove(path.c_str());
+  size_t one_spend_bytes = 0;
+  {
+    auto wal = BudgetWal::Open(path, 10.0);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->AppendSpend(1.0, "keep").ok());
+    one_spend_bytes = static_cast<size_t>((*wal)->SizeBytes());
+    ASSERT_TRUE((*wal)->AppendSpend(2.0, "tear-me").ok());
+  }
+  const std::string full = ReadAll(path);
+  // Tear the final record in half.
+  WriteAll(path, full.substr(0, one_spend_bytes +
+                                    (full.size() - one_spend_bytes) / 2));
+  {
+    auto wal = BudgetWal::Open(path, 10.0);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    EXPECT_TRUE((*wal)->recovered().torn_tail);
+    EXPECT_NEAR((*wal)->recovered().spent, 1.0, 1e-12);
+    ASSERT_TRUE((*wal)->AppendSpend(0.5, "after-recovery").ok());
+  }
+  auto replayed = BudgetWal::Replay(path);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_FALSE(replayed->torn_tail);
+  EXPECT_NEAR(replayed->spent, 1.5, 1e-12);
+}
+
+// Mid-log damage (a flipped byte with valid records after it) is
+// kCorruption — never a silently wrong spent total.
+TEST_F(BudgetWalTest, MidLogCorruptionIsTypedNeverWrongEpsilon) {
+  const std::string path = Track(TempPath("midlog"));
+  std::remove(path.c_str());
+  size_t first_record_end = 0;
+  {
+    auto wal = BudgetWal::Open(path, 10.0);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->AppendSpend(1.0, "aaaa").ok());
+    first_record_end = static_cast<size_t>((*wal)->SizeBytes());
+    ASSERT_TRUE((*wal)->AppendSpend(2.0, "bbbb").ok());
+  }
+  std::string blob = ReadAll(path);
+  // Flip a payload byte of the FIRST spend record (not the last frame).
+  blob[first_record_end - 6] ^= 0x5a;
+  WriteAll(path, blob);
+  auto replayed = BudgetWal::Replay(path);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kCorruption);
+  // And Open refuses it the same way rather than recreating the file.
+  auto wal = BudgetWal::Open(path, 10.0);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_EQ(wal.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(BudgetWalTest, FlippedFinalFrameIsATornTailNotCorruption) {
+  const std::string path = Track(TempPath("finalflip"));
+  std::remove(path.c_str());
+  {
+    auto wal = BudgetWal::Open(path, 10.0);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->AppendSpend(1.0, "keep").ok());
+    ASSERT_TRUE((*wal)->AppendSpend(2.0, "flip").ok());
+  }
+  std::string blob = ReadAll(path);
+  blob.back() ^= 0x5a;  // corrupt the final CRC byte
+  WriteAll(path, blob);
+  auto replayed = BudgetWal::Replay(path);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_TRUE(replayed->torn_tail);
+  EXPECT_NEAR(replayed->spent, 1.0, 1e-12);
+}
+
+TEST_F(BudgetWalTest, NonWalFileRefused) {
+  const std::string path = Track(TempPath("notwal"));
+  WriteAll(path, "definitely not a WAL file at all");
+  auto replayed = BudgetWal::Replay(path);
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(BudgetWalTest, CheckpointFoldsHistoryAndCompactionShrinksFile) {
+  const std::string path = Track(TempPath("compact"));
+  std::remove(path.c_str());
+  BudgetWal::Options options;
+  options.compact_threshold_bytes = 256;  // tiny: force compaction
+  auto wal = BudgetWal::Open(path, 50.0, options);
+  ASSERT_TRUE(wal.ok());
+  double spent = 0;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(
+        (*wal)->AppendSpend(0.5, "gen:spend-with-a-longish-label").ok());
+    spent += 0.5;
+  }
+  const uint64_t before = (*wal)->SizeBytes();
+  ASSERT_GT(before, options.compact_threshold_bytes);
+  ASSERT_TRUE((*wal)->AppendCheckpoint(7).ok());
+  const uint64_t after = (*wal)->SizeBytes();
+  EXPECT_LT(after, before);
+
+  auto replayed = BudgetWal::Replay(path);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_NEAR(replayed->spent, spent, 1e-9);
+  EXPECT_EQ(replayed->last_checkpoint_generation, 7u);
+  EXPECT_EQ(replayed->folded_entries, 16u);
+  EXPECT_TRUE(replayed->entries.empty());  // folded into the checkpoint
+
+  // Appends continue normally on the compacted log and replay on top of
+  // the checkpoint summary.
+  ASSERT_TRUE((*wal)->AppendSpend(1.0, "post-compact").ok());
+  replayed = BudgetWal::Replay(path);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_NEAR(replayed->spent, spent + 1.0, 1e-9);
+  ASSERT_EQ(replayed->entries.size(), 1u);
+  EXPECT_EQ(replayed->entries[0].label, "post-compact");
+}
+
+TEST_F(BudgetWalTest, CheckpointWithoutThresholdAppendsInPlace) {
+  const std::string path = Track(TempPath("ckpt_append"));
+  std::remove(path.c_str());
+  BudgetWal::Options options;
+  options.compact_threshold_bytes = 0;  // never compact
+  auto wal = BudgetWal::Open(path, 50.0, options);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->AppendSpend(1.0, "a").ok());
+  const uint64_t before = (*wal)->SizeBytes();
+  ASSERT_TRUE((*wal)->AppendCheckpoint(3).ok());
+  EXPECT_GT((*wal)->SizeBytes(), before);
+  auto replayed = BudgetWal::Replay(path);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->last_checkpoint_generation, 3u);
+  EXPECT_NEAR(replayed->spent, 1.0, 1e-12);
+}
+
+// Write-ahead ordering through the accountant: an injected WAL failure
+// must abort the spend with nothing admitted in memory, and the record
+// rolled back on disk so later appends replay cleanly.
+TEST_F(BudgetWalTest, WalFailureAbortsSpendWithoutMemoryMutation) {
+  const std::string path = Track(TempPath("abort"));
+  std::remove(path.c_str());
+  auto wal = BudgetWal::Open(path, 10.0);
+  ASSERT_TRUE(wal.ok());
+  BudgetAccountant acct(10.0);
+  acct.AttachWal(wal->get());
+
+  ASSERT_TRUE(acct.Spend(1.0, "ok-spend").ok());
+  {
+    ScopedFault fault = ScopedFault::OnNth(faults::kBudgetWalFsync, 1);
+    Status st = acct.Spend(2.0, "doomed-spend");
+    ASSERT_FALSE(st.ok());
+  }
+  EXPECT_NEAR(acct.spent(), 1.0, 1e-12);  // memory never admitted it
+  ASSERT_TRUE(acct.Spend(0.5, "after-fault").ok());
+
+  auto replayed = BudgetWal::Replay(path);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_FALSE(replayed->torn_tail);  // the doomed frame was rolled back
+  EXPECT_NEAR(replayed->spent, 1.5, 1e-12);
+  ASSERT_EQ(replayed->entries.size(), 2u);
+  EXPECT_EQ(replayed->entries[1].label, "after-fault");
+}
+
+TEST_F(BudgetWalTest, RecoveredAccountantStacksAndHardFails) {
+  // The recovery constructor seeds spent; composition continues against
+  // the same lifetime total and hard-fails before exceeding it.
+  BudgetAccountant acct(2.0, 1.5, {});
+  EXPECT_FALSE(acct.poisoned());
+  EXPECT_NEAR(acct.spent(), 1.5, 1e-12);
+  EXPECT_TRUE(acct.Spend(0.5, "fits").ok());
+  Status st = acct.Spend(0.5, "over");
+  EXPECT_EQ(st.code(), StatusCode::kPrivacyError);
+}
+
+TEST_F(BudgetWalTest, GarbageRecoveredSpentPoisons) {
+  for (double bad : {std::nan(""), -1.0,
+                     std::numeric_limits<double>::infinity()}) {
+    BudgetAccountant acct(2.0, bad, {});
+    EXPECT_TRUE(acct.poisoned()) << bad;
+    EXPECT_DOUBLE_EQ(acct.total(), 0.0) << bad;
+    EXPECT_FALSE(acct.Spend(0.1, "refused").ok()) << bad;
+  }
+  // Over-counted recovery (spent > total) is NOT poison — it is the safe
+  // direction; there is simply nothing left to spend.
+  BudgetAccountant over(2.0, 3.0, {});
+  EXPECT_FALSE(over.poisoned());
+  EXPECT_DOUBLE_EQ(over.remaining(), 0.0);
+  EXPECT_FALSE(over.Spend(0.1, "nothing-left").ok());
+}
+
+}  // namespace
+}  // namespace viewrewrite

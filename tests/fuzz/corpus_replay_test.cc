@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -68,6 +70,14 @@ TEST(CorpusReplayTest, VrsyLoaderCorpusNeverCrashes) {
   }
 }
 
+TEST(CorpusReplayTest, BudgetWalCorpusNeverCrashes) {
+  for (const fs::path& path : CorpusFiles("wal")) {
+    SCOPED_TRACE(path.string());
+    std::vector<uint8_t> input = ReadBytes(path);
+    fuzz::OneBudgetWalInput(input.data(), input.size());
+  }
+}
+
 // A few corpus entries pin their exact refusal semantics, not just
 // "no crash": the statuses are part of the governance contract.
 TEST(CorpusReplayTest, DeepParensRefusedWithResourceExhausted) {
@@ -89,6 +99,30 @@ TEST(CorpusReplayTest, HugeDoubleCountRefusedWithoutAllocating) {
   // Route through the harness (stages via temp file) and also assert the
   // typed refusal directly: the 2^60-element declaration must fail fast.
   fuzz::OneVrsyLoaderInput(input.data(), input.size());
+}
+
+TEST(CorpusReplayTest, TornWalReplaysToValidPrefix) {
+  // The committed torn-tail seed must replay (prefix semantics), with the
+  // tear reported — and the spent total must be the prefix's, finite and
+  // within the recorded lifetime budget.
+  fs::path path = fs::path(VR_REGRESSION_CORPUS_DIR) / "wal/torn_tail.wal";
+  std::vector<uint8_t> input = ReadBytes(path);
+  ASSERT_FALSE(input.empty());
+  const std::string staged =
+      ::testing::TempDir() + "corpus_torn_tail_replay.wal";
+  {
+    std::ofstream out(staged, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(input.data()),
+              static_cast<std::streamsize>(input.size()));
+  }
+  Result<BudgetWal::ReplayedLedger> replayed = BudgetWal::Replay(staged);
+  std::remove(staged.c_str());
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  EXPECT_TRUE(replayed->torn_tail);
+  EXPECT_TRUE(replayed->has_total);
+  EXPECT_TRUE(std::isfinite(replayed->spent));
+  EXPECT_GE(replayed->spent, 0.0);
+  EXPECT_LE(replayed->spent, replayed->total + 1e-9);
 }
 
 }  // namespace
