@@ -3,10 +3,12 @@
 // invariants on every one (see tests/chaos/chaos_harness.h):
 // no crash, no deadlock, ledger never over-spent (including across
 // republish generations), every response generation-baseline-exact,
-// stale, or an allowed typed error, the coalescing conservation law
+// stale, or an allowed typed error, the conservation law
 // (flights + coalesced_waiters + cache_short_circuits
-// + expired_in_queue == submitted) after every shutdown, and no torn
-// bundle under republish/reload/query races.
+// + expired_in_queue + shed_hopeless + shed_displaced == submitted)
+// after every shutdown, and no torn bundle under republish/reload/query
+// races — now with the overload-control fault point, priority classes
+// and seed-drawn limiter/brownout in the mix.
 //
 //   $ ./build/bench/chaos_soak [num_seeds] [base_seed]
 //
@@ -50,6 +52,10 @@ int main(int argc, char** argv) {
   uint64_t total_generations = 0;
   uint64_t total_rebuilt = 0;
   uint64_t total_outdated = 0;
+  uint64_t total_shed_admission = 0;
+  uint64_t total_shed_hopeless = 0;
+  uint64_t total_shed_displaced = 0;
+  uint64_t total_brownout = 0;
   const auto t0 = std::chrono::steady_clock::now();
   for (uint64_t i = 0; i < num_seeds; ++i) {
     const uint64_t seed = base_seed + i;
@@ -87,6 +93,10 @@ int main(int argc, char** argv) {
     total_generations += run.generations_published;
     total_rebuilt += run.views_rebuilt;
     total_outdated += run.outdated_served;
+    total_shed_admission += run.shed_admission;
+    total_shed_hopeless += run.shed_hopeless;
+    total_shed_displaced += run.shed_displaced;
+    total_brownout += run.brownout_served;
     if (!run.ok()) {
       ++failed_seeds;
       for (const std::string& violation : run.violations) {
@@ -100,14 +110,17 @@ int main(int argc, char** argv) {
   // server; summing the channels across every seed must balance too — a
   // cheap cross-check that no seed's accounting was silently skipped.
   if (total_flights + total_coalesced + total_short_circuits +
-          total_expired != total_submitted) {
+          total_expired + total_shed_hopeless + total_shed_displaced !=
+      total_submitted) {
     std::fprintf(stderr,
                  "aggregate conservation violated: %llu + %llu + %llu + %llu "
-                 "!= %llu\n",
+                 "+ %llu + %llu != %llu\n",
                  static_cast<unsigned long long>(total_flights),
                  static_cast<unsigned long long>(total_coalesced),
                  static_cast<unsigned long long>(total_short_circuits),
                  static_cast<unsigned long long>(total_expired),
+                 static_cast<unsigned long long>(total_shed_hopeless),
+                 static_cast<unsigned long long>(total_shed_displaced),
                  static_cast<unsigned long long>(total_submitted));
     ++failed_seeds;
   }
@@ -123,6 +136,13 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(total_short_circuits),
       static_cast<unsigned long long>(total_expired),
       static_cast<unsigned long long>(largest_group));
+  std::printf(
+      "soak overload: shed_admission=%llu shed_hopeless=%llu "
+      "shed_displaced=%llu brownout_served=%llu\n",
+      static_cast<unsigned long long>(total_shed_admission),
+      static_cast<unsigned long long>(total_shed_hopeless),
+      static_cast<unsigned long long>(total_shed_displaced),
+      static_cast<unsigned long long>(total_brownout));
   std::printf(
       "soak lifecycle: generations_published=%llu views_rebuilt=%llu "
       "outdated_served=%llu\n",

@@ -31,6 +31,11 @@ if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   # Fork + SIGKILL + recover against the write-ahead budget ledger; a hang
   # here is a recovery deadlock, hence the same hard wall-clock bound.
   timeout "${CHAOS_TIMEOUT}" ./build/bench/kill9_soak "${CHAOS_SEEDS}" 1
+
+  echo "== overload soak: ${CHAOS_SEEDS} fixed seeds (default build) =="
+  # Open-loop 2x-10x overload against the serve path: no congestion
+  # collapse, typed fast sheds, bounded drain, no priority inversion.
+  timeout "${CHAOS_TIMEOUT}" ./build/bench/overload_soak "${CHAOS_SEEDS}" 1
 fi
 
 if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
@@ -42,7 +47,9 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
   # but "coalescing wins on duplicate-heavy traffic" must reproduce).
   (cd build/bench && ./serve_throughput > /dev/null)
   for key in '"duplicate_heavy"' '"coalesce_speedup"' '"batch_speedup"' \
-             '"cache_speedup"' '"max_flight_group"' '"modes"' '"runs"'; do
+             '"cache_speedup"' '"max_flight_group"' '"modes"' '"runs"' \
+             '"overload"' '"capacity_qps"' '"goodput_4x_ratio"' \
+             '"goodput_10x_ratio"' '"shed_p99_ms"' '"phases"'; do
     grep -q "${key}" BENCH_serve.json ||
       { echo "committed BENCH_serve.json missing ${key}"; exit 1; }
     grep -q "${key}" build/bench/BENCH_serve.json ||
@@ -55,6 +62,21 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
   awk -v f="${fresh_speedup}" 'BEGIN { exit !(f > 1.0) }' ||
     { echo "regenerated coalesce_speedup ${fresh_speedup} <= 1.0"; exit 1; }
   echo "coalesce_speedup: committed ${committed_speedup}, regenerated ${fresh_speedup}"
+
+  # No-congestion-collapse gate on the committed baseline: goodput at 4x
+  # and 10x offered load must hold >= 0.7x of the peak phase, and typed
+  # sheds must resolve in under a millisecond (the regenerated file is
+  # hardware-bound and only schema-checked above).
+  committed_4x="$(grep -o '"goodput_4x_ratio": [0-9.]*' BENCH_serve.json | grep -o '[0-9.]*$')"
+  committed_10x="$(grep -o '"goodput_10x_ratio": [0-9.]*' BENCH_serve.json | grep -o '[0-9.]*$')"
+  committed_shed_p99="$(grep -o '"shed_p99_ms": [0-9.]*' BENCH_serve.json | head -1 | grep -o '[0-9.]*$')"
+  awk -v r="${committed_4x}" 'BEGIN { exit !(r >= 0.7) }' ||
+    { echo "committed goodput_4x_ratio ${committed_4x} < 0.7 (congestion collapse)"; exit 1; }
+  awk -v r="${committed_10x}" 'BEGIN { exit !(r >= 0.7) }' ||
+    { echo "committed goodput_10x_ratio ${committed_10x} < 0.7 (congestion collapse)"; exit 1; }
+  awk -v p="${committed_shed_p99}" 'BEGIN { exit !(p < 1.0) }' ||
+    { echo "committed overload shed_p99_ms ${committed_shed_p99} >= 1.0"; exit 1; }
+  echo "overload gates: 4x ${committed_4x}, 10x ${committed_10x}, shed_p99 ${committed_shed_p99}ms"
 
   echo "== answer bench: regenerate and check against committed BENCH_answer.json =="
   # The micro_benchmarks main always emits BENCH_answer.json after the
@@ -96,8 +118,9 @@ cmake --build build-asan -j "$(nproc)" --target \
   budget_test budget_wal_test mechanism_test retry_test \
   circuit_breaker_test \
   durability_test republisher_test chaos_test chaos_soak \
-  kill9_test kill9_soak \
+  kill9_test kill9_soak overload_test overload_soak \
   coalescing_test batch_submit_test stats_shard_test \
+  overload_limiter_test priority_queue_test \
   limits_test adversarial_test synopsis_overflow_test hostile_bundle_test \
   admission_test corpus_replay_test \
   aggregate_planner_test suppression_test grouped_serve_test \
@@ -106,7 +129,7 @@ cmake --build build-asan -j "$(nproc)" --target \
 
 echo "== asan+ubsan: ctest (robustness suite) =="
 (cd build-asan && ctest --output-on-failure -j "$(nproc)" \
-  -R 'FaultInjection|Quarantine|PublishRecovery|Budget|BudgetWal|KillNine|LaplaceMechanism|Retry|Backoff|CircuitBreaker|Durability|Republisher|Limits|Tracker|CheckedMul|Adversarial|SynopsisOverflow|HostileBundle|Admission|CorpusReplay|Coalescing|BatchSubmit|StatsShard|PlanAggregate|EvaluateDerived|EvalExpr|Suppression|GroupedServe')
+  -R 'FaultInjection|Quarantine|PublishRecovery|Budget|BudgetWal|KillNine|LaplaceMechanism|Retry|Backoff|CircuitBreaker|Durability|Republisher|Limits|Tracker|CheckedMul|Adversarial|SynopsisOverflow|HostileBundle|Admission|CorpusReplay|Coalescing|BatchSubmit|StatsShard|PlanAggregate|EvaluateDerived|EvalExpr|Suppression|GroupedServe|AdaptiveLimiter|Overload|Priority')
 
 if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   echo "== asan+ubsan: republish chaos smoke (single seed, lifecycle races) =="
@@ -115,6 +138,8 @@ if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   timeout "${CHAOS_TIMEOUT}" ./build-asan/tests/chaos_test --seed=5
   echo "== asan+ubsan: kill-nine smoke (single seed, crash recovery) =="
   timeout "${CHAOS_TIMEOUT}" ./build-asan/tests/kill9_test --seed=3
+  echo "== asan+ubsan: overload smoke (single seed, open-loop shedding) =="
+  timeout "${CHAOS_TIMEOUT}" ./build-asan/tests/overload_test --seed=2
 fi
 
 if [[ "${SKIP_FUZZ:-0}" != "1" ]]; then
@@ -151,6 +176,8 @@ if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   timeout "${CHAOS_TIMEOUT}" ./build-asan/bench/chaos_soak 8 1
   echo "== asan+ubsan: kill-nine soak (reduced seeds) =="
   timeout "${CHAOS_TIMEOUT}" ./build-asan/bench/kill9_soak 8 1
+  echo "== asan+ubsan: overload soak (reduced seeds) =="
+  timeout "${CHAOS_TIMEOUT}" ./build-asan/bench/overload_soak 8 1
 fi
 
 echo "== tsan: configure + build concurrent-serve suite =="
@@ -160,19 +187,23 @@ cmake --build build-tsan -j "$(nproc)" --target \
   resilience_test deadline_test budget_test budget_wal_test \
   durability_test \
   republisher_test chaos_test chaos_soak kill9_test kill9_soak \
+  overload_test overload_soak \
   coalescing_test batch_submit_test stats_shard_test \
+  overload_limiter_test priority_queue_test \
   adversarial_test admission_test corpus_replay_test \
   grouped_serve_test
 
 echo "== tsan: ctest (concurrent serving layer) =="
 (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
-  -R 'QueryServer|AnswerCache|ShutdownRace|Reload|Resilience|Deadline|Budget|BudgetWal|KillNine|Durability|Republisher|Coalescing|BatchSubmit|StatsShard|Adversarial|Admission|CorpusReplay|GroupedServe')
+  -R 'QueryServer|AnswerCache|ShutdownRace|Reload|Resilience|Deadline|Budget|BudgetWal|KillNine|Durability|Republisher|Coalescing|BatchSubmit|StatsShard|Adversarial|Admission|CorpusReplay|GroupedServe|AdaptiveLimiter|Overload|Priority')
 
 if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
   echo "== tsan: chaos soak (reduced seeds) =="
   timeout "${CHAOS_TIMEOUT}" ./build-tsan/bench/chaos_soak 8 1
   echo "== tsan: kill-nine soak (reduced seeds) =="
   timeout "${CHAOS_TIMEOUT}" ./build-tsan/bench/kill9_soak 8 1
+  echo "== tsan: overload soak (reduced seeds) =="
+  timeout "${CHAOS_TIMEOUT}" ./build-tsan/bench/overload_soak 8 1
   echo "== tsan: republish chaos smoke (single seed, lifecycle races) =="
   timeout "${CHAOS_TIMEOUT}" ./build-tsan/tests/chaos_test --seed=5
 fi

@@ -26,6 +26,10 @@ inline constexpr const char kServeLoad[] = "serve.load";
 inline constexpr const char kServeSave[] = "serve.save";
 inline constexpr const char kServeAnswer[] = "serve.answer";
 inline constexpr const char kServeReload[] = "serve.reload";
+/// Overload-control admission gate: a firing fault forces the shed path
+/// (brownout probe, then typed ResourceExhausted) for the request being
+/// submitted, regardless of the limiter's state.
+inline constexpr const char kServeOverload[] = "serve.overload";
 /// Synopsis lifecycle (republisher): entry into a republish generation,
 /// the per-view delta rebuild, and the final bundle swap into the server.
 inline constexpr const char kServeRepublish[] = "serve.republish";
@@ -43,7 +47,7 @@ inline constexpr const char kBudgetWalCheckpoint[] = "budget.wal.checkpoint";
 inline constexpr const char* kAllPoints[] = {
     kParse,          kRewrite,        kViewRegister,   kViewPublish,
     kDpMechanism,    kStorageCsv,     kServeLoad,      kServeSave,
-    kServeAnswer,    kServeReload,    kServeRepublish,
+    kServeAnswer,    kServeReload,    kServeOverload,  kServeRepublish,
     kRepublishBuild, kRepublishSwap,  kBudgetWalAppend,
     kBudgetWalFsync, kBudgetWalCheckpoint,
 };

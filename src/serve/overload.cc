@@ -1,0 +1,211 @@
+#include "serve/overload.h"
+
+#include <algorithm>
+
+namespace viewrewrite {
+
+namespace {
+
+std::chrono::steady_clock::time_point DefaultNow() {
+  return std::chrono::steady_clock::now();
+}
+
+}  // namespace
+
+const char* PriorityName(Priority p) {
+  switch (p) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kBackground:
+      return "background";
+  }
+  return "unknown";
+}
+
+AdaptiveLimiter::AdaptiveLimiter(AdaptiveLimiterOptions options, ClockFn clock)
+    : options_(options), clock_(clock ? std::move(clock) : DefaultNow) {
+  options_.min_limit = std::max(1.0, options_.min_limit);
+  options_.max_limit = std::max(options_.min_limit, options_.max_limit);
+  options_.initial_limit =
+      std::clamp(options_.initial_limit, options_.min_limit,
+                 options_.max_limit);
+  options_.decrease_factor = std::clamp(options_.decrease_factor, 0.01, 0.99);
+  options_.ewma_alpha = std::clamp(options_.ewma_alpha, 0.01, 1.0);
+  options_.batch_fraction = std::clamp(options_.batch_fraction, 0.0, 1.0);
+  options_.background_fraction =
+      std::clamp(options_.background_fraction, 0.0, 1.0);
+  limit_ = options_.initial_limit;
+  // Start the cooldown fully elapsed so the first over-target sample may
+  // decrease immediately.
+  last_decrease_ = clock_() - options_.decrease_cooldown;
+}
+
+double AdaptiveLimiter::CapFor(Priority p) const {
+  double fraction = 1.0;
+  switch (p) {
+    case Priority::kInteractive:
+      fraction = 1.0;
+      break;
+    case Priority::kBatch:
+      fraction = options_.batch_fraction;
+      break;
+    case Priority::kBackground:
+      fraction = options_.background_fraction;
+      break;
+  }
+  return std::max(options_.min_limit * fraction, limit_ * fraction);
+}
+
+bool AdaptiveLimiter::TryAcquire(Priority p) {
+  if (!options_.enabled) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<double>(in_flight_) >= CapFor(p)) return false;
+  ++in_flight_;
+  return true;
+}
+
+void AdaptiveLimiter::Release() {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ > 0) --in_flight_;
+}
+
+void AdaptiveLimiter::OnQueueLatency(std::chrono::nanoseconds queued) {
+  if (!options_.enabled) return;
+  const double sample = static_cast<double>(
+      std::max<int64_t>(0, queued.count()));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!have_sample_) {
+    ewma_ns_ = sample;
+    have_sample_ = true;
+  } else {
+    ewma_ns_ += options_.ewma_alpha * (sample - ewma_ns_);
+  }
+  const double target =
+      static_cast<double>(options_.target_queue_latency.count());
+  if (ewma_ns_ > target) {
+    const auto now = clock_();
+    if (now - last_decrease_ >= options_.decrease_cooldown) {
+      limit_ = std::max(options_.min_limit, limit_ * options_.decrease_factor);
+      last_decrease_ = now;
+      ++decreases_;
+    }
+  } else {
+    const double step = options_.increase / std::max(1.0, limit_);
+    limit_ = std::min(options_.max_limit, limit_ + step);
+    ++increases_;
+  }
+}
+
+double AdaptiveLimiter::limit() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limit_;
+}
+
+uint64_t AdaptiveLimiter::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+std::chrono::nanoseconds AdaptiveLimiter::smoothed_latency() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::chrono::nanoseconds(static_cast<int64_t>(ewma_ns_));
+}
+
+uint64_t AdaptiveLimiter::increases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return increases_;
+}
+
+uint64_t AdaptiveLimiter::decreases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return decreases_;
+}
+
+OverloadController::OverloadController(OverloadOptions options, ClockFn clock)
+    : options_(options),
+      clock_(clock ? std::move(clock) : DefaultNow),
+      limiter_(options.limiter, clock_) {
+  options_.hopeless_factor = std::max(0.0, options_.hopeless_factor);
+  options_.service_ewma_alpha =
+      std::clamp(options_.service_ewma_alpha, 0.01, 1.0);
+  if (options_.brownout_window <= std::chrono::nanoseconds(0)) {
+    options_.brownout_window = std::chrono::milliseconds(100);
+  }
+  window_start_ = clock_();
+}
+
+bool OverloadController::Admit(Priority p) {
+  if (limiter_.TryAcquire(p)) return true;
+  RecordShed();
+  return false;
+}
+
+void OverloadController::RecordServiceTime(std::chrono::nanoseconds dt) {
+  const double sample = static_cast<double>(std::max<int64_t>(0, dt.count()));
+  std::lock_guard<std::mutex> lock(service_mu_);
+  if (service_samples_ == 0) {
+    service_ewma_ns_ = sample;
+  } else {
+    service_ewma_ns_ += options_.service_ewma_alpha * (sample - service_ewma_ns_);
+  }
+  ++service_samples_;
+}
+
+bool OverloadController::Hopeless(const Deadline& d) const {
+  if (!options_.enable_queue_discipline || d.infinite()) return false;
+  double estimate_ns = 0;
+  {
+    std::lock_guard<std::mutex> lock(service_mu_);
+    if (service_samples_ < options_.service_warmup_samples) return false;
+    estimate_ns = service_ewma_ns_;
+  }
+  const double remaining_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d.remaining())
+          .count());
+  return remaining_ns < estimate_ns * options_.hopeless_factor;
+}
+
+void OverloadController::RollWindowLocked(
+    std::chrono::steady_clock::time_point now) const {
+  if (now - window_start_ < options_.brownout_window) return;
+  // The window that just closed decides whether the overload is still
+  // "sustained": a quiet window deactivates brownout.
+  brownout_ = sheds_in_window_ >= options_.brownout_shed_threshold;
+  window_start_ = now;
+  sheds_in_window_ = 0;
+}
+
+void OverloadController::RecordShed() {
+  std::lock_guard<std::mutex> lock(brownout_mu_);
+  RollWindowLocked(clock_());
+  ++sheds_in_window_;
+  if (sheds_in_window_ >= options_.brownout_shed_threshold) brownout_ = true;
+}
+
+bool OverloadController::brownout_active() const {
+  if (!options_.enable_brownout) return false;
+  std::lock_guard<std::mutex> lock(brownout_mu_);
+  RollWindowLocked(clock_());
+  return brownout_;
+}
+
+bool OverloadController::overloaded() const {
+  if (brownout_active()) return true;
+  if (!limiter_.enabled()) return false;
+  return static_cast<double>(limiter_.in_flight()) >= limiter_.limit();
+}
+
+std::chrono::nanoseconds OverloadController::service_estimate() const {
+  std::lock_guard<std::mutex> lock(service_mu_);
+  return std::chrono::nanoseconds(static_cast<int64_t>(service_ewma_ns_));
+}
+
+uint64_t OverloadController::service_samples() const {
+  std::lock_guard<std::mutex> lock(service_mu_);
+  return service_samples_;
+}
+
+}  // namespace viewrewrite

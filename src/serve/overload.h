@@ -1,0 +1,280 @@
+#ifndef VIEWREWRITE_SERVE_OVERLOAD_H_
+#define VIEWREWRITE_SERVE_OVERLOAD_H_
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/deadline.h"
+
+namespace viewrewrite {
+
+/// Request priority classes for the serve path. Lower numeric value =
+/// higher priority. `kInteractive` is a user waiting on the answer;
+/// `kBatch` is programmatic bulk traffic that tolerates queueing;
+/// `kBackground` is maintenance work (warming, sweeps) that must never
+/// starve the other two. Dequeue is strict priority and shedding is
+/// lowest-class-first: under overload `kBackground` loses admission
+/// headroom first, then `kBatch`, and a full queue evicts the youngest
+/// lowest-class request before refusing a higher-class arrival.
+enum class Priority : uint8_t {
+  kInteractive = 0,
+  kBatch = 1,
+  kBackground = 2,
+};
+
+inline constexpr size_t kNumPriorities = 3;
+
+const char* PriorityName(Priority p);
+
+/// Knobs for the adaptive concurrency/admission limiter (AIMD on observed
+/// queue latency, Vegas-style: latency above target means the queue is
+/// deeper than the workers can drain, so the limit contracts).
+struct AdaptiveLimiterOptions {
+  /// Master switch. Disabled (the default) the limiter admits everything
+  /// and the server never touches it — existing behavior is unchanged.
+  bool enabled = false;
+  /// Concurrency limit at construction (admitted-but-unfinished
+  /// requests, i.e. queue depth plus in-service).
+  double initial_limit = 32;
+  double min_limit = 2;
+  double max_limit = 1024;
+  /// The control target: when the smoothed queue latency (time from
+  /// admission to dequeue) exceeds this, the limit decreases
+  /// multiplicatively; while at or below it, the limit creeps up
+  /// additively.
+  std::chrono::nanoseconds target_queue_latency = std::chrono::milliseconds(2);
+  /// Additive increase per below-target sample, scaled by 1/limit so the
+  /// limit grows by roughly one slot per limit's worth of samples
+  /// (classic gradient probing).
+  double increase = 1.0;
+  /// Multiplicative decrease factor applied when the smoothed latency is
+  /// over target.
+  double decrease_factor = 0.7;
+  /// Minimum spacing between two decreases: one congestion episode should
+  /// cost one cut, not one cut per queued sample already in the pipe.
+  std::chrono::nanoseconds decrease_cooldown = std::chrono::milliseconds(10);
+  /// EWMA smoothing weight for the queue-latency signal.
+  double ewma_alpha = 0.2;
+  /// Lowest-class-first shedding: `kBatch` is admitted only while
+  /// in-flight stays under batch_fraction x limit, `kBackground` under
+  /// background_fraction x limit. `kInteractive` may use the full limit.
+  double batch_fraction = 0.9;
+  double background_fraction = 0.7;
+};
+
+/// Adaptive concurrency limiter: admits up to `limit` concurrently held
+/// requests and adapts `limit` by AIMD on the observed queue latency.
+/// The clock is injectable (same pattern as CircuitBreaker) so unit tests
+/// drive the decrease cooldown deterministically without sleeping.
+///
+/// Thread safe; every operation takes one short mutex (call rates are one
+/// TryAcquire per Submit and one OnQueueLatency/Release per dequeue,
+/// orders of magnitude below contention concern).
+class AdaptiveLimiter {
+ public:
+  using ClockFn = std::function<std::chrono::steady_clock::time_point()>;
+
+  /// A null `clock` uses std::chrono::steady_clock::now.
+  explicit AdaptiveLimiter(AdaptiveLimiterOptions options, ClockFn clock = {});
+
+  /// Tries to take one slot for a request of class `p`. False means the
+  /// request must be shed (or brownout-served) — it never blocks. A
+  /// disabled limiter always admits (and does not count the slot).
+  bool TryAcquire(Priority p);
+
+  /// Returns the slot taken by a successful TryAcquire. Call exactly once
+  /// per admitted request, when it stops occupying queue + service
+  /// capacity (resolved, dropped or displaced).
+  void Release();
+
+  /// Feeds one queue-latency observation (admission to dequeue) into the
+  /// AIMD controller.
+  void OnQueueLatency(std::chrono::nanoseconds queued);
+
+  bool enabled() const { return options_.enabled; }
+  double limit() const;
+  uint64_t in_flight() const;
+  std::chrono::nanoseconds smoothed_latency() const;
+  /// AIMD events so far, for tests asserting convergence dynamics.
+  uint64_t increases() const;
+  uint64_t decreases() const;
+
+ private:
+  /// Admission cap for class `p`: the full limit for interactive, the
+  /// configured fraction of it below (never under min_limit, so lower
+  /// classes are squeezed, not starved outright, at small limits).
+  double CapFor(Priority p) const;
+
+  AdaptiveLimiterOptions options_;
+  ClockFn clock_;
+
+  mutable std::mutex mu_;
+  double limit_;
+  uint64_t in_flight_ = 0;
+  double ewma_ns_ = 0;
+  bool have_sample_ = false;
+  std::chrono::steady_clock::time_point last_decrease_;
+  uint64_t increases_ = 0;
+  uint64_t decreases_ = 0;
+};
+
+/// Knobs for the whole overload-control subsystem (ServeOptions::overload).
+struct OverloadOptions {
+  AdaptiveLimiterOptions limiter;
+  /// Deadline-aware queue discipline: at dequeue, a request whose
+  /// remaining deadline budget cannot cover the current service-time
+  /// estimate is dropped (typed DeadlineExceeded) instead of burning a
+  /// worker on an answer nobody will wait for. Requests without a
+  /// deadline are never dropped, and the estimator must warm up first,
+  /// so the default-on switch changes nothing for deadline-free traffic.
+  bool enable_queue_discipline = true;
+  /// A request is hopeless when remaining < estimate x hopeless_factor.
+  /// 1.0 drops only requests that the estimate says cannot finish.
+  double hopeless_factor = 1.0;
+  /// Service-time samples required before the hopeless check may fire.
+  uint64_t service_warmup_samples = 8;
+  /// EWMA weight for the service-time estimate.
+  double service_ewma_alpha = 0.2;
+  /// Brownout mode: under sustained overload, a shed request whose
+  /// answer is still in the AnswerCache (any epoch) is served from it
+  /// with `stale = true` instead of erroring.
+  bool enable_brownout = false;
+  /// Sustained overload = at least brownout_shed_threshold sheds within
+  /// one brownout_window. Brownout stays active while consecutive
+  /// windows keep meeting the threshold.
+  std::chrono::nanoseconds brownout_window = std::chrono::milliseconds(100);
+  uint64_t brownout_shed_threshold = 8;
+};
+
+/// Bundles the overload-control state a QueryServer consults on its hot
+/// path: the adaptive limiter, the service-time estimator behind the
+/// queue discipline, and the brownout window. Thread safe.
+class OverloadController {
+ public:
+  using ClockFn = AdaptiveLimiter::ClockFn;
+
+  explicit OverloadController(OverloadOptions options, ClockFn clock = {});
+
+  const OverloadOptions& options() const { return options_; }
+  AdaptiveLimiter& limiter() { return limiter_; }
+  const AdaptiveLimiter& limiter() const { return limiter_; }
+
+  /// Admission gate: takes a limiter slot, or records the shed (feeding
+  /// the brownout window) and returns false. True when the limiter is
+  /// disabled.
+  bool Admit(Priority p);
+  void Release() { limiter_.Release(); }
+
+  /// Queue-latency observation at dequeue (AIMD input).
+  void OnDequeue(std::chrono::nanoseconds queued) {
+    limiter_.OnQueueLatency(queued);
+  }
+
+  /// One completed answer computation's wall time (service-time EWMA).
+  void RecordServiceTime(std::chrono::nanoseconds dt);
+
+  /// True when `d`'s remaining budget cannot cover the estimated service
+  /// time (after warmup; never for infinite deadlines).
+  bool Hopeless(const Deadline& d) const;
+
+  /// Records a shed/drop event outside Admit (hopeless drop,
+  /// displacement) into the brownout window.
+  void RecordShed();
+
+  /// True while the current (or immediately preceding) brownout window
+  /// met the shed threshold — the "sustained overload" signal gating
+  /// stale cache serving. Always false when brownout is disabled.
+  bool brownout_active() const;
+
+  /// Coarse pressure signal for background work (the Republisher defers
+  /// on it): the limiter is saturated or brownout is active.
+  bool overloaded() const;
+
+  std::chrono::nanoseconds service_estimate() const;
+  uint64_t service_samples() const;
+
+ private:
+  /// Rolls the brownout window forward; callers hold brownout_mu_.
+  void RollWindowLocked(std::chrono::steady_clock::time_point now) const;
+
+  OverloadOptions options_;
+  ClockFn clock_;
+  AdaptiveLimiter limiter_;
+
+  mutable std::mutex service_mu_;
+  double service_ewma_ns_ = 0;
+  uint64_t service_samples_ = 0;
+
+  mutable std::mutex brownout_mu_;
+  mutable std::chrono::steady_clock::time_point window_start_;
+  mutable uint64_t sheds_in_window_ = 0;
+  mutable bool brownout_ = false;
+};
+
+/// Strict-priority bounded-queue discipline: one FIFO lane per class,
+/// popped highest class first, with displacement eviction so a full queue
+/// prefers dropping the youngest lowest-class request over refusing a
+/// higher-class arrival. Not thread safe — the QueryServer operates it
+/// under its queue mutex; kept generic so the discipline is unit-testable
+/// with plain values.
+template <typename T>
+class PriorityTaskQueue {
+ public:
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  void Push(Priority p, T item) {
+    lanes_[static_cast<size_t>(p)].push_back(std::move(item));
+    ++size_;
+  }
+
+  /// Pops the oldest item of the highest-priority non-empty lane.
+  /// Undefined on an empty queue (callers check empty() first, exactly
+  /// like std::deque::front). `popped` receives the item's class.
+  T Pop(Priority* popped = nullptr) {
+    for (size_t i = 0; i < kNumPriorities; ++i) {
+      if (lanes_[i].empty()) continue;
+      T item = std::move(lanes_[i].front());
+      lanes_[i].pop_front();
+      --size_;
+      if (popped != nullptr) *popped = static_cast<Priority>(i);
+      return item;
+    }
+    // Unreachable when callers respect the empty() contract.
+    return T{};
+  }
+
+  /// Removes and returns the youngest item of the lowest class strictly
+  /// below `p` (shed-lowest-first, and within the class the request that
+  /// has waited least loses). nullopt when nothing outranks — an arrival
+  /// never displaces its own class or better.
+  std::optional<T> DisplaceLowerThan(Priority p) {
+    for (size_t i = kNumPriorities; i-- > static_cast<size_t>(p) + 1;) {
+      if (lanes_[i].empty()) continue;
+      T item = std::move(lanes_[i].back());
+      lanes_[i].pop_back();
+      --size_;
+      return item;
+    }
+    return std::nullopt;
+  }
+
+  size_t lane_size(Priority p) const {
+    return lanes_[static_cast<size_t>(p)].size();
+  }
+
+ private:
+  std::array<std::deque<T>, kNumPriorities> lanes_;
+  size_t size_ = 0;
+};
+
+}  // namespace viewrewrite
+
+#endif  // VIEWREWRITE_SERVE_OVERLOAD_H_

@@ -76,6 +76,8 @@ QueryServer::QueryServer(std::shared_ptr<const SynopsisStore> store,
       rewriter_(schema_, WithLimits(options.rewrite, options.limits)),
       answer_breaker_(options.answer_breaker),
       store_breaker_(options.store_breaker),
+      overload_(options.overload),
+      retry_budget_(options.retry_budget),
       counters_(StatsCells(options)) {
   options_.rewrite.limits = options_.limits;
   if (options_.num_threads == 0) options_.num_threads = 1;
@@ -185,12 +187,54 @@ std::future<Result<ServedAnswer>> QueryServer::Submit(std::string sql,
   return Submit(std::move(sql), std::move(params), std::chrono::nanoseconds(0));
 }
 
+bool QueryServer::AdmitTask(Priority priority) {
+  // Injected sheds (serve.overload faults) and the adaptive limiter share
+  // one admission gate. A fault-forced shed feeds the brownout window but
+  // takes no limiter slot; a limiter shed is recorded inside Admit.
+  if (FaultInjection::Armed() &&
+      !FaultInjection::Instance().Check(faults::kServeOverload).ok()) {
+    overload_.RecordShed();
+    return false;
+  }
+  if (!options_.overload.limiter.enabled) return true;
+  return overload_.Admit(priority);
+}
+
+std::optional<ServedAnswer> QueryServer::TryBrownout(const std::string& sql,
+                                                     const ParamMap& params) {
+  if (!options_.overload.enable_brownout || cache_ == nullptr) {
+    return std::nullopt;
+  }
+  if (!overload_.brownout_active()) return std::nullopt;
+  std::optional<AnswerCache::Entry> hit = cache_->Get(RawCacheKey(sql, params));
+  if (!hit.has_value()) return std::nullopt;
+  // Any epoch qualifies: brownout is the degradation path, so the answer
+  // is flagged stale even when the entry happens to be current — the
+  // caller learns it was served from cache under pressure, not computed.
+  const StoreSnapshot snap = SnapshotStore();
+  return ServedAnswer{hit->value,  /*stale=*/true,
+                      0,           /*coalesced=*/false,
+                      /*outdated=*/false, snap.epoch,
+                      snap.store->generation(), hit->rows};
+}
+
+void QueryServer::ResolveTask(Task& task, const Result<ServedAnswer>& r) {
+  for (auto& follower : task.followers) {
+    RecordOutcome(r);
+    follower.set_value(r);
+  }
+  RecordOutcome(r);
+  task.promise.set_value(r);
+}
+
 std::future<Result<ServedAnswer>> QueryServer::Submit(
-    std::string sql, ParamMap params, std::chrono::nanoseconds timeout) {
+    std::string sql, ParamMap params, std::chrono::nanoseconds timeout,
+    Priority priority) {
   Task task;
   task.sql = std::move(sql);
   task.params = std::move(params);
   task.deadline = MakeDeadline(timeout);
+  task.priority = priority;
   std::future<Result<ServedAnswer>> future = task.promise.get_future();
   // Admission control: oversized SQL is refused before it occupies a
   // queue slot or a worker — the cheapest point to stop a hostile
@@ -203,34 +247,99 @@ std::future<Result<ServedAnswer>> QueryServer::Submit(
         std::to_string(options_.limits.max_sql_bytes) + ")"));
     return future;
   }
+  // An already-expired deadline resolves synchronously: queueing it would
+  // burn a slot (and a worker's dequeue) on an answer nobody is waiting
+  // for. Counted like a worker-side expiry (failed + deadline_exceeded)
+  // but never submitted.
+  if (task.deadline.expired()) {
+    counters_.Add(ServeCounter::kRejectedExpired);
+    Result<ServedAnswer> r{Status::DeadlineExceeded(
+        "request deadline already expired at submit")};
+    RecordOutcome(r);
+    task.promise.set_value(std::move(r));
+    return future;
+  }
+  // Overload admission: shed before the request occupies a queue slot,
+  // answering from the cache instead when brownout is active.
+  if (!AdmitTask(task.priority)) {
+    if (std::optional<ServedAnswer> browned =
+            TryBrownout(task.sql, task.params)) {
+      counters_.Add(ServeCounter::kBrownoutServed);
+      Result<ServedAnswer> r{std::move(*browned)};
+      RecordOutcome(r);
+      task.promise.set_value(std::move(r));
+      return future;
+    }
+    counters_.Add(ServeCounter::kShedAdmission);
+    task.promise.set_value(Status::ResourceExhausted(
+        "overloaded: admission limiter shed the request"));
+    return future;
+  }
+  const bool limited = options_.overload.limiter.enabled;
+  std::optional<Task> displaced;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       counters_.Add(ServeCounter::kRejectedShutdown);
+      if (limited) overload_.Release();
       task.promise.set_value(
           Status::Unavailable("query server is shut down"));
       return future;
     }
     if (queue_.size() >= options_.queue_capacity) {
-      counters_.Add(ServeCounter::kRejectedQueueFull);
-      task.promise.set_value(Status::Unavailable(
-          "request queue full (" + std::to_string(options_.queue_capacity) +
-          " pending)"));
-      return future;
+      // Displacement: prefer evicting the youngest strictly-lower-class
+      // queued request over refusing a higher-class arrival.
+      displaced = queue_.DisplaceLowerThan(task.priority);
+      if (!displaced.has_value()) {
+        counters_.Add(ServeCounter::kRejectedQueueFull);
+        if (limited) overload_.Release();
+        task.promise.set_value(Status::Unavailable(
+            "request queue full (" + std::to_string(options_.queue_capacity) +
+            " pending)"));
+        return future;
+      }
     }
     counters_.Add(ServeCounter::kSubmitted);
-    queue_.push_back(std::move(task));
+    task.enqueue_time = std::chrono::steady_clock::now();
+    queue_.Push(task.priority, std::move(task));
   }
   queue_cv_.notify_one();
+  if (displaced.has_value()) {
+    // The displaced request was accepted (counted submitted), so it
+    // resolves through the shed_displaced conservation channel and its
+    // limiter slot frees up for the arrival that evicted it.
+    overload_.RecordShed();
+    counters_.Add(ServeCounter::kShedDisplaced);
+    if (limited) overload_.Release();
+    ResolveTask(*displaced,
+                Result<ServedAnswer>{Status::ResourceExhausted(
+                    "overloaded: displaced from the queue by a "
+                    "higher-priority request")});
+  }
   return future;
 }
 
 std::vector<std::future<Result<ServedAnswer>>> QueryServer::SubmitBatch(
     std::vector<std::string> sqls, ParamMap params,
-    std::chrono::nanoseconds timeout) {
+    std::chrono::nanoseconds timeout, Priority priority) {
   const Deadline deadline = MakeDeadline(timeout);
   std::vector<std::future<Result<ServedAnswer>>> futures;
   futures.reserve(sqls.size());
+
+  // The batch shares one deadline; if it is already expired every element
+  // resolves synchronously — exactly like the single-Submit fast reject.
+  if (deadline.expired()) {
+    for (size_t i = 0; i < sqls.size(); ++i) {
+      std::promise<Result<ServedAnswer>> promise;
+      futures.push_back(promise.get_future());
+      counters_.Add(ServeCounter::kRejectedExpired);
+      Result<ServedAnswer> r{Status::DeadlineExceeded(
+          "request deadline already expired at submit")};
+      RecordOutcome(r);
+      promise.set_value(std::move(r));
+    }
+    return futures;
+  }
 
   // Dedup within the batch: the first occurrence of a text becomes a
   // task, later occurrences ride it as followers — they resolve with the
@@ -258,32 +367,66 @@ std::vector<std::future<Result<ServedAnswer>>> QueryServer::SubmitBatch(
     task.sql = std::move(sql);
     task.params = params;
     task.deadline = deadline;
+    task.priority = priority;
     task.promise = std::move(promise);
     tasks.push_back(std::move(task));
   }
 
-  // Enqueue every distinct task under one queue lock — the batch pays one
+  // Overload admission per distinct task, outside the queue lock (the
+  // brownout probe touches the cache). A shed task sheds its followers
+  // with it — they were deduplicated onto its computation.
+  const bool limited = options_.overload.limiter.enabled;
+  std::vector<Task> admitted;
+  admitted.reserve(tasks.size());
+  for (Task& task : tasks) {
+    const uint64_t group = 1 + task.followers.size();
+    if (AdmitTask(task.priority)) {
+      admitted.push_back(std::move(task));
+      continue;
+    }
+    if (std::optional<ServedAnswer> browned =
+            TryBrownout(task.sql, task.params)) {
+      counters_.Add(ServeCounter::kBrownoutServed, group);
+      ResolveTask(task, Result<ServedAnswer>{std::move(*browned)});
+      continue;
+    }
+    counters_.Add(ServeCounter::kShedAdmission, group);
+    Result<ServedAnswer> shed{Status::ResourceExhausted(
+        "overloaded: admission limiter shed the request")};
+    for (auto& follower : task.followers) follower.set_value(shed);
+    task.promise.set_value(std::move(shed));
+  }
+
+  // Enqueue every admitted task under one queue lock — the batch pays one
   // lock round-trip, and its tasks land contiguously. Admission control
   // stays per task; a rejected task rejects its followers with it.
   std::vector<std::pair<Task, Status>> rejected;
+  std::vector<Task> displaced;
+  const auto now = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (Task& task : tasks) {
+    for (Task& task : admitted) {
       const uint64_t group = 1 + task.followers.size();
       if (stopping_) {
         counters_.Add(ServeCounter::kRejectedShutdown, group);
+        if (limited) overload_.Release();
         rejected.emplace_back(std::move(task),
                               Status::Unavailable("query server is shut down"));
         continue;
       }
       if (queue_.size() >= options_.queue_capacity) {
-        counters_.Add(ServeCounter::kRejectedQueueFull, group);
-        rejected.emplace_back(
-            std::move(task),
-            Status::Unavailable("request queue full (" +
-                                std::to_string(options_.queue_capacity) +
-                                " pending)"));
-        continue;
+        std::optional<Task> evicted = queue_.DisplaceLowerThan(task.priority);
+        if (!evicted.has_value()) {
+          counters_.Add(ServeCounter::kRejectedQueueFull, group);
+          if (limited) overload_.Release();
+          rejected.emplace_back(
+              std::move(task),
+              Status::Unavailable("request queue full (" +
+                                  std::to_string(options_.queue_capacity) +
+                                  " pending)"));
+          continue;
+        }
+        displaced.push_back(std::move(*evicted));
       }
       counters_.Add(ServeCounter::kSubmitted, group);
       counters_.Add(ServeCounter::kBatchQueries, group);
@@ -294,10 +437,19 @@ std::vector<std::future<Result<ServedAnswer>>> QueryServer::SubmitBatch(
         counters_.Add(ServeCounter::kBatchDeduped, task.followers.size());
         counters_.Add(ServeCounter::kCoalescedWaiters, task.followers.size());
       }
-      queue_.push_back(std::move(task));
+      task.enqueue_time = now;
+      queue_.Push(task.priority, std::move(task));
     }
   }
   queue_cv_.notify_all();
+  for (Task& task : displaced) {
+    overload_.RecordShed();
+    counters_.Add(ServeCounter::kShedDisplaced);
+    if (limited) overload_.Release();
+    ResolveTask(task, Result<ServedAnswer>{Status::ResourceExhausted(
+                          "overloaded: displaced from the queue by a "
+                          "higher-priority request")});
+  }
   for (auto& [task, status] : rejected) {
     for (auto& follower : task.followers) follower.set_value(status);
     task.promise.set_value(status);
@@ -306,6 +458,7 @@ std::vector<std::future<Result<ServedAnswer>>> QueryServer::SubmitBatch(
 }
 
 void QueryServer::WorkerLoop() {
+  const bool limited = options_.overload.limiter.enabled;
   for (;;) {
     Task task;
     {
@@ -314,8 +467,12 @@ void QueryServer::WorkerLoop() {
       // Drain the queue even when stopping: every accepted Submit holds a
       // promise that must resolve.
       if (queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      task = queue_.Pop();
+    }
+    if (limited) {
+      // Queue latency (admission to dequeue) is the AIMD control signal.
+      overload_.OnDequeue(std::chrono::steady_clock::now() -
+                          task.enqueue_time);
     }
     if (task.deadline.expired()) {
       // Expired while queued: resolve without touching the answer path,
@@ -324,17 +481,22 @@ void QueryServer::WorkerLoop() {
       // already counted coalesced at admission; the task itself resolves
       // through the expired-in-queue channel).
       counters_.Add(ServeCounter::kExpiredInQueue);
-      Result<ServedAnswer> r{
-          Status::DeadlineExceeded("request deadline expired while queued")};
-      for (auto& follower : task.followers) {
-        RecordOutcome(r);
-        follower.set_value(r);
-      }
-      RecordOutcome(r);
-      task.promise.set_value(std::move(r));
-      continue;
+      ResolveTask(task, Result<ServedAnswer>{Status::DeadlineExceeded(
+                            "request deadline expired while queued")});
+    } else if (overload_.Hopeless(task.deadline)) {
+      // Deadline-aware queue discipline: the remaining budget cannot
+      // cover the estimated service time, so computing the answer would
+      // only burn a worker on a request that dies of expiry anyway.
+      overload_.RecordShed();
+      counters_.Add(ServeCounter::kShedHopeless);
+      ResolveTask(task,
+                  Result<ServedAnswer>{Status::DeadlineExceeded(
+                      "request dropped at dequeue: remaining deadline cannot "
+                      "cover the estimated service time")});
+    } else {
+      Process(std::move(task));
     }
-    Process(std::move(task));
+    if (limited) overload_.Release();
   }
 }
 
@@ -453,6 +615,11 @@ void QueryServer::Process(Task task) {
   counters_.Add(
       ServeCounter::kAnswerNanos,
       std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+  // Service-time estimate behind the hopeless-drop discipline: wall time
+  // per leader computation, retries and backoff included — exactly what a
+  // queued request is in for.
+  overload_.RecordServiceTime(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(dt));
   // nullopt: this flight merged into a canonical-equal one after rewrite;
   // its waiters (including this request) now belong to that leader.
   if (!out.has_value()) return;
@@ -574,6 +741,7 @@ std::optional<QueryServer::FlightOutcome> QueryServer::ComputeAnswer(
 
   Backoff backoff(options_.retry, Fnv1a64(sql));
   const uint32_t max_attempts = std::max(1u, options_.retry.max_attempts);
+  retry_budget_.RecordRequest();
   Status last;
   uint32_t attempts = 0;
   for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
@@ -618,6 +786,12 @@ std::optional<QueryServer::FlightOutcome> QueryServer::ComputeAnswer(
     }
     answer_breaker_.RecordFailure();
     if (attempt < max_attempts) {
+      // Per-request retry *budget*: under systemic failure the schedule
+      // alone would multiply the offered load by max_attempts; when the
+      // bucket runs dry the last error surfaces instead.
+      if (!retry_budget_.TryRetry()) {
+        return FlightOutcome{last, 0, attempts};
+      }
       counters_.Add(ServeCounter::kRetries);
       std::chrono::nanoseconds delay = backoff.Next();
       delay = std::min(delay, FlightDeadlineRemaining(*flight));
@@ -786,8 +960,20 @@ ServeStats QueryServer::stats() const {
   s.rejected_queue_full = counters_.Total(ServeCounter::kRejectedQueueFull);
   s.rejected_shutdown = counters_.Total(ServeCounter::kRejectedShutdown);
   s.rejected_oversized = counters_.Total(ServeCounter::kRejectedOversized);
+  s.rejected_expired = counters_.Total(ServeCounter::kRejectedExpired);
   s.rejected = s.rejected_queue_full + s.rejected_shutdown +
-               s.rejected_oversized;
+               s.rejected_oversized + s.rejected_expired;
+  s.shed_admission = counters_.Total(ServeCounter::kShedAdmission);
+  s.shed_hopeless = counters_.Total(ServeCounter::kShedHopeless);
+  s.shed_displaced = counters_.Total(ServeCounter::kShedDisplaced);
+  s.shed_queue = s.shed_hopeless + s.shed_displaced;
+  s.brownout_served = counters_.Total(ServeCounter::kBrownoutServed);
+  s.retry_budget_exhausted = retry_budget_.exhausted();
+  s.limiter_limit = overload_.limiter().limit();
+  s.limiter_in_flight = overload_.limiter().in_flight();
+  s.brownout_active = overload_.brownout_active();
+  s.service_estimate_seconds =
+      static_cast<double>(overload_.service_estimate().count()) * 1e-9;
   s.unmatched = counters_.Total(ServeCounter::kUnmatched);
   s.deadline_exceeded = counters_.Total(ServeCounter::kDeadlineExceeded);
   s.expired_in_queue = counters_.Total(ServeCounter::kExpiredInQueue);

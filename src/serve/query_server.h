@@ -22,6 +22,7 @@
 #include "exec/executor.h"
 #include "rewrite/rewriter.h"
 #include "serve/answer_cache.h"
+#include "serve/overload.h"
 #include "serve/serve_stats.h"
 #include "serve/synopsis_store.h"
 
@@ -83,6 +84,19 @@ struct ServeOptions {
   /// answer from a previous epoch, serve it flagged stale instead of
   /// erroring.
   bool serve_stale = true;
+
+  // ---- Overload control (serve/overload.h). --------------------------------
+
+  /// Adaptive admission limiter, deadline-aware queue discipline,
+  /// priority classes and brownout mode. The limiter and brownout are
+  /// off by default; the queue discipline is on but self-gating (it only
+  /// drops requests whose deadline the service-time estimate says cannot
+  /// be met, after the estimator warms up).
+  OverloadOptions overload;
+  /// Server-wide retry budget: bounds how many extra attempts the retry
+  /// machinery may add on top of the offered load, so retries cannot
+  /// amplify the overload that caused the failures being retried.
+  RetryBudgetOptions retry_budget;
 
   // ---- Synopsis-lifecycle staleness policy. --------------------------------
 
@@ -249,25 +263,32 @@ class QueryServer {
   /// Enqueues one query; the future resolves to its answer or a typed
   /// error. Rejected submissions (queue full, server shut down) resolve
   /// immediately with Unavailable — a Submit racing Shutdown always
-  /// resolves, it is never abandoned.
+  /// resolves, it is never abandoned. A request whose deadline is
+  /// already expired, or that the overload limiter sheds, also resolves
+  /// synchronously (DeadlineExceeded / ResourceExhausted) without ever
+  /// occupying a queue slot.
   std::future<Result<ServedAnswer>> Submit(std::string sql,
                                            ParamMap params = {});
 
   /// Like Submit, but with a per-request deadline `timeout` from now
-  /// (<= 0 means no deadline beyond the server default).
-  std::future<Result<ServedAnswer>> Submit(std::string sql, ParamMap params,
-                                           std::chrono::nanoseconds timeout);
+  /// (<= 0 means no deadline beyond the server default) and a priority
+  /// class (strict-priority dequeue; shedding is lowest-class-first).
+  std::future<Result<ServedAnswer>> Submit(
+      std::string sql, ParamMap params, std::chrono::nanoseconds timeout,
+      Priority priority = Priority::kInteractive);
 
   /// Batched submission: enqueues every query under a single queue lock
-  /// and deduplicates identical texts within the batch (`params` and the
-  /// deadline are shared by all elements). futures[i] corresponds to
-  /// sqls[i]. Admission control is per element: an oversized element
-  /// rejects alone; if the queue fills partway through, the remaining
-  /// *distinct* texts reject with Unavailable while duplicates of already
-  /// accepted texts still resolve with them.
+  /// and deduplicates identical texts within the batch (`params`, the
+  /// deadline and the priority class are shared by all elements).
+  /// futures[i] corresponds to sqls[i]. Admission control is per
+  /// element: an oversized or limiter-shed element rejects alone; if the
+  /// queue fills partway through, the remaining *distinct* texts reject
+  /// with Unavailable while duplicates of already accepted texts still
+  /// resolve with them.
   std::vector<std::future<Result<ServedAnswer>>> SubmitBatch(
       std::vector<std::string> sqls, ParamMap params = {},
-      std::chrono::nanoseconds timeout = std::chrono::nanoseconds(0));
+      std::chrono::nanoseconds timeout = std::chrono::nanoseconds(0),
+      Priority priority = Priority::kInteractive);
 
   /// Synchronous convenience: answers on the calling thread, bypassing
   /// the queue (still uses the cache, coalescing, retries, breakers and
@@ -300,6 +321,13 @@ class QueryServer {
   /// successful Reload.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
+  /// Coarse overload signal for background work: the admission limiter
+  /// is saturated or brownout is active. The Republisher defers
+  /// generation rebuilds on it so republishing never competes with live
+  /// queries for a saturated server. Always false when the limiter and
+  /// brownout are both disabled.
+  bool overloaded() const { return overload_.overloaded(); }
+
   /// Generation-eviction hook for the synopsis lifecycle: drops every
   /// answer-cache entry computed under an epoch older than `min_epoch`
   /// (the Republisher calls this once superseded generations age past the
@@ -312,6 +340,10 @@ class QueryServer {
     std::string sql;
     ParamMap params;
     Deadline deadline;
+    Priority priority = Priority::kInteractive;
+    /// When the task entered the queue; the admission-to-dequeue latency
+    /// is the adaptive limiter's AIMD control signal.
+    std::chrono::steady_clock::time_point enqueue_time;
     std::promise<Result<ServedAnswer>> promise;
     /// Batch-deduped duplicates of this task's sql: resolved together
     /// with the task, sharing its deadline and stale candidate.
@@ -377,6 +409,18 @@ class QueryServer {
   StoreSnapshot SnapshotStore() const;
 
   void WorkerLoop();
+  /// Admission gate shared by Submit and SubmitBatch: injected
+  /// serve.overload faults and the adaptive limiter. False means the
+  /// request must be shed (after a brownout probe); true means it holds
+  /// a limiter slot (when the limiter is enabled) and may be enqueued.
+  bool AdmitTask(Priority priority);
+  /// Brownout probe for a shed request: under sustained overload, an
+  /// AnswerCache entry for the raw key (any epoch) is served with
+  /// `stale = true` instead of the shed error.
+  std::optional<ServedAnswer> TryBrownout(const std::string& sql,
+                                          const ParamMap& params);
+  /// Resolves `task` (and followers) with `r`, recording each outcome.
+  void ResolveTask(Task& task, const Result<ServedAnswer>& r);
   /// Full request pipeline for one task (plus followers): cache
   /// short-circuit, flight join-or-lead, compute, resolve.
   void Process(Task task);
@@ -419,7 +463,7 @@ class QueryServer {
 
   std::mutex mu_;
   std::condition_variable queue_cv_;
-  std::deque<Task> queue_;
+  PriorityTaskQueue<Task> queue_;
   bool stopping_ = false;
   std::mutex join_mu_;  // serializes the join phase of concurrent Shutdowns
 
@@ -428,6 +472,8 @@ class QueryServer {
 
   std::vector<std::thread> workers_;
 
+  mutable OverloadController overload_;
+  RetryBudget retry_budget_;
   mutable ShardedServeCounters counters_;
 };
 

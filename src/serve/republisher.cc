@@ -26,6 +26,24 @@ Result<RepublishReport> Republisher::RepublishNow(
   // unsupported. Server traffic keeps flowing concurrently — that is the
   // race this subsystem is designed (and chaos-tested) to survive.
   std::lock_guard<std::mutex> lock(republish_mu_);
+  // Priority demotion: a rebuild is background work — under overload it
+  // waits (bounded) for the serve path to drain rather than competing
+  // with live queries for a saturated server.
+  if (options_.defer_under_overload && server_->overloaded()) {
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.overload_deferrals;
+    }
+    const auto give_up =
+        std::chrono::steady_clock::now() + options_.overload_defer_max;
+    const auto poll =
+        std::max<std::chrono::nanoseconds>(options_.overload_poll,
+                                           std::chrono::microseconds(100));
+    while (server_->overloaded() &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(poll);
+    }
+  }
   Backoff backoff(options_.retry, Fnv1a64(options_.bundle_path));
   const uint32_t max_attempts = std::max(1u, options_.max_attempts);
   Status last;

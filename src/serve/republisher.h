@@ -47,6 +47,17 @@ struct RepublisherOptions {
   /// lock. The chaos harness uses it to snapshot per-generation baseline
   /// answers at the only moment they are unambiguous.
   std::function<void(uint64_t generation)> on_saved;
+  /// Priority demotion: republishing is background work, so when the
+  /// server reports overload (QueryServer::overloaded — saturated
+  /// admission limiter or active brownout) a generation waits for the
+  /// pressure to clear before rebuilding, instead of stealing CPU from
+  /// live queries. Bounded by `overload_defer_max` so a permanently
+  /// saturated server still republishes eventually (data freshness must
+  /// not starve forever either). No-op when the server's overload
+  /// control is disabled.
+  bool defer_under_overload = true;
+  std::chrono::nanoseconds overload_defer_max = std::chrono::milliseconds(500);
+  std::chrono::nanoseconds overload_poll = std::chrono::milliseconds(1);
 };
 
 /// Outcome of one successfully published generation.
@@ -76,6 +87,8 @@ struct RepublisherStats {
   uint64_t breaker_rejected = 0;
   uint64_t cache_evictions = 0;  // entries dropped by the eviction policy
   uint64_t notifications = 0;    // NotifyChanged calls absorbed
+  uint64_t overload_deferrals = 0;  // generations that waited for server
+                                    // overload to clear before rebuilding
   double epsilon_spent = 0;      // net across all published generations
 };
 

@@ -10,11 +10,21 @@ std::ostream& operator<<(std::ostream& os, const ServeStats& s) {
   if (s.rejected > 0) {
     os << " (queue_full=" << s.rejected_queue_full
        << " shutdown=" << s.rejected_shutdown
-       << " oversized=" << s.rejected_oversized << ")";
+       << " oversized=" << s.rejected_oversized
+       << " expired=" << s.rejected_expired << ")";
   }
   os << " unmatched=" << s.unmatched
      << " deadline_exceeded=" << s.deadline_exceeded
      << " expired_in_queue=" << s.expired_in_queue;
+  os << " | overload: shed_admission=" << s.shed_admission
+     << " shed_hopeless=" << s.shed_hopeless
+     << " shed_displaced=" << s.shed_displaced
+     << " brownout_served=" << s.brownout_served
+     << " brownout_active=" << (s.brownout_active ? 1 : 0)
+     << " limiter_limit=" << s.limiter_limit
+     << " limiter_in_flight=" << s.limiter_in_flight
+     << " service_estimate_seconds=" << s.service_estimate_seconds
+     << " retry_budget_exhausted=" << s.retry_budget_exhausted;
   os << " | coalescing: flights=" << s.flights
      << " coalesced_waiters=" << s.coalesced_waiters
      << " merged_flights=" << s.merged_flights

@@ -20,11 +20,16 @@ struct ServeStats {
   uint64_t submitted = 0;      // Submit calls accepted into the queue
   uint64_t completed = 0;      // answered successfully (including stale)
   uint64_t failed = 0;         // finished with a non-OK status
-  uint64_t rejected = 0;  // refused at Submit (full / shut down / oversized)
+  uint64_t rejected = 0;  // refused at Submit (full / shut down / oversized /
+                          // already expired)
   uint64_t rejected_queue_full = 0;  // subset of rejected: bounded queue full
   uint64_t rejected_shutdown = 0;    // subset of rejected: server shut down
   uint64_t rejected_oversized = 0;   // subset of rejected: SQL over the
                                      // ServeOptions::limits size cap
+  uint64_t rejected_expired = 0;     // subset of rejected: the request's
+                                     // deadline had already expired at Submit
+                                     // (resolved synchronously, also counted
+                                     // failed + deadline_exceeded)
   uint64_t unmatched = 0;      // no stored view could answer (subset of failed)
   uint64_t deadline_exceeded = 0;  // requests past deadline (subset of failed)
   uint64_t expired_in_queue = 0;   // subset of deadline_exceeded: the request
@@ -44,11 +49,36 @@ struct ServeStats {
   uint64_t generation = 0;         // republish generation of the bundle being
                                    // served (0 = initial publication)
 
+  // ---- Overload control (serve/overload.h). --------------------------------
+  uint64_t shed_admission = 0;  // requests shed by the admission limiter (or
+                                // an injected serve.overload fault) before
+                                // taking a queue slot; resolved fast with
+                                // ResourceExhausted, never counted submitted
+  uint64_t shed_hopeless = 0;   // accepted requests dropped at dequeue because
+                                // the remaining deadline budget could not
+                                // cover the service-time estimate (subset of
+                                // deadline_exceeded)
+  uint64_t shed_displaced = 0;  // accepted requests evicted from a full queue
+                                // by a higher-priority arrival (resolved with
+                                // ResourceExhausted, counted failed)
+  uint64_t shed_queue = 0;      // shed_hopeless + shed_displaced: the shed
+                                // channels inside the conservation law
+  uint64_t brownout_served = 0;  // sheds converted into stale cache answers by
+                                 // brownout mode (counted completed + stale,
+                                 // never submitted)
+  uint64_t retry_budget_exhausted = 0;  // retries suppressed because the
+                                        // server-wide retry budget was empty
+  double limiter_limit = 0;       // adaptive concurrency limit at snapshot
+  uint64_t limiter_in_flight = 0;  // admitted-but-unfinished requests held by
+                                   // the limiter at snapshot
+  bool brownout_active = false;   // brownout window active at snapshot
+  double service_estimate_seconds = 0;  // EWMA per-computation service time
+
   // ---- Single-flight coalescing and batching. ------------------------------
   // Conservation law (asserted by the chaos harness): every accepted
-  // request resolves through exactly one of the four channels below, so
+  // request resolves through exactly one of the channels below, so
   //   flights + coalesced_waiters + cache_short_circuits + expired_in_queue
-  //     == submitted.
+  //     + shed_hopeless + shed_displaced == submitted.
   uint64_t flights = 0;            // answer-path computations started (leaders)
   uint64_t coalesced_waiters = 0;  // requests that joined an in-flight
                                    // computation instead of starting one
@@ -119,6 +149,11 @@ enum class ServeCounter : size_t {
   kGroupedQueries,
   kSuppressedGroups,
   kAnswerNanos,
+  kRejectedExpired,
+  kShedAdmission,
+  kShedHopeless,
+  kShedDisplaced,
+  kBrownoutServed,
   kNumCounters,  // sentinel
 };
 

@@ -17,11 +17,11 @@
 //      small set the resilience layer emits. Nothing else — no silent
 //      wrong answers.
 //   5. Coalescing conservation: every accepted request resolves through
-//      exactly one of the four serve channels, so after shutdown
+//      exactly one of the serve channels, so after shutdown
 //        flights + coalesced_waiters + cache_short_circuits
-//          + expired_in_queue == submitted
-//      holds exactly — coalescing under faults, reloads and deadlines
-//      never loses or double-resolves a request.
+//          + expired_in_queue + shed_hopeless + shed_displaced == submitted
+//      holds exactly — coalescing under faults, reloads, deadlines and
+//      overload shedding never loses or double-resolves a request.
 //   6. Synopsis lifecycle: a Republisher races hot Reloads races query
 //      traffic for the whole serve phase, with the republish fault points
 //      armed. A torn bundle is impossible (any mid-run or final Load that
@@ -52,6 +52,7 @@
 #include "aggregate/suppression.h"
 #include "common/fault_injection.h"
 #include "engine/viewrewrite_engine.h"
+#include "serve/overload.h"
 #include "serve/query_server.h"
 #include "serve/republisher.h"
 #include "serve/synopsis_store.h"
@@ -109,6 +110,15 @@ struct ChaosRunResult {
   uint64_t grouped_fresh = 0;
   uint64_t suppressed_rows = 0;
   double min_group_count = 0;
+  // Overload-control observability: admission sheds (injected fault or
+  // saturated limiter), queue-discipline drops, displacement evictions,
+  // and sheds the brownout converted into stale cache answers.
+  bool limiter_enabled = false;
+  bool brownout_enabled = false;
+  uint64_t shed_admission = 0;
+  uint64_t shed_hopeless = 0;
+  uint64_t shed_displaced = 0;
+  uint64_t brownout_served = 0;
   /// Invariant violations; empty means the seed passed.
   std::vector<std::string> violations;
 
@@ -125,10 +135,11 @@ inline double UniformP(std::mt19937_64& rng, double max_p) {
 /// faults. Anything outside this set is an invariant violation.
 inline bool IsAllowedServeError(StatusCode code) {
   switch (code) {
-    case StatusCode::kInternal:          // the injected fault itself
-    case StatusCode::kUnavailable:       // breaker open / queue / shutdown
-    case StatusCode::kDeadlineExceeded:  // per-request deadline
-    case StatusCode::kNotFound:          // no stored view covers the query
+    case StatusCode::kInternal:           // the injected fault itself
+    case StatusCode::kUnavailable:        // breaker open / queue / shutdown
+    case StatusCode::kDeadlineExceeded:   // per-request deadline
+    case StatusCode::kNotFound:           // no stored view covers the query
+    case StatusCode::kResourceExhausted:  // overload shed (limiter/displaced)
       return true;
     default:
       return false;
@@ -353,6 +364,26 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
   serve_options.answer_breaker.open_duration = std::chrono::milliseconds(2);
   serve_options.serve_stale = true;
   serve_options.min_group_count = suppression.min_group_count;
+  // Overload control, seed-varied. This harness is closed-loop (submit
+  // everything, then wait), so deep queues are its normal operating
+  // point; the limiter is sized to the queue so its slot accounting,
+  // AIMD events and release-on-every-path lifecycle race with faults,
+  // displacement and shutdown without genuine-saturation sheds drowning
+  // the run (the open-loop overload harness owns that regime). Admission
+  // sheds here come from the serve.overload fault armed below; some
+  // seeds enable brownout so a slice of those sheds comes back as stale
+  // cache answers instead of typed errors.
+  serve_options.overload.limiter.enabled = (rng() % 2 == 0);
+  serve_options.overload.limiter.initial_limit =
+      static_cast<double>(serve_options.queue_capacity);
+  serve_options.overload.limiter.min_limit =
+      static_cast<double>(serve_options.queue_capacity);
+  serve_options.overload.limiter.max_limit =
+      static_cast<double>(serve_options.queue_capacity) * 2;
+  serve_options.overload.enable_brownout = (rng() % 2 == 0);
+  serve_options.overload.brownout_shed_threshold = 4;
+  result.limiter_enabled = serve_options.overload.limiter.enabled;
+  result.brownout_enabled = serve_options.overload.enable_brownout;
 
   uint64_t deadline_hits = 0;
   {
@@ -383,6 +414,12 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
     ScopedFault repub_save_fault = ScopedFault::WithProbability(
         faults::kServeSave,
         internal::UniformP(rng, config.max_serve_fault_p), rng());
+    // Admission-shed fault: forces the overload shed path (typed
+    // ResourceExhausted, or a stale brownout answer when enabled) on a
+    // slice of submissions regardless of genuine load.
+    ScopedFault overload_fault = ScopedFault::WithProbability(
+        faults::kServeOverload,
+        internal::UniformP(rng, config.max_serve_fault_p / 2), rng());
 
     // Per-generation baselines: generation -> (query index -> the exact
     // value that generation's cells answer). Generation 0 is the initial
@@ -470,13 +507,18 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
     futures.reserve(config.num_requests);
     for (size_t r = 0; r < config.num_requests; ++r) {
       const size_t qi = servable[r % servable.size()];
+      // Seed-drawn priority class: strict-priority dequeue and
+      // lowest-class-first shedding run against a mixed population, and
+      // every class must satisfy the same answer invariants.
+      const Priority prio = static_cast<Priority>(rng() % kNumPriorities);
       request_query.push_back(qi);
       if (r % 13 == 7) {
         // Batched duplicate submission: three copies of the same text in
         // one SubmitBatch. The duplicates dedup within the batch and must
         // resolve to exactly what their primary resolves to.
         std::vector<std::future<Result<ServedAnswer>>> batch =
-            server.SubmitBatch({workload[qi], workload[qi], workload[qi]});
+            server.SubmitBatch({workload[qi], workload[qi], workload[qi]},
+                               {}, std::chrono::nanoseconds(0), prio);
         for (auto& f : batch) futures.push_back(std::move(f));
         // Three futures came back for one loop iteration: record the
         // query index for the two extra ones too.
@@ -485,9 +527,10 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
       } else if (r % 7 == 3) {
         // A sprinkle of tight deadlines; expiry is an allowed outcome.
         futures.push_back(server.Submit(workload[qi], {},
-                                        std::chrono::microseconds(200)));
+                                        std::chrono::microseconds(200), prio));
       } else {
-        futures.push_back(server.Submit(workload[qi]));
+        futures.push_back(server.Submit(workload[qi], {},
+                                        std::chrono::nanoseconds(0), prio));
       }
       if (r == config.num_requests / 2) {
         // Mid-traffic hot reload of the same bundle: epoch advances,
@@ -641,26 +684,39 @@ inline ChaosRunResult RunChaosSeed(uint64_t seed, ChaosConfig config = {}) {
     if (sstats.deadline_exceeded != deadline_hits) {
       violate("stats.deadline_exceeded disagrees with observed responses");
     }
-    // Invariant 5: coalescing conservation. Every accepted request went
-    // through exactly one resolution channel — it led a flight, joined
-    // one, short-circuited on a fresh cache hit, or expired while queued.
+    // Invariant 5: conservation. Every accepted request went through
+    // exactly one resolution channel — it led a flight, joined one,
+    // short-circuited on a fresh cache hit, expired while queued, or was
+    // shed by the queue discipline (hopeless drop / displacement).
     result.submitted = sstats.submitted;
     result.flights = sstats.flights;
     result.coalesced_waiters = sstats.coalesced_waiters;
     result.cache_short_circuits = sstats.cache_short_circuits;
     result.expired_in_queue = sstats.expired_in_queue;
     result.max_flight_group = sstats.max_flight_group;
+    result.shed_admission = sstats.shed_admission;
+    result.shed_hopeless = sstats.shed_hopeless;
+    result.shed_displaced = sstats.shed_displaced;
+    result.brownout_served = sstats.brownout_served;
     if (sstats.flights + sstats.coalesced_waiters +
-            sstats.cache_short_circuits + sstats.expired_in_queue !=
+            sstats.cache_short_circuits + sstats.expired_in_queue +
+            sstats.shed_queue !=
         sstats.submitted) {
-      violate("coalescing conservation violated: flights " +
+      violate("conservation violated: flights " +
               std::to_string(sstats.flights) + " + coalesced_waiters " +
               std::to_string(sstats.coalesced_waiters) +
               " + cache_short_circuits " +
               std::to_string(sstats.cache_short_circuits) +
               " + expired_in_queue " +
-              std::to_string(sstats.expired_in_queue) + " != submitted " +
+              std::to_string(sstats.expired_in_queue) + " + shed_queue " +
+              std::to_string(sstats.shed_queue) + " != submitted " +
               std::to_string(sstats.submitted));
+    }
+    // Admission-side accounting: sheds and brownout conversions happen
+    // before a request is accepted, so they never double-count against
+    // the submitted channels above.
+    if (sstats.brownout_served > sstats.completed) {
+      violate("brownout_served exceeds completed");
     }
     if (!serve_options.enable_coalescing && sstats.coalesced_waiters >
             sstats.batch_deduped) {

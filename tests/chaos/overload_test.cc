@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "chaos/overload_harness.h"
+
+namespace viewrewrite {
+namespace {
+
+/// Seeds the tier-1 suite pins (the 32-seed sweep lives in
+/// bench/overload_soak).
+constexpr uint64_t kTier1Seeds[] = {1, 2, 3};
+
+/// Tier-1 overload smoke: a few fixed seeds through the open-loop
+/// harness with shortened phases. The full-length 32-seed sweep lives in
+/// bench/overload_soak (ctest label "chaos", excluded from tier-1).
+TEST(OverloadSmokeTest, FixedSeedsHoldTheOverloadContract) {
+  chaos::OverloadConfig config;
+  config.calibration = std::chrono::milliseconds(150);
+  config.phase = std::chrono::milliseconds(250);
+  for (uint64_t seed : kTier1Seeds) {
+    chaos::OverloadRunResult run = chaos::RunOverloadSeed(seed, config);
+    for (const std::string& violation : run.violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << violation;
+    }
+    EXPECT_GT(run.capacity_qps, 0) << "seed " << seed;
+    ASSERT_EQ(run.phases.size(), config.load_factors.size());
+    // The phases genuinely overloaded the server: something was shed or
+    // expired at the highest factor (otherwise the run measured nothing).
+    const chaos::OverloadPhaseResult& worst = run.phases.back();
+    EXPECT_GT(worst.shed + worst.expired, 0u)
+        << "seed " << seed << ": 10x capacity produced no overload";
+  }
+}
+
+}  // namespace
+}  // namespace viewrewrite
+
+namespace {
+
+/// Runs one seed directly (outside gtest) and prints a report; exit code
+/// 0 iff the overload contract held.
+int RunSingleSeed(uint64_t seed) {
+  viewrewrite::chaos::OverloadRunResult run =
+      viewrewrite::chaos::RunOverloadSeed(seed);
+  std::printf("seed %llu: capacity=%.0f qps\n", (unsigned long long)seed,
+              run.capacity_qps);
+  for (const auto& p : run.phases) {
+    std::printf(
+        "  %.0fx: issued=%llu offered=%.0f goodput=%.0f fresh=%llu "
+        "shed=%llu expired=%llu shed_p99=%.3fms drain=%.2fs "
+        "interactive=%llu/%llu background=%llu/%llu\n",
+        p.load_factor, (unsigned long long)p.issued, p.offered_qps,
+        p.goodput_qps, (unsigned long long)p.fresh,
+        (unsigned long long)p.shed, (unsigned long long)p.expired,
+        p.shed_p99_ms, p.drain_seconds,
+        (unsigned long long)p.interactive_ok,
+        (unsigned long long)p.interactive_issued,
+        (unsigned long long)p.background_ok,
+        (unsigned long long)p.background_issued);
+  }
+  std::printf(
+      "  accounting: issued=%llu submitted=%llu shed_admission=%llu "
+      "shed_hopeless=%llu shed_displaced=%llu limiter_limit=%.1f\n",
+      (unsigned long long)run.issued, (unsigned long long)run.submitted,
+      (unsigned long long)run.shed_admission,
+      (unsigned long long)run.shed_hopeless,
+      (unsigned long long)run.shed_displaced, run.limiter_limit);
+  if (run.ok()) {
+    std::printf("  PASS: overload contract held\n");
+    return 0;
+  }
+  for (const std::string& violation : run.violations) {
+    std::printf("  VIOLATION: %s\n", violation.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+/// Custom main so one failing seed can be replayed in isolation:
+///   overload_test --seed=N     run exactly that seed, print its report
+///   overload_test --list-seeds print the tier-1 pinned seeds
+/// With neither flag, the normal gtest suite runs (gtest flags intact).
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-seeds") == 0) {
+      for (uint64_t seed : viewrewrite::kTier1Seeds) {
+        std::printf("%llu\n", (unsigned long long)seed);
+      }
+      return 0;
+    }
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      char* end = nullptr;
+      const unsigned long long seed = std::strtoull(argv[i] + 7, &end, 10);
+      if (end == argv[i] + 7 || *end != '\0') {
+        std::fprintf(stderr, "overload_test: bad --seed value: %s\n",
+                     argv[i] + 7);
+        return 2;
+      }
+      return RunSingleSeed(seed);
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

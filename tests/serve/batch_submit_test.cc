@@ -182,11 +182,13 @@ TEST_F(BatchSubmitTest, SharedDeadlineAppliesToEveryElement) {
   }
   ServeStats stats = server.stats();
   EXPECT_EQ(stats.deadline_exceeded, 3u);
-  // Conservation: two distinct texts expired in the queue, one duplicate
-  // was coalesced at admission; together they cover all three submits.
-  EXPECT_EQ(stats.expired_in_queue, 2u);
-  EXPECT_EQ(stats.coalesced_waiters, 1u);
-  EXPECT_EQ(stats.submitted, 3u);
+  // An expired batch never reaches admission: every element rejects
+  // synchronously (rejected_expired) instead of burning queue slots and
+  // a worker dequeue — nothing is submitted, coalesced or flown.
+  EXPECT_EQ(stats.rejected_expired, 3u);
+  EXPECT_EQ(stats.expired_in_queue, 0u);
+  EXPECT_EQ(stats.coalesced_waiters, 0u);
+  EXPECT_EQ(stats.submitted, 0u);
   EXPECT_EQ(stats.flights, 0u);
 }
 

@@ -50,6 +50,33 @@ TEST_F(DeadlineTest, ExpiredWhileQueuedResolvesTypedAndWorkerSurvives) {
   EXPECT_EQ(stats.completed, 1u);
 }
 
+TEST_F(DeadlineTest, ExpiredDeadlineRejectsSynchronouslyBeforeAdmission) {
+  ServeOptions options;
+  options.num_threads = 1;
+  QueryServer server(ctx_.store, ctx_.db->schema(), options);
+
+  // Regression: an already-expired Submit used to occupy a queue slot
+  // and a worker dequeue before resolving. It must now resolve
+  // synchronously — the future is ready the moment Submit returns, and
+  // nothing was ever submitted, queued or flown.
+  auto future = server.Submit(ctx_.workload[0], {}, nanoseconds(-1));
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  auto got = future.get();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.rejected_expired, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.submitted, 0u);
+  EXPECT_EQ(stats.expired_in_queue, 0u);
+  EXPECT_EQ(stats.flights, 0u);
+  // Still a failed request past its deadline, observably.
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
 TEST_F(DeadlineTest, MidAnswerTimeoutDuringRetryBackoff) {
   ServeOptions options;
   options.num_threads = 1;
